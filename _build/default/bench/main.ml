@@ -1,0 +1,163 @@
+(* Bechamel benchmark harness.
+
+   One Test.make per paper table, each measuring the end-to-end mapping
+   pipeline that regenerates that table's numbers on a representative
+   benchmark circuit, plus per-stage and ablation benches for the design
+   choices called out in DESIGN.md §6.
+
+   Run with:  dune exec bench/main.exe            (all benches)
+              dune exec bench/main.exe -- table   (only table benches)   *)
+
+open Bechamel
+open Bechamel.Toolkit
+
+(* Workloads are prepared once, outside the measured closures. *)
+let c880 = Gen.Suite.build_exn "c880"
+let frg1 = Gen.Suite.build_exn "frg1"
+let k2 = Gen.Suite.build_exn "k2"
+let c880_unate = Mapper.Algorithms.prepare c880
+let k2_unate = Mapper.Algorithms.prepare k2
+
+let bulk_circuit =
+  let u = c880_unate in
+  fst
+    (Mapper.Engine.map
+       { Mapper.Engine.default_options with Mapper.Engine.style = Mapper.Engine.Bulk }
+       u)
+
+let stage f = Staged.stage f
+
+let table_benches =
+  [
+    Test.make ~name:"table1/domino_map(c880)"
+      (stage (fun () -> ignore (Mapper.Algorithms.domino_map c880)));
+    Test.make ~name:"table1/rs_map(c880)"
+      (stage (fun () -> ignore (Mapper.Algorithms.rs_map c880)));
+    Test.make ~name:"table2/soi_domino_map(c880)"
+      (stage (fun () -> ignore (Mapper.Algorithms.soi_domino_map c880)));
+    Test.make ~name:"table2/soi_domino_map(k2)"
+      (stage (fun () -> ignore (Mapper.Algorithms.soi_domino_map k2)));
+    Test.make ~name:"table3/clock_weighted_k2(c880)"
+      (stage (fun () ->
+           ignore
+             (Mapper.Algorithms.soi_domino_map
+                ~cost:(Mapper.Cost.clock_weighted 2) c880)));
+    Test.make ~name:"table4/depth_bulk(c880)"
+      (stage (fun () ->
+           ignore (Mapper.Algorithms.domino_map ~cost:Mapper.Cost.depth_bulk c880)));
+    Test.make ~name:"table4/depth_soi(c880)"
+      (stage (fun () ->
+           ignore (Mapper.Algorithms.soi_domino_map ~cost:Mapper.Cost.depth_soi c880)));
+  ]
+
+let stage_benches =
+  [
+    Test.make ~name:"stage/generate(c880)"
+      (stage (fun () -> ignore (Gen.Suite.build_exn "c880")));
+    Test.make ~name:"stage/strash(c880)" (stage (fun () -> ignore (Logic.Strash.run c880)));
+    Test.make ~name:"stage/decompose+unate(c880)"
+      (stage (fun () -> ignore (Mapper.Algorithms.prepare c880)));
+    Test.make ~name:"stage/dp_soi(c880)"
+      (stage (fun () -> ignore (Mapper.Engine.map Mapper.Engine.default_options c880_unate)));
+    Test.make ~name:"stage/dp_soi(k2)"
+      (stage (fun () -> ignore (Mapper.Engine.map Mapper.Engine.default_options k2_unate)));
+    Test.make ~name:"stage/postprocess_rearrange(c880)"
+      (stage (fun () -> ignore (Mapper.Postprocess.rearrange_stacks bulk_circuit)));
+    Test.make ~name:"stage/pbe_analysis(c880)"
+      (stage (fun () ->
+           Array.iter
+             (fun g ->
+               ignore
+                 (Domino.Pbe_analysis.discharge_points ~grounded:true
+                    g.Domino.Domino_gate.pdn))
+             bulk_circuit.Domino.Circuit.gates));
+    Test.make ~name:"stage/extract(des)"
+      (stage
+         (let des = Gen.Suite.build_exn "des" in
+          fun () -> ignore (Logic.Extract.run des)));
+    Test.make ~name:"stage/sop_minimize(decoder4)"
+      (stage
+         (let pla = Pla.of_network (Gen.Circuits.decoder 4) in
+          fun () -> ignore (Pla.minimize pla)));
+    Test.make ~name:"stage/bdd_equiv(c880)"
+      (stage
+         (let c880n = Gen.Suite.build_exn "c880" in
+          fun () -> ignore (Logic.Equiv.check c880n c880n)));
+    Test.make ~name:"stage/equivalence_check(frg1)"
+      (stage
+         (let r = Mapper.Algorithms.soi_domino_map frg1 in
+          fun () ->
+            ignore
+              (Domino.Circuit.equivalent_to ~vectors:512 r.Mapper.Algorithms.circuit
+                 r.Mapper.Algorithms.unate)));
+  ]
+
+let ablation_benches =
+  let opt = Mapper.Engine.default_options in
+  [
+    Test.make ~name:"ablation/both_orders(c880)"
+      (stage (fun () -> ignore (Mapper.Engine.map opt c880_unate)));
+    Test.make ~name:"ablation/heuristic_order_only(c880)"
+      (stage (fun () ->
+           ignore
+             (Mapper.Engine.map { opt with Mapper.Engine.both_orders = false } c880_unate)));
+    Test.make ~name:"ablation/ungrounded_foot(c880)"
+      (stage (fun () ->
+           ignore
+             (Mapper.Engine.map
+                { opt with Mapper.Engine.grounded_at_foot = false }
+                c880_unate)));
+    Test.make ~name:"ablation/w3_h4(c880)"
+      (stage (fun () ->
+           ignore
+             (Mapper.Engine.map { opt with Mapper.Engine.w_max = 3; h_max = 4 } c880_unate)));
+    Test.make ~name:"ablation/w8_h12(c880)"
+      (stage (fun () ->
+           ignore
+             (Mapper.Engine.map { opt with Mapper.Engine.w_max = 8; h_max = 12 } c880_unate)));
+  ]
+
+let benchmark tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"all" tests) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  Analyze.merge ols instances results
+
+let () =
+  let filter =
+    match Array.to_list Sys.argv with _ :: f :: _ -> Some f | _ -> None
+  in
+  let tests =
+    match filter with
+    | Some "table" -> table_benches
+    | Some "stage" -> stage_benches
+    | Some "ablation" -> ablation_benches
+    | _ -> table_benches @ stage_benches @ ablation_benches
+  in
+  let results = benchmark tests in
+  Printf.printf "%-50s %15s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 68 '-');
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun _metric tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> rows := (name, est) :: !rows
+          | _ -> ())
+        tbl)
+    results;
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if ns > 1e9 then Printf.sprintf "%10.2f s " (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%10.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%10.2f us" (ns /. 1e3)
+        else Printf.sprintf "%10.2f ns" ns
+      in
+      Printf.printf "%-50s %15s\n" name pretty)
+    (List.sort compare !rows)

@@ -1,0 +1,1 @@
+bin/ablation.ml: Array Domino Gen List Logic Mapper Printf Sys Unate

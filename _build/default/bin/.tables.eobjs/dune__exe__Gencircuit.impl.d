@@ -1,0 +1,1 @@
+bin/gencircuit.ml: Arg Blif Cmd Cmdliner Gen List Logic Printf Term

@@ -1,0 +1,1 @@
+bin/soimap.ml: Arg Array Bench_format Blif Cmd Cmdliner Domino Export Format Gen List Logic Mapper Pla Printf Sim String Term

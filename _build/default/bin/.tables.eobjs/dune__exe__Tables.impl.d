@@ -1,0 +1,1 @@
+bin/tables.ml: Array Filename List Printf Report Sys

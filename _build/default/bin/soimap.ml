@@ -1,0 +1,193 @@
+(* soimap: map a circuit (BLIF file or named generator) to SOI domino
+   logic and report the transistor accounting.
+
+   Examples:
+     soimap --bench des --flow soi
+     soimap --blif adder.blif --flow rs --cost area --print-gates
+     soimap --bench c880 --flow all --verify *)
+
+open Cmdliner
+
+let load blif bench_file pla bench =
+  match (blif, bench_file, pla, bench) with
+  | Some path, None, None, None -> Blif.parse_file path
+  | None, Some path, None, None -> Bench_format.parse_file path
+  | None, None, Some path, None -> Pla.to_network (Pla.parse_file path)
+  | None, None, None, Some name -> (
+      match Gen.Suite.find name with
+      | Some e -> e.Gen.Suite.build ()
+      | None ->
+          prerr_endline
+            ("unknown benchmark: " ^ name ^ " (known: "
+            ^ String.concat ", " (List.map (fun e -> e.Gen.Suite.name) Gen.Suite.all)
+            ^ ")");
+          exit 2)
+  | _ ->
+      prerr_endline
+        "exactly one of --blif, --bench-file, --pla or --bench is required";
+      exit 2
+
+let cost_of = function
+  | "area" -> Mapper.Cost.area
+  | "depth" -> Mapper.Cost.depth_soi
+  | "depth-bulk" -> Mapper.Cost.depth_bulk
+  | s -> (
+      match int_of_string_opt s with
+      | Some k when k >= 1 -> Mapper.Cost.clock_weighted k
+      | _ ->
+          prerr_endline ("unknown cost model: " ^ s ^ " (area|depth|depth-bulk|<k>)");
+          exit 2)
+
+let report name flow_name (r : Mapper.Algorithms.result) verify exact print_gates
+    timing spice verilog vcd net =
+  let c = r.Mapper.Algorithms.counts in
+  Printf.printf
+    "%s [%s]: Tlogic=%d Tdisch=%d Ttotal=%d Tclock=%d gates=%d levels=%d \
+     pi_inverters=%d\n"
+    name flow_name c.Domino.Circuit.t_logic c.Domino.Circuit.t_disch
+    c.Domino.Circuit.t_total c.Domino.Circuit.t_clock c.Domino.Circuit.gate_count
+    c.Domino.Circuit.levels c.Domino.Circuit.pi_inverters;
+  if print_gates then
+    Format.printf "%a@." Domino.Circuit.pp r.Mapper.Algorithms.circuit;
+  if timing then begin
+    let t = Domino.Timing.analyze r.Mapper.Algorithms.circuit in
+    Format.printf "  timing: %a@." Domino.Timing.pp_report t
+  end;
+  (match spice with
+  | Some path ->
+      Export.Spice.to_file r.Mapper.Algorithms.circuit path;
+      Printf.printf "  wrote SPICE netlist to %s\n" path
+  | None -> ());
+  (match verilog with
+  | Some path ->
+      Export.Verilog.to_file r.Mapper.Algorithms.circuit path;
+      Printf.printf "  wrote Verilog netlist to %s\n" path
+  | None -> ());
+  (match vcd with
+  | Some path ->
+      let circuit = r.Mapper.Algorithms.circuit in
+      let n = Array.length circuit.Domino.Circuit.input_names in
+      let rng = Logic.Rng.create 0xD0D0 in
+      let stimulus = List.init 64 (fun _ -> Array.init n (fun _ -> Logic.Rng.bool rng)) in
+      let res = Sim.Vcd.dump_to_file circuit stimulus path in
+      Printf.printf "  wrote VCD (64 cycles, %d PBE events) to %s\n"
+        res.Sim.Domino_sim.total_events path
+  | None -> ());
+  if verify then begin
+    let equiv =
+      Domino.Circuit.equivalent_to r.Mapper.Algorithms.circuit r.Mapper.Algorithms.unate
+    in
+    let free = Sim.Domino_sim.pbe_free r.Mapper.Algorithms.circuit in
+    let hyst = Domino.Hysteresis.of_circuit r.Mapper.Algorithms.circuit in
+    Printf.printf "  functional-equivalence=%b pbe-free=%b hysteresis-exposed=%d/%d\n"
+      equiv free hyst.Domino.Hysteresis.exposed hyst.Domino.Hysteresis.total;
+    if not (equiv && free) then exit 1
+  end;
+  if exact then begin
+    let verdict = Domino.Circuit.equivalent_exact r.Mapper.Algorithms.circuit net in
+    Format.printf "  formal-equivalence: %a@." Logic.Equiv.pp_verdict verdict;
+    match verdict with Logic.Equiv.Equivalent -> () | _ -> exit 1
+  end
+
+let main blif bench_file pla bench flow cost w_max h_max verify exact print_gates
+    timing multi spice verilog vcd =
+  let net = load blif bench_file pla bench in
+  if multi then begin
+    print_string (Mapper.Multi.render (Mapper.Multi.sweep ~w_max ~h_max net));
+    exit 0
+  end;
+  let name = Logic.Network.name net in
+  let cost = cost_of cost in
+  let flows =
+    match flow with
+    | "bulk" -> [ Mapper.Algorithms.Domino_map ]
+    | "rs" -> [ Mapper.Algorithms.Rs_map ]
+    | "soi" -> [ Mapper.Algorithms.Soi_domino_map ]
+    | "all" ->
+        [ Mapper.Algorithms.Domino_map; Mapper.Algorithms.Rs_map;
+          Mapper.Algorithms.Soi_domino_map ]
+    | s ->
+        prerr_endline ("unknown flow: " ^ s ^ " (bulk|rs|soi|all)");
+        exit 2
+  in
+  List.iter
+    (fun f ->
+      let r = Mapper.Algorithms.run ~cost ~w_max ~h_max f net in
+      report name (Mapper.Algorithms.flow_name f) r verify exact print_gates timing
+        spice verilog vcd net)
+    flows
+
+let cmd =
+  let blif =
+    Arg.(value & opt (some string) None & info [ "blif" ] ~docv:"FILE"
+           ~doc:"Read the input circuit from a BLIF file.")
+  in
+  let bench_file =
+    Arg.(value & opt (some string) None & info [ "bench-file" ] ~docv:"FILE"
+           ~doc:"Read the input circuit from an ISCAS .bench file.")
+  in
+  let pla =
+    Arg.(value & opt (some string) None & info [ "pla" ] ~docv:"FILE"
+           ~doc:"Read the input circuit from an espresso .pla file.")
+  in
+  let bench =
+    Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"NAME"
+           ~doc:"Use a named benchmark from the built-in suite.")
+  in
+  let flow =
+    Arg.(value & opt string "soi" & info [ "flow" ] ~docv:"FLOW"
+           ~doc:"Mapping flow: bulk, rs, soi, or all.")
+  in
+  let cost =
+    Arg.(value & opt string "area" & info [ "cost" ] ~docv:"COST"
+           ~doc:"Cost model: area, depth, depth-bulk, or an integer k for \
+                 clock-weighted mapping.")
+  in
+  let w_max =
+    Arg.(value & opt int 5 & info [ "w-max" ] ~docv:"W" ~doc:"Maximum PDN width.")
+  in
+  let h_max =
+    Arg.(value & opt int 8 & info [ "h-max" ] ~docv:"H" ~doc:"Maximum PDN height.")
+  in
+  let verify =
+    Arg.(value & flag & info [ "verify" ]
+           ~doc:"Check functional equivalence and PBE freedom (switch-level \
+                 simulation with the floating-body model).")
+  in
+  let exact =
+    Arg.(value & flag & info [ "exact" ]
+           ~doc:"Prove functional equivalence with BDDs (falls back to a \
+                 clear 'unknown' on very large circuits).")
+  in
+  let print_gates =
+    Arg.(value & flag & info [ "print-gates" ] ~doc:"Print every mapped gate.")
+  in
+  let timing =
+    Arg.(value & flag & info [ "timing" ]
+           ~doc:"Report the first-order critical-path analysis.")
+  in
+  let multi =
+    Arg.(value & flag & info [ "multi" ]
+           ~doc:"Sweep the objective portfolio (area, clock-weighted, depth) \
+                 and print the Pareto-efficient points.")
+  in
+  let spice =
+    Arg.(value & opt (some string) None & info [ "spice" ] ~docv:"FILE"
+           ~doc:"Write the mapped transistor netlist as SPICE.")
+  in
+  let verilog =
+    Arg.(value & opt (some string) None & info [ "verilog" ] ~docv:"FILE"
+           ~doc:"Write the mapped netlist as switch-level Verilog.")
+  in
+  let vcd =
+    Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE"
+           ~doc:"Simulate 64 random cycles and write a VCD waveform.")
+  in
+  let doc = "technology mapping for SOI domino logic (Karandikar & Sapatnekar, DAC 2001)" in
+  Cmd.v
+    (Cmd.info "soimap" ~doc)
+    Term.(
+      const main $ blif $ bench_file $ pla $ bench $ flow $ cost $ w_max $ h_max
+      $ verify $ exact $ print_gates $ timing $ multi $ spice $ verilog $ vcd)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/des_flow.ml: Array Blif Domino Format Gen Hashtbl List Logic Mapper Option Printf String Unate

@@ -1,0 +1,1 @@
+examples/paper_example.ml: Algorithms Array Cost Domino Format Logic Mapper Printf Soi_rules

@@ -1,0 +1,1 @@
+examples/pbe_demo.ml: Array Circuit Domino Domino_gate Gen List Mapper Pdn Printf Sim

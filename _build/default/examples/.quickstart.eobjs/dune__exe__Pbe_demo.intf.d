@@ -1,0 +1,1 @@
+examples/pbe_demo.mli:

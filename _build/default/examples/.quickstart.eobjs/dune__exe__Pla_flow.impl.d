@@ -1,0 +1,1 @@
+examples/pla_flow.ml: Array Domino Format Fun List Logic Mapper Pla Printf Sim

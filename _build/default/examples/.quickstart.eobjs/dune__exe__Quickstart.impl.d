@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Domino Format Logic Mapper Printf Sim

@@ -1,0 +1,1 @@
+lib/blif/bench_format.ml: Array Buffer Fun Hashtbl List Logic Printf String

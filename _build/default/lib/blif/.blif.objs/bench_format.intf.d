@@ -1,0 +1,1 @@
+lib/blif/bench_format.mli: Logic

@@ -1,0 +1,1 @@
+lib/blif/blif.ml: Array Buffer Fun Hashtbl List Logic Printf String

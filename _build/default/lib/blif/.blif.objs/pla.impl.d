@@ -1,0 +1,1 @@
+lib/blif/pla.ml: Array Buffer Bytes Fun Hashtbl List Logic Printf String

@@ -1,0 +1,327 @@
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexical layer: logical lines (continuations folded, comments and    *)
+(* blank lines dropped), each paired with its source line number.      *)
+(* ------------------------------------------------------------------ *)
+
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let out = ref [] in
+  let pending = Buffer.create 80 in
+  let pending_start = ref 0 in
+  let flush_pending last_line =
+    if Buffer.length pending > 0 then begin
+      out := (!pending_start, Buffer.contents pending) :: !out;
+      Buffer.clear pending
+    end;
+    ignore last_line
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      let line = String.trim line in
+      if line <> "" then begin
+        let continued = String.length line > 0 && line.[String.length line - 1] = '\\' in
+        let body = if continued then String.sub line 0 (String.length line - 1) else line in
+        if Buffer.length pending = 0 then pending_start := lineno;
+        Buffer.add_string pending body;
+        Buffer.add_char pending ' ';
+        if not continued then flush_pending lineno
+      end)
+    raw;
+  flush_pending 0;
+  List.rev !out
+
+let tokens s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+(* ------------------------------------------------------------------ *)
+(* Parsing proper.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type cover = {
+  c_line : int;
+  c_inputs : string list;
+  c_output : string;
+  mutable c_cubes : (string * char) list;  (* input pattern, output value *)
+}
+
+type model = {
+  m_name : string;
+  m_inputs : (int * string) list;
+  m_outputs : (int * string) list;
+  m_covers : cover list;
+}
+
+let parse_model lines =
+  let name = ref "model" in
+  let ins = ref [] and outs = ref [] and covers = ref [] in
+  let current : cover option ref = ref None in
+  let close_current () = current := None in
+  let rec go = function
+    | [] -> ()
+    | (lineno, line) :: rest -> (
+        match tokens line with
+        | [] -> go rest
+        | tok :: args when String.length tok > 0 && tok.[0] = '.' -> (
+            close_current ();
+            match tok with
+            | ".model" ->
+                (match args with nm :: _ -> name := nm | [] -> ());
+                go rest
+            | ".inputs" ->
+                ins := !ins @ List.map (fun a -> (lineno, a)) args;
+                go rest
+            | ".outputs" ->
+                outs := !outs @ List.map (fun a -> (lineno, a)) args;
+                go rest
+            | ".names" -> (
+                match List.rev args with
+                | [] -> fail lineno ".names with no signals"
+                | output :: rev_inputs ->
+                    let c =
+                      {
+                        c_line = lineno;
+                        c_inputs = List.rev rev_inputs;
+                        c_output = output;
+                        c_cubes = [];
+                      }
+                    in
+                    covers := c :: !covers;
+                    current := Some c;
+                    go rest)
+            | ".end" -> ()
+            | ".latch" | ".subckt" | ".gate" | ".mlatch" ->
+                fail lineno "%s is not supported (combinational BLIF only)" tok
+            | ".exdc" -> ()  (* ignore external don't-care section onwards *)
+            | _ ->
+                (* Unknown dot-directives are skipped, as SIS emits several. *)
+                go rest)
+        | toks -> (
+            match !current with
+            | None -> fail lineno "cube line outside a .names block: %s" line
+            | Some c ->
+                let pattern, out_val =
+                  match (toks, c.c_inputs) with
+                  | [ only ], [] ->
+                      (* Constant: a bare output column. *)
+                      ("", only.[0])
+                  | [ pat; out ], _ -> (pat, out.[0])
+                  | _ -> fail lineno "malformed cube: %s" line
+                in
+                if String.length pattern <> List.length c.c_inputs then
+                  fail lineno "cube width %d does not match %d inputs"
+                    (String.length pattern) (List.length c.c_inputs);
+                String.iter
+                  (function
+                    | '0' | '1' | '-' -> ()
+                    | ch -> fail lineno "bad cube character %c" ch)
+                  pattern;
+                if out_val <> '0' && out_val <> '1' then
+                  fail lineno "bad output value %c" out_val;
+                c.c_cubes <- (pattern, out_val) :: c.c_cubes;
+                go rest))
+  in
+  go lines;
+  (* [ins] and [outs] are built by appending, so they are already in
+     declaration order; [covers] is built by prepending. *)
+  {
+    m_name = !name;
+    m_inputs = !ins;
+    m_outputs = !outs;
+    m_covers = List.rev !covers;
+  }
+
+(* Build a network from a parsed model, resolving signal dependencies
+   recursively (covers may appear in any order). *)
+let build model =
+  let b = Logic.Builder.create ~name:model.m_name () in
+  let by_output = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem by_output c.c_output then
+        fail c.c_line "signal %s is defined twice" c.c_output;
+      Hashtbl.replace by_output c.c_output c)
+    model.m_covers;
+  let wires : (string, Logic.Builder.wire) Hashtbl.t = Hashtbl.create 64 in
+  let in_progress : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (_, nm) ->
+      if Hashtbl.mem wires nm then fail 0 "input %s declared twice" nm;
+      Hashtbl.replace wires nm (Logic.Builder.input b nm))
+    model.m_inputs;
+  let rec resolve lineno nm =
+    match Hashtbl.find_opt wires nm with
+    | Some w -> w
+    | None -> (
+        if Hashtbl.mem in_progress nm then fail lineno "combinational cycle through %s" nm;
+        match Hashtbl.find_opt by_output nm with
+        | None -> fail lineno "undefined signal %s" nm
+        | Some c ->
+            Hashtbl.replace in_progress nm ();
+            let fanins = List.map (resolve c.c_line) c.c_inputs in
+            let w = build_cover c (Array.of_list fanins) in
+            Hashtbl.remove in_progress nm;
+            Hashtbl.replace wires nm w;
+            w)
+  and build_cover c fanins =
+    let cubes = List.rev c.c_cubes in
+    match cubes with
+    | [] -> Logic.Builder.const b false
+    | _ ->
+        let out_vals = List.sort_uniq compare (List.map snd cubes) in
+        (match out_vals with
+        | [ _ ] -> ()
+        | _ -> fail c.c_line "mixed on-set and off-set cubes for %s" c.c_output);
+        let complemented = List.for_all (fun (_, v) -> v = '0') cubes in
+        let cube_wire (pattern, _) =
+          let lits = ref [] in
+          String.iteri
+            (fun i ch ->
+              match ch with
+              | '1' -> lits := fanins.(i) :: !lits
+              | '0' -> lits := Logic.Builder.not_ b fanins.(i) :: !lits
+              | _ -> ())
+            pattern;
+          Logic.Builder.and_ b (List.rev !lits)
+        in
+        let disj = Logic.Builder.or_ b (List.map cube_wire cubes) in
+        if complemented then Logic.Builder.not_ b disj else disj
+  in
+  List.iter
+    (fun (lineno, nm) ->
+      let w = resolve lineno nm in
+      Logic.Network.set_output (Logic.Builder.network b) nm w)
+    model.m_outputs;
+  Logic.Builder.network b
+
+let parse_string text = build (parse_model (logical_lines text))
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+(* ------------------------------------------------------------------ *)
+(* Writing.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let node_names n =
+  (* Give every node a unique BLIF signal name, preferring declared names. *)
+  let count = Logic.Network.node_count n in
+  let names = Array.make count "" in
+  let used = Hashtbl.create count in
+  let claim id preferred =
+    let nm =
+      match preferred with
+      | Some s when not (Hashtbl.mem used s) -> s
+      | _ -> Printf.sprintf "n%d" id
+    in
+    let nm = if Hashtbl.mem used nm then Printf.sprintf "n%d_" id else nm in
+    Hashtbl.replace used nm ();
+    names.(id) <- nm
+  in
+  Logic.Network.iter_nodes
+    (fun nd ->
+      let preferred =
+        match nd.Logic.Network.func with
+        | Logic.Network.Input -> Some (Logic.Network.input_name n nd.Logic.Network.id)
+        | _ -> nd.Logic.Network.name
+      in
+      claim nd.Logic.Network.id preferred)
+    n;
+  names
+
+let to_string n =
+  let names = node_names n in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf ".model %s\n" (Logic.Network.name n));
+  let ins = Logic.Network.inputs n in
+  if Array.length ins > 0 then begin
+    Buffer.add_string buf ".inputs";
+    Array.iter (fun id -> Buffer.add_string buf (" " ^ names.(id))) ins;
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.add_string buf ".outputs";
+  Array.iter (fun (nm, _) -> Buffer.add_string buf (" " ^ nm)) (Logic.Network.outputs n);
+  Buffer.add_char buf '\n';
+  let emit_names fanin_names out_name cubes =
+    Buffer.add_string buf ".names";
+    List.iter (fun s -> Buffer.add_string buf (" " ^ s)) fanin_names;
+    Buffer.add_string buf (" " ^ out_name ^ "\n");
+    List.iter (fun c -> Buffer.add_string buf (c ^ "\n")) cubes
+  in
+  Logic.Network.iter_nodes
+    (fun nd ->
+      let id = nd.Logic.Network.id in
+      let fanin_names =
+        Array.to_list (Array.map (fun f -> names.(f)) nd.Logic.Network.fanins)
+      in
+      let k = Array.length nd.Logic.Network.fanins in
+      match nd.Logic.Network.func with
+      | Logic.Network.Input -> ()
+      | Logic.Network.Const b ->
+          emit_names [] names.(id) (if b then [ "1" ] else [])
+      | Logic.Network.Gate g -> (
+          let ones = String.make k '1' in
+          let one_hot i = String.init k (fun j -> if i = j then '1' else '-') in
+          match g with
+          | Logic.Gate.And -> emit_names fanin_names names.(id) [ ones ^ " 1" ]
+          | Logic.Gate.Nand -> emit_names fanin_names names.(id) [ ones ^ " 0" ]
+          | Logic.Gate.Or ->
+              emit_names fanin_names names.(id)
+                (List.init k (fun i -> one_hot i ^ " 1"))
+          | Logic.Gate.Nor ->
+              emit_names fanin_names names.(id)
+                (List.init k (fun i -> one_hot i ^ " 0"))
+          | Logic.Gate.Not -> emit_names fanin_names names.(id) [ "0 1" ]
+          | Logic.Gate.Buf -> emit_names fanin_names names.(id) [ "1 1" ]
+          | Logic.Gate.Xor | Logic.Gate.Xnor ->
+              if k > 16 then
+                invalid_arg "Blif.to_string: xor wider than 16 must be decomposed";
+              let want_odd = (g = Logic.Gate.Xor) in
+              let cubes = ref [] in
+              for m = (1 lsl k) - 1 downto 0 do
+                let pops = ref 0 in
+                for j = 0 to k - 1 do
+                  if m land (1 lsl j) <> 0 then incr pops
+                done;
+                if (!pops mod 2 = 1) = want_odd then begin
+                  let cube =
+                    String.init k (fun j ->
+                        if m land (1 lsl j) <> 0 then '1' else '0')
+                    ^ " 1"
+                  in
+                  cubes := cube :: !cubes
+                end
+              done;
+              emit_names fanin_names names.(id) !cubes))
+    n;
+  Array.iter
+    (fun (nm, id) ->
+      if names.(id) <> nm then emit_names [ names.(id) ] nm [ "1 1" ])
+    (Logic.Network.outputs n);
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let to_file n path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string n))
+
+let roundtrip_check n =
+  let n' = parse_string (to_string n) in
+  Logic.Eval.equivalent n n'

@@ -1,0 +1,1 @@
+lib/domino/alternatives.ml: Array Circuit Domino_gate List Option Pbe_analysis Pdn

@@ -1,0 +1,1 @@
+lib/domino/alternatives.mli: Circuit Domino_gate Pdn

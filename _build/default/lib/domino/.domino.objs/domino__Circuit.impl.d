@@ -1,0 +1,1 @@
+lib/domino/circuit.ml: Array Domino_gate Format Hashtbl Int64 List Logic Pdn Printf Unate

@@ -1,0 +1,1 @@
+lib/domino/circuit.mli: Domino_gate Format Logic Pdn Unate

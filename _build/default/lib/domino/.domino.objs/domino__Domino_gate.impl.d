@@ -1,0 +1,1 @@
+lib/domino/domino_gate.ml: Format List Pdn

@@ -1,0 +1,1 @@
+lib/domino/domino_gate.mli: Format Pdn

@@ -1,0 +1,1 @@
+lib/domino/hysteresis.ml: Array Circuit Domino_gate List Pdn

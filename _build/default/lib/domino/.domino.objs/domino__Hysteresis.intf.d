@@ -1,0 +1,1 @@
+lib/domino/hysteresis.mli: Circuit Domino_gate

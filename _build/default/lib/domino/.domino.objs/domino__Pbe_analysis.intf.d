@@ -1,0 +1,1 @@
+lib/domino/pbe_analysis.mli: Pdn

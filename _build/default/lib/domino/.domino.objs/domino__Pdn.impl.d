@@ -1,0 +1,1 @@
+lib/domino/pdn.ml: Format Int64 List Printf

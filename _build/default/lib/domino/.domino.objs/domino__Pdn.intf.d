@@ -1,0 +1,1 @@
+lib/domino/pdn.mli: Format

@@ -1,0 +1,1 @@
+lib/domino/reorder.ml: List Pbe_analysis Pdn

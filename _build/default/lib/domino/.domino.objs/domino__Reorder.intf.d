@@ -1,0 +1,1 @@
+lib/domino/reorder.mli: Pdn

@@ -1,0 +1,1 @@
+lib/domino/timing.ml: Array Circuit Domino_gate Format List Pdn Printf String

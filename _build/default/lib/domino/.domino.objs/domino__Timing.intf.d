@@ -1,0 +1,1 @@
+lib/domino/timing.mli: Circuit Format

@@ -1,0 +1,28 @@
+type t = {
+  id : int;
+  pdn : Pdn.t;
+  footed : bool;
+  discharge_points : Pdn.path list;
+  level : int;
+}
+
+let pdn_transistors g = Pdn.transistors g.pdn
+
+let overhead_transistors g = if g.footed then 5 else 4
+
+let logic_transistors g = pdn_transistors g + overhead_transistors g
+
+let discharge_transistors g = List.length g.discharge_points
+
+let clock_transistors g = 1 + (if g.footed then 1 else 0) + discharge_transistors g
+
+let total_transistors g = logic_transistors g + discharge_transistors g
+
+let width g = Pdn.width g.pdn
+
+let height g = Pdn.height g.pdn
+
+let pp fmt g =
+  Format.fprintf fmt "g%d[L%d]%s = %a  (pdn=%d disch=%d)" g.id g.level
+    (if g.footed then "(footed)" else "")
+    Pdn.pp g.pdn (pdn_transistors g) (discharge_transistors g)

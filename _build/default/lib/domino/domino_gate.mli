@@ -1,0 +1,47 @@
+(** A single domino gate of a mapped circuit.
+
+    Structure (paper Figure 2): a clocked pMOS precharge transistor, the
+    nMOS pull-down network, an optional clocked nMOS foot (only needed
+    when some PDN transistor is driven by a primary input, because other
+    domino outputs are guaranteed low during precharge), a static output
+    inverter (2 transistors), a pMOS keeper, and the clocked pMOS
+    discharge transistors this work is about, one per designated series
+    junction of the PDN. *)
+
+type t = {
+  id : int;  (** position in the circuit's gate array *)
+  pdn : Pdn.t;  (** pull-down network; [S_gate] fanins refer to gate ids *)
+  footed : bool;  (** has an n-clock foot transistor *)
+  discharge_points : Pdn.path list;
+      (** series junctions carrying a p-discharge transistor *)
+  level : int;  (** domino logic level (1 for gates fed only by PIs) *)
+}
+
+val pdn_transistors : t -> int
+(** Transistor count of the pull-down network alone. *)
+
+val overhead_transistors : t -> int
+(** Precharge + inverter (2) + keeper, plus the foot if present: 4 or 5. *)
+
+val logic_transistors : t -> int
+(** [pdn_transistors + overhead_transistors] (everything except
+    p-discharge transistors; the paper's per-gate share of [T_logic]). *)
+
+val discharge_transistors : t -> int
+(** Number of p-discharge transistors. *)
+
+val clock_transistors : t -> int
+(** Clock-connected transistors: precharge + foot (if any) + discharge
+    (the paper's per-gate share of [T_clock]). *)
+
+val total_transistors : t -> int
+(** [logic_transistors + discharge_transistors]. *)
+
+val width : t -> int
+(** PDN width (paper [W]). *)
+
+val height : t -> int
+(** PDN height (paper [H]). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering: id, level, PDN algebra, transistor breakdown. *)

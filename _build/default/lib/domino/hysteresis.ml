@@ -1,0 +1,54 @@
+type t = {
+  total : int;
+  clamped_ground : int;
+  clamped_discharge : int;
+  exposed : int;
+}
+
+let zero = { total = 0; clamped_ground = 0; clamped_discharge = 0; exposed = 0 }
+
+let add a b =
+  {
+    total = a.total + b.total;
+    clamped_ground = a.clamped_ground + b.clamped_ground;
+    clamped_discharge = a.clamped_discharge + b.clamped_discharge;
+    exposed = a.exposed + b.exposed;
+  }
+
+let of_gate (g : Domino_gate.t) =
+  let discharged = g.Domino_gate.discharge_points in
+  (* Walk the PDN; [below] identifies what the transistor's source node
+     is: `Ground (the PDN bottom) or `Junction path. *)
+  let acc = ref zero in
+  let count kind =
+    acc :=
+      add !acc
+        (match kind with
+        | `Ground -> { zero with total = 1; clamped_ground = 1 }
+        | `Discharged -> { zero with total = 1; clamped_discharge = 1 }
+        | `Exposed -> { zero with total = 1; exposed = 1 })
+  in
+  let classify below =
+    match below with
+    | `Ground -> count `Ground
+    | `Junction path ->
+        if List.mem path discharged then count `Discharged else count `Exposed
+  in
+  let rec walk prefix below = function
+    | Pdn.Leaf _ -> classify below
+    | Pdn.Series (a, b) ->
+        let j = `Junction (List.rev prefix) in
+        walk (0 :: prefix) j a;
+        walk (1 :: prefix) below b
+    | Pdn.Parallel (a, b) ->
+        walk (0 :: prefix) below a;
+        walk (1 :: prefix) below b
+  in
+  walk [] `Ground g.Domino_gate.pdn;
+  !acc
+
+let of_circuit (c : Circuit.t) =
+  Array.fold_left (fun acc g -> add acc (of_gate g)) zero c.Circuit.gates
+
+let exposure m =
+  if m.total = 0 then 0.0 else float_of_int m.exposed /. float_of_int m.total

@@ -1,0 +1,33 @@
+(** Structural exposure to SOI body-voltage hysteresis.
+
+    The paper argues (Section I) that controlling the PBE also narrows the
+    permissible body-voltage range and thereby makes timing more
+    predictable: a transistor whose source node is pulled to a known value
+    every cycle cannot accumulate history-dependent body charge, whereas
+    one above a floating internal node can.
+
+    This module classifies every PDN transistor of a mapped circuit:
+
+    - {b clamped by ground}: its source is the PDN bottom (ground, or the
+      foot node that is grounded every evaluate phase);
+    - {b clamped by discharge}: its source junction carries a clocked
+      p-discharge transistor, so it is reset low every precharge;
+    - {b exposed}: its source is an undischarged internal junction whose
+      value — and therefore the device's body voltage and switching
+      delay — depends on input history. *)
+
+type t = {
+  total : int;  (** PDN transistors examined *)
+  clamped_ground : int;
+  clamped_discharge : int;
+  exposed : int;
+}
+
+val of_gate : Domino_gate.t -> t
+(** [of_gate g] classifies the transistors of one gate. *)
+
+val of_circuit : Circuit.t -> t
+(** [of_circuit c] aggregates over all gates. *)
+
+val exposure : t -> float
+(** [exposure m] is [exposed / total] (0 when there are no transistors). *)

@@ -1,0 +1,54 @@
+type result = {
+  actual : Pdn.path list;
+  contingent : Pdn.path list;
+  par_b : bool;
+}
+
+let analyze p =
+  (* [prefix] is the reversed path from the root to the current subtree. *)
+  let rec go prefix t =
+    match t with
+    | Pdn.Leaf _ -> { actual = []; contingent = []; par_b = false }
+    | Pdn.Parallel (a, b) ->
+        let ra = go (0 :: prefix) a and rb = go (1 :: prefix) b in
+        {
+          actual = ra.actual @ rb.actual;
+          contingent = ra.contingent @ rb.contingent;
+          par_b = true;
+        }
+    | Pdn.Series (top, bottom) ->
+        let junction = List.rev prefix in
+        let rt = go (0 :: prefix) top and rb = go (1 :: prefix) bottom in
+        if rt.par_b then
+          (* The junction is the bottom of a parallel stack and can never
+             be ground; it and top's contingent points are committed. *)
+          {
+            actual = rt.actual @ rt.contingent @ (junction :: rb.actual);
+            contingent = rb.contingent;
+            par_b = rb.par_b;
+          }
+        else
+          (* Plain series junction: discharge only needed if the whole
+             structure's bottom floats away from ground. *)
+          {
+            actual = rt.actual @ rb.actual;
+            contingent = rt.contingent @ (junction :: rb.contingent);
+            par_b = rb.par_b;
+          }
+  in
+  let r = go [] p in
+  {
+    actual = List.sort_uniq compare r.actual;
+    contingent = List.sort_uniq compare r.contingent;
+    par_b = r.par_b;
+  }
+
+let p_dis p = List.length (analyze p).contingent
+
+let par_b p = (analyze p).par_b
+
+let discharge_points ~grounded p =
+  let r = analyze p in
+  if grounded then r.actual else List.sort_uniq compare (r.actual @ r.contingent)
+
+let discharge_count ~grounded p = List.length (discharge_points ~grounded p)

@@ -1,0 +1,89 @@
+type signal =
+  | S_pi of { input : int; positive : bool }
+  | S_gate of int
+
+type t =
+  | Leaf of signal
+  | Series of t * t
+  | Parallel of t * t
+
+type path = int list
+
+let rec width = function
+  | Leaf _ -> 1
+  | Series (a, b) -> max (width a) (width b)
+  | Parallel (a, b) -> width a + width b
+
+let rec height = function
+  | Leaf _ -> 1
+  | Series (a, b) -> height a + height b
+  | Parallel (a, b) -> max (height a) (height b)
+
+let rec transistors = function
+  | Leaf _ -> 1
+  | Series (a, b) | Parallel (a, b) -> transistors a + transistors b
+
+let signals p =
+  let rec go acc = function
+    | Leaf s -> s :: acc
+    | Series (a, b) | Parallel (a, b) -> go (go acc a) b
+  in
+  List.rev (go [] p)
+
+let gate_fanins p =
+  signals p
+  |> List.filter_map (function S_gate g -> Some g | S_pi _ -> None)
+  |> List.sort_uniq compare
+
+let rec has_pi_leaf = function
+  | Leaf (S_pi _) -> true
+  | Leaf (S_gate _) -> false
+  | Series (a, b) | Parallel (a, b) -> has_pi_leaf a || has_pi_leaf b
+
+let series_junctions p =
+  let rec go prefix acc = function
+    | Leaf _ -> acc
+    | Series (a, b) ->
+        let acc = List.rev prefix :: acc in
+        let acc = go (0 :: prefix) acc a in
+        go (1 :: prefix) acc b
+    | Parallel (a, b) ->
+        let acc = go (0 :: prefix) acc a in
+        go (1 :: prefix) acc b
+  in
+  List.rev (go [] [] p)
+
+let rec eval env = function
+  | Leaf s -> env s
+  | Series (a, b) -> eval env a && eval env b
+  | Parallel (a, b) -> eval env a || eval env b
+
+let rec eval64 env = function
+  | Leaf s -> env s
+  | Series (a, b) -> Int64.logand (eval64 env a) (eval64 env b)
+  | Parallel (a, b) -> Int64.logor (eval64 env a) (eval64 env b)
+
+let rec map_signals f = function
+  | Leaf s -> Leaf (f s)
+  | Series (a, b) -> Series (map_signals f a, map_signals f b)
+  | Parallel (a, b) -> Parallel (map_signals f a, map_signals f b)
+
+let rec subtree p path =
+  match (p, path) with
+  | _, [] -> p
+  | Leaf _, _ -> invalid_arg "Pdn.subtree: path descends below a leaf"
+  | (Series (a, _) | Parallel (a, _)), 0 :: rest -> subtree a rest
+  | (Series (_, b) | Parallel (_, b)), 1 :: rest -> subtree b rest
+  | _, d :: _ -> invalid_arg (Printf.sprintf "Pdn.subtree: bad direction %d" d)
+
+let signal_to_string = function
+  | S_pi { input; positive } ->
+      Printf.sprintf "%sx%d" (if positive then "" else "~") input
+  | S_gate g -> Printf.sprintf "g%d" g
+
+let rec pp fmt = function
+  | Leaf s -> Format.pp_print_string fmt (signal_to_string s)
+  | Series (a, b) -> Format.fprintf fmt "(%a*%a)" pp a pp b
+  | Parallel (a, b) -> Format.fprintf fmt "(%a+%a)" pp a pp b
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,88 @@
+type params = {
+  gate_base : float;
+  per_height : float;
+  per_width : float;
+  per_discharge : float;
+  per_fanout : float;
+}
+
+let default_params =
+  {
+    gate_base = 1.0;
+    per_height = 0.35;
+    per_width = 0.15;
+    per_discharge = 0.08;
+    per_fanout = 0.1;
+  }
+
+type report = {
+  gate_delays : float array;
+  arrivals : float array;
+  critical_path : int list;
+  critical_delay : float;
+}
+
+let analyze ?(params = default_params) (c : Circuit.t) =
+  let n = Array.length c.Circuit.gates in
+  let fanouts = Array.make n 0 in
+  Array.iter
+    (fun g ->
+      List.iter
+        (fun f -> fanouts.(f) <- fanouts.(f) + 1)
+        (Pdn.gate_fanins g.Domino_gate.pdn))
+    c.Circuit.gates;
+  Array.iter
+    (fun (_, s) ->
+      match s with
+      | Pdn.S_gate g -> fanouts.(g) <- fanouts.(g) + 1
+      | Pdn.S_pi _ -> ())
+    c.Circuit.outputs;
+  let gate_delays =
+    Array.map
+      (fun g ->
+        params.gate_base
+        +. (params.per_height *. float_of_int (Domino_gate.height g - 1))
+        +. (params.per_width *. float_of_int (Domino_gate.width g - 1))
+        +. (params.per_discharge
+           *. float_of_int (Domino_gate.discharge_transistors g))
+        +. (params.per_fanout *. float_of_int fanouts.(g.Domino_gate.id)))
+      c.Circuit.gates
+  in
+  let arrivals = Array.make n 0.0 in
+  let critical_fanin = Array.make n (-1) in
+  Array.iteri
+    (fun i g ->
+      let worst = ref 0.0 and who = ref (-1) in
+      List.iter
+        (fun f ->
+          if arrivals.(f) > !worst then begin
+            worst := arrivals.(f);
+            who := f
+          end)
+        (Pdn.gate_fanins g.Domino_gate.pdn);
+      arrivals.(i) <- !worst +. gate_delays.(i);
+      critical_fanin.(i) <- !who)
+    c.Circuit.gates;
+  let critical_delay = ref 0.0 and endpoint = ref (-1) in
+  Array.iter
+    (fun (_, s) ->
+      match s with
+      | Pdn.S_gate g ->
+          if arrivals.(g) > !critical_delay then begin
+            critical_delay := arrivals.(g);
+            endpoint := g
+          end
+      | Pdn.S_pi _ -> ())
+    c.Circuit.outputs;
+  let rec back g acc = if g < 0 then acc else back critical_fanin.(g) (g :: acc) in
+  {
+    gate_delays;
+    arrivals;
+    critical_path = (if !endpoint < 0 then [] else back !endpoint []);
+    critical_delay = !critical_delay;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "critical delay %.3f through %d gate(s): %s" r.critical_delay
+    (List.length r.critical_path)
+    (String.concat " -> " (List.map (Printf.sprintf "g%d") r.critical_path))

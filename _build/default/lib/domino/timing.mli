@@ -1,0 +1,42 @@
+(** First-order timing analysis of mapped domino circuits.
+
+    The paper deliberately maps with technology-neutral metrics (levels,
+    transistor counts) and defers technology-specific timing to a
+    follow-up step (its Conclusion).  This module is that step's skeleton:
+    a parameterised linear delay model per gate — evaluation through a
+    series stack slows with stack height, junction capacitance grows with
+    stack width, each p-discharge transistor adds diffusion load on its
+    internal node, and fanout adds output load — propagated through the
+    circuit to arrival times and a critical path.
+
+    The default coefficients are normalised (a bare 1x1 gate = 1.0 delay
+    unit); calibrate them against a real SOI process to get absolute
+    numbers.  The *structure* of the result (which path is critical, how
+    discharge transistors shift it) is already meaningful with the
+    defaults. *)
+
+type params = {
+  gate_base : float;  (** fixed cost of precharge + inverter *)
+  per_height : float;  (** per additional series transistor *)
+  per_width : float;  (** per additional parallel branch *)
+  per_discharge : float;  (** per p-discharge device on the PDN *)
+  per_fanout : float;  (** per fanout consumer of the gate output *)
+}
+
+val default_params : params
+(** [{gate_base = 1.0; per_height = 0.35; per_width = 0.15;
+     per_discharge = 0.08; per_fanout = 0.1}] — normalised defaults. *)
+
+type report = {
+  gate_delays : float array;  (** per-gate evaluation delay *)
+  arrivals : float array;  (** per-gate output arrival time *)
+  critical_path : int list;  (** gate ids, input side first *)
+  critical_delay : float;  (** arrival of the slowest primary output *)
+}
+
+val analyze : ?params:params -> Circuit.t -> report
+(** [analyze c] computes delays, arrivals and the critical path.  A
+    circuit with no gates reports zero delay and an empty path. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** One-line summary plus the critical path. *)

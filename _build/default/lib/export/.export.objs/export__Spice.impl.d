@@ -1,0 +1,1 @@
+lib/export/spice.ml: Array Buffer Circuit Domino Domino_gate Fun Hashtbl List Pdn Printf String

@@ -1,0 +1,1 @@
+lib/export/spice.mli: Domino

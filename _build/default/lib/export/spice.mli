@@ -1,0 +1,25 @@
+(** Flat SPICE netlist export of mapped domino circuits.
+
+    Every mapped gate expands into its full transistor complement: the
+    clocked pMOS precharge device, the nMOS pull-down network with named
+    internal nodes (one per series junction), the optional clocked nMOS
+    foot, the static output inverter, the pMOS keeper, and one clocked
+    pMOS discharge device per designated junction.  Negative input
+    literals get shared boundary inverters.  Device counts in the emitted
+    netlist therefore match {!Domino.Circuit.counts} exactly (plus two
+    devices per boundary inverter), which the test-suite checks.
+
+    The header declares the [nmos]/[pmos] model cards as empty [.model]
+    placeholders so the file loads into ngspice-compatible tools once the
+    user substitutes a real SOI device model. *)
+
+val to_string : ?vdd:float -> Domino.Circuit.t -> string
+(** [to_string c] renders the circuit ([vdd] defaults to 1.8 V and only
+    affects the header comment and supply source). *)
+
+val to_file : ?vdd:float -> Domino.Circuit.t -> string -> unit
+(** [to_file c path] writes {!to_string} to [path]. *)
+
+val device_count : string -> int
+(** [device_count text] counts the MOS device cards in an emitted
+    netlist (lines starting with [M]); used for self-checks. *)

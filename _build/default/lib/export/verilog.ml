@@ -1,0 +1,109 @@
+open Domino
+
+let sanitize s =
+  let s =
+    String.map
+      (fun ch ->
+        match ch with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ch
+        | _ -> '_')
+      s
+  in
+  if String.length s = 0 then "_"
+  else if match s.[0] with '0' .. '9' -> true | _ -> false then "_" ^ s
+  else s
+
+let to_string (c : Circuit.t) =
+  let buf = Buffer.create 16384 in
+  let emitf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let inputs = Array.map sanitize c.Circuit.input_names in
+  let out_ports = Array.map (fun (nm, _) -> sanitize nm) c.Circuit.outputs in
+  emitf "// SOI domino switch-level netlist for %s\n" (sanitize c.Circuit.source);
+  emitf "module %s(clk, %s%s%s);\n" (sanitize c.Circuit.source)
+    (String.concat ", " (Array.to_list inputs))
+    (if Array.length out_ports > 0 then ", " else "")
+    (String.concat ", " (Array.to_list out_ports));
+  emitf "  input clk;\n";
+  Array.iter (fun nm -> emitf "  input %s;\n" nm) inputs;
+  Array.iter (fun nm -> emitf "  output %s;\n" nm) out_ports;
+  emitf "  supply1 vdd;\n  supply0 gnd;\n  wire nclk;\n  not (nclk, clk);\n";
+  (* Boundary inverters for negative literals. *)
+  let neg = Hashtbl.create 16 in
+  let note = function
+    | Pdn.S_pi { input; positive = false } -> Hashtbl.replace neg input ()
+    | Pdn.S_pi _ | Pdn.S_gate _ -> ()
+  in
+  Array.iter (fun g -> List.iter note (Pdn.signals g.Domino_gate.pdn)) c.Circuit.gates;
+  Array.iter (fun (_, s) -> note s) c.Circuit.outputs;
+  Hashtbl.iter
+    (fun i () ->
+      emitf "  wire %s_n;\n  not (%s_n, %s);\n" inputs.(i) inputs.(i) inputs.(i))
+    neg;
+  let signal_wire = function
+    | Pdn.S_pi { input; positive } ->
+        if positive then inputs.(input) else inputs.(input) ^ "_n"
+    | Pdn.S_gate g -> Printf.sprintf "out_g%d" g
+  in
+  Array.iter
+    (fun g ->
+      let id = g.Domino_gate.id in
+      emitf "  // gate g%d level %d: %s\n" id g.Domino_gate.level
+        (Pdn.to_string g.Domino_gate.pdn);
+      emitf "  trireg dyn_g%d;\n  wire out_g%d;\n" id id;
+      (* precharge *)
+      emitf "  pmos (dyn_g%d, vdd, clk);\n" id;
+      let junctions = Pdn.series_junctions g.Domino_gate.pdn in
+      let names = Hashtbl.create 8 in
+      List.iteri
+        (fun k path ->
+          Hashtbl.replace names path (Printf.sprintf "g%d_n%d" id k);
+          emitf "  trireg g%d_n%d;\n" id k)
+        junctions;
+      let bottom =
+        if g.Domino_gate.footed then begin
+          emitf "  wire bot_g%d;\n" id;
+          Printf.sprintf "bot_g%d" id
+        end
+        else "gnd"
+      in
+      let rec walk prefix top bot = function
+        | Pdn.Leaf s -> emitf "  nmos (%s, %s, %s);\n" top bot (signal_wire s)
+        | Pdn.Series (a, b) ->
+            let j = Hashtbl.find names (List.rev prefix) in
+            walk (0 :: prefix) top j a;
+            walk (1 :: prefix) j bot b
+        | Pdn.Parallel (a, b) ->
+            walk (0 :: prefix) top bot a;
+            walk (1 :: prefix) top bot b
+      in
+      walk [] (Printf.sprintf "dyn_g%d" id) bottom g.Domino_gate.pdn;
+      if g.Domino_gate.footed then emitf "  nmos (%s, gnd, clk);\n" bottom;
+      (* output inverter as its two switches, plus keeper *)
+      emitf "  pmos (out_g%d, vdd, dyn_g%d);\n" id id;
+      emitf "  nmos (out_g%d, gnd, dyn_g%d);\n" id id;
+      emitf "  pmos (dyn_g%d, vdd, out_g%d);\n" id id;
+      (* p-discharge transistors: conduct during precharge (clk low) *)
+      List.iter
+        (fun path ->
+          emitf "  pmos (%s, gnd, clk);\n" (Hashtbl.find names path))
+        g.Domino_gate.discharge_points)
+    c.Circuit.gates;
+  Array.iteri
+    (fun k (_, s) -> emitf "  assign %s = %s;\n" out_ports.(k) (signal_wire s))
+    c.Circuit.outputs;
+  emitf "endmodule\n";
+  Buffer.contents buf
+
+let to_file c path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string c))
+
+let primitive_count text =
+  String.split_on_char '\n' text
+  |> List.map String.trim
+  |> List.filter (fun line ->
+         String.length line >= 5
+         && (String.sub line 0 5 = "nmos " || String.sub line 0 5 = "pmos "))
+  |> List.length

@@ -1,0 +1,20 @@
+(** Switch-level structural Verilog export of mapped domino circuits.
+
+    Emits one module per circuit built from the Verilog switch primitives
+    ([nmos], [pmos], [not], [supply0]/[supply1]): the clocked precharge
+    pMOS, the pull-down network with one wire per series junction, the
+    optional foot, the output inverter, the keeper, and the clocked
+    p-discharge pull-downs.  The module simulates under any IEEE-1364
+    simulator that supports switch primitives (charge storage on the
+    dynamic node is modelled with a [trireg]). *)
+
+val to_string : Domino.Circuit.t -> string
+(** [to_string c] renders the module. *)
+
+val to_file : Domino.Circuit.t -> string -> unit
+(** [to_file c path] writes {!to_string} to [path]. *)
+
+val primitive_count : string -> int
+(** [primitive_count text] counts emitted [nmos]/[pmos] switch instances
+    (the transistor count self-check used by the test-suite; the output
+    inverter is emitted as its two constituent switches). *)

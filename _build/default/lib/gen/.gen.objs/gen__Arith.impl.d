@@ -1,0 +1,1 @@
+lib/gen/arith.ml: Array Builder List Logic

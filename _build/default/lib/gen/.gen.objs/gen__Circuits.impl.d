@@ -1,0 +1,1 @@
+lib/gen/circuits.ml: Arith Array Builder List Logic Printf

@@ -1,0 +1,1 @@
+lib/gen/des.ml: Array Builder List Logic Printf

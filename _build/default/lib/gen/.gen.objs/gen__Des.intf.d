@@ -1,0 +1,1 @@
+lib/gen/des.mli: Builder Logic Network

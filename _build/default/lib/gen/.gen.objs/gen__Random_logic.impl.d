@@ -1,0 +1,1 @@
+lib/gen/random_logic.ml: Array Builder Eval Hashtbl Int64 List Logic Network Printf Rng Vec

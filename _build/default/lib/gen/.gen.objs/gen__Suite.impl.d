@@ -1,0 +1,1 @@
+lib/gen/suite.ml: Circuits Des List Logic Printf Random_logic

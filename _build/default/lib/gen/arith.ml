@@ -1,0 +1,181 @@
+open Logic
+
+let half_adder b x y = (Builder.xor2 b x y, Builder.and2 b x y)
+
+let full_adder b x y cin =
+  let s1 = Builder.xor2 b x y in
+  let sum = Builder.xor2 b s1 cin in
+  let carry = Builder.or2 b (Builder.and2 b x y) (Builder.and2 b s1 cin) in
+  (sum, carry)
+
+let ripple_add b xs ys cin =
+  let w = Array.length xs in
+  if Array.length ys <> w then invalid_arg "Arith.ripple_add: width mismatch";
+  let sums = Array.make w 0 in
+  let carry = ref cin in
+  for i = 0 to w - 1 do
+    let s, c = full_adder b xs.(i) ys.(i) !carry in
+    sums.(i) <- s;
+    carry := c
+  done;
+  (sums, !carry)
+
+let ripple_sub b xs ys =
+  let ys' = Array.map (Builder.not_ b) ys in
+  ripple_add b xs ys' (Builder.const b true)
+
+let increment b xs =
+  let w = Array.length xs in
+  let sums = Array.make w 0 in
+  let carry = ref (Builder.const b true) in
+  for i = 0 to w - 1 do
+    let s, c = half_adder b xs.(i) !carry in
+    sums.(i) <- s;
+    carry := c
+  done;
+  (sums, !carry)
+
+let equal b xs ys =
+  if Array.length xs <> Array.length ys then invalid_arg "Arith.equal: width mismatch";
+  let bits = Array.to_list (Array.mapi (fun i x -> Builder.xnor2 b x ys.(i)) xs) in
+  Builder.and_ b bits
+
+let less_than b xs ys =
+  (* xs < ys  iff  xs - ys borrows. *)
+  let _, no_borrow = ripple_sub b xs ys in
+  Builder.not_ b no_borrow
+
+let mul b xs ys =
+  let wx = Array.length xs and wy = Array.length ys in
+  let width = wx + wy in
+  let acc = ref (Array.make width (Builder.const b false)) in
+  for j = 0 to wy - 1 do
+    let partial =
+      Array.init width (fun k ->
+          if k >= j && k - j < wx then Builder.and2 b xs.(k - j) ys.(j)
+          else Builder.const b false)
+    in
+    let sum, _ = ripple_add b !acc partial (Builder.const b false) in
+    acc := sum
+  done;
+  !acc
+
+let shift_right_fixed b xs k =
+  let w = Array.length xs in
+  if w = 0 then [||]
+  else begin
+    let sign = xs.(w - 1) in
+    ignore b;
+    Array.init w (fun i -> if i + k < w then xs.(i + k) else sign)
+  end
+
+let mux_word b ~sel a0 a1 =
+  if Array.length a0 <> Array.length a1 then invalid_arg "Arith.mux_word: width mismatch";
+  Array.mapi (fun i x -> Builder.mux b ~sel x a1.(i)) a0
+
+let popcount b xs =
+  (* Reduce single-bit counts with a balanced adder tree. *)
+  let rec reduce words =
+    match words with
+    | [] -> [| Builder.const b false |]
+    | [ w ] -> w
+    | _ ->
+        let rec pair = function
+          | a :: c :: rest ->
+              let width = max (Array.length a) (Array.length c) + 1 in
+              let pad w =
+                Array.init width (fun i ->
+                    if i < Array.length w then w.(i) else Builder.const b false)
+              in
+              let sum, carry = ripple_add b (pad a) (pad c) (Builder.const b false) in
+              ignore carry;
+              sum :: pair rest
+          | rest -> rest
+        in
+        reduce (pair words)
+  in
+  let singles = Array.to_list (Array.map (fun x -> [| x |]) xs) in
+  let full = reduce singles in
+  let needed =
+    let n = Array.length xs in
+    let rec bits k acc = if acc > n then k else bits (k + 1) (acc * 2) in
+    bits 1 2
+  in
+  Array.sub full 0 (min needed (Array.length full))
+
+let cla_add b xs ys cin =
+  let w = Array.length xs in
+  if Array.length ys <> w then invalid_arg "Arith.cla_add: width mismatch";
+  (* Generate/propagate per bit; Kogge-Stone parallel prefix combine:
+     (g, p) o (g', p') = (g or (p and g'), p and p'). *)
+  let g = Array.init w (fun i -> Builder.and2 b xs.(i) ys.(i)) in
+  let p = Array.init w (fun i -> Builder.xor2 b xs.(i) ys.(i)) in
+  (* Fold the incoming carry into bit 0's generate. *)
+  let g0 = Builder.or2 b g.(0) (Builder.and2 b p.(0) cin) in
+  let gacc = Array.copy g and pacc = Array.copy p in
+  gacc.(0) <- g0;
+  let dist = ref 1 in
+  while !dist < w do
+    let g' = Array.copy gacc and p' = Array.copy pacc in
+    for i = w - 1 downto !dist do
+      g'.(i) <- Builder.or2 b gacc.(i) (Builder.and2 b pacc.(i) gacc.(i - !dist));
+      p'.(i) <- Builder.and2 b pacc.(i) pacc.(i - !dist)
+    done;
+    Array.blit g' 0 gacc 0 w;
+    Array.blit p' 0 pacc 0 w;
+    dist := !dist * 2
+  done;
+  (* carry into bit i = prefix generate of bit i-1 (with cin folded in). *)
+  let carry_in = Array.init w (fun i -> if i = 0 then cin else gacc.(i - 1)) in
+  let sums = Array.init w (fun i -> Builder.xor2 b p.(i) carry_in.(i)) in
+  (sums, gacc.(w - 1))
+
+let csa b xs ys zs =
+  let w = Array.length xs in
+  if Array.length ys <> w || Array.length zs <> w then
+    invalid_arg "Arith.csa: width mismatch";
+  let sum = Array.init w (fun i -> Builder.xor_ b [ xs.(i); ys.(i); zs.(i) ]) in
+  let carry =
+    Array.init w (fun i ->
+        Builder.or_ b
+          [
+            Builder.and2 b xs.(i) ys.(i);
+            Builder.and2 b xs.(i) zs.(i);
+            Builder.and2 b ys.(i) zs.(i);
+          ])
+  in
+  (sum, carry)
+
+let wallace_mul b xs ys =
+  let wx = Array.length xs and wy = Array.length ys in
+  let width = wx + wy in
+  let zero = Builder.const b false in
+  let pad w arr =
+    Array.init w (fun i -> if i < Array.length arr then arr.(i) else zero)
+  in
+  let partials =
+    List.init wy (fun j ->
+        pad width
+          (Array.init width (fun k ->
+               if k >= j && k - j < wx then Builder.and2 b xs.(k - j) ys.(j)
+               else zero)))
+  in
+  (* Carry-save reduction: fold triples of rows into two until two rows
+     remain. *)
+  let shift_left carry =
+    Array.init width (fun i -> if i = 0 then zero else carry.(i - 1))
+  in
+  let rec reduce rows =
+    match rows with
+    | [] -> [ Array.make width zero ]
+    | [ _ ] | [ _; _ ] -> rows
+    | a :: c :: d :: rest ->
+        let sum, carry = csa b a c d in
+        reduce (sum :: shift_left carry :: rest)
+  in
+  match reduce partials with
+  | [ row ] -> row
+  | [ a; c ] ->
+      let sums, _ = cla_add b a c zero in
+      sums
+  | _ -> assert false

@@ -1,0 +1,74 @@
+(** Arithmetic building blocks over {!Logic.Builder}.
+
+    Word operands are little-endian wire arrays ([w.(0)] is the LSB).
+    These blocks are combined by the circuit generators that stand in for
+    the arithmetic ISCAS-85 benchmarks. *)
+
+open Logic
+
+val half_adder : Builder.t -> Builder.wire -> Builder.wire -> Builder.wire * Builder.wire
+(** [half_adder b x y] is [(sum, carry)]. *)
+
+val full_adder :
+  Builder.t -> Builder.wire -> Builder.wire -> Builder.wire -> Builder.wire * Builder.wire
+(** [full_adder b x y cin] is [(sum, carry_out)]. *)
+
+val ripple_add :
+  Builder.t -> Builder.wire array -> Builder.wire array -> Builder.wire ->
+  Builder.wire array * Builder.wire
+(** [ripple_add b xs ys cin] adds two equal-width words; returns the sum
+    word and the carry out.  @raise Invalid_argument on width mismatch. *)
+
+val ripple_sub :
+  Builder.t -> Builder.wire array -> Builder.wire array ->
+  Builder.wire array * Builder.wire
+(** [ripple_sub b xs ys] is [xs - ys] (two's complement); the second result
+    is the borrow-free flag (carry out, i.e. [xs >= ys] unsigned). *)
+
+val increment : Builder.t -> Builder.wire array -> Builder.wire array * Builder.wire
+(** [increment b xs] is [xs + 1] and the final carry. *)
+
+val equal : Builder.t -> Builder.wire array -> Builder.wire array -> Builder.wire
+(** [equal b xs ys] is 1 iff the words are equal. *)
+
+val less_than : Builder.t -> Builder.wire array -> Builder.wire array -> Builder.wire
+(** [less_than b xs ys] is unsigned [xs < ys]. *)
+
+val mul : Builder.t -> Builder.wire array -> Builder.wire array -> Builder.wire array
+(** [mul b xs ys] is the full-width array-multiplier product
+    (width [|xs| + |ys|]). *)
+
+val shift_right_fixed : Builder.t -> Builder.wire array -> int -> Builder.wire array
+(** [shift_right_fixed b xs k] is the arithmetic right shift of [xs] by the
+    constant [k] (sign bit replicated). *)
+
+val mux_word :
+  Builder.t -> sel:Builder.wire -> Builder.wire array -> Builder.wire array ->
+  Builder.wire array
+(** [mux_word b ~sel a0 a1] selects between equal-width words. *)
+
+val popcount : Builder.t -> Builder.wire array -> Builder.wire array
+(** [popcount b xs] is the population count of [xs] as a word of width
+    [ceil(log2 (|xs|+1))], built from a full-adder reduction tree. *)
+
+val cla_add :
+  Builder.t -> Builder.wire array -> Builder.wire array -> Builder.wire ->
+  Builder.wire array * Builder.wire
+(** [cla_add b xs ys cin] is a carry-lookahead adder (Kogge-Stone style
+    parallel prefix over generate/propagate pairs): same function as
+    {!ripple_add} with logarithmic carry depth.
+    @raise Invalid_argument on width mismatch. *)
+
+val csa : Builder.t ->
+  Builder.wire array -> Builder.wire array -> Builder.wire array ->
+  Builder.wire array * Builder.wire array
+(** [csa b xs ys zs] is a carry-save adder over three equal-width words:
+    returns the (sum, carry) pair with [xs + ys + zs = sum + 2*carry]
+    (the carry word is left-shifted by the caller's indexing: bit [i] of
+    the returned carry weighs [2^(i+1)] and position 0 is zero-filled on
+    use).  Used by the Wallace-tree multiplier. *)
+
+val wallace_mul : Builder.t -> Builder.wire array -> Builder.wire array -> Builder.wire array
+(** [wallace_mul b xs ys] is the product via carry-save reduction of the
+    partial-product matrix followed by one carry-lookahead addition;
+    functionally identical to {!mul} with logarithmic reduction depth. *)

@@ -1,0 +1,301 @@
+open Logic
+
+let mux_tree k =
+  let n = 1 lsl k in
+  let b = Builder.create ~name:(Printf.sprintf "mux%d" n) () in
+  let data = Builder.inputs b "d" n in
+  let sel = Builder.inputs b "s" k in
+  (* Fold select bits from the LSB: each level halves the candidate set. *)
+  let rec level wires bit =
+    match Array.length wires with
+    | 1 -> wires.(0)
+    | len ->
+        let next =
+          Array.init (len / 2) (fun i ->
+              Builder.mux b ~sel:sel.(bit) wires.(2 * i) wires.((2 * i) + 1))
+        in
+        level next (bit + 1)
+  in
+  Builder.output b "y" (level data 0);
+  Builder.network b
+
+let adder w =
+  let b = Builder.create ~name:(Printf.sprintf "add%d" w) () in
+  let xs = Builder.inputs b "a" w in
+  let ys = Builder.inputs b "b" w in
+  let cin = Builder.input b "cin" in
+  let sums, cout = Arith.ripple_add b xs ys cin in
+  Builder.outputs b "s" sums;
+  Builder.output b "cout" cout;
+  Builder.network b
+
+let alu w =
+  let b = Builder.create ~name:(Printf.sprintf "alu%d" w) () in
+  let xs = Builder.inputs b "a" w in
+  let ys = Builder.inputs b "b" w in
+  let op = Builder.inputs b "op" 2 in
+  let add, cadd = Arith.ripple_add b xs ys (Builder.const b false) in
+  let sub, csub = Arith.ripple_sub b xs ys in
+  let andw = Array.mapi (fun i x -> Builder.and2 b x ys.(i)) xs in
+  let xorw = Array.mapi (fun i x -> Builder.xor2 b x ys.(i)) xs in
+  let arith = Arith.mux_word b ~sel:op.(0) add sub in
+  let logic_w = Arith.mux_word b ~sel:op.(0) andw xorw in
+  let result = Arith.mux_word b ~sel:op.(1) arith logic_w in
+  let zero = Builder.not_ b (Builder.or_ b (Array.to_list result)) in
+  let carry =
+    Builder.and2 b (Builder.not_ b op.(1)) (Builder.mux b ~sel:op.(0) cadd csub)
+  in
+  Builder.outputs b "r" result;
+  Builder.output b "zero" zero;
+  Builder.output b "carry" carry;
+  Builder.network b
+
+let parity_tree n =
+  let b = Builder.create ~name:(Printf.sprintf "parity%d" n) () in
+  let xs = Builder.inputs b "x" n in
+  let rec reduce = function
+    | [] -> Builder.const b false
+    | [ x ] -> x
+    | wires ->
+        let rec pair = function
+          | a :: c :: rest -> Builder.xor2 b a c :: pair rest
+          | rest -> rest
+        in
+        reduce (pair wires)
+  in
+  Builder.output b "p" (reduce (Array.to_list xs));
+  Builder.network b
+
+(* Hamming positions: check bit i covers data positions whose (1-based,
+   check-slots skipped) index has bit i set. *)
+let hamming_layout d =
+  let rec check_bits k = if 1 lsl k >= d + k + 1 then k else check_bits (k + 1) in
+  let r = check_bits 1 in
+  (* Assign codeword positions 1..d+r; powers of two are check positions. *)
+  let positions = Array.make d 0 in
+  let pos = ref 1 in
+  for i = 0 to d - 1 do
+    while !pos land (!pos - 1) = 0 do incr pos done;
+    positions.(i) <- !pos;
+    incr pos
+  done;
+  (r, positions)
+
+let ecc d =
+  let b = Builder.create ~name:(Printf.sprintf "ecc%d" d) () in
+  let data = Builder.inputs b "d" d in
+  let r, positions = hamming_layout d in
+  let recv_check = Builder.inputs b "c" r in
+  (* Computed check bits. *)
+  let check =
+    Array.init r (fun i ->
+        let covered = ref [] in
+        Array.iteri
+          (fun j p -> if p land (1 lsl i) <> 0 then covered := data.(j) :: !covered)
+          positions;
+        Builder.xor_ b !covered)
+  in
+  (* Syndrome = computed xor received. *)
+  let syndrome = Array.init r (fun i -> Builder.xor2 b check.(i) recv_check.(i)) in
+  (* Corrected data: flip data bit j when the syndrome equals its position. *)
+  let corrected =
+    Array.mapi
+      (fun j dj ->
+        let p = positions.(j) in
+        let matches =
+          Builder.and_ b
+            (List.init r (fun i ->
+                 if p land (1 lsl i) <> 0 then syndrome.(i)
+                 else Builder.not_ b syndrome.(i)))
+        in
+        Builder.xor2 b dj matches)
+      data
+  in
+  Builder.outputs b "q" corrected;
+  Builder.output b "err" (Builder.or_ b (Array.to_list syndrome));
+  Builder.network b
+
+let sym9 () =
+  let b = Builder.create ~name:"sym9" () in
+  let xs = Builder.inputs b "x" 9 in
+  let count = Arith.popcount b xs in
+  (* count is 4 bits wide (0..9); true iff 3 <= count <= 6. *)
+  let pad =
+    Array.init 4 (fun i -> if i < Array.length count then count.(i) else Builder.const b false)
+  in
+  let const_word v = Array.init 4 (fun i -> Builder.const b (v land (1 lsl i) <> 0)) in
+  let ge3 = Builder.not_ b (Arith.less_than b pad (const_word 3)) in
+  let le6 = Arith.less_than b pad (const_word 7) in
+  Builder.output b "f" (Builder.and2 b ge3 le6);
+  Builder.network b
+
+let priority n =
+  let b = Builder.create ~name:(Printf.sprintf "prio%d" n) () in
+  (* Interleave request and mask inputs per channel: keeps related
+     variables adjacent, which matters for downstream BDD-based
+     verification (grouped declaration is exponentially worse there). *)
+  let pairs =
+    Array.init n (fun i ->
+        let r = Builder.input b (Printf.sprintf "req%d" i) in
+        let m = Builder.input b (Printf.sprintf "mask%d" i) in
+        (r, m))
+  in
+  let req = Array.map fst pairs in
+  let mask = Array.map snd pairs in
+  let enabled = Array.mapi (fun i r -> Builder.and2 b r (Builder.not_ b mask.(i))) req in
+  (* Grant channel i iff enabled(i) and no lower-indexed channel enabled. *)
+  let none_before = ref (Builder.const b true) in
+  let grant =
+    Array.map
+      (fun e ->
+        let g = Builder.and2 b e !none_before in
+        none_before := Builder.and2 b !none_before (Builder.not_ b e);
+        g)
+      enabled
+  in
+  let pending = Builder.or_ b (Array.to_list enabled) in
+  (* Encoded index of the granted channel. *)
+  let bits =
+    let rec width k = if 1 lsl k >= n then k else width (k + 1) in
+    width 1
+  in
+  let index =
+    Array.init bits (fun bit ->
+        let contributors = ref [] in
+        Array.iteri
+          (fun i g -> if i land (1 lsl bit) <> 0 then contributors := g :: !contributors)
+          grant;
+        Builder.or_ b !contributors)
+  in
+  Builder.outputs b "grant" grant;
+  Builder.output b "pending" pending;
+  Builder.outputs b "idx" index;
+  Builder.network b
+
+let counter_next w =
+  let b = Builder.create ~name:(Printf.sprintf "count%d" w) () in
+  let state = Builder.inputs b "q" w in
+  let load = Builder.inputs b "d" w in
+  let ld = Builder.input b "ld" in
+  let en = Builder.input b "en" in
+  let incremented, carry = Arith.increment b state in
+  let counted = Arith.mux_word b ~sel:en state incremented in
+  let next = Arith.mux_word b ~sel:ld counted load in
+  Builder.outputs b "n" next;
+  Builder.output b "cout" (Builder.and2 b en carry);
+  Builder.network b
+
+let cordic_stage w k =
+  let b = Builder.create ~name:(Printf.sprintf "cordic%d_%d" w k) () in
+  let x = Builder.inputs b "x" w in
+  let y = Builder.inputs b "y" w in
+  let dir = Builder.input b "dir" in
+  let xs = Arith.shift_right_fixed b x k in
+  let ys = Arith.shift_right_fixed b y k in
+  (* dir=1: x' = x - (y>>k); y' = y + (x>>k); dir=0 the other way. *)
+  let x_plus, _ = Arith.ripple_add b x ys (Builder.const b false) in
+  let x_minus, _ = Arith.ripple_sub b x ys in
+  let y_plus, _ = Arith.ripple_add b y xs (Builder.const b false) in
+  let y_minus, _ = Arith.ripple_sub b y xs in
+  Builder.outputs b "xn" (Arith.mux_word b ~sel:dir x_plus x_minus);
+  Builder.outputs b "yn" (Arith.mux_word b ~sel:dir y_minus y_plus);
+  Builder.network b
+
+let adder_comparator w =
+  let b = Builder.create ~name:(Printf.sprintf "addcmp%d" w) () in
+  let xs = Builder.inputs b "a" w in
+  let ys = Builder.inputs b "b" w in
+  let cin = Builder.input b "cin" in
+  let sums, cout = Arith.ripple_add b xs ys cin in
+  Builder.outputs b "s" sums;
+  Builder.output b "cout" cout;
+  Builder.output b "eq" (Arith.equal b xs ys);
+  Builder.output b "lt" (Arith.less_than b xs ys);
+  Builder.network b
+
+let multiplier w =
+  let b = Builder.create ~name:(Printf.sprintf "mul%d" w) () in
+  let xs = Builder.inputs b "a" w in
+  let ys = Builder.inputs b "b" w in
+  let product = Arith.mul b xs ys in
+  Builder.outputs b "p" product;
+  Builder.network b
+
+let decoder k =
+  let b = Builder.create ~name:(Printf.sprintf "dec%d" k) () in
+  let sel = Builder.inputs b "s" k in
+  let en = Builder.input b "en" in
+  let lines =
+    Array.init (1 lsl k) (fun v ->
+        let lits =
+          List.init k (fun i ->
+              if v land (1 lsl i) <> 0 then sel.(i) else Builder.not_ b sel.(i))
+        in
+        Builder.and_ b (en :: lits))
+  in
+  Builder.outputs b "y" lines;
+  Builder.network b
+
+let cla_adder w =
+  let b = Builder.create ~name:(Printf.sprintf "cla%d" w) () in
+  let xs = Builder.inputs b "a" w in
+  let ys = Builder.inputs b "b" w in
+  let cin = Builder.input b "cin" in
+  let sums, cout = Arith.cla_add b xs ys cin in
+  Builder.outputs b "s" sums;
+  Builder.output b "cout" cout;
+  Builder.network b
+
+let wallace_multiplier w =
+  let b = Builder.create ~name:(Printf.sprintf "wmul%d" w) () in
+  let xs = Builder.inputs b "a" w in
+  let ys = Builder.inputs b "b" w in
+  Builder.outputs b "p" (Arith.wallace_mul b xs ys);
+  Builder.network b
+
+let barrel_shifter k =
+  let n = 1 lsl k in
+  let b = Builder.create ~name:(Printf.sprintf "barrel%d" n) () in
+  let data = Builder.inputs b "d" n in
+  let amount = Builder.inputs b "s" k in
+  (* Stage j rotates by 2^j when amount bit j is set. *)
+  let stage word j =
+    let dist = 1 lsl j in
+    Array.init n (fun i ->
+        Builder.mux b ~sel:amount.(j) word.(i) word.((i - dist + n) mod n))
+  in
+  let result = ref data in
+  for j = 0 to k - 1 do
+    result := stage !result j
+  done;
+  Builder.outputs b "y" !result;
+  Builder.network b
+
+let gray_counter_next w =
+  let b = Builder.create ~name:(Printf.sprintf "gray%d" w) () in
+  let state = Builder.inputs b "g" w in
+  (* Gray -> binary: b_i = xor of g_i..g_{w-1}. *)
+  let binary = Array.make w 0 in
+  let acc = ref (Builder.const b false) in
+  for i = w - 1 downto 0 do
+    acc := Builder.xor2 b !acc state.(i);
+    binary.(i) <- !acc
+  done;
+  let incremented, _ = Arith.increment b binary in
+  (* binary -> Gray: g_i = b_i xor b_{i+1}. *)
+  let gray =
+    Array.init w (fun i ->
+        if i = w - 1 then incremented.(i)
+        else Builder.xor2 b incremented.(i) incremented.(i + 1))
+  in
+  Builder.outputs b "n" gray;
+  Builder.network b
+
+let lfsr_next w =
+  if w < 3 then invalid_arg "Circuits.lfsr_next: width must be at least 3";
+  let b = Builder.create ~name:(Printf.sprintf "lfsr%d" w) () in
+  let state = Builder.inputs b "q" w in
+  let feedback = Builder.xor2 b state.(w - 1) state.(w - 2) in
+  let next = Array.init w (fun i -> if i = 0 then feedback else state.(i - 1)) in
+  Builder.outputs b "n" next;
+  Builder.network b

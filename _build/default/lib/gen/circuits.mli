@@ -1,0 +1,86 @@
+(** Functional benchmark-circuit generators.
+
+    Each function builds a complete {!Logic.Network.t} implementing a
+    documented Boolean function.  These circuits stand in for the MCNC /
+    ISCAS-85 benchmarks whose behaviour is publicly documented (see
+    DESIGN.md §3 for the substitution rationale).  All generators are
+    deterministic. *)
+
+open Logic
+
+val mux_tree : int -> Network.t
+(** [mux_tree k] is a [2^k : 1] multiplexer: [2^k] data inputs, [k] select
+    inputs, one output.  [mux_tree 4] stands in for [cm150] / [mux]. *)
+
+val adder : int -> Network.t
+(** [adder w] is a [w]-bit ripple adder with carry-in: inputs [a*], [b*],
+    [cin]; outputs [s*] and [cout].  [adder 3] stands in for [z4ml]
+    (7 inputs / 4 outputs). *)
+
+val alu : int -> Network.t
+(** [alu w] is a [w]-bit ALU with a 2-bit opcode selecting ADD, SUB, AND,
+    XOR, plus zero/carry flags; stands in for [c880] ([alu 8]),
+    [c3540]-class and [c5315]-class circuits at larger widths. *)
+
+val parity_tree : int -> Network.t
+(** [parity_tree n] is an [n]-input odd-parity checker (balanced XOR
+    tree). *)
+
+val ecc : int -> Network.t
+(** [ecc d] is a single-error-correcting Hamming encoder/corrector pair
+    over a [d]-bit data word: it computes check bits from the data word,
+    compares them with received check-bit inputs, and outputs the
+    syndrome-corrected data word.  XOR-dominated, standing in for
+    [c499]/[c1355] ([ecc 32]) and [c1908] ([ecc 16]). *)
+
+val sym9 : unit -> Network.t
+(** [sym9 ()] is the 9-input symmetric function that is true iff the input
+    popcount lies in [{3,4,5,6}]; this is the documented behaviour of
+    [9symml]. *)
+
+val priority : int -> Network.t
+(** [priority n] is an [n]-channel interrupt-controller slice: masked
+    requests, a fixed-priority grant vector (one-hot), a request-pending
+    flag and an encoded grant index.  Stands in for [c432] ([priority 27]). *)
+
+val counter_next : int -> Network.t
+(** [counter_next w] is the next-state logic of a [w]-bit loadable
+    up-counter (inputs: current state, load word, load enable, count
+    enable); stands in for the combinational core of [count]. *)
+
+val cordic_stage : int -> int -> Network.t
+(** [cordic_stage w k] is one CORDIC micro-rotation of width [w] and shift
+    [k]: conditional add/subtract of shifted cross terms, direction chosen
+    by the sign input.  Stands in for [cordic]. *)
+
+val adder_comparator : int -> Network.t
+(** [adder_comparator w] is a [w]-bit adder plus magnitude comparator
+    sharing the same operands (the documented structure of [c7552]-class
+    circuits). *)
+
+val multiplier : int -> Network.t
+(** [multiplier w] is a [w x w] array multiplier; [multiplier 4] is an
+    [f51m]-scale arithmetic block. *)
+
+val decoder : int -> Network.t
+(** [decoder k] is a [k]-to-[2^k] line decoder with enable. *)
+
+val cla_adder : int -> Network.t
+(** [cla_adder w] is the carry-lookahead counterpart of {!adder} (same
+    interface, logarithmic carry depth). *)
+
+val wallace_multiplier : int -> Network.t
+(** [wallace_multiplier w] is the carry-save-tree counterpart of
+    {!multiplier}. *)
+
+val barrel_shifter : int -> Network.t
+(** [barrel_shifter k] rotates a [2^k]-bit word left by a [k]-bit amount
+    (logarithmic mux stages). *)
+
+val gray_counter_next : int -> Network.t
+(** [gray_counter_next w] is the next-state logic of a [w]-bit Gray-code
+    counter: converts the state to binary, increments, converts back. *)
+
+val lfsr_next : int -> Network.t
+(** [lfsr_next w] is the next-state logic of a [w]-bit Fibonacci LFSR
+    with taps at the two top bit positions. *)

@@ -1,0 +1,153 @@
+open Logic
+
+(* FIPS 46-3 tables.  S-boxes are given in the standard 4-row x 16-column
+   layout; row = bits (b5 b0), column = bits (b4 b3 b2 b1). *)
+
+let sbox_rows =
+  [|
+    (* S1 *)
+    [|
+      [| 14; 4; 13; 1; 2; 15; 11; 8; 3; 10; 6; 12; 5; 9; 0; 7 |];
+      [| 0; 15; 7; 4; 14; 2; 13; 1; 10; 6; 12; 11; 9; 5; 3; 8 |];
+      [| 4; 1; 14; 8; 13; 6; 2; 11; 15; 12; 9; 7; 3; 10; 5; 0 |];
+      [| 15; 12; 8; 2; 4; 9; 1; 7; 5; 11; 3; 14; 10; 0; 6; 13 |];
+    |];
+    (* S2 *)
+    [|
+      [| 15; 1; 8; 14; 6; 11; 3; 4; 9; 7; 2; 13; 12; 0; 5; 10 |];
+      [| 3; 13; 4; 7; 15; 2; 8; 14; 12; 0; 1; 10; 6; 9; 11; 5 |];
+      [| 0; 14; 7; 11; 10; 4; 13; 1; 5; 8; 12; 6; 9; 3; 2; 15 |];
+      [| 13; 8; 10; 1; 3; 15; 4; 2; 11; 6; 7; 12; 0; 5; 14; 9 |];
+    |];
+    (* S3 *)
+    [|
+      [| 10; 0; 9; 14; 6; 3; 15; 5; 1; 13; 12; 7; 11; 4; 2; 8 |];
+      [| 13; 7; 0; 9; 3; 4; 6; 10; 2; 8; 5; 14; 12; 11; 15; 1 |];
+      [| 13; 6; 4; 9; 8; 15; 3; 0; 11; 1; 2; 12; 5; 10; 14; 7 |];
+      [| 1; 10; 13; 0; 6; 9; 8; 7; 4; 15; 14; 3; 11; 5; 2; 12 |];
+    |];
+    (* S4 *)
+    [|
+      [| 7; 13; 14; 3; 0; 6; 9; 10; 1; 2; 8; 5; 11; 12; 4; 15 |];
+      [| 13; 8; 11; 5; 6; 15; 0; 3; 4; 7; 2; 12; 1; 10; 14; 9 |];
+      [| 10; 6; 9; 0; 12; 11; 7; 13; 15; 1; 3; 14; 5; 2; 8; 4 |];
+      [| 3; 15; 0; 6; 10; 1; 13; 8; 9; 4; 5; 11; 12; 7; 2; 14 |];
+    |];
+    (* S5 *)
+    [|
+      [| 2; 12; 4; 1; 7; 10; 11; 6; 8; 5; 3; 15; 13; 0; 14; 9 |];
+      [| 14; 11; 2; 12; 4; 7; 13; 1; 5; 0; 15; 10; 3; 9; 8; 6 |];
+      [| 4; 2; 1; 11; 10; 13; 7; 8; 15; 9; 12; 5; 6; 3; 0; 14 |];
+      [| 11; 8; 12; 7; 1; 14; 2; 13; 6; 15; 0; 9; 10; 4; 5; 3 |];
+    |];
+    (* S6 *)
+    [|
+      [| 12; 1; 10; 15; 9; 2; 6; 8; 0; 13; 3; 4; 14; 7; 5; 11 |];
+      [| 10; 15; 4; 2; 7; 12; 9; 5; 6; 1; 13; 14; 0; 11; 3; 8 |];
+      [| 9; 14; 15; 5; 2; 8; 12; 3; 7; 0; 4; 10; 1; 13; 11; 6 |];
+      [| 4; 3; 2; 12; 9; 5; 15; 10; 11; 14; 1; 7; 6; 0; 8; 13 |];
+    |];
+    (* S7 *)
+    [|
+      [| 4; 11; 2; 14; 15; 0; 8; 13; 3; 12; 9; 7; 5; 10; 6; 1 |];
+      [| 13; 0; 11; 7; 4; 9; 1; 10; 14; 3; 5; 12; 2; 15; 8; 6 |];
+      [| 1; 4; 11; 13; 12; 3; 7; 14; 10; 15; 6; 8; 0; 5; 9; 2 |];
+      [| 6; 11; 13; 8; 1; 4; 10; 7; 9; 5; 0; 15; 14; 2; 3; 12 |];
+    |];
+    (* S8 *)
+    [|
+      [| 13; 2; 8; 4; 6; 15; 11; 1; 10; 9; 3; 14; 5; 0; 12; 7 |];
+      [| 1; 15; 13; 8; 10; 3; 7; 4; 12; 5; 6; 11; 0; 14; 9; 2 |];
+      [| 7; 11; 4; 1; 9; 12; 14; 2; 0; 6; 10; 13; 15; 3; 5; 8 |];
+      [| 2; 1; 14; 7; 4; 10; 8; 13; 15; 12; 9; 0; 3; 5; 6; 11 |];
+    |];
+  |]
+
+let sbox_table i =
+  if i < 0 || i > 7 then invalid_arg "Des.sbox_table: index must be 0..7";
+  Array.init 64 (fun v ->
+      (* v carries bits b5..b0 with b5 the MSB of the S-box input. *)
+      let b5 = (v lsr 5) land 1 and b0 = v land 1 in
+      let row = (b5 lsl 1) lor b0 in
+      let col = (v lsr 1) land 0xF in
+      sbox_rows.(i).(row).(col))
+
+(* E bit-selection table: output bit k of the expansion reads input bit
+   expansion.(k) (1-based FIPS numbering of the 32-bit half block). *)
+let expansion =
+  [|
+    32; 1; 2; 3; 4; 5; 4; 5; 6; 7; 8; 9; 8; 9; 10; 11; 12; 13; 12; 13; 14; 15;
+    16; 17; 16; 17; 18; 19; 20; 21; 20; 21; 22; 23; 24; 25; 24; 25; 26; 27;
+    28; 29; 28; 29; 30; 31; 32; 1;
+  |]
+
+(* P permutation over the 32 S-box output bits (1-based). *)
+let permutation =
+  [|
+    16; 7; 20; 21; 29; 12; 28; 17; 1; 15; 23; 26; 5; 18; 31; 10; 2; 8; 24; 14;
+    32; 27; 3; 9; 19; 13; 30; 6; 22; 11; 4; 25;
+  |]
+
+let sbox b i input6 =
+  if Array.length input6 <> 6 then invalid_arg "Des.sbox: need 6 input wires";
+  let table = sbox_table i in
+  (* One-hot row/column style SOP: for each output bit, OR the minterms. *)
+  Array.init 4 (fun bit ->
+      let bit_mask = 1 lsl (3 - bit) in
+      let minterms = ref [] in
+      for v = 0 to 63 do
+        if table.(v) land bit_mask <> 0 then begin
+          let lits =
+            List.init 6 (fun j ->
+                (* input6.(0) is the MSB (b5). *)
+                let sel = (v lsr (5 - j)) land 1 in
+                if sel = 1 then input6.(j) else Builder.not_ b input6.(j))
+          in
+          minterms := Builder.and_ b lits :: !minterms
+        end
+      done;
+      Builder.or_ b !minterms)
+
+let feistel_f b r key48 =
+  if Array.length r <> 32 then invalid_arg "Des.feistel_f: r must be 32 wires";
+  if Array.length key48 <> 48 then invalid_arg "Des.feistel_f: key must be 48 wires";
+  let expanded = Array.init 48 (fun k -> r.(expansion.(k) - 1)) in
+  let mixed = Array.mapi (fun k w -> Builder.xor2 b w key48.(k)) expanded in
+  let sbox_out = Array.make 32 0 in
+  for i = 0 to 7 do
+    let chunk = Array.sub mixed (6 * i) 6 in
+    let out = sbox b i chunk in
+    Array.blit out 0 sbox_out (4 * i) 4
+  done;
+  Array.init 32 (fun k -> sbox_out.(permutation.(k) - 1))
+
+let round_into b l r key =
+  let f = feistel_f b r key in
+  let l' = r in
+  let r' = Array.mapi (fun i li -> Builder.xor2 b li f.(i)) l in
+  (l', r')
+
+let round () =
+  let b = Builder.create ~name:"des_round" () in
+  let l = Builder.inputs b "l" 32 in
+  let r = Builder.inputs b "r" 32 in
+  let k = Builder.inputs b "k" 48 in
+  let l', r' = round_into b l r k in
+  Builder.outputs b "lo" l';
+  Builder.outputs b "ro" r';
+  Builder.network b
+
+let rounds n =
+  if n < 1 then invalid_arg "Des.rounds: need at least one round";
+  let b = Builder.create ~name:(Printf.sprintf "des%d" n) () in
+  let l = ref (Builder.inputs b "l" 32) in
+  let r = ref (Builder.inputs b "r" 32) in
+  for i = 0 to n - 1 do
+    let k = Builder.inputs b (Printf.sprintf "k%d_" i) 48 in
+    let l', r' = round_into b !l !r k in
+    l := l';
+    r := r'
+  done;
+  Builder.outputs b "lo" !l;
+  Builder.outputs b "ro" !r;
+  Builder.network b

@@ -1,0 +1,32 @@
+(** A DES round function as a combinational benchmark.
+
+    The MCNC [des] benchmark is a combinational DES block.  This module
+    rebuilds the genuine Feistel round datapath from the published FIPS 46
+    tables: the E expansion (32 to 48 bits), key mixing, the eight 6-to-4
+    S-boxes (full 64-entry tables, synthesised as sum-of-products), and the
+    P permutation, followed by the Feistel XOR.  [rounds] chains several
+    rounds with independent round-key inputs for a larger instance. *)
+
+open Logic
+
+val sbox_table : int -> int array
+(** [sbox_table i] is S-box [i] (0..7) flattened in FIPS row/column order:
+    entry index is the 6-bit S-box input, value is the 4-bit output. *)
+
+val sbox : Builder.t -> int -> Builder.wire array -> Builder.wire array
+(** [sbox b i input6] instantiates S-box [i] over a 6-wire input (MSB
+    first, as in FIPS numbering), producing 4 output wires (MSB first). *)
+
+val round : unit -> Network.t
+(** [round ()] is one full DES round: inputs [l0..l31], [r0..r31],
+    [k0..k47]; outputs the next half-block pair. *)
+
+val rounds : int -> Network.t
+(** [rounds n] chains [n] rounds, each with its own 48-bit round-key
+    input.  [rounds 2] approximates the scale of the MCNC [des]
+    benchmark. *)
+
+val feistel_f : Builder.t -> Builder.wire array -> Builder.wire array -> Builder.wire array
+(** [feistel_f b r key48] is the DES F function: expansion, key XOR,
+    S-boxes, P permutation.  [r] is 32 wires (bit 1 first per FIPS
+    numbering), [key48] is 48 wires. *)

@@ -1,0 +1,140 @@
+open Logic
+
+type params = {
+  name : string;
+  inputs : int;
+  gates : int;
+  outputs : int;
+  seed : int;
+  and_bias : float;
+  invert_p : float;
+  wide_p : float;
+  locality : int;
+}
+
+let default ~name ~inputs ~gates ~outputs ~seed =
+  {
+    name;
+    inputs;
+    gates;
+    outputs;
+    seed;
+    and_bias = 0.55;
+    invert_p = 0.35;
+    wide_p = 0.25;
+    locality = 48;
+  }
+
+(* Deep random AND/OR DAGs saturate to constants unless signal
+   probabilities are kept balanced: AND drives the one-probability toward
+   0, OR toward 1.  We track an estimated probability per node (inputs are
+   0.5) and steer gate choice and operand inversion so that every node
+   stays usefully non-constant.  This mirrors the balanced profile of real
+   synthesised control logic, which is what the MCNC random-logic
+   benchmarks are. *)
+let generate p =
+  if p.inputs < 2 then invalid_arg "Random_logic.generate: need at least 2 inputs";
+  if p.gates < 1 then invalid_arg "Random_logic.generate: need at least 1 gate";
+  let rng = Rng.create (p.seed lxor 0x50D0) in
+  let b = Builder.create ~name:p.name () in
+  let ins = Builder.inputs b "x" p.inputs in
+  (* pool: (wire, estimated probability of being 1) *)
+  let pool = Vec.create () in
+  Array.iter (fun w -> ignore (Vec.push pool (w, 0.5))) ins;
+  let pick () =
+    let n = Vec.length pool in
+    let idx =
+      if p.locality > 0 && n > p.locality && Rng.float rng 1.0 < 0.6 then
+        n - 1 - Rng.int rng p.locality
+      else Rng.int rng n
+    in
+    Vec.get pool idx
+  in
+  let operand () =
+    let w, prob = pick () in
+    (* Invert with the configured probability, and always rebalance
+       operands that drifted close to constant. *)
+    if Rng.float rng 1.0 < p.invert_p || prob > 0.85 || prob < 0.03 then
+      (Builder.not_ b w, 1.0 -. prob)
+    else (w, prob)
+  in
+  for _ = 1 to p.gates do
+    let arity = if Rng.float rng 1.0 < p.wide_p then 3 else 2 in
+    let ops =
+      let rec draw acc k guard =
+        if k = 0 || guard = 0 then acc
+        else
+          let (w, _) as o = operand () in
+          if List.exists (fun (w', _) -> w' = w) acc then draw acc k (guard - 1)
+          else draw (o :: acc) (k - 1) guard
+      in
+      draw [] arity 20
+    in
+    let wires = List.map fst ops in
+    let p_and = List.fold_left (fun acc (_, q) -> acc *. q) 1.0 ops in
+    let p_or = 1.0 -. List.fold_left (fun acc (_, q) -> acc *. (1.0 -. q)) 1.0 ops in
+    (* Prefer the gate kind that keeps the output probability nearer 0.5,
+       with and_bias as a soft prior. *)
+    let closeness q = abs_float (q -. 0.5) in
+    let choose_and =
+      if closeness p_and +. 0.15 < closeness p_or then true
+      else if closeness p_or +. 0.15 < closeness p_and then false
+      else Rng.float rng 1.0 < p.and_bias
+    in
+    let g, prob =
+      if choose_and then (Builder.and_ b wires, p_and) else (Builder.or_ b wires, p_or)
+    in
+    ignore (Vec.push pool (g, prob))
+  done;
+  (* Output selection: prefer sinks (nodes nothing consumed), then top up
+     with random internal nodes.  Candidates whose simulated signature is
+     constant over a few hundred random vectors are rejected — a constant
+     primary output is meaningless for a mapping benchmark. *)
+  let net = Builder.network b in
+  let fanouts = Network.fanout_counts net in
+  let signatures =
+    List.init 4 (fun _ ->
+        Eval.eval_all64 net (Array.init p.inputs (fun _ -> Rng.next64 rng)))
+  in
+  let popcount64 w =
+    let c = ref 0 in
+    for i = 0 to 63 do
+      if Int64.logand (Int64.shift_right_logical w i) 1L = 1L then incr c
+    done;
+    !c
+  in
+  let non_constant w =
+    (* Require the candidate to toggle visibly over 256 random vectors, so
+       that near-constant cones (ANDs of many literals) are not exported
+       as primary outputs. *)
+    let ones = List.fold_left (fun acc v -> acc + popcount64 v.(w)) 0 signatures in
+    ones >= 16 && ones <= 240
+  in
+  let sinks =
+    (* Latest sinks first: they root the deepest cones, which is what a
+       benchmark's primary outputs look like. *)
+    Vec.fold
+      (fun acc (w, _) ->
+        match (Network.node net w).Network.func with
+        | Network.Gate _ when fanouts.(w) = 0 && non_constant w -> w :: acc
+        | _ -> acc)
+      [] pool
+  in
+  let chosen = Vec.create () in
+  let seen = Hashtbl.create 64 in
+  let add w =
+    if Vec.length chosen < p.outputs && non_constant w && not (Hashtbl.mem seen w)
+    then begin
+      Hashtbl.replace seen w ();
+      ignore (Vec.push chosen w)
+    end
+  in
+  List.iter add sinks;
+  let guard = ref (50 * p.outputs) in
+  while Vec.length chosen < p.outputs && !guard > 0 do
+    decr guard;
+    add (fst (pick ()))
+  done;
+  Vec.iteri (fun i w -> Builder.output b (Printf.sprintf "z%d" i) w) chosen;
+  if Vec.length chosen = 0 then Builder.output b "z0" ins.(0);
+  net

@@ -1,0 +1,33 @@
+(** Seeded pseudo-random logic networks.
+
+    Stand-ins for the undocumented MCNC random-logic benchmarks (frg1, b9,
+    apex7, ...).  The generator grows a DAG gate by gate: each new gate is
+    AND or OR (biased by [and_bias]) over two or three operands drawn from
+    the existing nodes with a locality bias (recent nodes are more likely,
+    which produces the reconvergent, medium-depth structure typical of
+    multi-level synthesised control logic), with each operand independently
+    inverted with probability [invert_p].  Outputs are the nodes left with
+    no fanout, topped up with random internal nodes up to [outputs].
+
+    The construction is fully determined by [seed]. *)
+
+type params = {
+  name : string;
+  inputs : int;
+  gates : int;  (** number of AND/OR gates to grow *)
+  outputs : int;
+  seed : int;
+  and_bias : float;  (** probability that a gate is an AND (vs OR) *)
+  invert_p : float;  (** probability of inverting each operand *)
+  wide_p : float;  (** probability of a 3-input gate (vs 2-input) *)
+  locality : int;  (** window preference for recent nodes; 0 = uniform *)
+}
+
+val default : name:string -> inputs:int -> gates:int -> outputs:int -> seed:int -> params
+(** [default ~name ~inputs ~gates ~outputs ~seed] fills in the standard
+    bias values ([and_bias] 0.55, [invert_p] 0.35, [wide_p] 0.25,
+    [locality] 48). *)
+
+val generate : params -> Logic.Network.t
+(** [generate p] builds the network.  The result always has exactly
+    [p.inputs] primary inputs and at least one output. *)

@@ -1,0 +1,1 @@
+lib/logic/bdd.ml: Array Gate Hashtbl Network

@@ -1,0 +1,1 @@
+lib/logic/cube.ml: Array Bytes Char Stdlib String

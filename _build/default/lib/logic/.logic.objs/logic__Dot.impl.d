@@ -1,0 +1,1 @@
+lib/logic/dot.ml: Array Buffer Fun Gate List Network Printf String

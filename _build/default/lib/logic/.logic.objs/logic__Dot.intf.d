@@ -1,0 +1,1 @@
+lib/logic/dot.mli: Network

@@ -1,0 +1,1 @@
+lib/logic/equiv.ml: Array Bdd Format Hashtbl List Network Printf String

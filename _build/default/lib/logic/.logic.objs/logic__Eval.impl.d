@@ -1,0 +1,1 @@
+lib/logic/eval.ml: Array Gate Hashtbl List Network Printf Rng

@@ -1,0 +1,1 @@
+lib/logic/extract.ml: Array Builder Gate Hashtbl List Network Option

@@ -1,0 +1,1 @@
+lib/logic/extract.mli: Network

@@ -1,0 +1,1 @@
+lib/logic/faults.ml: Array Eval Fun Gate Hashtbl List Network Rng Topo

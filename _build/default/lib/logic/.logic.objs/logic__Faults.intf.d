@@ -1,0 +1,1 @@
+lib/logic/faults.mli: Network

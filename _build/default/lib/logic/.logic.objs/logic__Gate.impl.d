@@ -1,0 +1,1 @@
+lib/logic/gate.ml: Array Fun Int64 Printf

@@ -1,0 +1,1 @@
+lib/logic/network.ml: Array Format Gate Printf String Vec

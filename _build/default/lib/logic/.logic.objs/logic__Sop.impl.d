@@ -1,0 +1,1 @@
+lib/logic/sop.ml: Array Builder Cube Eval List Network

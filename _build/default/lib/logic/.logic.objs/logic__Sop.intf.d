@@ -1,0 +1,1 @@
+lib/logic/sop.mli: Builder Cube Network

@@ -1,0 +1,1 @@
+lib/logic/stats.ml: Array Format Gate Network Topo

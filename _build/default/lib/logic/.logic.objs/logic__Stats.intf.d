@@ -1,0 +1,1 @@
+lib/logic/stats.mli: Format Network

@@ -1,0 +1,1 @@
+lib/logic/strash.ml: Array Gate Hashtbl List Network Topo

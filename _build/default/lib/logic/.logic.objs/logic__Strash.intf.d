@@ -1,0 +1,1 @@
+lib/logic/strash.mli: Network

@@ -1,0 +1,185 @@
+type t = int
+
+(* Node storage: three growable parallel arrays.  Handles 0 and 1 are the
+   constants and must never be dereferenced. *)
+type manager = {
+  nvars : int;
+  mutable var_of : int array;
+  mutable low_of : int array;
+  mutable high_of : int array;
+  mutable next : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  cache : (int * int * int, int) Hashtbl.t;  (* ite memoisation *)
+}
+
+let terminal_var = max_int
+
+let manager ?(size_hint = 1024) ~nvars () =
+  if nvars < 0 then invalid_arg "Bdd.manager: negative variable count";
+  let cap = max 16 size_hint in
+  let m =
+    {
+      nvars;
+      var_of = Array.make cap terminal_var;
+      low_of = Array.make cap (-1);
+      high_of = Array.make cap (-1);
+      next = 2;
+      unique = Hashtbl.create cap;
+      cache = Hashtbl.create cap;
+    }
+  in
+  (* slots 0 and 1 are the constants *)
+  m.var_of.(0) <- terminal_var;
+  m.var_of.(1) <- terminal_var;
+  m
+
+let zero (_ : manager) : t = 0
+let one (_ : manager) : t = 1
+
+let grow m =
+  let cap = Array.length m.var_of in
+  let cap' = 2 * cap in
+  let extend a fill =
+    let a' = Array.make cap' fill in
+    Array.blit a 0 a' 0 cap;
+    a'
+  in
+  m.var_of <- extend m.var_of terminal_var;
+  m.low_of <- extend m.low_of (-1);
+  m.high_of <- extend m.high_of (-1)
+
+let mk m v lo hi =
+  if lo = hi then lo
+  else
+    let key = (v, lo, hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some id -> id
+    | None ->
+        if m.next >= Array.length m.var_of then grow m;
+        let id = m.next in
+        m.next <- id + 1;
+        m.var_of.(id) <- v;
+        m.low_of.(id) <- lo;
+        m.high_of.(id) <- hi;
+        Hashtbl.replace m.unique key id;
+        id
+
+let var m i =
+  if i < 0 || i >= m.nvars then invalid_arg "Bdd.var: variable out of range";
+  mk m i 0 1
+
+let nvar m i =
+  if i < 0 || i >= m.nvars then invalid_arg "Bdd.nvar: variable out of range";
+  mk m i 1 0
+
+let top m f = m.var_of.(f)
+
+let cofactors m f v =
+  if m.var_of.(f) = v then (m.low_of.(f), m.high_of.(f)) else (f, f)
+
+let rec ite m f g h =
+  (* Terminal cases. *)
+  if f = 1 then g
+  else if f = 0 then h
+  else if g = h then g
+  else if g = 1 && h = 0 then f
+  else begin
+    let key = (f, g, h) in
+    match Hashtbl.find_opt m.cache key with
+    | Some r -> r
+    | None ->
+        let v = min (top m f) (min (top m g) (top m h)) in
+        let f0, f1 = cofactors m f v in
+        let g0, g1 = cofactors m g v in
+        let h0, h1 = cofactors m h v in
+        let lo = ite m f0 g0 h0 in
+        let hi = ite m f1 g1 h1 in
+        let r = mk m v lo hi in
+        Hashtbl.replace m.cache key r;
+        r
+  end
+
+let not_ m f = ite m f 0 1
+let and_ m f g = ite m f g 0
+let or_ m f g = ite m f 1 g
+let xor_ m f g = ite m f (not_ m g) g
+
+let equal (a : t) (b : t) = a = b
+
+let is_const (_ : manager) f = if f = 0 then Some false else if f = 1 then Some true else None
+
+let eval m f assignment =
+  let rec go f =
+    if f = 0 then false
+    else if f = 1 then true
+    else if assignment.(m.var_of.(f)) then go m.high_of.(f)
+    else go m.low_of.(f)
+  in
+  if Array.length assignment < m.nvars then
+    invalid_arg "Bdd.eval: assignment too short";
+  go f
+
+let size m f =
+  let seen = Hashtbl.create 64 in
+  let rec go f =
+    if f > 1 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.replace seen f ();
+      go m.low_of.(f);
+      go m.high_of.(f)
+    end
+  in
+  go f;
+  Hashtbl.length seen
+
+let node_count m = m.next - 2
+
+let any_sat m f =
+  if f = 0 then None
+  else begin
+    let assignment = Array.make m.nvars false in
+    let rec go f =
+      if f = 1 then ()
+      else if m.high_of.(f) <> 0 then begin
+        assignment.(m.var_of.(f)) <- true;
+        go m.high_of.(f)
+      end
+      else go m.low_of.(f)
+    in
+    go f;
+    Some assignment
+  end
+
+let of_network ?(limit = 2_000_000) m n =
+  let inputs = Network.inputs n in
+  if Array.length inputs > m.nvars then
+    invalid_arg "Bdd.of_network: manager has too few variables";
+  let input_pos = Hashtbl.create 64 in
+  Array.iteri (fun k id -> Hashtbl.replace input_pos id k) inputs;
+  let values = Array.make (Network.node_count n) 0 in
+  let overflow = ref false in
+  Network.iter_nodes
+    (fun nd ->
+      if not !overflow then begin
+        let v =
+          match nd.Network.func with
+          | Network.Input -> var m (Hashtbl.find input_pos nd.Network.id)
+          | Network.Const b -> if b then 1 else 0
+          | Network.Gate g ->
+              let fanins = Array.map (fun f -> values.(f)) nd.Network.fanins in
+              let base, inverted = Gate.base g in
+              let core =
+                match base with
+                | Gate.And -> Array.fold_left (and_ m) 1 fanins
+                | Gate.Or -> Array.fold_left (or_ m) 0 fanins
+                | Gate.Xor -> Array.fold_left (xor_ m) 0 fanins
+                | Gate.Buf -> fanins.(0)
+                | Gate.Not | Gate.Nand | Gate.Nor | Gate.Xnor -> assert false
+              in
+              if inverted then not_ m core else core
+        in
+        values.(nd.Network.id) <- v;
+        if node_count m > limit then overflow := true
+      end)
+    n;
+  if !overflow then None
+  else Some (Array.map (fun (nm, id) -> (nm, values.(id))) (Network.outputs n))

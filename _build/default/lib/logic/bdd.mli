@@ -1,0 +1,70 @@
+(** Reduced ordered binary decision diagrams.
+
+    A small, self-contained BDD package used for {e exact} equivalence
+    checking between source networks and mapped domino circuits (the
+    Monte-Carlo simulation check in {!Eval.equivalent} is fast but
+    probabilistic).  Nodes are hash-consed in a manager, so equality of
+    node identifiers is semantic equality of functions under the
+    manager's fixed variable order (variable [i] = the [i]-th primary
+    input).
+
+    The implementation is a classic ite/unique-table design with a
+    computed-table cache.  It is intended for the benchmark sizes in this
+    repository (tens of variables); it makes no attempt at dynamic
+    variable reordering. *)
+
+type manager
+(** A BDD manager: unique table, computed cache, variable count. *)
+
+type t = private int
+(** A BDD node handle, valid within its manager. *)
+
+val manager : ?size_hint:int -> nvars:int -> unit -> manager
+(** [manager ~nvars ()] creates a manager over variables [0..nvars-1].
+    @raise Invalid_argument if [nvars < 0]. *)
+
+val zero : manager -> t
+(** The constant-false function. *)
+
+val one : manager -> t
+(** The constant-true function. *)
+
+val var : manager -> int -> t
+(** [var m i] is the projection function of variable [i].
+    @raise Invalid_argument if [i] is out of range. *)
+
+val nvar : manager -> int -> t
+(** [nvar m i] is the complement of {!var}. *)
+
+val not_ : manager -> t -> t
+val and_ : manager -> t -> t -> t
+val or_ : manager -> t -> t -> t
+val xor_ : manager -> t -> t -> t
+val ite : manager -> t -> t -> t -> t
+(** [ite m f g h] is if-[f]-then-[g]-else-[h], the core operation. *)
+
+val equal : t -> t -> bool
+(** [equal a b] is semantic equality (handles are canonical). *)
+
+val is_const : manager -> t -> bool option
+(** [is_const m f] is [Some b] when [f] is the constant [b]. *)
+
+val eval : manager -> t -> bool array -> bool
+(** [eval m f assignment] evaluates [f] on a full variable assignment. *)
+
+val size : manager -> t -> int
+(** [size m f] is the number of distinct internal nodes of [f]. *)
+
+val node_count : manager -> int
+(** [node_count m] is the number of live nodes in the manager. *)
+
+val any_sat : manager -> t -> bool array option
+(** [any_sat m f] is a satisfying assignment of [f], or [None] when [f]
+    is constant false.  Unconstrained variables default to [false]. *)
+
+val of_network : ?limit:int -> manager -> Network.t -> (string * t) array option
+(** [of_network m n] builds one BDD per primary output of [n].  The
+    manager must have at least as many variables as [n] has inputs
+    (matched by position).  Returns [None] if the manager grows past
+    [limit] nodes (default 2,000,000) — the caller should fall back to
+    simulation. *)

@@ -1,0 +1,88 @@
+type wire = int
+
+type key = K_not of int | K_gate of Gate.t * int list
+
+type t = {
+  net : Network.t;
+  consed : (key, int) Hashtbl.t;
+}
+
+let create ?name () = { net = Network.create ?name (); consed = Hashtbl.create 256 }
+
+let network b = b.net
+
+let input b name = Network.add_input ~name b.net
+
+let inputs b prefix k = Array.init k (fun i -> input b (Printf.sprintf "%s%d" prefix i))
+
+let const b v = Network.add_const b.net v
+
+let is_const b w v =
+  match (Network.node b.net w).Network.func with
+  | Network.Const c -> c = v
+  | Network.Input | Network.Gate _ -> false
+
+let as_not b w =
+  match (Network.node b.net w).Network.func with
+  | Network.Gate Gate.Not -> Some (Network.node b.net w).Network.fanins.(0)
+  | Network.Input | Network.Const _ | Network.Gate _ -> None
+
+let cons b key build =
+  match Hashtbl.find_opt b.consed key with
+  | Some id -> id
+  | None ->
+      let id = build () in
+      Hashtbl.replace b.consed key id;
+      id
+
+let not_ b w =
+  match as_not b w with
+  | Some inner -> inner
+  | None ->
+      if is_const b w false then const b true
+      else if is_const b w true then const b false
+      else cons b (K_not w) (fun () -> Network.add_gate b.net Gate.Not [| w |])
+
+let andor b g ws =
+  let absorbing = (g = Gate.Or) in
+  if List.exists (fun w -> is_const b w absorbing) ws then const b absorbing
+  else
+    let ws = List.filter (fun w -> not (is_const b w (not absorbing))) ws in
+    let ws = List.sort_uniq compare ws in
+    match ws with
+    | [] -> const b (not absorbing)
+    | [ w ] -> w
+    | _ -> cons b (K_gate (g, ws)) (fun () -> Network.add_gate b.net g (Array.of_list ws))
+
+let and_ b ws = andor b Gate.And ws
+let or_ b ws = andor b Gate.Or ws
+
+let xor_ b ws =
+  let ws = List.filter (fun w -> not (is_const b w false)) ws in
+  let invert = List.length (List.filter (fun w -> is_const b w true) ws) mod 2 = 1 in
+  let ws = List.filter (fun w -> not (is_const b w true)) ws in
+  let ws = List.sort compare ws in
+  let core =
+    match ws with
+    | [] -> const b false
+    | [ w ] -> w
+    | _ -> cons b (K_gate (Gate.Xor, ws)) (fun () ->
+               Network.add_gate b.net Gate.Xor (Array.of_list ws))
+  in
+  if invert then not_ b core else core
+
+let and2 b x y = and_ b [ x; y ]
+let or2 b x y = or_ b [ x; y ]
+let xor2 b x y = xor_ b [ x; y ]
+let nand2 b x y = not_ b (and2 b x y)
+let nor2 b x y = not_ b (or2 b x y)
+let xnor2 b x y = not_ b (xor2 b x y)
+
+let mux b ~sel a0 a1 = or2 b (and2 b (not_ b sel) a0) (and2 b sel a1)
+
+let ite b c t e = mux b ~sel:c e t
+
+let output b name w = Network.set_output b.net name w
+
+let outputs b prefix ws =
+  Array.iteri (fun i w -> output b (Printf.sprintf "%s%d" prefix i) w) ws

@@ -1,0 +1,116 @@
+type value =
+  | Zero
+  | One
+  | Dash
+
+(* Two bits per variable packed into a Bytes: 01 = Zero, 10 = One,
+   11 = Dash (00 would denote an empty cube and never appears). *)
+type t = { n : int; bits : Bytes.t }
+
+let width c = c.n
+
+let code = function Zero -> 1 | One -> 2 | Dash -> 3
+
+let decode = function
+  | 1 -> Zero
+  | 2 -> One
+  | 3 -> Dash
+  | _ -> invalid_arg "Cube: corrupt encoding"
+
+let make n =
+  { n; bits = Bytes.make ((n + 3) / 4) '\xFF' }
+
+let universe n = make n
+
+let get c i =
+  if i < 0 || i >= c.n then invalid_arg "Cube.get: variable out of range";
+  let byte = Char.code (Bytes.get c.bits (i / 4)) in
+  decode ((byte lsr (2 * (i mod 4))) land 3)
+
+let set c i v =
+  if i < 0 || i >= c.n then invalid_arg "Cube.set: variable out of range";
+  let bits = Bytes.copy c.bits in
+  let idx = i / 4 and off = 2 * (i mod 4) in
+  let byte = Char.code (Bytes.get bits idx) in
+  let byte = byte land lnot (3 lsl off) lor (code v lsl off) in
+  Bytes.set bits idx (Char.chr byte);
+  { c with bits }
+
+let of_string s =
+  let n = String.length s in
+  let c = ref (make n) in
+  String.iteri
+    (fun i ch ->
+      let v =
+        match ch with
+        | '0' -> Zero
+        | '1' -> One
+        | '-' -> Dash
+        | _ -> invalid_arg "Cube.of_string: expected 0, 1 or -"
+      in
+      c := set !c i v)
+    s;
+  !c
+
+let to_string c =
+  String.init c.n (fun i ->
+      match get c i with Zero -> '0' | One -> '1' | Dash -> '-')
+
+let literals c =
+  let count = ref 0 in
+  for i = 0 to c.n - 1 do
+    if get c i <> Dash then incr count
+  done;
+  !count
+
+let intersect a b =
+  if a.n <> b.n then invalid_arg "Cube.intersect: width mismatch";
+  (* Bitwise AND of encodings; a 00 field means conflicting literals. *)
+  let bits = Bytes.copy a.bits in
+  let ok = ref true in
+  for idx = 0 to Bytes.length bits - 1 do
+    let merged = Char.code (Bytes.get bits idx) land Char.code (Bytes.get b.bits idx) in
+    Bytes.set bits idx (Char.chr merged)
+  done;
+  let c = { a with bits } in
+  (try
+     for i = 0 to a.n - 1 do
+       let byte = Char.code (Bytes.get bits (i / 4)) in
+       if (byte lsr (2 * (i mod 4))) land 3 = 0 then raise Exit
+     done
+   with Exit -> ok := false);
+  if !ok then Some c else None
+
+let covers a b =
+  if a.n <> b.n then invalid_arg "Cube.covers: width mismatch";
+  (* a covers b iff a's encoding is a superset bitwise: a AND b = b. *)
+  let ok = ref true in
+  for idx = 0 to Bytes.length a.bits - 1 do
+    let ab = Char.code (Bytes.get a.bits idx) land Char.code (Bytes.get b.bits idx) in
+    if ab <> Char.code (Bytes.get b.bits idx) then ok := false
+  done;
+  !ok
+
+let contains_minterm c m =
+  if Array.length m < c.n then invalid_arg "Cube.contains_minterm: assignment too short";
+  let ok = ref true in
+  for i = 0 to c.n - 1 do
+    match get c i with
+    | Dash -> ()
+    | One -> if not m.(i) then ok := false
+    | Zero -> if m.(i) then ok := false
+  done;
+  !ok
+
+let cofactor c i v =
+  match (get c i, v) with
+  | Dash, _ -> Some (set c i Dash)
+  | One, true | Zero, false -> Some (set c i Dash)
+  | One, false | Zero, true -> None
+
+let equal a b = a.n = b.n && Bytes.equal a.bits b.bits
+
+let compare a b =
+  match Stdlib.compare a.n b.n with
+  | 0 -> Bytes.compare a.bits b.bits
+  | c -> c

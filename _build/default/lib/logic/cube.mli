@@ -1,0 +1,58 @@
+(** Cubes (product terms) over a fixed variable set.
+
+    A cube assigns each variable one of three values: positive literal,
+    negative literal, or don't-care.  Cubes are the atoms of two-level
+    (PLA-style) logic representation — the same objects that appear on
+    BLIF [.names] lines — and the substrate of the {!Sop} minimiser.
+    Cubes are immutable. *)
+
+type value =
+  | Zero  (** negative literal *)
+  | One  (** positive literal *)
+  | Dash  (** don't care *)
+
+type t
+(** A cube over [width] variables. *)
+
+val width : t -> int
+(** Number of variables. *)
+
+val universe : int -> t
+(** [universe n] is the all-don't-care cube (the constant-true product). *)
+
+val of_string : string -> t
+(** [of_string "1-0"] parses PLA notation.
+    @raise Invalid_argument on characters outside ['0'], ['1'], ['-']. *)
+
+val to_string : t -> string
+(** PLA rendering of the cube. *)
+
+val get : t -> int -> value
+(** [get c i] is variable [i]'s value.  @raise Invalid_argument when out
+    of range. *)
+
+val set : t -> int -> value -> t
+(** [set c i v] is a copy of [c] with variable [i] set to [v]. *)
+
+val literals : t -> int
+(** Number of non-dash positions. *)
+
+val intersect : t -> t -> t option
+(** [intersect a b] is the cube of minterms in both, or [None] when they
+    conflict in some variable (empty intersection). *)
+
+val covers : t -> t -> bool
+(** [covers a b] tells whether every minterm of [b] lies in [a]. *)
+
+val contains_minterm : t -> bool array -> bool
+(** [contains_minterm c m] tests membership of a full assignment. *)
+
+val cofactor : t -> int -> bool -> t option
+(** [cofactor c i v] is the cube restricted to [x_i = v]: [None] if [c]
+    requires the opposite literal, otherwise [c] with position [i] made
+    don't-care. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order (for sorting / dedup). *)

@@ -1,0 +1,43 @@
+let escape s =
+  String.concat "" (List.map (function '"' -> "\\\"" | c -> String.make 1 c)
+                      (List.init (String.length s) (String.get s)))
+
+let to_string n =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape (Network.name n)));
+  Buffer.add_string buf "  rankdir=LR;\n";
+  Network.iter_nodes
+    (fun nd ->
+      let id = nd.Network.id in
+      match nd.Network.func with
+      | Network.Input ->
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d [shape=box,label=\"%s\"];\n" id
+               (escape (Network.input_name n id)))
+      | Network.Const b ->
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d [shape=box,style=dashed,label=\"%d\"];\n" id
+               (if b then 1 else 0))
+      | Network.Gate g ->
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d [shape=ellipse,label=\"%s %d\"];\n" id
+               (Gate.to_string g) id);
+          Array.iter
+            (fun f -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" f id))
+            nd.Network.fanins)
+    n;
+  Array.iter
+    (fun (nm, id) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"po_%s\" [shape=doubleoctagon,label=\"%s\"];\n"
+           (escape nm) (escape nm));
+      Buffer.add_string buf (Printf.sprintf "  n%d -> \"po_%s\";\n" id (escape nm)))
+    (Network.outputs n);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file n path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string n))

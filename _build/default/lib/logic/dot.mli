@@ -1,0 +1,8 @@
+(** Graphviz (DOT) export of networks, for debugging and documentation. *)
+
+val to_string : Network.t -> string
+(** [to_string n] renders [n] as a DOT digraph: inputs as boxes, gates as
+    ellipses labelled with their function, outputs as double octagons. *)
+
+val to_file : Network.t -> string -> unit
+(** [to_file n path] writes {!to_string} to [path]. *)

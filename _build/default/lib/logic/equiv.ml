@@ -1,0 +1,45 @@
+type verdict =
+  | Equivalent
+  | Counterexample of { input : bool array; output : string }
+  | Unknown of string
+
+let networks ?(limit = 2_000_000) a b =
+  let na = Array.length (Network.inputs a) in
+  let nb = Array.length (Network.inputs b) in
+  if na <> nb then Unknown (Printf.sprintf "input counts differ: %d vs %d" na nb)
+  else begin
+    let names o = Array.to_list (Array.map fst o) |> List.sort_uniq compare in
+    if names (Network.outputs a) <> names (Network.outputs b) then
+      Unknown "output name sets differ"
+    else begin
+      let m = Bdd.manager ~nvars:na () in
+      match (Bdd.of_network ~limit m a, Bdd.of_network ~limit m b) with
+      | None, _ | _, None -> Unknown "BDD node limit exceeded"
+      | Some oa, Some ob ->
+          let tbl = Hashtbl.create 16 in
+          Array.iter (fun (nm, f) -> Hashtbl.replace tbl nm f) ob;
+          let result = ref Equivalent in
+          Array.iter
+            (fun (nm, fa) ->
+              if !result = Equivalent then
+                let fb = Hashtbl.find tbl nm in
+                if not (Bdd.equal fa fb) then begin
+                  let diff = Bdd.xor_ m fa fb in
+                  match Bdd.any_sat m diff with
+                  | Some input -> result := Counterexample { input; output = nm }
+                  | None -> ()  (* unreachable: xor of unequal nodes is satisfiable *)
+                end)
+            oa;
+          !result
+    end
+  end
+
+let check ?limit a b = networks ?limit a b = Equivalent
+
+let pp_verdict fmt = function
+  | Equivalent -> Format.fprintf fmt "equivalent"
+  | Counterexample { input; output } ->
+      Format.fprintf fmt "differ on output %s for input %s" output
+        (String.concat ""
+           (Array.to_list (Array.map (fun b -> if b then "1" else "0") input)))
+  | Unknown reason -> Format.fprintf fmt "unknown (%s)" reason

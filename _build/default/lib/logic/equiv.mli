@@ -1,0 +1,26 @@
+(** Exact combinational equivalence checking.
+
+    Complements the Monte-Carlo check in {!Eval.equivalent} with a formal
+    one: both networks are translated into BDDs over a shared variable
+    order (inputs matched by position, outputs by name) and compared
+    node-for-node.  On disagreement a concrete counterexample input
+    vector is extracted. *)
+
+type verdict =
+  | Equivalent  (** proven equal on every input vector *)
+  | Counterexample of { input : bool array; output : string }
+      (** a vector and the name of an output where the two differ *)
+  | Unknown of string
+      (** the check did not complete (BDD blow-up past the node limit,
+          or mismatched interfaces); the message says why *)
+
+val networks : ?limit:int -> Network.t -> Network.t -> verdict
+(** [networks a b] compares two networks.  [limit] bounds the BDD size
+    (default 2,000,000 nodes) before giving up with [Unknown]. *)
+
+val check : ?limit:int -> Network.t -> Network.t -> bool
+(** [check a b] is [true] exactly for [Equivalent].  [Unknown] is treated
+    as failure. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+(** Human-readable rendering of a verdict. *)

@@ -1,0 +1,83 @@
+let check_inputs n provided =
+  let expected = Array.length (Network.inputs n) in
+  if provided <> expected then
+    invalid_arg
+      (Printf.sprintf "Eval: expected %d input values, got %d" expected provided)
+
+let eval_all n inputs =
+  check_inputs n (Array.length inputs);
+  let values = Array.make (Network.node_count n) false in
+  let input_pos = Hashtbl.create 64 in
+  Array.iteri (fun k id -> Hashtbl.replace input_pos id k) (Network.inputs n);
+  Network.iter_nodes
+    (fun nd ->
+      let v =
+        match nd.Network.func with
+        | Network.Input -> inputs.(Hashtbl.find input_pos nd.Network.id)
+        | Network.Const b -> b
+        | Network.Gate g ->
+            Gate.eval g (Array.map (fun f -> values.(f)) nd.Network.fanins)
+      in
+      values.(nd.Network.id) <- v)
+    n;
+  values
+
+let eval_outputs n inputs =
+  let values = eval_all n inputs in
+  Array.map (fun (nm, id) -> (nm, values.(id))) (Network.outputs n)
+
+let eval_all64 n words =
+  check_inputs n (Array.length words);
+  let values = Array.make (Network.node_count n) 0L in
+  let input_pos = Hashtbl.create 64 in
+  Array.iteri (fun k id -> Hashtbl.replace input_pos id k) (Network.inputs n);
+  Network.iter_nodes
+    (fun nd ->
+      let v =
+        match nd.Network.func with
+        | Network.Input -> words.(Hashtbl.find input_pos nd.Network.id)
+        | Network.Const b -> if b then -1L else 0L
+        | Network.Gate g ->
+            Gate.eval64 g (Array.map (fun f -> values.(f)) nd.Network.fanins)
+      in
+      values.(nd.Network.id) <- v)
+    n;
+  values
+
+let eval_outputs64 n words =
+  let values = eval_all64 n words in
+  Array.map (fun (nm, id) -> (nm, values.(id))) (Network.outputs n)
+
+let random_words rng k = Array.init k (fun _ -> Rng.next64 rng)
+
+let equivalent ?(vectors = 4096) ?(seed = 0x5151) a b =
+  let na = Array.length (Network.inputs a) in
+  let nb = Array.length (Network.inputs b) in
+  if na <> nb then false
+  else begin
+    let outs_a = Network.outputs a and outs_b = Network.outputs b in
+    let names_of o =
+      Array.to_list (Array.map fst o) |> List.sort_uniq compare
+    in
+    if names_of outs_a <> names_of outs_b then false
+    else begin
+      let rounds = (vectors + 63) / 64 in
+      let rng = Rng.create seed in
+      let ok = ref true in
+      let round = ref 0 in
+      while !ok && !round < rounds do
+        incr round;
+        let words = random_words rng na in
+        let ra = eval_outputs64 a words and rb = eval_outputs64 b words in
+        let tbl = Hashtbl.create 16 in
+        Array.iter (fun (nm, v) -> Hashtbl.replace tbl nm v) rb;
+        Array.iter
+          (fun (nm, v) ->
+            match Hashtbl.find_opt tbl nm with
+            | Some v' when v = v' -> ()
+            | _ -> ok := false)
+          ra
+      done;
+      !ok
+    end
+  end

@@ -1,0 +1,32 @@
+(** Functional simulation of {!Network.t}.
+
+    Two granularities are provided: single-vector evaluation for clarity and
+    64-way bit-parallel evaluation for throughput (one [int64] word carries
+    64 independent input vectors). *)
+
+val eval_all : Network.t -> bool array -> bool array
+(** [eval_all n inputs] evaluates every node.  [inputs.(k)] is the value of
+    the [k]-th primary input (creation order); the result is indexed by node
+    identifier.
+    @raise Invalid_argument if [inputs] does not match the input count. *)
+
+val eval_outputs : Network.t -> bool array -> (string * bool) array
+(** [eval_outputs n inputs] is the primary-output values for one vector. *)
+
+val eval_all64 : Network.t -> int64 array -> int64 array
+(** [eval_all64 n words] is the 64-way parallel counterpart of
+    {!eval_all}. *)
+
+val eval_outputs64 : Network.t -> int64 array -> (string * int64) array
+(** [eval_outputs64 n words] is the 64-way parallel counterpart of
+    {!eval_outputs}. *)
+
+val random_words : Rng.t -> int -> int64 array
+(** [random_words rng k] draws [k] random stimulus words. *)
+
+val equivalent : ?vectors:int -> ?seed:int -> Network.t -> Network.t -> bool
+(** [equivalent a b] compares two networks by random simulation.  The
+    networks must have the same number of inputs (matched by position) and
+    the same output names (matched by name).  [vectors] (default 4096) is
+    rounded up to a multiple of 64.  This is a Monte-Carlo check, not a
+    proof; it is used as a fast regression oracle. *)

@@ -1,0 +1,157 @@
+type report = {
+  extracted : int;
+  literals_before : int;
+  literals_after : int;
+}
+
+(* A working copy of the network as mutable fanin sets per node, so pairs
+   can be rewritten in place; the result is rebuilt at the end. *)
+type work = {
+  kinds : Gate.t option array;  (* And/Or for rewritable n-ary gates *)
+  fanins : int list array;  (* current fanin lists (sorted) *)
+  original : Network.node array;
+  mutable extra : (Gate.t * int * int) list;  (* new divisor nodes, oldest first *)
+}
+
+let literal_count w =
+  Array.fold_left (fun acc fs -> acc + List.length fs) 0 w.fanins
+  + List.fold_left (fun acc _ -> acc + 2) 0 w.extra
+
+let best_pair w =
+  (* Count pair occurrences per kind. *)
+  let tbl : (Gate.t * int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  Array.iteri
+    (fun id kind ->
+      match kind with
+      | None -> ()
+      | Some g ->
+          let fs = w.fanins.(id) in
+          let rec pairs = function
+            | [] -> ()
+            | x :: rest ->
+                List.iter
+                  (fun y ->
+                    let key = (g, min x y, max x y) in
+                    Hashtbl.replace tbl key
+                      (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+                  rest;
+                pairs rest
+          in
+          pairs fs)
+    w.kinds;
+  Hashtbl.fold
+    (fun key count best ->
+      match best with
+      | Some (_, c) when c >= count -> best
+      | _ -> Some (key, count))
+    tbl None
+
+let run_report ?(min_occurrences = 2) n =
+  let count = Network.node_count n in
+  let original = Array.init count (fun id -> Network.node n id) in
+  let kinds =
+    Array.map
+      (fun nd ->
+        match nd.Network.func with
+        | Network.Gate ((Gate.And | Gate.Or) as g)
+          when Array.length nd.Network.fanins >= 3 ->
+            Some g
+        | _ -> None)
+      original
+  in
+  let fanins =
+    (* Only AND/OR fanin lists may be deduplicated (idempotent operators);
+       XOR multiplicity is semantic. *)
+    Array.mapi
+      (fun id nd ->
+        let fs = Array.to_list nd.Network.fanins in
+        match kinds.(id) with
+        | Some _ -> List.sort_uniq compare fs
+        | None -> (
+            match nd.Network.func with
+            | Network.Gate (Gate.And | Gate.Or | Gate.Nand | Gate.Nor) ->
+                List.sort_uniq compare fs
+            | _ -> fs))
+      original
+  in
+  let w = { kinds; fanins; original; extra = [] } in
+  let literals_before = literal_count w in
+  let extracted = ref 0 in
+  let next_id = ref count in
+  let continue_ = ref true in
+  while !continue_ do
+    match best_pair w with
+    | Some ((g, x, y), occurrences) when occurrences >= min_occurrences ->
+        let divisor = !next_id in
+        incr next_id;
+        incr extracted;
+        w.extra <- w.extra @ [ (g, x, y) ];
+        (* Rewrite every same-kind gate containing both x and y. *)
+        Array.iteri
+          (fun id kind ->
+            if kind = Some g then begin
+              let fs = w.fanins.(id) in
+              if List.mem x fs && List.mem y fs then begin
+                let fs = List.filter (fun f -> f <> x && f <> y) fs in
+                w.fanins.(id) <- List.sort_uniq compare (divisor :: fs);
+                (* The gate may have shrunk below arity 3; it can still be
+                   rewritten later, keep it active while arity >= 2. *)
+                if List.length w.fanins.(id) < 2 then w.kinds.(id) <- None
+              end
+            end)
+          w.kinds
+    | _ -> continue_ := false
+  done;
+  (* Rebuild the network.  A divisor is materialised lazily on its first
+     use; every node a divisor references was a fanin of the gate that
+     uses it, so the recursion is well-founded. *)
+  let b = Builder.create ~name:(Network.name n) () in
+  let extra = Array.of_list w.extra in
+  let map = Hashtbl.create (count + Array.length extra) in
+  let rec resolve id =
+    match Hashtbl.find_opt map id with
+    | Some wire -> wire
+    | None ->
+        let g, x, y = extra.(id - count) in
+        let wx = resolve x and wy = resolve y in
+        let wire =
+          match g with
+          | Gate.And -> Builder.and2 b wx wy
+          | Gate.Or -> Builder.or2 b wx wy
+          | _ -> assert false
+        in
+        Hashtbl.replace map id wire;
+        wire
+  in
+  Array.iteri
+    (fun id nd ->
+      let wire =
+        match nd.Network.func with
+        | Network.Input -> Builder.input b (Network.input_name n id)
+        | Network.Const c -> Builder.const b c
+        | Network.Gate g -> (
+            let fs = List.map resolve w.fanins.(id) in
+            match g with
+            | Gate.And -> Builder.and_ b fs
+            | Gate.Or -> Builder.or_ b fs
+            | Gate.Xor -> Builder.xor_ b fs
+            | Gate.Not -> Builder.not_ b (List.hd fs)
+            | Gate.Buf -> List.hd fs
+            | Gate.Nand -> Builder.not_ b (Builder.and_ b fs)
+            | Gate.Nor -> Builder.not_ b (Builder.or_ b fs)
+            | Gate.Xnor -> Builder.not_ b (Builder.xor_ b fs))
+      in
+      Hashtbl.replace map id wire)
+    original;
+  Array.iter
+    (fun (nm, id) -> Network.set_output (Builder.network b) nm (resolve id))
+    (Network.outputs n);
+  let out = Builder.network b in
+  ( out,
+    {
+      extracted = !extracted;
+      literals_before;
+      literals_after = literal_count w;
+    } )
+
+let run ?min_occurrences n = fst (run_report ?min_occurrences n)

@@ -1,0 +1,26 @@
+(** Shared-divisor extraction (a light "fast_extract").
+
+    Multi-level synthesis shrinks networks by factoring out
+    sub-expressions shared between gates.  This pass implements the
+    single-cube-divisor core of that idea: it repeatedly finds the fanin
+    {e pair} that occurs inside the most same-kind n-ary AND (or OR)
+    gates, materialises the pair as a new node, and rewrites the gates to
+    reference it.  Each extraction removes [occurrences - 2] literals, so
+    the literal count decreases monotonically; the pass stops when no
+    pair occurs at least [min_occurrences] times.
+
+    Intended as a pre-mapping cleanup between {!Strash} and
+    {!Unate.Decompose}; it never changes the network's function. *)
+
+type report = {
+  extracted : int;  (** divisor nodes created *)
+  literals_before : int;
+  literals_after : int;
+}
+
+val run : ?min_occurrences:int -> Network.t -> Network.t
+(** [run n] extracts shared pairs until none occurs at least
+    [min_occurrences] (default 2) times. *)
+
+val run_report : ?min_occurrences:int -> Network.t -> Network.t * report
+(** [run_report n] also returns statistics. *)

@@ -1,0 +1,83 @@
+type fault = {
+  node : int;
+  stuck : bool;
+}
+
+type coverage = {
+  total : int;
+  detected : int;
+  undetected : fault list;
+}
+
+let all_faults n =
+  let live = Topo.reachable_from_outputs n in
+  let faults = ref [] in
+  Network.iter_nodes
+    (fun nd ->
+      let id = nd.Network.id in
+      match nd.Network.func with
+      | Network.Const _ -> ()
+      | Network.Input | Network.Gate _ ->
+          if live.(id) then begin
+            faults := { node = id; stuck = true } :: !faults;
+            faults := { node = id; stuck = false } :: !faults
+          end)
+    n;
+  List.rev !faults
+
+(* 64-way evaluation with one node's value overridden. *)
+let eval_with_fault n input_pos words fault =
+  let values = Array.make (Network.node_count n) 0L in
+  Network.iter_nodes
+    (fun nd ->
+      let id = nd.Network.id in
+      let v =
+        if id = fault.node then if fault.stuck then -1L else 0L
+        else
+          match nd.Network.func with
+          | Network.Input -> words.(Hashtbl.find input_pos id)
+          | Network.Const b -> if b then -1L else 0L
+          | Network.Gate g ->
+              Gate.eval64 g (Array.map (fun f -> values.(f)) nd.Network.fanins)
+      in
+      values.(id) <- v)
+    n;
+  Array.map (fun (_, id) -> values.(id)) (Network.outputs n)
+
+let simulate ?(vectors = 1024) ?(seed = 0xFA17) n =
+  let faults = all_faults n in
+  let input_pos = Hashtbl.create 64 in
+  Array.iteri (fun k id -> Hashtbl.replace input_pos id k) (Network.inputs n);
+  let rounds = (vectors + 63) / 64 in
+  let rng = Rng.create seed in
+  let stimulus =
+    Array.init rounds (fun _ ->
+        Array.init (Array.length (Network.inputs n)) (fun _ -> Rng.next64 rng))
+  in
+  let golden =
+    Array.map
+      (fun words ->
+        let v = Eval.eval_all64 n words in
+        Array.map (fun (_, id) -> v.(id)) (Network.outputs n))
+      stimulus
+  in
+  let undetected =
+    List.filter
+      (fun fault ->
+        (* A fault survives if no stimulus round distinguishes it. *)
+        not
+          (Array.exists
+             (fun round ->
+               let faulty = eval_with_fault n input_pos stimulus.(round) fault in
+               faulty <> golden.(round))
+             (Array.init rounds Fun.id)))
+      faults
+  in
+  {
+    total = List.length faults;
+    detected = List.length faults - List.length undetected;
+    undetected;
+  }
+
+let coverage_ratio c =
+  if c.total = 0 then 1.0 else float_of_int c.detected /. float_of_int c.total

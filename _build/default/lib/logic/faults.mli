@@ -1,0 +1,34 @@
+(** Stuck-at fault analysis.
+
+    A quality check for benchmark circuits and a classic EDA substrate:
+    every gate output (and primary input) can be stuck at 0 or 1, and a
+    fault is {e detected} by an input vector when some primary output
+    differs from the fault-free circuit.  Random-vector fault simulation
+    measures how testable (non-redundant) a circuit is — collapsed,
+    irredundant logic approaches 100 % coverage, while redundant logic
+    leaves undetectable faults behind.
+
+    Simulation is 64-way bit-parallel per fault. *)
+
+type fault = {
+  node : int;  (** node whose output is faulty *)
+  stuck : bool;  (** stuck-at-1 when [true], stuck-at-0 when [false] *)
+}
+
+val all_faults : Network.t -> fault list
+(** [all_faults n] is both polarities on every input and live gate node
+    (constants excluded). *)
+
+type coverage = {
+  total : int;  (** faults considered *)
+  detected : int;  (** faults observed at some output *)
+  undetected : fault list;  (** the faults no vector caught *)
+}
+
+val simulate : ?vectors:int -> ?seed:int -> Network.t -> coverage
+(** [simulate n] runs random-vector fault simulation ([vectors] defaults
+    to 1024, rounded up to a multiple of 64). *)
+
+val coverage_ratio : coverage -> float
+(** [coverage_ratio c] is [detected / total] (1.0 when there are no
+    faults). *)

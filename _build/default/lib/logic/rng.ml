@@ -1,0 +1,52 @@
+(* SplitMix64 (Steele, Lea, Flood 2014).  Small state, excellent statistical
+   quality for simulation workloads, trivially reproducible. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next64 g =
+  g.state <- Int64.add g.state golden;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Masked rejection sampling keeps the distribution exactly uniform. *)
+  let rec mask m = if m >= bound - 1 then m else mask ((m lsl 1) lor 1) in
+  let m = mask 1 in
+  let rec draw () =
+    let r = Int64.to_int (Int64.logand (next64 g) 0x3FFFFFFFFFFFFFFFL) land m in
+    if r < bound then r else draw ()
+  in
+  draw ()
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let bool g = Int64.logand (next64 g) 1L = 1L
+
+let float g bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next64 g) 11) in
+  bound *. (r /. 9007199254740992.0)
+
+let choose g arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int g (Array.length arr))
+
+let shuffle g arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let split g = { state = next64 g }

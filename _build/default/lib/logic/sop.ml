@@ -1,0 +1,183 @@
+type t = Cube.t list
+
+let width = function [] -> None | c :: _ -> Some (Cube.width c)
+
+let eval f m = List.exists (fun c -> Cube.contains_minterm c m) f
+
+let dedup f =
+  let sorted = List.sort_uniq Cube.compare f in
+  (* Drop cubes contained in a single other cube. *)
+  List.filter
+    (fun c ->
+      not
+        (List.exists
+           (fun c' -> (not (Cube.equal c c')) && Cube.covers c' c)
+           sorted))
+    sorted
+
+(* Choose the most constrained variable (fewest dashes) as the branching
+   variable; variables that are unate across the cover allow
+   short-circuits. *)
+let pick_var ~nvars f =
+  let zeros = Array.make nvars 0 and ones = Array.make nvars 0 in
+  List.iter
+    (fun c ->
+      for i = 0 to nvars - 1 do
+        match Cube.get c i with
+        | Cube.Zero -> zeros.(i) <- zeros.(i) + 1
+        | Cube.One -> ones.(i) <- ones.(i) + 1
+        | Cube.Dash -> ()
+      done)
+    f;
+  let best = ref (-1) and best_score = ref (-1) in
+  for i = 0 to nvars - 1 do
+    let score = zeros.(i) + ones.(i) in
+    if score > !best_score then begin
+      best_score := score;
+      best := i
+    end
+  done;
+  if !best_score <= 0 then None else Some !best
+
+let cofactor_cover f i v = List.filter_map (fun c -> Cube.cofactor c i v) f
+
+let rec tautology ~nvars f =
+  if List.exists (fun c -> Cube.literals c = 0) f then true
+  else
+    match pick_var ~nvars f with
+    | None -> false  (* no literals anywhere and no universe cube: empty *)
+    | Some i ->
+        tautology ~nvars (cofactor_cover f i false)
+        && tautology ~nvars (cofactor_cover f i true)
+
+let rec complement ~nvars f =
+  match f with
+  | [] -> [ Cube.universe nvars ]
+  | _ when List.exists (fun c -> Cube.literals c = 0) f -> []
+  | [ c ] ->
+      (* DeMorgan on a single cube: one complement cube per literal. *)
+      let out = ref [] in
+      for i = 0 to nvars - 1 do
+        match Cube.get c i with
+        | Cube.Dash -> ()
+        | Cube.One -> out := Cube.set (Cube.universe nvars) i Cube.Zero :: !out
+        | Cube.Zero -> out := Cube.set (Cube.universe nvars) i Cube.One :: !out
+      done;
+      !out
+  | _ -> (
+      match pick_var ~nvars f with
+      | None -> []  (* unreachable: handled by the universe-cube case *)
+      | Some i ->
+          let neg = complement ~nvars (cofactor_cover f i false) in
+          let pos = complement ~nvars (cofactor_cover f i true) in
+          let tag v cs = List.map (fun c -> Cube.set c i v) cs in
+          dedup (tag Cube.Zero neg @ tag Cube.One pos))
+
+let disjoint_from_off off c =
+  List.for_all (fun o -> Cube.intersect o c = None) off
+
+let expand_cube ~nvars ~off c =
+  let current = ref c in
+  for i = 0 to nvars - 1 do
+    if Cube.get !current i <> Cube.Dash then begin
+      let raised = Cube.set !current i Cube.Dash in
+      if disjoint_from_off off raised then current := raised
+    end
+  done;
+  !current
+
+let expand ~nvars ~off f = dedup (List.map (expand_cube ~nvars ~off) f)
+
+let covered_by_rest ~nvars rest c =
+  (* c is redundant iff (rest cofactored against c) is a tautology. *)
+  let restricted =
+    List.filter_map
+      (fun r ->
+        (* cofactor r with respect to cube c: drop if they conflict,
+           otherwise dash out c's bound positions where r agrees. *)
+        let rec go i r =
+          if i >= nvars then Some r
+          else
+            match (Cube.get c i, Cube.get r i) with
+            | Cube.Dash, _ -> go (i + 1) r
+            | v, rv ->
+                if rv = Cube.Dash || rv = v then go (i + 1) (Cube.set r i Cube.Dash)
+                else None
+        in
+        go 0 r)
+      rest
+  in
+  tautology ~nvars restricted
+
+let irredundant ~nvars f =
+  (* Greedy: try to drop the biggest cubes first (they are most likely to
+     overlap others entirely). *)
+  let sorted =
+    List.sort (fun a b -> compare (Cube.literals a) (Cube.literals b)) (dedup f)
+  in
+  let keep = ref [] in
+  let remaining = ref sorted in
+  while !remaining <> [] do
+    match !remaining with
+    | [] -> ()
+    | c :: rest ->
+        remaining := rest;
+        let others = !keep @ rest in
+        if others = [] || not (covered_by_rest ~nvars others c) then keep := c :: !keep
+  done;
+  List.rev !keep
+
+let minimize ~nvars f =
+  let off = complement ~nvars f in
+  let cost g = List.fold_left (fun acc c -> acc + 1 + Cube.literals c) 0 g in
+  let rec loop f guard =
+    let f' = irredundant ~nvars (expand ~nvars ~off f) in
+    if guard = 0 || cost f' >= cost f then f else loop f' (guard - 1)
+  in
+  let first = irredundant ~nvars (expand ~nvars ~off (dedup f)) in
+  loop first 4
+
+let cube_count f = List.length f
+
+let literal_count f = List.fold_left (fun acc c -> acc + Cube.literals c) 0 f
+
+let of_minterms ~nvars ms =
+  List.map
+    (fun m ->
+      let c = ref (Cube.universe nvars) in
+      for i = 0 to nvars - 1 do
+        c := Cube.set !c i (if m land (1 lsl i) <> 0 then Cube.One else Cube.Zero)
+      done;
+      !c)
+    (List.sort_uniq compare ms)
+
+let of_network_output n po =
+  let inputs = Network.inputs n in
+  let nvars = Array.length inputs in
+  if nvars > 16 then
+    invalid_arg "Sop.of_network_output: too many inputs for exhaustive enumeration";
+  let id =
+    match Array.find_opt (fun (nm, _) -> nm = po) (Network.outputs n) with
+    | Some (_, id) -> id
+    | None -> raise Not_found
+  in
+  let ms = ref [] in
+  for m = 0 to (1 lsl nvars) - 1 do
+    let assignment = Array.init nvars (fun i -> m land (1 lsl i) <> 0) in
+    let values = Eval.eval_all n assignment in
+    if values.(id) then ms := m :: !ms
+  done;
+  of_minterms ~nvars !ms
+
+let to_wire b inputs f =
+  let product c =
+    let lits = ref [] in
+    for i = Cube.width c - 1 downto 0 do
+      match Cube.get c i with
+      | Cube.Dash -> ()
+      | Cube.One -> lits := inputs.(i) :: !lits
+      | Cube.Zero -> lits := Builder.not_ b inputs.(i) :: !lits
+    done;
+    Builder.and_ b !lits
+  in
+  Builder.or_ b (List.map product f)

@@ -1,0 +1,70 @@
+(** Two-level (sum-of-products) covers and a compact espresso-style
+    minimiser.
+
+    A cover is a list of {!Cube.t} whose union of minterms is the
+    function's on-set.  The minimiser implements the classical loop:
+
+    - {b complement} — recursive Shannon expansion with unate
+      short-circuits, producing a cover of the off-set;
+    - {b EXPAND} — raise each cube's literals to don't-care while the
+      cube stays disjoint from the off-set, then drop single-cube-covered
+      cubes;
+    - {b IRREDUNDANT} — remove cubes covered by the union of the rest
+      (tested with a cofactor tautology check);
+
+    iterated to a fixpoint.  It is not a full espresso (no REDUCE /
+    LASTGASP), but it produces irredundant prime covers, which is what a
+    PLA-style front end needs.  Complexity is exponential in the worst
+    case — intended for covers of up to a few hundred cubes over at most
+    a few dozen variables. *)
+
+type t = Cube.t list
+(** A cover; all cubes share the same width.  The empty list is the
+    constant-false cover. *)
+
+val width : t -> int option
+(** Common cube width, or [None] for the empty cover. *)
+
+val eval : t -> bool array -> bool
+(** [eval f m] is membership of the minterm in the union of cubes. *)
+
+val dedup : t -> t
+(** Sort and remove duplicate and single-cube-contained cubes. *)
+
+val tautology : nvars:int -> t -> bool
+(** [tautology ~nvars f] decides whether the cover contains every
+    minterm. *)
+
+val complement : nvars:int -> t -> t
+(** [complement ~nvars f] covers exactly the minterms outside [f]. *)
+
+val expand : nvars:int -> off:t -> t -> t
+(** [expand ~nvars ~off f] makes every cube of [f] prime with respect to
+    the off-set [off] (greedy literal raising, low variable index
+    first). *)
+
+val irredundant : nvars:int -> t -> t
+(** [irredundant ~nvars f] drops cubes whose minterms are covered by the
+    remaining cubes (scanning from the largest cube down). *)
+
+val minimize : nvars:int -> t -> t
+(** [minimize ~nvars f] runs complement / expand / irredundant to a
+    fixpoint.  The result covers exactly the same function with at most
+    as many cubes and literals. *)
+
+val cube_count : t -> int
+val literal_count : t -> int
+
+val of_minterms : nvars:int -> int list -> t
+(** [of_minterms ~nvars ms] is the cover of the given minterm numbers
+    (bit [i] of a minterm number = variable [i]). *)
+
+val of_network_output : Network.t -> string -> t
+(** [of_network_output n po] enumerates the on-set of one output
+    (exhaustive over the inputs — intended for small blocks).
+    @raise Invalid_argument beyond 16 inputs
+    @raise Not_found for an unknown output. *)
+
+val to_wire : Builder.t -> Builder.wire array -> t -> Builder.wire
+(** [to_wire b inputs f] instantiates the cover as AND/OR/NOT logic over
+    the given input wires. *)

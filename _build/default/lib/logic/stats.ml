@@ -1,0 +1,68 @@
+type t = {
+  inputs : int;
+  outputs : int;
+  gates : int;
+  and_gates : int;
+  or_gates : int;
+  xor_gates : int;
+  not_gates : int;
+  other_gates : int;
+  consts : int;
+  depth : int;
+  max_fanin : int;
+  max_fanout : int;
+  literals : int;
+}
+
+let compute n =
+  let gates = ref 0
+  and and_g = ref 0
+  and or_g = ref 0
+  and xor_g = ref 0
+  and not_g = ref 0
+  and other_g = ref 0
+  and consts = ref 0
+  and max_fanin = ref 0
+  and literals = ref 0 in
+  Network.iter_nodes
+    (fun nd ->
+      match nd.Network.func with
+      | Network.Input -> ()
+      | Network.Const _ -> incr consts
+      | Network.Gate g ->
+          incr gates;
+          let fi = Array.length nd.Network.fanins in
+          max_fanin := max !max_fanin fi;
+          literals := !literals + fi;
+          let counter =
+            match g with
+            | Gate.And | Gate.Nand -> and_g
+            | Gate.Or | Gate.Nor -> or_g
+            | Gate.Xor | Gate.Xnor -> xor_g
+            | Gate.Not -> not_g
+            | Gate.Buf -> other_g
+          in
+          incr counter)
+    n;
+  let fanouts = Network.fanout_counts n in
+  {
+    inputs = Array.length (Network.inputs n);
+    outputs = Array.length (Network.outputs n);
+    gates = !gates;
+    and_gates = !and_g;
+    or_gates = !or_g;
+    xor_gates = !xor_g;
+    not_gates = !not_g;
+    other_gates = !other_g;
+    consts = !consts;
+    depth = Topo.depth n;
+    max_fanin = !max_fanin;
+    max_fanout = Array.fold_left max 0 fanouts;
+    literals = !literals;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt
+    "pi=%d po=%d gates=%d (and=%d or=%d xor=%d not=%d) depth=%d lits=%d"
+    s.inputs s.outputs s.gates s.and_gates s.or_gates s.xor_gates s.not_gates
+    s.depth s.literals

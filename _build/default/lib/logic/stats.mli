@@ -1,0 +1,23 @@
+(** Structural statistics of a network. *)
+
+type t = {
+  inputs : int;  (** number of primary inputs *)
+  outputs : int;  (** number of primary outputs *)
+  gates : int;  (** number of gate nodes *)
+  and_gates : int;
+  or_gates : int;
+  xor_gates : int;
+  not_gates : int;
+  other_gates : int;
+  consts : int;
+  depth : int;  (** maximum logic level over the outputs *)
+  max_fanin : int;
+  max_fanout : int;
+  literals : int;  (** total gate fanin count (a factored-form proxy) *)
+}
+
+val compute : Network.t -> t
+(** [compute n] gathers all statistics in one pass. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt s] prints a one-line summary. *)

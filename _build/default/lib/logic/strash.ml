@@ -1,0 +1,176 @@
+type report = {
+  nodes_before : int;
+  nodes_after : int;
+  merged : int;
+  folded : int;
+}
+
+(* Keys for hash-consing: function plus (sorted, for commutative gates)
+   fanin list in the *new* network. *)
+type key = K_not of int | K_gate of Gate.t * int list
+
+(* Copy a network keeping every primary input but only the gates and
+   constants reachable from some primary output. *)
+let compact net =
+  let live = Topo.reachable_from_outputs net in
+  let out = Network.create ~name:(Network.name net) () in
+  let map = Array.make (Network.node_count net) (-1) in
+  Network.iter_nodes
+    (fun nd ->
+      let id = nd.Network.id in
+      match nd.Network.func with
+      | Network.Input -> map.(id) <- Network.add_input ?name:nd.Network.name out
+      | Network.Const b -> if live.(id) then map.(id) <- Network.add_const out b
+      | Network.Gate g ->
+          if live.(id) then
+            map.(id) <-
+              Network.add_gate ?name:nd.Network.name out g
+                (Array.map (fun f -> map.(f)) nd.Network.fanins))
+    net;
+  Array.iter (fun (nm, id) -> Network.set_output out nm map.(id)) (Network.outputs net);
+  out
+
+let run_report n =
+  let out = Network.create ~name:(Network.name n) () in
+  let consed : (key, int) Hashtbl.t = Hashtbl.create 1024 in
+  let merged = ref 0 and folded = ref 0 in
+  let mk_const b = Network.add_const out b in
+  let is_const id b =
+    match (Network.node out id).Network.func with
+    | Network.Const c -> c = b
+    | Network.Input | Network.Gate _ -> false
+  in
+  let is_not id =
+    match (Network.node out id).Network.func with
+    | Network.Gate Gate.Not -> Some (Network.node out id).Network.fanins.(0)
+    | Network.Input | Network.Const _ | Network.Gate _ -> None
+  in
+  let cons key build =
+    match Hashtbl.find_opt consed key with
+    | Some id ->
+        incr merged;
+        id
+    | None ->
+        let id = build () in
+        Hashtbl.replace consed key id;
+        id
+  in
+  let mk_not f =
+    match is_not f with
+    | Some g ->
+        incr folded;
+        g
+    | None ->
+        if is_const f false then (incr folded; mk_const true)
+        else if is_const f true then (incr folded; mk_const false)
+        else cons (K_not f) (fun () -> Network.add_gate out Gate.Not [| f |])
+  in
+  (* Build an n-ary And/Or with absorption over new-network fanins. *)
+  let mk_andor g fanins =
+    let absorbing = (g = Gate.Or) in
+    (* [absorbing]=true value for Or, false for And. *)
+    if List.exists (fun f -> is_const f absorbing) fanins then begin
+      incr folded;
+      mk_const absorbing
+    end
+    else begin
+      let fanins = List.filter (fun f -> not (is_const f (not absorbing))) fanins in
+      let fanins = List.sort_uniq compare fanins in
+      (* Complementary pair detection: x together with Not x. *)
+      let complementary =
+        List.exists
+          (fun f -> match is_not f with Some g -> List.mem g fanins | None -> false)
+          fanins
+      in
+      if complementary then begin
+        incr folded;
+        mk_const absorbing
+      end
+      else
+        match fanins with
+        | [] ->
+            incr folded;
+            mk_const (not absorbing)
+        | [ f ] ->
+            incr folded;
+            f
+        | _ ->
+            cons (K_gate (g, fanins)) (fun () ->
+                Network.add_gate out g (Array.of_list fanins))
+    end
+  in
+  let mk_xor fanins =
+    (* Parity: identical fanins cancel pairwise; constants fold into an
+       output inversion. *)
+    let invert = ref false in
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun f ->
+        if is_const f true then invert := not !invert
+        else if is_const f false then ()
+        else
+          match Hashtbl.find_opt tbl f with
+          | Some () -> Hashtbl.remove tbl f
+          | None -> Hashtbl.replace tbl f ())
+      fanins;
+    let remaining = Hashtbl.fold (fun f () acc -> f :: acc) tbl [] |> List.sort compare in
+    let core =
+      match remaining with
+      | [] ->
+          incr folded;
+          mk_const false
+      | [ f ] ->
+          incr folded;
+          f
+      | _ ->
+          cons (K_gate (Gate.Xor, remaining)) (fun () ->
+              Network.add_gate out Gate.Xor (Array.of_list remaining))
+    in
+    if !invert then mk_not core else core
+  in
+  (* Only rebuild nodes that some primary output actually uses. *)
+  let live = Topo.reachable_from_outputs n in
+  let map = Array.make (Network.node_count n) (-1) in
+  Network.iter_nodes
+    (fun nd ->
+      let id = nd.Network.id in
+      let keep =
+        live.(id) || (match nd.Network.func with Network.Input -> true | _ -> false)
+      in
+      if keep then begin
+        let new_id =
+          match nd.Network.func with
+          | Network.Input -> Network.add_input ?name:nd.Network.name out
+          | Network.Const b -> mk_const b
+          | Network.Gate g ->
+              let fanins =
+                Array.to_list (Array.map (fun f -> map.(f)) nd.Network.fanins)
+              in
+              let base, inverted = Gate.base g in
+              let core =
+                match base with
+                | Gate.And | Gate.Or -> mk_andor base fanins
+                | Gate.Xor -> mk_xor fanins
+                | Gate.Buf -> (incr folded; List.hd fanins)
+                | Gate.Not | Gate.Nand | Gate.Nor | Gate.Xnor ->
+                    (* Gate.base never returns these. *)
+                    assert false
+              in
+              if inverted then mk_not core else core
+        in
+        map.(id) <- new_id
+      end)
+    n;
+  Array.iter (fun (nm, id) -> Network.set_output out nm map.(id)) (Network.outputs n);
+  (* Rewriting can leave intermediate nodes behind (e.g. the inner inverter
+     of a collapsed double negation); compact them away. *)
+  let out = compact out in
+  ( out,
+    {
+      nodes_before = Network.node_count n;
+      nodes_after = Network.node_count out;
+      merged = !merged;
+      folded = !folded;
+    } )
+
+let run n = fst (run_report n)

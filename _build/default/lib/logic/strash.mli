@@ -1,0 +1,31 @@
+(** Structural hashing and local simplification.
+
+    [run] rebuilds a network bottom-up, producing a semantically equivalent
+    network in a normal form convenient for the rest of the flow:
+
+    - only [And], [Or], [Xor] (n-ary), [Not], [Input] and [Const] nodes
+      remain ([Nand]/[Nor]/[Xnor]/[Buf] are rewritten away);
+    - structurally identical nodes are merged (hash-consing);
+    - constants are propagated and absorbed ([And(x, 0) = 0], dropped-true
+      fanins, ...);
+    - double negations and duplicate fanins are eliminated, and
+      complementary fanin pairs collapse ([And(x, ¬x) = 0],
+      [Or(x, ¬x) = 1], [Xor(x, x) = 0]);
+    - nodes not in the transitive fanin of any primary output are swept.
+
+    Primary inputs are preserved by position (all of them, even unused
+    ones, so that input indexing is stable); primary outputs are preserved
+    by name. *)
+
+val run : Network.t -> Network.t
+(** [run n] is the simplified, hash-consed copy of [n]. *)
+
+type report = {
+  nodes_before : int;
+  nodes_after : int;
+  merged : int;  (** nodes that mapped onto an existing structural twin *)
+  folded : int;  (** nodes that simplified to a constant or a fanin *)
+}
+
+val run_report : Network.t -> Network.t * report
+(** [run_report n] also returns rewrite statistics. *)

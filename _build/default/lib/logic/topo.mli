@@ -1,0 +1,25 @@
+(** Topological utilities over {!Network.t}.
+
+    Networks are topologically ordered by construction; these helpers derive
+    structural measures from that order. *)
+
+val levels : Network.t -> int array
+(** [levels n] assigns each node its logic level: inputs and constants are
+    level 0; a gate is one more than the maximum level of its fanins. *)
+
+val depth : Network.t -> int
+(** [depth n] is the maximum level over all primary-output drivers; 0 for a
+    network whose outputs are inputs or constants. *)
+
+val reachable_from_outputs : Network.t -> bool array
+(** [reachable_from_outputs n] marks every node in the transitive fanin of
+    some primary output. *)
+
+val transitive_fanin : Network.t -> int -> bool array
+(** [transitive_fanin n id] marks [id] and every node it transitively
+    depends on. *)
+
+val output_support : Network.t -> string -> int list
+(** [output_support n po] is the sorted list of primary-input identifiers in
+    the transitive fanin of output [po].
+    @raise Not_found if [po] is not an output. *)

@@ -1,0 +1,79 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length v = v.len
+
+let is_empty v = v.len = 0
+
+let check v i =
+  if i < 0 || i >= v.len then
+    invalid_arg (Printf.sprintf "Vec: index %d out of bounds (length %d)" i v.len)
+
+let get v i =
+  check v i;
+  Array.unsafe_get v.data i
+
+let set v i x =
+  check v i;
+  Array.unsafe_set v.data i x
+
+let grow v x =
+  let cap = Array.length v.data in
+  let cap' = if cap = 0 then 8 else 2 * cap in
+  let data' = Array.make cap' x in
+  Array.blit v.data 0 data' 0 v.len;
+  v.data <- data'
+
+let push v x =
+  if v.len = Array.length v.data then grow v x;
+  Array.unsafe_set v.data v.len x;
+  let i = v.len in
+  v.len <- i + 1;
+  i
+
+let pop v =
+  if v.len = 0 then None
+  else begin
+    v.len <- v.len - 1;
+    Some (Array.unsafe_get v.data v.len)
+  end
+
+let last v = if v.len = 0 then None else Some (Array.unsafe_get v.data (v.len - 1))
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f (Array.unsafe_get v.data i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i (Array.unsafe_get v.data i)
+  done
+
+let fold f init v =
+  let acc = ref init in
+  for i = 0 to v.len - 1 do
+    acc := f !acc (Array.unsafe_get v.data i)
+  done;
+  !acc
+
+let map f v =
+  let w = create () in
+  iter (fun x -> ignore (push w (f x))) v;
+  w
+
+let exists p v =
+  let rec go i = i < v.len && (p (Array.unsafe_get v.data i) || go (i + 1)) in
+  go 0
+
+let to_array v = Array.init v.len (fun i -> Array.unsafe_get v.data i)
+
+let to_list v = List.init v.len (fun i -> Array.unsafe_get v.data i)
+
+let of_list xs =
+  let v = create () in
+  List.iter (fun x -> ignore (push v x)) xs;
+  v
+
+let clear v = v.len <- 0

@@ -1,0 +1,61 @@
+(** Growable arrays.
+
+    A minimal dynamic-array implementation used throughout the code base
+    (OCaml 5.1 predates [Dynarray] in the standard library).  Elements are
+    stored contiguously; [push] is amortised O(1). *)
+
+type 'a t
+(** A growable array of ['a]. *)
+
+val create : unit -> 'a t
+(** [create ()] is a fresh, empty vector. *)
+
+val length : 'a t -> int
+(** [length v] is the number of elements currently stored in [v]. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty v] is [length v = 0]. *)
+
+val get : 'a t -> int -> 'a
+(** [get v i] is the [i]-th element.  @raise Invalid_argument if [i] is out
+    of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** [set v i x] replaces the [i]-th element with [x].
+    @raise Invalid_argument if [i] is out of bounds. *)
+
+val push : 'a t -> 'a -> int
+(** [push v x] appends [x] and returns its index. *)
+
+val pop : 'a t -> 'a option
+(** [pop v] removes and returns the last element, or [None] if empty. *)
+
+val last : 'a t -> 'a option
+(** [last v] is the most recently pushed element, if any. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** [iter f v] applies [f] to every element in index order. *)
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+(** [iteri f v] applies [f i x] to every element [x] at index [i]. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** [fold f init v] folds [f] over the elements in index order. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** [map f v] is a fresh vector of the images of [v]'s elements. *)
+
+val exists : ('a -> bool) -> 'a t -> bool
+(** [exists p v] tests whether some element satisfies [p]. *)
+
+val to_array : 'a t -> 'a array
+(** [to_array v] is a fresh array with the contents of [v]. *)
+
+val to_list : 'a t -> 'a list
+(** [to_list v] is the contents of [v] as a list, in index order. *)
+
+val of_list : 'a list -> 'a t
+(** [of_list xs] is a vector holding the elements of [xs]. *)
+
+val clear : 'a t -> unit
+(** [clear v] removes all elements (capacity is retained). *)

@@ -1,0 +1,1 @@
+lib/mapper/algorithms.ml: Cost Domino Engine Logic Postprocess Unate

@@ -1,0 +1,1 @@
+lib/mapper/algorithms.mli: Cost Domino Engine Logic Unate

@@ -1,0 +1,1 @@
+lib/mapper/cost.ml: Printf

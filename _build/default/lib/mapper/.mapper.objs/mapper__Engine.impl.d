@@ -1,0 +1,1 @@
+lib/mapper/engine.ml: Array Circuit Cost Domino Domino_gate Hashtbl List Logic Pbe_analysis Pdn Printf Soi_rules Unate Unetwork

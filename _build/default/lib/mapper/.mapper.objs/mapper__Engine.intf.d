@@ -1,0 +1,1 @@
+lib/mapper/engine.mli: Cost Domino Unate

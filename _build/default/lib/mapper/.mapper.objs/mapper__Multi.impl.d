@@ -1,0 +1,1 @@
+lib/mapper/multi.ml: Algorithms Buffer Cost Domino List Printf

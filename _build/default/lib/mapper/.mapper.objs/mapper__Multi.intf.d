@@ -1,0 +1,1 @@
+lib/mapper/multi.mli: Cost Domino Logic

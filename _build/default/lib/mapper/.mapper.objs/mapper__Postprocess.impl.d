@@ -1,0 +1,1 @@
+lib/mapper/postprocess.ml: Array Circuit Domino Domino_gate Pbe_analysis Reorder

@@ -1,0 +1,1 @@
+lib/mapper/postprocess.mli: Domino

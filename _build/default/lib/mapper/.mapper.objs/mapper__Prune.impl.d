@@ -1,0 +1,1 @@
+lib/mapper/prune.ml: Array Circuit Domino Domino_gate List Sim

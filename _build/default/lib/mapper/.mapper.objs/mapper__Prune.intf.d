@@ -1,0 +1,1 @@
+lib/mapper/prune.mli: Domino Sim

@@ -1,0 +1,1 @@
+lib/mapper/soi_rules.ml: Cost Domino

@@ -1,0 +1,50 @@
+type flow =
+  | Domino_map
+  | Rs_map
+  | Soi_domino_map
+
+let flow_name = function
+  | Domino_map -> "Domino_Map"
+  | Rs_map -> "RS_Map"
+  | Soi_domino_map -> "SOI_Domino_Map"
+
+type result = {
+  circuit : Domino.Circuit.t;
+  counts : Domino.Circuit.counts;
+  unate : Unate.Unetwork.t;
+  stats : Engine.stats;
+}
+
+let prepare ?(extract = false) net =
+  let net = Logic.Strash.run net in
+  let net = if extract then Logic.Extract.run net else net in
+  let net = Unate.Decompose.to_aoi net in
+  Unate.Unetwork.of_network net
+
+let run ?(cost = Cost.area) ?(w_max = 5) ?(h_max = 8) ?(both_orders = true)
+    ?(grounded_at_foot = true) ?(pareto_width = 1) ?(extract = false) flow net =
+  let u = prepare ~extract net in
+  let style =
+    match flow with Domino_map | Rs_map -> Engine.Bulk | Soi_domino_map -> Engine.Soi
+  in
+  let options =
+    { Engine.w_max; h_max; style; cost; both_orders; grounded_at_foot; pareto_width }
+  in
+  let circuit, stats = Engine.map options u in
+  let circuit =
+    match flow with
+    | Domino_map -> Postprocess.insert_discharges circuit
+    | Rs_map -> Postprocess.rearrange_stacks circuit
+    | Soi_domino_map ->
+        (* Stack reordering is one of the paper's transformations; the DP
+           makes its ordering choices pairwise per AND node, so a final
+           flatten-and-reorder pass can still sink a parallel branch that
+           was committed early.  Discharge points are recomputed for the
+           reordered structures. *)
+        Postprocess.rearrange_stacks circuit
+  in
+  { circuit; counts = Domino.Circuit.counts circuit; unate = u; stats }
+
+let domino_map ?cost ?w_max ?h_max net = run ?cost ?w_max ?h_max Domino_map net
+let rs_map ?cost ?w_max ?h_max net = run ?cost ?w_max ?h_max Rs_map net
+let soi_domino_map ?cost ?w_max ?h_max net = run ?cost ?w_max ?h_max Soi_domino_map net

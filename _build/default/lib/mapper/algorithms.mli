@@ -1,0 +1,51 @@
+(** The three mapping flows compared in the paper, end to end.
+
+    Each flow takes an arbitrary {!Logic.Network.t}, normalises it
+    (structural hashing), decomposes it to 2-input AND/OR + inverters,
+    bubble-pushes it into unate form, and maps it:
+
+    - {!domino_map}: the bulk-CMOS baseline — PBE-oblivious DP mapping,
+      then p-discharge transistors inserted by post-processing;
+    - {!rs_map}: baseline mapping, series stacks reordered toward ground,
+      then discharge insertion ([Rearrange_Stacks_Map], Table I);
+    - {!soi_domino_map}: the paper's algorithm — discharge transistors
+      participate in the cost during mapping (Tables II-IV). *)
+
+type flow =
+  | Domino_map
+  | Rs_map
+  | Soi_domino_map
+
+val flow_name : flow -> string
+(** Printable name, matching the paper's. *)
+
+type result = {
+  circuit : Domino.Circuit.t;
+  counts : Domino.Circuit.counts;
+  unate : Unate.Unetwork.t;  (** the mapper input, for equivalence checks *)
+  stats : Engine.stats;
+}
+
+val run :
+  ?cost:Cost.model ->
+  ?w_max:int ->
+  ?h_max:int ->
+  ?both_orders:bool ->
+  ?grounded_at_foot:bool ->
+  ?pareto_width:int ->
+  ?extract:bool ->
+  flow ->
+  Logic.Network.t ->
+  result
+(** [run flow net] executes the complete flow with the paper's defaults
+    ([w_max] 5, [h_max] 8, area cost). *)
+
+val domino_map : ?cost:Cost.model -> ?w_max:int -> ?h_max:int -> Logic.Network.t -> result
+val rs_map : ?cost:Cost.model -> ?w_max:int -> ?h_max:int -> Logic.Network.t -> result
+val soi_domino_map :
+  ?cost:Cost.model -> ?w_max:int -> ?h_max:int -> Logic.Network.t -> result
+
+val prepare : ?extract:bool -> Logic.Network.t -> Unate.Unetwork.t
+(** [prepare net] is the shared front end: strash, optional shared-divisor
+    extraction ({!Logic.Extract}), decompose to 2-input AND/OR,
+    bubble-push to unate form. *)

@@ -1,0 +1,58 @@
+type model = {
+  name : string;
+  regular : int;
+  clocked : int;
+  discharge : int;
+  depth_factor : int;
+}
+
+type value = {
+  weighted : int;
+  depth : int;
+  raw : int;
+}
+
+let zero = { weighted = 0; depth = 0; raw = 0 }
+
+let combine a b =
+  {
+    weighted = a.weighted + b.weighted;
+    depth = max a.depth b.depth;
+    raw = a.raw + b.raw;
+  }
+
+let regular_transistors m n = { weighted = n * m.regular; depth = 0; raw = n }
+
+let discharges m n = { weighted = n * m.discharge; depth = 0; raw = n }
+
+let gate_overhead m ~footed =
+  let clocked = if footed then 2 else 1 in
+  {
+    weighted = (clocked * m.clocked) + (3 * m.regular);
+    depth = 0;
+    raw = clocked + 3;
+  }
+
+let level_up v = { v with depth = v.depth + 1 }
+
+let key m v = (m.depth_factor * v.depth) + v.weighted
+
+let compare_values m a b =
+  match compare (key m a) (key m b) with 0 -> compare a.raw b.raw | c -> c
+
+let area = { name = "area"; regular = 1; clocked = 1; discharge = 1; depth_factor = 0 }
+
+let clock_weighted k =
+  {
+    name = Printf.sprintf "clock-weighted k=%d" k;
+    regular = 1;
+    clocked = k;
+    discharge = k;
+    depth_factor = 0;
+  }
+
+let depth_bulk =
+  { name = "depth (bulk)"; regular = 0; clocked = 0; discharge = 0; depth_factor = 1 }
+
+let depth_soi =
+  { name = "depth+discharge (SOI)"; regular = 0; clocked = 0; discharge = 1; depth_factor = 1 }

@@ -1,0 +1,62 @@
+(** Cost models for the dynamic-programming mapper.
+
+    A {!model} assigns weights to the resources a partial solution
+    consumes; a {!value} is the accumulated consumption of one solution.
+    The paper's experiments use four instantiations:
+
+    - {!area}: minimise total transistors, discharge transistors included
+      (Tables I and II);
+    - {!clock_weighted}[ k]: clock-connected transistors (precharge, foot,
+      p-discharge) cost [k] times a regular transistor (Table III);
+    - {!depth_bulk}: minimise domino levels, ties broken on transistors —
+      the bulk baseline of Table IV;
+    - {!depth_soi}: levels plus discharge transistors — the SOI objective
+      of Table IV ("the actual cost function is a combination of delay and
+      the number of discharge transistors used"). *)
+
+type model = {
+  name : string;
+  regular : int;  (** weight of a non-clocked transistor *)
+  clocked : int;  (** weight of a precharge or foot transistor *)
+  discharge : int;  (** weight of a p-discharge transistor *)
+  depth_factor : int;  (** weight of one domino level *)
+}
+
+type value = {
+  weighted : int;  (** accumulated weighted transistor cost *)
+  depth : int;  (** domino levels already beneath this solution *)
+  raw : int;  (** unweighted transistor count (tie-breaking, reporting) *)
+}
+
+val zero : value
+(** The empty consumption. *)
+
+val combine : value -> value -> value
+(** [combine a b] adds weighted and raw costs and takes the maximum
+    depth (series/parallel composition of partial solutions). *)
+
+val regular_transistors : model -> int -> value
+(** [regular_transistors m n] is the cost of [n] plain transistors. *)
+
+val discharges : model -> int -> value
+(** [discharges m n] is the cost of [n] p-discharge transistors. *)
+
+val gate_overhead : model -> footed:bool -> value
+(** [gate_overhead m ~footed] is the cost of forming a gate: clocked
+    precharge, 2-transistor inverter and keeper (regular), plus a clocked
+    foot when [footed]. *)
+
+val level_up : value -> value
+(** [level_up v] is [v] one domino level deeper (gate formation). *)
+
+val key : model -> value -> int
+(** [key m v] is the scalar the mapper minimises:
+    [depth_factor * depth + weighted]. *)
+
+val compare_values : model -> value -> value -> int
+(** [compare_values m a b] orders by {!key}, then raw transistors. *)
+
+val area : model
+val clock_weighted : int -> model
+val depth_bulk : model
+val depth_soi : model

@@ -1,0 +1,277 @@
+open Unate
+open Domino
+
+type style = Bulk | Soi
+
+type options = {
+  w_max : int;
+  h_max : int;
+  style : style;
+  cost : Cost.model;
+  both_orders : bool;
+  grounded_at_foot : bool;
+  pareto_width : int;
+}
+
+let default_options =
+  {
+    w_max = 5;
+    h_max = 8;
+    style = Soi;
+    cost = Cost.area;
+    both_orders = true;
+    grounded_at_foot = true;
+    pareto_width = 1;
+  }
+
+type stats = {
+  nodes_processed : int;
+  tuples_kept : int;
+  combinations_tried : int;
+  gates_formed : int;
+}
+
+(* Gate formed for a unate node, before circuit ids are assigned. *)
+type gate_info = {
+  gi_structure : Pdn.t;
+  gi_footed : bool;
+  gi_level : int;
+  gi_value : Cost.value;  (* formation cost, overhead and discharges included *)
+  gi_disch : int;  (* discharge transistors this gate will carry *)
+}
+
+type entry = {
+  table : Soi_rules.sol list array;  (* (w-1) * h_max + (h-1); Pareto set *)
+  mutable gate : gate_info option;
+}
+
+let map options u =
+  if options.w_max < 2 || options.h_max < 2 then
+    invalid_arg "Engine.map: w_max and h_max must be at least 2";
+  if options.pareto_width < 1 then
+    invalid_arg "Engine.map: pareto_width must be at least 1";
+  let model = options.cost in
+  let n = Unetwork.node_count u in
+  let fanouts = Unetwork.fanout_counts u in
+  let entries =
+    Array.init n (fun _ ->
+        { table = Array.make (options.w_max * options.h_max) []; gate = None })
+  in
+  let combinations = ref 0 and tuples_kept = ref 0 in
+
+  let slot w h = ((w - 1) * options.h_max) + (h - 1) in
+
+  let key s = Cost.key model s.Soi_rules.value in
+  (* [a] dominates [b] when it is at least as good on the cost key and the
+     potential-discharge count with the same bottom shape. *)
+  let dominates a b =
+    a.Soi_rules.par_b = b.Soi_rules.par_b
+    && key a <= key b
+    && a.Soi_rules.p_dis <= b.Soi_rules.p_dis
+  in
+  let consider entry (s : Soi_rules.sol) =
+    if s.Soi_rules.w <= options.w_max && s.Soi_rules.h <= options.h_max then begin
+      let i = slot s.Soi_rules.w s.Soi_rules.h in
+      let kept = entry.table.(i) in
+      if not (List.exists (fun old -> dominates old s) kept) then begin
+        let kept = List.filter (fun old -> not (dominates s old)) kept in
+        let kept = List.sort (Soi_rules.compare_sols model) (s :: kept) in
+        let kept =
+          (* Cap the frontier; the sort keeps the cheapest tuples. *)
+          if List.length kept > options.pareto_width then
+            List.filteri (fun j _ -> j < options.pareto_width) kept
+          else kept
+        in
+        entry.table.(i) <- kept;
+        incr tuples_kept
+      end
+    end
+  in
+
+  (* The gate a node forms, computed after its table is complete. *)
+  let form_gate id =
+    let entry = entries.(id) in
+    let best = ref None in
+    Array.iter
+      (fun cands ->
+        List.iter
+          (fun (s : Soi_rules.sol) ->
+            let footed = Pdn.has_pi_leaf s.Soi_rules.structure in
+            let extra_disch =
+              if options.grounded_at_foot then 0 else s.Soi_rules.p_dis
+            in
+            let value =
+              Cost.level_up
+                (Cost.combine s.Soi_rules.value
+                   (Cost.combine
+                      (Cost.gate_overhead model ~footed)
+                      (Cost.discharges model extra_disch)))
+            in
+            let info =
+              {
+                gi_structure = s.Soi_rules.structure;
+                gi_footed = footed;
+                gi_level = value.Cost.depth;
+                gi_value = value;
+                gi_disch = s.Soi_rules.disch + extra_disch;
+              }
+            in
+            let better =
+              match !best with
+              | None -> true
+              | Some b -> Cost.compare_values model value b.gi_value < 0
+            in
+            if better then best := Some info)
+          cands)
+      entry.table;
+    match !best with
+    | Some info ->
+        entry.gate <- Some info;
+        info
+    | None ->
+        (* Unreachable: every AND/OR node admits at least the {2,1}/{1,2}
+           combination of its fanins' gate tuples. *)
+        assert false
+  in
+
+  let gate_of id =
+    match entries.(id).gate with Some g -> g | None -> form_gate id
+  in
+
+  (* Candidate tuples a fanin offers to its consumer. *)
+  let options_of_fin fin =
+    match fin with
+    | Unetwork.F_const _ ->
+        failwith "Engine.map: constant fanin reached the mapper; run Strash first"
+    | Unetwork.F_lit { input; positive } -> [ Soi_rules.leaf_pi model ~input ~positive ]
+    | Unetwork.F_node m ->
+        let gi = gate_of m in
+        let shared = fanouts.(m) > 1 in
+        let carried = if shared then Cost.zero else gi.gi_value in
+        let carried_disch = if shared then 0 else gi.gi_disch in
+        let gate_sol =
+          Soi_rules.leaf_gate model ~node:m ~level:gi.gi_level ~carried ~carried_disch
+        in
+        if shared then [ gate_sol ]
+        else
+          Array.fold_left
+            (fun acc cands -> List.rev_append cands acc)
+            [ gate_sol ] entries.(m).table
+  in
+
+  (* Main DP sweep in topological order. *)
+  for id = 0 to n - 1 do
+    let nd = Unetwork.node u id in
+    let entry = entries.(id) in
+    let opts0 = options_of_fin nd.Unetwork.fanin0 in
+    let opts1 = options_of_fin nd.Unetwork.fanin1 in
+    List.iter
+      (fun s0 ->
+        List.iter
+          (fun s1 ->
+            incr combinations;
+            match nd.Unetwork.kind with
+            | Unetwork.U_or -> consider entry (Soi_rules.combine_or model s0 s1)
+            | Unetwork.U_and -> (
+                match options.style with
+                | Bulk ->
+                    consider entry (Soi_rules.combine_and_bulk model ~top:s0 ~bottom:s1)
+                | Soi ->
+                    if options.both_orders then begin
+                      consider entry (Soi_rules.combine_and_soi model ~top:s0 ~bottom:s1);
+                      consider entry (Soi_rules.combine_and_soi model ~top:s1 ~bottom:s0)
+                    end
+                    else begin
+                      let top, bottom = Soi_rules.heuristic_and_order s0 s1 in
+                      consider entry (Soi_rules.combine_and_soi model ~top ~bottom)
+                    end))
+          opts1)
+      opts0
+  done;
+
+  (* Materialise the gates reachable from the primary outputs. *)
+  let circuit_gates = Logic.Vec.create () in
+  let circuit_id : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let materialise root =
+    let stack = ref [ root ] in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | m :: rest ->
+          if Hashtbl.mem circuit_id m then stack := rest
+          else begin
+            let gi = gate_of m in
+            let deps =
+              List.filter
+                (fun q -> not (Hashtbl.mem circuit_id q))
+                (Pdn.gate_fanins gi.gi_structure)
+            in
+            match deps with
+            | [] ->
+                let remap = function
+                  | Pdn.S_gate q -> Pdn.S_gate (Hashtbl.find circuit_id q)
+                  | Pdn.S_pi _ as s -> s
+                in
+                let pdn = Pdn.map_signals remap gi.gi_structure in
+                let level =
+                  1
+                  + List.fold_left
+                      (fun acc q ->
+                        max acc
+                          (Logic.Vec.get circuit_gates q).Domino_gate.level)
+                      0 (Pdn.gate_fanins pdn)
+                in
+                let discharge_points =
+                  match options.style with
+                  | Bulk -> []
+                  | Soi ->
+                      Pbe_analysis.discharge_points
+                        ~grounded:options.grounded_at_foot pdn
+                in
+                let id' =
+                  Logic.Vec.push circuit_gates
+                    {
+                      Domino_gate.id = Logic.Vec.length circuit_gates;
+                      pdn;
+                      footed = gi.gi_footed;
+                      discharge_points;
+                      level;
+                    }
+                in
+                Hashtbl.replace circuit_id m id';
+                stack := rest
+            | _ -> stack := deps @ !stack
+          end
+    done
+  in
+  let outputs =
+    Array.map
+      (fun (nm, fin) ->
+        match fin with
+        | Unetwork.F_const _ ->
+            failwith
+              (Printf.sprintf
+                 "Engine.map: primary output %s is constant; domino logic \
+                  cannot drive constants (fold them away first)"
+                 nm)
+        | Unetwork.F_lit { input; positive } -> (nm, Pdn.S_pi { input; positive })
+        | Unetwork.F_node m ->
+            materialise m;
+            (nm, Pdn.S_gate (Hashtbl.find circuit_id m)))
+      (Unetwork.outputs u)
+  in
+  let circuit =
+    {
+      Circuit.source = Unetwork.source_name u;
+      input_names = Unetwork.inputs u;
+      gates = Logic.Vec.to_array circuit_gates;
+      outputs;
+    }
+  in
+  ( circuit,
+    {
+      nodes_processed = n;
+      tuples_kept = !tuples_kept;
+      combinations_tried = !combinations;
+      gates_formed = Array.length circuit.Circuit.gates;
+    } )

@@ -1,0 +1,67 @@
+(** The dynamic-programming technology-mapping engine.
+
+    Shared by the bulk baseline ([Domino_Map], after Zhao & Sapatnekar
+    ICCAD'98) and the paper's [SOI_Domino_Map]; the two differ only in the
+    series-composition rule and in the stack-ordering freedom, selected by
+    {!style}.
+
+    The engine processes the unate network in topological order.  Each
+    node accumulates one best tuple per pull-down-network footprint
+    [{W, H}] with [W <= w_max], [H <= h_max] (the paper uses 5 and 8), and
+    additionally forms its [{1,1}] "gate" tuple by converting the cheapest
+    configuration into a full domino gate (precharge, inverter, keeper,
+    and a foot when primary inputs are present).  Multi-fanout nodes are
+    mapping boundaries: their consumers may only use the formed gate, and
+    the gate's cost is accounted once, globally.  Single-fanout children
+    flow their cumulative cost through their parent's tuples exactly as in
+    the paper's Figure 3 example.
+
+    On gate formation, the PDN bottom is connected to the foot/ground
+    path, so potential discharge points vanish and only committed
+    p-discharge transistors are kept (set [grounded_at_foot = false] to
+    study the pessimistic alternative — an ablation, not the paper's
+    semantics). *)
+
+type style =
+  | Bulk  (** no PBE bookkeeping; fixed series order (fanin 0 on top) *)
+  | Soi  (** paper rules: p_dis/par_b tracking and stack-order freedom *)
+
+type options = {
+  w_max : int;  (** maximum PDN width (paper: 5) *)
+  h_max : int;  (** maximum PDN height (paper: 8) *)
+  style : style;
+  cost : Cost.model;
+  both_orders : bool;
+      (** Soi only: try both series orders and keep the better tuple
+          (default); when false, use the paper's par_b/p_dis ordering
+          heuristic alone *)
+  grounded_at_foot : bool;
+      (** treat a formed gate's PDN bottom as grounded (paper semantics;
+          default true) *)
+  pareto_width : int;
+      (** tuples kept per [{W, H}] slot.  1 reproduces the paper (one best
+          tuple, cost then p_dis tie-break); larger values keep a Pareto
+          frontier over (cost, p_dis, par_b), trading mapping time for
+          solution quality — an extension evaluated as an ablation *)
+}
+
+val default_options : options
+(** [{w_max = 5; h_max = 8; style = Soi; cost = Cost.area;
+     both_orders = true; grounded_at_foot = true; pareto_width = 1}]. *)
+
+type stats = {
+  nodes_processed : int;
+  tuples_kept : int;  (** surviving table entries across all nodes *)
+  combinations_tried : int;
+  gates_formed : int;  (** gates materialised into the final circuit *)
+}
+
+val map : options -> Unate.Unetwork.t -> Domino.Circuit.t * stats
+(** [map options u] maps the unate network to a domino circuit.  The
+    result is functionally equivalent to [u] (checked by the test-suite)
+    and, for [Soi], already carries its p-discharge transistors.  For
+    [Bulk] the circuit carries none; apply {!Postprocess.insert_discharges}
+    to obtain a correct SOI implementation.
+    @raise Invalid_argument if [w_max < 2] or [h_max < 2]
+    @raise Failure on a constant primary output (fold constants away
+    first). *)

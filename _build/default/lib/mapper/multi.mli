@@ -1,0 +1,30 @@
+(** Multi-objective mapping sweeps.
+
+    The paper evaluates its algorithm under several cost functions (area,
+    clock-weighted, depth).  This helper runs a whole portfolio of
+    objectives on one circuit and reports the Pareto-efficient subset over
+    (total transistors, domino levels, clock-connected transistors) — the
+    view a designer choosing an operating point actually wants. *)
+
+type point = {
+  label : string;  (** objective name *)
+  cost : Cost.model;  (** the model that produced it *)
+  counts : Domino.Circuit.counts;
+  delay : float;  (** first-order critical delay *)
+  efficient : bool;  (** on the (t_total, levels, t_clock) Pareto front *)
+}
+
+val default_portfolio : (string * Cost.model) list
+(** Area, clock-weighted k=2 and k=4, depth+discharge. *)
+
+val sweep :
+  ?portfolio:(string * Cost.model) list ->
+  ?w_max:int ->
+  ?h_max:int ->
+  Logic.Network.t ->
+  point list
+(** [sweep net] maps [net] with {!Algorithms.Soi_domino_map} under every
+    objective in the portfolio and marks Pareto efficiency. *)
+
+val render : point list -> string
+(** Plain-text table of the sweep. *)

@@ -1,0 +1,23 @@
+open Domino
+
+let map_gates f c =
+  { c with Circuit.gates = Array.map f c.Circuit.gates }
+
+let insert_discharges c =
+  map_gates
+    (fun g ->
+      {
+        g with
+        Domino_gate.discharge_points =
+          Pbe_analysis.discharge_points ~grounded:true g.Domino_gate.pdn;
+      })
+    c
+
+let rearrange_stacks c =
+  insert_discharges
+    (map_gates
+       (fun g -> { g with Domino_gate.pdn = Reorder.rearrange g.Domino_gate.pdn })
+       c)
+
+let strip_discharges c =
+  map_gates (fun g -> { g with Domino_gate.discharge_points = [] }) c

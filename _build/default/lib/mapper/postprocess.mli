@@ -1,0 +1,29 @@
+(** Post-processing passes applied to bulk-mapped circuits.
+
+    The paper's two comparison flows both start from the PBE-oblivious
+    [Domino_Map] result:
+
+    - [Domino_Map]: {!insert_discharges} adds the p-discharge transistors
+      a correct SOI implementation of the as-mapped structures requires;
+    - [RS_Map]: {!rearrange_stacks} first reorders every series stack to
+      sink parallel branches toward ground (Table I), then discharges are
+      inserted for what remains.
+
+    Both passes preserve logic function, transistor structure counts and
+    [{W, H}] footprints; they only change stack order and discharge
+    transistor placement. *)
+
+val insert_discharges : Domino.Circuit.t -> Domino.Circuit.t
+(** [insert_discharges c] recomputes every gate's discharge points with
+    the structural PBE analysis (gate bottoms grounded), replacing
+    whatever was there. *)
+
+val rearrange_stacks : Domino.Circuit.t -> Domino.Circuit.t
+(** [rearrange_stacks c] applies {!Domino.Reorder.rearrange} to every
+    gate's PDN and then inserts discharges for the reordered
+    structures. *)
+
+val strip_discharges : Domino.Circuit.t -> Domino.Circuit.t
+(** [strip_discharges c] removes all p-discharge transistors (used by the
+    simulator tests to demonstrate PBE failures on unprotected
+    circuits). *)

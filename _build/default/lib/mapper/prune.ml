@@ -1,0 +1,57 @@
+open Domino
+
+type result = {
+  circuit : Circuit.t;
+  removed : int;
+  kept : int;
+  validated_exhaustively : bool;
+}
+
+let without_point circuit gate_id path =
+  let gates =
+    Array.map
+      (fun g ->
+        if g.Domino_gate.id = gate_id then
+          {
+            g with
+            Domino_gate.discharge_points =
+              List.filter (fun p -> p <> path) g.Domino_gate.discharge_points;
+          }
+        else g)
+      circuit.Circuit.gates
+  in
+  { circuit with Circuit.gates = gates }
+
+let run ?(config = Sim.Domino_sim.default_config) ?(exhaustive_limit = 8)
+    ?(random_cycles = 512) ?(seed = 0x5EED) (c : Circuit.t) =
+  let n_inputs = Array.length c.Circuit.input_names in
+  let exhaustive = n_inputs <= exhaustive_limit in
+  let clean circuit =
+    if exhaustive then
+      let hunt =
+        Sim.Domino_sim.exhaustive_pbe_hunt ~config ~max_inputs:exhaustive_limit
+          circuit
+      in
+      hunt.Sim.Domino_sim.failing_pairs = []
+    else Sim.Domino_sim.pbe_free ~config ~cycles:random_cycles ~seed circuit
+  in
+  let current = ref c in
+  let removed = ref 0 and kept = ref 0 in
+  Array.iter
+    (fun g ->
+      List.iter
+        (fun path ->
+          let candidate = without_point !current g.Domino_gate.id path in
+          if clean candidate then begin
+            current := candidate;
+            incr removed
+          end
+          else incr kept)
+        g.Domino_gate.discharge_points)
+    c.Circuit.gates;
+  {
+    circuit = !current;
+    removed = !removed;
+    kept = !kept;
+    validated_exhaustively = exhaustive;
+  }

@@ -1,0 +1,40 @@
+(** Sequence-aware discharge pruning (the paper's future-work item).
+
+    The mapping algorithm assumes the worst case: every structurally
+    risky junction gets a p-discharge transistor.  The paper's conclusion
+    observes that "breakdown will only occur for a particular sequence of
+    input logic values" and that exploiting this could remove further
+    transistors.  This module implements a conservative, validation-guided
+    rendition: each discharge transistor is tentatively removed and the
+    circuit is re-validated with the switch-level floating-body simulator
+    — exhaustively over all two-pattern (hold, strike) sequences when the
+    input count permits, otherwise with a random-stimulus budget.
+    Removals that provoke any bipolar event or output corruption are
+    rolled back.
+
+    With exhaustive validation the result is sound for the simulator's
+    body model under two-pattern stimuli (which includes the paper's
+    canonical failure shape); with random validation it is heuristic and
+    the [validated_exhaustively] flag says so.  Either way, the pass never
+    changes logic function — only protection hardware. *)
+
+type result = {
+  circuit : Domino.Circuit.t;  (** pruned circuit *)
+  removed : int;  (** discharge transistors eliminated *)
+  kept : int;  (** discharge transistors confirmed necessary *)
+  validated_exhaustively : bool;
+      (** true when every candidate was checked against all two-pattern
+          sequences (input count within [exhaustive_limit]) *)
+}
+
+val run :
+  ?config:Sim.Domino_sim.config ->
+  ?exhaustive_limit:int ->
+  ?random_cycles:int ->
+  ?seed:int ->
+  Domino.Circuit.t ->
+  result
+(** [run c] prunes [c]'s discharge transistors.  [exhaustive_limit]
+    (default 8) bounds the input count for exhaustive two-pattern
+    validation; larger circuits fall back to [random_cycles] (default
+    512) random vectors per candidate. *)

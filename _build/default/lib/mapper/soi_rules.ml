@@ -1,0 +1,91 @@
+
+
+type sol = {
+  w : int;
+  h : int;
+  value : Cost.value;
+  p_dis : int;
+  par_b : bool;
+  disch : int;
+  structure : Domino.Pdn.t;
+}
+
+let leaf_pi model ~input ~positive =
+  {
+    w = 1;
+    h = 1;
+    value = Cost.regular_transistors model 1;
+    p_dis = 0;
+    par_b = false;
+    disch = 0;
+    structure = Domino.Pdn.Leaf (Domino.Pdn.S_pi { input; positive });
+  }
+
+let leaf_gate model ~node ~level ~carried ~carried_disch =
+  let interface = Cost.regular_transistors model 1 in
+  let value = Cost.combine carried interface in
+  {
+    w = 1;
+    h = 1;
+    value = { value with Cost.depth = max value.Cost.depth level };
+    p_dis = 0;
+    par_b = false;
+    disch = carried_disch;
+    structure = Domino.Pdn.Leaf (Domino.Pdn.S_gate node);
+  }
+
+let combine_or _model s1 s2 =
+  {
+    w = s1.w + s2.w;
+    h = max s1.h s2.h;
+    value = Cost.combine s1.value s2.value;
+    p_dis = s1.p_dis + s2.p_dis;
+    par_b = true;
+    disch = s1.disch + s2.disch;
+    structure = Domino.Pdn.Parallel (s1.structure, s2.structure);
+  }
+
+let combine_and_soi model ~top ~bottom =
+  let committed = if top.par_b then top.p_dis + 1 else 0 in
+  let p_dis =
+    if top.par_b then bottom.p_dis else top.p_dis + 1 + bottom.p_dis
+  in
+  {
+    w = max top.w bottom.w;
+    h = top.h + bottom.h;
+    value =
+      Cost.combine
+        (Cost.combine top.value bottom.value)
+        (Cost.discharges model committed);
+    p_dis;
+    par_b = bottom.par_b;
+    disch = top.disch + bottom.disch + committed;
+    structure = Domino.Pdn.Series (top.structure, bottom.structure);
+  }
+
+let combine_and_bulk _model ~top ~bottom =
+  {
+    w = max top.w bottom.w;
+    h = top.h + bottom.h;
+    value = Cost.combine top.value bottom.value;
+    p_dis = 0;
+    par_b = false;
+    disch = top.disch + bottom.disch;
+    structure = Domino.Pdn.Series (top.structure, bottom.structure);
+  }
+
+let compare_sols model a b =
+  (* Cost key first, then the paper's p_dis tie-break, then raw size. *)
+  match compare (Cost.key model a.value) (Cost.key model b.value) with
+  | 0 -> (
+      match compare a.p_dis b.p_dis with
+      | 0 -> compare a.value.Cost.raw b.value.Cost.raw
+      | c -> c)
+  | c -> c
+
+let heuristic_and_order s1 s2 =
+  match (s1.par_b, s2.par_b) with
+  | true, false -> (s2, s1)
+  | false, true -> (s1, s2)
+  | true, true -> if s1.p_dis >= s2.p_dis then (s2, s1) else (s1, s2)
+  | false, false -> (s1, s2)

@@ -1,0 +1,1 @@
+lib/report/csv.ml: Buffer Domino Experiments Fun List Printf String

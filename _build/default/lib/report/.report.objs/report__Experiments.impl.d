@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Alternatives Array Circuit Domino Domino_gate Gen Hysteresis List Mapper Printf Table Timing Unate

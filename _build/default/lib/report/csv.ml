@@ -1,0 +1,83 @@
+let escape cell =
+  let needs =
+    String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') cell
+  in
+  if not needs then cell
+  else begin
+    let buf = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun ch ->
+        if ch = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf ch)
+      cell;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let of_rows rows =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," (List.map escape row));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let counts_cells (c : Domino.Circuit.counts) =
+  [
+    string_of_int c.Domino.Circuit.t_logic;
+    string_of_int c.Domino.Circuit.t_disch;
+    string_of_int c.Domino.Circuit.t_total;
+    string_of_int c.Domino.Circuit.t_clock;
+    string_of_int c.Domino.Circuit.gate_count;
+    string_of_int c.Domino.Circuit.levels;
+  ]
+
+let counts_header prefix =
+  List.map
+    (fun col -> prefix ^ "_" ^ col)
+    [ "t_logic"; "t_disch"; "t_total"; "t_clock"; "gates"; "levels" ]
+
+let comparison rows improved =
+  of_rows
+    ((("circuit" :: counts_header "base")
+      @ counts_header improved
+      @ [ "disch_reduction_pct"; "total_reduction_pct" ])
+    :: List.map
+         (fun (r : Experiments.comparison_row) ->
+           (r.Experiments.name :: counts_cells r.Experiments.base)
+           @ counts_cells r.Experiments.improved
+           @ [
+               Printf.sprintf "%.4f" (Experiments.disch_reduction_pct r);
+               Printf.sprintf "%.4f" (Experiments.total_reduction_pct r);
+             ])
+         rows)
+
+let table1 rows = comparison rows "rs"
+let table2 rows = comparison rows "soi"
+
+let table3 rows =
+  of_rows
+    ((("circuit" :: counts_header "k1") @ counts_header "kn"
+      @ [ "clock_reduction_pct" ])
+    :: List.map
+         (fun (r : Experiments.t3_row) ->
+           (r.Experiments.name3 :: counts_cells r.Experiments.k1)
+           @ counts_cells r.Experiments.kn
+           @ [ Printf.sprintf "%.4f" (Experiments.clock_reduction_pct r) ])
+         rows)
+
+let table4 rows =
+  of_rows
+    ((("circuit" :: "source_depth" :: counts_header "bulk") @ counts_header "soi")
+    :: List.map
+         (fun (r : Experiments.t4_row) ->
+           (r.Experiments.name4
+            :: string_of_int r.Experiments.source_depth
+            :: counts_cells r.Experiments.bulk)
+           @ counts_cells r.Experiments.soi)
+         rows)
+
+let write path text =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)

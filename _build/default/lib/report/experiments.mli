@@ -1,0 +1,86 @@
+(** Drivers that regenerate the paper's four result tables.
+
+    Every function maps the named benchmark suite (see {!Gen.Suite}) with
+    the paper's parameters ([W_max] 5, [H_max] 8) and returns structured
+    rows; [render_*] produce the tables in the paper's column layout,
+    with the average-reduction summary row the paper reports.
+
+    Paper reference averages, for shape comparison (recorded in
+    EXPERIMENTS.md): Table I — 25.41 % discharge / 3.44 % total reduction;
+    Table II — 53.00 % / 6.29 %; Table III — 3.82 % clock-transistor
+    reduction going from k=1 to k=2; Table IV — 49.76 % discharge /
+    6.36 % level reduction. *)
+
+type comparison_row = {
+  name : string;
+  base : Domino.Circuit.counts;  (** Domino_Map (bulk baseline) *)
+  improved : Domino.Circuit.counts;  (** RS_Map or SOI_Domino_Map *)
+}
+
+val disch_reduction_pct : comparison_row -> float
+(** Percent reduction in discharge transistors, base vs improved. *)
+
+val total_reduction_pct : comparison_row -> float
+(** Percent reduction in total transistors. *)
+
+val table1 : ?names:string list -> unit -> comparison_row list
+(** Table I: [Domino_Map] vs [RS_Map] under the area objective. *)
+
+val table2 : ?names:string list -> unit -> comparison_row list
+(** Table II: [Domino_Map] vs [SOI_Domino_Map] under the area objective. *)
+
+type t3_row = {
+  name3 : string;
+  k1 : Domino.Circuit.counts;  (** SOI map, clock weight k = 1 *)
+  kn : Domino.Circuit.counts;  (** SOI map, clock weight k (default 2) *)
+}
+
+val clock_reduction_pct : t3_row -> float
+(** Percent reduction in clock-connected transistors, k=1 vs k=n. *)
+
+val table3 : ?k:int -> ?names:string list -> unit -> t3_row list
+(** Table III: effect of weighting clock-connected transistors by [k]
+    (default 2) in [SOI_Domino_Map]. *)
+
+type t4_row = {
+  name4 : string;
+  source_depth : int;  (** 2-input AND/OR depth of the unate network *)
+  bulk : Domino.Circuit.counts;  (** depth-objective Domino_Map *)
+  soi : Domino.Circuit.counts;  (** depth+discharge SOI_Domino_Map *)
+}
+
+val table4 : ?names:string list -> unit -> t4_row list
+(** Table IV: depth optimisation with discharge transistors in the SOI
+    cost. *)
+
+val render_table1 : comparison_row list -> string
+val render_table2 : comparison_row list -> string
+val render_table3 : t3_row list -> string
+val render_table4 : t4_row list -> string
+
+val markdown_table1 : comparison_row list -> string
+val markdown_table2 : comparison_row list -> string
+val markdown_table3 : t3_row list -> string
+val markdown_table4 : t4_row list -> string
+
+val average : ('a -> float) -> 'a list -> float
+(** [average f rows] is the arithmetic mean of [f] over [rows] (0 for an
+    empty list). *)
+
+type ext_row = {
+  name5 : string;
+  soi : Domino.Circuit.counts;  (** SOI_Domino_Map result *)
+  body_contacts : int;  (** transformation-2 cost for the same protection *)
+  split_total : int;  (** total transistors after transformation-3 replication *)
+  exposed : int;  (** hysteresis-exposed transistors with discharges in place *)
+  exposed_stripped : int;  (** same metric with discharges removed *)
+  critical_delay : float;  (** first-order critical path (normalised) *)
+}
+
+val table5 : ?names:string list -> unit -> ext_row list
+(** Extension table (not in the paper): the avoided alternatives
+    (body contacts, replication), hysteresis exposure and first-order
+    timing for the SOI mapping.  Defaults to the Table II circuit list. *)
+
+val render_table5 : ext_row list -> string
+val markdown_table5 : ext_row list -> string

@@ -1,0 +1,76 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  header : (string * align) list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create header = { header; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.header then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: expected %d cells, got %d"
+         (List.length t.header) (List.length cells));
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let widths t =
+  let base = List.map (fun (h, _) -> String.length h) t.header in
+  List.fold_left
+    (fun acc row ->
+      match row with
+      | Rule -> acc
+      | Cells cells -> List.map2 (fun w c -> max w (String.length c)) acc cells)
+    base (List.rev t.rows)
+
+let pad align width s =
+  let fill = width - String.length s in
+  if fill <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+
+let to_string t =
+  let ws = widths t in
+  let aligns = List.map snd t.header in
+  let buf = Buffer.create 1024 in
+  let render_cells cells =
+    let parts =
+      List.map2 (fun (c, a) w -> pad a w c) (List.combine cells aligns) ws
+    in
+    Buffer.add_string buf (String.concat "  " parts);
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    let parts = List.map (fun w -> String.make w '-') ws in
+    Buffer.add_string buf (String.concat "--" parts);
+    Buffer.add_char buf '\n'
+  in
+  render_cells (List.map fst t.header);
+  rule ();
+  List.iter
+    (function Rule -> rule () | Cells cells -> render_cells cells)
+    (List.rev t.rows);
+  Buffer.contents buf
+
+let to_markdown t =
+  let buf = Buffer.create 1024 in
+  let render_cells cells =
+    Buffer.add_string buf ("| " ^ String.concat " | " cells ^ " |\n")
+  in
+  render_cells (List.map fst t.header);
+  let sep =
+    List.map (fun (_, a) -> match a with Left -> ":--" | Right -> "--:") t.header
+  in
+  render_cells sep;
+  List.iter
+    (function Rule -> () | Cells cells -> render_cells cells)
+    (List.rev t.rows);
+  Buffer.contents buf
+
+let fmt_pct x = Printf.sprintf "%.2f" x

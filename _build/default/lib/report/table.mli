@@ -1,0 +1,28 @@
+(** Plain-text and Markdown table rendering for the experiment harness. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : (string * align) list -> t
+(** [create columns] starts a table with the given header cells and
+    per-column alignment. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row.
+    @raise Invalid_argument if the arity differs from the header. *)
+
+val add_rule : t -> unit
+(** [add_rule t] appends a horizontal separator (before a summary row,
+    typically). *)
+
+val to_string : t -> string
+(** [to_string t] renders with aligned columns and ASCII rules. *)
+
+val to_markdown : t -> string
+(** [to_markdown t] renders as a GitHub-flavoured Markdown table
+    (separator rows are dropped). *)
+
+val fmt_pct : float -> string
+(** [fmt_pct x] formats a percentage with two decimals, e.g. ["53.00"]. *)

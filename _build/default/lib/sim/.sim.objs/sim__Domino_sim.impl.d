@@ -1,0 +1,1 @@
+lib/sim/domino_sim.ml: Array Body Circuit Domino Domino_gate Fun Hashtbl List Logic Pdn Printf

@@ -1,0 +1,1 @@
+lib/sim/domino_sim.mli: Domino

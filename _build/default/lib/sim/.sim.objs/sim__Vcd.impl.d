@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Array Buffer Char Domino Domino_sim Fun List Printf String

@@ -1,0 +1,33 @@
+type t = {
+  charge_cycles : int;
+  mutable counter : int;
+  mutable high : bool;
+  mutable prev_gate : bool option;
+}
+
+let create ~charge_cycles =
+  if charge_cycles < 1 then invalid_arg "Body.create: charge_cycles must be >= 1";
+  { charge_cycles; counter = 0; high = false; prev_gate = None }
+
+let is_high b = b.high
+
+let observe b ~gate ~source_high ~drain_high =
+  let gate_switched =
+    match b.prev_gate with None -> false | Some g -> g <> gate
+  in
+  b.prev_gate <- Some gate;
+  if gate_switched || gate || not source_high then begin
+    (* Capacitive coupling on a gate edge, a conducting channel, or a
+       grounded source all clamp the body low. *)
+    b.counter <- 0;
+    b.high <- false
+  end
+  else if source_high && drain_high then begin
+    b.counter <- b.counter + 1;
+    if b.counter >= b.charge_cycles then b.high <- true
+  end
+  else b.counter <- 0
+
+let discharge b =
+  b.counter <- 0;
+  b.high <- false

@@ -1,0 +1,34 @@
+(** Floating-body state machine for a partially-depleted SOI nMOS device.
+
+    This is the discrete abstraction of the charging narrative in
+    Section III-B of the paper (after Lu et al., JSSC 1997): the
+    electrically isolated body charges toward a high potential through
+    junction leakage and impact ionisation while the device is off with
+    both source and drain high; a gate transition couples the body back
+    down; once the body is high, a sudden source pull-down forward-biases
+    the body-source junction and the lateral parasitic bipolar conducts.
+
+    Voltages are abstracted to booleans and charging time to a cycle
+    count: after [charge_cycles] consecutive cycles in the charging
+    condition the body is considered high. *)
+
+type t
+(** Mutable body state of one transistor. *)
+
+val create : charge_cycles:int -> t
+(** [create ~charge_cycles] is a fresh body in the low state.
+    @raise Invalid_argument if [charge_cycles < 1]. *)
+
+val is_high : t -> bool
+(** [is_high b] tells whether the body has charged high. *)
+
+val observe : t -> gate:bool -> source_high:bool -> drain_high:bool -> unit
+(** [observe b ~gate ~source_high ~drain_high] advances the state machine
+    by one clock cycle's steady condition.  The body charges while
+    [not gate && source_high && drain_high]; a change of [gate] with
+    respect to the previous cycle, or a conducting channel ([gate]), or a
+    low source resets it (the body-source junction clamps). *)
+
+val discharge : t -> unit
+(** [discharge b] forces the body low (used after a bipolar conduction
+    event, which drains the body charge). *)

@@ -1,0 +1,339 @@
+open Domino
+
+type config = {
+  body_charge_cycles : int;
+  model_pbe : bool;
+  corrupt_on_pbe : bool;
+}
+
+let default_config = { body_charge_cycles = 2; model_pbe = true; corrupt_on_pbe = true }
+
+type event = {
+  cycle : int;
+  gate : int;
+  transistor : int;
+  signal : Pdn.signal;
+}
+
+type cycle_result = {
+  outputs : (string * bool) array;
+  corrupted : string list;
+  events : event list;
+}
+
+type result = {
+  cycles : cycle_result list;
+  total_events : int;
+  corrupted_cycles : int;
+  max_bodies_high : int;
+  body_high_cycle_sum : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-gate flattening: explicit electrical nodes.                     *)
+(*   node 0 = dynamic (top), node 1 = bottom (ground / foot drain),    *)
+(*   nodes 2.. = series junctions.                                     *)
+(* ------------------------------------------------------------------ *)
+
+type trans = { above : int; below : int; signal : Pdn.signal }
+
+type flat = {
+  f_id : int;
+  n_nodes : int;
+  transistors : trans array;
+  discharged : bool array;  (* node has a p-discharge transistor *)
+  footed : bool;
+}
+
+let flatten (g : Domino_gate.t) =
+  let next = ref 2 in
+  let transistors = ref [] in
+  let junctions = Hashtbl.create 8 in
+  (* prefix is the reversed path from the PDN root. *)
+  let rec walk prefix top bottom = function
+    | Pdn.Leaf s -> transistors := { above = top; below = bottom; signal = s } :: !transistors
+    | Pdn.Series (a, b) ->
+        let j = !next in
+        incr next;
+        Hashtbl.replace junctions (List.rev prefix) j;
+        walk (0 :: prefix) top j a;
+        walk (1 :: prefix) j bottom b
+    | Pdn.Parallel (a, b) ->
+        walk (0 :: prefix) top bottom a;
+        walk (1 :: prefix) top bottom b
+  in
+  walk [] 0 1 g.Domino_gate.pdn;
+  let n_nodes = !next in
+  let discharged = Array.make n_nodes false in
+  List.iter
+    (fun path ->
+      match Hashtbl.find_opt junctions path with
+      | Some j -> discharged.(j) <- true
+      | None ->
+          invalid_arg "Domino_sim: discharge path does not address a junction")
+    g.Domino_gate.discharge_points;
+  {
+    f_id = g.Domino_gate.id;
+    n_nodes;
+    transistors = Array.of_list (List.rev !transistors);
+    discharged;
+    footed = g.Domino_gate.footed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Electrical solve within one gate: propagate Low from driven-low      *)
+(* sources and High from the dynamic node through on transistors.       *)
+(* ------------------------------------------------------------------ *)
+
+(* [on] flags per transistor; [charge] is updated in place.  Nodes in
+   [low_sources] are driven low; if the dynamic node (0) keeps its charge,
+   its value spreads to connected undriven nodes.  Nodes reached by the
+   high spread are recorded in [driven_high]: a floating-high node cannot
+   charge a neighbouring body (there is no sustained leakage source), so
+   the body model only counts cycles whose source node was actively driven
+   high at some phase.  Returns the set of nodes driven low. *)
+let solve_phase f ~on ~charge ~low_sources ~dynamic_high ~driven_high =
+  let low = Array.make f.n_nodes false in
+  List.iter (fun n -> low.(n) <- true) low_sources;
+  (* Ground BFS through on transistors. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i t ->
+        if on.(i) then begin
+          if low.(t.above) <> low.(t.below) then begin
+            low.(t.above) <- true;
+            low.(t.below) <- true;
+            changed := true
+          end
+        end)
+      f.transistors
+  done;
+  Array.iteri (fun n is_low -> if is_low then charge.(n) <- false) low;
+  (* High spread from the dynamic node, if it survived. *)
+  if dynamic_high && not low.(0) then begin
+    let high = Array.make f.n_nodes false in
+    high.(0) <- true;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iteri
+        (fun i t ->
+          if on.(i) then begin
+            let a = t.above and b = t.below in
+            if (high.(a) || high.(b)) && not (low.(a) || low.(b)) then
+              if high.(a) <> high.(b) then begin
+                high.(a) <- true;
+                high.(b) <- true;
+                changed := true
+              end
+          end)
+        f.transistors
+    done;
+    Array.iteri
+      (fun n is_high ->
+        if is_high then begin
+          charge.(n) <- true;
+          driven_high.(n) <- true
+        end)
+      high
+  end;
+  low
+
+(* ------------------------------------------------------------------ *)
+
+let run ?(config = default_config) (c : Circuit.t) stimulus =
+  let n_inputs = Array.length c.Circuit.input_names in
+  let flats = Array.map flatten c.Circuit.gates in
+  let charges = Array.map (fun f -> Array.make f.n_nodes false) flats in
+  let bodies =
+    Array.map
+      (fun f ->
+        Array.map
+          (fun (_ : trans) -> Body.create ~charge_cycles:config.body_charge_cycles)
+          f.transistors)
+      flats
+  in
+  let gate_out = Array.make (Array.length flats) false in
+  let events = ref [] in
+  let cycles = ref [] in
+  let cycle_no = ref 0 in
+  let max_bodies_high = ref 0 and body_high_cycle_sum = ref 0 in
+  List.iter
+    (fun pi ->
+      if Array.length pi <> n_inputs then
+        invalid_arg "Domino_sim.run: stimulus width mismatch";
+      let pi_value = function
+        | Pdn.S_pi { input; positive } -> if positive then pi.(input) else not pi.(input)
+        | Pdn.S_gate _ -> assert false
+      in
+      (* ---------------- Precharge phase ---------------- *)
+      let driven_high = Array.map (fun f -> Array.make f.n_nodes false) flats in
+      Array.iteri
+        (fun gi f ->
+          let charge = charges.(gi) in
+          charge.(0) <- true;
+          driven_high.(gi).(0) <- true;
+          (* domino fanin outputs are low during precharge *)
+          let on =
+            Array.map
+              (fun t ->
+                match t.signal with
+                | Pdn.S_gate _ -> false
+                | Pdn.S_pi _ as s -> pi_value s)
+              f.transistors
+          in
+          let low_sources = ref [] in
+          Array.iteri (fun n d -> if d then low_sources := n :: !low_sources) f.discharged;
+          if not f.footed then low_sources := 1 :: !low_sources;
+          ignore
+            (solve_phase f ~on ~charge ~low_sources:!low_sources ~dynamic_high:true
+               ~driven_high:driven_high.(gi));
+          (* The precharge pFET re-drives the dynamic node even if a
+             discharge transistor momentarily grounded a path to it. *)
+          charge.(0) <- true)
+        flats;
+      (* ---------------- Evaluate phase ---------------- *)
+      let cycle_events = ref [] in
+      Array.iteri
+        (fun gi f ->
+          let charge = charges.(gi) in
+          let before = Array.copy charge in
+          let sig_value = function
+            | Pdn.S_gate g -> gate_out.(g)
+            | Pdn.S_pi _ as s -> pi_value s
+          in
+          let on = Array.map (fun t -> sig_value t.signal) f.transistors in
+          let solve () =
+            solve_phase f ~on ~charge ~low_sources:[ 1 ] ~dynamic_high:charge.(0)
+              ~driven_high:driven_high.(gi)
+          in
+          let low = ref (solve ()) in
+          if charge.(0) && !low.(0) then charge.(0) <- false;
+          (* Bipolar events: off device, body high, source newly fallen,
+             drain side still high. *)
+          if config.model_pbe then begin
+            let fired = Array.make (Array.length f.transistors) false in
+            let progress = ref true in
+            while !progress do
+              progress := false;
+              Array.iteri
+                (fun ti t ->
+                  if (not on.(ti)) && not fired.(ti) then begin
+                    let body = bodies.(gi).(ti) in
+                    let source_fell = before.(t.below) && not charge.(t.below) in
+                    let drain_high = charge.(t.above) in
+                    if Body.is_high body && source_fell && drain_high then begin
+                      fired.(ti) <- true;
+                      Body.discharge body;
+                      cycle_events :=
+                        { cycle = !cycle_no; gate = f.f_id; transistor = ti; signal = t.signal }
+                        :: !cycle_events;
+                      if config.corrupt_on_pbe then begin
+                        (* The lateral bipolar conducts: re-solve with this
+                           device on. *)
+                        on.(ti) <- true;
+                        low := solve ();
+                        if charge.(0) && !low.(0) then charge.(0) <- false;
+                        progress := true
+                      end
+                    end
+                  end)
+                f.transistors
+            done
+          end;
+          (* dynamic node may have discharged: output follows. *)
+          gate_out.(gi) <- not charge.(0);
+          (* Body evolution from this cycle's steady state.  A source node
+             charges the body only when it held a driven-high level through
+             the whole cycle: high at the end of precharge ([before]) and
+             still high at the end of evaluate.  This is exactly the
+             condition a clocked p-discharge transistor breaks — it forces
+             the node low every precharge phase. *)
+          Array.iteri
+            (fun ti t ->
+              let source_high =
+                before.(t.below) && charge.(t.below) && driven_high.(gi).(t.below)
+              in
+              Body.observe bodies.(gi).(ti) ~gate:on.(ti) ~source_high
+                ~drain_high:charge.(t.above))
+            f.transistors)
+        flats;
+      (* ---------------- Outputs and corruption check ---------------- *)
+      let env_sim = function
+        | Pdn.S_gate g -> gate_out.(g)
+        | Pdn.S_pi _ as s -> pi_value s
+      in
+      let outputs = Array.map (fun (nm, s) -> (nm, env_sim s)) c.Circuit.outputs in
+      let ideal = Circuit.eval c pi in
+      let corrupted =
+        Array.to_list
+          (Array.map2
+             (fun (nm, v) (_, v') -> if v <> v' then Some nm else None)
+             outputs ideal)
+        |> List.filter_map Fun.id
+      in
+      cycles := { outputs; corrupted; events = List.rev !cycle_events } :: !cycles;
+      events := !cycle_events @ !events;
+      (* Hysteresis accounting: how many bodies are drifting high now? *)
+      let high_now =
+        Array.fold_left
+          (fun acc gate_bodies ->
+            Array.fold_left
+              (fun acc b -> if Body.is_high b then acc + 1 else acc)
+              acc gate_bodies)
+          0 bodies
+      in
+      max_bodies_high := max !max_bodies_high high_now;
+      body_high_cycle_sum := !body_high_cycle_sum + high_now;
+      incr cycle_no)
+    stimulus;
+  let cycles = List.rev !cycles in
+  {
+    cycles;
+    total_events = List.length !events;
+    corrupted_cycles =
+      List.length (List.filter (fun cy -> cy.corrupted <> []) cycles);
+    max_bodies_high = !max_bodies_high;
+    body_high_cycle_sum = !body_high_cycle_sum;
+  }
+
+type hunt = {
+  pairs_tried : int;
+  failing_pairs : (bool array * bool array) list;
+}
+
+let exhaustive_pbe_hunt ?(config = default_config) ?(max_inputs = 10) (c : Circuit.t) =
+  let n = Array.length c.Circuit.input_names in
+  if n > max_inputs then
+    invalid_arg
+      (Printf.sprintf
+         "Domino_sim.exhaustive_pbe_hunt: %d inputs exceed the limit of %d" n
+         max_inputs);
+  let vector v = Array.init n (fun i -> v land (1 lsl i) <> 0) in
+  let hold_cycles = config.body_charge_cycles + 1 in
+  let pairs_tried = ref 0 and failing = ref [] in
+  for hv = 0 to (1 lsl n) - 1 do
+    let hold = vector hv in
+    for sv = 0 to (1 lsl n) - 1 do
+      if hv <> sv then begin
+        incr pairs_tried;
+        let strike = vector sv in
+        let stimulus = List.init hold_cycles (fun _ -> hold) @ [ strike ] in
+        let r = run ~config c stimulus in
+        if r.total_events > 0 || r.corrupted_cycles > 0 then
+          if List.length !failing < 16 then failing := (hold, strike) :: !failing
+      end
+    done
+  done;
+  { pairs_tried = !pairs_tried; failing_pairs = List.rev !failing }
+
+let pbe_free ?config ?(cycles = 256) ?(seed = 0xBEEF) (c : Circuit.t) =
+  let n_inputs = Array.length c.Circuit.input_names in
+  let rng = Logic.Rng.create seed in
+  let stimulus =
+    List.init cycles (fun _ -> Array.init n_inputs (fun _ -> Logic.Rng.bool rng))
+  in
+  let r = run ?config c stimulus in
+  r.total_events = 0 && r.corrupted_cycles = 0

@@ -1,0 +1,96 @@
+(** Clocked switch-level simulation of mapped domino circuits with the
+    SOI parasitic-bipolar model.
+
+    Each clock cycle simulates both phases:
+
+    {b Precharge} — every dynamic node recharges high (all domino outputs
+    are low); series junctions that carry a p-discharge transistor are
+    pulled low; junctions reachable from the dynamic node through
+    transistors held on by high primary inputs charge high (this is how
+    the paper's Figure 2(a) example charges node 1); all other junctions
+    keep their charge (they float).
+
+    {b Evaluate} — gates are resolved in topological order (domino inputs
+    rise monotonically, so one pass settles the circuit).  Within a gate,
+    junctions connected to ground through on transistors go low, junctions
+    connected to the dynamic node take its value, the rest float.  The
+    dynamic node discharges when a complete on-path to ground exists.
+
+    After the electrical solve, every transistor's floating body advances
+    one step of {!Body}.  A {b parasitic bipolar event} fires when an off
+    transistor with a high body sees its source node fall while its drain
+    side is still high; the transistor then conducts like the lateral
+    bipolar device, which can discharge the dynamic node and flip the
+    gate's output — exactly the failure of Section III-B.  Events are
+    recorded; when [corrupt_on_pbe] is set (default) the wrong value also
+    propagates downstream, so output corruption can be observed.
+
+    The simulator is intended as an oracle: a correctly discharged
+    mapping never raises events and always matches the ideal functional
+    evaluation; a mapping stripped of its discharge transistors exhibits
+    both events and output corruption under suitable stimulus. *)
+
+type config = {
+  body_charge_cycles : int;
+      (** evaluate-phase cycles of (off, source high, drain high) needed
+          to charge a body high (default 2) *)
+  model_pbe : bool;  (** simulate bipolar conduction (default true) *)
+  corrupt_on_pbe : bool;
+      (** let bipolar events corrupt dynamic nodes and propagate (default
+          true); with [false] events are only recorded *)
+}
+
+val default_config : config
+
+type event = {
+  cycle : int;  (** 0-based cycle of the event *)
+  gate : int;  (** gate identifier within the circuit *)
+  transistor : int;  (** transistor index within the gate's PDN (DFS order) *)
+  signal : Domino.Pdn.signal;  (** the signal driving the offending device *)
+}
+
+type cycle_result = {
+  outputs : (string * bool) array;  (** primary outputs after evaluate *)
+  corrupted : string list;  (** outputs that differ from the ideal value *)
+  events : event list;  (** bipolar events this cycle *)
+}
+
+type result = {
+  cycles : cycle_result list;  (** per-cycle results, in stimulus order *)
+  total_events : int;
+  corrupted_cycles : int;  (** cycles with at least one wrong output *)
+  max_bodies_high : int;
+      (** peak number of transistors with a charged-high body at any cycle
+          end — a dynamic measure of the timing-hysteresis exposure the
+          paper's Section I discusses (0 for a well-discharged circuit
+          whose internal nodes are reset every cycle) *)
+  body_high_cycle_sum : int;
+      (** sum over cycles of the high-body count (the time integral of
+          body-voltage drift) *)
+}
+
+val run : ?config:config -> Domino.Circuit.t -> bool array list -> result
+(** [run c stimulus] simulates one clock cycle per input vector.
+    @raise Invalid_argument if a vector's width does not match the
+    circuit's inputs. *)
+
+val pbe_free : ?config:config -> ?cycles:int -> ?seed:int -> Domino.Circuit.t -> bool
+(** [pbe_free c] drives [cycles] (default 256) random vectors and reports
+    whether no bipolar event fired and no output was ever corrupted. *)
+
+type hunt = {
+  pairs_tried : int;  (** two-pattern sequences simulated *)
+  failing_pairs : (bool array * bool array) list;
+      (** (hold, strike) pairs that produced a bipolar event or a corrupted
+          output (first few kept) *)
+}
+
+val exhaustive_pbe_hunt : ?config:config -> ?max_inputs:int -> Domino.Circuit.t -> hunt
+(** [exhaustive_pbe_hunt c] systematically applies every two-pattern
+    sequence: a {e hold} vector applied for enough cycles to charge any
+    chargeable body, followed by a {e strike} vector that may yank a
+    source node low.  This covers the paper's Section III-B scenario shape
+    exhaustively, which random stimulus may miss.  Only feasible for small
+    input counts; circuits with more than [max_inputs] (default 10)
+    primary inputs are rejected.
+    @raise Invalid_argument if the circuit has too many inputs. *)

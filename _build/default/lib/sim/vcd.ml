@@ -1,0 +1,73 @@
+(* VCD identifier codes: printable ASCII starting at '!', multi-character
+   when the signal count exceeds the single-character range. *)
+let code k =
+  let base = 94 and first = 33 in
+  let rec go k acc =
+    let acc = String.make 1 (Char.chr (first + (k mod base))) ^ acc in
+    if k < base then acc else go ((k / base) - 1) acc
+  in
+  go k ""
+
+let sanitize s =
+  String.map (fun ch -> if ch = ' ' || ch = '$' then '_' else ch) s
+
+let dump ?config (c : Domino.Circuit.t) stimulus =
+  let result = Domino_sim.run ?config c stimulus in
+  let buf = Buffer.create 8192 in
+  let emit s = Buffer.add_string buf s in
+  emit "$date reproduction run $end\n";
+  emit "$version soi_domino simulator $end\n";
+  emit "$timescale 1ps $end\n";
+  emit (Printf.sprintf "$scope module %s $end\n" (sanitize c.Domino.Circuit.source));
+  let n_in = Array.length c.Domino.Circuit.input_names in
+  let n_out = Array.length c.Domino.Circuit.outputs in
+  let clk_code = code 0 in
+  let event_code = code 1 in
+  let in_code i = code (2 + i) in
+  let out_code k = code (2 + n_in + k) in
+  emit (Printf.sprintf "$var wire 1 %s clk $end\n" clk_code);
+  emit (Printf.sprintf "$var wire 1 %s pbe_event $end\n" event_code);
+  Array.iteri
+    (fun i nm -> emit (Printf.sprintf "$var wire 1 %s %s $end\n" (in_code i) (sanitize nm)))
+    c.Domino.Circuit.input_names;
+  Array.iteri
+    (fun k (nm, _) ->
+      emit (Printf.sprintf "$var wire 1 %s %s $end\n" (out_code k) (sanitize nm)))
+    c.Domino.Circuit.outputs;
+  emit "$upscope $end\n$enddefinitions $end\n";
+  (* Initial values. *)
+  emit "#0\n";
+  emit (Printf.sprintf "0%s\n" clk_code);
+  emit (Printf.sprintf "0%s\n" event_code);
+  for i = 0 to n_in - 1 do
+    emit (Printf.sprintf "x%s\n" (in_code i))
+  done;
+  for k = 0 to n_out - 1 do
+    emit (Printf.sprintf "x%s\n" (out_code k))
+  done;
+  let bit b = if b then '1' else '0' in
+  List.iteri
+    (fun cycle (vector, (cy : Domino_sim.cycle_result)) ->
+      let t0 = cycle * 1000 in
+      (* Precharge half: clock low, inputs applied. *)
+      emit (Printf.sprintf "#%d\n" t0);
+      emit (Printf.sprintf "0%s\n" clk_code);
+      emit (Printf.sprintf "0%s\n" event_code);
+      Array.iteri (fun i v -> emit (Printf.sprintf "%c%s\n" (bit v) (in_code i))) vector;
+      (* Evaluate half: clock high, outputs settle, events pulse. *)
+      emit (Printf.sprintf "#%d\n" (t0 + 500));
+      emit (Printf.sprintf "1%s\n" clk_code);
+      if cy.Domino_sim.events <> [] then emit (Printf.sprintf "1%s\n" event_code);
+      Array.iteri
+        (fun k (_, v) -> emit (Printf.sprintf "%c%s\n" (bit v) (out_code k)))
+        cy.Domino_sim.outputs)
+    (List.combine stimulus result.Domino_sim.cycles);
+  emit (Printf.sprintf "#%d\n" (List.length stimulus * 1000));
+  emit (Printf.sprintf "0%s\n" clk_code);
+  (result, Buffer.contents buf)
+
+let dump_to_file ?config c stimulus path =
+  let result, text = dump ?config c stimulus in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text);
+  result

@@ -1,0 +1,26 @@
+(** VCD (value change dump) waveform export for the domino simulator.
+
+    [dump] runs {!Domino_sim.run} on the given stimulus and renders the
+    clock, every primary input, every primary output, and a [pbe_event]
+    marker that pulses high on any cycle in which a parasitic bipolar
+    event fired.  Each clock cycle occupies 1000 time units: inputs apply
+    and the clock falls (precharge) at the cycle start, the clock rises
+    (evaluate) and outputs update halfway through.  The file loads in
+    GTKWave and friends. *)
+
+val dump :
+  ?config:Domino_sim.config ->
+  Domino.Circuit.t ->
+  bool array list ->
+  Domino_sim.result * string
+(** [dump c stimulus] is the simulation result together with the VCD
+    text. *)
+
+val dump_to_file :
+  ?config:Domino_sim.config ->
+  Domino.Circuit.t ->
+  bool array list ->
+  string ->
+  Domino_sim.result
+(** [dump_to_file c stimulus path] writes the VCD to [path] and returns
+    the simulation result. *)

@@ -1,0 +1,1 @@
+lib/unate/decompose.ml: Array Builder Gate List Logic Network

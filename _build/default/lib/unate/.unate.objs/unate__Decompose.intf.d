@@ -1,0 +1,1 @@
+lib/unate/decompose.mli: Logic

@@ -1,0 +1,1 @@
+lib/unate/phase.ml: Array Builder Gate Hashtbl List Logic Network Unetwork

@@ -1,0 +1,1 @@
+lib/unate/phase.mli: Logic Unetwork

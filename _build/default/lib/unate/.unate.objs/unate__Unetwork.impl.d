@@ -1,0 +1,1 @@
+lib/unate/unetwork.ml: Array Builder Gate Hashtbl Int64 List Logic Network Vec

@@ -1,0 +1,1 @@
+lib/unate/unetwork.mli: Logic

@@ -1,0 +1,15 @@
+(** Technology decomposition into 2-input AND/OR + inverters.
+
+    The mapping flow of the paper starts from "an initial decomposed
+    network consisting of 2-input AND-OR gates and inverters".  [to_aoi]
+    rewrites an arbitrary network into that form: n-ary AND/OR/XOR are
+    balanced into 2-input trees, XOR/XNOR are expanded into their AND/OR
+    form, and NAND/NOR/XNOR/BUF disappear into inverters that the unating
+    step will subsequently push to the primary inputs. *)
+
+val to_aoi : Logic.Network.t -> Logic.Network.t
+(** [to_aoi n] is an equivalent network whose gate nodes are only 2-input
+    [And], 2-input [Or] and unary [Not]. *)
+
+val is_aoi : Logic.Network.t -> bool
+(** [is_aoi n] checks the {!to_aoi} postcondition. *)

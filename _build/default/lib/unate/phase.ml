@@ -1,0 +1,110 @@
+open Logic
+
+type assignment = {
+  phases : (string * bool) list;
+  inverted_outputs : string list;
+  pairs_positive_only : int;
+  pairs_assigned : int;
+}
+
+(* The closure of (node, phase) pairs an output expansion needs, mirroring
+   the DeMorgan walk of Unetwork.of_network.  Counting pairs is a faithful
+   proxy for created unate nodes because every AND/OR pair materialises at
+   most one node (hash-consing removes the rest). *)
+let closure n ~committed root phase =
+  let fresh = Hashtbl.create 64 in
+  let rec go id p =
+    if not (Hashtbl.mem committed (id, p)) && not (Hashtbl.mem fresh (id, p)) then begin
+      Hashtbl.replace fresh (id, p) ();
+      let nd = Network.node n id in
+      match nd.Network.func with
+      | Network.Input | Network.Const _ -> ()
+      | Network.Gate g ->
+          let base, inverted = Gate.base g in
+          let p = if inverted then not p else p in
+          (match base with
+          | Gate.Buf | Gate.And | Gate.Or ->
+              Array.iter (fun f -> go f p) nd.Network.fanins
+          | Gate.Xor ->
+              (* XOR children are needed in both phases regardless. *)
+              Array.iter
+                (fun f ->
+                  go f true;
+                  go f false)
+                nd.Network.fanins
+          | Gate.Not | Gate.Nand | Gate.Nor | Gate.Xnor -> assert false)
+    end
+  in
+  go root phase;
+  fresh
+
+let commit committed fresh = Hashtbl.iter (fun k () -> Hashtbl.replace committed k ()) fresh
+
+let assign n =
+  let outputs = Array.to_list (Network.outputs n) in
+  (* Reference cost: all outputs positive. *)
+  let pairs_positive_only =
+    let committed = Hashtbl.create 256 in
+    List.iter
+      (fun (_, id) -> commit committed (closure n ~committed id true))
+      outputs;
+    Hashtbl.length committed
+  in
+  (* Order outputs by decreasing positive-cone size so that big cones pin
+     the shared phases first. *)
+  let sized =
+    List.map
+      (fun (nm, id) ->
+        let c = closure n ~committed:(Hashtbl.create 16) id true in
+        (Hashtbl.length c, nm, id))
+      outputs
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare b a)
+  in
+  let committed = Hashtbl.create 256 in
+  let phases =
+    List.map
+      (fun (_, nm, id) ->
+        let pos = closure n ~committed id true in
+        let neg = closure n ~committed id false in
+        let choose_positive = Hashtbl.length pos <= Hashtbl.length neg in
+        commit committed (if choose_positive then pos else neg);
+        (nm, choose_positive))
+      sized
+  in
+  (* Report phases in original output order. *)
+  let phases =
+    List.map (fun (nm, _) -> (nm, List.assoc nm phases)) outputs
+  in
+  {
+    phases;
+    inverted_outputs = List.filter_map (fun (nm, p) -> if p then None else Some nm) phases;
+    pairs_positive_only;
+    pairs_assigned = Hashtbl.length committed;
+  }
+
+let convert n =
+  let a = assign n in
+  (Unetwork.of_network_with_phases n a.phases, a)
+
+let to_network u a =
+  let net = Unetwork.to_network u in
+  (* Re-invert the negative-phase outputs to restore original functions. *)
+  let b = Builder.create ~name:(Network.name net) () in
+  let map = Array.make (Network.node_count net) (-1) in
+  Network.iter_nodes
+    (fun nd ->
+      map.(nd.Network.id) <-
+        (match nd.Network.func with
+        | Network.Input -> Builder.input b (Network.input_name net nd.Network.id)
+        | Network.Const c -> Builder.const b c
+        | Network.Gate g ->
+            Network.add_gate (Builder.network b) g
+              (Array.map (fun f -> map.(f)) nd.Network.fanins)))
+    net;
+  Array.iter
+    (fun (nm, id) ->
+      let w = map.(id) in
+      let w = if List.mem nm a.inverted_outputs then Builder.not_ b w else w in
+      Network.set_output (Builder.network b) nm w)
+    (Network.outputs net);
+  Builder.network b

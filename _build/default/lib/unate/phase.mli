@@ -1,0 +1,44 @@
+(** Output-phase assignment for unate conversion.
+
+    Plain bubble-pushing (Section IV of the paper) implements every
+    primary output in its positive phase and duplicates logic wherever
+    both phases of an internal signal are needed.  The paper notes that
+    Puri, Bjorksten and Rosser (ICCAD'96, the paper's reference [22])
+    instead {e choose} each output's phase so as to minimise the total
+    duplication; this module implements a greedy rendition of that idea:
+
+    - outputs are considered in decreasing cone size;
+    - for each output, the number of new (source node, phase) pairs each
+      phase choice would add to the already-committed expansion set is
+      counted, and the cheaper phase is committed;
+    - outputs implemented in negative phase are reported; they owe a
+      2-transistor static inverter at the circuit boundary, which
+      {!apply}'s statistics account for.
+
+    The resulting network still contains only AND/OR nodes with literal
+    leaves; only the {e interpretation} of the listed outputs is
+    complemented. *)
+
+type assignment = {
+  phases : (string * bool) list;
+      (** chosen phase per primary output ([false] = negative) *)
+  inverted_outputs : string list;  (** outputs that owe a boundary inverter *)
+  pairs_positive_only : int;
+      (** (node, phase) pairs needed when every output is positive *)
+  pairs_assigned : int;  (** pairs needed under the chosen assignment *)
+}
+
+val assign : Logic.Network.t -> assignment
+(** [assign n] computes the greedy phase assignment for [n] (which should
+    already be strashed and decomposed to AND/OR/NOT — use
+    {!Decompose.to_aoi}). *)
+
+val convert : Logic.Network.t -> Unetwork.t * assignment
+(** [convert n] is the unate network under the chosen assignment together
+    with the assignment itself.  Note the network computes the
+    {e complement} of every output in [inverted_outputs]. *)
+
+val to_network : Unetwork.t -> assignment -> Logic.Network.t
+(** [to_network u a] re-expresses the converted network with explicit
+    boundary inverters on the inverted outputs, restoring the original
+    functions for equivalence checking. *)

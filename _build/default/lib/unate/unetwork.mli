@@ -1,0 +1,93 @@
+(** Inverter-free unate networks.
+
+    Domino logic is non-inverting, so the mapper's input must be a network
+    of 2-input AND/OR nodes whose only inversions sit at the primary
+    inputs (Section IV of the paper).  This module defines that
+    representation and the bubble-pushing conversion that produces it:
+    inverters are pushed towards the primary inputs with DeMorgan's laws,
+    duplicating logic when both phases of a signal are needed (at most a
+    2x blow-up; typically far less because construction is hash-consed).
+
+    Node fanins are either other unate nodes, primary-input literals
+    (positive or negative phase), or constants. *)
+
+type lit = {
+  input : int;  (** primary-input index (position in {!val-inputs}) *)
+  positive : bool;  (** [false] means the inverted phase of the input *)
+}
+
+type fin =
+  | F_node of int  (** an internal 2-input AND/OR node *)
+  | F_lit of lit  (** a primary-input literal *)
+  | F_const of bool  (** constant (only at degenerate outputs) *)
+
+type kind = U_and | U_or
+
+type node = {
+  id : int;  (** dense id; fanins always have smaller ids *)
+  kind : kind;
+  fanin0 : fin;
+  fanin1 : fin;
+}
+
+type t
+
+val source_name : t -> string
+(** [source_name u] is the name of the network [u] was derived from. *)
+
+val inputs : t -> string array
+(** [inputs u] is the primary-input names, by literal index. *)
+
+val node_count : t -> int
+(** [node_count u] is the number of internal AND/OR nodes. *)
+
+val node : t -> int -> node
+(** [node u id] is the node with identifier [id]. *)
+
+val outputs : t -> (string * fin) array
+(** [outputs u] is the primary-output bindings. *)
+
+val of_network : Logic.Network.t -> t
+(** [of_network n] bubble-pushes [n] into unate form.  [n] may contain any
+    gate kinds (XOR is expanded on the fly); constants are folded.  Nodes
+    not reachable from an output are dropped. *)
+
+val of_network_with_phases : Logic.Network.t -> (string * bool) list -> t
+(** [of_network_with_phases n phases] is {!of_network}, except that every
+    primary output listed as [(name, false)] is implemented in its
+    {e negative} phase (the unate network computes its complement; the
+    caller owes an inverter at that output).  Outputs not listed default
+    to the positive phase.  This is the mechanism behind output-phase
+    assignment ({!Phase}), the paper's reference [22] alternative to
+    plain bubble-pushing. *)
+
+val to_network : t -> Logic.Network.t
+(** [to_network u] re-expresses [u] as a {!Logic.Network.t} (negative
+    literals become explicit inverters at the inputs), preserving input
+    order and output names.  Used for equivalence checking. *)
+
+val fanout_counts : t -> int array
+(** [fanout_counts u] counts, per node, references from other nodes'
+    fanins plus references from primary outputs. *)
+
+val po_refs : t -> int array
+(** [po_refs u] counts, per node, how many primary outputs it drives. *)
+
+val eval : t -> bool array -> (string * bool) array
+(** [eval u pi_values] evaluates all outputs for one input vector. *)
+
+val eval64 : t -> int64 array -> (string * int64) array
+(** 64-way bit-parallel evaluation. *)
+
+val depth : t -> int
+(** [depth u] is the maximum AND/OR node depth over the outputs. *)
+
+val negative_literals_used : t -> int list
+(** [negative_literals_used u] is the sorted list of input indices whose
+    negative phase appears somewhere (each costs one inverter at the
+    input). *)
+
+val duplication : source:Logic.Network.t -> t -> float
+(** [duplication ~source u] is [node_count u] divided by the number of
+    2-input AND/OR gates in [source] (a measure of phase-duplication
+    overhead; 1.0 means no duplication). *)

@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Algorithms Cost Domino Gen List Logic Mapper Postprocess Printf String Unate

@@ -1,0 +1,1 @@
+test/test_alternatives.ml: Alcotest Alternatives Domino Domino_gate Gen List Mapper Pbe_analysis Pdn Printf Sim

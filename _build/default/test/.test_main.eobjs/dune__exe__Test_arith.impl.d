@@ -1,0 +1,1 @@
+test/test_arith.ml: Alcotest Array Builder Eval Gen List Logic Printf Rng String

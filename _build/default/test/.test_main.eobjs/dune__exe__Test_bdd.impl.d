@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Bdd Eval Gen List Logic Network Printf Rng

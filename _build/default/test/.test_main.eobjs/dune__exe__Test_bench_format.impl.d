@@ -1,0 +1,1 @@
+test/test_bench_format.ml: Alcotest Array Bench_format Blif Gen List Logic

@@ -1,0 +1,1 @@
+test/test_blif.ml: Alcotest Array Blif Gen List Logic

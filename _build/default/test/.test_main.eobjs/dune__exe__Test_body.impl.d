@@ -1,0 +1,1 @@
+test/test_body.ml: Alcotest Body Printf Sim

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Circuit Domino Domino_gate Int64 List Pdn

@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Eval Gen List Logic Network Option Printf Rng

@@ -1,0 +1,1 @@
+test/test_circuits_extra.ml: Alcotest Array Domino Equiv Eval Gen Hashtbl List Logic Mapper Network Printf Rng Sim Strash Topo

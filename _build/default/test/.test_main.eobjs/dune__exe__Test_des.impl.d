@@ -1,0 +1,1 @@
+test/test_des.ml: Alcotest Array Builder Eval Fun Gen List Logic Network Printf Rng String

@@ -1,0 +1,1 @@
+test/test_domino_sim.ml: Alcotest Array Circuit Domino Domino_gate Gen List Mapper Pdn Sim

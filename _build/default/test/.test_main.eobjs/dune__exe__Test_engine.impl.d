@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Algorithms Array Builder Domino Engine Gen List Logic Mapper

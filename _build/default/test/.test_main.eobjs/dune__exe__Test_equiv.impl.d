@@ -1,0 +1,1 @@
+test/test_equiv.ml: Alcotest Array Domino Equiv Eval Format Gate Gen List Logic Mapper Network Strash

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Eval Gate Int64 Logic Network Printf Rng

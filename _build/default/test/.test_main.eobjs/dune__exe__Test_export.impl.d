@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Domino Export Filename Gen List Mapper String Sys

@@ -1,0 +1,1 @@
+test/test_extract.ml: Alcotest Array Domino Eval Extract Gate Gen List Logic Mapper Network Printf Strash

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Domino Faults Gate Gen List Logic Mapper Network Printf

@@ -1,0 +1,1 @@
+test/test_gate.ml: Alcotest Array Gate Int64 List Logic Printf

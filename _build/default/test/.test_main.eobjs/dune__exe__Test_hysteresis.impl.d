@@ -1,0 +1,1 @@
+test/test_hysteresis.ml: Alcotest Circuit Domino Domino_gate Gen Hysteresis List Mapper Pdn Sim

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Blif Builder Domino Dot Equiv Eval Filename Format Gate Gen List Logic Mapper Network Sim Stats Strash String Sys

@@ -1,0 +1,1 @@
+test/test_optimality.ml: Alcotest Array Domino List Logic Mapper Printf Unate Unetwork

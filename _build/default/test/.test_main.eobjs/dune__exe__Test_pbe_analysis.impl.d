@@ -1,0 +1,1 @@
+test/test_pbe_analysis.ml: Alcotest Domino List Pbe_analysis Pdn

@@ -1,0 +1,1 @@
+test/test_pdn.ml: Alcotest Array Domino List Pdn Printf

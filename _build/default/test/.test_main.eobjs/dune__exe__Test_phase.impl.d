@@ -1,0 +1,1 @@
+test/test_phase.ml: Alcotest Array Builder Domino Eval Gen List Logic Mapper Network Strash Unate

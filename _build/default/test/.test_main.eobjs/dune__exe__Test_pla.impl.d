@@ -1,0 +1,1 @@
+test/test_pla.ml: Alcotest Array Domino Gen List Logic Mapper Pla

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Blif Domino Gen Int64 List Logic Mapper Pbe_analysis Pdn QCheck2 QCheck_alcotest Reorder Sim Unate

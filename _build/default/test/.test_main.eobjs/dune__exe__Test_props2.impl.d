@@ -1,0 +1,1 @@
+test/test_props2.ml: Array Domino Export Gen List Logic Mapper QCheck2 QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_prune.ml: Alcotest Circuit Domino Domino_gate Gen Mapper Pbe_analysis Pdn Sim

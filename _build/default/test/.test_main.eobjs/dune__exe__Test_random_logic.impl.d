@@ -1,0 +1,1 @@
+test/test_random_logic.ml: Alcotest Array Domino Eval Gen List Logic Mapper Network Printf Rng Stats Strash

@@ -1,0 +1,1 @@
+test/test_reorder.ml: Alcotest Domino List Pbe_analysis Pdn Reorder

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Domino Fun List Report String

@@ -1,0 +1,1 @@
+test/test_soi_rules.ml: Alcotest Cost Domino List Mapper Soi_rules

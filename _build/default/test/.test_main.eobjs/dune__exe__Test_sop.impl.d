@@ -1,0 +1,1 @@
+test/test_sop.ml: Alcotest Array Builder Cube Domino Eval Fun Gen List Logic Mapper Printf Rng Sop

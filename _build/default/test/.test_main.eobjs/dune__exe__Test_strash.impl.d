@@ -1,0 +1,1 @@
+test/test_strash.ml: Alcotest Array Eval Gate Gen List Logic Network Stats Strash

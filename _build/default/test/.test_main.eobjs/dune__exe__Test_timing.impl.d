@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array Circuit Domino Domino_gate Format Gen List Mapper Pdn String Timing

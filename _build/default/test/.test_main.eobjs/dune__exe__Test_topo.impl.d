@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Array Gate Logic Network Topo

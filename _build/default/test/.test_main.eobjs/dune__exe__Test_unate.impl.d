@@ -1,0 +1,1 @@
+test/test_unate.ml: Alcotest Array Builder Decompose Eval Fun Gen Int64 List Logic Printf Rng Unate Unetwork

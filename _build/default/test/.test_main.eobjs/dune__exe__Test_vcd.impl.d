@@ -1,0 +1,1 @@
+test/test_vcd.ml: Alcotest Array Filename Gen List Mapper Printf Sim String Sys

@@ -1,0 +1,104 @@
+open Domino
+
+let pi i = Pdn.Leaf (Pdn.S_pi { input = i; positive = true })
+
+let same_function a b =
+  let inputs =
+    Pdn.signals a
+    |> List.filter_map (function Pdn.S_pi { input; _ } -> Some input | _ -> None)
+    |> List.sort_uniq compare
+  in
+  let n = List.length inputs in
+  let ok = ref true in
+  for v = 0 to (1 lsl n) - 1 do
+    let env = function
+      | Pdn.S_pi { input; positive } ->
+          let pos = ref 0 in
+          List.iteri (fun k i -> if i = input then pos := k) inputs;
+          let value = v land (1 lsl !pos) <> 0 in
+          if positive then value else not value
+      | Pdn.S_gate _ -> false
+    in
+    if Pdn.eval env a <> Pdn.eval env b then ok := false
+  done;
+  !ok
+
+let test_paper_example () =
+  (* (A+B+C)*D -> A*D + B*D + C*D : 4 transistors become 6. *)
+  let p = Pdn.Series (Pdn.Parallel (Pdn.Parallel (pi 0, pi 1), pi 2), pi 3) in
+  match Alternatives.sop_form p with
+  | None -> Alcotest.fail "small expansion must succeed"
+  | Some sop ->
+      Alcotest.(check int) "6 transistors" 6 (Pdn.transistors sop);
+      Alcotest.(check int) "width 3" 3 (Pdn.width sop);
+      Alcotest.(check bool) "same function" true (same_function p sop);
+      (* The expansion needs no committed discharge points when grounded. *)
+      Alcotest.(check int) "no discharges" 0
+        (Pbe_analysis.discharge_count ~grounded:true sop)
+
+let test_sop_idempotent_on_chains () =
+  let p = Pdn.Series (pi 0, Pdn.Series (pi 1, pi 2)) in
+  match Alternatives.sop_form p with
+  | Some sop -> Alcotest.(check int) "chain unchanged in size" 3 (Pdn.transistors sop)
+  | None -> Alcotest.fail "chain expansion trivial"
+
+let test_sop_limit () =
+  (* A product of parallel pairs doubles chains per level: (a+b)(c+d)(e+f)...
+     With a tiny limit the expansion must bail out. *)
+  let pair i = Pdn.Parallel (pi (2 * i), pi ((2 * i) + 1)) in
+  let p =
+    List.fold_left (fun acc i -> Pdn.Series (acc, pair i)) (pair 0) [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check bool) "limit respected" true (Alternatives.sop_form ~limit:10 p = None);
+  (match Alternatives.sop_form p with
+  | Some sop -> Alcotest.(check int) "2^5 chains of 5" (32 * 5) (Pdn.transistors sop)
+  | None -> Alcotest.fail "default limit is big enough")
+
+let test_split_stacks_circuit () =
+  let net = Gen.Suite.build_exn "c880" in
+  let r = Mapper.Algorithms.soi_domino_map net in
+  let split = Alternatives.split_stacks r.Mapper.Algorithms.circuit in
+  let c0 = Domino.Circuit.counts r.Mapper.Algorithms.circuit in
+  let c1 = Domino.Circuit.counts split in
+  (* Replication kills the remaining discharges but costs transistors —
+     the paper's reason for avoiding transformation 3. *)
+  Alcotest.(check int) "no discharges left" 0 c1.Domino.Circuit.t_disch;
+  Alcotest.(check bool) "logic transistors grow" true
+    (c1.Domino.Circuit.t_logic > c0.Domino.Circuit.t_logic);
+  (* And the function is preserved. *)
+  Alcotest.(check bool) "still equivalent" true
+    (Domino.Circuit.equivalent_to split r.Mapper.Algorithms.unate);
+  (* And it is genuinely PBE-free under simulation. *)
+  Alcotest.(check bool) "pbe free" true (Sim.Domino_sim.pbe_free ~cycles:128 split)
+
+let test_body_contacts_vs_discharges () =
+  (* Every actual discharge point has at least one transistor above it,
+     so contacts always cost at least as much as discharges. *)
+  List.iter
+    (fun name ->
+      let r = Mapper.Algorithms.domino_map (Gen.Suite.build_exn name) in
+      let c = Domino.Circuit.counts r.Mapper.Algorithms.circuit in
+      let contacts = Alternatives.circuit_body_contacts r.Mapper.Algorithms.circuit in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: contacts %d >= discharges %d" name contacts
+           c.Domino.Circuit.t_disch)
+        true
+        (contacts >= c.Domino.Circuit.t_disch))
+    [ "cm150"; "z4ml"; "c880"; "9symml" ]
+
+let test_body_contacts_fig2a () =
+  (* (A+B+C)*D: one discharge point, three transistors above it. *)
+  let p = Pdn.Series (Pdn.Parallel (Pdn.Parallel (pi 0, pi 1), pi 2), pi 3) in
+  let g = { Domino_gate.id = 0; pdn = p; footed = true; discharge_points = []; level = 1 } in
+  Alcotest.(check int) "three contacts for one discharge" 3
+    (Alternatives.body_contacts_needed g)
+
+let suite =
+  [
+    Alcotest.test_case "paper replication example" `Quick test_paper_example;
+    Alcotest.test_case "chains stay chains" `Quick test_sop_idempotent_on_chains;
+    Alcotest.test_case "expansion limit" `Quick test_sop_limit;
+    Alcotest.test_case "split stacks on a mapped circuit" `Quick test_split_stacks_circuit;
+    Alcotest.test_case "contacts >= discharges" `Quick test_body_contacts_vs_discharges;
+    Alcotest.test_case "fig2a contact count" `Quick test_body_contacts_fig2a;
+  ]

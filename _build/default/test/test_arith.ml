@@ -1,0 +1,136 @@
+open Logic
+
+(* Evaluate a builder-produced network on integer operands. *)
+let bits w v = Array.init w (fun i -> v land (1 lsl i) <> 0)
+
+let value bs =
+  (* little-endian reconstruction *)
+  let acc = ref 0 in
+  Array.iteri (fun i b -> if b then acc := !acc + (1 lsl i)) bs;
+  !acc
+
+let outputs_by_prefix outs prefix =
+  Array.to_list outs
+  |> List.filter_map (fun (nm, v) ->
+         if String.length nm > String.length prefix
+            && String.sub nm 0 (String.length prefix) = prefix
+         then
+           match int_of_string_opt (String.sub nm (String.length prefix)
+                                      (String.length nm - String.length prefix))
+           with
+           | Some i -> Some (i, v)
+           | None -> None
+         else None)
+  |> List.sort compare
+  |> List.map snd
+  |> Array.of_list
+
+let test_adder_exhaustive () =
+  let net = Gen.Circuits.adder 3 in
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      for c = 0 to 1 do
+        let inputs = Array.concat [ bits 3 a; bits 3 b; [| c = 1 |] ] in
+        let outs = Eval.eval_outputs net inputs in
+        let s = value (outputs_by_prefix outs "s") in
+        let cout = snd (Array.to_list outs |> List.find (fun (nm, _) -> nm = "cout")) in
+        let total = a + b + c in
+        Alcotest.(check int) (Printf.sprintf "%d+%d+%d sum" a b c) (total land 7) s;
+        Alcotest.(check bool) "carry" (total >= 8) cout
+      done
+    done
+  done
+
+let test_mul_exhaustive () =
+  let net = Gen.Circuits.multiplier 3 in
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      let inputs = Array.concat [ bits 3 a; bits 3 b ] in
+      let outs = Eval.eval_outputs net inputs in
+      let p = value (outputs_by_prefix outs "p") in
+      Alcotest.(check int) (Printf.sprintf "%d*%d" a b) (a * b) p
+    done
+  done
+
+let test_popcount () =
+  let b = Builder.create () in
+  let xs = Builder.inputs b "x" 9 in
+  let cnt = Gen.Arith.popcount b xs in
+  Builder.outputs b "c" cnt;
+  let net = Builder.network b in
+  let rng = Rng.create 77 in
+  for _ = 1 to 200 do
+    let v = Array.init 9 (fun _ -> Rng.bool rng) in
+    let expect = Array.fold_left (fun acc x -> acc + if x then 1 else 0) 0 v in
+    let outs = Eval.eval_outputs net v in
+    Alcotest.(check int) "popcount" expect (value (outputs_by_prefix outs "c"))
+  done
+
+let test_comparisons () =
+  let b = Builder.create () in
+  let xs = Builder.inputs b "a" 4 and ys = Builder.inputs b "b" 4 in
+  Builder.output b "eq" (Gen.Arith.equal b xs ys);
+  Builder.output b "lt" (Gen.Arith.less_than b xs ys);
+  let net = Builder.network b in
+  for a = 0 to 15 do
+    for c = 0 to 15 do
+      let outs = Eval.eval_outputs net (Array.append (bits 4 a) (bits 4 c)) in
+      let get nm = snd (Array.to_list outs |> List.find (fun (k, _) -> k = nm)) in
+      Alcotest.(check bool) "eq" (a = c) (get "eq");
+      Alcotest.(check bool) "lt" (a < c) (get "lt")
+    done
+  done
+
+let test_sub () =
+  let b = Builder.create () in
+  let xs = Builder.inputs b "a" 4 and ys = Builder.inputs b "b" 4 in
+  let diff, no_borrow = Gen.Arith.ripple_sub b xs ys in
+  Builder.outputs b "d" diff;
+  Builder.output b "nb" no_borrow;
+  let net = Builder.network b in
+  for a = 0 to 15 do
+    for c = 0 to 15 do
+      let outs = Eval.eval_outputs net (Array.append (bits 4 a) (bits 4 c)) in
+      let d = value (outputs_by_prefix outs "d") in
+      let nb = snd (Array.to_list outs |> List.find (fun (k, _) -> k = "nb")) in
+      Alcotest.(check int) "difference" ((a - c) land 15) d;
+      Alcotest.(check bool) "no-borrow" (a >= c) nb
+    done
+  done
+
+let test_increment () =
+  let b = Builder.create () in
+  let xs = Builder.inputs b "a" 4 in
+  let inc, carry = Gen.Arith.increment b xs in
+  Builder.outputs b "i" inc;
+  Builder.output b "c" carry;
+  let net = Builder.network b in
+  for a = 0 to 15 do
+    let outs = Eval.eval_outputs net (bits 4 a) in
+    Alcotest.(check int) "inc" ((a + 1) land 15) (value (outputs_by_prefix outs "i"));
+    Alcotest.(check bool) "carry" (a = 15)
+      (snd (Array.to_list outs |> List.find (fun (k, _) -> k = "c")))
+  done
+
+let test_shift_right () =
+  let b = Builder.create () in
+  let xs = Builder.inputs b "a" 4 in
+  Builder.outputs b "s" (Gen.Arith.shift_right_fixed b xs 2);
+  let net = Builder.network b in
+  for a = 0 to 15 do
+    let outs = Eval.eval_outputs net (bits 4 a) in
+    let signed = if a >= 8 then a - 16 else a in
+    let expect = (signed asr 2) land 15 in
+    Alcotest.(check int) "asr" expect (value (outputs_by_prefix outs "s"))
+  done
+
+let suite =
+  [
+    Alcotest.test_case "3-bit adder exhaustive" `Quick test_adder_exhaustive;
+    Alcotest.test_case "3x3 multiplier exhaustive" `Quick test_mul_exhaustive;
+    Alcotest.test_case "popcount" `Quick test_popcount;
+    Alcotest.test_case "equality and less-than" `Quick test_comparisons;
+    Alcotest.test_case "subtraction" `Quick test_sub;
+    Alcotest.test_case "increment" `Quick test_increment;
+    Alcotest.test_case "arithmetic shift right" `Quick test_shift_right;
+  ]

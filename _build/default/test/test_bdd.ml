@@ -1,0 +1,94 @@
+open Logic
+
+let test_constants () =
+  let m = Bdd.manager ~nvars:2 () in
+  Alcotest.(check bool) "zero const" true (Bdd.is_const m (Bdd.zero m) = Some false);
+  Alcotest.(check bool) "one const" true (Bdd.is_const m (Bdd.one m) = Some true);
+  Alcotest.(check bool) "var not const" true (Bdd.is_const m (Bdd.var m 0) = None)
+
+let test_basic_laws () =
+  let m = Bdd.manager ~nvars:3 () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  Alcotest.(check bool) "x & x = x" true (Bdd.equal (Bdd.and_ m x x) x);
+  Alcotest.(check bool) "x | ~x = 1" true
+    (Bdd.equal (Bdd.or_ m x (Bdd.not_ m x)) (Bdd.one m));
+  Alcotest.(check bool) "x & ~x = 0" true
+    (Bdd.equal (Bdd.and_ m x (Bdd.not_ m x)) (Bdd.zero m));
+  Alcotest.(check bool) "commutativity" true
+    (Bdd.equal (Bdd.and_ m x y) (Bdd.and_ m y x));
+  Alcotest.(check bool) "demorgan" true
+    (Bdd.equal
+       (Bdd.not_ m (Bdd.and_ m x y))
+       (Bdd.or_ m (Bdd.not_ m x) (Bdd.not_ m y)));
+  Alcotest.(check bool) "xor self" true
+    (Bdd.equal (Bdd.xor_ m x x) (Bdd.zero m));
+  Alcotest.(check bool) "double negation" true
+    (Bdd.equal (Bdd.not_ m (Bdd.not_ m x)) x)
+
+let test_eval_matches_semantics () =
+  let m = Bdd.manager ~nvars:3 () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 and z = Bdd.var m 2 in
+  let f = Bdd.ite m x (Bdd.or_ m y z) (Bdd.xor_ m y z) in
+  for v = 0 to 7 do
+    let a = Array.init 3 (fun i -> v land (1 lsl i) <> 0) in
+    let expect = if a.(0) then a.(1) || a.(2) else a.(1) <> a.(2) in
+    Alcotest.(check bool) (Printf.sprintf "vector %d" v) expect (Bdd.eval m f a)
+  done
+
+let test_nvar () =
+  let m = Bdd.manager ~nvars:2 () in
+  Alcotest.(check bool) "nvar = not var" true
+    (Bdd.equal (Bdd.nvar m 1) (Bdd.not_ m (Bdd.var m 1)))
+
+let test_any_sat () =
+  let m = Bdd.manager ~nvars:4 () in
+  let f =
+    Bdd.and_ m (Bdd.var m 0) (Bdd.and_ m (Bdd.nvar m 2) (Bdd.var m 3))
+  in
+  (match Bdd.any_sat m f with
+  | None -> Alcotest.fail "satisfiable function"
+  | Some a -> Alcotest.(check bool) "assignment satisfies" true (Bdd.eval m f a));
+  Alcotest.(check bool) "unsat" true (Bdd.any_sat m (Bdd.zero m) = None)
+
+let test_size () =
+  let m = Bdd.manager ~nvars:4 () in
+  (* Parity of 4 variables: the classic 2n-ish node chain. *)
+  let f =
+    List.fold_left (fun acc i -> Bdd.xor_ m acc (Bdd.var m i)) (Bdd.zero m)
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check bool) "parity size linear" true (Bdd.size m f <= 8);
+  Alcotest.(check int) "constant size" 0 (Bdd.size m (Bdd.one m))
+
+let test_of_network () =
+  let net = Gen.Circuits.adder 4 in
+  let m = Bdd.manager ~nvars:(Array.length (Network.inputs net)) () in
+  match Bdd.of_network m net with
+  | None -> Alcotest.fail "adder must not blow up"
+  | Some outs ->
+      let rng = Rng.create 3 in
+      for _ = 1 to 100 do
+        let v = Array.init 9 (fun _ -> Rng.bool rng) in
+        let sim = Eval.eval_outputs net v in
+        Array.iteri
+          (fun i (nm, f) ->
+            Alcotest.(check bool) nm (snd sim.(i)) (Bdd.eval m f v))
+          outs
+      done
+
+let test_var_bounds () =
+  let m = Bdd.manager ~nvars:1 () in
+  Alcotest.check_raises "out of range" (Invalid_argument "Bdd.var: variable out of range")
+    (fun () -> ignore (Bdd.var m 1))
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "boolean laws" `Quick test_basic_laws;
+    Alcotest.test_case "eval matches semantics" `Quick test_eval_matches_semantics;
+    Alcotest.test_case "nvar" `Quick test_nvar;
+    Alcotest.test_case "any_sat" `Quick test_any_sat;
+    Alcotest.test_case "size" `Quick test_size;
+    Alcotest.test_case "of_network vs simulation" `Quick test_of_network;
+    Alcotest.test_case "variable bounds" `Quick test_var_bounds;
+  ]

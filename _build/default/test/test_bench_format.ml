@@ -1,0 +1,70 @@
+let sample =
+  "# c17-like example\n\
+   INPUT(a)\n\
+   INPUT(b)\n\
+   INPUT(c)\n\
+   OUTPUT(f)\n\
+   OUTPUT(g)\n\
+   n1 = NAND(a, b)\n\
+   n2 = NOR(b, c)\n\
+   f = AND(n1, n2)\n\
+   g = NOT(n2)\n"
+
+let test_parse () =
+  let n = Bench_format.parse_string sample in
+  Alcotest.(check int) "inputs" 3 (Array.length (Logic.Network.inputs n));
+  Alcotest.(check int) "outputs" 2 (Array.length (Logic.Network.outputs n));
+  let check a b c f g =
+    let outs = Logic.Eval.eval_outputs n [| a; b; c |] in
+    let get nm = snd (Array.to_list outs |> List.find (fun (k, _) -> k = nm)) in
+    Alcotest.(check bool) "f" f (get "f");
+    Alcotest.(check bool) "g" g (get "g")
+  in
+  (* f = nand(a,b) & nor(b,c); g = not (nor b c) *)
+  check false false false true false;
+  check true true false false true;
+  check true false false true false
+
+let test_out_of_order () =
+  let text = "INPUT(a)\nOUTPUT(f)\nf = NOT(n1)\nn1 = BUFF(a)\n" in
+  let n = Bench_format.parse_string text in
+  Alcotest.(check bool) "inverter" true
+    (not (snd (Logic.Eval.eval_outputs n [| true |]).(0)))
+
+let expect_error text =
+  match Bench_format.parse_string text with
+  | exception Bench_format.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let test_errors () =
+  expect_error "INPUT(a)\nOUTPUT(f)\nf = DFF(a)\n";
+  expect_error "INPUT(a)\nOUTPUT(f)\nf = FROB(a)\n";
+  expect_error "INPUT(a)\nOUTPUT(f)\nf = AND(a, missing)\n";
+  expect_error "INPUT(a)\nOUTPUT(f)\nf = AND(a, g)\ng = NOT(f)\n";
+  expect_error "gibberish line\n"
+
+let test_roundtrip () =
+  List.iter
+    (fun name ->
+      let net = Gen.Suite.build_exn name in
+      let text = Bench_format.to_string net in
+      let back = Bench_format.parse_string text in
+      Alcotest.(check bool) (name ^ " roundtrips") true (Logic.Eval.equivalent net back))
+    [ "cm150"; "z4ml"; "c880"; "frg1" ]
+
+let test_blif_to_bench_bridge () =
+  (* BLIF in, .bench out, parse back: the two front ends agree. *)
+  let net = Gen.Suite.build_exn "z4ml" in
+  let via_blif = Blif.parse_string (Blif.to_string net) in
+  let via_bench = Bench_format.parse_string (Bench_format.to_string via_blif) in
+  Alcotest.(check bool) "bridge preserves function" true
+    (Logic.Eval.equivalent net via_bench)
+
+let suite =
+  [
+    Alcotest.test_case "parse" `Quick test_parse;
+    Alcotest.test_case "out-of-order definitions" `Quick test_out_of_order;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "blif/bench bridge" `Quick test_blif_to_bench_bridge;
+  ]

@@ -1,0 +1,106 @@
+let sample =
+  ".model test\n\
+   .inputs a b c\n\
+   .outputs f g\n\
+   # f = a*b + !c, g = !(a + c)\n\
+   .names a b ab\n\
+   11 1\n\
+   .names ab nc f\n\
+   1- 1\n\
+   -1 1\n\
+   .names c nc\n\
+   0 1\n\
+   .names a c g\n\
+   00 1\n\
+   .end\n"
+
+let test_parse_basic () =
+  let n = Blif.parse_string sample in
+  Alcotest.(check int) "inputs" 3 (Array.length (Logic.Network.inputs n));
+  Alcotest.(check int) "outputs" 2 (Array.length (Logic.Network.outputs n));
+  let check_vec a b c f g =
+    let outs = Logic.Eval.eval_outputs n [| a; b; c |] in
+    let get nm = snd (Array.to_list outs |> List.find (fun (k, _) -> k = nm)) in
+    Alcotest.(check bool) "f" f (get "f");
+    Alcotest.(check bool) "g" g (get "g")
+  in
+  check_vec true true true true false;
+  check_vec true true false true false;
+  check_vec false false false true true;
+  check_vec false false true false false
+
+let test_out_of_order_names () =
+  (* The nc cover appears after its use above; parser must resolve it. *)
+  let n = Blif.parse_string sample in
+  Alcotest.(check bool) "validates" true (Logic.Network.validate n = Ok ())
+
+let test_offset_cover () =
+  let text = ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n" in
+  let n = Blif.parse_string text in
+  (* f = NAND(a, b) *)
+  Alcotest.(check bool) "00" true (snd (Logic.Eval.eval_outputs n [| false; false |]).(0));
+  Alcotest.(check bool) "11" false (snd (Logic.Eval.eval_outputs n [| true; true |]).(0))
+
+let test_constants () =
+  let text = ".model m\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end\n" in
+  let n = Blif.parse_string text in
+  let outs = Logic.Eval.eval_outputs n [| false |] in
+  let get nm = snd (Array.to_list outs |> List.find (fun (k, _) -> k = nm)) in
+  Alcotest.(check bool) "one" true (get "one");
+  Alcotest.(check bool) "zero" false (get "zero")
+
+let test_continuation_and_comments () =
+  let text =
+    ".model m\n.inputs a \\\nb\n.outputs f # trailing comment\n.names a b f\n11 1\n.end\n"
+  in
+  let n = Blif.parse_string text in
+  Alcotest.(check int) "inputs" 2 (Array.length (Logic.Network.inputs n))
+
+let expect_parse_error text =
+  match Blif.parse_string text with
+  | exception Blif.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let test_errors () =
+  expect_parse_error ".model m\n.inputs a\n.outputs f\n.names a f\n1 2\n.end\n";
+  expect_parse_error ".model m\n.inputs a\n.outputs f\n.names a f\n11 1\n.end\n";
+  expect_parse_error ".model m\n.inputs a\n.outputs f\n.names a b f\n1- 1\n.end\n";
+  expect_parse_error ".model m\n.inputs a\n.outputs f\n.latch a f re clk 0\n.end\n";
+  (* combinational cycle *)
+  expect_parse_error
+    ".model m\n.inputs a\n.outputs f\n.names f a g\n11 1\n.names g a f\n11 1\n.end\n";
+  (* mixed on/off set *)
+  expect_parse_error ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 0\n.end\n"
+
+let test_roundtrip_benchmarks () =
+  List.iter
+    (fun name ->
+      let net = Gen.Suite.build_exn name in
+      Alcotest.(check bool) (name ^ " roundtrips") true (Blif.roundtrip_check net))
+    [ "cm150"; "z4ml"; "9symml"; "c880"; "frg1"; "c1908" ]
+
+let test_writer_xor () =
+  let b = Logic.Builder.create () in
+  let xs = Logic.Builder.inputs b "x" 3 in
+  Logic.Network.set_output (Logic.Builder.network b)
+    "p"
+    (Logic.Network.add_gate (Logic.Builder.network b) Logic.Gate.Xor xs);
+  let net = Logic.Builder.network b in
+  Alcotest.(check bool) "xor cover roundtrips" true (Blif.roundtrip_check net)
+
+let test_duplicate_definition () =
+  expect_parse_error
+    ".model m\n.inputs a b\n.outputs f\n.names a f\n1 1\n.names b f\n1 1\n.end\n"
+
+let suite =
+  [
+    Alcotest.test_case "parse basic model" `Quick test_parse_basic;
+    Alcotest.test_case "out-of-order covers" `Quick test_out_of_order_names;
+    Alcotest.test_case "off-set cover" `Quick test_offset_cover;
+    Alcotest.test_case "constant covers" `Quick test_constants;
+    Alcotest.test_case "continuations and comments" `Quick test_continuation_and_comments;
+    Alcotest.test_case "parse errors" `Quick test_errors;
+    Alcotest.test_case "benchmark roundtrips" `Quick test_roundtrip_benchmarks;
+    Alcotest.test_case "xor writer" `Quick test_writer_xor;
+    Alcotest.test_case "duplicate signal rejected" `Quick test_duplicate_definition;
+  ]

@@ -1,0 +1,62 @@
+open Sim
+
+let test_initial_low () =
+  let b = Body.create ~charge_cycles:2 in
+  Alcotest.(check bool) "starts low" false (Body.is_high b)
+
+let test_charges_after_n_cycles () =
+  let b = Body.create ~charge_cycles:3 in
+  for i = 1 to 3 do
+    Body.observe b ~gate:false ~source_high:true ~drain_high:true;
+    Alcotest.(check bool) (Printf.sprintf "cycle %d" i) (i >= 3) (Body.is_high b)
+  done
+
+let test_gate_switch_resets () =
+  let b = Body.create ~charge_cycles:2 in
+  Body.observe b ~gate:false ~source_high:true ~drain_high:true;
+  Body.observe b ~gate:false ~source_high:true ~drain_high:true;
+  Alcotest.(check bool) "charged" true (Body.is_high b);
+  (* The gate rising couples the body: reset. *)
+  Body.observe b ~gate:true ~source_high:true ~drain_high:true;
+  Alcotest.(check bool) "reset by gate switch" false (Body.is_high b)
+
+let test_low_source_clamps () =
+  let b = Body.create ~charge_cycles:2 in
+  Body.observe b ~gate:false ~source_high:true ~drain_high:true;
+  Body.observe b ~gate:false ~source_high:false ~drain_high:true;
+  Body.observe b ~gate:false ~source_high:true ~drain_high:true;
+  Alcotest.(check bool) "interrupted charging" false (Body.is_high b)
+
+let test_conducting_channel_clamps () =
+  let b = Body.create ~charge_cycles:1 in
+  Body.observe b ~gate:true ~source_high:true ~drain_high:true;
+  Alcotest.(check bool) "on device stays low" false (Body.is_high b)
+
+let test_discharge () =
+  let b = Body.create ~charge_cycles:1 in
+  Body.observe b ~gate:false ~source_high:true ~drain_high:true;
+  Alcotest.(check bool) "charged" true (Body.is_high b);
+  Body.discharge b;
+  Alcotest.(check bool) "discharged" false (Body.is_high b)
+
+let test_drain_low_no_charge () =
+  let b = Body.create ~charge_cycles:1 in
+  Body.observe b ~gate:false ~source_high:true ~drain_high:false;
+  Alcotest.(check bool) "needs both terminals high" false (Body.is_high b)
+
+let test_invalid_cycles () =
+  Alcotest.check_raises "zero cycles"
+    (Invalid_argument "Body.create: charge_cycles must be >= 1") (fun () ->
+      ignore (Body.create ~charge_cycles:0))
+
+let suite =
+  [
+    Alcotest.test_case "initial state" `Quick test_initial_low;
+    Alcotest.test_case "charges after N cycles" `Quick test_charges_after_n_cycles;
+    Alcotest.test_case "gate switch resets" `Quick test_gate_switch_resets;
+    Alcotest.test_case "low source clamps" `Quick test_low_source_clamps;
+    Alcotest.test_case "conducting channel clamps" `Quick test_conducting_channel_clamps;
+    Alcotest.test_case "explicit discharge" `Quick test_discharge;
+    Alcotest.test_case "drain must be high" `Quick test_drain_low_no_charge;
+    Alcotest.test_case "invalid charge_cycles" `Quick test_invalid_cycles;
+  ]

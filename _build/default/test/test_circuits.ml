@@ -1,0 +1,215 @@
+open Logic
+
+let get outs nm = snd (Array.to_list outs |> List.find (fun (k, _) -> k = nm))
+
+let test_mux_tree () =
+  let net = Gen.Circuits.mux_tree 3 in
+  let rng = Rng.create 41 in
+  for _ = 1 to 100 do
+    let data = Array.init 8 (fun _ -> Rng.bool rng) in
+    let sel = Rng.int rng 8 in
+    let sel_bits = Array.init 3 (fun i -> sel land (1 lsl i) <> 0) in
+    let outs = Eval.eval_outputs net (Array.append data sel_bits) in
+    Alcotest.(check bool) "selected" data.(sel) (get outs "y")
+  done
+
+let test_sym9_exhaustive () =
+  let net = Gen.Circuits.sym9 () in
+  for v = 0 to 511 do
+    let inputs = Array.init 9 (fun i -> v land (1 lsl i) <> 0) in
+    let pop = Array.fold_left (fun acc b -> acc + if b then 1 else 0) 0 inputs in
+    let expect = pop >= 3 && pop <= 6 in
+    Alcotest.(check bool) (Printf.sprintf "popcount %d" pop) expect
+      (get (Eval.eval_outputs net inputs) "f")
+  done
+
+let test_priority () =
+  let net = Gen.Circuits.priority 8 in
+  let rng = Rng.create 43 in
+  for _ = 1 to 200 do
+    let req = Array.init 8 (fun _ -> Rng.bool rng) in
+    let mask = Array.init 8 (fun _ -> Rng.bool rng) in
+    (* inputs are interleaved per channel: req0, mask0, req1, mask1, ... *)
+    let stim = Array.init 16 (fun i -> if i mod 2 = 0 then req.(i / 2) else mask.(i / 2)) in
+    let outs = Eval.eval_outputs net stim in
+    let enabled = Array.mapi (fun i r -> r && not mask.(i)) req in
+    let expect_idx = Array.to_list enabled |> List.mapi (fun i e -> (i, e))
+                     |> List.find_opt snd |> Option.map fst in
+    Alcotest.(check bool) "pending" (expect_idx <> None) (get outs "pending");
+    Array.iteri
+      (fun i _ ->
+        let expect = expect_idx = Some i in
+        Alcotest.(check bool) (Printf.sprintf "grant%d" i) expect
+          (get outs (Printf.sprintf "grant%d" i)))
+      req;
+    (match expect_idx with
+    | Some i ->
+        for bit = 0 to 2 do
+          Alcotest.(check bool) "idx bit" (i land (1 lsl bit) <> 0)
+            (get outs (Printf.sprintf "idx%d" bit))
+        done
+    | None -> ())
+  done
+
+let test_decoder () =
+  let net = Gen.Circuits.decoder 3 in
+  for v = 0 to 7 do
+    List.iter
+      (fun en ->
+        let sel = Array.init 3 (fun i -> v land (1 lsl i) <> 0) in
+        let outs = Eval.eval_outputs net (Array.append sel [| en |]) in
+        for line = 0 to 7 do
+          let expect = en && line = v in
+          Alcotest.(check bool) (Printf.sprintf "y%d sel=%d" line v) expect
+            (get outs (Printf.sprintf "y%d" line))
+        done)
+      [ true; false ]
+  done
+
+let test_parity_tree () =
+  let net = Gen.Circuits.parity_tree 15 in
+  let rng = Rng.create 47 in
+  for _ = 1 to 100 do
+    let v = Array.init 15 (fun _ -> Rng.bool rng) in
+    Alcotest.(check bool) "parity" (Array.fold_left ( <> ) false v)
+      (get (Eval.eval_outputs net v) "p")
+  done
+
+let test_ecc_corrects_single_error () =
+  let net = Gen.Circuits.ecc 8 in
+  let rng = Rng.create 53 in
+  let n_checks =
+    Array.length (Network.inputs net) - 8
+  in
+  for _ = 1 to 100 do
+    let data = Array.init 8 (fun _ -> Rng.bool rng) in
+    (* Compute the correct check bits by asking the circuit itself with a
+       zero check word and reading the syndrome via err/flips; simpler: brute
+       force the check inputs that make err=0. *)
+    let rec find_checks v =
+      if v >= 1 lsl n_checks then Alcotest.fail "no clean check word"
+      else begin
+        let checks = Array.init n_checks (fun i -> v land (1 lsl i) <> 0) in
+        let outs = Eval.eval_outputs net (Array.append data checks) in
+        if not (get outs "err") then (checks, outs) else find_checks (v + 1)
+      end
+    in
+    let checks, clean = find_checks 0 in
+    (* Clean transmission: data must pass through unchanged. *)
+    Array.iteri
+      (fun i d ->
+        Alcotest.(check bool) (Printf.sprintf "clean q%d" i) d
+          (get clean (Printf.sprintf "q%d" i)))
+      data;
+    (* Flip one data bit: corrector must restore it. *)
+    let flip = Rng.int rng 8 in
+    let corrupted = Array.mapi (fun i d -> if i = flip then not d else d) data in
+    let outs = Eval.eval_outputs net (Array.append corrupted checks) in
+    Alcotest.(check bool) "error flagged" true (get outs "err");
+    Array.iteri
+      (fun i d ->
+        Alcotest.(check bool) (Printf.sprintf "corrected q%d" i) d
+          (get outs (Printf.sprintf "q%d" i)))
+      data
+  done
+
+let test_counter_next () =
+  let net = Gen.Circuits.counter_next 4 in
+  let rng = Rng.create 59 in
+  for _ = 1 to 200 do
+    let q = Array.init 4 (fun _ -> Rng.bool rng) in
+    let d = Array.init 4 (fun _ -> Rng.bool rng) in
+    let ld = Rng.bool rng and en = Rng.bool rng in
+    let outs = Eval.eval_outputs net (Array.concat [ q; d; [| ld; en |] ]) in
+    let value bs =
+      let acc = ref 0 in
+      Array.iteri (fun i b -> if b then acc := !acc + (1 lsl i)) bs;
+      !acc
+    in
+    let qv = value q and dv = value d in
+    let expect = if ld then dv else if en then (qv + 1) land 15 else qv in
+    let got =
+      value (Array.init 4 (fun i -> get outs (Printf.sprintf "n%d" i)))
+    in
+    Alcotest.(check int) "next state" expect got;
+    Alcotest.(check bool) "cout" (en && qv = 15) (get outs "cout")
+  done
+
+let test_cordic_stage () =
+  let net = Gen.Circuits.cordic_stage 6 1 in
+  let rng = Rng.create 61 in
+  let to_signed v w = if v >= 1 lsl (w - 1) then v - (1 lsl w) else v in
+  for _ = 1 to 200 do
+    let xv = Rng.int rng 64 and yv = Rng.int rng 64 in
+    let dir = Rng.bool rng in
+    let bits v = Array.init 6 (fun i -> v land (1 lsl i) <> 0) in
+    let outs =
+      Eval.eval_outputs net (Array.concat [ bits xv; bits yv; [| dir |] ])
+    in
+    let value p =
+      let acc = ref 0 in
+      for i = 0 to 5 do
+        if get outs (Printf.sprintf "%s%d" p i) then acc := !acc + (1 lsl i)
+      done;
+      !acc
+    in
+    let xs = to_signed xv 6 asr 1 and ys = to_signed yv 6 asr 1 in
+    let x = to_signed xv 6 and y = to_signed yv 6 in
+    let expect_x = if dir then x - ys else x + ys in
+    let expect_y = if dir then y + xs else y - xs in
+    Alcotest.(check int) "xn" (expect_x land 63) (value "xn");
+    Alcotest.(check int) "yn" (expect_y land 63) (value "yn")
+  done
+
+let test_alu () =
+  let net = Gen.Circuits.alu 4 in
+  let rng = Rng.create 67 in
+  for _ = 1 to 300 do
+    let a = Rng.int rng 16 and b = Rng.int rng 16 and op = Rng.int rng 4 in
+    let bits v = Array.init 4 (fun i -> v land (1 lsl i) <> 0) in
+    let opbits = Array.init 2 (fun i -> op land (1 lsl i) <> 0) in
+    let outs = Eval.eval_outputs net (Array.concat [ bits a; bits b; opbits ]) in
+    let expect =
+      match op with
+      | 0 -> (a + b) land 15
+      | 1 -> (a - b) land 15
+      | 2 -> a land b
+      | _ -> a lxor b
+    in
+    let got =
+      let acc = ref 0 in
+      for i = 0 to 3 do
+        if get outs (Printf.sprintf "r%d" i) then acc := !acc + (1 lsl i)
+      done;
+      !acc
+    in
+    Alcotest.(check int) (Printf.sprintf "alu op=%d a=%d b=%d" op a b) expect got;
+    Alcotest.(check bool) "zero flag" (expect = 0) (get outs "zero")
+  done
+
+let test_adder_comparator () =
+  let net = Gen.Circuits.adder_comparator 4 in
+  let rng = Rng.create 71 in
+  for _ = 1 to 200 do
+    let a = Rng.int rng 16 and b = Rng.int rng 16 in
+    let cin = Rng.bool rng in
+    let bits v = Array.init 4 (fun i -> v land (1 lsl i) <> 0) in
+    let outs = Eval.eval_outputs net (Array.concat [ bits a; bits b; [| cin |] ]) in
+    Alcotest.(check bool) "eq" (a = b) (get outs "eq");
+    Alcotest.(check bool) "lt" (a < b) (get outs "lt");
+    Alcotest.(check bool) "cout" (a + b + (if cin then 1 else 0) > 15) (get outs "cout")
+  done
+
+let suite =
+  [
+    Alcotest.test_case "mux tree" `Quick test_mux_tree;
+    Alcotest.test_case "9-input symmetric exhaustive" `Quick test_sym9_exhaustive;
+    Alcotest.test_case "priority interrupt" `Quick test_priority;
+    Alcotest.test_case "decoder" `Quick test_decoder;
+    Alcotest.test_case "parity tree" `Quick test_parity_tree;
+    Alcotest.test_case "ecc single-error correction" `Quick test_ecc_corrects_single_error;
+    Alcotest.test_case "counter next-state" `Quick test_counter_next;
+    Alcotest.test_case "cordic stage" `Quick test_cordic_stage;
+    Alcotest.test_case "alu" `Quick test_alu;
+    Alcotest.test_case "adder-comparator" `Quick test_adder_comparator;
+  ]

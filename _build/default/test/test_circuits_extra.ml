@@ -1,0 +1,144 @@
+open Logic
+
+let value outs prefix width =
+  let acc = ref 0 in
+  for i = 0 to width - 1 do
+    let nm = Printf.sprintf "%s%d" prefix i in
+    if snd (Array.to_list outs |> List.find (fun (k, _) -> k = nm)) then
+      acc := !acc + (1 lsl i)
+  done;
+  !acc
+
+let bits w v = Array.init w (fun i -> v land (1 lsl i) <> 0)
+
+let test_cla_matches_ripple () =
+  (* Formal: the CLA adder equals the ripple adder for widths 2..8. *)
+  List.iter
+    (fun w ->
+      Alcotest.(check bool)
+        (Printf.sprintf "width %d" w)
+        true
+        (Equiv.check (Gen.Circuits.adder w) (Gen.Circuits.cla_adder w)))
+    [ 2; 3; 4; 5; 8 ]
+
+let test_cla_exhaustive_small () =
+  let net = Gen.Circuits.cla_adder 4 in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      for c = 0 to 1 do
+        let outs = Eval.eval_outputs net (Array.concat [ bits 4 a; bits 4 b; [| c = 1 |] ]) in
+        Alcotest.(check int) "sum" ((a + b + c) land 15) (value outs "s" 4)
+      done
+    done
+  done
+
+let test_wallace_matches_array_multiplier () =
+  List.iter
+    (fun w ->
+      Alcotest.(check bool)
+        (Printf.sprintf "wallace %dx%d" w w)
+        true
+        (Equiv.check (Gen.Circuits.multiplier w) (Gen.Circuits.wallace_multiplier w)))
+    [ 2; 3; 4 ]
+
+let test_wallace_depth_advantage () =
+  (* The carry-save tree should be shallower than the ripple array at
+     width 8. *)
+  let d net = Topo.depth (Strash.run net) in
+  Alcotest.(check bool) "shallower" true
+    (d (Gen.Circuits.wallace_multiplier 8) < d (Gen.Circuits.multiplier 8))
+
+let test_barrel_shifter () =
+  let net = Gen.Circuits.barrel_shifter 3 in
+  let rng = Rng.create 91 in
+  for _ = 1 to 200 do
+    let data = Rng.int rng 256 in
+    let amount = Rng.int rng 8 in
+    let inputs = Array.append (bits 8 data) (bits 3 amount) in
+    let outs = Eval.eval_outputs net inputs in
+    let rotated = ((data lsl amount) lor (data lsr (8 - amount))) land 255 in
+    Alcotest.(check int)
+      (Printf.sprintf "rot %d by %d" data amount)
+      rotated (value outs "y" 8)
+  done
+
+let test_gray_counter_cycle () =
+  (* Iterating the next-state logic from 0 must visit all 2^w states
+     before repeating (the defining property of a Gray counter), with
+     consecutive states differing in exactly one bit. *)
+  let w = 4 in
+  let net = Gen.Circuits.gray_counter_next w in
+  let state = ref 0 in
+  let seen = Hashtbl.create 16 in
+  for _ = 1 to 1 lsl w do
+    Alcotest.(check bool) "state fresh" false (Hashtbl.mem seen !state);
+    Hashtbl.replace seen !state ();
+    let outs = Eval.eval_outputs net (bits w !state) in
+    let next = value outs "n" w in
+    let diff = !state lxor next in
+    Alcotest.(check bool) "one-bit change" true (diff <> 0 && diff land (diff - 1) = 0);
+    state := next
+  done;
+  Alcotest.(check int) "returns to start" 0 !state
+
+let test_lfsr_shift_semantics () =
+  let w = 5 in
+  let net = Gen.Circuits.lfsr_next w in
+  let rng = Rng.create 93 in
+  for _ = 1 to 100 do
+    let q = Rng.int rng (1 lsl w) in
+    let outs = Eval.eval_outputs net (bits w q) in
+    let next = value outs "n" w in
+    let feedback = ((q lsr (w - 1)) land 1) lxor ((q lsr (w - 2)) land 1) in
+    Alcotest.(check int) "shift with feedback"
+      (((q lsl 1) land ((1 lsl w) - 1)) lor feedback)
+      next
+  done
+
+let test_lfsr_max_period () =
+  (* Taps (w-1, w-2) give a maximal-length sequence for w = 3 and 4. *)
+  List.iter
+    (fun w ->
+      let net = Gen.Circuits.lfsr_next w in
+      let state = ref 1 in
+      let count = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let outs = Eval.eval_outputs net (bits w !state) in
+        state := value outs "n" w;
+        incr count;
+        if !state = 1 || !count > 1 lsl w then continue_ := false
+      done;
+      Alcotest.(check int) (Printf.sprintf "period w=%d" w) ((1 lsl w) - 1) !count)
+    [ 3; 4 ]
+
+let test_new_circuits_map_cleanly () =
+  List.iter
+    (fun net ->
+      let r = Mapper.Algorithms.soi_domino_map net in
+      Alcotest.(check bool)
+        (Network.name net ^ " maps, verifies, PBE-free")
+        true
+        (Domino.Circuit.equivalent_to r.Mapper.Algorithms.circuit r.Mapper.Algorithms.unate
+        && Sim.Domino_sim.pbe_free ~cycles:64 r.Mapper.Algorithms.circuit))
+    [
+      Gen.Circuits.cla_adder 6;
+      Gen.Circuits.wallace_multiplier 4;
+      Gen.Circuits.barrel_shifter 3;
+      Gen.Circuits.gray_counter_next 6;
+      Gen.Circuits.lfsr_next 8;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "cla equals ripple (formal)" `Quick test_cla_matches_ripple;
+    Alcotest.test_case "cla exhaustive" `Quick test_cla_exhaustive_small;
+    Alcotest.test_case "wallace equals array multiplier" `Quick
+      test_wallace_matches_array_multiplier;
+    Alcotest.test_case "wallace depth advantage" `Quick test_wallace_depth_advantage;
+    Alcotest.test_case "barrel shifter" `Quick test_barrel_shifter;
+    Alcotest.test_case "gray counter full cycle" `Quick test_gray_counter_cycle;
+    Alcotest.test_case "lfsr shift semantics" `Quick test_lfsr_shift_semantics;
+    Alcotest.test_case "lfsr maximal period" `Quick test_lfsr_max_period;
+    Alcotest.test_case "new circuits map cleanly" `Quick test_new_circuits_map_cleanly;
+  ]

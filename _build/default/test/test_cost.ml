@@ -1,0 +1,75 @@
+open Mapper
+
+let test_zero_combine () =
+  let v = Cost.combine Cost.zero Cost.zero in
+  Alcotest.(check int) "weighted" 0 v.Cost.weighted;
+  Alcotest.(check int) "depth" 0 v.Cost.depth;
+  Alcotest.(check int) "raw" 0 v.Cost.raw
+
+let test_combine_adds_and_maxes () =
+  let a = { Cost.weighted = 3; depth = 2; raw = 4 } in
+  let b = { Cost.weighted = 5; depth = 7; raw = 1 } in
+  let c = Cost.combine a b in
+  Alcotest.(check int) "weighted adds" 8 c.Cost.weighted;
+  Alcotest.(check int) "depth maxes" 7 c.Cost.depth;
+  Alcotest.(check int) "raw adds" 5 c.Cost.raw
+
+let test_area_model () =
+  let m = Cost.area in
+  let v = Cost.regular_transistors m 3 in
+  Alcotest.(check int) "3 transistors" 3 v.Cost.weighted;
+  let d = Cost.discharges m 2 in
+  Alcotest.(check int) "2 discharges" 2 d.Cost.weighted;
+  Alcotest.(check int) "depth ignored" 0 (Cost.key m { Cost.weighted = 0; depth = 9; raw = 0 })
+
+let test_gate_overhead () =
+  let m = Cost.area in
+  let unfooted = Cost.gate_overhead m ~footed:false in
+  let footed = Cost.gate_overhead m ~footed:true in
+  (* precharge + inverter(2) + keeper = 4; foot adds one. *)
+  Alcotest.(check int) "unfooted raw" 4 unfooted.Cost.raw;
+  Alcotest.(check int) "footed raw" 5 footed.Cost.raw;
+  Alcotest.(check int) "unfooted weighted" 4 unfooted.Cost.weighted;
+  Alcotest.(check int) "footed weighted" 5 footed.Cost.weighted
+
+let test_clock_weighted () =
+  let m = Cost.clock_weighted 3 in
+  let o = Cost.gate_overhead m ~footed:true in
+  (* 2 clocked at weight 3 + 3 regular at weight 1. *)
+  Alcotest.(check int) "weighted overhead" 9 o.Cost.weighted;
+  Alcotest.(check int) "discharge weight" 3 (Cost.discharges m 1).Cost.weighted
+
+let test_depth_models () =
+  let bulk = Cost.depth_bulk and soi = Cost.depth_soi in
+  let v = { Cost.weighted = 0; depth = 4; raw = 100 } in
+  Alcotest.(check int) "bulk key is depth" 4 (Cost.key bulk v);
+  Alcotest.(check int) "soi key is depth" 4 (Cost.key soi v);
+  (* a discharge costs one level-equivalent under depth_soi *)
+  let d = Cost.discharges soi 2 in
+  Alcotest.(check int) "disch weighted" 2 d.Cost.weighted;
+  Alcotest.(check int) "bulk ignores disch" 0 (Cost.discharges bulk 2).Cost.weighted
+
+let test_level_up () =
+  let v = Cost.level_up { Cost.weighted = 1; depth = 3; raw = 2 } in
+  Alcotest.(check int) "depth incremented" 4 v.Cost.depth;
+  Alcotest.(check int) "weighted unchanged" 1 v.Cost.weighted
+
+let test_compare_values () =
+  let m = Cost.area in
+  let a = { Cost.weighted = 3; depth = 0; raw = 3 } in
+  let b = { Cost.weighted = 4; depth = 0; raw = 3 } in
+  Alcotest.(check bool) "lower weighted wins" true (Cost.compare_values m a b < 0);
+  let c = { Cost.weighted = 3; depth = 0; raw = 2 } in
+  Alcotest.(check bool) "raw breaks ties" true (Cost.compare_values m c a < 0)
+
+let suite =
+  [
+    Alcotest.test_case "zero and combine" `Quick test_zero_combine;
+    Alcotest.test_case "combine semantics" `Quick test_combine_adds_and_maxes;
+    Alcotest.test_case "area model" `Quick test_area_model;
+    Alcotest.test_case "gate overhead" `Quick test_gate_overhead;
+    Alcotest.test_case "clock weighting" `Quick test_clock_weighted;
+    Alcotest.test_case "depth models" `Quick test_depth_models;
+    Alcotest.test_case "level_up" `Quick test_level_up;
+    Alcotest.test_case "compare_values" `Quick test_compare_values;
+  ]

@@ -1,0 +1,104 @@
+open Logic
+
+(* Reference software DES round, independent of the circuit construction. *)
+let ref_sbox i v = (Gen.Des.sbox_table i).(v)
+
+let expansion_ref =
+  [| 32; 1; 2; 3; 4; 5; 4; 5; 6; 7; 8; 9; 8; 9; 10; 11; 12; 13; 12; 13; 14;
+     15; 16; 17; 16; 17; 18; 19; 20; 21; 20; 21; 22; 23; 24; 25; 24; 25; 26;
+     27; 28; 29; 28; 29; 30; 31; 32; 1 |]
+
+let permutation_ref =
+  [| 16; 7; 20; 21; 29; 12; 28; 17; 1; 15; 23; 26; 5; 18; 31; 10; 2; 8; 24;
+     14; 32; 27; 3; 9; 19; 13; 30; 6; 22; 11; 4; 25 |]
+
+let ref_f r key =
+  (* r: 32 bools, key: 48 bools, both in FIPS bit order (index 0 = bit 1). *)
+  let expanded = Array.init 48 (fun k -> r.(expansion_ref.(k) - 1)) in
+  let mixed = Array.mapi (fun k v -> v <> key.(k)) expanded in
+  let sbox_out = Array.make 32 false in
+  for i = 0 to 7 do
+    let v = ref 0 in
+    for j = 0 to 5 do
+      if mixed.((6 * i) + j) then v := !v lor (1 lsl (5 - j))
+    done;
+    let out = ref_sbox i !v in
+    for j = 0 to 3 do
+      sbox_out.((4 * i) + j) <- out land (1 lsl (3 - j)) <> 0
+    done
+  done;
+  Array.init 32 (fun k -> sbox_out.(permutation_ref.(k) - 1))
+
+let test_sbox_tables_wellformed () =
+  for i = 0 to 7 do
+    let t = Gen.Des.sbox_table i in
+    Alcotest.(check int) "64 entries" 64 (Array.length t);
+    Array.iter (fun v -> Alcotest.(check bool) "4-bit" true (v >= 0 && v < 16)) t;
+    (* Each S-box row is a permutation of 0..15 (FIPS property). *)
+    for row = 0 to 3 do
+      let vals = ref [] in
+      for col = 0 to 15 do
+        let v = ((row lsr 1) lsl 5) lor (col lsl 1) lor (row land 1) in
+        vals := t.(v) :: !vals
+      done;
+      Alcotest.(check (list int)) "row is a permutation"
+        (List.init 16 Fun.id) (List.sort compare !vals)
+    done
+  done
+
+let test_sbox_known_values () =
+  (* Spot checks against FIPS 46-3: S1(000000)=14, S1(111111)=13, S8(111111)=11. *)
+  Alcotest.(check int) "S1(0)" 14 (Gen.Des.sbox_table 0).(0);
+  Alcotest.(check int) "S1(63)" 13 (Gen.Des.sbox_table 0).(63);
+  Alcotest.(check int) "S8(63)" 11 (Gen.Des.sbox_table 7).(63)
+
+let test_sbox_circuit () =
+  let b = Builder.create () in
+  let ins = Builder.inputs b "i" 6 in
+  let outs = Gen.Des.sbox b 3 ins in
+  Array.iteri (fun k w -> Builder.output b (Printf.sprintf "o%d" k) w) outs;
+  let net = Builder.network b in
+  for v = 0 to 63 do
+    (* ins.(0) is the MSB b5. *)
+    let inputs = Array.init 6 (fun j -> v land (1 lsl (5 - j)) <> 0) in
+    let res = Eval.eval_outputs net inputs in
+    let got = ref 0 in
+    Array.iter
+      (fun (nm, b') ->
+        let k = int_of_string (String.sub nm 1 1) in
+        if b' then got := !got lor (1 lsl (3 - k)))
+      res;
+    Alcotest.(check int) (Printf.sprintf "S4(%d)" v) (ref_sbox 3 v) !got
+  done
+
+let test_round_against_reference () =
+  let net = Gen.Des.round () in
+  let rng = Rng.create 97 in
+  for _ = 1 to 20 do
+    let l = Array.init 32 (fun _ -> Rng.bool rng) in
+    let r = Array.init 32 (fun _ -> Rng.bool rng) in
+    let k = Array.init 48 (fun _ -> Rng.bool rng) in
+    let outs = Eval.eval_outputs net (Array.concat [ l; r; k ]) in
+    let get nm = snd (Array.to_list outs |> List.find (fun (x, _) -> x = nm)) in
+    let f = ref_f r k in
+    for i = 0 to 31 do
+      Alcotest.(check bool) (Printf.sprintf "lo%d" i) r.(i)
+        (get (Printf.sprintf "lo%d" i));
+      Alcotest.(check bool) (Printf.sprintf "ro%d" i) (l.(i) <> f.(i))
+        (get (Printf.sprintf "ro%d" i))
+    done
+  done
+
+let test_rounds_chain () =
+  let net = Gen.Des.rounds 2 in
+  Alcotest.(check int) "inputs" (64 + 96) (Array.length (Network.inputs net));
+  Alcotest.(check bool) "validates" true (Network.validate net = Ok ())
+
+let suite =
+  [
+    Alcotest.test_case "sbox tables well-formed" `Quick test_sbox_tables_wellformed;
+    Alcotest.test_case "sbox known values" `Quick test_sbox_known_values;
+    Alcotest.test_case "sbox circuit matches table" `Quick test_sbox_circuit;
+    Alcotest.test_case "round matches reference" `Quick test_round_against_reference;
+    Alcotest.test_case "multi-round chaining" `Quick test_rounds_chain;
+  ]

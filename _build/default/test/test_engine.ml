@@ -1,0 +1,165 @@
+open Logic
+open Mapper
+
+(* The paper's Figure 3 network: f = (a*b) + (c*d). *)
+let fig3_net () =
+  let b = Builder.create ~name:"fig3" () in
+  let a = Builder.input b "a" and b' = Builder.input b "b" in
+  let c = Builder.input b "c" and d = Builder.input b "d" in
+  Builder.output b "f" (Builder.or2 b (Builder.and2 b a b') (Builder.and2 b c d));
+  Builder.network b
+
+let map_fig3 style =
+  let u = Algorithms.prepare (fig3_net ()) in
+  let options = { Engine.default_options with Engine.style; w_max = 4; h_max = 4 } in
+  Engine.map options u
+
+let test_fig3_single_gate_cost9 () =
+  (* The paper's worked example: the {2,2} solution wins, total cost 9
+     (4 PDN transistors + precharge + inverter(2) + keeper + n-clock). *)
+  let c, _ = map_fig3 Engine.Soi in
+  Alcotest.(check int) "one gate" 1 (Array.length c.Domino.Circuit.gates);
+  let counts = Domino.Circuit.counts c in
+  Alcotest.(check int) "t_total 9" 9 counts.Domino.Circuit.t_total;
+  Alcotest.(check int) "no discharges" 0 counts.Domino.Circuit.t_disch;
+  let g = c.Domino.Circuit.gates.(0) in
+  Alcotest.(check int) "width 2" 2 (Domino.Domino_gate.width g);
+  Alcotest.(check int) "height 2" 2 (Domino.Domino_gate.height g);
+  Alcotest.(check bool) "footed" true g.Domino.Domino_gate.footed
+
+let test_fig3_bulk_same () =
+  let c, _ = map_fig3 Engine.Bulk in
+  Alcotest.(check int) "bulk also cost 9" 9
+    (Domino.Circuit.counts c).Domino.Circuit.t_total
+
+let test_wh_limits_respected () =
+  List.iter
+    (fun (w_max, h_max) ->
+      let net = Gen.Suite.build_exn "c880" in
+      let u = Algorithms.prepare net in
+      let options = { Engine.default_options with Engine.w_max; h_max } in
+      let c, _ = Engine.map options u in
+      Array.iter
+        (fun g ->
+          Alcotest.(check bool) "width bound" true (Domino.Domino_gate.width g <= w_max);
+          Alcotest.(check bool) "height bound" true
+            (Domino.Domino_gate.height g <= h_max))
+        c.Domino.Circuit.gates)
+    [ (2, 2); (3, 4); (5, 8) ]
+
+let test_invalid_limits () =
+  let u = Algorithms.prepare (fig3_net ()) in
+  Alcotest.check_raises "w_max 1 rejected"
+    (Invalid_argument "Engine.map: w_max and h_max must be at least 2") (fun () ->
+      ignore (Engine.map { Engine.default_options with Engine.w_max = 1 } u))
+
+let test_footed_iff_pi () =
+  let net = Gen.Suite.build_exn "9symml" in
+  let u = Algorithms.prepare net in
+  let c, _ = Engine.map Engine.default_options u in
+  Array.iter
+    (fun g ->
+      Alcotest.(check bool) "foot matches PDN contents"
+        (Domino.Pdn.has_pi_leaf g.Domino.Domino_gate.pdn)
+        g.Domino.Domino_gate.footed)
+    c.Domino.Circuit.gates
+
+let test_circuit_validates () =
+  List.iter
+    (fun name ->
+      let u = Algorithms.prepare (Gen.Suite.build_exn name) in
+      List.iter
+        (fun style ->
+          let c, _ = Engine.map { Engine.default_options with Engine.style } u in
+          match Domino.Circuit.validate c with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail (name ^ ": " ^ e))
+        [ Engine.Bulk; Engine.Soi ])
+    [ "cm150"; "z4ml"; "count"; "c432"; "frg1" ]
+
+let test_soi_discharges_match_analysis () =
+  let u = Algorithms.prepare (Gen.Suite.build_exn "c880") in
+  let c, _ = Engine.map Engine.default_options u in
+  Array.iter
+    (fun g ->
+      let expect =
+        Domino.Pbe_analysis.discharge_points ~grounded:true g.Domino.Domino_gate.pdn
+      in
+      Alcotest.(check int) "discharge points match analysis"
+        (List.length expect)
+        (List.length g.Domino.Domino_gate.discharge_points))
+    c.Domino.Circuit.gates
+
+let test_multi_fanout_shared () =
+  (* g = a*b feeds two consumers: it must be materialised exactly once. *)
+  let b = Builder.create () in
+  let a = Builder.input b "a" and b' = Builder.input b "b" in
+  let c = Builder.input b "c" and d = Builder.input b "d" in
+  let shared = Builder.and2 b a b' in
+  Builder.output b "f" (Builder.or2 b shared c);
+  Builder.output b "g" (Builder.and2 b shared d);
+  let u = Algorithms.prepare (Builder.network b) in
+  let circ, _ = Engine.map Engine.default_options u in
+  (* The shared gate appears once; total gates = 3. *)
+  Alcotest.(check int) "three gates" 3 (Array.length circ.Domino.Circuit.gates);
+  Alcotest.(check bool) "equivalent" true (Domino.Circuit.equivalent_to circ u)
+
+let test_stats_populated () =
+  let u = Algorithms.prepare (fig3_net ()) in
+  let _, stats = Engine.map Engine.default_options u in
+  Alcotest.(check bool) "nodes processed" true (stats.Engine.nodes_processed > 0);
+  Alcotest.(check bool) "combinations tried" true (stats.Engine.combinations_tried > 0);
+  Alcotest.(check int) "gates formed" 1 (stats.Engine.gates_formed)
+
+let test_determinism () =
+  let count name =
+    let u = Algorithms.prepare (Gen.Suite.build_exn name) in
+    let c, _ = Engine.map Engine.default_options u in
+    Domino.Circuit.counts c
+  in
+  Alcotest.(check bool) "same result twice" true (count "frg1" = count "frg1")
+
+let test_levels_consistent () =
+  let u = Algorithms.prepare (Gen.Suite.build_exn "z4ml") in
+  let c, _ = Engine.map Engine.default_options u in
+  Array.iter
+    (fun g ->
+      let expect =
+        1
+        + List.fold_left
+            (fun acc f -> max acc c.Domino.Circuit.gates.(f).Domino.Domino_gate.level)
+            0
+            (Domino.Pdn.gate_fanins g.Domino.Domino_gate.pdn)
+      in
+      Alcotest.(check int) "level" expect g.Domino.Domino_gate.level)
+    c.Domino.Circuit.gates
+
+let test_grounded_at_foot_ablation () =
+  (* The pessimistic variant pays contingent points: never fewer discharges. *)
+  List.iter
+    (fun name ->
+      let u = Algorithms.prepare (Gen.Suite.build_exn name) in
+      let opt = Engine.default_options in
+      let c1, _ = Engine.map opt u in
+      let c2, _ = Engine.map { opt with Engine.grounded_at_foot = false } u in
+      let d1 = (Domino.Circuit.counts c1).Domino.Circuit.t_disch in
+      let d2 = (Domino.Circuit.counts c2).Domino.Circuit.t_disch in
+      Alcotest.(check bool) (name ^ " pessimistic needs more") true (d2 >= d1))
+    [ "cm150"; "z4ml"; "count" ]
+
+let suite =
+  [
+    Alcotest.test_case "figure 3 example costs 9" `Quick test_fig3_single_gate_cost9;
+    Alcotest.test_case "figure 3 bulk baseline" `Quick test_fig3_bulk_same;
+    Alcotest.test_case "W/H limits respected" `Quick test_wh_limits_respected;
+    Alcotest.test_case "invalid limits rejected" `Quick test_invalid_limits;
+    Alcotest.test_case "foot placement" `Quick test_footed_iff_pi;
+    Alcotest.test_case "circuits validate" `Quick test_circuit_validates;
+    Alcotest.test_case "SOI discharges match analysis" `Quick
+      test_soi_discharges_match_analysis;
+    Alcotest.test_case "multi-fanout sharing" `Quick test_multi_fanout_shared;
+    Alcotest.test_case "stats populated" `Quick test_stats_populated;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "levels consistent" `Quick test_levels_consistent;
+    Alcotest.test_case "grounded-at-foot ablation" `Quick test_grounded_at_foot_ablation;
+  ]

@@ -1,0 +1,86 @@
+open Logic
+
+let test_self_equivalence () =
+  let net = Gen.Circuits.adder 4 in
+  Alcotest.(check bool) "adder = adder" true (Equiv.check net net)
+
+let test_counterexample () =
+  (* f = x & y vs f = x | y : counterexample must distinguish them. *)
+  let mk g =
+    let n = Network.create () in
+    let x = Network.add_input ~name:"x" n in
+    let y = Network.add_input ~name:"y" n in
+    Network.set_output n "f" (Network.add_gate n g [| x; y |]);
+    n
+  in
+  let a = mk Gate.And and b = mk Gate.Or in
+  match Equiv.networks a b with
+  | Equiv.Counterexample { input; output } ->
+      Alcotest.(check string) "output f" "f" output;
+      let va = Eval.eval_outputs a input and vb = Eval.eval_outputs b input in
+      Alcotest.(check bool) "vector distinguishes" true (snd va.(0) <> snd vb.(0))
+  | v -> Alcotest.fail (Format.asprintf "expected counterexample, got %a" Equiv.pp_verdict v)
+
+let test_interface_mismatch () =
+  let a = Gen.Circuits.adder 2 and b = Gen.Circuits.adder 3 in
+  (match Equiv.networks a b with
+  | Equiv.Unknown _ -> ()
+  | _ -> Alcotest.fail "expected Unknown for mismatched inputs")
+
+let test_strash_formally_equal () =
+  List.iter
+    (fun name ->
+      let net = Gen.Suite.build_exn name in
+      Alcotest.(check bool) (name ^ " strash proven") true
+        (Equiv.check net (Strash.run net)))
+    [ "cm150"; "z4ml"; "9symml"; "c880"; "count" ]
+
+let test_mapped_circuits_formally_equal () =
+  (* The headline verification: mapped domino circuits are *proven*
+     equivalent to their source networks, not just simulated. *)
+  List.iter
+    (fun name ->
+      let net = Gen.Suite.build_exn name in
+      List.iter
+        (fun flow ->
+          let r = Mapper.Algorithms.run flow net in
+          match Domino.Circuit.equivalent_exact r.Mapper.Algorithms.circuit net with
+          | Equiv.Equivalent -> ()
+          | v ->
+              Alcotest.fail
+                (Format.asprintf "%s/%s: %a" name (Mapper.Algorithms.flow_name flow)
+                   Equiv.pp_verdict v))
+        [ Mapper.Algorithms.Domino_map; Mapper.Algorithms.Rs_map;
+          Mapper.Algorithms.Soi_domino_map ])
+    [ "cm150"; "z4ml"; "9symml"; "c880"; "c432"; "c1908"; "frg1" ]
+
+let test_circuit_to_network_shape () =
+  let net = Gen.Suite.build_exn "z4ml" in
+  let r = Mapper.Algorithms.soi_domino_map net in
+  let back = Domino.Circuit.to_network r.Mapper.Algorithms.circuit in
+  Alcotest.(check int) "inputs preserved"
+    (Array.length (Network.inputs net))
+    (Array.length (Network.inputs back));
+  Alcotest.(check bool) "validates" true (Network.validate back = Ok ());
+  Alcotest.(check bool) "same outputs" true
+    (List.sort compare (Array.to_list (Array.map fst (Network.outputs net)))
+    = List.sort compare (Array.to_list (Array.map fst (Network.outputs back))))
+
+let test_limit_gives_unknown () =
+  (* A tiny node limit must trigger the Unknown fallback, not an error. *)
+  let net = Gen.Suite.build_exn "c880" in
+  match Equiv.networks ~limit:10 net net with
+  | Equiv.Unknown _ -> ()
+  | _ -> Alcotest.fail "expected Unknown under tiny limit"
+
+let suite =
+  [
+    Alcotest.test_case "self equivalence" `Quick test_self_equivalence;
+    Alcotest.test_case "counterexample extraction" `Quick test_counterexample;
+    Alcotest.test_case "interface mismatch" `Quick test_interface_mismatch;
+    Alcotest.test_case "strash formally equal" `Quick test_strash_formally_equal;
+    Alcotest.test_case "mapped circuits formally equal" `Slow
+      test_mapped_circuits_formally_equal;
+    Alcotest.test_case "circuit to_network" `Quick test_circuit_to_network_shape;
+    Alcotest.test_case "node limit fallback" `Quick test_limit_gives_unknown;
+  ]

@@ -1,0 +1,83 @@
+open Logic
+
+let mux_net () =
+  (* f = s ? b : a, built by hand *)
+  let n = Network.create ~name:"mux" () in
+  let a = Network.add_input ~name:"a" n in
+  let b = Network.add_input ~name:"b" n in
+  let s = Network.add_input ~name:"s" n in
+  let ns = Network.add_gate n Gate.Not [| s |] in
+  let l = Network.add_gate n Gate.And [| a; ns |] in
+  let r = Network.add_gate n Gate.And [| b; s |] in
+  let f = Network.add_gate n Gate.Or [| l; r |] in
+  Network.set_output n "f" f;
+  n
+
+let test_eval_all_vectors () =
+  let n = mux_net () in
+  for v = 0 to 7 do
+    let a = v land 1 = 1 and b = v land 2 = 2 and s = v land 4 = 4 in
+    let out = Eval.eval_outputs n [| a; b; s |] in
+    let expect = if s then b else a in
+    Alcotest.(check bool) (Printf.sprintf "vector %d" v) expect (snd out.(0))
+  done
+
+let test_eval64_consistency () =
+  let n = mux_net () in
+  let rng = Rng.create 3 in
+  let words = Eval.random_words rng 3 in
+  let packed = Eval.eval_outputs64 n words in
+  for k = 0 to 63 do
+    let bit w = Int64.logand (Int64.shift_right_logical w k) 1L = 1L in
+    let inputs = Array.map bit words in
+    let single = Eval.eval_outputs n inputs in
+    Alcotest.(check bool)
+      (Printf.sprintf "lane %d" k)
+      (snd single.(0))
+      (bit (snd packed.(0)))
+  done
+
+let test_const_eval () =
+  let n = Network.create () in
+  let _ = Network.add_input n in
+  let c = Network.add_const n true in
+  Network.set_output n "f" c;
+  Alcotest.(check bool) "const true" true (snd (Eval.eval_outputs n [| false |]).(0))
+
+let test_wrong_input_count () =
+  let n = mux_net () in
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Eval: expected 3 input values, got 1") (fun () ->
+      ignore (Eval.eval_all n [| true |]))
+
+let test_equivalent_positive () =
+  let a = mux_net () and b = mux_net () in
+  Alcotest.(check bool) "identical nets equivalent" true (Eval.equivalent a b)
+
+let test_equivalent_negative () =
+  let a = mux_net () in
+  let b = Network.create () in
+  let x = Network.add_input b in
+  let y = Network.add_input b in
+  let z = Network.add_input b in
+  ignore z;
+  Network.set_output b "f" (Network.add_gate b Gate.And [| x; y |]);
+  Alcotest.(check bool) "different functions differ" false (Eval.equivalent a b)
+
+let test_equivalent_name_mismatch () =
+  let a = mux_net () in
+  let b = mux_net () in
+  Network.set_output b "g" (snd (Network.outputs b).(0));
+  (* b now has outputs f and g *)
+  Alcotest.(check bool) "output sets differ" false (Eval.equivalent a b)
+
+let suite =
+  [
+    Alcotest.test_case "mux truth table" `Quick test_eval_all_vectors;
+    Alcotest.test_case "eval64 lanes match eval" `Quick test_eval64_consistency;
+    Alcotest.test_case "constant output" `Quick test_const_eval;
+    Alcotest.test_case "input count checked" `Quick test_wrong_input_count;
+    Alcotest.test_case "equivalence positive" `Quick test_equivalent_positive;
+    Alcotest.test_case "equivalence negative" `Quick test_equivalent_negative;
+    Alcotest.test_case "equivalence name mismatch" `Quick test_equivalent_name_mismatch;
+  ]

@@ -1,0 +1,76 @@
+let soi name = (Mapper.Algorithms.soi_domino_map (Gen.Suite.build_exn name)).Mapper.Algorithms.circuit
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_spice_device_count () =
+  List.iter
+    (fun name ->
+      let c = soi name in
+      let counts = Domino.Circuit.counts c in
+      let text = Export.Spice.to_string c in
+      (* Every transistor of the accounting appears as a device card, plus
+         two per boundary input inverter. *)
+      let expect =
+        counts.Domino.Circuit.t_total + (2 * counts.Domino.Circuit.pi_inverters)
+      in
+      Alcotest.(check int) (name ^ " device cards") expect (Export.Spice.device_count text))
+    [ "cm150"; "z4ml"; "9symml"; "c880" ]
+
+let test_spice_structure () =
+  let text = Export.Spice.to_string (soi "z4ml") in
+  Alcotest.(check bool) "has models" true (contains text ".model nmos");
+  Alcotest.(check bool) "has clock source" true (contains text "Vclk clk");
+  Alcotest.(check bool) "has end" true (contains text ".end");
+  Alcotest.(check bool) "names outputs" true (contains text "* output s0")
+
+let test_verilog_primitive_count () =
+  List.iter
+    (fun name ->
+      let c = soi name in
+      let counts = Domino.Circuit.counts c in
+      let text = Export.Verilog.to_string c in
+      Alcotest.(check int) (name ^ " switch instances")
+        counts.Domino.Circuit.t_total
+        (Export.Verilog.primitive_count text))
+    [ "cm150"; "z4ml"; "9symml"; "c880" ]
+
+let test_verilog_structure () =
+  let text = Export.Verilog.to_string (soi "z4ml") in
+  Alcotest.(check bool) "module header" true (contains text "module add3(clk");
+  Alcotest.(check bool) "trireg dynamic nodes" true (contains text "trireg dyn_g0");
+  Alcotest.(check bool) "endmodule" true (contains text "endmodule");
+  Alcotest.(check bool) "outputs assigned" true (contains text "assign s0")
+
+let test_verilog_discharge_primitives () =
+  (* A circuit with discharges emits pmos pulls to gnd on junction wires. *)
+  let c = soi "z4ml" in
+  let counts = Domino.Circuit.counts c in
+  Alcotest.(check bool) "test circuit has discharges" true
+    (counts.Domino.Circuit.t_disch > 0);
+  let text = Export.Verilog.to_string c in
+  Alcotest.(check bool) "discharge pull" true (contains text ", gnd, clk);")
+
+let test_files_roundtrip () =
+  let c = soi "cm150" in
+  let tmp = Filename.temp_file "soi" ".sp" in
+  Export.Spice.to_file c tmp;
+  let ic = open_in tmp in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  Sys.remove tmp;
+  Alcotest.(check string) "file matches to_string" (Export.Spice.to_string c) body
+
+let suite =
+  [
+    Alcotest.test_case "spice device count" `Quick test_spice_device_count;
+    Alcotest.test_case "spice structure" `Quick test_spice_structure;
+    Alcotest.test_case "verilog primitive count" `Quick test_verilog_primitive_count;
+    Alcotest.test_case "verilog structure" `Quick test_verilog_structure;
+    Alcotest.test_case "verilog discharge primitives" `Quick
+      test_verilog_discharge_primitives;
+    Alcotest.test_case "file writing" `Quick test_files_roundtrip;
+  ]

@@ -1,0 +1,90 @@
+open Logic
+
+let test_textbook_sharing () =
+  (* f = a·b·c, g = a·b·d, h = a·b·e : the pair (a,b) occurs three times
+     and must be extracted once. *)
+  let n = Network.create () in
+  let a = Network.add_input ~name:"a" n in
+  let b = Network.add_input ~name:"b" n in
+  let c = Network.add_input ~name:"c" n in
+  let d = Network.add_input ~name:"d" n in
+  let e = Network.add_input ~name:"e" n in
+  Network.set_output n "f" (Network.add_gate n Gate.And [| a; b; c |]);
+  Network.set_output n "g" (Network.add_gate n Gate.And [| a; b; d |]);
+  Network.set_output n "h" (Network.add_gate n Gate.And [| a; b; e |]);
+  let out, r = Extract.run_report n in
+  Alcotest.(check bool) "equivalent" true (Eval.equivalent n out);
+  Alcotest.(check int) "one divisor" 1 r.Extract.extracted;
+  Alcotest.(check bool) "literals reduced" true
+    (r.Extract.literals_after < r.Extract.literals_before);
+  (* 9 literals before; after: divisor (2) + 3 gates of 2 = 8. *)
+  Alcotest.(check int) "before" 9 r.Extract.literals_before;
+  Alcotest.(check int) "after" 8 r.Extract.literals_after
+
+let test_or_sharing () =
+  let n = Network.create () in
+  let xs = Array.init 5 (fun i -> Network.add_input ~name:(Printf.sprintf "x%d" i) n) in
+  Network.set_output n "f" (Network.add_gate n Gate.Or [| xs.(0); xs.(1); xs.(2) |]);
+  Network.set_output n "g" (Network.add_gate n Gate.Or [| xs.(0); xs.(1); xs.(3) |]);
+  Network.set_output n "h" (Network.add_gate n Gate.Or [| xs.(0); xs.(1); xs.(4) |]);
+  let out, r = Extract.run_report n in
+  Alcotest.(check bool) "equivalent" true (Eval.equivalent n out);
+  Alcotest.(check bool) "extracted" true (r.Extract.extracted >= 1)
+
+let test_no_false_sharing_across_kinds () =
+  (* (a·b) in an AND and (a+b) in an OR do not share. *)
+  let n = Network.create () in
+  let a = Network.add_input n and b = Network.add_input n in
+  let c = Network.add_input n and d = Network.add_input n in
+  Network.set_output n "f" (Network.add_gate n Gate.And [| a; b; c |]);
+  Network.set_output n "g" (Network.add_gate n Gate.Or [| a; b; d |]);
+  let out, r = Extract.run_report n in
+  Alcotest.(check bool) "equivalent" true (Eval.equivalent n out);
+  Alcotest.(check int) "nothing extracted" 0 r.Extract.extracted
+
+let test_xor_untouched () =
+  (* XOR multiplicity must never be collapsed by the pass. *)
+  let n = Network.create () in
+  let a = Network.add_input n and b = Network.add_input n in
+  Network.set_output n "f" (Network.add_gate n Gate.Xor [| a; a; b |]);
+  let out, _ = Extract.run_report n in
+  Alcotest.(check bool) "equivalent" true (Eval.equivalent n out)
+
+let test_benchmarks_preserved () =
+  List.iter
+    (fun name ->
+      let net = Gen.Suite.build_exn name in
+      let out, r = Extract.run_report net in
+      Alcotest.(check bool) (name ^ " equivalent") true (Eval.equivalent net out);
+      Alcotest.(check bool) (name ^ " no literal growth") true
+        (r.Extract.literals_after <= r.Extract.literals_before))
+    [ "c432"; "9symml"; "c880"; "count" ]
+
+let test_extraction_helps_sboxes () =
+  (* The DES S-box SOPs share many AND pairs: extraction must find them. *)
+  let net = Gen.Suite.build_exn "des" in
+  let _, r = Extract.run_report net in
+  Alcotest.(check bool) "hundreds of shared divisors" true (r.Extract.extracted > 100);
+  Alcotest.(check bool) "real literal savings" true
+    (r.Extract.literals_after < r.Extract.literals_before)
+
+let test_pipeline_with_mapping () =
+  (* strash -> extract -> map still verifies. *)
+  let net = Gen.Suite.build_exn "c432" in
+  let pre = Extract.run (Strash.run net) in
+  let r = Mapper.Algorithms.soi_domino_map pre in
+  Alcotest.(check bool) "maps and verifies" true
+    (Domino.Circuit.equivalent_to r.Mapper.Algorithms.circuit r.Mapper.Algorithms.unate);
+  Alcotest.(check bool) "source function preserved" true
+    (Eval.equivalent net (Domino.Circuit.to_network r.Mapper.Algorithms.circuit))
+
+let suite =
+  [
+    Alcotest.test_case "textbook sharing" `Quick test_textbook_sharing;
+    Alcotest.test_case "or sharing" `Quick test_or_sharing;
+    Alcotest.test_case "no sharing across kinds" `Quick test_no_false_sharing_across_kinds;
+    Alcotest.test_case "xor multiplicity preserved" `Quick test_xor_untouched;
+    Alcotest.test_case "benchmarks preserved" `Quick test_benchmarks_preserved;
+    Alcotest.test_case "sbox sharing found" `Quick test_extraction_helps_sboxes;
+    Alcotest.test_case "pipeline with mapping" `Quick test_pipeline_with_mapping;
+  ]

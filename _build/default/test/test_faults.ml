@@ -1,0 +1,64 @@
+open Logic
+
+let test_all_faults_enumeration () =
+  let n = Network.create () in
+  let a = Network.add_input n and b = Network.add_input n in
+  let g = Network.add_gate n Gate.And [| a; b |] in
+  Network.set_output n "f" g;
+  let faults = Faults.all_faults n in
+  (* 3 live nodes x 2 polarities. *)
+  Alcotest.(check int) "count" 6 (List.length faults)
+
+let test_and_gate_coverage () =
+  (* Every fault of a bare AND gate is detectable. *)
+  let n = Network.create () in
+  let a = Network.add_input n and b = Network.add_input n in
+  Network.set_output n "f" (Network.add_gate n Gate.And [| a; b |]);
+  let c = Faults.simulate ~vectors:256 n in
+  Alcotest.(check int) "all detected" c.Faults.total c.Faults.detected;
+  Alcotest.(check bool) "ratio 1.0" true (Faults.coverage_ratio c = 1.0)
+
+let test_redundant_fault_undetectable () =
+  (* f = a | (a & b): the inner AND node is masked by the OR with a, so
+     its stuck-at-0 is undetectable. *)
+  let n = Network.create () in
+  let a = Network.add_input n and b = Network.add_input n in
+  let inner = Network.add_gate n Gate.And [| a; b |] in
+  Network.set_output n "f" (Network.add_gate n Gate.Or [| a; inner |]);
+  let c = Faults.simulate ~vectors:256 n in
+  Alcotest.(check bool) "some fault undetected" true (c.Faults.detected < c.Faults.total);
+  Alcotest.(check bool) "inner stuck-at-0 in list" true
+    (List.exists
+       (fun f -> f.Faults.node = inner && f.Faults.stuck = false)
+       c.Faults.undetected)
+
+let test_benchmark_coverage_high () =
+  (* The hash-consed, swept functional benchmarks should be largely
+     irredundant: coverage above 95%. *)
+  List.iter
+    (fun name ->
+      let net = Logic.Strash.run (Gen.Suite.build_exn name) in
+      let c = Faults.simulate ~vectors:2048 net in
+      let ratio = Faults.coverage_ratio c in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s coverage %.3f > 0.95" name ratio)
+        true (ratio > 0.95))
+    [ "cm150"; "z4ml"; "count"; "c880" ]
+
+let test_mapped_circuit_coverage () =
+  (* Fault-simulating the re-extracted mapped netlist also works (the
+     mapping does not introduce blatant redundancy). *)
+  let r = Mapper.Algorithms.soi_domino_map (Gen.Suite.build_exn "z4ml") in
+  let back = Domino.Circuit.to_network r.Mapper.Algorithms.circuit in
+  let c = Faults.simulate ~vectors:2048 back in
+  Alcotest.(check bool) "decent coverage" true (Faults.coverage_ratio c > 0.9)
+
+let suite =
+  [
+    Alcotest.test_case "fault enumeration" `Quick test_all_faults_enumeration;
+    Alcotest.test_case "and-gate coverage" `Quick test_and_gate_coverage;
+    Alcotest.test_case "redundant fault undetectable" `Quick
+      test_redundant_fault_undetectable;
+    Alcotest.test_case "benchmark coverage high" `Quick test_benchmark_coverage_high;
+    Alcotest.test_case "mapped circuit coverage" `Quick test_mapped_circuit_coverage;
+  ]

@@ -1,0 +1,89 @@
+open Logic
+
+let b2 x y = [| x; y |]
+
+let test_and () =
+  Alcotest.(check bool) "11" true (Gate.eval Gate.And (b2 true true));
+  Alcotest.(check bool) "10" false (Gate.eval Gate.And (b2 true false));
+  Alcotest.(check bool) "3-ary" true (Gate.eval Gate.And [| true; true; true |])
+
+let test_or () =
+  Alcotest.(check bool) "00" false (Gate.eval Gate.Or (b2 false false));
+  Alcotest.(check bool) "01" true (Gate.eval Gate.Or (b2 false true))
+
+let test_xor_parity () =
+  Alcotest.(check bool) "odd" true (Gate.eval Gate.Xor [| true; true; true |]);
+  Alcotest.(check bool) "even" false (Gate.eval Gate.Xor [| true; true |]);
+  Alcotest.(check bool) "xnor even" true (Gate.eval Gate.Xnor [| true; true |])
+
+let test_inverting () =
+  Alcotest.(check bool) "nand" true (Gate.eval Gate.Nand (b2 true false));
+  Alcotest.(check bool) "nor" false (Gate.eval Gate.Nor (b2 true false));
+  Alcotest.(check bool) "not" false (Gate.eval Gate.Not [| true |]);
+  Alcotest.(check bool) "buf" true (Gate.eval Gate.Buf [| true |])
+
+let test_arity () =
+  Alcotest.(check bool) "not arity 2 invalid" false (Gate.arity_ok Gate.Not 2);
+  Alcotest.(check bool) "and arity 1 ok" true (Gate.arity_ok Gate.And 1);
+  Alcotest.check_raises "eval bad arity"
+    (Invalid_argument "Gate.eval: not cannot have 2 fanins") (fun () ->
+      ignore (Gate.eval Gate.Not (b2 true false)))
+
+let all_gates = Gate.[ And; Or; Nand; Nor; Xor; Xnor; Not; Buf ]
+
+let test_eval64_matches_eval () =
+  (* Exhaustive over 2-input patterns packed into one word. *)
+  List.iter
+    (fun g ->
+      let arity = match g with Gate.Not | Gate.Buf -> 1 | _ -> 2 in
+      let words =
+        Array.init arity (fun i ->
+            (* Bit k of word i = value of input i in pattern k. *)
+            let w = ref 0L in
+            for k = 0 to 3 do
+              if (k lsr i) land 1 = 1 then w := Int64.logor !w (Int64.shift_left 1L k)
+            done;
+            !w)
+      in
+      let packed = Gate.eval64 g words in
+      for k = 0 to 3 do
+        let inputs = Array.init arity (fun i -> (k lsr i) land 1 = 1) in
+        let expect = Gate.eval g inputs in
+        let got = Int64.logand (Int64.shift_right_logical packed k) 1L = 1L in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s pattern %d" (Gate.to_string g) k)
+          expect got
+      done)
+    all_gates
+
+let test_string_roundtrip () =
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "roundtrip" true (Gate.of_string (Gate.to_string g) = Some g))
+    all_gates;
+  Alcotest.(check bool) "inv alias" true (Gate.of_string "inv" = Some Gate.Not);
+  Alcotest.(check bool) "unknown" true (Gate.of_string "zzz" = None)
+
+let test_base () =
+  Alcotest.(check bool) "nand base" true (Gate.base Gate.Nand = (Gate.And, true));
+  Alcotest.(check bool) "not base" true (Gate.base Gate.Not = (Gate.Buf, true));
+  Alcotest.(check bool) "xor base" true (Gate.base Gate.Xor = (Gate.Xor, false))
+
+let test_dual () =
+  Alcotest.(check bool) "and/or" true (Gate.dual Gate.And = Gate.Or);
+  Alcotest.(check bool) "nand/nor" true (Gate.dual Gate.Nand = Gate.Nor);
+  Alcotest.(check bool) "involution" true
+    (List.for_all (fun g -> Gate.dual (Gate.dual g) = g) all_gates)
+
+let suite =
+  [
+    Alcotest.test_case "and" `Quick test_and;
+    Alcotest.test_case "or" `Quick test_or;
+    Alcotest.test_case "xor parity" `Quick test_xor_parity;
+    Alcotest.test_case "inverting gates" `Quick test_inverting;
+    Alcotest.test_case "arity rules" `Quick test_arity;
+    Alcotest.test_case "eval64 matches eval" `Quick test_eval64_matches_eval;
+    Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+    Alcotest.test_case "base decomposition" `Quick test_base;
+    Alcotest.test_case "dual" `Quick test_dual;
+  ]

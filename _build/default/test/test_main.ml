@@ -1,0 +1,50 @@
+(* Aggregated test runner: one Alcotest suite per module group. *)
+
+let () =
+  Alcotest.run "soi_domino"
+    [
+      ("vec", Test_vec.suite);
+      ("rng", Test_rng.suite);
+      ("gate", Test_gate.suite);
+      ("network", Test_network.suite);
+      ("topo", Test_topo.suite);
+      ("eval", Test_eval.suite);
+      ("strash", Test_strash.suite);
+      ("sop", Test_sop.suite);
+      ("extract", Test_extract.suite);
+      ("faults", Test_faults.suite);
+      ("pla", Test_pla.suite);
+      ("builder", Test_builder.suite);
+      ("blif", Test_blif.suite);
+      ("bench-format", Test_bench_format.suite);
+      ("arith", Test_arith.suite);
+      ("circuits", Test_circuits.suite);
+      ("circuits-extra", Test_circuits_extra.suite);
+      ("des", Test_des.suite);
+      ("random-logic", Test_random_logic.suite);
+      ("unate", Test_unate.suite);
+      ("pdn", Test_pdn.suite);
+      ("pbe-analysis", Test_pbe_analysis.suite);
+      ("reorder", Test_reorder.suite);
+      ("circuit", Test_circuit.suite);
+      ("cost", Test_cost.suite);
+      ("soi-rules", Test_soi_rules.suite);
+      ("engine", Test_engine.suite);
+      ("optimality", Test_optimality.suite);
+      ("algorithms", Test_algorithms.suite);
+      ("prune", Test_prune.suite);
+      ("body", Test_body.suite);
+      ("domino-sim", Test_domino_sim.suite);
+      ("report", Test_report.suite);
+      ("bdd", Test_bdd.suite);
+      ("export", Test_export.suite);
+      ("phase", Test_phase.suite);
+      ("hysteresis", Test_hysteresis.suite);
+      ("timing", Test_timing.suite);
+      ("alternatives", Test_alternatives.suite);
+      ("vcd", Test_vcd.suite);
+      ("equiv", Test_equiv.suite);
+      ("properties", Test_props.suite);
+      ("properties-2", Test_props2.suite);
+      ("misc", Test_misc.suite);
+    ]

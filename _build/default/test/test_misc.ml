@@ -1,0 +1,136 @@
+(* Coverage for the smaller utility surfaces: DOT export, stats, BLIF
+   corner cases, strash reporting, simulator configuration corners. *)
+
+open Logic
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let small_net () =
+  let b = Builder.create ~name:"misc" () in
+  let x = Builder.input b "x" and y = Builder.input b "y" in
+  Builder.output b "f" (Builder.and2 b x y);
+  Builder.network b
+
+let test_dot_output () =
+  let s = Dot.to_string (small_net ()) in
+  Alcotest.(check bool) "digraph header" true (contains s "digraph \"misc\"");
+  Alcotest.(check bool) "input box" true (contains s "shape=box,label=\"x\"");
+  Alcotest.(check bool) "gate node" true (contains s "and");
+  Alcotest.(check bool) "output octagon" true (contains s "doubleoctagon");
+  Alcotest.(check bool) "edges" true (contains s "->")
+
+let test_dot_file () =
+  let tmp = Filename.temp_file "soi" ".dot" in
+  Dot.to_file (small_net ()) tmp;
+  let ok = Sys.file_exists tmp in
+  Sys.remove tmp;
+  Alcotest.(check bool) "file written" true ok
+
+let test_stats () =
+  let net = Gen.Suite.build_exn "z4ml" in
+  let s = Stats.compute net in
+  Alcotest.(check int) "inputs" 7 s.Stats.inputs;
+  Alcotest.(check int) "outputs" 4 s.Stats.outputs;
+  Alcotest.(check bool) "gates positive" true (s.Stats.gates > 0);
+  Alcotest.(check bool) "depth positive" true (s.Stats.depth > 0);
+  Alcotest.(check bool) "literals >= gates" true (s.Stats.literals >= s.Stats.gates);
+  let printed = Format.asprintf "%a" Stats.pp s in
+  Alcotest.(check bool) "pp mentions pi" true (contains printed "pi=7")
+
+let test_blif_const_output () =
+  (* A constant output survives the writer/parser round trip. *)
+  let b = Builder.create ~name:"constout" () in
+  let x = Builder.input b "x" in
+  Builder.output b "t" (Builder.const b true);
+  Builder.output b "pass" x;
+  let net = Builder.network b in
+  Alcotest.(check bool) "roundtrips" true (Blif.roundtrip_check net)
+
+let test_blif_name_collision () =
+  (* Internal node names that collide with generated names are
+     uniquified by the writer. *)
+  let n = Network.create ~name:"collide" () in
+  let a = Network.add_input ~name:"n1" n in
+  let b' = Network.add_input ~name:"n2" n in
+  let g = Network.add_gate ~name:"n1" n Gate.And [| a; b' |] in
+  Network.set_output n "f" g;
+  let reparsed = Blif.parse_string (Blif.to_string n) in
+  Alcotest.(check bool) "equivalent despite collision" true (Eval.equivalent n reparsed)
+
+let test_strash_report_counts () =
+  let n = Network.create () in
+  let a = Network.add_input n and b = Network.add_input n in
+  let g1 = Network.add_gate n Gate.And [| a; b |] in
+  let g2 = Network.add_gate n Gate.And [| a; b |] in
+  let g3 = Network.add_gate n Gate.And [| a; b |] in
+  Network.set_output n "f" (Network.add_gate n Gate.Or [| g1; g2 |]);
+  Network.set_output n "g" g3;
+  let _, r = Strash.run_report n in
+  Alcotest.(check int) "before" 6 r.Strash.nodes_before;
+  Alcotest.(check bool) "merged twice" true (r.Strash.merged >= 2)
+
+let test_sim_default_config () =
+  let c = Sim.Domino_sim.default_config in
+  Alcotest.(check int) "body cycles" 2 c.Sim.Domino_sim.body_charge_cycles;
+  Alcotest.(check bool) "pbe on" true c.Sim.Domino_sim.model_pbe;
+  Alcotest.(check bool) "corruption on" true c.Sim.Domino_sim.corrupt_on_pbe
+
+let test_empty_stimulus () =
+  let r = Mapper.Algorithms.soi_domino_map (Gen.Suite.build_exn "z4ml") in
+  let res = Sim.Domino_sim.run r.Mapper.Algorithms.circuit [] in
+  Alcotest.(check int) "no cycles" 0 (List.length res.Sim.Domino_sim.cycles);
+  Alcotest.(check int) "no events" 0 res.Sim.Domino_sim.total_events
+
+let test_gate_pp () =
+  let g =
+    {
+      Domino.Domino_gate.id = 3;
+      pdn = Domino.Pdn.Leaf (Domino.Pdn.S_pi { input = 0; positive = true });
+      footed = true;
+      discharge_points = [];
+      level = 2;
+    }
+  in
+  let s = Format.asprintf "%a" Domino.Domino_gate.pp g in
+  Alcotest.(check bool) "mentions id and level" true
+    (contains s "g3" && contains s "L2" && contains s "footed")
+
+let test_circuit_pp () =
+  let r = Mapper.Algorithms.soi_domino_map (Gen.Suite.build_exn "cm150") in
+  let s = Format.asprintf "%a" Domino.Circuit.pp r.Mapper.Algorithms.circuit in
+  Alcotest.(check bool) "lists gates and outputs" true
+    (contains s "domino circuit" && contains s "output y")
+
+let test_equiv_pp () =
+  Alcotest.(check string) "equivalent" "equivalent"
+    (Format.asprintf "%a" Equiv.pp_verdict Equiv.Equivalent);
+  let s =
+    Format.asprintf "%a" Equiv.pp_verdict
+      (Equiv.Counterexample { input = [| true; false |]; output = "f" })
+  in
+  Alcotest.(check bool) "counterexample rendering" true (contains s "10")
+
+let test_timing_params_defaults () =
+  let p = Domino.Timing.default_params in
+  Alcotest.(check bool) "base positive" true (p.Domino.Timing.gate_base > 0.0);
+  Alcotest.(check bool) "height dominates width" true
+    (p.Domino.Timing.per_height > p.Domino.Timing.per_width)
+
+let suite =
+  [
+    Alcotest.test_case "dot output" `Quick test_dot_output;
+    Alcotest.test_case "dot file" `Quick test_dot_file;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "blif constant output" `Quick test_blif_const_output;
+    Alcotest.test_case "blif name collision" `Quick test_blif_name_collision;
+    Alcotest.test_case "strash report" `Quick test_strash_report_counts;
+    Alcotest.test_case "sim default config" `Quick test_sim_default_config;
+    Alcotest.test_case "empty stimulus" `Quick test_empty_stimulus;
+    Alcotest.test_case "gate pretty printer" `Quick test_gate_pp;
+    Alcotest.test_case "circuit pretty printer" `Quick test_circuit_pp;
+    Alcotest.test_case "equiv pretty printer" `Quick test_equiv_pp;
+    Alcotest.test_case "timing default params" `Quick test_timing_params_defaults;
+  ]

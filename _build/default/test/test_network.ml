@@ -1,0 +1,94 @@
+open Logic
+
+let small () =
+  (* f = (a & b) | ~c *)
+  let n = Network.create ~name:"small" () in
+  let a = Network.add_input ~name:"a" n in
+  let b = Network.add_input ~name:"b" n in
+  let c = Network.add_input ~name:"c" n in
+  let ab = Network.add_gate n Gate.And [| a; b |] in
+  let nc = Network.add_gate n Gate.Not [| c |] in
+  let f = Network.add_gate n Gate.Or [| ab; nc |] in
+  Network.set_output n "f" f;
+  (n, a, b, c, ab, nc, f)
+
+let test_construction () =
+  let n, a, _, _, _, _, f = small () in
+  Alcotest.(check int) "node count" 6 (Network.node_count n);
+  Alcotest.(check int) "inputs" 3 (Array.length (Network.inputs n));
+  Alcotest.(check string) "input name" "a" (Network.input_name n a);
+  Alcotest.(check bool) "outputs" true (Network.outputs n = [| ("f", f) |]);
+  Alcotest.(check bool) "validate" true (Network.validate n = Ok ())
+
+let test_bad_fanin () =
+  let n = Network.create () in
+  Alcotest.check_raises "missing fanin"
+    (Invalid_argument "Network.add_gate: fanin 3 does not exist") (fun () ->
+      ignore (Network.add_gate n Gate.And [| 3; 3 |]))
+
+let test_bad_arity () =
+  let n = Network.create () in
+  let a = Network.add_input n in
+  Alcotest.check_raises "not with 2 fanins"
+    (Invalid_argument "Network.add_gate: not cannot have 2 fanins") (fun () ->
+      ignore (Network.add_gate n Gate.Not [| a; a |]))
+
+let test_const_sharing () =
+  let n = Network.create () in
+  let c1 = Network.add_const n true in
+  let c2 = Network.add_const n true in
+  let c3 = Network.add_const n false in
+  Alcotest.(check int) "shared true" c1 c2;
+  Alcotest.(check bool) "false differs" true (c1 <> c3)
+
+let test_output_replacement () =
+  let n = Network.create () in
+  let a = Network.add_input n in
+  let b = Network.add_input n in
+  Network.set_output n "f" a;
+  Network.set_output n "f" b;
+  Alcotest.(check bool) "replaced" true (Network.outputs n = [| ("f", b) |])
+
+let test_fanout_counts () =
+  let n, a, _, _, ab, nc, f = small () in
+  let fo = Network.fanout_counts n in
+  Alcotest.(check int) "a feeds and" 1 fo.(a);
+  Alcotest.(check int) "ab feeds or" 1 fo.(ab);
+  Alcotest.(check int) "nc feeds or" 1 fo.(nc);
+  Alcotest.(check int) "f feeds nothing" 0 fo.(f)
+
+let test_validate_no_outputs () =
+  let n = Network.create () in
+  ignore (Network.add_input n);
+  Alcotest.(check bool) "no outputs rejected" true (Network.validate n <> Ok ())
+
+let test_anonymous_input_name () =
+  let n = Network.create () in
+  let a = Network.add_input n in
+  let b = Network.add_input n in
+  Alcotest.(check string) "x0" "x0" (Network.input_name n a);
+  Alcotest.(check string) "x1" "x1" (Network.input_name n b)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_pp_smoke () =
+  let n, _, _, _, _, _, _ = small () in
+  let s = Format.asprintf "%a" Network.pp n in
+  Alcotest.(check bool) "mentions or" true (contains s "or");
+  Alcotest.(check bool) "mentions output" true (contains s "output f")
+
+let suite =
+  [
+    Alcotest.test_case "construction" `Quick test_construction;
+    Alcotest.test_case "bad fanin rejected" `Quick test_bad_fanin;
+    Alcotest.test_case "bad arity rejected" `Quick test_bad_arity;
+    Alcotest.test_case "constant sharing" `Quick test_const_sharing;
+    Alcotest.test_case "output replacement" `Quick test_output_replacement;
+    Alcotest.test_case "fanout counts" `Quick test_fanout_counts;
+    Alcotest.test_case "validate rejects no outputs" `Quick test_validate_no_outputs;
+    Alcotest.test_case "anonymous input names" `Quick test_anonymous_input_name;
+    Alcotest.test_case "pretty printer" `Quick test_pp_smoke;
+  ]

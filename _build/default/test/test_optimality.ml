@@ -1,0 +1,144 @@
+(* Brute-force optimality oracle for the DP mapper.
+
+   The paper argues its dynamic program is cost-optimal for monotone cost
+   functions.  For small *tree-shaped* unate networks we can check that
+   claim exactly: enumerate every possible partition of the tree into
+   domino gates (every AND/OR node either merges into its parent's
+   pull-down network or forms a gate boundary), compute the exact area
+   cost of each alternative, and compare the minimum with the engine's
+   answer. *)
+
+open Unate
+
+(* Enumerate implementations of the subtree rooted at [fin].  Returns a
+   list of (w, h, transistors_including_descendant_gates, has_pi_leaf)
+   alternatives for using that subtree *inline*; forming a gate on top is
+   handled by the caller.  A gate whose pull-down network is fed entirely
+   by other domino gates is footless (overhead 4), one touching primary
+   inputs needs the n-clock foot (overhead 5).  Exponential — small trees
+   only. *)
+let rec inline_options u ~w_max ~h_max fin =
+  match fin with
+  | Unetwork.F_const _ -> []
+  | Unetwork.F_lit _ -> [ (1, 1, 1, true) ]
+  | Unetwork.F_node id ->
+      let nd = Unetwork.node u id in
+      let opts0 = all_options u ~w_max ~h_max nd.Unetwork.fanin0 in
+      let opts1 = all_options u ~w_max ~h_max nd.Unetwork.fanin1 in
+      List.concat_map
+        (fun (w0, h0, t0, pi0) ->
+          List.filter_map
+            (fun (w1, h1, t1, pi1) ->
+              let w, h =
+                match nd.Unetwork.kind with
+                | Unetwork.U_or -> (w0 + w1, max h0 h1)
+                | Unetwork.U_and -> (max w0 w1, h0 + h1)
+              in
+              if w <= w_max && h <= h_max then Some (w, h, t0 + t1, pi0 || pi1)
+              else None)
+            opts1)
+        opts0
+
+(* Inline options plus the "form a gate here" option (1x1 leaf transistor
+   in the parent, gate overhead counted). *)
+and all_options u ~w_max ~h_max fin =
+  match fin with
+  | Unetwork.F_const _ -> []
+  | Unetwork.F_lit _ -> [ (1, 1, 1, true) ]
+  | Unetwork.F_node _ ->
+      let inline = inline_options u ~w_max ~h_max fin in
+      let as_gate =
+        List.map
+          (fun (_, _, t, pi) ->
+            let overhead = if pi then 5 else 4 in
+            (* interface leaf in the parent is driven by a gate output *)
+            (1, 1, t + overhead + 1, false))
+          inline
+      in
+      inline @ as_gate
+
+let brute_force_best u ~w_max ~h_max =
+  match Unetwork.outputs u with
+  | [| (_, (Unetwork.F_node _ as root)) |] ->
+      let opts = inline_options u ~w_max ~h_max root in
+      List.fold_left
+        (fun acc (_, _, t, pi) -> min acc (t + if pi then 5 else 4))
+        max_int
+        opts
+  | _ -> invalid_arg "brute_force_best: expected one internal-node output"
+
+(* Random unate tree generator: strictly tree-shaped (every node has one
+   parent), leaves are distinct positive literals. *)
+let random_tree ~seed ~leaves =
+  let rng = Logic.Rng.create seed in
+  let b = Logic.Builder.create ~name:"tree" () in
+  let ins = Logic.Builder.inputs b "x" leaves in
+  let next = ref 0 in
+  let rec build k =
+    if k = 1 then begin
+      let w = ins.(!next) in
+      incr next;
+      w
+    end
+    else begin
+      let left = 1 + Logic.Rng.int rng (k - 1) in
+      let l = build left in
+      let r = build (k - left) in
+      if Logic.Rng.bool rng then Logic.Builder.and2 b l r else Logic.Builder.or2 b l r
+    end
+  in
+  Logic.Builder.output b "f" (build leaves);
+  Logic.Builder.network b
+
+let check_one ~seed ~leaves ~w_max ~h_max =
+  let net = random_tree ~seed ~leaves in
+  let u = Mapper.Algorithms.prepare net in
+  match Unetwork.outputs u with
+  | [| (_, Unetwork.F_node _) |] ->
+      let optimal = brute_force_best u ~w_max ~h_max in
+      (* Bulk style: the pure area objective the oracle enumerates (the SOI
+         style additionally weighs discharge transistors, which the oracle
+         deliberately does not model). *)
+      let circuit, _ =
+        Mapper.Engine.map
+          {
+            Mapper.Engine.default_options with
+            Mapper.Engine.w_max;
+            h_max;
+            style = Mapper.Engine.Bulk;
+          }
+          u
+      in
+      let got = (Domino.Circuit.counts circuit).Domino.Circuit.t_total in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d leaves %d w%d h%d" seed leaves w_max h_max)
+        optimal got
+  | _ -> ()  (* degenerate tree (single literal output): nothing to check *)
+
+let test_dp_matches_brute_force () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun leaves ->
+          List.iter
+            (fun (w_max, h_max) -> check_one ~seed ~leaves ~w_max ~h_max)
+            [ (2, 2); (3, 4); (5, 8) ])
+        [ 3; 5; 7; 9 ])
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_known_tree () =
+  (* The paper's Figure 3 shape under tight limits: forcing gates. *)
+  let b = Logic.Builder.create () in
+  let a = Logic.Builder.input b "a" and b' = Logic.Builder.input b "b" in
+  let c = Logic.Builder.input b "c" and d = Logic.Builder.input b "d" in
+  Logic.Builder.output b "f"
+    (Logic.Builder.or2 b (Logic.Builder.and2 b a b') (Logic.Builder.and2 b c d));
+  let u = Mapper.Algorithms.prepare (Logic.Builder.network b) in
+  Alcotest.(check int) "fig3 optimum is 9" 9 (brute_force_best u ~w_max:4 ~h_max:4)
+
+let suite =
+  [
+    Alcotest.test_case "fig3 brute force" `Quick test_known_tree;
+    Alcotest.test_case "dp matches brute force on random trees" `Slow
+      test_dp_matches_brute_force;
+  ]

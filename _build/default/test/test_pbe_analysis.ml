@@ -1,0 +1,105 @@
+open Domino
+
+let pi i = Pdn.Leaf (Pdn.S_pi { input = i; positive = true })
+
+let counts p =
+  let r = Pbe_analysis.analyze p in
+  (List.length r.Pbe_analysis.actual, List.length r.Pbe_analysis.contingent,
+   r.Pbe_analysis.par_b)
+
+let test_leaf () =
+  Alcotest.(check bool) "leaf" true (counts (pi 0) = (0, 0, false))
+
+let test_series_pair () =
+  (* A*B: one contingent junction (paper Fig. 4(a) discussion). *)
+  Alcotest.(check bool) "A*B" true (counts (Pdn.Series (pi 0, pi 1)) = (0, 1, false))
+
+let test_series_chain () =
+  (* A*B*C: both junctions contingent, none actual. *)
+  let chain = Pdn.Series (pi 0, Pdn.Series (pi 1, pi 2)) in
+  Alcotest.(check bool) "A*B*C" true (counts chain = (0, 2, false));
+  (* Association must not matter for the counts. *)
+  let chain' = Pdn.Series (Pdn.Series (pi 0, pi 1), pi 2) in
+  Alcotest.(check bool) "assoc invariant" true (counts chain' = (0, 2, false))
+
+let test_parallel () =
+  (* A+B: parallel branch at bottom, no junctions. *)
+  Alcotest.(check bool) "A+B" true (counts (Pdn.Parallel (pi 0, pi 1)) = (0, 0, true))
+
+let test_fig4a () =
+  (* A*B + C: one contingent point (the junction of A and B), par_b true. *)
+  let stack = Pdn.Parallel (Pdn.Series (pi 0, pi 1), pi 2) in
+  Alcotest.(check bool) "fig 4(a)" true (counts stack = (0, 1, true))
+
+let test_fig4b () =
+  (* (A*B + C) on top of (D*E + F): the paper commits p_dis(top) + 1 = 2
+     discharge transistors and leaves the bottom's internal point
+     contingent. *)
+  let top = Pdn.Parallel (Pdn.Series (pi 0, pi 1), pi 2) in
+  let bottom = Pdn.Parallel (Pdn.Series (pi 3, pi 4), pi 5) in
+  let whole = Pdn.Series (top, bottom) in
+  Alcotest.(check bool) "fig 4(b)" true (counts whole = (2, 1, true))
+
+let test_fig5_stack_on_top () =
+  (* (A*B + C) * E with the stack on top: 2 committed discharges. *)
+  let stack = Pdn.Parallel (Pdn.Series (pi 0, pi 1), pi 2) in
+  let whole = Pdn.Series (stack, pi 4) in
+  Alcotest.(check bool) "fig 5 left" true (counts whole = (2, 0, false))
+
+let test_fig5_stack_on_bottom () =
+  (* E * (A*B + C): no committed discharges, two potential points. *)
+  let stack = Pdn.Parallel (Pdn.Series (pi 0, pi 1), pi 2) in
+  let whole = Pdn.Series (pi 4, stack) in
+  Alcotest.(check bool) "fig 5 right" true (counts whole = (0, 2, true))
+
+let test_fig2a () =
+  (* (A+B+C) * D: the classic PBE structure.  Junction below the parallel
+     stack must always be discharged. *)
+  let stack = Pdn.Parallel (Pdn.Parallel (pi 0, pi 1), pi 2) in
+  let whole = Pdn.Series (stack, pi 3) in
+  Alcotest.(check bool) "fig 2(a)" true (counts whole = (1, 0, false))
+
+let test_grounded_vs_floating () =
+  let stack = Pdn.Parallel (Pdn.Series (pi 0, pi 1), pi 2) in
+  Alcotest.(check int) "grounded stack needs none" 0
+    (Pbe_analysis.discharge_count ~grounded:true stack);
+  Alcotest.(check int) "floating stack needs one" 1
+    (Pbe_analysis.discharge_count ~grounded:false stack)
+
+let test_nested_stacks () =
+  (* ((A+B)*(C+D)) : inner parallel on top of parallel; the junction
+     between them is the bottom of stack (A+B) -> actual. *)
+  let p = Pdn.Series (Pdn.Parallel (pi 0, pi 1), Pdn.Parallel (pi 2, pi 3)) in
+  Alcotest.(check bool) "stack over stack" true (counts p = (1, 0, true))
+
+let test_discharge_points_are_junctions () =
+  let stack = Pdn.Parallel (Pdn.Series (pi 0, pi 1), pi 2) in
+  let whole = Pdn.Series (stack, Pdn.Series (pi 3, pi 4)) in
+  let points = Pbe_analysis.discharge_points ~grounded:false whole in
+  let junctions = Pdn.series_junctions whole in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "point is a junction" true (List.mem p junctions))
+    points
+
+let test_p_dis_par_b_accessors () =
+  let stack = Pdn.Parallel (Pdn.Series (pi 0, pi 1), pi 2) in
+  Alcotest.(check int) "p_dis" 1 (Pbe_analysis.p_dis stack);
+  Alcotest.(check bool) "par_b" true (Pbe_analysis.par_b stack)
+
+let suite =
+  [
+    Alcotest.test_case "leaf" `Quick test_leaf;
+    Alcotest.test_case "series pair (fig 4a text)" `Quick test_series_pair;
+    Alcotest.test_case "series chain" `Quick test_series_chain;
+    Alcotest.test_case "parallel pair" `Quick test_parallel;
+    Alcotest.test_case "figure 4(a)" `Quick test_fig4a;
+    Alcotest.test_case "figure 4(b)" `Quick test_fig4b;
+    Alcotest.test_case "figure 5, stack on top" `Quick test_fig5_stack_on_top;
+    Alcotest.test_case "figure 5, stack on bottom" `Quick test_fig5_stack_on_bottom;
+    Alcotest.test_case "figure 2(a)" `Quick test_fig2a;
+    Alcotest.test_case "grounded vs floating" `Quick test_grounded_vs_floating;
+    Alcotest.test_case "nested stacks" `Quick test_nested_stacks;
+    Alcotest.test_case "points address junctions" `Quick test_discharge_points_are_junctions;
+    Alcotest.test_case "p_dis and par_b accessors" `Quick test_p_dis_par_b_accessors;
+  ]

@@ -1,0 +1,97 @@
+open Domino
+
+let pi i = Pdn.Leaf (Pdn.S_pi { input = i; positive = true })
+let npi i = Pdn.Leaf (Pdn.S_pi { input = i; positive = false })
+let g i = Pdn.Leaf (Pdn.S_gate i)
+
+(* (A*B + C) * D  -- the paper's running example shapes *)
+let example = Pdn.Series (Pdn.Parallel (Pdn.Series (pi 0, pi 1), pi 2), pi 3)
+
+let test_dimensions () =
+  Alcotest.(check int) "width" 2 (Pdn.width example);
+  Alcotest.(check int) "height" 3 (Pdn.height example);
+  Alcotest.(check int) "transistors" 4 (Pdn.transistors example)
+
+let test_parallel_dims () =
+  let p = Pdn.Parallel (pi 0, Pdn.Parallel (pi 1, pi 2)) in
+  Alcotest.(check int) "width" 3 (Pdn.width p);
+  Alcotest.(check int) "height" 1 (Pdn.height p)
+
+let test_signals () =
+  let sigs = Pdn.signals example in
+  Alcotest.(check int) "count" 4 (List.length sigs);
+  Alcotest.(check bool) "first is input 0" true
+    (List.hd sigs = Pdn.S_pi { input = 0; positive = true })
+
+let test_gate_fanins () =
+  let p = Pdn.Series (g 3, Pdn.Parallel (g 1, g 3)) in
+  Alcotest.(check (list int)) "dedup sorted" [ 1; 3 ] (Pdn.gate_fanins p)
+
+let test_has_pi_leaf () =
+  Alcotest.(check bool) "mixed" true (Pdn.has_pi_leaf example);
+  Alcotest.(check bool) "gates only" false (Pdn.has_pi_leaf (Pdn.Series (g 0, g 1)))
+
+let test_series_junctions () =
+  (* example: junction inside A*B and junction between stack and D *)
+  let js = Pdn.series_junctions example in
+  Alcotest.(check int) "two junctions" 2 (List.length js);
+  Alcotest.(check bool) "root junction present" true (List.mem [] js);
+  Alcotest.(check bool) "inner junction present" true (List.mem [ 0; 0 ] js)
+
+let test_eval () =
+  let env values = function
+    | Pdn.S_pi { input; positive } -> if positive then values.(input) else not values.(input)
+    | Pdn.S_gate _ -> false
+  in
+  (* (A*B + C) * D *)
+  let check a b c d expect =
+    Alcotest.(check bool)
+      (Printf.sprintf "%b%b%b%b" a b c d)
+      expect
+      (Pdn.eval (env [| a; b; c; d |]) example)
+  in
+  check true true false true true;
+  check false false true true true;
+  check true true true false false;
+  check false true false true false
+
+let test_eval_negative_literal () =
+  let p = Pdn.Series (pi 0, npi 1) in
+  let env values = function
+    | Pdn.S_pi { input; positive } -> if positive then values.(input) else not values.(input)
+    | Pdn.S_gate _ -> false
+  in
+  Alcotest.(check bool) "a & ~b" true (Pdn.eval (env [| true; false |]) p);
+  Alcotest.(check bool) "a & ~b false" false (Pdn.eval (env [| true; true |]) p)
+
+let test_map_signals () =
+  let p = Pdn.Series (g 0, g 1) in
+  let q = Pdn.map_signals (function Pdn.S_gate i -> Pdn.S_gate (i + 10) | s -> s) p in
+  Alcotest.(check (list int)) "remapped" [ 10; 11 ] (Pdn.gate_fanins q)
+
+let test_subtree () =
+  Alcotest.(check bool) "root" true (Pdn.subtree example [] == example);
+  (match Pdn.subtree example [ 0; 0 ] with
+  | Pdn.Series (Pdn.Leaf _, Pdn.Leaf _) -> ()
+  | _ -> Alcotest.fail "expected A*B at [0;0]");
+  Alcotest.check_raises "below leaf"
+    (Invalid_argument "Pdn.subtree: path descends below a leaf") (fun () ->
+      ignore (Pdn.subtree example [ 1; 0 ]))
+
+let test_to_string () =
+  Alcotest.(check string) "algebraic form" "(((x0*x1)+x2)*x3)" (Pdn.to_string example)
+
+let suite =
+  [
+    Alcotest.test_case "dimensions" `Quick test_dimensions;
+    Alcotest.test_case "parallel dimensions" `Quick test_parallel_dims;
+    Alcotest.test_case "signals" `Quick test_signals;
+    Alcotest.test_case "gate fanins" `Quick test_gate_fanins;
+    Alcotest.test_case "has_pi_leaf" `Quick test_has_pi_leaf;
+    Alcotest.test_case "series junctions" `Quick test_series_junctions;
+    Alcotest.test_case "conduction eval" `Quick test_eval;
+    Alcotest.test_case "negative literals" `Quick test_eval_negative_literal;
+    Alcotest.test_case "map_signals" `Quick test_map_signals;
+    Alcotest.test_case "subtree addressing" `Quick test_subtree;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+  ]

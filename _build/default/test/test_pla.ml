@@ -1,0 +1,79 @@
+let sample =
+  ".i 3\n.o 2\n.ilb a b c\n.ob f g\n.p 3\n1-0 10\n-11 01\n111 11\n.e\n"
+
+let test_parse () =
+  let p = Pla.parse_string sample in
+  Alcotest.(check (array string)) "inputs" [| "a"; "b"; "c" |] p.Pla.inputs;
+  Alcotest.(check int) "outputs" 2 (Array.length p.Pla.outputs);
+  let f = snd p.Pla.outputs.(0) and g = snd p.Pla.outputs.(1) in
+  Alcotest.(check int) "f cubes" 2 (List.length f);
+  Alcotest.(check int) "g cubes" 2 (List.length g)
+
+let test_network_semantics () =
+  let p = Pla.parse_string sample in
+  let n = Pla.to_network p in
+  let check a b c f g =
+    let outs = Logic.Eval.eval_outputs n [| a; b; c |] in
+    let get nm = snd (Array.to_list outs |> List.find (fun (k, _) -> k = nm)) in
+    Alcotest.(check bool) "f" f (get "f");
+    Alcotest.(check bool) "g" g (get "g")
+  in
+  (* f = a c' + a b c ; g = b c *)
+  check true false false true false;
+  check true true true true true;
+  check false true true false true;
+  check false false false false false
+
+let test_roundtrip () =
+  let p = Pla.parse_string sample in
+  let p2 = Pla.parse_string (Pla.to_string p) in
+  Alcotest.(check bool) "roundtrip function" true
+    (Logic.Eval.equivalent (Pla.to_network p) (Pla.to_network p2))
+
+let test_of_network () =
+  let net = Gen.Circuits.adder 2 in
+  let p = Pla.of_network net in
+  Alcotest.(check bool) "rebuilds equivalently" true
+    (Logic.Eval.equivalent net (Pla.to_network p))
+
+let test_minimize () =
+  let net = Gen.Circuits.adder 2 in
+  let p = Pla.of_network net in
+  let m = Pla.minimize p in
+  Alcotest.(check bool) "minimised equivalent" true
+    (Logic.Eval.equivalent net (Pla.to_network m));
+  let cubes pla =
+    Array.fold_left (fun acc (_, cover) -> acc + List.length cover) 0 pla.Pla.outputs
+  in
+  Alcotest.(check bool) "not larger" true (cubes m <= cubes p)
+
+let expect_error text =
+  match Pla.parse_string text with
+  | exception Pla.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let test_errors () =
+  expect_error "1-0 1\n";
+  expect_error ".i 2\n.o 1\n1-0 1\n.e\n";
+  expect_error ".i 3\n.o 1\n1-0 11\n.e\n";
+  expect_error ".i 3\n.o 1\n1x0 1\n.e\n"
+
+let test_minimized_pla_maps () =
+  let net = Gen.Circuits.decoder 3 in
+  let p = Pla.minimize (Pla.of_network net) in
+  let rebuilt = Pla.to_network p in
+  let r = Mapper.Algorithms.soi_domino_map rebuilt in
+  Alcotest.(check bool) "maps and verifies" true
+    (Domino.Circuit.equivalent_to r.Mapper.Algorithms.circuit r.Mapper.Algorithms.unate
+    && Logic.Eval.equivalent net (Domino.Circuit.to_network r.Mapper.Algorithms.circuit))
+
+let suite =
+  [
+    Alcotest.test_case "parse" `Quick test_parse;
+    Alcotest.test_case "network semantics" `Quick test_network_semantics;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "of_network" `Quick test_of_network;
+    Alcotest.test_case "minimize" `Quick test_minimize;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "minimised pla maps" `Quick test_minimized_pla_maps;
+  ]

@@ -1,0 +1,172 @@
+(* Second property-test wave: exporters, timing, hysteresis, and the
+   exhaustive PBE hunt, over randomly generated circuits. *)
+
+let net_of_seed ?(inputs = 8) ?(gates = 40) seed =
+  Gen.Random_logic.generate
+    (Gen.Random_logic.default ~name:"prop2" ~inputs ~gates ~outputs:3 ~seed)
+
+let seed_gen = QCheck2.Gen.int_range 0 5_000
+
+let soi_of seed =
+  (Mapper.Algorithms.soi_domino_map (net_of_seed seed)).Mapper.Algorithms.circuit
+
+let prop_spice_counts =
+  QCheck2.Test.make ~name:"spice: device cards match accounting" ~count:25
+    ~print:string_of_int seed_gen (fun seed ->
+      let c = soi_of seed in
+      let counts = Domino.Circuit.counts c in
+      Export.Spice.device_count (Export.Spice.to_string c)
+      = counts.Domino.Circuit.t_total + (2 * counts.Domino.Circuit.pi_inverters))
+
+let prop_verilog_counts =
+  QCheck2.Test.make ~name:"verilog: switch instances match accounting" ~count:25
+    ~print:string_of_int seed_gen (fun seed ->
+      let c = soi_of seed in
+      Export.Verilog.primitive_count (Export.Verilog.to_string c)
+      = (Domino.Circuit.counts c).Domino.Circuit.t_total)
+
+let prop_timing_consistent =
+  QCheck2.Test.make ~name:"timing: arrivals dominate fanin arrivals" ~count:25
+    ~print:string_of_int seed_gen (fun seed ->
+      let c = soi_of seed in
+      let r = Domino.Timing.analyze c in
+      Array.for_all
+        (fun g ->
+          let a = r.Domino.Timing.arrivals.(g.Domino.Domino_gate.id) in
+          List.for_all
+            (fun f -> a >= r.Domino.Timing.arrivals.(f) -. 1e-9)
+            (Domino.Pdn.gate_fanins g.Domino.Domino_gate.pdn)
+          && a >= r.Domino.Timing.gate_delays.(g.Domino.Domino_gate.id) -. 1e-9)
+        c.Domino.Circuit.gates)
+
+let prop_hysteresis_partition =
+  QCheck2.Test.make ~name:"hysteresis: classes partition the PDN transistors"
+    ~count:25 ~print:string_of_int seed_gen (fun seed ->
+      let c = soi_of seed in
+      let m = Domino.Hysteresis.of_circuit c in
+      let pdn_total =
+        Array.fold_left
+          (fun acc g -> acc + Domino.Domino_gate.pdn_transistors g)
+          0 c.Domino.Circuit.gates
+      in
+      m.Domino.Hysteresis.total = pdn_total
+      && m.Domino.Hysteresis.clamped_ground + m.Domino.Hysteresis.clamped_discharge
+         + m.Domino.Hysteresis.exposed
+         = m.Domino.Hysteresis.total)
+
+let prop_vcd_wellformed =
+  QCheck2.Test.make ~name:"vcd: one declaration per signal, ends after stimulus"
+    ~count:10 ~print:string_of_int seed_gen (fun seed ->
+      let c = soi_of seed in
+      let n = Array.length c.Domino.Circuit.input_names in
+      let stim = List.init 5 (fun i -> Array.init n (fun j -> (i * 7 + j) mod 3 = 0)) in
+      let _, text = Sim.Vcd.dump c stim in
+      let lines = String.split_on_char '\n' text in
+      let vars =
+        List.length (List.filter (fun l -> String.length l > 4 && String.sub l 0 4 = "$var") lines)
+      in
+      vars = 2 + n + Array.length c.Domino.Circuit.outputs)
+
+let prop_exhaustive_hunt_clean =
+  (* Small mapped circuits survive the systematic two-pattern sweep, not
+     just random stimulus. *)
+  QCheck2.Test.make ~name:"hunt: mapped 6-input circuits are two-pattern clean"
+    ~count:8 ~print:string_of_int seed_gen (fun seed ->
+      let net = net_of_seed ~inputs:6 ~gates:20 seed in
+      let r = Mapper.Algorithms.soi_domino_map net in
+      let hunt = Sim.Domino_sim.exhaustive_pbe_hunt r.Mapper.Algorithms.circuit in
+      hunt.Sim.Domino_sim.failing_pairs = [])
+
+let prop_to_network_equivalent =
+  QCheck2.Test.make ~name:"circuit: to_network is simulation-equivalent" ~count:20
+    ~print:string_of_int seed_gen (fun seed ->
+      let net = net_of_seed seed in
+      let r = Mapper.Algorithms.soi_domino_map net in
+      Logic.Eval.equivalent net (Domino.Circuit.to_network r.Mapper.Algorithms.circuit))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_spice_counts;
+      prop_verilog_counts;
+      prop_timing_consistent;
+      prop_hysteresis_partition;
+      prop_vcd_wellformed;
+      prop_exhaustive_hunt_clean;
+      prop_to_network_equivalent;
+    ]
+
+(* -------- BDD and SOP properties -------- *)
+
+let prop_bdd_matches_network_eval =
+  QCheck2.Test.make ~name:"bdd: agrees with simulation on random networks"
+    ~count:20 ~print:string_of_int seed_gen (fun seed ->
+      let n = net_of_seed ~inputs:6 ~gates:25 seed in
+      let m = Logic.Bdd.manager ~nvars:6 () in
+      match Logic.Bdd.of_network m n with
+      | None -> false
+      | Some outs ->
+          let ok = ref true in
+          for v = 0 to 63 do
+            let a = Array.init 6 (fun i -> v land (1 lsl i) <> 0) in
+            let sim = Logic.Eval.eval_outputs n a in
+            Array.iteri
+              (fun i (_, f) ->
+                if Logic.Bdd.eval m f a <> snd sim.(i) then ok := false)
+              outs
+          done;
+          !ok)
+
+let random_cover rng nvars cubes =
+  List.init cubes (fun _ ->
+      let s =
+        String.init nvars (fun _ ->
+            match Logic.Rng.int rng 3 with 0 -> '0' | 1 -> '1' | _ -> '-')
+      in
+      Logic.Cube.of_string s)
+
+let prop_sop_minimize_preserves =
+  QCheck2.Test.make ~name:"sop: minimize preserves function on random covers"
+    ~count:40 ~print:string_of_int seed_gen (fun seed ->
+      let rng = Logic.Rng.create seed in
+      let nvars = 5 in
+      let f = random_cover rng nvars (1 + Logic.Rng.int rng 8) in
+      let m = Logic.Sop.minimize ~nvars f in
+      let ok = ref true in
+      for v = 0 to (1 lsl nvars) - 1 do
+        let a = Array.init nvars (fun i -> v land (1 lsl i) <> 0) in
+        if Logic.Sop.eval f a <> Logic.Sop.eval m a then ok := false
+      done;
+      !ok && Logic.Sop.cube_count m <= Logic.Sop.cube_count f)
+
+let prop_sop_complement_partition =
+  QCheck2.Test.make ~name:"sop: complement partitions the minterm space"
+    ~count:40 ~print:string_of_int seed_gen (fun seed ->
+      let rng = Logic.Rng.create (seed + 17) in
+      let nvars = 5 in
+      let f = random_cover rng nvars (1 + Logic.Rng.int rng 6) in
+      let g = Logic.Sop.complement ~nvars f in
+      let ok = ref true in
+      for v = 0 to (1 lsl nvars) - 1 do
+        let a = Array.init nvars (fun i -> v land (1 lsl i) <> 0) in
+        if Logic.Sop.eval f a = Logic.Sop.eval g a then ok := false
+      done;
+      !ok)
+
+let prop_extract_preserves =
+  QCheck2.Test.make ~name:"extract: preserves function, never grows literals"
+    ~count:25 ~print:string_of_int seed_gen (fun seed ->
+      let n = net_of_seed seed in
+      let out, r = Logic.Extract.run_report n in
+      Logic.Eval.equivalent n out
+      && r.Logic.Extract.literals_after <= r.Logic.Extract.literals_before)
+
+let suite =
+  suite
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_bdd_matches_network_eval;
+        prop_sop_minimize_preserves;
+        prop_sop_complement_partition;
+        prop_extract_preserves;
+      ]

@@ -1,0 +1,93 @@
+open Domino
+
+let pi i = Pdn.Leaf (Pdn.S_pi { input = i; positive = true })
+
+let test_necessary_discharge_kept () =
+  (* Fig 2(a) with its one necessary discharge: pruning must keep it. *)
+  let pdn = Pdn.Series (Pdn.Parallel (Pdn.Parallel (pi 0, pi 1), pi 2), pi 3) in
+  let c =
+    {
+      Circuit.source = "fig2a";
+      input_names = [| "A"; "B"; "C"; "D" |];
+      gates =
+        [|
+          {
+            Domino_gate.id = 0;
+            pdn;
+            footed = true;
+            discharge_points = Pbe_analysis.discharge_points ~grounded:true pdn;
+            level = 1;
+          };
+        |];
+      outputs = [| ("out", Pdn.S_gate 0) |];
+    }
+  in
+  let r = Mapper.Prune.run c in
+  Alcotest.(check bool) "exhaustive" true r.Mapper.Prune.validated_exhaustively;
+  Alcotest.(check int) "kept" 1 r.Mapper.Prune.kept;
+  Alcotest.(check int) "removed" 0 r.Mapper.Prune.removed;
+  Alcotest.(check bool) "still clean" true
+    (Sim.Domino_sim.pbe_free r.Mapper.Prune.circuit)
+
+let test_superfluous_discharge_removed () =
+  (* A pure series chain never needs its junction discharged; a mapping
+     that over-protects it gets cleaned up. *)
+  let pdn = Pdn.Series (pi 0, pi 1) in
+  let c =
+    {
+      Circuit.source = "chain";
+      input_names = [| "a"; "b" |];
+      gates =
+        [|
+          {
+            Domino_gate.id = 0;
+            pdn;
+            footed = true;
+            discharge_points = Pdn.series_junctions pdn;
+            level = 1;
+          };
+        |];
+      outputs = [| ("f", Pdn.S_gate 0) |];
+    }
+  in
+  let r = Mapper.Prune.run c in
+  Alcotest.(check int) "removed" 1 r.Mapper.Prune.removed;
+  Alcotest.(check int) "kept" 0 r.Mapper.Prune.kept;
+  Alcotest.(check bool) "clean after pruning" true
+    (Sim.Domino_sim.pbe_free r.Mapper.Prune.circuit)
+
+let test_mapped_circuit_pruning () =
+  (* On a mapped z4ml (7 inputs, exhaustive validation) pruning never
+     breaks the circuit and often removes a few conservative devices. *)
+  let r0 = Mapper.Algorithms.soi_domino_map (Gen.Suite.build_exn "z4ml") in
+  let before = (Domino.Circuit.counts r0.Mapper.Algorithms.circuit).Circuit.t_disch in
+  let r = Mapper.Prune.run r0.Mapper.Algorithms.circuit in
+  let after = (Domino.Circuit.counts r.Mapper.Prune.circuit).Circuit.t_disch in
+  Alcotest.(check int) "accounting adds up" before
+    (r.Mapper.Prune.removed + r.Mapper.Prune.kept);
+  Alcotest.(check int) "counts match" (before - r.Mapper.Prune.removed) after;
+  Alcotest.(check bool) "exhaustively validated" true
+    r.Mapper.Prune.validated_exhaustively;
+  let hunt = Sim.Domino_sim.exhaustive_pbe_hunt r.Mapper.Prune.circuit in
+  Alcotest.(check bool) "still two-pattern clean" true
+    (hunt.Sim.Domino_sim.failing_pairs = []);
+  Alcotest.(check bool) "function untouched" true
+    (Domino.Circuit.equivalent_to r.Mapper.Prune.circuit r0.Mapper.Algorithms.unate)
+
+let test_random_fallback () =
+  (* cm150 has 20 inputs: the pass must fall back to random validation
+     and say so. *)
+  let r0 = Mapper.Algorithms.soi_domino_map (Gen.Suite.build_exn "cm150") in
+  let r = Mapper.Prune.run ~random_cycles:64 r0.Mapper.Algorithms.circuit in
+  Alcotest.(check bool) "not exhaustive" false r.Mapper.Prune.validated_exhaustively;
+  Alcotest.(check bool) "still random-clean" true
+    (Sim.Domino_sim.pbe_free r.Mapper.Prune.circuit)
+
+let suite =
+  [
+    Alcotest.test_case "necessary discharge kept" `Quick test_necessary_discharge_kept;
+    Alcotest.test_case "superfluous discharge removed" `Quick
+      test_superfluous_discharge_removed;
+    Alcotest.test_case "mapped circuit pruning" `Slow test_mapped_circuit_pruning;
+    Alcotest.test_case "random fallback" `Quick test_random_fallback;
+  ]

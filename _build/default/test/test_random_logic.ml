@@ -1,0 +1,121 @@
+open Logic
+
+let params = Gen.Random_logic.default ~name:"t" ~inputs:12 ~gates:80 ~outputs:6 ~seed:5
+
+let test_determinism () =
+  let a = Gen.Random_logic.generate params in
+  let b = Gen.Random_logic.generate params in
+  Alcotest.(check bool) "same structure" true (Eval.equivalent a b);
+  Alcotest.(check int) "same node count" (Network.node_count a) (Network.node_count b)
+
+let test_seed_changes_structure () =
+  let a = Gen.Random_logic.generate params in
+  let b = Gen.Random_logic.generate { params with Gen.Random_logic.seed = 6 } in
+  Alcotest.(check bool) "different" false (Eval.equivalent a b)
+
+let test_shape () =
+  let n = Gen.Random_logic.generate params in
+  Alcotest.(check int) "inputs" 12 (Array.length (Network.inputs n));
+  Alcotest.(check bool) "some outputs" true (Array.length (Network.outputs n) > 0);
+  Alcotest.(check bool) "validates" true (Network.validate n = Ok ())
+
+let test_outputs_not_constant () =
+  List.iter
+    (fun seed ->
+      let n =
+        Gen.Random_logic.generate { params with Gen.Random_logic.seed = seed }
+      in
+      let rng = Rng.create 123 in
+      let w1 = Eval.eval_outputs64 n (Eval.random_words rng 12) in
+      let w2 = Eval.eval_outputs64 n (Eval.random_words rng 12) in
+      Array.iteri
+        (fun i (nm, v1) ->
+          let _, v2 = w2.(i) in
+          let constant = (v1 = 0L && v2 = 0L) || (v1 = -1L && v2 = -1L) in
+          Alcotest.(check bool) (Printf.sprintf "seed %d %s non-constant" seed nm)
+            false constant)
+        w1)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_survives_strash () =
+  (* The generator's outputs must not collapse away under simplification. *)
+  let n = Gen.Random_logic.generate params in
+  let s = Strash.run n in
+  let st = Stats.compute s in
+  Alcotest.(check bool) "meaningful logic remains" true (st.Stats.gates > 20)
+
+let test_invalid_params () =
+  Alcotest.check_raises "too few inputs"
+    (Invalid_argument "Random_logic.generate: need at least 2 inputs") (fun () ->
+      ignore
+        (Gen.Random_logic.generate
+           (Gen.Random_logic.default ~name:"x" ~inputs:1 ~gates:5 ~outputs:1 ~seed:0)))
+
+let test_suite_benchmarks_build () =
+  List.iter
+    (fun e ->
+      let n = e.Gen.Suite.build () in
+      Alcotest.(check bool) (e.Gen.Suite.name ^ " validates") true
+        (Network.validate n = Ok ()))
+    Gen.Suite.all
+
+let test_suite_lookup () =
+  Alcotest.(check bool) "find des" true (Gen.Suite.find "des" <> None);
+  Alcotest.(check bool) "unknown" true (Gen.Suite.find "nonesuch" = None);
+  Alcotest.check_raises "build_exn unknown" Not_found (fun () ->
+      ignore (Gen.Suite.build_exn "nonesuch"))
+
+let test_table_names_resolve () =
+  List.iter
+    (fun names ->
+      List.iter
+        (fun nm ->
+          Alcotest.(check bool) (nm ^ " resolves") true (Gen.Suite.find nm <> None))
+        names)
+    [ Gen.Suite.table1_names; Gen.Suite.table2_names; Gen.Suite.table3_names;
+      Gen.Suite.table4_names ]
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_structure;
+    Alcotest.test_case "shape" `Quick test_shape;
+    Alcotest.test_case "outputs not constant" `Quick test_outputs_not_constant;
+    Alcotest.test_case "survives strash" `Quick test_survives_strash;
+    Alcotest.test_case "invalid params" `Quick test_invalid_params;
+    Alcotest.test_case "all suite benchmarks build" `Slow test_suite_benchmarks_build;
+    Alcotest.test_case "suite lookup" `Quick test_suite_lookup;
+    Alcotest.test_case "table names resolve" `Quick test_table_names_resolve;
+  ]
+
+let test_extras_build_and_map () =
+  List.iter
+    (fun e ->
+      let net = e.Gen.Suite.build () in
+      Alcotest.(check bool) (e.Gen.Suite.name ^ " validates") true
+        (Network.validate net = Ok ());
+      let r = Mapper.Algorithms.soi_domino_map net in
+      Alcotest.(check bool) (e.Gen.Suite.name ^ " maps equivalently") true
+        (Domino.Circuit.equivalent_to r.Mapper.Algorithms.circuit
+           r.Mapper.Algorithms.unate))
+    Gen.Suite.extras
+
+let test_seed_variants () =
+  (match Gen.Suite.seed_variant "frg1" 0 with
+  | Some net ->
+      Alcotest.(check bool) "offset 0 matches the suite circuit" true
+        (Eval.equivalent net (Gen.Suite.build_exn "frg1"))
+  | None -> Alcotest.fail "frg1 is a random stand-in");
+  (match (Gen.Suite.seed_variant "frg1" 1, Gen.Suite.seed_variant "frg1" 2) with
+  | Some a, Some b ->
+      Alcotest.(check bool) "different seeds differ" false (Eval.equivalent a b)
+  | _ -> Alcotest.fail "variants must exist");
+  Alcotest.(check bool) "functional circuits have no variants" true
+    (Gen.Suite.seed_variant "cm150" 1 = None)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "extras build and map" `Slow test_extras_build_and_map;
+      Alcotest.test_case "seed variants" `Quick test_seed_variants;
+    ]

@@ -1,0 +1,135 @@
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_table_rendering () =
+  let t = Report.Table.create [ ("Name", Report.Table.Left); ("N", Report.Table.Right) ] in
+  Report.Table.add_row t [ "alpha"; "1" ];
+  Report.Table.add_rule t;
+  Report.Table.add_row t [ "beta"; "22" ];
+  let s = Report.Table.to_string t in
+  Alcotest.(check bool) "has header" true (contains s "Name");
+  Alcotest.(check bool) "has rows" true (contains s "alpha" && contains s "beta");
+  let md = Report.Table.to_markdown t in
+  Alcotest.(check bool) "markdown pipes" true (contains md "| alpha | 1 |")
+
+let test_table_arity_checked () =
+  let t = Report.Table.create [ ("A", Report.Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: expected 1 cells, got 2")
+    (fun () -> Report.Table.add_row t [ "x"; "y" ])
+
+let test_fmt_pct () =
+  Alcotest.(check string) "format" "53.00" (Report.Table.fmt_pct 53.0);
+  Alcotest.(check string) "format2" "-3.70" (Report.Table.fmt_pct (-3.7))
+
+let small = [ "cm150"; "z4ml"; "frg1" ]
+
+let test_table1_small () =
+  let rows = Report.Experiments.table1 ~names:small () in
+  Alcotest.(check int) "rows" 3 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "rs <= bulk" true
+        (r.Report.Experiments.improved.Domino.Circuit.t_disch
+        <= r.Report.Experiments.base.Domino.Circuit.t_disch))
+    rows;
+  let s = Report.Experiments.render_table1 rows in
+  Alcotest.(check bool) "renders" true (contains s "cm150" && contains s "Average")
+
+let test_table2_small () =
+  let rows = Report.Experiments.table2 ~names:small () in
+  let avg = Report.Experiments.average Report.Experiments.disch_reduction_pct rows in
+  Alcotest.(check bool) "positive average reduction" true (avg > 0.0);
+  let s = Report.Experiments.markdown_table2 rows in
+  Alcotest.(check bool) "markdown renders" true (contains s "| cm150 |")
+
+let test_table3_small () =
+  let rows = Report.Experiments.table3 ~k:2 ~names:small () in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "clock load not increased" true
+        (r.Report.Experiments.kn.Domino.Circuit.t_clock
+        <= r.Report.Experiments.k1.Domino.Circuit.t_clock))
+    rows;
+  Alcotest.(check bool) "renders" true
+    (contains (Report.Experiments.render_table3 rows) "Average")
+
+let test_table4_small () =
+  let rows = Report.Experiments.table4 ~names:small () in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "source depth positive" true
+        (r.Report.Experiments.source_depth > 0);
+      Alcotest.(check bool) "mapped levels <= source depth" true
+        (r.Report.Experiments.bulk.Domino.Circuit.levels
+        <= r.Report.Experiments.source_depth))
+    rows;
+  Alcotest.(check bool) "renders" true
+    (contains (Report.Experiments.render_table4 rows) "Average")
+
+let test_average () =
+  Alcotest.(check bool) "empty" true (Report.Experiments.average (fun _ -> 1.0) [] = 0.0);
+  Alcotest.(check bool) "mean" true
+    (Report.Experiments.average Fun.id [ 1.0; 2.0; 3.0 ] = 2.0)
+
+let suite =
+  [
+    Alcotest.test_case "table rendering" `Quick test_table_rendering;
+    Alcotest.test_case "table arity" `Quick test_table_arity_checked;
+    Alcotest.test_case "fmt_pct" `Quick test_fmt_pct;
+    Alcotest.test_case "table 1 (small)" `Quick test_table1_small;
+    Alcotest.test_case "table 2 (small)" `Quick test_table2_small;
+    Alcotest.test_case "table 3 (small)" `Quick test_table3_small;
+    Alcotest.test_case "table 4 (small)" `Quick test_table4_small;
+    Alcotest.test_case "average" `Quick test_average;
+  ]
+
+(* -------- CSV export -------- *)
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain" "abc" (Report.Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Report.Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Report.Csv.escape "a\"b")
+
+let test_csv_tables () =
+  let rows1 = Report.Experiments.table1 ~names:small () in
+  let csv1 = Report.Csv.table1 rows1 in
+  let lines = String.split_on_char '\n' csv1 |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "header + rows" (1 + List.length rows1) (List.length lines);
+  Alcotest.(check bool) "header names columns" true
+    (contains (List.hd lines) "base_t_disch");
+  let rows3 = Report.Experiments.table3 ~names:small () in
+  Alcotest.(check bool) "table3 renders" true
+    (contains (Report.Csv.table3 rows3) "clock_reduction_pct");
+  let rows4 = Report.Experiments.table4 ~names:small () in
+  Alcotest.(check bool) "table4 renders" true
+    (contains (Report.Csv.table4 rows4) "source_depth")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "csv escaping" `Quick test_csv_escape;
+      Alcotest.test_case "csv tables" `Quick test_csv_tables;
+    ]
+
+let test_table5_small () =
+  let rows = Report.Experiments.table5 ~names:small () in
+  Alcotest.(check int) "rows" 3 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "contacts >= discharges" true
+        (r.Report.Experiments.body_contacts
+        >= r.Report.Experiments.soi.Domino.Circuit.t_disch);
+      Alcotest.(check bool) "split never smaller" true
+        (r.Report.Experiments.split_total
+        >= r.Report.Experiments.soi.Domino.Circuit.t_total
+           - r.Report.Experiments.soi.Domino.Circuit.t_disch);
+      Alcotest.(check bool) "stripping never reduces exposure" true
+        (r.Report.Experiments.exposed_stripped >= r.Report.Experiments.exposed))
+    rows;
+  Alcotest.(check bool) "renders" true
+    (contains (Report.Experiments.render_table5 rows) "Contacts")
+
+let suite =
+  suite @ [ Alcotest.test_case "table 5 (small)" `Quick test_table5_small ]

@@ -1,0 +1,100 @@
+open Logic
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next64 a) (Rng.next64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true (Rng.next64 a <> Rng.next64 b)
+
+let test_int_bounds () =
+  let g = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int g 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10)
+  done
+
+let test_int_in () =
+  let g = Rng.create 8 in
+  for _ = 1 to 1000 do
+    let x = Rng.int_in g (-5) 5 in
+    Alcotest.(check bool) "in inclusive range" true (x >= -5 && x <= 5)
+  done
+
+let test_int_coverage () =
+  (* Every residue of a small bound appears (sanity of masking logic). *)
+  let g = Rng.create 9 in
+  let seen = Array.make 7 false in
+  for _ = 1 to 2000 do
+    seen.(Rng.int g 7) <- true
+  done;
+  Alcotest.(check bool) "all residues seen" true (Array.for_all Fun.id seen)
+
+let test_int_invalid () =
+  let g = Rng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int g 0))
+
+let test_bool_balance () =
+  let g = Rng.create 11 in
+  let trues = ref 0 in
+  for _ = 1 to 10000 do
+    if Rng.bool g then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 4500 && !trues < 5500)
+
+let test_float_bounds () =
+  let g = Rng.create 13 in
+  for _ = 1 to 1000 do
+    let x = Rng.float g 2.5 in
+    Alcotest.(check bool) "in range" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_shuffle_permutes () =
+  let g = Rng.create 17 in
+  let arr = Array.init 50 Fun.id in
+  let orig = Array.copy arr in
+  Rng.shuffle g arr;
+  Alcotest.(check bool) "same multiset"
+    true
+    (List.sort compare (Array.to_list arr) = List.sort compare (Array.to_list orig));
+  Alcotest.(check bool) "actually permuted" true (arr <> orig)
+
+let test_copy_independent () =
+  let a = Rng.create 23 in
+  ignore (Rng.next64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next64 a) (Rng.next64 b)
+
+let test_split () =
+  let a = Rng.create 29 in
+  let child = Rng.split a in
+  Alcotest.(check bool) "child differs from parent stream" true
+    (Rng.next64 child <> Rng.next64 a)
+
+let test_choose () =
+  let g = Rng.create 31 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "chosen element member" true
+      (Array.mem (Rng.choose g arr) arr)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int_in bounds" `Quick test_int_in;
+    Alcotest.test_case "int coverage" `Quick test_int_coverage;
+    Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+    Alcotest.test_case "bool balance" `Quick test_bool_balance;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "split independence" `Quick test_split;
+    Alcotest.test_case "choose membership" `Quick test_choose;
+  ]

@@ -1,0 +1,177 @@
+open Logic
+
+(* -------- cubes -------- *)
+
+let test_cube_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Cube.to_string (Cube.of_string s)))
+    [ "1-0"; "----"; "1111"; "0"; "01-10-" ]
+
+let test_cube_get_set () =
+  let c = Cube.of_string "1-0" in
+  Alcotest.(check bool) "get 0" true (Cube.get c 0 = Cube.One);
+  Alcotest.(check bool) "get 1" true (Cube.get c 1 = Cube.Dash);
+  Alcotest.(check bool) "get 2" true (Cube.get c 2 = Cube.Zero);
+  let c' = Cube.set c 1 Cube.Zero in
+  Alcotest.(check string) "set" "100" (Cube.to_string c');
+  Alcotest.(check string) "original untouched" "1-0" (Cube.to_string c);
+  Alcotest.(check int) "literals" 2 (Cube.literals c)
+
+let test_cube_intersect () =
+  let a = Cube.of_string "1--" and b = Cube.of_string "-0-" in
+  (match Cube.intersect a b with
+  | Some c -> Alcotest.(check string) "meet" "10-" (Cube.to_string c)
+  | None -> Alcotest.fail "compatible cubes");
+  Alcotest.(check bool) "conflict" true
+    (Cube.intersect (Cube.of_string "1-") (Cube.of_string "0-") = None)
+
+let test_cube_covers () =
+  Alcotest.(check bool) "dash covers literal" true
+    (Cube.covers (Cube.of_string "1--") (Cube.of_string "1-0"));
+  Alcotest.(check bool) "literal does not cover dash" false
+    (Cube.covers (Cube.of_string "1-0") (Cube.of_string "1--"));
+  Alcotest.(check bool) "self" true
+    (Cube.covers (Cube.of_string "01-") (Cube.of_string "01-"))
+
+let test_cube_minterm () =
+  let c = Cube.of_string "1-0" in
+  Alcotest.(check bool) "110 in" true (Cube.contains_minterm c [| true; true; false |]);
+  Alcotest.(check bool) "100 in" true (Cube.contains_minterm c [| true; false; false |]);
+  Alcotest.(check bool) "111 out" false (Cube.contains_minterm c [| true; true; true |])
+
+let test_cube_cofactor () =
+  let c = Cube.of_string "1-0" in
+  Alcotest.(check bool) "conflicting cofactor" true (Cube.cofactor c 0 false = None);
+  (match Cube.cofactor c 0 true with
+  | Some c' -> Alcotest.(check string) "freed" "--0" (Cube.to_string c')
+  | None -> Alcotest.fail "compatible cofactor")
+
+(* -------- covers -------- *)
+
+let cover ss = List.map Cube.of_string ss
+
+let check_same_function ~nvars name f g =
+  for m = 0 to (1 lsl nvars) - 1 do
+    let a = Array.init nvars (fun i -> m land (1 lsl i) <> 0) in
+    Alcotest.(check bool) (Printf.sprintf "%s minterm %d" name m) (Sop.eval f a)
+      (Sop.eval g a)
+  done
+
+let test_tautology () =
+  Alcotest.(check bool) "universe" true (Sop.tautology ~nvars:3 (cover [ "---" ]));
+  Alcotest.(check bool) "x + x'" true (Sop.tautology ~nvars:1 (cover [ "1"; "0" ]));
+  Alcotest.(check bool) "missing corner" false
+    (Sop.tautology ~nvars:2 (cover [ "1-"; "-1" ]));
+  Alcotest.(check bool) "full cover" true
+    (Sop.tautology ~nvars:2 (cover [ "1-"; "-1"; "00" ]));
+  Alcotest.(check bool) "empty" false (Sop.tautology ~nvars:2 [])
+
+let test_complement () =
+  let f = cover [ "11-" ] in
+  let g = Sop.complement ~nvars:3 f in
+  for m = 0 to 7 do
+    let a = Array.init 3 (fun i -> m land (1 lsl i) <> 0) in
+    Alcotest.(check bool) "complement disjoint+total" (not (Sop.eval f a)) (Sop.eval g a)
+  done;
+  Alcotest.(check bool) "complement of empty" true
+    (Sop.tautology ~nvars:2 (Sop.complement ~nvars:2 []));
+  Alcotest.(check (list string)) "complement of universe" []
+    (List.map Cube.to_string (Sop.complement ~nvars:2 (cover [ "--" ])))
+
+let test_expand_primes () =
+  (* f = ab + a'b : both cubes expand to b. *)
+  let f = cover [ "11"; "01" ] in
+  let off = Sop.complement ~nvars:2 f in
+  let e = Sop.expand ~nvars:2 ~off f in
+  Alcotest.(check (list string)) "merged to b" [ "-1" ] (List.map Cube.to_string e)
+
+let test_irredundant () =
+  (* ab + a'c + bc : the consensus term bc is redundant. *)
+  let f = cover [ "11-"; "0-1"; "-11" ] in
+  let r = Sop.irredundant ~nvars:3 f in
+  Alcotest.(check int) "two cubes" 2 (List.length r);
+  check_same_function ~nvars:3 "irredundant" f r
+
+let test_minimize_classic () =
+  (* The 2-variable XOR stays at two cubes; the full cover of three cubes
+     over (a+b) collapses to two. *)
+  let xor = cover [ "10"; "01" ] in
+  let m = Sop.minimize ~nvars:2 xor in
+  Alcotest.(check int) "xor minimal" 2 (Sop.cube_count m);
+  check_same_function ~nvars:2 "xor" xor m;
+  let redundant = cover [ "1-"; "-1"; "11" ] in
+  let m2 = Sop.minimize ~nvars:2 redundant in
+  Alcotest.(check int) "a+b two cubes" 2 (Sop.cube_count m2);
+  check_same_function ~nvars:2 "a+b" redundant m2
+
+let test_minimize_minterm_table () =
+  (* Random 4-variable functions from raw minterms: the minimiser must
+     preserve the function and never increase cost. *)
+  let rng = Rng.create 1234 in
+  for _ = 1 to 50 do
+    let ms = List.filter (fun _ -> Rng.bool rng) (List.init 16 Fun.id) in
+    let f = Sop.of_minterms ~nvars:4 ms in
+    let m = Sop.minimize ~nvars:4 f in
+    check_same_function ~nvars:4 "random4" f m;
+    Alcotest.(check bool) "no growth" true (Sop.cube_count m <= Sop.cube_count f)
+  done
+
+let test_of_network_output () =
+  let net = Gen.Circuits.adder 2 in
+  (* s0 = a0 xor b0 xor cin: a 3-variable parity, minimal cover 4 cubes. *)
+  let f = Sop.of_network_output net "s0" in
+  let m = Sop.minimize ~nvars:5 f in
+  Alcotest.(check int) "3-var parity needs 4 cubes" 4 (Sop.cube_count m);
+  check_same_function ~nvars:5 "s0" f m
+
+let test_to_wire () =
+  let f = Sop.minimize ~nvars:3 (Sop.of_minterms ~nvars:3 [ 1; 3; 5; 7 ]) in
+  (* Minterms with bit0 set: f = x0. *)
+  let b = Builder.create () in
+  let ins = Builder.inputs b "x" 3 in
+  Builder.output b "f" (Sop.to_wire b ins f);
+  let net = Builder.network b in
+  for m = 0 to 7 do
+    let a = Array.init 3 (fun i -> m land (1 lsl i) <> 0) in
+    Alcotest.(check bool) "wire matches" (m land 1 <> 0)
+      (snd (Eval.eval_outputs net a).(0))
+  done
+
+let test_minimize_then_map () =
+  (* End-to-end: minimise a messy PLA, build it, map it, verify it. *)
+  let rng = Rng.create 777 in
+  let ms = List.filter (fun _ -> Rng.int rng 3 = 0) (List.init 64 Fun.id) in
+  let f = Sop.of_minterms ~nvars:6 ms in
+  let m = Sop.minimize ~nvars:6 f in
+  let b = Builder.create ~name:"pla" () in
+  let ins = Builder.inputs b "x" 6 in
+  Builder.output b "f" (Sop.to_wire b ins m);
+  let net = Builder.network b in
+  let r = Mapper.Algorithms.soi_domino_map net in
+  Alcotest.(check bool) "mapped PLA verifies" true
+    (Domino.Circuit.equivalent_to r.Mapper.Algorithms.circuit r.Mapper.Algorithms.unate);
+  (* And the minimised cover kept the function. *)
+  for mt = 0 to 63 do
+    let a = Array.init 6 (fun i -> mt land (1 lsl i) <> 0) in
+    Alcotest.(check bool) "pla function" (List.mem mt ms)
+      (snd (Eval.eval_outputs net a).(0))
+  done
+
+let suite =
+  [
+    Alcotest.test_case "cube string roundtrip" `Quick test_cube_string_roundtrip;
+    Alcotest.test_case "cube get/set" `Quick test_cube_get_set;
+    Alcotest.test_case "cube intersect" `Quick test_cube_intersect;
+    Alcotest.test_case "cube covers" `Quick test_cube_covers;
+    Alcotest.test_case "cube minterm membership" `Quick test_cube_minterm;
+    Alcotest.test_case "cube cofactor" `Quick test_cube_cofactor;
+    Alcotest.test_case "tautology" `Quick test_tautology;
+    Alcotest.test_case "complement" `Quick test_complement;
+    Alcotest.test_case "expand makes primes" `Quick test_expand_primes;
+    Alcotest.test_case "irredundant drops consensus" `Quick test_irredundant;
+    Alcotest.test_case "minimise classic cases" `Quick test_minimize_classic;
+    Alcotest.test_case "minimise random tables" `Quick test_minimize_minterm_table;
+    Alcotest.test_case "cover from network output" `Quick test_of_network_output;
+    Alcotest.test_case "cover to wire" `Quick test_to_wire;
+    Alcotest.test_case "minimise then map" `Quick test_minimize_then_map;
+  ]

@@ -1,0 +1,130 @@
+open Logic
+
+let check_equiv name net =
+  let out = Strash.run net in
+  Alcotest.(check bool) (name ^ " equivalent") true (Eval.equivalent net out);
+  out
+
+let test_merges_duplicates () =
+  let n = Network.create () in
+  let a = Network.add_input n and b = Network.add_input n in
+  let g1 = Network.add_gate n Gate.And [| a; b |] in
+  let g2 = Network.add_gate n Gate.And [| b; a |] in
+  Network.set_output n "f" (Network.add_gate n Gate.Or [| g1; g2 |]);
+  let out = check_equiv "duplicates" n in
+  (* Or(x, x) collapses too, so only the And survives. *)
+  let s = Stats.compute out in
+  Alcotest.(check int) "single gate left" 1 s.Stats.gates
+
+let test_constant_folding () =
+  let n = Network.create () in
+  let a = Network.add_input n in
+  let t = Network.add_const n true in
+  let f = Network.add_const n false in
+  let g = Network.add_gate n Gate.And [| a; t |] in
+  let h = Network.add_gate n Gate.Or [| g; f |] in
+  Network.set_output n "f" h;
+  let out = check_equiv "folding" n in
+  let s = Stats.compute out in
+  Alcotest.(check int) "no gates left" 0 s.Stats.gates
+
+let test_absorbing_constants () =
+  let n = Network.create () in
+  let a = Network.add_input n in
+  let f = Network.add_const n false in
+  Network.set_output n "z" (Network.add_gate n Gate.And [| a; f |]);
+  let out = check_equiv "absorb" n in
+  Alcotest.(check int) "gates" 0 (Stats.compute out).Stats.gates
+
+let test_double_negation () =
+  let n = Network.create () in
+  let a = Network.add_input n and b = Network.add_input n in
+  let g = Network.add_gate n Gate.And [| a; b |] in
+  let n1 = Network.add_gate n Gate.Not [| g |] in
+  let n2 = Network.add_gate n Gate.Not [| n1 |] in
+  Network.set_output n "f" n2;
+  let out = check_equiv "double neg" n in
+  Alcotest.(check int) "not gates gone" 0 (Stats.compute out).Stats.not_gates
+
+let test_complement_pair () =
+  let n = Network.create () in
+  let a = Network.add_input n in
+  let na = Network.add_gate n Gate.Not [| a |] in
+  Network.set_output n "f" (Network.add_gate n Gate.And [| a; na |]);
+  Network.set_output n "g" (Network.add_gate n Gate.Or [| a; na |]);
+  let out = check_equiv "complement" n in
+  Alcotest.(check int) "all folded" 0 (Stats.compute out).Stats.gates
+
+let test_xor_cancellation () =
+  let n = Network.create () in
+  let a = Network.add_input n and b = Network.add_input n in
+  Network.set_output n "f" (Network.add_gate n Gate.Xor [| a; b; a |]);
+  let out = check_equiv "xor cancel" n in
+  (* Xor(a, b, a) = b: no gate should remain. *)
+  Alcotest.(check int) "gates" 0 (Stats.compute out).Stats.gates
+
+let test_nand_normalisation () =
+  let n = Network.create () in
+  let a = Network.add_input n and b = Network.add_input n in
+  Network.set_output n "f" (Network.add_gate n Gate.Nand [| a; b |]);
+  Network.set_output n "g" (Network.add_gate n Gate.Nor [| a; b |]);
+  Network.set_output n "h" (Network.add_gate n Gate.Xnor [| a; b |]);
+  let out = check_equiv "nand norm" n in
+  let ok = ref true in
+  Network.iter_nodes
+    (fun nd ->
+      match nd.Network.func with
+      | Network.Gate (Gate.Nand | Gate.Nor | Gate.Xnor | Gate.Buf) -> ok := false
+      | _ -> ())
+    out;
+  Alcotest.(check bool) "only normal gates" true !ok
+
+let test_dead_node_sweep () =
+  let n = Network.create () in
+  let a = Network.add_input n and b = Network.add_input n in
+  let live = Network.add_gate n Gate.And [| a; b |] in
+  let _dead = Network.add_gate n Gate.Or [| a; b |] in
+  Network.set_output n "f" live;
+  let out = check_equiv "sweep" n in
+  Alcotest.(check int) "dead gate swept" 1 (Stats.compute out).Stats.gates
+
+let test_inputs_preserved () =
+  let n = Network.create () in
+  let a = Network.add_input ~name:"a" n in
+  let _unused = Network.add_input ~name:"u" n in
+  Network.set_output n "f" a;
+  let out = Strash.run n in
+  Alcotest.(check int) "both inputs kept" 2 (Array.length (Network.inputs out))
+
+let test_report () =
+  let n = Network.create () in
+  let a = Network.add_input n and b = Network.add_input n in
+  let g1 = Network.add_gate n Gate.And [| a; b |] in
+  let g2 = Network.add_gate n Gate.And [| a; b |] in
+  Network.set_output n "f" (Network.add_gate n Gate.Or [| g1; g2 |]);
+  let _, r = Strash.run_report n in
+  Alcotest.(check bool) "something merged or folded" true (r.Strash.merged + r.Strash.folded > 0);
+  Alcotest.(check bool) "shrank" true (r.Strash.nodes_after < r.Strash.nodes_before)
+
+let test_benchmarks_roundtrip () =
+  List.iter
+    (fun name ->
+      let net = Gen.Suite.build_exn name in
+      let out = Strash.run net in
+      Alcotest.(check bool) (name ^ " strash equivalent") true (Eval.equivalent net out))
+    [ "cm150"; "z4ml"; "9symml"; "frg1"; "c880" ]
+
+let suite =
+  [
+    Alcotest.test_case "merges structural duplicates" `Quick test_merges_duplicates;
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "absorbing constants" `Quick test_absorbing_constants;
+    Alcotest.test_case "double negation" `Quick test_double_negation;
+    Alcotest.test_case "complement pairs" `Quick test_complement_pair;
+    Alcotest.test_case "xor cancellation" `Quick test_xor_cancellation;
+    Alcotest.test_case "nand/nor/xnor normalised" `Quick test_nand_normalisation;
+    Alcotest.test_case "dead node sweep" `Quick test_dead_node_sweep;
+    Alcotest.test_case "unused inputs preserved" `Quick test_inputs_preserved;
+    Alcotest.test_case "rewrite report" `Quick test_report;
+    Alcotest.test_case "benchmark equivalence" `Quick test_benchmarks_roundtrip;
+  ]

@@ -1,0 +1,100 @@
+open Domino
+
+let pi i = Pdn.Leaf (Pdn.S_pi { input = i; positive = true })
+
+let chain () =
+  (* g0 = a*b, g1 = g0 + c, g2 = g1 * d : a three-gate chain. *)
+  let mk id pdn level =
+    { Domino_gate.id; pdn; footed = true; discharge_points = []; level }
+  in
+  {
+    Circuit.source = "chain";
+    input_names = [| "a"; "b"; "c"; "d" |];
+    gates =
+      [|
+        mk 0 (Pdn.Series (pi 0, pi 1)) 1;
+        mk 1 (Pdn.Parallel (Pdn.Leaf (Pdn.S_gate 0), pi 2)) 2;
+        mk 2 (Pdn.Series (Pdn.Leaf (Pdn.S_gate 1), pi 3)) 3;
+      |];
+    outputs = [| ("f", Pdn.S_gate 2) |];
+  }
+
+let test_critical_path_follows_chain () =
+  let r = Timing.analyze (chain ()) in
+  Alcotest.(check (list int)) "path" [ 0; 1; 2 ] r.Timing.critical_path;
+  Alcotest.(check bool) "delay positive" true (r.Timing.critical_delay > 0.0);
+  Alcotest.(check bool) "endpoint arrival equals critical" true
+    (abs_float (r.Timing.arrivals.(2) -. r.Timing.critical_delay) < 1e-9)
+
+let test_arrivals_monotone () =
+  let r = Timing.analyze (chain ()) in
+  Alcotest.(check bool) "monotone along path" true
+    (r.Timing.arrivals.(0) < r.Timing.arrivals.(1)
+    && r.Timing.arrivals.(1) < r.Timing.arrivals.(2))
+
+let test_discharge_costs_delay () =
+  let c = chain () in
+  let g0 = { c.Circuit.gates.(0) with Domino_gate.discharge_points = [ [] ] } in
+  let c' = { c with Circuit.gates = [| g0; c.Circuit.gates.(1); c.Circuit.gates.(2) |] } in
+  let r = Timing.analyze c and r' = Timing.analyze c' in
+  Alcotest.(check bool) "discharge adds delay" true
+    (r'.Timing.critical_delay > r.Timing.critical_delay)
+
+let test_taller_stack_slower () =
+  let mk pdn =
+    {
+      Circuit.source = "one";
+      input_names = [| "a"; "b"; "c"; "d" |];
+      gates = [| { Domino_gate.id = 0; pdn; footed = true; discharge_points = []; level = 1 } |];
+      outputs = [| ("f", Pdn.S_gate 0) |];
+    }
+  in
+  let tall = Timing.analyze (mk (Pdn.Series (pi 0, Pdn.Series (pi 1, pi 2)))) in
+  let wide = Timing.analyze (mk (Pdn.Parallel (pi 0, Pdn.Parallel (pi 1, pi 2)))) in
+  Alcotest.(check bool) "series slower than parallel under defaults" true
+    (tall.Timing.critical_delay > wide.Timing.critical_delay)
+
+let test_empty_circuit () =
+  let c =
+    {
+      Circuit.source = "empty";
+      input_names = [| "a" |];
+      gates = [||];
+      outputs = [| ("f", Pdn.S_pi { input = 0; positive = true }) |];
+    }
+  in
+  let r = Timing.analyze c in
+  Alcotest.(check (list int)) "no path" [] r.Timing.critical_path;
+  Alcotest.(check bool) "zero delay" true (r.Timing.critical_delay = 0.0)
+
+let test_mapped_benchmark () =
+  let r = Mapper.Algorithms.soi_domino_map (Gen.Suite.build_exn "c880") in
+  let t = Timing.analyze r.Mapper.Algorithms.circuit in
+  let counts = r.Mapper.Algorithms.counts in
+  Alcotest.(check int) "critical path spans the level count"
+    counts.Domino.Circuit.levels
+    (List.length t.Timing.critical_path);
+  (* Depth-objective mapping should not be slower on the critical path
+     than area mapping under the default model... at least its level count
+     cannot be larger; check arrival consistency instead. *)
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "arrival >= own delay" true
+        (t.Timing.arrivals.(g) >= t.Timing.gate_delays.(g) -. 1e-9))
+    t.Timing.critical_path
+
+let test_pp_smoke () =
+  let r = Timing.analyze (chain ()) in
+  let s = Format.asprintf "%a" Timing.pp_report r in
+  Alcotest.(check bool) "mentions gates" true (String.length s > 10)
+
+let suite =
+  [
+    Alcotest.test_case "critical path follows chain" `Quick test_critical_path_follows_chain;
+    Alcotest.test_case "arrivals monotone" `Quick test_arrivals_monotone;
+    Alcotest.test_case "discharge adds delay" `Quick test_discharge_costs_delay;
+    Alcotest.test_case "taller stack slower" `Quick test_taller_stack_slower;
+    Alcotest.test_case "empty circuit" `Quick test_empty_circuit;
+    Alcotest.test_case "mapped benchmark" `Quick test_mapped_benchmark;
+    Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+  ]

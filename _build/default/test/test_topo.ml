@@ -1,0 +1,59 @@
+open Logic
+
+let chain_net () =
+  let n = Network.create () in
+  let a = Network.add_input ~name:"a" n in
+  let b = Network.add_input ~name:"b" n in
+  let g1 = Network.add_gate n Gate.And [| a; b |] in
+  let g2 = Network.add_gate n Gate.Not [| g1 |] in
+  let g3 = Network.add_gate n Gate.Or [| g2; a |] in
+  Network.set_output n "f" g3;
+  (n, a, b, g1, g2, g3)
+
+let test_levels () =
+  let n, a, _, g1, g2, g3 = chain_net () in
+  let lv = Topo.levels n in
+  Alcotest.(check int) "input level" 0 lv.(a);
+  Alcotest.(check int) "g1" 1 lv.(g1);
+  Alcotest.(check int) "g2" 2 lv.(g2);
+  Alcotest.(check int) "g3" 3 lv.(g3)
+
+let test_depth () =
+  let n, _, _, _, _, _ = chain_net () in
+  Alcotest.(check int) "depth" 3 (Topo.depth n)
+
+let test_depth_trivial () =
+  let n = Network.create () in
+  let a = Network.add_input n in
+  Network.set_output n "f" a;
+  Alcotest.(check int) "input-only depth" 0 (Topo.depth n)
+
+let test_reachability () =
+  let n, a, b, g1, _, _ = chain_net () in
+  let _dead = Network.add_gate n Gate.And [| a; b |] in
+  let live = Topo.reachable_from_outputs n in
+  Alcotest.(check bool) "g1 live" true live.(g1);
+  Alcotest.(check bool) "dead gate dead" false live.(_dead)
+
+let test_transitive_fanin () =
+  let n, a, b, g1, _, g3 = chain_net () in
+  let cone = Topo.transitive_fanin n g1 in
+  Alcotest.(check bool) "a in cone" true cone.(a);
+  Alcotest.(check bool) "b in cone" true cone.(b);
+  Alcotest.(check bool) "g3 not in cone" false cone.(g3)
+
+let test_output_support () =
+  let n, a, b, _, _, _ = chain_net () in
+  Alcotest.(check (list int)) "support" [ a; b ] (Topo.output_support n "f");
+  Alcotest.check_raises "unknown output" Not_found (fun () ->
+      ignore (Topo.output_support n "zzz"))
+
+let suite =
+  [
+    Alcotest.test_case "levels" `Quick test_levels;
+    Alcotest.test_case "depth" `Quick test_depth;
+    Alcotest.test_case "trivial depth" `Quick test_depth_trivial;
+    Alcotest.test_case "reachability" `Quick test_reachability;
+    Alcotest.test_case "transitive fanin" `Quick test_transitive_fanin;
+    Alcotest.test_case "output support" `Quick test_output_support;
+  ]

@@ -1,0 +1,149 @@
+open Logic
+open Unate
+
+let via_unate net =
+  let aoi = Decompose.to_aoi net in
+  let u = Unetwork.of_network aoi in
+  (aoi, u)
+
+let test_decompose_shape () =
+  List.iter
+    (fun name ->
+      let net = Gen.Suite.build_exn name in
+      let aoi = Decompose.to_aoi net in
+      Alcotest.(check bool) (name ^ " is AOI") true (Decompose.is_aoi aoi);
+      Alcotest.(check bool) (name ^ " equivalent") true (Eval.equivalent net aoi))
+    [ "cm150"; "z4ml"; "9symml"; "c880"; "frg1"; "c1908"; "f51m" ]
+
+let test_unate_equivalence () =
+  List.iter
+    (fun name ->
+      let net = Gen.Suite.build_exn name in
+      let _, u = via_unate net in
+      let back = Unetwork.to_network u in
+      Alcotest.(check bool) (name ^ " unate equivalent") true (Eval.equivalent net back))
+    [ "cm150"; "z4ml"; "9symml"; "c880"; "count"; "c432"; "frg1" ]
+
+let test_unate_is_inverter_free () =
+  let net = Gen.Suite.build_exn "c880" in
+  let _, u = via_unate net in
+  (* By construction every node is AND/OR over literals; check fanin ids. *)
+  for i = 0 to Unetwork.node_count u - 1 do
+    let nd = Unetwork.node u i in
+    List.iter
+      (function
+        | Unetwork.F_node j ->
+            Alcotest.(check bool) "topological" true (j < i)
+        | Unetwork.F_lit _ | Unetwork.F_const _ -> ())
+      [ nd.Unetwork.fanin0; nd.Unetwork.fanin1 ]
+  done
+
+let test_unate_monotone () =
+  (* A unate network with only positive literals must be monotone
+     non-decreasing: raising any input never lowers any output. *)
+  let net = Gen.Suite.build_exn "cm150" in
+  let _, u = via_unate net in
+  let n_in = Array.length (Unetwork.inputs u) in
+  let rng = Rng.create 7 in
+  for _ = 1 to 100 do
+    let v = Array.init n_in (fun _ -> Rng.bool rng) in
+    let base = Unetwork.eval u v in
+    (* Flip one 0 input to 1; outputs whose literal phases are all positive
+       for that input may only rise.  We verify global monotonicity in the
+       positive phase by checking inputs used only positively. *)
+    let neg = Unetwork.negative_literals_used u in
+    let candidates =
+      List.filter (fun i -> not (List.mem i neg) && not v.(i)) (List.init n_in Fun.id)
+    in
+    match candidates with
+    | [] -> ()
+    | i :: _ ->
+        let v' = Array.mapi (fun j x -> if j = i then true else x) v in
+        let up = Unetwork.eval u v' in
+        Array.iteri
+          (fun k (nm, b) ->
+            let _, b' = up.(k) in
+            Alcotest.(check bool) (nm ^ " monotone") false (b && not b'))
+          base
+  done
+
+let test_xor_duplication () =
+  (* XOR needs both phases: duplication must stay bounded (at most ~2x). *)
+  let net = Gen.Circuits.parity_tree 16 in
+  let aoi = Decompose.to_aoi net in
+  let u = Unetwork.of_network aoi in
+  let dup = Unetwork.duplication ~source:aoi u in
+  Alcotest.(check bool) "bounded duplication" true (dup <= 2.01);
+  let back = Unetwork.to_network u in
+  Alcotest.(check bool) "equivalent" true (Eval.equivalent net back)
+
+let test_po_literal () =
+  (* An output directly equal to an input literal. *)
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  let y = Builder.input b "y" in
+  Builder.output b "f" (Builder.not_ b x);
+  Builder.output b "g" (Builder.and2 b x y);
+  let net = Builder.network b in
+  let u = Unetwork.of_network (Decompose.to_aoi net) in
+  let f_fin = snd (Array.to_list (Unetwork.outputs u) |> List.find (fun (n, _) -> n = "f")) in
+  (match f_fin with
+  | Unetwork.F_lit { positive = false; _ } -> ()
+  | _ -> Alcotest.fail "inverted PO should be a negative literal");
+  Alcotest.(check bool) "equivalent" true
+    (Eval.equivalent net (Unetwork.to_network u))
+
+let test_const_po () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  Builder.output b "f" (Builder.and2 b x (Builder.not_ b x));
+  let net = Builder.network b in
+  let u = Unetwork.of_network (Decompose.to_aoi net) in
+  (match (Unetwork.outputs u).(0) with
+  | _, Unetwork.F_const false -> ()
+  | _ -> Alcotest.fail "x & ~x should fold to constant false")
+
+let test_negative_literals () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" and y = Builder.input b "y" in
+  Builder.output b "f" (Builder.and2 b (Builder.not_ b x) y);
+  let u = Unetwork.of_network (Decompose.to_aoi (Builder.network b)) in
+  Alcotest.(check (list int)) "x used negatively" [ 0 ]
+    (Unetwork.negative_literals_used u)
+
+let test_eval64_matches_eval () =
+  let net = Gen.Suite.build_exn "z4ml" in
+  let _, u = via_unate net in
+  let n_in = Array.length (Unetwork.inputs u) in
+  let rng = Rng.create 11 in
+  let words = Array.init n_in (fun _ -> Rng.next64 rng) in
+  let packed = Unetwork.eval64 u words in
+  for lane = 0 to 63 do
+    let bit w = Int64.logand (Int64.shift_right_logical w lane) 1L = 1L in
+    let v = Array.map bit words in
+    let single = Unetwork.eval u v in
+    Array.iteri
+      (fun k (nm, b) ->
+        let _, w = packed.(k) in
+        Alcotest.(check bool) (Printf.sprintf "%s lane %d" nm lane) b (bit w))
+      single
+  done
+
+let test_depth_positive () =
+  let net = Gen.Suite.build_exn "9symml" in
+  let _, u = via_unate net in
+  Alcotest.(check bool) "depth > 0" true (Unetwork.depth u > 0)
+
+let suite =
+  [
+    Alcotest.test_case "decompose to AOI" `Quick test_decompose_shape;
+    Alcotest.test_case "unate conversion equivalence" `Quick test_unate_equivalence;
+    Alcotest.test_case "unate structure topological" `Quick test_unate_is_inverter_free;
+    Alcotest.test_case "positive-literal monotonicity" `Quick test_unate_monotone;
+    Alcotest.test_case "xor duplication bounded" `Quick test_xor_duplication;
+    Alcotest.test_case "literal primary output" `Quick test_po_literal;
+    Alcotest.test_case "constant primary output" `Quick test_const_po;
+    Alcotest.test_case "negative literal tracking" `Quick test_negative_literals;
+    Alcotest.test_case "eval64 lanes" `Quick test_eval64_matches_eval;
+    Alcotest.test_case "depth" `Quick test_depth_positive;
+  ]

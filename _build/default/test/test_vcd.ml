@@ -1,0 +1,64 @@
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let small_circuit () =
+  (Mapper.Algorithms.soi_domino_map (Gen.Suite.build_exn "z4ml")).Mapper.Algorithms.circuit
+
+let stim n k = List.init k (fun i -> Array.init n (fun j -> (i + j) mod 3 = 0))
+
+let test_header () =
+  let c = small_circuit () in
+  let _, text = Sim.Vcd.dump c (stim 7 4) in
+  Alcotest.(check bool) "timescale" true (contains text "$timescale 1ps $end");
+  Alcotest.(check bool) "scope" true (contains text "$scope module add3");
+  Alcotest.(check bool) "clk declared" true (contains text "clk $end");
+  Alcotest.(check bool) "event marker declared" true (contains text "pbe_event $end");
+  Alcotest.(check bool) "definitions closed" true (contains text "$enddefinitions $end")
+
+let test_var_count () =
+  let c = small_circuit () in
+  let _, text = Sim.Vcd.dump c (stim 7 2) in
+  let vars =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.length l > 4 && String.sub l 0 4 = "$var")
+  in
+  (* clk + pbe_event + 7 inputs + 4 outputs *)
+  Alcotest.(check int) "var declarations" (2 + 7 + 4) (List.length vars)
+
+let test_timesteps () =
+  let c = small_circuit () in
+  let _, text = Sim.Vcd.dump c (stim 7 3) in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) (Printf.sprintf "timestep %d" t) true
+        (contains text (Printf.sprintf "#%d\n" t)))
+    [ 0; 500; 1000; 1500; 2000; 2500; 3000 ]
+
+let test_result_matches_plain_run () =
+  let c = small_circuit () in
+  let s = stim 7 8 in
+  let r1, _ = Sim.Vcd.dump c s in
+  let r2 = Sim.Domino_sim.run c s in
+  Alcotest.(check int) "same events" r2.Sim.Domino_sim.total_events
+    r1.Sim.Domino_sim.total_events;
+  Alcotest.(check int) "same cycles" (List.length r2.Sim.Domino_sim.cycles)
+    (List.length r1.Sim.Domino_sim.cycles)
+
+let test_file_dump () =
+  let c = small_circuit () in
+  let tmp = Filename.temp_file "soi" ".vcd" in
+  let _ = Sim.Vcd.dump_to_file c (stim 7 2) tmp in
+  let ok = Sys.file_exists tmp in
+  Sys.remove tmp;
+  Alcotest.(check bool) "file written" true ok
+
+let suite =
+  [
+    Alcotest.test_case "header" `Quick test_header;
+    Alcotest.test_case "var count" `Quick test_var_count;
+    Alcotest.test_case "timesteps" `Quick test_timesteps;
+    Alcotest.test_case "result matches plain run" `Quick test_result_matches_plain_run;
+    Alcotest.test_case "file dump" `Quick test_file_dump;
+  ]

@@ -1,0 +1,75 @@
+open Logic
+
+let test_empty () =
+  let v = Vec.create () in
+  Alcotest.(check int) "length" 0 (Vec.length v);
+  Alcotest.(check bool) "is_empty" true (Vec.is_empty v);
+  Alcotest.(check (option int)) "pop" None (Vec.pop v);
+  Alcotest.(check (option int)) "last" None (Vec.last v)
+
+let test_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Alcotest.(check int) "push returns index" i (Vec.push v (i * 2))
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 0" 0 (Vec.get v 0);
+  Alcotest.(check int) "get 99" 198 (Vec.get v 99);
+  Alcotest.(check (option int)) "last" (Some 198) (Vec.last v)
+
+let test_set () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Vec.set v 1 42;
+  Alcotest.(check (list int)) "to_list" [ 1; 42; 3 ] (Vec.to_list v)
+
+let test_bounds () =
+  let v = Vec.of_list [ 1 ] in
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Vec: index 1 out of bounds (length 1)") (fun () ->
+      ignore (Vec.get v 1));
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Vec: index -1 out of bounds (length 1)") (fun () ->
+      ignore (Vec.get v (-1)))
+
+let test_pop () =
+  let v = Vec.of_list [ 1; 2 ] in
+  Alcotest.(check (option int)) "pop" (Some 2) (Vec.pop v);
+  Alcotest.(check int) "length after pop" 1 (Vec.length v);
+  Alcotest.(check (option int)) "pop" (Some 1) (Vec.pop v);
+  Alcotest.(check (option int)) "pop empty" None (Vec.pop v)
+
+let test_iterators () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  let sum = ref 0 in
+  Vec.iter (fun x -> sum := !sum + x) v;
+  Alcotest.(check int) "iter sum" 10 !sum;
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.(check int) "iteri count" 4 (List.length !acc);
+  Alcotest.(check int) "fold" 10 (Vec.fold ( + ) 0 v);
+  Alcotest.(check (list int)) "map" [ 2; 4; 6; 8 ] (Vec.to_list (Vec.map (fun x -> 2 * x) v));
+  Alcotest.(check bool) "exists true" true (Vec.exists (fun x -> x = 3) v);
+  Alcotest.(check bool) "exists false" false (Vec.exists (fun x -> x = 7) v)
+
+let test_clear () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v);
+  ignore (Vec.push v 9);
+  Alcotest.(check int) "reusable" 9 (Vec.get v 0)
+
+let test_to_array () =
+  let v = Vec.of_list [ 5; 6 ] in
+  Alcotest.(check (array int)) "to_array" [| 5; 6 |] (Vec.to_array v)
+
+let suite =
+  [
+    Alcotest.test_case "empty vector" `Quick test_empty;
+    Alcotest.test_case "push and get" `Quick test_push_get;
+    Alcotest.test_case "set" `Quick test_set;
+    Alcotest.test_case "bounds checking" `Quick test_bounds;
+    Alcotest.test_case "pop" `Quick test_pop;
+    Alcotest.test_case "iterators" `Quick test_iterators;
+    Alcotest.test_case "clear and reuse" `Quick test_clear;
+    Alcotest.test_case "to_array" `Quick test_to_array;
+  ]
