@@ -1,0 +1,74 @@
+(* fuzz: differential verification of the mapper.
+
+   Randomly generated networks are mapped under randomly sampled engine
+   configurations and cross-checked against three independent oracles
+   (BDD equivalence, bit-parallel evaluation, the switch-level PBE
+   simulator).  The first failure is shrunk to a minimal counterexample.
+
+   Examples:
+     fuzz --seed 1 --budget 200
+     fuzz --seed 7 --budget 500 --max-nodes 200 --json > report.json *)
+
+open Cmdliner
+
+let run seed budget max_nodes eval_vectors sim_pairs json verbose =
+  let params =
+    {
+      Check.Fuzz.default_params with
+      Check.Fuzz.seed;
+      budget;
+      max_nodes;
+      eval_vectors;
+      sim_pairs;
+      log = (if verbose && not json then prerr_endline else ignore);
+    }
+  in
+  let report = Check.Fuzz.run params in
+  if json then print_endline (Check.Report.to_json report)
+  else Format.printf "@[<v>%a@]@." Check.Report.pp_human report;
+  match report.Check.Report.counterexample with None -> 0 | Some _ -> 1
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Master random seed.")
+
+let budget =
+  Arg.(
+    value & opt int 100
+    & info [ "budget" ] ~docv:"N"
+        ~doc:"Number of (network, configuration) runs to execute.")
+
+let max_nodes =
+  Arg.(
+    value & opt int 400
+    & info [ "max-nodes" ] ~docv:"N"
+        ~doc:"Reject generated unate networks larger than $(docv) nodes.")
+
+let eval_vectors =
+  Arg.(
+    value & opt int 1024
+    & info [ "eval-vectors" ] ~docv:"N"
+        ~doc:"Input vectors per run for the bit-parallel oracle.")
+
+let sim_pairs =
+  Arg.(
+    value & opt int 16
+    & info [ "sim-pairs" ] ~docv:"N"
+        ~doc:"Hold/strike stimulus pairs per run for the PBE oracle.")
+
+let json =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the report as JSON on standard output.")
+
+let verbose =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log failures as they occur.")
+
+let cmd =
+  let doc = "differential fuzzing of the SOI domino mapper" in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run $ seed $ budget $ max_nodes $ eval_vectors $ sim_pairs $ json
+      $ verbose)
+
+let () = exit (Cmd.eval' cmd)

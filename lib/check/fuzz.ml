@@ -1,0 +1,166 @@
+open Unate
+
+(* The differential fuzz loop: generate a random multi-level network,
+   unate-decompose it, sample a mapper configuration, and drive the
+   mapped circuit through all three oracles.  The first failure is
+   shrunk to a minimal counterexample and reported.  Everything is
+   deterministic in [params.seed]. *)
+
+type params = {
+  seed : int;
+  budget : int;       (* number of (network, configuration) runs *)
+  max_nodes : int;    (* reject generated unate networks larger than this *)
+  eval_vectors : int; (* per-run budget of the bit-parallel oracle *)
+  sim_pairs : int;    (* per-run hold/strike pairs for the PBE oracle *)
+  shrink_checks : int;
+  log : string -> unit;
+}
+
+let default_params =
+  {
+    seed = 1;
+    budget = 100;
+    max_nodes = 400;
+    eval_vectors = 1024;
+    sim_pairs = 16;
+    shrink_checks = 2_000;
+    log = ignore;
+  }
+
+type net_shape = {
+  ns_seed : int;
+  ns_inputs : int;
+  ns_gates : int;
+  ns_outputs : int;
+}
+
+let usable u max_nodes =
+  Unetwork.node_count u >= 1
+  && Unetwork.node_count u <= max_nodes
+  && Shrink.valid u
+
+(* Draw generator parameters until decomposition yields a mappable
+   network.  Returns the attempts burned so the report can count them. *)
+let gen_unetwork rng max_nodes =
+  let rec attempt burned tries =
+    if tries = 0 then (None, burned)
+    else begin
+      let open Logic in
+      let shape =
+        {
+          ns_seed = Rng.int rng 1_000_000;
+          ns_inputs = Rng.int_in rng 4 9;
+          ns_gates = Rng.int_in rng 6 40;
+          ns_outputs = Rng.int_in rng 1 4;
+        }
+      in
+      let net =
+        Gen.Random_logic.generate
+          (Gen.Random_logic.default
+             ~name:(Printf.sprintf "fuzz%d" shape.ns_seed)
+             ~inputs:shape.ns_inputs ~gates:shape.ns_gates
+             ~outputs:shape.ns_outputs ~seed:shape.ns_seed)
+      in
+      let u = Mapper.Algorithms.prepare net in
+      if usable u max_nodes then (Some (u, shape), burned)
+      else attempt (burned + 1) (tries - 1)
+    end
+  in
+  attempt 0 8
+
+let run params =
+  let rng = Logic.Rng.create (params.seed lxor 0xF022) in
+  let runs = ref 0 and skipped = ref 0 in
+  let eval_vectors = ref 0 and sim_cycles = ref 0 in
+  let bdd_exact_runs = ref 0 in
+  let stripped_probes = ref 0 and stripped_event_probes = ref 0 in
+  let counterexample = ref None in
+  let exhausted = ref false in
+  while (not !exhausted) && !runs < params.budget && !counterexample = None do
+    let candidate, burned = gen_unetwork rng params.max_nodes in
+    skipped := !skipped + burned;
+    match candidate with
+    | None -> exhausted := true  (* generator gave up; report honest counts *)
+    | Some (u, shape) -> (
+        incr runs;
+        let cfg = Gen_config.sample rng in
+        let oracle_seed = Logic.Rng.int rng 0x3FFFFFFF in
+        let check u cfg =
+          Oracle.check ~eval_vectors:params.eval_vectors
+            ~sim_pairs:params.sim_pairs ~seed:oracle_seed u cfg
+        in
+        match check u cfg with
+        | Oracle.Pass stats ->
+            eval_vectors := !eval_vectors + stats.Oracle.eval_vectors;
+            sim_cycles := !sim_cycles + stats.Oracle.sim_cycles;
+            if stats.Oracle.bdd_exact then incr bdd_exact_runs;
+            (* Negative oracle: stripping protection from a mapping that
+               carries discharge transistors should eventually fire PBE
+               events somewhere across the run. *)
+            let circuit = Oracle.build u cfg in
+            if
+              (Domino.Circuit.counts circuit).Domino.Circuit.t_disch > 0
+              && !stripped_probes < 32
+            then begin
+              incr stripped_probes;
+              if
+                Oracle.stripped_events ~sim_pairs:params.sim_pairs
+                  ~seed:oracle_seed circuit
+                > 0
+              then incr stripped_event_probes
+            end
+        | Oracle.Fail f ->
+            params.log
+              (Printf.sprintf "run %d FAILED (%s): %s — shrinking" !runs
+                 (Oracle.kind_name f.Oracle.kind)
+                 f.Oracle.detail);
+            let fails u' cfg' =
+              match check u' cfg' with
+              | Oracle.Fail f' -> f'.Oracle.kind = f.Oracle.kind
+              | Oracle.Pass _ -> false
+            in
+            let shrunk =
+              Shrink.minimize ~max_checks:params.shrink_checks ~fails u cfg
+            in
+            (* Re-run the shrunk pair to report its (possibly sharper)
+               failure detail. *)
+            let detail, cex_input, cex_output =
+              match check shrunk.Shrink.u shrunk.Shrink.cfg with
+              | Oracle.Fail f' ->
+                  (f'.Oracle.detail, f'.Oracle.cex_input, f'.Oracle.cex_output)
+              | Oracle.Pass _ ->
+                  (f.Oracle.detail, f.Oracle.cex_input, f.Oracle.cex_output)
+            in
+            counterexample :=
+              Some
+                {
+                  Report.run = !runs;
+                  net_seed = shape.ns_seed;
+                  net_inputs = shape.ns_inputs;
+                  net_gates = shape.ns_gates;
+                  net_outputs = shape.ns_outputs;
+                  oracle = Oracle.kind_name f.Oracle.kind;
+                  detail;
+                  cex_input = Option.map Report.bits_of_input cex_input;
+                  cex_output;
+                  config = cfg;
+                  shrunk_nodes = Unetwork.node_count shrunk.Shrink.u;
+                  shrunk_outputs =
+                    Array.length (Unetwork.outputs shrunk.Shrink.u);
+                  shrunk_config = shrunk.Shrink.cfg;
+                  shrunk_dump = Report.dump_unetwork shrunk.Shrink.u;
+                  shrink_checks = shrunk.Shrink.checks;
+                })
+  done;
+  {
+    Report.seed = params.seed;
+    budget = params.budget;
+    runs = !runs;
+    skipped = !skipped;
+    eval_vectors = !eval_vectors;
+    sim_cycles = !sim_cycles;
+    bdd_exact_runs = !bdd_exact_runs;
+    stripped_probes = !stripped_probes;
+    stripped_event_probes = !stripped_event_probes;
+    counterexample = !counterexample;
+  }

@@ -1,0 +1,112 @@
+open Mapper
+
+(* A mapper configuration under test: engine options plus the optional
+   stack-rearrangement postprocess the paper's RS_Map / SOI_Domino_Map
+   flows apply.  [Fuzz] samples these; [Shrink] simplifies them. *)
+
+type t = {
+  opts : Engine.options;
+  rearrange : bool;
+}
+
+let default = { opts = Engine.default_options; rearrange = false }
+
+let cost_models =
+  [| Cost.area; Cost.clock_weighted 2; Cost.clock_weighted 4; Cost.depth_soi;
+     Cost.depth_bulk |]
+
+let cost_by_name name =
+  Array.to_list cost_models
+  |> List.find_opt (fun (m : Cost.model) -> m.Cost.name = name)
+
+(* Uniform sample over the whole configuration space the engine accepts. *)
+let sample rng =
+  let open Logic in
+  let style = if Rng.bool rng then Engine.Bulk else Engine.Soi in
+  {
+    opts =
+      {
+        Engine.w_max = Rng.int_in rng 2 6;
+        h_max = Rng.int_in rng 2 10;
+        style;
+        cost = cost_models.(Rng.int rng (Array.length cost_models));
+        both_orders = Rng.bool rng;
+        grounded_at_foot = Rng.bool rng;
+        pareto_width = Rng.int_in rng 1 4;
+      };
+    rearrange = Rng.bool rng;
+  }
+
+(* Deterministic sweep used by the suite-agreement tests: every style ×
+   order heuristic × foot assumption × frontier width over three W/H
+   envelopes, all under the area model. *)
+let grid () =
+  List.concat_map
+    (fun style ->
+      List.concat_map
+        (fun both_orders ->
+          List.concat_map
+            (fun grounded_at_foot ->
+              List.concat_map
+                (fun pareto_width ->
+                  List.map
+                    (fun (w_max, h_max) ->
+                      {
+                        opts =
+                          {
+                            Engine.w_max;
+                            h_max;
+                            style;
+                            cost = Cost.area;
+                            both_orders;
+                            grounded_at_foot;
+                            pareto_width;
+                          };
+                        rearrange = false;
+                      })
+                    [ (2, 2); (3, 4); (5, 8) ])
+                [ 1; 3 ])
+            [ true; false ])
+        [ true; false ])
+    [ Engine.Bulk; Engine.Soi ]
+
+let style_name = function Engine.Bulk -> "bulk" | Engine.Soi -> "soi"
+
+let describe c =
+  Printf.sprintf "%s w<=%d h<=%d cost=%s orders=%s foot=%s width=%d%s"
+    (style_name c.opts.Engine.style)
+    c.opts.Engine.w_max c.opts.Engine.h_max c.opts.Engine.cost.Cost.name
+    (if c.opts.Engine.both_orders then "both" else "heuristic")
+    (if c.opts.Engine.grounded_at_foot then "grounded" else "floating")
+    c.opts.Engine.pareto_width
+    (if c.rearrange then " +rearrange" else "")
+
+(* How far a configuration sits from the simplest one of its style; the
+   shrinker only accepts steps that lower this. *)
+let complexity c =
+  c.opts.Engine.w_max + c.opts.Engine.h_max + c.opts.Engine.pareto_width
+  + (if c.opts.Engine.both_orders then 0 else 1)
+  + (if c.opts.Engine.grounded_at_foot then 0 else 1)
+  + (if c.opts.Engine.cost.Cost.name = Cost.area.Cost.name then 0 else 1)
+  + if c.rearrange then 1 else 0
+
+(* One-field simplifications toward the defaults.  The style is never
+   changed: a counterexample is a property of its style's rule set. *)
+let simpler c =
+  let o = c.opts in
+  let candidates =
+    [
+      { c with rearrange = false };
+      { c with opts = { o with Engine.cost = Cost.area } };
+      { c with opts = { o with Engine.both_orders = true } };
+      { c with opts = { o with Engine.grounded_at_foot = true } };
+      { c with opts = { o with Engine.pareto_width = 1 } };
+      { c with opts = { o with Engine.w_max = o.Engine.w_max - 1 } };
+      { c with opts = { o with Engine.h_max = o.Engine.h_max - 1 } };
+    ]
+  in
+  List.filter
+    (fun c' ->
+      c'.opts.Engine.w_max >= 2 && c'.opts.Engine.h_max >= 2
+      && complexity c' < complexity c)
+    candidates

@@ -1,0 +1,191 @@
+open Mapper
+open Domino
+
+(* Cross-checks one mapped circuit against three independent oracles:
+
+     1. BDD equivalence ([Logic.Equiv]) on the network reconstructed from
+        the domino circuit, with a Monte-Carlo fallback ([Logic.Eval])
+        when the BDD node limit is hit;
+     2. bit-parallel evaluation: [Circuit.eval64] against
+        [Unetwork.eval64] on random 64-wide vectors — a code path that
+        shares nothing with the BDD reconstruction;
+     3. the switch-level PBE simulator ([Sim.Domino_sim]): a properly
+        discharged mapping must produce zero parasitic-bipolar events and
+        zero corrupted cycles under body-charging hold/strike stimulus.
+
+   Structural validation and mapper crashes are reported as their own
+   failure kinds so the shrinker can preserve them. *)
+
+type kind = Structure | Bdd | Eval | Pbe | Crash
+
+let kind_name = function
+  | Structure -> "structure"
+  | Bdd -> "bdd"
+  | Eval -> "eval"
+  | Pbe -> "pbe"
+  | Crash -> "crash"
+
+type failure = {
+  kind : kind;
+  detail : string;
+  cex_input : bool array option;  (* concrete input assignment, if known *)
+  cex_output : string option;
+}
+
+type stats = {
+  eval_vectors : int;  (* vectors checked by the bit-parallel oracle *)
+  sim_cycles : int;    (* clock cycles simulated by the PBE oracle *)
+  bdd_exact : bool;    (* false when the BDD limit forced the MC fallback *)
+}
+
+type verdict = Pass of stats | Fail of failure
+
+let fail kind fmt =
+  Printf.ksprintf
+    (fun detail -> Fail { kind; detail; cex_input = None; cex_output = None })
+    fmt
+
+(* Map [u] under [cfg], applying the flow postprocess the paper pairs with
+   each style: bulk circuits get their discharge transistors from the
+   standalone analysis pass, SOI circuits carry the engine's own. *)
+let build u (cfg : Gen_config.t) =
+  let circuit, _stats = Engine.map cfg.Gen_config.opts u in
+  let circuit =
+    match cfg.Gen_config.opts.Engine.style with
+    | Engine.Bulk -> Postprocess.insert_discharges circuit
+    | Engine.Soi -> circuit
+  in
+  if cfg.Gen_config.rearrange then Postprocess.rearrange_stacks circuit
+  else circuit
+
+let check_bdd u circuit =
+  let source = Unate.Unetwork.to_network u in
+  match Circuit.equivalent_exact circuit source with
+  | Logic.Equiv.Equivalent -> Ok true
+  | Logic.Equiv.Counterexample { input; output } ->
+      Error
+        {
+          kind = Bdd;
+          detail = "BDD reconstruction differs from source";
+          cex_input = Some input;
+          cex_output = Some output;
+        }
+  | Logic.Equiv.Unknown _ -> (
+      (* BDD blew past its node limit; fall back to Monte-Carlo over the
+         same reconstruction so big circuits are still covered. *)
+      match Logic.Eval.counterexample source (Circuit.to_network circuit) with
+      | None -> Ok false
+      | Some (input, output) ->
+          Error
+            {
+              kind = Bdd;
+              detail = "MC fallback: reconstruction differs from source";
+              cex_input = Some input;
+              cex_output = Some output;
+            })
+
+let check_eval ~vectors ~rng u circuit =
+  let n = Array.length (Unate.Unetwork.inputs u) in
+  let rounds = (vectors + 63) / 64 in
+  let failure = ref None in
+  let round = ref 0 in
+  while !failure = None && !round < rounds do
+    incr round;
+    let words = Array.init n (fun _ -> Logic.Rng.next64 rng) in
+    let rc = Circuit.eval64 circuit words in
+    let ru = Unate.Unetwork.eval64 u words in
+    let tbl = Hashtbl.create 16 in
+    Array.iter (fun (nm, v) -> Hashtbl.replace tbl nm v) ru;
+    Array.iter
+      (fun (nm, v) ->
+        if !failure = None then
+          match Hashtbl.find_opt tbl nm with
+          | Some v' when v = v' -> ()
+          | Some v' ->
+              let diff = Int64.logxor v v' in
+              let lane = ref 0 in
+              while
+                Int64.logand (Int64.shift_right_logical diff !lane) 1L = 0L
+              do
+                incr lane
+              done;
+              let input =
+                Array.map
+                  (fun w ->
+                    Int64.logand (Int64.shift_right_logical w !lane) 1L = 1L)
+                  words
+              in
+              failure :=
+                Some
+                  {
+                    kind = Eval;
+                    detail = "bit-parallel evaluation differs from source";
+                    cex_input = Some input;
+                    cex_output = Some nm;
+                  }
+          | None ->
+              failure :=
+                Some
+                  {
+                    kind = Eval;
+                    detail = Printf.sprintf "output %s missing from circuit" nm;
+                    cex_input = None;
+                    cex_output = Some nm;
+                  })
+      rc
+  done;
+  match !failure with Some f -> Error f | None -> Ok (rounds * 64)
+
+let check_pbe ~pairs ~rng circuit =
+  let n = Array.length circuit.Circuit.input_names in
+  let stimulus =
+    Sim.Domino_sim.hold_strike_stimulus ~rng ~pairs n
+    @ List.init 32 (fun _ -> Array.init n (fun _ -> Logic.Rng.bool rng))
+  in
+  let cycles = List.length stimulus in
+  let r = Sim.Domino_sim.run circuit stimulus in
+  if r.Sim.Domino_sim.total_events > 0 || r.Sim.Domino_sim.corrupted_cycles > 0
+  then
+    Error
+      {
+        kind = Pbe;
+        detail =
+          Printf.sprintf
+            "%d parasitic-bipolar events, %d corrupted cycles on a protected \
+             mapping"
+            r.Sim.Domino_sim.total_events r.Sim.Domino_sim.corrupted_cycles;
+        cex_input = None;
+        cex_output = None;
+      }
+  else Ok cycles
+
+let check ?(eval_vectors = 2048) ?(sim_pairs = 24) ?(seed = 0) u cfg =
+  match build u cfg with
+  | exception e -> fail Crash "mapper raised: %s" (Printexc.to_string e)
+  | circuit -> (
+      match Circuit.validate circuit with
+      | Error e -> fail Structure "invalid circuit: %s" e
+      | Ok () -> (
+          match check_bdd u circuit with
+          | Error f -> Fail f
+          | Ok bdd_exact -> (
+              let rng = Logic.Rng.create (seed lxor 0xD1FF) in
+              match check_eval ~vectors:eval_vectors ~rng u circuit with
+              | Error f -> Fail f
+              | Ok eval_vectors -> (
+                  match check_pbe ~pairs:sim_pairs ~rng circuit with
+                  | Error f -> Fail f
+                  | Ok sim_cycles -> Pass { eval_vectors; sim_cycles; bdd_exact }
+                  ))))
+
+(* Negative oracle: the same stimulus against the mapping with its
+   discharge transistors stripped.  Returns the event count — the caller
+   aggregates, because a single circuit is not guaranteed to expose PBE
+   (its stacks may all be parallel-free). *)
+let stripped_events ?(sim_pairs = 48) ?(seed = 0) circuit =
+  let stripped = Postprocess.strip_discharges circuit in
+  let n = Array.length circuit.Circuit.input_names in
+  let rng = Logic.Rng.create (seed lxor 0x57A1) in
+  let stimulus = Sim.Domino_sim.hold_strike_stimulus ~rng ~pairs:sim_pairs n in
+  let r = Sim.Domino_sim.run stripped stimulus in
+  r.Sim.Domino_sim.total_events

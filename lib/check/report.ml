@@ -1,0 +1,150 @@
+open Unate
+
+(* Per-run statistics and JSON emission for the differential fuzzer.  The
+   JSON is hand-assembled: the report schema is flat and small, and the
+   repo deliberately avoids external dependencies. *)
+
+type counterexample = {
+  run : int;            (* 1-based index of the failing run *)
+  net_seed : int;       (* Random_logic seed that rebuilds the network *)
+  net_inputs : int;
+  net_gates : int;
+  net_outputs : int;
+  oracle : string;      (* which oracle tripped: structure/bdd/eval/pbe/crash *)
+  detail : string;
+  cex_input : string option;   (* failing input assignment, LSB-first bits *)
+  cex_output : string option;
+  config : Gen_config.t;
+  shrunk_nodes : int;
+  shrunk_outputs : int;
+  shrunk_config : Gen_config.t;
+  shrunk_dump : string;        (* textual unate network, replayable by hand *)
+  shrink_checks : int;
+}
+
+type t = {
+  seed : int;
+  budget : int;
+  runs : int;               (* runs actually executed (≤ budget) *)
+  skipped : int;            (* generation attempts that produced no usable net *)
+  eval_vectors : int;       (* total vectors through the bit-parallel oracle *)
+  sim_cycles : int;         (* total cycles through the PBE simulator *)
+  bdd_exact_runs : int;     (* runs where the BDD oracle completed exactly *)
+  stripped_probes : int;    (* negative-oracle probes attempted *)
+  stripped_event_probes : int;  (* probes where stripping produced PBE events *)
+  counterexample : counterexample option;
+}
+
+(* ---------------- textual network dump ---------------- *)
+
+let fin_to_string u = function
+  | Unetwork.F_const b -> if b then "1" else "0"
+  | Unetwork.F_node i -> Printf.sprintf "n%d" i
+  | Unetwork.F_lit { input; positive } ->
+      Printf.sprintf "%s%s"
+        (if positive then "" else "~")
+        (Unetwork.inputs u).(input)
+
+let dump_unetwork u =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    ("inputs " ^ String.concat " " (Array.to_list (Unetwork.inputs u)) ^ "\n");
+  for i = 0 to Unetwork.node_count u - 1 do
+    let nd = Unetwork.node u i in
+    Buffer.add_string b
+      (Printf.sprintf "n%d = %s %s %s\n" i
+         (match nd.Unetwork.kind with Unetwork.U_and -> "and" | Unetwork.U_or -> "or")
+         (fin_to_string u nd.Unetwork.fanin0)
+         (fin_to_string u nd.Unetwork.fanin1))
+  done;
+  Array.iter
+    (fun (nm, f) ->
+      Buffer.add_string b (Printf.sprintf "output %s = %s\n" nm (fin_to_string u f)))
+    (Unetwork.outputs u);
+  Buffer.contents b
+
+let bits_of_input input =
+  String.init (Array.length input) (fun i -> if input.(i) then '1' else '0')
+
+(* ---------------- JSON ---------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+
+let json_opt = function None -> "null" | Some s -> json_str s
+
+let json_of_config (c : Gen_config.t) =
+  let open Mapper in
+  Printf.sprintf
+    "{\"style\": %s, \"w_max\": %d, \"h_max\": %d, \"cost\": %s, \
+     \"both_orders\": %b, \"grounded_at_foot\": %b, \"pareto_width\": %d, \
+     \"rearrange\": %b}"
+    (json_str (Gen_config.style_name c.Gen_config.opts.Engine.style))
+    c.Gen_config.opts.Engine.w_max c.Gen_config.opts.Engine.h_max
+    (json_str c.Gen_config.opts.Engine.cost.Cost.name)
+    c.Gen_config.opts.Engine.both_orders
+    c.Gen_config.opts.Engine.grounded_at_foot
+    c.Gen_config.opts.Engine.pareto_width c.Gen_config.rearrange
+
+let json_of_counterexample cex =
+  Printf.sprintf
+    "{\"run\": %d, \"net_seed\": %d, \"net_inputs\": %d, \"net_gates\": %d, \
+     \"net_outputs\": %d, \"oracle\": %s, \"detail\": %s, \"cex_input\": %s, \
+     \"cex_output\": %s, \"config\": %s, \"shrunk_nodes\": %d, \
+     \"shrunk_outputs\": %d, \"shrunk_config\": %s, \"shrink_checks\": %d, \
+     \"shrunk_network\": %s}"
+    cex.run cex.net_seed cex.net_inputs cex.net_gates cex.net_outputs
+    (json_str cex.oracle) (json_str cex.detail) (json_opt cex.cex_input)
+    (json_opt cex.cex_output)
+    (json_of_config cex.config)
+    cex.shrunk_nodes cex.shrunk_outputs
+    (json_of_config cex.shrunk_config)
+    cex.shrink_checks (json_str cex.shrunk_dump)
+
+let to_json r =
+  Printf.sprintf
+    "{\"seed\": %d, \"budget\": %d, \"runs\": %d, \"skipped\": %d, \
+     \"eval_vectors\": %d, \"sim_cycles\": %d, \"bdd_exact_runs\": %d, \
+     \"stripped_probes\": %d, \"stripped_event_probes\": %d, \
+     \"counterexample\": %s}"
+    r.seed r.budget r.runs r.skipped r.eval_vectors r.sim_cycles
+    r.bdd_exact_runs r.stripped_probes r.stripped_event_probes
+    (match r.counterexample with
+    | None -> "null"
+    | Some cex -> json_of_counterexample cex)
+
+let pp_human fmt r =
+  Format.fprintf fmt
+    "fuzz: seed=%d budget=%d runs=%d skipped=%d@,\
+    \  oracles: %d eval vectors, %d sim cycles, %d/%d runs BDD-exact@,\
+    \  negative oracle: %d/%d stripped probes exhibited PBE@,"
+    r.seed r.budget r.runs r.skipped r.eval_vectors r.sim_cycles
+    r.bdd_exact_runs r.runs r.stripped_event_probes r.stripped_probes;
+  match r.counterexample with
+  | None -> Format.fprintf fmt "  no counterexample found@,"
+  | Some cex ->
+      Format.fprintf fmt
+        "  COUNTEREXAMPLE at run %d (oracle %s): %s@,\
+        \  network: seed=%d inputs=%d gates=%d outputs=%d@,\
+        \  config: %s@,\
+        \  shrunk to %d nodes, %d outputs under %s (%d shrink checks)@,%s"
+        cex.run cex.oracle cex.detail cex.net_seed cex.net_inputs cex.net_gates
+        cex.net_outputs
+        (Gen_config.describe cex.config)
+        cex.shrunk_nodes cex.shrunk_outputs
+        (Gen_config.describe cex.shrunk_config)
+        cex.shrink_checks cex.shrunk_dump

@@ -1,0 +1,105 @@
+open Unate
+
+(* Greedy delta-debugging of a failing (unate network, configuration)
+   pair.  Structural steps delete work from the network — dropping
+   primary outputs and bypassing nodes with one of their fanins — and
+   every candidate is renormalised through the network round-trip, which
+   constant-folds, hash-conses and sweeps dead logic.  Configuration
+   steps move options toward the defaults.  A candidate is accepted only
+   when the caller's [fails] predicate still holds (the fuzzer passes a
+   predicate that also matches the original failure kind, so a crash
+   cannot masquerade as a logic bug during shrinking). *)
+
+type result = {
+  u : Unetwork.t;
+  cfg : Gen_config.t;
+  checks : int;  (* oracle invocations spent shrinking *)
+}
+
+let nodes_of u = Array.init (Unetwork.node_count u) (Unetwork.node u)
+
+(* Renormalise a raw node/output edit back into a well-formed network:
+   constants fold, duplicates hash-cons, dead nodes sweep. *)
+let rebuild u nodes outs = Unetwork.with_structure u ~nodes ~outputs:outs
+
+let bypass nodes outs ~target ~repl =
+  let fix f = if f = Unetwork.F_node target then repl else f in
+  let nodes =
+    Array.map
+      (fun nd ->
+        { nd with Unetwork.fanin0 = fix nd.Unetwork.fanin0;
+          fanin1 = fix nd.Unetwork.fanin1 })
+      nodes
+  in
+  let outs = Array.map (fun (nm, f) -> (nm, fix f)) outs in
+  (nodes, outs)
+
+(* Mapper inputs must drive non-constant outputs; candidates that folded
+   an output to a constant are not counterexamples, they are rejects. *)
+let valid u =
+  let outs = Unetwork.outputs u in
+  Array.length outs > 0
+  && Array.for_all
+       (fun (_, f) ->
+         match f with Unetwork.F_const _ -> false | _ -> true)
+       outs
+
+let structural_candidates u cfg =
+  let nodes = nodes_of u and outs = Unetwork.outputs u in
+  let restrictions =
+    if Array.length outs <= 1 then []
+    else
+      List.init (Array.length outs) (fun k ->
+          (rebuild u nodes [| outs.(k) |], cfg))
+  in
+  let bypasses =
+    List.concat
+      (List.init (Array.length nodes) (fun back ->
+           let i = Array.length nodes - 1 - back in
+           let nd = nodes.(i) in
+           List.map
+             (fun repl ->
+               let nodes', outs' = bypass nodes outs ~target:i ~repl in
+               (rebuild u nodes' outs', cfg))
+             [ nd.Unetwork.fanin0; nd.Unetwork.fanin1 ]))
+  in
+  restrictions @ bypasses
+
+let config_candidates u cfg =
+  List.map (fun cfg' -> (u, cfg')) (Gen_config.simpler cfg)
+
+(* Lexicographic measure: nodes, then outputs, then option complexity.
+   Every accepted step strictly decreases it, so the loop terminates. *)
+let score u cfg =
+  (Unetwork.node_count u * 100_000)
+  + (Array.length (Unetwork.outputs u) * 1_000)
+  + Gen_config.complexity cfg
+
+let minimize ?(max_checks = 2_000) ~fails u0 cfg0 =
+  let checks = ref 0 in
+  let still_fails u cfg =
+    !checks < max_checks
+    && begin
+         incr checks;
+         fails u cfg
+       end
+  in
+  let current = ref (u0, cfg0) in
+  let improved = ref true in
+  while !improved && !checks < max_checks do
+    improved := false;
+    let u, cfg = !current in
+    let sc = score u cfg in
+    (try
+       List.iter
+         (fun (u', cfg') ->
+           if valid u' && score u' cfg' < sc && still_fails u' cfg' then begin
+             current := (u', cfg');
+             improved := true;
+             raise Exit
+           end)
+         (structural_candidates u cfg @ config_candidates u cfg)
+     with Exit -> ())
+  done;
+  let u, cfg = !current in
+  { u; cfg; checks = !checks }

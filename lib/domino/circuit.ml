@@ -157,7 +157,8 @@ let to_network c =
     c.outputs;
   Logic.Builder.network b
 
-let equivalent_exact ?limit c source = Logic.Equiv.networks ?limit source (to_network c)
+let equivalent_exact ?limit c source =
+  Logic.Equiv.networks_per_output ?limit source (to_network c)
 
 let pp fmt c =
   Format.fprintf fmt "@[<v>domino circuit %s: %d gates@," c.source (Array.length c.gates);

@@ -34,6 +34,61 @@ let networks ?(limit = 2_000_000) a b =
     end
   end
 
+(* Single-output cone of [root], keeping every primary input so both
+   sides of a comparison agree on input positions. *)
+let cone n po_name root =
+  let keep = Array.make (Network.node_count n) false in
+  let rec mark id =
+    if not keep.(id) then begin
+      keep.(id) <- true;
+      Array.iter mark (Network.node n id).Network.fanins
+    end
+  in
+  mark root;
+  let out = Network.create ~name:(Network.name n ^ "#" ^ po_name) () in
+  let remap = Array.make (Network.node_count n) (-1) in
+  Array.iter
+    (fun id ->
+      remap.(id) <- Network.add_input ~name:(Network.input_name n id) out)
+    (Network.inputs n);
+  Network.iter_nodes
+    (fun nd ->
+      if keep.(nd.Network.id) && remap.(nd.Network.id) < 0 then
+        remap.(nd.Network.id) <-
+          (match nd.Network.func with
+          | Network.Input -> assert false (* pre-added above *)
+          | Network.Const b -> Network.add_const out b
+          | Network.Gate g ->
+              Network.add_gate out g
+                (Array.map (fun f -> remap.(f)) nd.Network.fanins)))
+    n;
+  Network.set_output out po_name remap.(root);
+  out
+
+let networks_per_output ?limit a b =
+  let na = Array.length (Network.inputs a) in
+  let nb = Array.length (Network.inputs b) in
+  if na <> nb then Unknown (Printf.sprintf "input counts differ: %d vs %d" na nb)
+  else begin
+    let names o = Array.to_list (Array.map fst o) |> List.sort_uniq compare in
+    if names (Network.outputs a) <> names (Network.outputs b) then
+      Unknown "output name sets differ"
+    else begin
+      let roots_b = Hashtbl.create 16 in
+      Array.iter (fun (nm, id) -> Hashtbl.replace roots_b nm id) (Network.outputs b);
+      let result = ref Equivalent in
+      Array.iter
+        (fun (nm, ra) ->
+          if !result = Equivalent then
+            let rb = Hashtbl.find roots_b nm in
+            match networks ?limit (cone a nm ra) (cone b nm rb) with
+            | Equivalent -> ()
+            | v -> result := v)
+        (Network.outputs a);
+      !result
+    end
+  end
+
 let check ?limit a b = networks ?limit a b = Equivalent
 
 let pp_verdict fmt = function

@@ -18,6 +18,14 @@ val networks : ?limit:int -> Network.t -> Network.t -> verdict
 (** [networks a b] compares two networks.  [limit] bounds the BDD size
     (default 2,000,000 nodes) before giving up with [Unknown]. *)
 
+val networks_per_output : ?limit:int -> Network.t -> Network.t -> verdict
+(** [networks_per_output a b] is {!networks}, but each output pair is
+    compared in its own BDD manager over its own fanin cone (every
+    primary input is kept, so counterexample vectors index the full
+    input set).  Memory is bounded per cone instead of per network,
+    which completes on wide circuits whose combined BDDs blow past the
+    node limit.  The first non-equivalent verdict is returned. *)
+
 val check : ?limit:int -> Network.t -> Network.t -> bool
 (** [check a b] is [true] exactly for [Equivalent].  [Unknown] is treated
     as failure. *)

@@ -50,6 +50,48 @@ let eval_outputs64 n words =
 
 let random_words rng k = Array.init k (fun _ -> Rng.next64 rng)
 
+(* Monte-Carlo counterexample search: evaluate both networks on random
+   64-bit word vectors and, on the first disagreeing word, extract the
+   concrete input assignment of the first differing bit lane.  Returns
+   [None] when the networks agree on every vector tried (which is not a
+   proof of equivalence). *)
+let counterexample ?(vectors = 4096) ?(seed = 0x5151) a b =
+  let na = Array.length (Network.inputs a) in
+  if na <> Array.length (Network.inputs b) then
+    invalid_arg "Eval.counterexample: input counts differ";
+  let rounds = (vectors + 63) / 64 in
+  let rng = Rng.create seed in
+  let found = ref None in
+  let round = ref 0 in
+  while !found = None && !round < rounds do
+    incr round;
+    let words = random_words rng na in
+    let ra = eval_outputs64 a words and rb = eval_outputs64 b words in
+    let tbl = Hashtbl.create 16 in
+    Array.iter (fun (nm, v) -> Hashtbl.replace tbl nm v) rb;
+    Array.iter
+      (fun (nm, v) ->
+        if !found = None then
+          match Hashtbl.find_opt tbl nm with
+          | Some v' when v = v' -> ()
+          | Some v' ->
+              let diff = Int64.logxor v v' in
+              let lane = ref 0 in
+              while Int64.logand (Int64.shift_right_logical diff !lane) 1L = 0L do
+                incr lane
+              done;
+              let input =
+                Array.map
+                  (fun w ->
+                    Int64.logand (Int64.shift_right_logical w !lane) 1L = 1L)
+                  words
+              in
+              found := Some (input, nm)
+          | None -> found := Some (Array.make na false, nm))
+      ra
+  done;
+  !found
+
 let equivalent ?(vectors = 4096) ?(seed = 0x5151) a b =
   let na = Array.length (Network.inputs a) in
   let nb = Array.length (Network.inputs b) in

@@ -24,6 +24,17 @@ val eval_outputs64 : Network.t -> int64 array -> (string * int64) array
 val random_words : Rng.t -> int -> int64 array
 (** [random_words rng k] draws [k] random stimulus words. *)
 
+val counterexample :
+  ?vectors:int -> ?seed:int -> Network.t -> Network.t ->
+  (bool array * string) option
+(** [counterexample a b] searches random 64-way parallel vectors for an
+    input on which the networks disagree, returning the concrete input
+    assignment and the differing output's name.  [None] means no
+    disagreement was found within [vectors] (default 4096) — not a proof
+    of equivalence.  Outputs are matched by name; outputs of [a] missing
+    from [b] are reported with an all-false assignment.
+    @raise Invalid_argument if the input counts differ. *)
+
 val equivalent : ?vectors:int -> ?seed:int -> Network.t -> Network.t -> bool
 (** [equivalent a b] compares two networks by random simulation.  The
     networks must have the same number of inputs (matched by position) and

@@ -62,6 +62,10 @@ let map options u =
   let slot w h = ((w - 1) * options.h_max) + (h - 1) in
 
   let key s = Cost.key model s.Soi_rules.value in
+  (* Truncate a sorted frontier to [k] tuples in one pass. *)
+  let rec take k xs =
+    match xs with x :: rest when k > 0 -> x :: take (k - 1) rest | _ -> []
+  in
   (* [a] dominates [b] when it is at least as good on the cost key and the
      potential-discharge count with the same bottom shape. *)
   let dominates a b =
@@ -76,12 +80,8 @@ let map options u =
       if not (List.exists (fun old -> dominates old s) kept) then begin
         let kept = List.filter (fun old -> not (dominates s old)) kept in
         let kept = List.sort (Soi_rules.compare_sols model) (s :: kept) in
-        let kept =
-          (* Cap the frontier; the sort keeps the cheapest tuples. *)
-          if List.length kept > options.pareto_width then
-            List.filteri (fun j _ -> j < options.pareto_width) kept
-          else kept
-        in
+        (* Cap the frontier; the sort keeps the cheapest tuples. *)
+        let kept = take options.pareto_width kept in
         entry.table.(i) <- kept;
         incr tuples_kept
       end

@@ -329,6 +329,20 @@ let exhaustive_pbe_hunt ?(config = default_config) ?(max_inputs = 10) (c : Circu
   done;
   { pairs_tried = !pairs_tried; failing_pairs = List.rev !failing }
 
+(* Hold/strike stimulus: each pair holds one vector long enough for
+   floating bodies to drift high, then strikes with a second vector so
+   that sources fall while drains stay charged — the exact sequence that
+   triggers the parasitic bipolar on an unprotected stack.  Random cycles
+   alone almost never sustain a body long enough; this is the waveform
+   [exhaustive_pbe_hunt] enumerates, sampled instead of enumerated. *)
+let hold_strike_stimulus ?(config = default_config) ~rng ~pairs n_inputs =
+  let hold_cycles = config.body_charge_cycles + 1 in
+  List.concat
+    (List.init pairs (fun _ ->
+         let hold = Array.init n_inputs (fun _ -> Logic.Rng.bool rng) in
+         let strike = Array.init n_inputs (fun _ -> Logic.Rng.bool rng) in
+         List.init hold_cycles (fun _ -> hold) @ [ strike ]))
+
 let pbe_free ?config ?(cycles = 256) ?(seed = 0xBEEF) (c : Circuit.t) =
   let n_inputs = Array.length c.Circuit.input_names in
   let rng = Logic.Rng.create seed in

@@ -74,6 +74,15 @@ val run : ?config:config -> Domino.Circuit.t -> bool array list -> result
     @raise Invalid_argument if a vector's width does not match the
     circuit's inputs. *)
 
+val hold_strike_stimulus :
+  ?config:config -> rng:Logic.Rng.t -> pairs:int -> int -> bool array list
+(** [hold_strike_stimulus ~rng ~pairs n_inputs] draws [pairs] random
+    (hold, strike) vector pairs and expands each into the body-charging
+    waveform of {!exhaustive_pbe_hunt}: the hold vector repeated for
+    [config.body_charge_cycles + 1] cycles, then the strike vector.  This
+    is the stimulus shape that exposes parasitic-bipolar failures; plain
+    random cycles almost never sustain a body long enough. *)
+
 val pbe_free : ?config:config -> ?cycles:int -> ?seed:int -> Domino.Circuit.t -> bool
 (** [pbe_free c] drives [cycles] (default 256) random vectors and reports
     whether no bipolar event fired and no output was ever corrupted. *)

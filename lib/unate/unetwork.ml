@@ -68,6 +68,38 @@ let mk bu kind a b =
         f
   end
 
+(* Sweep: keep only builder nodes reachable from the outputs, preserving
+   order, and package the result. *)
+let sweep bu outs ~src ~input_names =
+  let total = Vec.length bu.b_nodes in
+  let live = Array.make total false in
+  let mark = function F_node i -> live.(i) <- true | F_lit _ | F_const _ -> () in
+  Array.iter (fun (_, f) -> mark f) outs;
+  for i = total - 1 downto 0 do
+    if live.(i) then begin
+      let nd = Vec.get bu.b_nodes i in
+      mark nd.fanin0;
+      mark nd.fanin1
+    end
+  done;
+  let remap = Array.make total (-1) in
+  let nodes = Vec.create () in
+  let fix = function
+    | F_node i -> F_node remap.(i)
+    | (F_lit _ | F_const _) as f -> f
+  in
+  Vec.iteri
+    (fun i nd ->
+      if live.(i) then begin
+        let id = Vec.length nodes in
+        remap.(i) <- id;
+        ignore
+          (Vec.push nodes { id; kind = nd.kind; fanin0 = fix nd.fanin0; fanin1 = fix nd.fanin1 })
+      end)
+    bu.b_nodes;
+  let outs = Array.map (fun (nm, f) -> (nm, fix f)) outs in
+  { src; input_names; nodes; outs }
+
 let of_network_with_phases n phases =
   let phase_of nm =
     match List.assoc_opt nm phases with Some p -> p | None -> true
@@ -148,40 +180,25 @@ let of_network_with_phases n phases =
   let outs =
     Array.map (fun (nm, id) -> (nm, expand id (phase_of nm))) (Network.outputs n)
   in
-  (* Sweep: keep only nodes reachable from the outputs, preserving order. *)
-  let total = Vec.length bu.b_nodes in
-  let live = Array.make total false in
-  let mark = function F_node i -> live.(i) <- true | F_lit _ | F_const _ -> () in
-  Array.iter (fun (_, f) -> mark f) outs;
-  for i = total - 1 downto 0 do
-    if live.(i) then begin
-      let nd = Vec.get bu.b_nodes i in
-      mark nd.fanin0;
-      mark nd.fanin1
-    end
-  done;
-  let remap = Array.make total (-1) in
-  let nodes = Vec.create () in
+  sweep bu outs ~src:(Network.name n)
+    ~input_names:(Array.map (fun id -> Network.input_name n id) input_ids)
+
+(* ------------------------------------------------------------------ *)
+(* Structural editing (used by the differential shrinker).             *)
+(* ------------------------------------------------------------------ *)
+
+let with_structure u ~nodes ~outputs =
+  let bu = { b_nodes = Vec.create (); consed = Hashtbl.create 64 } in
+  let mapped = Array.make (Array.length nodes) (F_const false) in
   let fix = function
-    | F_node i -> F_node remap.(i)
+    | F_node i -> mapped.(i)
     | (F_lit _ | F_const _) as f -> f
   in
-  Vec.iteri
-    (fun i nd ->
-      if live.(i) then begin
-        let id = Vec.length nodes in
-        remap.(i) <- id;
-        ignore
-          (Vec.push nodes { id; kind = nd.kind; fanin0 = fix nd.fanin0; fanin1 = fix nd.fanin1 })
-      end)
-    bu.b_nodes;
-  let outs = Array.map (fun (nm, f) -> (nm, fix f)) outs in
-  {
-    src = Network.name n;
-    input_names = Array.map (fun id -> Network.input_name n id) input_ids;
+  Array.iteri
+    (fun i nd -> mapped.(i) <- mk bu nd.kind (fix nd.fanin0) (fix nd.fanin1))
     nodes;
-    outs;
-  }
+  let outs = Array.map (fun (nm, f) -> (nm, fix f)) outputs in
+  sweep bu outs ~src:u.src ~input_names:u.input_names
 
 (* ------------------------------------------------------------------ *)
 (* Views and evaluation.                                               *)

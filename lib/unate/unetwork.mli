@@ -61,6 +61,16 @@ val of_network_with_phases : Logic.Network.t -> (string * bool) list -> t
     assignment ({!Phase}), the paper's reference [22] alternative to
     plain bubble-pushing. *)
 
+val with_structure : t -> nodes:node array -> outputs:(string * fin) array -> t
+(** [with_structure u ~nodes ~outputs] rebuilds a network over [u]'s
+    primary inputs from an edited node array and output bindings, then
+    renormalises: constants are folded, identical nodes are hash-consed,
+    and nodes unreachable from the outputs are swept.  Node fanins may
+    only reference lower-indexed nodes.  This is the substrate of the
+    differential shrinker ({!Check.Shrink}), which deletes nodes by
+    rewiring their consumers and relies on the renormalisation to keep
+    the result mappable. *)
+
 val to_network : t -> Logic.Network.t
 (** [to_network u] re-expresses [u] as a {!Logic.Network.t} (negative
     literals become explicit inverters at the inputs), preserving input

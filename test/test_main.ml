@@ -44,6 +44,7 @@ let () =
       ("alternatives", Test_alternatives.suite);
       ("vcd", Test_vcd.suite);
       ("equiv", Test_equiv.suite);
+      ("differential", Test_differential.suite);
       ("properties", Test_props.suite);
       ("properties-2", Test_props2.suite);
       ("misc", Test_misc.suite);
