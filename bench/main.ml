@@ -6,7 +6,15 @@
    choices called out in DESIGN.md §6.
 
    Run with:  dune exec bench/main.exe            (all benches)
-              dune exec bench/main.exe -- table   (only table benches)   *)
+              dune exec bench/main.exe -- table   (only table benches)
+
+   Options (hand-parsed; bechamel has no CLI of its own):
+     FILTER        table | stage | ablation | parallel
+     --jobs N      pool size for the parallel/* benches (default: cores)
+     --json FILE   also write the results as JSON telemetry.  The schema
+                   is documented in docs/verification.md; the revision
+                   stamp is read from the BENCH_REV environment variable
+                   so the harness needs no dependency on git or unix. *)
 
 open Bechamel
 open Bechamel.Toolkit
@@ -117,6 +125,44 @@ let ablation_benches =
              (Mapper.Engine.map { opt with Mapper.Engine.w_max = 8; h_max = 12 } c880_unate)));
   ]
 
+(* Paired serial/pool benches over the actual parallel workloads of the
+   pipeline (the portfolio sweep and per-benchmark experiment rows).
+   Both sides run through [Parallel.Pool.map] — the serial side on a
+   1-domain pool, which spawns no domains — so the pair isolates the
+   speedup of domain fan-out from everything else.  The _serial/_pool
+   naming convention is what the JSON writer uses to pair them. *)
+let parallel_benches jobs =
+  let pool1 = Parallel.Pool.create ~jobs:1 in
+  let pooln = Parallel.Pool.create ~jobs in
+  let portfolio = Array.of_list Mapper.Multi.default_portfolio in
+  let run_portfolio pool =
+    ignore
+      (Parallel.Pool.map pool
+         (fun (_label, cost) ->
+           (Mapper.Algorithms.run ~cost Mapper.Algorithms.Soi_domino_map c880)
+             .Mapper.Algorithms.counts)
+         portfolio)
+  in
+  let row_names = [| "c880"; "frg1"; "k2" |] in
+  let run_rows pool =
+    ignore
+      (Parallel.Pool.map pool
+         (fun name ->
+           let net = Gen.Suite.build_exn name in
+           (Mapper.Algorithms.soi_domino_map net).Mapper.Algorithms.counts)
+         row_names)
+  in
+  [
+    Test.make ~name:"parallel/portfolio_serial(c880)"
+      (stage (fun () -> run_portfolio pool1));
+    Test.make ~name:"parallel/portfolio_pool(c880)"
+      (stage (fun () -> run_portfolio pooln));
+    Test.make ~name:"parallel/tablerows_serial"
+      (stage (fun () -> run_rows pool1));
+    Test.make ~name:"parallel/tablerows_pool"
+      (stage (fun () -> run_rows pooln));
+  ]
+
 let benchmark tests =
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
@@ -127,16 +173,112 @@ let benchmark tests =
   let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
   Analyze.merge ols instances results
 
-let () =
-  let filter =
-    match Array.to_list Sys.argv with _ :: f :: _ -> Some f | _ -> None
+(* ------------------------------------------------------------------ *)
+(* JSON telemetry.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Pair every ..._serial... bench with its ..._pool... twin. *)
+let speedups rows =
+  let swap name =
+    let sub = "serial" in
+    let n = String.length name and m = String.length sub in
+    let rec find i =
+      if i + m > n then None
+      else if String.sub name i m = sub then Some i
+      else find (i + 1)
+    in
+    Option.map
+      (fun i ->
+        String.sub name 0 i ^ "pool" ^ String.sub name (i + m) (n - i - m))
+      (find 0)
   in
+  List.filter_map
+    (fun (name, serial_ns) ->
+      match swap name with
+      | None -> None
+      | Some twin -> (
+          match List.assoc_opt twin rows with
+          | None -> None
+          | Some pool_ns when pool_ns > 0.0 ->
+              Some (name, serial_ns, pool_ns, serial_ns /. pool_ns)
+          | Some _ -> None))
+    rows
+
+let write_json path ~jobs rows =
+  let rev =
+    Option.value (Sys.getenv_opt "BENCH_REV") ~default:"unknown"
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"rev\": \"%s\",\n  \"jobs\": %d,\n  \"benches\": [\n"
+       (json_escape rev) jobs);
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"name\": \"%s\", \"ns_per_run\": %.2f}%s\n"
+           (json_escape name) ns
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n  \"speedups\": [\n";
+  let sp = speedups rows in
+  List.iteri
+    (fun i (name, serial_ns, pool_ns, speedup) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"serial_ns\": %.2f, \"pool_ns\": %.2f, \
+            \"speedup\": %.3f}%s\n"
+           (json_escape name) serial_ns pool_ns speedup
+           (if i = List.length sp - 1 then "" else ",")))
+    sp;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let () =
+  let json_file = ref None and jobs = ref 0 and filter = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        parse rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 0 -> jobs := n
+        | _ ->
+            prerr_endline "--jobs expects a non-negative integer";
+            exit 2);
+        parse rest
+    | f :: rest ->
+        filter := Some f;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let jobs =
+    if !jobs <= 0 then Domain.recommended_domain_count () else !jobs
+  in
+  let par = parallel_benches jobs in
   let tests =
-    match filter with
+    match !filter with
     | Some "table" -> table_benches
     | Some "stage" -> stage_benches
     | Some "ablation" -> ablation_benches
-    | _ -> table_benches @ stage_benches @ ablation_benches
+    | Some "parallel" -> par
+    | _ -> table_benches @ stage_benches @ ablation_benches @ par
   in
   let results = benchmark tests in
   Printf.printf "%-50s %15s\n" "benchmark" "time/run";
@@ -151,6 +293,7 @@ let () =
           | _ -> ())
         tbl)
     results;
+  let rows = List.sort compare !rows in
   List.iter
     (fun (name, ns) ->
       let pretty =
@@ -160,4 +303,9 @@ let () =
         else Printf.sprintf "%10.2f ns" ns
       in
       Printf.printf "%-50s %15s\n" name pretty)
-    (List.sort compare !rows)
+    rows;
+  match !json_file with
+  | Some path ->
+      write_json path ~jobs rows;
+      Printf.printf "\nwrote JSON telemetry to %s\n" path
+  | None -> ()

@@ -11,7 +11,12 @@
 
 open Cmdliner
 
-let run seed budget max_nodes eval_vectors sim_pairs json verbose =
+let run jobs seed budget max_nodes eval_vectors sim_pairs json verbose =
+  if jobs < 0 then begin
+    prerr_endline "--jobs must be non-negative (0 = number of cores)";
+    exit 2
+  end;
+  Parallel.Pool.set_jobs jobs;
   let params =
     {
       Check.Fuzz.default_params with
@@ -27,6 +32,14 @@ let run seed budget max_nodes eval_vectors sim_pairs json verbose =
   if json then print_endline (Check.Report.to_json report)
   else Format.printf "@[<v>%a@]@." Check.Report.pp_human report;
   match report.Check.Report.counterexample with None -> 0 | Some _ -> 1
+
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker-domain pool size.  Each run draws its randomness from \
+              its own per-run seed stream, so the report is bit-identical \
+              at any $(docv); 0 uses the number of cores.")
 
 let seed =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Master random seed.")
@@ -68,7 +81,7 @@ let cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc)
     Term.(
-      const run $ seed $ budget $ max_nodes $ eval_vectors $ sim_pairs $ json
-      $ verbose)
+      const run $ jobs $ seed $ budget $ max_nodes $ eval_vectors $ sim_pairs
+      $ json $ verbose)
 
 let () = exit (Cmd.eval' cmd)

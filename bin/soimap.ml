@@ -9,10 +9,25 @@
 open Cmdliner
 
 let load blif bench_file pla bench =
+  (* Malformed input is a user error, not a crash: report it as
+     file:line: message and exit 2, the same status as the other
+     usage errors below. *)
+  let parse path parser =
+    try parser path with
+    | Blif.Parse_error (line, msg)
+    | Bench_format.Parse_error (line, msg)
+    | Pla.Parse_error (line, msg) ->
+        Printf.eprintf "%s:%d: %s\n" path line msg;
+        exit 2
+    | Sys_error msg ->
+        prerr_endline msg;
+        exit 2
+  in
   match (blif, bench_file, pla, bench) with
-  | Some path, None, None, None -> Blif.parse_file path
-  | None, Some path, None, None -> Bench_format.parse_file path
-  | None, None, Some path, None -> Pla.to_network (Pla.parse_file path)
+  | Some path, None, None, None -> parse path Blif.parse_file
+  | None, Some path, None, None -> parse path Bench_format.parse_file
+  | None, None, Some path, None ->
+      parse path (fun p -> Pla.to_network (Pla.parse_file p))
   | None, None, None, Some name -> (
       match Gen.Suite.find name with
       | Some e -> e.Gen.Suite.build ()
@@ -73,6 +88,10 @@ let report name flow_name (r : Mapper.Algorithms.result) verify exact print_gate
       Printf.printf "  wrote VCD (64 cycles, %d PBE events) to %s\n"
         res.Sim.Domino_sim.total_events path
   | None -> ());
+  (* Verdicts are returned, not acted on: with --flow all every flow
+     must be mapped and reported before the process decides its exit
+     status, so a failing first flow cannot hide the others. *)
+  let ok = ref true in
   if verify then begin
     let equiv =
       Domino.Circuit.equivalent_to r.Mapper.Algorithms.circuit r.Mapper.Algorithms.unate
@@ -81,16 +100,22 @@ let report name flow_name (r : Mapper.Algorithms.result) verify exact print_gate
     let hyst = Domino.Hysteresis.of_circuit r.Mapper.Algorithms.circuit in
     Printf.printf "  functional-equivalence=%b pbe-free=%b hysteresis-exposed=%d/%d\n"
       equiv free hyst.Domino.Hysteresis.exposed hyst.Domino.Hysteresis.total;
-    if not (equiv && free) then exit 1
+    if not (equiv && free) then ok := false
   end;
   if exact then begin
     let verdict = Domino.Circuit.equivalent_exact r.Mapper.Algorithms.circuit net in
     Format.printf "  formal-equivalence: %a@." Logic.Equiv.pp_verdict verdict;
-    match verdict with Logic.Equiv.Equivalent -> () | _ -> exit 1
-  end
+    match verdict with Logic.Equiv.Equivalent -> () | _ -> ok := false
+  end;
+  !ok
 
-let main blif bench_file pla bench flow cost w_max h_max verify exact print_gates
-    timing multi spice verilog vcd =
+let main jobs blif bench_file pla bench flow cost w_max h_max verify exact
+    print_gates timing multi spice verilog vcd =
+  if jobs < 0 then begin
+    prerr_endline "--jobs must be non-negative (0 = number of cores)";
+    exit 2
+  end;
+  Parallel.Pool.set_jobs jobs;
   let net = load blif bench_file pla bench in
   if multi then begin
     print_string (Mapper.Multi.render (Mapper.Multi.sweep ~w_max ~h_max net));
@@ -110,14 +135,24 @@ let main blif bench_file pla bench flow cost w_max h_max verify exact print_gate
         prerr_endline ("unknown flow: " ^ s ^ " (bulk|rs|soi|all)");
         exit 2
   in
-  List.iter
-    (fun f ->
-      let r = Mapper.Algorithms.run ~cost ~w_max ~h_max f net in
-      report name (Mapper.Algorithms.flow_name f) r verify exact print_gates timing
-        spice verilog vcd net)
-    flows
+  let all_ok =
+    List.fold_left
+      (fun acc f ->
+        let r = Mapper.Algorithms.run ~cost ~w_max ~h_max f net in
+        report name (Mapper.Algorithms.flow_name f) r verify exact print_gates
+          timing spice verilog vcd net
+        && acc)
+      true flows
+  in
+  if not all_ok then exit 1
 
 let cmd =
+  let jobs =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker-domain pool size for the parallel pipeline stages \
+                 (portfolio sweep, per-cone formal equivalence).  1 is fully \
+                 serial; 0 uses the number of cores.")
+  in
   let blif =
     Arg.(value & opt (some string) None & info [ "blif" ] ~docv:"FILE"
            ~doc:"Read the input circuit from a BLIF file.")
@@ -187,7 +222,8 @@ let cmd =
   Cmd.v
     (Cmd.info "soimap" ~doc)
     Term.(
-      const main $ blif $ bench_file $ pla $ bench $ flow $ cost $ w_max $ h_max
-      $ verify $ exact $ print_gates $ timing $ multi $ spice $ verilog $ vcd)
+      const main $ jobs $ blif $ bench_file $ pla $ bench $ flow $ cost $ w_max
+      $ h_max $ verify $ exact $ print_gates $ timing $ multi $ spice $ verilog
+      $ vcd)
 
 let () = exit (Cmd.eval cmd)

@@ -3,7 +3,14 @@ open Unate
 (* The differential fuzz loop: generate a random multi-level network,
    unate-decompose it, sample a mapper configuration, and drive the
    mapped circuit through all three oracles.  The first failure is
-   shrunk to a minimal counterexample and reported.  Everything is
+   shrunk to a minimal counterexample and reported.
+
+   Every run draws all of its randomness from its own generator,
+   [Rng.stream seed i], so run [i] is a pure function of [(params, i)].
+   That makes the budget embarrassingly parallel: runs are executed in
+   chunks on the default {!Parallel.Pool} and merged back in run order,
+   and the report — runs, skips, oracle totals, the counterexample and
+   its shrink — is bit-identical at any worker count.  Everything is
    deterministic in [params.seed]. *)
 
 type params = {
@@ -34,10 +41,10 @@ type net_shape = {
   ns_outputs : int;
 }
 
-let usable u max_nodes =
-  Unetwork.node_count u >= 1
-  && Unetwork.node_count u <= max_nodes
-  && Shrink.valid u
+(* Fully-folded networks (zero nodes, outputs reduced to literals or
+   constants) are mappable too — the engine ties constant outputs to the
+   rail — so the only rejects are oversized networks. *)
+let usable u max_nodes = Unetwork.node_count u <= max_nodes && Shrink.valid u
 
 (* Draw generator parameters until decomposition yields a mappable
    network.  Returns the attempts burned so the report can count them. *)
@@ -68,90 +75,152 @@ let gen_unetwork rng max_nodes =
   in
   attempt 0 8
 
+(* Everything one run produces.  Computed without touching shared state
+   so runs can execute on any domain; outcomes are merged in run order,
+   which restores the serial semantics exactly. *)
+type outcome =
+  | O_exhausted of int  (* generator gave up; burned attempts *)
+  | O_pass of {
+      burned : int;
+      stats : Oracle.stats;
+      (* material for the capped negative-oracle probe, which stays
+         serial in the merge phase so its run-order budget of 32 probes
+         is independent of the worker count *)
+      circuit : Domino.Circuit.t;
+      oracle_seed : int;
+    }
+  | O_fail of {
+      burned : int;
+      shape : net_shape;
+      u : Unetwork.t;
+      cfg : Gen_config.t;
+      oracle_seed : int;
+      failure : Oracle.failure;
+    }
+
+(* Run [i] of the budget: a pure function of [(params, i)]. *)
+let exec_run params i =
+  let rng = Logic.Rng.stream (params.seed lxor 0xF022) i in
+  let candidate, burned = gen_unetwork rng params.max_nodes in
+  match candidate with
+  | None -> O_exhausted burned
+  | Some (u, shape) -> (
+      let cfg = Gen_config.sample rng in
+      let oracle_seed = Logic.Rng.int rng 0x3FFFFFFF in
+      match
+        Oracle.check ~eval_vectors:params.eval_vectors
+          ~sim_pairs:params.sim_pairs ~seed:oracle_seed u cfg
+      with
+      | Oracle.Pass stats ->
+          O_pass { burned; stats; circuit = Oracle.build u cfg; oracle_seed }
+      | Oracle.Fail failure ->
+          O_fail { burned; shape; u; cfg; oracle_seed; failure })
+
 let run params =
-  let rng = Logic.Rng.create (params.seed lxor 0xF022) in
+  let pool = Parallel.Pool.default () in
   let runs = ref 0 and skipped = ref 0 in
   let eval_vectors = ref 0 and sim_cycles = ref 0 in
   let bdd_exact_runs = ref 0 in
   let stripped_probes = ref 0 and stripped_event_probes = ref 0 in
-  let counterexample = ref None in
-  let exhausted = ref false in
-  while (not !exhausted) && !runs < params.budget && !counterexample = None do
-    let candidate, burned = gen_unetwork rng params.max_nodes in
-    skipped := !skipped + burned;
-    match candidate with
-    | None -> exhausted := true  (* generator gave up; report honest counts *)
-    | Some (u, shape) -> (
-        incr runs;
-        let cfg = Gen_config.sample rng in
-        let oracle_seed = Logic.Rng.int rng 0x3FFFFFFF in
-        let check u cfg =
-          Oracle.check ~eval_vectors:params.eval_vectors
-            ~sim_pairs:params.sim_pairs ~seed:oracle_seed u cfg
-        in
-        match check u cfg with
-        | Oracle.Pass stats ->
-            eval_vectors := !eval_vectors + stats.Oracle.eval_vectors;
-            sim_cycles := !sim_cycles + stats.Oracle.sim_cycles;
-            if stats.Oracle.bdd_exact then incr bdd_exact_runs;
-            (* Negative oracle: stripping protection from a mapping that
-               carries discharge transistors should eventually fire PBE
-               events somewhere across the run. *)
-            let circuit = Oracle.build u cfg in
-            if
-              (Domino.Circuit.counts circuit).Domino.Circuit.t_disch > 0
-              && !stripped_probes < 32
-            then begin
-              incr stripped_probes;
+  let first_failure = ref None in
+  let stopped = ref false in
+  (* Chunks bound how far past a failure (or generator exhaustion) we
+     compute; outcomes past the stop point are discarded unmerged, so
+     the report does not depend on the chunk size or worker count. *)
+  let chunk_size = max 1 (4 * Parallel.Pool.jobs pool) in
+  let base = ref 0 in
+  while (not !stopped) && !base < params.budget do
+    let n = min chunk_size (params.budget - !base) in
+    let outcomes =
+      Parallel.Pool.map pool (exec_run params)
+        (Array.init n (fun k -> !base + k))
+    in
+    Array.iter
+      (fun outcome ->
+        if not !stopped then
+          match outcome with
+          | O_exhausted burned ->
+              (* generator gave up; report honest counts *)
+              skipped := !skipped + burned;
+              stopped := true
+          | O_pass { burned; stats; circuit; oracle_seed } ->
+              skipped := !skipped + burned;
+              incr runs;
+              eval_vectors := !eval_vectors + stats.Oracle.eval_vectors;
+              sim_cycles := !sim_cycles + stats.Oracle.sim_cycles;
+              if stats.Oracle.bdd_exact then incr bdd_exact_runs;
+              (* Negative oracle: stripping protection from a mapping
+                 that carries discharge transistors should eventually
+                 fire PBE events somewhere across the run. *)
               if
-                Oracle.stripped_events ~sim_pairs:params.sim_pairs
-                  ~seed:oracle_seed circuit
-                > 0
-              then incr stripped_event_probes
-            end
-        | Oracle.Fail f ->
-            params.log
-              (Printf.sprintf "run %d FAILED (%s): %s — shrinking" !runs
-                 (Oracle.kind_name f.Oracle.kind)
-                 f.Oracle.detail);
-            let fails u' cfg' =
-              match check u' cfg' with
-              | Oracle.Fail f' -> f'.Oracle.kind = f.Oracle.kind
-              | Oracle.Pass _ -> false
-            in
-            let shrunk =
-              Shrink.minimize ~max_checks:params.shrink_checks ~fails u cfg
-            in
-            (* Re-run the shrunk pair to report its (possibly sharper)
-               failure detail. *)
-            let detail, cex_input, cex_output =
-              match check shrunk.Shrink.u shrunk.Shrink.cfg with
-              | Oracle.Fail f' ->
-                  (f'.Oracle.detail, f'.Oracle.cex_input, f'.Oracle.cex_output)
-              | Oracle.Pass _ ->
-                  (f.Oracle.detail, f.Oracle.cex_input, f.Oracle.cex_output)
-            in
-            counterexample :=
-              Some
-                {
-                  Report.run = !runs;
-                  net_seed = shape.ns_seed;
-                  net_inputs = shape.ns_inputs;
-                  net_gates = shape.ns_gates;
-                  net_outputs = shape.ns_outputs;
-                  oracle = Oracle.kind_name f.Oracle.kind;
-                  detail;
-                  cex_input = Option.map Report.bits_of_input cex_input;
-                  cex_output;
-                  config = cfg;
-                  shrunk_nodes = Unetwork.node_count shrunk.Shrink.u;
-                  shrunk_outputs =
-                    Array.length (Unetwork.outputs shrunk.Shrink.u);
-                  shrunk_config = shrunk.Shrink.cfg;
-                  shrunk_dump = Report.dump_unetwork shrunk.Shrink.u;
-                  shrink_checks = shrunk.Shrink.checks;
-                })
+                (Domino.Circuit.counts circuit).Domino.Circuit.t_disch > 0
+                && !stripped_probes < 32
+              then begin
+                incr stripped_probes;
+                if
+                  Oracle.stripped_events ~sim_pairs:params.sim_pairs
+                    ~seed:oracle_seed circuit
+                  > 0
+                then incr stripped_event_probes
+              end
+          | O_fail { burned; shape; u; cfg; oracle_seed; failure = f } ->
+              skipped := !skipped + burned;
+              incr runs;
+              first_failure := Some (!runs, shape, u, cfg, oracle_seed, f);
+              stopped := true)
+      outcomes;
+    base := !base + n
   done;
+  (* Shrinking stays serial: it is a greedy fixpoint over oracle calls
+     seeded by the failing run, already deterministic. *)
+  let counterexample =
+    match !first_failure with
+    | None -> None
+    | Some (run, shape, u, cfg, oracle_seed, f) ->
+        params.log
+          (Printf.sprintf "run %d FAILED (%s): %s — shrinking" run
+             (Oracle.kind_name f.Oracle.kind)
+             f.Oracle.detail);
+        let check u' cfg' =
+          Oracle.check ~eval_vectors:params.eval_vectors
+            ~sim_pairs:params.sim_pairs ~seed:oracle_seed u' cfg'
+        in
+        let fails u' cfg' =
+          match check u' cfg' with
+          | Oracle.Fail f' -> f'.Oracle.kind = f.Oracle.kind
+          | Oracle.Pass _ -> false
+        in
+        let shrunk =
+          Shrink.minimize ~max_checks:params.shrink_checks ~fails u cfg
+        in
+        (* Re-run the shrunk pair to report its (possibly sharper)
+           failure detail. *)
+        let detail, cex_input, cex_output =
+          match check shrunk.Shrink.u shrunk.Shrink.cfg with
+          | Oracle.Fail f' ->
+              (f'.Oracle.detail, f'.Oracle.cex_input, f'.Oracle.cex_output)
+          | Oracle.Pass _ ->
+              (f.Oracle.detail, f.Oracle.cex_input, f.Oracle.cex_output)
+        in
+        Some
+          {
+            Report.run;
+            net_seed = shape.ns_seed;
+            net_inputs = shape.ns_inputs;
+            net_gates = shape.ns_gates;
+            net_outputs = shape.ns_outputs;
+            oracle = Oracle.kind_name f.Oracle.kind;
+            detail;
+            cex_input = Option.map Report.bits_of_input cex_input;
+            cex_output;
+            config = cfg;
+            shrunk_nodes = Unetwork.node_count shrunk.Shrink.u;
+            shrunk_outputs = Array.length (Unetwork.outputs shrunk.Shrink.u);
+            shrunk_config = shrunk.Shrink.cfg;
+            shrunk_dump = Report.dump_unetwork shrunk.Shrink.u;
+            shrink_checks = shrunk.Shrink.checks;
+          }
+  in
   {
     Report.seed = params.seed;
     budget = params.budget;
@@ -162,5 +231,5 @@ let run params =
     bdd_exact_runs = !bdd_exact_runs;
     stripped_probes = !stripped_probes;
     stripped_event_probes = !stripped_event_probes;
-    counterexample = !counterexample;
+    counterexample;
   }

@@ -34,15 +34,11 @@ let bypass nodes outs ~target ~repl =
   let outs = Array.map (fun (nm, f) -> (nm, fix f)) outs in
   (nodes, outs)
 
-(* Mapper inputs must drive non-constant outputs; candidates that folded
-   an output to a constant are not counterexamples, they are rejects. *)
-let valid u =
-  let outs = Unetwork.outputs u in
-  Array.length outs > 0
-  && Array.for_all
-       (fun (_, f) ->
-         match f with Unetwork.F_const _ -> false | _ -> true)
-       outs
+(* Any network with at least one output is mappable: the engine ties
+   constant outputs to the rail ([Pdn.S_const]) and feeds literals
+   through, so constant-folded candidates are legitimate counterexample
+   material rather than rejects. *)
+let valid u = Array.length (Unetwork.outputs u) > 0
 
 let structural_candidates u cfg =
   let nodes = nodes_of u and outs = Unetwork.outputs u in

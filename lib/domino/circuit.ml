@@ -20,7 +20,7 @@ let counts c =
   let neg_lits = Hashtbl.create 16 in
   let note_signal = function
     | Pdn.S_pi { input; positive = false } -> Hashtbl.replace neg_lits input ()
-    | Pdn.S_pi _ | Pdn.S_gate _ -> ()
+    | Pdn.S_pi _ | Pdn.S_gate _ | Pdn.S_const _ -> ()
   in
   Array.iter
     (fun g ->
@@ -35,7 +35,7 @@ let counts c =
       (fun acc (_, s) ->
         match s with
         | Pdn.S_gate g -> max acc c.gates.(g).Domino_gate.level
-        | Pdn.S_pi _ -> acc)
+        | Pdn.S_pi _ | Pdn.S_const _ -> acc)
       0 c.outputs
   in
   {
@@ -53,14 +53,23 @@ let validate c =
   let n_inputs = Array.length c.input_names in
   let error = ref None in
   let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
+  (* [owner] is the gate id, or [-1] when checking a primary-output
+     binding (outputs may reference any gate, and only outputs may be
+     tied to a rail). *)
   let check_signal owner = function
     | Pdn.S_gate g ->
-        if g < 0 || g >= n_gates then fail "gate %d references missing gate %d" owner g
-        else if g >= owner && owner >= 0 then
+        if g < 0 || g >= n_gates then
+          if owner >= 0 then fail "gate %d references missing gate %d" owner g
+          else fail "output references missing gate %d" g
+        else if owner >= 0 && g >= owner then
           fail "gate %d references non-causal gate %d" owner g
     | Pdn.S_pi { input; _ } ->
         if input < 0 || input >= n_inputs then
           fail "gate %d references missing input %d" owner input
+    | Pdn.S_const _ ->
+        (* Rail ties are a primary-output representation only; a constant
+           never gates a transistor inside a PDN. *)
+        if owner >= 0 then fail "gate %d has a constant leaf in its PDN" owner
   in
   Array.iteri
     (fun i g ->
@@ -87,7 +96,7 @@ let validate c =
       if g.Domino_gate.level <> expect then
         fail "gate %d has level %d, expected %d" i g.Domino_gate.level expect)
     c.gates;
-  Array.iter (fun (_, s) -> check_signal max_int s) c.outputs;
+  Array.iter (fun (_, s) -> check_signal (-1) s) c.outputs;
   match !error with None -> Ok () | Some e -> Error e
 
 let eval c pi =
@@ -97,6 +106,7 @@ let eval c pi =
   let env = function
     | Pdn.S_pi { input; positive } -> if positive then pi.(input) else not pi.(input)
     | Pdn.S_gate g -> gate_vals.(g)
+    | Pdn.S_const b -> b
   in
   Array.iteri (fun i g -> gate_vals.(i) <- Pdn.eval env g.Domino_gate.pdn) c.gates;
   Array.map (fun (nm, s) -> (nm, env s)) c.outputs
@@ -109,6 +119,7 @@ let eval64 c words =
     | Pdn.S_pi { input; positive } ->
         if positive then words.(input) else Int64.lognot words.(input)
     | Pdn.S_gate g -> gate_vals.(g)
+    | Pdn.S_const b -> if b then -1L else 0L
   in
   Array.iteri (fun i g -> gate_vals.(i) <- Pdn.eval64 env g.Domino_gate.pdn) c.gates;
   Array.map (fun (nm, s) -> (nm, env s)) c.outputs
@@ -145,6 +156,7 @@ let to_network c =
     | Pdn.S_pi { input; positive } ->
         if positive then ins.(input) else Logic.Builder.not_ b ins.(input)
     | Pdn.S_gate g -> gate_wires.(g)
+    | Pdn.S_const c -> Logic.Builder.const b c
   in
   let rec wire_of_pdn = function
     | Pdn.Leaf s -> wire_of_signal s
@@ -170,6 +182,7 @@ let pp fmt c =
         | Pdn.S_gate g -> Printf.sprintf "g%d" g
         | Pdn.S_pi { input; positive } ->
             Printf.sprintf "%sx%d" (if positive then "" else "~") input
+        | Pdn.S_const c -> if c then "1" else "0"
       in
       Format.fprintf fmt "  output %s = %s@," nm d)
     c.outputs;

@@ -10,8 +10,9 @@ type t = {
   input_names : string array;  (** primary inputs, by literal index *)
   gates : Domino_gate.t array;
   outputs : (string * Pdn.signal) array;
-      (** primary output drivers (a gate, or a literal for trivial
-          feed-throughs) *)
+      (** primary output drivers: a gate, a literal for trivial
+          feed-throughs, or a rail tie ([Pdn.S_const]) for outputs that
+          folded to a constant *)
 }
 
 type counts = {

@@ -1,6 +1,7 @@
 type signal =
   | S_pi of { input : int; positive : bool }
   | S_gate of int
+  | S_const of bool
 
 type t =
   | Leaf of signal
@@ -32,12 +33,12 @@ let signals p =
 
 let gate_fanins p =
   signals p
-  |> List.filter_map (function S_gate g -> Some g | S_pi _ -> None)
+  |> List.filter_map (function S_gate g -> Some g | S_pi _ | S_const _ -> None)
   |> List.sort_uniq compare
 
 let rec has_pi_leaf = function
   | Leaf (S_pi _) -> true
-  | Leaf (S_gate _) -> false
+  | Leaf (S_gate _ | S_const _) -> false
   | Series (a, b) | Parallel (a, b) -> has_pi_leaf a || has_pi_leaf b
 
 let series_junctions p =
@@ -80,6 +81,7 @@ let signal_to_string = function
   | S_pi { input; positive } ->
       Printf.sprintf "%sx%d" (if positive then "" else "~") input
   | S_gate g -> Printf.sprintf "g%d" g
+  | S_const b -> if b then "1" else "0"
 
 let rec pp fmt = function
   | Leaf s -> Format.pp_print_string fmt (signal_to_string s)

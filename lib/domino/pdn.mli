@@ -17,6 +17,15 @@ type signal =
       (** primary-input literal (negative phase implies an inverter at the
           input boundary) *)
   | S_gate of int  (** output of domino gate [id] in the same circuit *)
+  | S_const of bool
+      (** a rail tie (Vdd / ground).  Only legal as a primary-output
+          driver in {!Circuit.t} — constant nets are folded away before
+          mapping, so a constant never gates a PDN transistor;
+          {!Circuit.validate} rejects [S_const] inside a gate.  This is
+          the documented representation of a constant primary output:
+          domino gates cannot evaluate to a constant (the dynamic node
+          always precharges high), so the output is tied to the rail
+          directly, with no transistors, clock load or PBE exposure. *)
 
 type t =
   | Leaf of signal

@@ -35,7 +35,7 @@ let analyze ?(params = default_params) (c : Circuit.t) =
     (fun (_, s) ->
       match s with
       | Pdn.S_gate g -> fanouts.(g) <- fanouts.(g) + 1
-      | Pdn.S_pi _ -> ())
+      | Pdn.S_pi _ | Pdn.S_const _ -> ())
     c.Circuit.outputs;
   let gate_delays =
     Array.map
@@ -72,7 +72,7 @@ let analyze ?(params = default_params) (c : Circuit.t) =
             critical_delay := arrivals.(g);
             endpoint := g
           end
-      | Pdn.S_pi _ -> ())
+      | Pdn.S_pi _ | Pdn.S_const _ -> ())
     c.Circuit.outputs;
   let rec back g acc = if g < 0 then acc else back critical_fanin.(g) (g :: acc) in
   {

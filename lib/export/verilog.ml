@@ -31,7 +31,7 @@ let to_string (c : Circuit.t) =
   let neg = Hashtbl.create 16 in
   let note = function
     | Pdn.S_pi { input; positive = false } -> Hashtbl.replace neg input ()
-    | Pdn.S_pi _ | Pdn.S_gate _ -> ()
+    | Pdn.S_pi _ | Pdn.S_gate _ | Pdn.S_const _ -> ()
   in
   Array.iter (fun g -> List.iter note (Pdn.signals g.Domino_gate.pdn)) c.Circuit.gates;
   Array.iter (fun (_, s) -> note s) c.Circuit.outputs;
@@ -43,6 +43,7 @@ let to_string (c : Circuit.t) =
     | Pdn.S_pi { input; positive } ->
         if positive then inputs.(input) else inputs.(input) ^ "_n"
     | Pdn.S_gate g -> Printf.sprintf "out_g%d" g
+    | Pdn.S_const c -> if c then "vdd" else "gnd"  (* rail-tied output *)
   in
   Array.iter
     (fun g ->

@@ -76,15 +76,23 @@ let networks_per_output ?limit a b =
     else begin
       let roots_b = Hashtbl.create 16 in
       Array.iter (fun (nm, id) -> Hashtbl.replace roots_b nm id) (Network.outputs b);
+      (* Each output cone is an independent BDD problem: extract both
+         cones, build a fresh manager, compare.  Check them on the
+         default pool and keep the first non-equivalent verdict in
+         output order — the same verdict the serial early-exit loop
+         returns (a failing run may burn extra work on the cones after
+         the first mismatch, but never a different answer). *)
+      let verdicts =
+        Parallel.Pool.map_default
+          (fun (nm, ra) ->
+            let rb = Hashtbl.find roots_b nm in
+            networks ?limit (cone a nm ra) (cone b nm rb))
+          (Network.outputs a)
+      in
       let result = ref Equivalent in
       Array.iter
-        (fun (nm, ra) ->
-          if !result = Equivalent then
-            let rb = Hashtbl.find roots_b nm in
-            match networks ?limit (cone a nm ra) (cone b nm rb) with
-            | Equivalent -> ()
-            | v -> result := v)
-        (Network.outputs a);
+        (fun v -> if !result = Equivalent && v <> Equivalent then result := v)
+        verdicts;
       !result
     end
   end

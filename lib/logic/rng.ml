@@ -50,3 +50,14 @@ let shuffle g arr =
   done
 
 let split g = { state = next64 g }
+
+let stream seed i =
+  if i < 0 then invalid_arg "Rng.stream: index must be non-negative";
+  let g = create seed in
+  (* Jump to a state mixed from both the seed and the stream index: the
+     index is spread by an odd 64-bit constant, then pushed through the
+     output finaliser (via [next64]) so that neighbouring indices land on
+     uncorrelated, non-overlapping subsequences. *)
+  g.state <- Int64.add g.state (Int64.mul (Int64.of_int (i + 1)) 0xC6A4A7935BD1E995L);
+  g.state <- next64 g;
+  g

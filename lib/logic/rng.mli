@@ -40,3 +40,12 @@ val shuffle : t -> 'a array -> unit
 val split : t -> t
 (** [split g] advances [g] and returns a statistically independent child
     generator; used to give sub-tasks their own streams. *)
+
+val stream : int -> int -> t
+(** [stream seed i] is the [i]-th of a family of statistically
+    independent generators derived from [seed].  Unlike {!split}, the
+    construction is random-access: [stream seed i] depends only on
+    [(seed, i)], never on how many other streams were drawn — this is
+    what lets a work pool hand run [i] its own generator and produce
+    identical results at any worker count.  @raise Invalid_argument if
+    [i < 0]. *)

@@ -57,7 +57,7 @@ let map options u =
     Array.init n (fun _ ->
         { table = Array.make (options.w_max * options.h_max) []; gate = None })
   in
-  let combinations = ref 0 and tuples_kept = ref 0 in
+  let combinations = ref 0 in
 
   let slot w h = ((w - 1) * options.h_max) + (h - 1) in
 
@@ -82,8 +82,7 @@ let map options u =
         let kept = List.sort (Soi_rules.compare_sols model) (s :: kept) in
         (* Cap the frontier; the sort keeps the cheapest tuples. *)
         let kept = take options.pareto_width kept in
-        entry.table.(i) <- kept;
-        incr tuples_kept
+        entry.table.(i) <- kept
       end
     end
   in
@@ -129,9 +128,15 @@ let map options u =
         entry.gate <- Some info;
         info
     | None ->
-        (* Unreachable: every AND/OR node admits at least the {2,1}/{1,2}
-           combination of its fanins' gate tuples. *)
-        assert false
+        (* Unreachable in practice: every AND/OR node admits at least the
+           {2,1}/{1,2} combination of its fanins' gate tuples, which fits
+           any bounds >= 2.  Name the node and bounds instead of dying
+           anonymously if an engine change ever breaks that invariant. *)
+        invalid_arg
+          (Printf.sprintf
+             "Engine.form_gate: node %d has no feasible tuple within W<=%d, \
+              H<=%d"
+             id options.w_max options.h_max)
   in
 
   let gate_of id =
@@ -142,7 +147,12 @@ let map options u =
   let options_of_fin fin =
     match fin with
     | Unetwork.F_const _ ->
-        failwith "Engine.map: constant fanin reached the mapper; run Strash first"
+        (* Unreachable via the public constructors: [Unetwork.mk] folds
+           constant fanins away at build time, so only hand-assembled
+           node records could trip this. *)
+        invalid_arg
+          "Engine.map: constant fanin reached the DP sweep; unate networks \
+           from Unetwork.of_network/with_structure fold constants away"
     | Unetwork.F_lit { input; positive } -> [ Soi_rules.leaf_pi model ~input ~positive ]
     | Unetwork.F_node m ->
         let gi = gate_of m in
@@ -210,7 +220,7 @@ let map options u =
             | [] ->
                 let remap = function
                   | Pdn.S_gate q -> Pdn.S_gate (Hashtbl.find circuit_id q)
-                  | Pdn.S_pi _ as s -> s
+                  | (Pdn.S_pi _ | Pdn.S_const _) as s -> s
                 in
                 let pdn = Pdn.map_signals remap gi.gi_structure in
                 let level =
@@ -248,12 +258,12 @@ let map options u =
     Array.map
       (fun (nm, fin) ->
         match fin with
-        | Unetwork.F_const _ ->
-            failwith
-              (Printf.sprintf
-                 "Engine.map: primary output %s is constant; domino logic \
-                  cannot drive constants (fold them away first)"
-                 nm)
+        | Unetwork.F_const c ->
+            (* A domino gate cannot evaluate to a constant (its dynamic
+               node precharges every cycle), so constant outputs are tied
+               to the rail directly: no gate, no clock load, no PBE
+               exposure.  See the [Pdn.S_const] documentation. *)
+            (nm, Pdn.S_const c)
         | Unetwork.F_lit { input; positive } -> (nm, Pdn.S_pi { input; positive })
         | Unetwork.F_node m ->
             materialise m;
@@ -268,10 +278,18 @@ let map options u =
       outputs;
     }
   in
+  (* Tuples that survived in the final tables — evicted and superseded
+     entries do not count. *)
+  let tuples_kept =
+    Array.fold_left
+      (fun acc e ->
+        Array.fold_left (fun acc cands -> acc + List.length cands) acc e.table)
+      0 entries
+  in
   ( circuit,
     {
       nodes_processed = n;
-      tuples_kept = !tuples_kept;
+      tuples_kept;
       combinations_tried = !combinations;
       gates_formed = Array.length circuit.Circuit.gates;
     } )

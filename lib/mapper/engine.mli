@@ -51,7 +51,9 @@ val default_options : options
 
 type stats = {
   nodes_processed : int;
-  tuples_kept : int;  (** surviving table entries across all nodes *)
+  tuples_kept : int;
+      (** tuples surviving in the final tables across all nodes (evicted
+          or superseded insertions are not counted) *)
   combinations_tried : int;
   gates_formed : int;  (** gates materialised into the final circuit *)
 }
@@ -62,6 +64,8 @@ val map : options -> Unate.Unetwork.t -> Domino.Circuit.t * stats
     and, for [Soi], already carries its p-discharge transistors.  For
     [Bulk] the circuit carries none; apply {!Postprocess.insert_discharges}
     to obtain a correct SOI implementation.
-    @raise Invalid_argument if [w_max < 2] or [h_max < 2]
-    @raise Failure on a constant primary output (fold constants away
-    first). *)
+    Constant primary outputs (possible when the source network contains
+    constant nets that fold through to an output) are tied to the rail:
+    they appear as [Pdn.S_const] output bindings with no gate behind
+    them.
+    @raise Invalid_argument if [w_max < 2] or [h_max < 2]. *)

@@ -24,8 +24,12 @@ let dominates a b =
      || ca.Domino.Circuit.t_clock < cb.Domino.Circuit.t_clock)
 
 let sweep ?(portfolio = default_portfolio) ?(w_max = 5) ?(h_max = 8) net =
+  (* Portfolio jobs are independent full mapping runs over the same
+     (read-only) source network; fan them out on the default pool.
+     Result order is portfolio order, so the Pareto marking below and
+     the rendered table are identical at any worker count. *)
   let raw =
-    List.map
+    Parallel.Pool.map_list_default
       (fun (label, cost) ->
         let r = Algorithms.run ~cost ~w_max ~h_max Algorithms.Soi_domino_map net in
         {

@@ -1,0 +1,181 @@
+(* Fork-join pool over OCaml 5 domains; stdlib only (Domain, Atomic,
+   Mutex, Condition).
+
+   A batch is an array of tasks published on a shared run queue.  Every
+   participating domain claims indices with Atomic.fetch_and_add — the
+   steal — executes them, and bumps the batch's completion count.  The
+   submitter helps until all indices are claimed, then waits for the
+   stragglers on a condition variable.  Workers that find the queue
+   empty sleep on the same condition variable.
+
+   Batches stay on the queue until fully claimed, so several concurrent
+   submitters (nested maps) interleave without coordination beyond the
+   queue mutex.  A domain blocked in [wait_done] has no claimed-but-
+   unfinished index of any batch (it finishes each steal before looking
+   for the next), so every claimed index is on some live domain's stack
+   and fork-join nesting cannot deadlock. *)
+
+type batch = {
+  run : int -> unit;  (* execute task [i]; must not raise *)
+  size : int;
+  next : int Atomic.t;  (* next index to claim *)
+  mutable finished : int;  (* completed tasks; guarded by the pool mutex *)
+}
+
+type t = {
+  n_jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* new batch published / shutdown *)
+  done_ : Condition.t;  (* some batch finished a task *)
+  mutable queue : batch list;  (* batches with unclaimed indices *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs p = p.n_jobs
+
+(* Steal and run every remaining index of [b]; returns the number
+   executed so the caller can batch the [finished] update. *)
+let drain b =
+  let executed = ref 0 in
+  let claiming = ref true in
+  while !claiming do
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i < b.size then begin
+      b.run i;
+      incr executed
+    end
+    else claiming := false
+  done;
+  !executed
+
+let credit p b executed =
+  if executed > 0 then begin
+    Mutex.lock p.mutex;
+    b.finished <- b.finished + executed;
+    if b.finished = b.size then Condition.broadcast p.done_;
+    Mutex.unlock p.mutex
+  end
+
+let worker_loop p =
+  Mutex.lock p.mutex;
+  while not p.stop do
+    (* Drop fully-claimed batches, then pick one with work left. *)
+    p.queue <- List.filter (fun b -> Atomic.get b.next < b.size) p.queue;
+    match p.queue with
+    | b :: _ ->
+        Mutex.unlock p.mutex;
+        let executed = drain b in
+        credit p b executed;
+        Mutex.lock p.mutex
+    | [] -> Condition.wait p.work p.mutex
+  done;
+  Mutex.unlock p.mutex
+
+let create ~jobs:n =
+  if n < 1 then invalid_arg "Pool.create: jobs must be at least 1";
+  let p =
+    {
+      n_jobs = n;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      done_ = Condition.create ();
+      queue = [];
+      stop = false;
+      workers = [];
+    }
+  in
+  p.workers <- List.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop p));
+  p
+
+let shutdown p =
+  Mutex.lock p.mutex;
+  p.stop <- true;
+  Condition.broadcast p.work;
+  Mutex.unlock p.mutex;
+  let ws = p.workers in
+  p.workers <- [];
+  List.iter Domain.join ws
+
+let map p f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if p.n_jobs = 1 || n = 1 then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    (* First failing index, kept smallest so error reporting is
+       deterministic across pool sizes. *)
+    let failure = Atomic.make None in
+    let run i =
+      match f arr.(i) with
+      | v -> results.(i) <- Some v
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          let rec record () =
+            let prev = Atomic.get failure in
+            let keep =
+              match prev with None -> true | Some (j, _, _) -> i < j
+            in
+            if keep && not (Atomic.compare_and_set failure prev (Some (i, e, bt)))
+            then record ()
+          in
+          record ()
+    in
+    let b = { run; size = n; next = Atomic.make 0; finished = 0 } in
+    Mutex.lock p.mutex;
+    p.queue <- b :: p.queue;
+    Condition.broadcast p.work;
+    Mutex.unlock p.mutex;
+    let executed = drain b in
+    credit p b executed;
+    Mutex.lock p.mutex;
+    while b.finished < b.size do
+      Condition.wait p.done_ p.mutex
+    done;
+    Mutex.unlock p.mutex;
+    match Atomic.get failure with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list p f l = Array.to_list (map p f (Array.of_list l))
+
+(* ---------------- process-default pool ---------------- *)
+
+let default_mutex = Mutex.create ()
+let requested_jobs = ref 1
+let default_pool : t option ref = ref None
+
+let set_jobs n =
+  if n < 0 then invalid_arg "Pool.set_jobs: jobs must be non-negative";
+  let n = if n = 0 then Domain.recommended_domain_count () else n in
+  Mutex.lock default_mutex;
+  requested_jobs := n;
+  (match !default_pool with
+  | Some p when p.n_jobs <> n ->
+      default_pool := None;
+      Mutex.unlock default_mutex;
+      shutdown p
+  | _ -> Mutex.unlock default_mutex)
+
+let get_jobs () =
+  Mutex.lock default_mutex;
+  let n = !requested_jobs in
+  Mutex.unlock default_mutex;
+  n
+
+let default () =
+  Mutex.lock default_mutex;
+  let p =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+        let p = create ~jobs:!requested_jobs in
+        default_pool := Some p;
+        p
+  in
+  Mutex.unlock default_mutex;
+  p
+
+let map_default f arr = map (default ()) f arr
+let map_list_default f l = map_list (default ()) f l

@@ -1,0 +1,77 @@
+(** A small fork-join domain pool on the OCaml 5 runtime.
+
+    The pool owns [jobs - 1] long-lived worker domains; the domain that
+    submits a batch always participates in executing it (caller
+    helping), so a pool of size 1 spawns no domains at all and
+    [map]/[map_list] degenerate to the plain serial [Array.map]/
+    [List.map] code path.
+
+    Scheduling is work-stealing over a shared run queue: a submitted
+    batch is published once, and every idle domain — the submitter
+    included — steals the next unclaimed index with a single atomic
+    fetch-and-add.  Results land in a slot per input index, so the
+    output order is the input order and the result of a [map] is
+    bit-identical regardless of pool size or interleaving, provided the
+    mapped function is pure (this is the property the [-j 1] vs [-j N]
+    determinism tests pin down).
+
+    Nested submissions are legal and deadlock-free: a task running on a
+    worker may itself call [map] — the worker then helps execute the
+    inner batch and only blocks once every inner index is claimed by
+    some live domain.  This is what lets the fuzzer parallelise over
+    runs while each run's per-cone BDD equivalence check parallelises
+    over output cones on the same pool.
+
+    Exceptions raised by tasks are caught, the batch still runs to
+    completion, and the first exception (lowest input index) is
+    re-raised in the submitter with its backtrace. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] builds a pool that executes batches on [jobs]
+    domains ([jobs - 1] spawned workers plus the submitter).
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val jobs : t -> int
+(** Number of domains that execute a batch, submitter included. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f arr] is [Array.map f arr] with the applications spread
+    across the pool.  Result order is input order. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list pool f l] is [List.map f l] via {!map}. *)
+
+val shutdown : t -> unit
+(** Terminates the worker domains.  Idempotent; the pool must not be
+    used afterwards.  Pools are also safe to abandon to the GC — the
+    workers are daemon-like and die with the process — but tests that
+    create many pools should shut them down. *)
+
+(** {1 The process-default pool}
+
+    Library entry points ({!Mapper.Multi.sweep}, the experiment tables,
+    {!Logic.Equiv.networks_per_output}, {!Check.Fuzz.run}) draw their
+    parallelism from one shared default pool so a single [--jobs N]
+    flag controls the whole pipeline.  It starts at 1 (serial): callers
+    that never opt in see the exact pre-pool behaviour. *)
+
+val set_jobs : int -> unit
+(** [set_jobs n] resizes the default pool to [n] domains ([n >= 1]).
+    [set_jobs 0] sizes it to {!Domain.recommended_domain_count}.  An
+    existing default pool of a different size is shut down first; do
+    not call concurrently with work running on the default pool. *)
+
+val get_jobs : unit -> int
+(** Current size of the default pool. *)
+
+val default : unit -> t
+(** The default pool, created lazily at the size of the last
+    {!set_jobs} call (initially 1). *)
+
+val map_default : ('a -> 'b) -> 'a array -> 'b array
+(** {!map} on the default pool. *)
+
+val map_list_default : ('a -> 'b) -> 'a list -> 'b list
+(** {!map_list} on the default pool. *)

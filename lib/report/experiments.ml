@@ -19,8 +19,13 @@ let average f rows =
   | [] -> 0.0
   | _ -> List.fold_left (fun acc r -> acc +. f r) 0.0 rows /. float_of_int (List.length rows)
 
+(* Every experiment table maps two-or-more full technology-mapping runs
+   over each benchmark name; the rows are independent, so they are
+   computed on the default {!Parallel.Pool}.  Row order is the caller's
+   name order regardless of pool size. *)
+
 let comparison flow names =
-  List.map
+  Parallel.Pool.map_list_default
     (fun name ->
       let net = Gen.Suite.build_exn name in
       let base = (Mapper.Algorithms.domino_map net).Mapper.Algorithms.counts in
@@ -44,7 +49,7 @@ let clock_reduction_pct r =
   pct_of r.k1.Circuit.t_clock (r.k1.Circuit.t_clock - r.kn.Circuit.t_clock)
 
 let table3 ?(k = 2) ?(names = Gen.Suite.table3_names) () =
-  List.map
+  Parallel.Pool.map_list_default
     (fun name ->
       let net = Gen.Suite.build_exn name in
       let run k =
@@ -62,7 +67,7 @@ type t4_row = {
 }
 
 let table4 ?(names = Gen.Suite.table4_names) () =
-  List.map
+  Parallel.Pool.map_list_default
     (fun name ->
       let net = Gen.Suite.build_exn name in
       let source_depth = Unate.Unetwork.depth (Mapper.Algorithms.prepare net) in
@@ -240,7 +245,7 @@ type ext_row = {
 }
 
 let table5 ?(names = Gen.Suite.table2_names) () =
-  List.map
+  Parallel.Pool.map_list_default
     (fun name ->
       let net = Gen.Suite.build_exn name in
       let r = Mapper.Algorithms.soi_domino_map net in

@@ -166,7 +166,7 @@ let run ?(config = default_config) (c : Circuit.t) stimulus =
         invalid_arg "Domino_sim.run: stimulus width mismatch";
       let pi_value = function
         | Pdn.S_pi { input; positive } -> if positive then pi.(input) else not pi.(input)
-        | Pdn.S_gate _ -> assert false
+        | Pdn.S_const _ | Pdn.S_gate _ -> assert false
       in
       (* ---------------- Precharge phase ---------------- *)
       let driven_high = Array.map (fun f -> Array.make f.n_nodes false) flats in
@@ -181,7 +181,7 @@ let run ?(config = default_config) (c : Circuit.t) stimulus =
               (fun t ->
                 match t.signal with
                 | Pdn.S_gate _ -> false
-                | Pdn.S_pi _ as s -> pi_value s)
+                | (Pdn.S_pi _ | Pdn.S_const _) as s -> pi_value s)
               f.transistors
           in
           let low_sources = ref [] in
@@ -202,7 +202,7 @@ let run ?(config = default_config) (c : Circuit.t) stimulus =
           let before = Array.copy charge in
           let sig_value = function
             | Pdn.S_gate g -> gate_out.(g)
-            | Pdn.S_pi _ as s -> pi_value s
+            | (Pdn.S_pi _ | Pdn.S_const _) as s -> pi_value s
           in
           let on = Array.map (fun t -> sig_value t.signal) f.transistors in
           let solve () =
@@ -261,9 +261,13 @@ let run ?(config = default_config) (c : Circuit.t) stimulus =
             f.transistors)
         flats;
       (* ---------------- Outputs and corruption check ---------------- *)
+      (* Output bindings may additionally be rail ties ([S_const]); gate
+         PDNs never contain them ([Circuit.validate] enforces this), so
+         [pi_value] above stays PI-only. *)
       let env_sim = function
         | Pdn.S_gate g -> gate_out.(g)
         | Pdn.S_pi _ as s -> pi_value s
+        | Pdn.S_const c -> c
       in
       let outputs = Array.map (fun (nm, s) -> (nm, env_sim s)) c.Circuit.outputs in
       let ideal = Circuit.eval c pi in

@@ -17,7 +17,7 @@ let same_function a b =
           List.iteri (fun k i -> if i = input then pos := k) inputs;
           let value = v land (1 lsl !pos) <> 0 in
           if positive then value else not value
-      | Pdn.S_gate _ -> false
+      | Pdn.S_gate _ | Pdn.S_const _ -> false
     in
     if Pdn.eval env a <> Pdn.eval env b then ok := false
   done;

@@ -60,7 +60,7 @@ let test_event_details () =
       (match e.Sim.Domino_sim.signal with
       | Pdn.S_pi { input; _ } ->
           Alcotest.(check bool) "B or C" true (input = 1 || input = 2)
-      | Pdn.S_gate _ -> Alcotest.fail "expected a PI-driven device")
+      | Pdn.S_gate _ | Pdn.S_const _ -> Alcotest.fail "expected a PI-driven device")
 
 let test_body_charge_threshold () =
   (* With a 5-cycle body threshold the 3-cycle charge is insufficient. *)

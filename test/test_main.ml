@@ -44,6 +44,8 @@ let () =
       ("alternatives", Test_alternatives.suite);
       ("vcd", Test_vcd.suite);
       ("equiv", Test_equiv.suite);
+      ("parallel", Test_parallel.suite);
+      ("constants", Test_constants.suite);
       ("differential", Test_differential.suite);
       ("properties", Test_props.suite);
       ("properties-2", Test_props2.suite);

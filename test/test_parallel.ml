@@ -1,0 +1,170 @@
+(* The domain pool, and the -j 1 vs -j N determinism contract of every
+   pipeline stage that draws on it. *)
+
+let with_pool jobs f =
+  let pool = Parallel.Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Parallel.Pool.shutdown pool) (fun () -> f pool)
+
+(* Resize the process-default pool for the duration of [f] only, so the
+   rest of the suite keeps the serial default. *)
+let with_jobs jobs f =
+  Parallel.Pool.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Parallel.Pool.set_jobs 1) f
+
+let test_map_order () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs @@ fun pool ->
+      let input = Array.init 100 Fun.id in
+      Alcotest.(check (array int))
+        (Printf.sprintf "squares in order (jobs=%d)" jobs)
+        (Array.map (fun i -> i * i) input)
+        (Parallel.Pool.map pool (fun i -> i * i) input))
+    [ 1; 2; 4 ]
+
+let test_map_edges () =
+  with_pool 4 @@ fun pool ->
+  Alcotest.(check (array int)) "empty" [||] (Parallel.Pool.map pool succ [||]);
+  Alcotest.(check (array int)) "single" [| 8 |] (Parallel.Pool.map pool succ [| 7 |]);
+  Alcotest.(check (list string)) "map_list" [ "1"; "2"; "3" ]
+    (Parallel.Pool.map_list pool string_of_int [ 1; 2; 3 ])
+
+let test_exception_propagation () =
+  with_pool 4 @@ fun pool ->
+  match
+    Parallel.Pool.map pool
+      (fun i -> if i >= 3 then failwith (string_of_int i) else i)
+      (Array.init 16 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected the task exception to re-raise"
+  | exception Failure msg ->
+      (* the batch runs to completion and the lowest failing index wins *)
+      Alcotest.(check string) "lowest-index exception" "3" msg
+
+let test_nested_maps () =
+  with_pool 3 @@ fun pool ->
+  let out =
+    Parallel.Pool.map pool
+      (fun i ->
+        Array.fold_left ( + ) 0
+          (Parallel.Pool.map pool (fun j -> (10 * i) + j) (Array.init 8 Fun.id)))
+      (Array.init 5 Fun.id)
+  in
+  Alcotest.(check (array int)) "inner sums"
+    (Array.init 5 (fun i -> (80 * i) + 28))
+    out
+
+let test_default_pool () =
+  Alcotest.(check int) "serial by default" 1 (Parallel.Pool.get_jobs ());
+  with_jobs 3 (fun () ->
+      Alcotest.(check int) "resized" 3 (Parallel.Pool.get_jobs ());
+      Alcotest.(check (array int)) "map_default order"
+        (Array.init 50 (fun i -> -i))
+        (Parallel.Pool.map_default (fun i -> -i) (Array.init 50 Fun.id)));
+  Alcotest.(check int) "restored" 1 (Parallel.Pool.get_jobs ())
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: the parallel pipeline stages must be bit-identical at  *)
+(* any worker count.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_fuzz_deterministic () =
+  let params =
+    {
+      Check.Fuzz.default_params with
+      Check.Fuzz.seed = 11;
+      budget = 8;
+      max_nodes = 200;
+      eval_vectors = 128;
+      sim_pairs = 4;
+    }
+  in
+  let report jobs =
+    with_jobs jobs (fun () -> Check.Report.to_json (Check.Fuzz.run params))
+  in
+  Alcotest.(check string) "fuzz report identical at -j1 and -j4" (report 1)
+    (report 4)
+
+let test_sweep_deterministic () =
+  let net = Gen.Suite.build_exn "cm150" in
+  let render jobs =
+    with_jobs jobs (fun () -> Mapper.Multi.render (Mapper.Multi.sweep net))
+  in
+  Alcotest.(check string) "portfolio sweep identical at -j1 and -j4" (render 1)
+    (render 4)
+
+let test_equiv_deterministic () =
+  let net = Gen.Suite.build_exn "cm150" in
+  let mapped =
+    Domino.Circuit.to_network
+      (Mapper.Algorithms.soi_domino_map net).Mapper.Algorithms.circuit
+  in
+  let verdict jobs =
+    with_jobs jobs (fun () -> Logic.Equiv.networks_per_output net mapped)
+  in
+  Alcotest.(check bool) "proven equivalent at -j1" true
+    (verdict 1 = Logic.Equiv.Equivalent);
+  Alcotest.(check bool) "same verdict at -j4" true (verdict 1 = verdict 4)
+
+let test_equiv_counterexample_deterministic () =
+  (* Two outputs; only the second differs.  The parallel per-cone check
+     must report the same first-in-output-order counterexample as the
+     serial loop. *)
+  let mk g =
+    let n = Logic.Network.create () in
+    let x = Logic.Network.add_input ~name:"x" n in
+    let y = Logic.Network.add_input ~name:"y" n in
+    Logic.Network.set_output n "same" (Logic.Network.add_gate n Logic.Gate.And [| x; y |]);
+    Logic.Network.set_output n "diff" (Logic.Network.add_gate n g [| x; y |]);
+    n
+  in
+  let a = mk Logic.Gate.And and b = mk Logic.Gate.Or in
+  let verdict jobs =
+    with_jobs jobs (fun () -> Logic.Equiv.networks_per_output a b)
+  in
+  let v1 = verdict 1 and v4 = verdict 4 in
+  (match v1 with
+  | Logic.Equiv.Counterexample { output; _ } ->
+      Alcotest.(check string) "differing output" "diff" output
+  | v ->
+      Alcotest.fail
+        (Format.asprintf "expected counterexample, got %a" Logic.Equiv.pp_verdict v));
+  Alcotest.(check bool) "same verdict at -j4" true (v1 = v4)
+
+let test_fuzz_cli_deterministic () =
+  (* End-to-end over the real executable: fuzz -j 1 and -j 4 must emit
+     byte-identical JSON reports and agree on the exit status. *)
+  let out jobs =
+    let path = Filename.temp_file "fuzz" (Printf.sprintf "-j%d.json" jobs) in
+    let cmd =
+      Printf.sprintf
+        "../bin/fuzz.exe --seed 3 --budget 6 --eval-vectors 64 --sim-pairs 2 \
+         --json -j %d > %s 2>/dev/null"
+        jobs (Filename.quote path)
+    in
+    let status = Sys.command cmd in
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    Sys.remove path;
+    (status, contents)
+  in
+  let s1, r1 = out 1 and s4, r4 = out 4 in
+  Alcotest.(check int) "same exit status" s1 s4;
+  Alcotest.(check string) "byte-identical JSON report" r1 r4
+
+let suite =
+  [
+    Alcotest.test_case "map preserves order" `Quick test_map_order;
+    Alcotest.test_case "map edge cases" `Quick test_map_edges;
+    Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+    Alcotest.test_case "nested maps" `Quick test_nested_maps;
+    Alcotest.test_case "default pool" `Quick test_default_pool;
+    Alcotest.test_case "fuzz determinism" `Slow test_fuzz_deterministic;
+    Alcotest.test_case "sweep determinism" `Slow test_sweep_deterministic;
+    Alcotest.test_case "equiv determinism" `Slow test_equiv_deterministic;
+    Alcotest.test_case "equiv counterexample determinism" `Quick
+      test_equiv_counterexample_deterministic;
+    Alcotest.test_case "fuzz CLI determinism" `Slow test_fuzz_cli_deterministic;
+  ]

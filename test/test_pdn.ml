@@ -41,7 +41,7 @@ let test_series_junctions () =
 let test_eval () =
   let env values = function
     | Pdn.S_pi { input; positive } -> if positive then values.(input) else not values.(input)
-    | Pdn.S_gate _ -> false
+    | Pdn.S_gate _ | Pdn.S_const _ -> false
   in
   (* (A*B + C) * D *)
   let check a b c d expect =
@@ -59,7 +59,7 @@ let test_eval_negative_literal () =
   let p = Pdn.Series (pi 0, npi 1) in
   let env values = function
     | Pdn.S_pi { input; positive } -> if positive then values.(input) else not values.(input)
-    | Pdn.S_gate _ -> false
+    | Pdn.S_gate _ | Pdn.S_const _ -> false
   in
   Alcotest.(check bool) "a & ~b" true (Pdn.eval (env [| true; false |]) p);
   Alcotest.(check bool) "a & ~b false" false (Pdn.eval (env [| true; true |]) p)

@@ -69,7 +69,7 @@ let pdn_semantics_equal a b =
       | Pdn.S_pi { input; positive } ->
           let value = v land (1 lsl input) <> 0 in
           if positive then value else not value
-      | Pdn.S_gate _ -> false
+      | Pdn.S_gate _ | Pdn.S_const _ -> false
     in
     if Pdn.eval env a <> Pdn.eval env b then ok := false
   done;
@@ -97,7 +97,7 @@ let prop_eval64_matches_eval =
       let env64 = function
         | Pdn.S_pi { input; positive } ->
             if positive then words.(input) else Int64.lognot words.(input)
-        | Pdn.S_gate _ -> 0L
+        | Pdn.S_gate _ | Pdn.S_const _ -> 0L
       in
       let packed = Pdn.eval64 env64 p in
       let ok = ref true in
@@ -108,7 +108,7 @@ let prop_eval64_matches_eval =
                 Int64.logand (Int64.shift_right_logical words.(input) lane) 1L = 1L
               in
               if positive then v else not v
-          | Pdn.S_gate _ -> false
+          | Pdn.S_gate _ | Pdn.S_const _ -> false
         in
         let expect = Pdn.eval env p in
         let got = Int64.logand (Int64.shift_right_logical packed lane) 1L = 1L in
