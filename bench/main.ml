@@ -69,6 +69,17 @@ let stage_benches =
       (stage (fun () -> ignore (Mapper.Engine.map Mapper.Engine.default_options c880_unate)));
     Test.make ~name:"stage/dp_soi(k2)"
       (stage (fun () -> ignore (Mapper.Engine.map Mapper.Engine.default_options k2_unate)));
+    (* The resilience ladder: budgeted DP (checkpoint overhead over
+       stage/dp_soi) and the greedy fallback it degrades to. *)
+    Test.make ~name:"stage/dp_soi_budgeted(c880)"
+      (stage (fun () ->
+           ignore
+             (Mapper.Engine.map
+                ~budget:(Resilience.Budget.make ~timeout:3600.0 ~max_tuples:max_int ())
+                Mapper.Engine.default_options c880_unate)));
+    Test.make ~name:"stage/dp_greedy(c880)"
+      (stage (fun () ->
+           ignore (Mapper.Engine.map_greedy Mapper.Engine.default_options c880_unate)));
     Test.make ~name:"stage/postprocess_rearrange(c880)"
       (stage (fun () -> ignore (Mapper.Postprocess.rearrange_stacks bulk_circuit)));
     Test.make ~name:"stage/pbe_analysis(c880)"

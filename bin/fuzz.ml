@@ -7,16 +7,46 @@
 
    Examples:
      fuzz --seed 1 --budget 200
-     fuzz --seed 7 --budget 500 --max-nodes 200 --json > report.json *)
+     fuzz --seed 7 -n 500 --max-nodes 200 --json > report.json
+     fuzz --chaos 42 -n 20 -j 2          # fault-injection smoke
+     fuzz --run-timeout 0.5 -n 100       # slow runs become report timeouts
+
+   Exit codes: 0 clean, 1 counterexample, 2 usage, 3 chaos-accounting
+   mismatch, 130 interrupted. *)
 
 open Cmdliner
 
-let run jobs seed budget max_nodes eval_vectors sim_pairs json verbose =
+let run jobs seed budget max_nodes eval_vectors sim_pairs json verbose
+    run_timeout chaos_seed =
   if jobs < 0 then begin
     prerr_endline "--jobs must be non-negative (0 = number of cores)";
     exit 2
   end;
   Parallel.Pool.set_jobs jobs;
+  let chaos =
+    match chaos_seed with
+    | None -> Resilience.Chaos.disabled
+    | Some seed -> Resilience.Chaos.make ~seed ()
+  in
+  let print_report r =
+    if json then print_endline (Check.Report.to_json r)
+    else Format.printf "@[<v>%a@]@." Check.Report.pp_human r
+  in
+  (* The fuzz loop publishes a snapshot after every merged chunk; ^C
+     flushes the latest one (marked incomplete) instead of losing the
+     whole session.  OCaml runs the handler at a safepoint, so printing
+     here is safe. *)
+  let partial = ref None in
+  Sys.set_signal Sys.sigint
+    (Sys.Signal_handle
+       (fun _ ->
+         (match !partial with
+         | None -> prerr_endline "fuzz: interrupted before the first run"
+         | Some r ->
+             prerr_endline "fuzz: interrupted; flushing partial report";
+             print_report r);
+         flush stdout;
+         exit 130));
   let params =
     {
       Check.Fuzz.default_params with
@@ -25,13 +55,24 @@ let run jobs seed budget max_nodes eval_vectors sim_pairs json verbose =
       max_nodes;
       eval_vectors;
       sim_pairs;
+      run_timeout;
+      chaos;
+      on_progress = (fun r -> partial := Some r);
       log = (if verbose && not json then prerr_endline else ignore);
     }
   in
   let report = Check.Fuzz.run params in
-  if json then print_endline (Check.Report.to_json report)
-  else Format.printf "@[<v>%a@]@." Check.Report.pp_human report;
-  match report.Check.Report.counterexample with None -> 0 | Some _ -> 1
+  print_report report;
+  match report.Check.Report.counterexample with
+  | Some _ -> 1
+  | None -> (
+      (* Self-check the chaos ledger: a clean complete run must account
+         for every injected fault in its report. *)
+      match Check.Chaos.verify_accounting chaos report with
+      | Ok _ -> 0
+      | Error msg ->
+          prerr_endline ("fuzz: " ^ msg);
+          3)
 
 let jobs =
   Arg.(
@@ -47,7 +88,7 @@ let seed =
 let budget =
   Arg.(
     value & opt int 100
-    & info [ "budget" ] ~docv:"N"
+    & info [ "budget"; "n" ] ~docv:"N"
         ~doc:"Number of (network, configuration) runs to execute.")
 
 let max_nodes =
@@ -76,12 +117,29 @@ let json =
 let verbose =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log failures as they occur.")
 
+let run_timeout =
+  Arg.(
+    value & opt (some float) None
+    & info [ "run-timeout" ] ~docv:"SEC"
+        ~doc:"Per-run wall-clock deadline.  A run that exceeds it is \
+              recorded in the report's timeout list (with the offending \
+              network seed) and the session continues.")
+
+let chaos_seed =
+  Arg.(
+    value & opt (some int) None
+    & info [ "chaos" ] ~docv:"SEED"
+        ~doc:"Enable seeded fault injection: runs and oracle stages \
+              randomly raise, stall, or exhaust their budget.  The exit \
+              status checks that every injected fault is accounted for in \
+              the report.")
+
 let cmd =
   let doc = "differential fuzzing of the SOI domino mapper" in
   Cmd.v
     (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ jobs $ seed $ budget $ max_nodes $ eval_vectors $ sim_pairs
-      $ json $ verbose)
+      $ json $ verbose $ run_timeout $ chaos_seed)
 
 let () = exit (Cmd.eval' cmd)

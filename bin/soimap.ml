@@ -53,8 +53,14 @@ let cost_of = function
           prerr_endline ("unknown cost model: " ^ s ^ " (area|depth|depth-bulk|<k>)");
           exit 2)
 
-let report name flow_name (r : Mapper.Algorithms.result) verify exact print_gates
-    timing spice verilog vcd net =
+(* Exit codes: 0 success (including Degraded under --on-exhaust degrade),
+   1 verification failure, 2 usage error, 3 budget exhausted under
+   --on-exhaust fail, 130 interrupted. *)
+let exit_verify_failed = 1
+let exit_exhausted = 3
+
+let report name flow_name (r : Mapper.Algorithms.result) degradations verify
+    exact max_bdd_nodes print_gates timing spice verilog vcd net =
   let c = r.Mapper.Algorithms.counts in
   Printf.printf
     "%s [%s]: Tlogic=%d Tdisch=%d Ttotal=%d Tclock=%d gates=%d levels=%d \
@@ -62,6 +68,10 @@ let report name flow_name (r : Mapper.Algorithms.result) verify exact print_gate
     name flow_name c.Domino.Circuit.t_logic c.Domino.Circuit.t_disch
     c.Domino.Circuit.t_total c.Domino.Circuit.t_clock c.Domino.Circuit.gate_count
     c.Domino.Circuit.levels c.Domino.Circuit.pi_inverters;
+  List.iter
+    (fun d ->
+      Printf.printf "  DEGRADED: %s\n" (Resilience.Outcome.describe_degradation d))
+    degradations;
   if print_gates then
     Format.printf "%a@." Domino.Circuit.pp r.Mapper.Algorithms.circuit;
   if timing then begin
@@ -103,18 +113,34 @@ let report name flow_name (r : Mapper.Algorithms.result) verify exact print_gate
     if not (equiv && free) then ok := false
   end;
   if exact then begin
-    let verdict = Domino.Circuit.equivalent_exact r.Mapper.Algorithms.circuit net in
-    Format.printf "  formal-equivalence: %a@." Logic.Equiv.pp_verdict verdict;
-    match verdict with Logic.Equiv.Equivalent -> () | _ -> ok := false
+    (* Under --max-bdd-nodes a blown cone degrades to seeded sampling
+       instead of an unconditional 'unknown'; the rendering says which. *)
+    let checked =
+      Domino.Circuit.equivalent_checked ?limit:max_bdd_nodes
+        r.Mapper.Algorithms.circuit net
+    in
+    Format.printf "  formal-equivalence: %a@." Logic.Equiv.pp_checked checked;
+    match checked.Logic.Equiv.verdict with
+    | Logic.Equiv.Equivalent -> ()
+    | _ -> ok := false
   end;
   !ok
 
 let main jobs blif bench_file pla bench flow cost w_max h_max verify exact
-    print_gates timing multi spice verilog vcd =
+    print_gates timing multi spice verilog vcd timeout max_tuples max_bdd_nodes
+    on_exhaust =
   if jobs < 0 then begin
     prerr_endline "--jobs must be non-negative (0 = number of cores)";
     exit 2
   end;
+  (* Flush whatever has been reported so far before dying on ^C: with
+     --flow all the completed flows' lines are already on stdout. *)
+  Sys.set_signal Sys.sigint
+    (Sys.Signal_handle
+       (fun _ ->
+         flush stdout;
+         prerr_endline "soimap: interrupted";
+         exit 130));
   Parallel.Pool.set_jobs jobs;
   let net = load blif bench_file pla bench in
   if multi then begin
@@ -123,6 +149,19 @@ let main jobs blif bench_file pla bench flow cost w_max h_max verify exact
   end;
   let name = Logic.Network.name net in
   let cost = cost_of cost in
+  let on_exhaust =
+    match on_exhaust with
+    | "fail" -> `Fail
+    | "degrade" -> `Degrade
+    | s ->
+        prerr_endline ("unknown --on-exhaust policy: " ^ s ^ " (fail|degrade)");
+        exit 2
+  in
+  let budget () =
+    (* One budget per flow: the tuple counter and deadline are per
+       mapping run, not shared across --flow all. *)
+    Resilience.Budget.make ?timeout ?max_tuples ?max_bdd_nodes ()
+  in
   let flows =
     match flow with
     | "bulk" -> [ Mapper.Algorithms.Domino_map ]
@@ -135,16 +174,31 @@ let main jobs blif bench_file pla bench flow cost w_max h_max verify exact
         prerr_endline ("unknown flow: " ^ s ^ " (bulk|rs|soi|all)");
         exit 2
   in
-  let all_ok =
-    List.fold_left
-      (fun acc f ->
-        let r = Mapper.Algorithms.run ~cost ~w_max ~h_max f net in
-        report name (Mapper.Algorithms.flow_name f) r verify exact print_gates
-          timing spice verilog vcd net
-        && acc)
-      true flows
-  in
-  if not all_ok then exit 1
+  let all_ok = ref true in
+  let exhausted = ref false in
+  List.iter
+    (fun f ->
+      match
+        Mapper.Algorithms.run_outcome ~budget:(budget ()) ~on_exhaust ~cost
+          ~w_max ~h_max f net
+      with
+      | Resilience.Outcome.Failed reason ->
+          (* --on-exhaust fail: report the flow and keep going, as with
+             verification failures, so --flow all shows every flow. *)
+          Printf.printf "%s [%s]: EXHAUSTED %s\n" name
+            (Mapper.Algorithms.flow_name f)
+            (Resilience.Budget.reason_to_string reason);
+          exhausted := true
+      | (Resilience.Outcome.Ok r | Resilience.Outcome.Degraded (r, _)) as o ->
+          if
+            not
+              (report name (Mapper.Algorithms.flow_name f) r
+                 (Resilience.Outcome.degradations o) verify exact max_bdd_nodes
+                 print_gates timing spice verilog vcd net)
+          then all_ok := false)
+    flows;
+  if !exhausted then exit exit_exhausted;
+  if not !all_ok then exit exit_verify_failed
 
 let cmd =
   let jobs =
@@ -218,12 +272,36 @@ let cmd =
     Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE"
            ~doc:"Simulate 64 random cycles and write a VCD waveform.")
   in
+  let timeout =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SEC"
+           ~doc:"Wall-clock budget per mapping run.  On exhaustion the \
+                 --on-exhaust policy decides between a greedy fallback \
+                 mapping and a hard stop.")
+  in
+  let max_tuples =
+    Arg.(value & opt (some int) None & info [ "max-tuples" ] ~docv:"N"
+           ~doc:"Budget on match tuples formed by the DP sweep (the \
+                 mapper's dominant memory cost).")
+  in
+  let max_bdd_nodes =
+    Arg.(value & opt (some int) None & info [ "max-bdd-nodes" ] ~docv:"N"
+           ~doc:"Node cap per BDD manager during --exact equivalence; a \
+                 blown cone degrades to seeded random sampling instead of \
+                 answering 'unknown'.")
+  in
+  let on_exhaust =
+    Arg.(value & opt string "degrade" & info [ "on-exhaust" ] ~docv:"POLICY"
+           ~doc:"What to do when a mapping budget trips: 'degrade' \
+                 (default) reruns the sweep with the greedy single-tuple \
+                 mapper and flags the result DEGRADED (exit 0 if it \
+                 verifies); 'fail' stops that flow and exits 3.")
+  in
   let doc = "technology mapping for SOI domino logic (Karandikar & Sapatnekar, DAC 2001)" in
   Cmd.v
     (Cmd.info "soimap" ~doc)
     Term.(
       const main $ jobs $ blif $ bench_file $ pla $ bench $ flow $ cost $ w_max
       $ h_max $ verify $ exact $ print_gates $ timing $ multi $ spice $ verilog
-      $ vcd)
+      $ vcd $ timeout $ max_tuples $ max_bdd_nodes $ on_exhaust)
 
 let () = exit (Cmd.eval cmd)

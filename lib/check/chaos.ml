@@ -1,0 +1,117 @@
+(* End-to-end chaos drills: prove, under seeded injected faults, that
+   the pipeline's fault-tolerance claims hold — a raising task cannot
+   wedge or poison the domain pool, a budgeted mapper degrades to a
+   still-correct mapping, and a chaos-wrapped fuzz run accounts for
+   every injected fault in its report.  The test-suite and the CI chaos
+   leg both drive these. *)
+
+open Resilience
+
+(* ------------------------------------------------------------------ *)
+(* Pool storm: batches of tasks that raise/delay/exhaust at seeded     *)
+(* points, each storm followed by a real batch that must still work.   *)
+(* ------------------------------------------------------------------ *)
+
+type storm_result = {
+  storms : int;  (* batches submitted *)
+  propagated : int;  (* storms whose first fault re-raised at the submitter *)
+  injected : int;  (* faults the injector fired, all kinds *)
+  usable : bool;  (* every post-storm verification batch was correct *)
+}
+
+let pool_storm ?(rounds = 4) ~jobs ~tasks ~seed () =
+  let chaos = Chaos.make ~rate:0.5 ~delay:0.0002 ~seed () in
+  let pool = Parallel.Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Parallel.Pool.shutdown pool) @@ fun () ->
+  let propagated = ref 0 in
+  let usable = ref true in
+  let reference = Array.init 32 (fun i -> i * i) in
+  for r = 0 to rounds - 1 do
+    (match
+       Parallel.Pool.map pool
+         (fun i ->
+           Chaos.inject chaos ~site:"pool.task" ~salt:((r * tasks) + i) ();
+           i)
+         (Array.init tasks Fun.id)
+     with
+    | _ -> ()
+    | exception Chaos.Injected _ -> incr propagated
+    | exception Budget.Exhausted (Budget.Injected _) -> incr propagated);
+    (* The pool must survive the storm and still compute correctly. *)
+    let out = Parallel.Pool.map pool (fun i -> i * i) (Array.init 32 Fun.id) in
+    if out <> reference then usable := false
+  done;
+  {
+    storms = rounds;
+    propagated = !propagated;
+    injected = Chaos.total_injected chaos;
+    usable = !usable;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Chaos-wrapped fuzzing and fault accounting.                         *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_storm ?(rate = 0.25) ?run_timeout ~seed ~budget () =
+  let chaos = Chaos.make ~rate ~seed () in
+  let params =
+    { Fuzz.default_params with Fuzz.seed; budget; chaos; run_timeout }
+  in
+  (Fuzz.run params, chaos)
+
+(* A complete report must mention every fault the injector fired: the
+   merged (raises + delays + exhausts) equals the injector's counter.
+   An early-stopped report discards the outcomes computed past the stop
+   point, so its merged counts legitimately undercount; accounting is
+   then unverifiable and the merged count is returned as-is. *)
+let verify_accounting chaos (report : Report.t) =
+  let merged =
+    report.Report.chaos.Report.raises + report.Report.chaos.Report.delays
+    + report.Report.chaos.Report.exhausts
+  in
+  if not report.Report.complete then Ok merged
+  else
+    let fired = Chaos.total_injected chaos in
+    if merged = fired then Ok merged
+    else
+      Error
+        (Printf.sprintf
+           "chaos accounting mismatch: %d faults injected but %d in the \
+            report (%d raises, %d delays, %d exhausts)"
+           fired merged report.Report.chaos.Report.raises
+           report.Report.chaos.Report.delays
+           report.Report.chaos.Report.exhausts)
+
+(* ------------------------------------------------------------------ *)
+(* Degradation sweep: the acceptance drill for budgeted mapping.       *)
+(* ------------------------------------------------------------------ *)
+
+type sweep_row = {
+  bench : string;
+  outcome : string;  (* "ok" | "degraded" | "failed" *)
+  equivalent : bool;  (* the mapped (possibly degraded) circuit verified *)
+}
+
+(* Map every suite circuit under a deliberately tiny tuple budget with
+   the degrade policy: every row must come back Ok or Degraded — never
+   Failed — and the resulting circuit must still verify equivalent to
+   its source (sampled equivalence is accepted; the point here is the
+   mapping, not the prover). *)
+let degradation_sweep ?(max_tuples = 500) ?(vectors = 2048) () =
+  List.map
+    (fun e ->
+      let net = e.Gen.Suite.build () in
+      let budget = Budget.make ~max_tuples () in
+      let outcome =
+        Mapper.Algorithms.run_outcome ~budget ~on_exhaust:`Degrade
+          Mapper.Algorithms.Soi_domino_map net
+      in
+      let equivalent =
+        match Outcome.value outcome with
+        | None -> false
+        | Some r ->
+            Domino.Circuit.equivalent_to ~vectors r.Mapper.Algorithms.circuit
+              r.Mapper.Algorithms.unate
+      in
+      { bench = e.Gen.Suite.name; outcome = Outcome.label outcome; equivalent })
+    Gen.Suite.all

@@ -11,7 +11,17 @@ open Unate
    chunks on the default {!Parallel.Pool} and merged back in run order,
    and the report — runs, skips, oracle totals, the counterexample and
    its shrink — is bit-identical at any worker count.  Everything is
-   deterministic in [params.seed]. *)
+   deterministic in [params.seed].
+
+   Two opt-in knobs bend that contract deliberately:
+   [run_timeout] imposes a per-run wall-clock deadline, so a pathological
+   run is recorded as a timeout in the report (with the seed that
+   rebuilds it) instead of wedging the pool — by nature wall-clock
+   verdicts can differ between machines, though not between worker
+   counts on the same hardware unless the load differs.  [chaos] injects
+   seeded faults (raise, delay, budget exhaustion) at the run and oracle
+   stage boundaries; decisions are a pure hash of (chaos seed, site, run
+   index), so injected faults are the same at any [-j]. *)
 
 type params = {
   seed : int;
@@ -20,7 +30,12 @@ type params = {
   eval_vectors : int; (* per-run budget of the bit-parallel oracle *)
   sim_pairs : int;    (* per-run hold/strike pairs for the PBE oracle *)
   shrink_checks : int;
+  run_timeout : float option;  (* per-run wall-clock deadline, seconds *)
+  chaos : Resilience.Chaos.t;  (* seeded fault injection (default off) *)
   log : string -> unit;
+  on_progress : Report.t -> unit;
+      (* called with a partial report after each merged chunk; the
+         SIGINT handlers use it to flush what was already measured *)
 }
 
 let default_params =
@@ -31,7 +46,10 @@ let default_params =
     eval_vectors = 1024;
     sim_pairs = 16;
     shrink_checks = 2_000;
+    run_timeout = None;
+    chaos = Resilience.Chaos.disabled;
     log = ignore;
+    on_progress = ignore;
   }
 
 type net_shape = {
@@ -97,33 +115,101 @@ type outcome =
       oracle_seed : int;
       failure : Oracle.failure;
     }
+  | O_timeout of {
+      burned : int;
+      net_seed : int option;  (* known once generation completed *)
+      reason : string;
+    }
+  | O_aborted of { site : string }  (* run killed by an injected raise *)
 
-(* Run [i] of the budget: a pure function of [(params, i)]. *)
+(* One run's outcome plus every chaos fault that fired during it, in
+   firing order, so the merge phase can account for all of them —
+   delays included — without any order-dependent global counter. *)
+type run_result = {
+  faults : (string * Resilience.Chaos.fault) list;  (* (site, fault) *)
+  outcome : outcome;
+}
+
+(* Run [i] of the budget: a pure function of [(params, i)] — modulo the
+   wall clock when [run_timeout] is set, and the sleep of an injected
+   delay. *)
 let exec_run params i =
-  let rng = Logic.Rng.stream (params.seed lxor 0xF022) i in
-  let candidate, burned = gen_unetwork rng params.max_nodes in
-  match candidate with
-  | None -> O_exhausted burned
-  | Some (u, shape) -> (
-      let cfg = Gen_config.sample rng in
-      let oracle_seed = Logic.Rng.int rng 0x3FFFFFFF in
-      match
-        Oracle.check ~eval_vectors:params.eval_vectors
-          ~sim_pairs:params.sim_pairs ~seed:oracle_seed u cfg
-      with
-      | Oracle.Pass stats ->
-          O_pass { burned; stats; circuit = Oracle.build u cfg; oracle_seed }
-      | Oracle.Fail failure ->
-          O_fail { burned; shape; u; cfg; oracle_seed; failure })
+  let faults = ref [] in
+  let note site f = faults := (site, f) :: !faults in
+  let inject = Resilience.Chaos.point_for params.chaos ~note ~salt:i () in
+  let budget =
+    match params.run_timeout with
+    | None -> Resilience.Budget.unlimited
+    | Some s -> Resilience.Budget.make ~timeout:s ()
+  in
+  let outcome =
+    try
+      inject ~site:"fuzz.run";
+      let rng = Logic.Rng.stream (params.seed lxor 0xF022) i in
+      let candidate, burned = gen_unetwork rng params.max_nodes in
+      match candidate with
+      | None -> O_exhausted burned
+      | Some (u, shape) -> (
+          let cfg = Gen_config.sample rng in
+          let oracle_seed = Logic.Rng.int rng 0x3FFFFFFF in
+          match
+            Oracle.check ~eval_vectors:params.eval_vectors
+              ~sim_pairs:params.sim_pairs ~seed:oracle_seed ~budget ~inject u
+              cfg
+          with
+          | Oracle.Pass stats ->
+              O_pass { burned; stats; circuit = Oracle.build u cfg; oracle_seed }
+          | Oracle.Fail failure ->
+              O_fail { burned; shape; u; cfg; oracle_seed; failure }
+          | exception Resilience.Budget.Exhausted reason ->
+              O_timeout
+                {
+                  burned;
+                  net_seed = Some shape.ns_seed;
+                  reason = Resilience.Budget.reason_to_string reason;
+                })
+    with
+    | Resilience.Budget.Exhausted reason ->
+        O_timeout
+          { burned = 0; net_seed = None;
+            reason = Resilience.Budget.reason_to_string reason }
+    | Resilience.Chaos.Injected (site, _) -> O_aborted { site }
+  in
+  { faults = List.rev !faults; outcome }
 
 let run params =
   let pool = Parallel.Pool.default () in
   let runs = ref 0 and skipped = ref 0 in
   let eval_vectors = ref 0 and sim_cycles = ref 0 in
-  let bdd_exact_runs = ref 0 in
+  let bdd_exact_runs = ref 0 and bdd_sampled_vectors = ref 0 in
   let stripped_probes = ref 0 and stripped_event_probes = ref 0 in
+  let timeouts = ref [] in
+  let chaos_raises = ref 0 and chaos_delays = ref 0 and chaos_exhausts = ref 0 in
   let first_failure = ref None in
   let stopped = ref false in
+  let snapshot ~complete counterexample =
+    {
+      Report.seed = params.seed;
+      budget = params.budget;
+      runs = !runs;
+      skipped = !skipped;
+      eval_vectors = !eval_vectors;
+      sim_cycles = !sim_cycles;
+      bdd_exact_runs = !bdd_exact_runs;
+      bdd_sampled_vectors = !bdd_sampled_vectors;
+      stripped_probes = !stripped_probes;
+      stripped_event_probes = !stripped_event_probes;
+      timeouts = List.rev !timeouts;
+      chaos =
+        {
+          Report.raises = !chaos_raises;
+          delays = !chaos_delays;
+          exhausts = !chaos_exhausts;
+        };
+      complete;
+      counterexample;
+    }
+  in
   (* Chunks bound how far past a failure (or generator exhaustion) we
      compute; outcomes past the stop point are discarded unmerged, so
      the report does not depend on the chunk size or worker count. *)
@@ -131,13 +217,20 @@ let run params =
   let base = ref 0 in
   while (not !stopped) && !base < params.budget do
     let n = min chunk_size (params.budget - !base) in
-    let outcomes =
+    let results =
       Parallel.Pool.map pool (exec_run params)
         (Array.init n (fun k -> !base + k))
     in
-    Array.iter
-      (fun outcome ->
-        if not !stopped then
+    Array.iteri
+      (fun k { faults; outcome } ->
+        if not !stopped then begin
+          List.iter
+            (fun (_site, fault) ->
+              match fault with
+              | Resilience.Chaos.Raise -> incr chaos_raises
+              | Resilience.Chaos.Delay -> incr chaos_delays
+              | Resilience.Chaos.Exhaust -> incr chaos_exhausts)
+            faults;
           match outcome with
           | O_exhausted burned ->
               (* generator gave up; report honest counts *)
@@ -148,7 +241,10 @@ let run params =
               incr runs;
               eval_vectors := !eval_vectors + stats.Oracle.eval_vectors;
               sim_cycles := !sim_cycles + stats.Oracle.sim_cycles;
-              if stats.Oracle.bdd_exact then incr bdd_exact_runs;
+              if stats.Oracle.bdd_exact then incr bdd_exact_runs
+              else
+                bdd_sampled_vectors :=
+                  !bdd_sampled_vectors + stats.Oracle.bdd_sampled_vectors;
               (* Negative oracle: stripping protection from a mapping
                  that carries discharge transistors should eventually
                  fire PBE events somewhere across the run. *)
@@ -167,9 +263,24 @@ let run params =
               skipped := !skipped + burned;
               incr runs;
               first_failure := Some (!runs, shape, u, cfg, oracle_seed, f);
-              stopped := true)
-      outcomes;
-    base := !base + n
+              stopped := true
+          | O_timeout { burned; net_seed; reason } ->
+              (* The run is recorded, with the seed that rebuilds its
+                 network, and the loop carries on: a deadline is a
+                 resource verdict, not a correctness one. *)
+              skipped := !skipped + burned;
+              timeouts :=
+                { Report.t_run = !base + k + 1; t_net_seed = net_seed;
+                  t_reason = reason }
+                :: !timeouts
+          | O_aborted { site = _ } ->
+              (* Killed by an injected raise; the fault itself was
+                 already counted from [faults]. *)
+              ()
+        end)
+      results;
+    base := !base + n;
+    if not !stopped then params.on_progress (snapshot ~complete:false None)
   done;
   (* Shrinking stays serial: it is a greedy fixpoint over oracle calls
      seeded by the failing run, already deterministic. *)
@@ -221,15 +332,4 @@ let run params =
             shrink_checks = shrunk.Shrink.checks;
           }
   in
-  {
-    Report.seed = params.seed;
-    budget = params.budget;
-    runs = !runs;
-    skipped = !skipped;
-    eval_vectors = !eval_vectors;
-    sim_cycles = !sim_cycles;
-    bdd_exact_runs = !bdd_exact_runs;
-    stripped_probes = !stripped_probes;
-    stripped_event_probes = !stripped_event_probes;
-    counterexample;
-  }
+  snapshot ~complete:(not !stopped) counterexample

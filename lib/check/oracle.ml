@@ -35,7 +35,8 @@ type failure = {
 type stats = {
   eval_vectors : int;  (* vectors checked by the bit-parallel oracle *)
   sim_cycles : int;    (* clock cycles simulated by the PBE oracle *)
-  bdd_exact : bool;    (* false when the BDD limit forced the MC fallback *)
+  bdd_exact : bool;    (* false when the BDD node cap forced sampling *)
+  bdd_sampled_vectors : int;  (* vectors drawn by that fallback (0 if exact) *)
 }
 
 type verdict = Pass of stats | Fail of failure
@@ -48,8 +49,8 @@ let fail kind fmt =
 (* Map [u] under [cfg], applying the flow postprocess the paper pairs with
    each style: bulk circuits get their discharge transistors from the
    standalone analysis pass, SOI circuits carry the engine's own. *)
-let build u (cfg : Gen_config.t) =
-  let circuit, _stats = Engine.map cfg.Gen_config.opts u in
+let build ?budget u (cfg : Gen_config.t) =
+  let circuit, _stats = Engine.map ?budget cfg.Gen_config.opts u in
   let circuit =
     match cfg.Gen_config.opts.Engine.style with
     | Engine.Bulk -> Postprocess.insert_discharges circuit
@@ -58,39 +59,44 @@ let build u (cfg : Gen_config.t) =
   if cfg.Gen_config.rearrange then Postprocess.rearrange_stacks circuit
   else circuit
 
-let check_bdd u circuit =
+(* BDD equivalence with the degradation ladder built in: per-output-cone
+   BDDs under the budget's node cap, each blown cone degrading to seeded
+   bit-parallel sampling (the vector count lands in the stats).  Returns
+   [Ok (exact, sampled_vectors)] on agreement. *)
+let check_bdd ~budget ~seed u circuit =
   let source = Unate.Unetwork.to_network u in
-  match Circuit.equivalent_exact circuit source with
-  | Logic.Equiv.Equivalent -> Ok true
+  let limit = Resilience.Budget.max_bdd_nodes budget in
+  let checked =
+    Logic.Equiv.networks_per_output_or_sample ?limit ~seed:(seed lxor 0xB0D)
+      source (Circuit.to_network circuit)
+  in
+  match checked.Logic.Equiv.verdict with
+  | Logic.Equiv.Equivalent ->
+      Ok (checked.Logic.Equiv.exact, checked.Logic.Equiv.sampled_vectors)
   | Logic.Equiv.Counterexample { input; output } ->
       Error
         {
           kind = Bdd;
-          detail = "BDD reconstruction differs from source";
+          detail =
+            (if checked.Logic.Equiv.exact then
+               "BDD reconstruction differs from source"
+             else "sampled fallback: reconstruction differs from source");
           cex_input = Some input;
           cex_output = Some output;
         }
-  | Logic.Equiv.Unknown _ -> (
-      (* BDD blew past its node limit; fall back to Monte-Carlo over the
-         same reconstruction so big circuits are still covered. *)
-      match Logic.Eval.counterexample source (Circuit.to_network circuit) with
-      | None -> Ok false
-      | Some (input, output) ->
-          Error
-            {
-              kind = Bdd;
-              detail = "MC fallback: reconstruction differs from source";
-              cex_input = Some input;
-              cex_output = Some output;
-            })
+  | Logic.Equiv.Unknown reason ->
+      (* Only interface mismatches survive the sampling fallback. *)
+      Error
+        { kind = Bdd; detail = reason; cex_input = None; cex_output = None }
 
-let check_eval ~vectors ~rng u circuit =
+let check_eval ~budget ~vectors ~rng u circuit =
   let n = Array.length (Unate.Unetwork.inputs u) in
   let rounds = (vectors + 63) / 64 in
   let failure = ref None in
   let round = ref 0 in
   while !failure = None && !round < rounds do
     incr round;
+    Resilience.Budget.check_deadline budget;
     let words = Array.init n (fun _ -> Logic.Rng.next64 rng) in
     let rc = Circuit.eval64 circuit words in
     let ru = Unate.Unetwork.eval64 u words in
@@ -159,24 +165,41 @@ let check_pbe ~pairs ~rng circuit =
       }
   else Ok cycles
 
-let check ?(eval_vectors = 2048) ?(sim_pairs = 24) ?(seed = 0) u cfg =
-  match build u cfg with
+(* The wall clock is consulted between stages and inside each stage's
+   round loop; [inject] fires the chaos faults at the stage boundaries.
+   Budget exhaustion and injected faults are *not* oracle verdicts: they
+   re-raise so the driver can record the run as a timeout / injected
+   fault instead of a mapper crash. *)
+let check ?(eval_vectors = 2048) ?(sim_pairs = 24) ?(seed = 0)
+    ?(budget = Resilience.Budget.unlimited)
+    ?(inject = Resilience.Chaos.no_point) u cfg =
+  Resilience.Budget.check_deadline budget;
+  inject ~site:"oracle.map";
+  match build ~budget u cfg with
+  | exception (Resilience.Budget.Exhausted _ as e) -> raise e
   | exception e -> fail Crash "mapper raised: %s" (Printexc.to_string e)
   | circuit -> (
       match Circuit.validate circuit with
       | Error e -> fail Structure "invalid circuit: %s" e
       | Ok () -> (
-          match check_bdd u circuit with
+          Resilience.Budget.check_deadline budget;
+          inject ~site:"oracle.bdd";
+          match check_bdd ~budget ~seed u circuit with
           | Error f -> Fail f
-          | Ok bdd_exact -> (
+          | Ok (bdd_exact, bdd_sampled_vectors) -> (
               let rng = Logic.Rng.create (seed lxor 0xD1FF) in
-              match check_eval ~vectors:eval_vectors ~rng u circuit with
+              inject ~site:"oracle.eval";
+              match check_eval ~budget ~vectors:eval_vectors ~rng u circuit with
               | Error f -> Fail f
               | Ok eval_vectors -> (
+                  Resilience.Budget.check_deadline budget;
+                  inject ~site:"oracle.pbe";
                   match check_pbe ~pairs:sim_pairs ~rng circuit with
                   | Error f -> Fail f
-                  | Ok sim_cycles -> Pass { eval_vectors; sim_cycles; bdd_exact }
-                  ))))
+                  | Ok sim_cycles ->
+                      Pass
+                        { eval_vectors; sim_cycles; bdd_exact;
+                          bdd_sampled_vectors }))))
 
 (* Negative oracle: the same stimulus against the mapping with its
    discharge transistors stripped.  Returns the event count — the caller

@@ -22,6 +22,20 @@ type counterexample = {
   shrink_checks : int;
 }
 
+type timeout_run = {
+  t_run : int;              (* 1-based absolute run index *)
+  t_net_seed : int option;  (* generator seed, when generation completed *)
+  t_reason : string;        (* which budget tripped, e.g. deadline(0.5s) *)
+}
+
+type chaos_counts = {
+  raises : int;    (* injected exceptions (the run is aborted, counted) *)
+  delays : int;    (* injected sleeps (the run completes normally) *)
+  exhausts : int;  (* injected budget exhaustions (recorded as timeouts) *)
+}
+
+let no_chaos = { raises = 0; delays = 0; exhausts = 0 }
+
 type t = {
   seed : int;
   budget : int;
@@ -30,8 +44,15 @@ type t = {
   eval_vectors : int;       (* total vectors through the bit-parallel oracle *)
   sim_cycles : int;         (* total cycles through the PBE simulator *)
   bdd_exact_runs : int;     (* runs where the BDD oracle completed exactly *)
+  bdd_sampled_vectors : int;    (* vectors drawn by the sampled-equivalence
+                                   fallback across all non-exact runs *)
   stripped_probes : int;    (* negative-oracle probes attempted *)
   stripped_event_probes : int;  (* probes where stripping produced PBE events *)
+  timeouts : timeout_run list;  (* runs stopped by the per-run deadline *)
+  chaos : chaos_counts;     (* injected faults observed, by kind *)
+  complete : bool;          (* false when the loop stopped early (failure or
+                               generator exhaustion) and later outcomes were
+                               discarded — accounting checks must skip *)
   counterexample : counterexample option;
 }
 
@@ -115,14 +136,26 @@ let json_of_counterexample cex =
     (json_of_config cex.shrunk_config)
     cex.shrink_checks (json_str cex.shrunk_dump)
 
+let json_of_timeout t =
+  Printf.sprintf "{\"run\": %d, \"net_seed\": %s, \"reason\": %s}" t.t_run
+    (match t.t_net_seed with None -> "null" | Some s -> string_of_int s)
+    (json_str t.t_reason)
+
 let to_json r =
   Printf.sprintf
     "{\"seed\": %d, \"budget\": %d, \"runs\": %d, \"skipped\": %d, \
      \"eval_vectors\": %d, \"sim_cycles\": %d, \"bdd_exact_runs\": %d, \
+     \"bdd_sampled_vectors\": %d, \
      \"stripped_probes\": %d, \"stripped_event_probes\": %d, \
+     \"timeouts\": [%s], \
+     \"chaos\": {\"raises\": %d, \"delays\": %d, \"exhausts\": %d}, \
+     \"complete\": %b, \
      \"counterexample\": %s}"
     r.seed r.budget r.runs r.skipped r.eval_vectors r.sim_cycles
-    r.bdd_exact_runs r.stripped_probes r.stripped_event_probes
+    r.bdd_exact_runs r.bdd_sampled_vectors r.stripped_probes
+    r.stripped_event_probes
+    (String.concat ", " (List.map json_of_timeout r.timeouts))
+    r.chaos.raises r.chaos.delays r.chaos.exhausts r.complete
     (match r.counterexample with
     | None -> "null"
     | Some cex -> json_of_counterexample cex)
@@ -134,6 +167,26 @@ let pp_human fmt r =
     \  negative oracle: %d/%d stripped probes exhibited PBE@,"
     r.seed r.budget r.runs r.skipped r.eval_vectors r.sim_cycles
     r.bdd_exact_runs r.runs r.stripped_event_probes r.stripped_probes;
+  if r.bdd_sampled_vectors > 0 then
+    Format.fprintf fmt "  sampled-equivalence fallback: %d vectors@,"
+      r.bdd_sampled_vectors;
+  if r.timeouts <> [] then begin
+    Format.fprintf fmt "  %d run(s) hit the per-run deadline:@,"
+      (List.length r.timeouts);
+    List.iter
+      (fun t ->
+        Format.fprintf fmt "    run %d (%s): net_seed=%s@," t.t_run t.t_reason
+          (match t.t_net_seed with
+          | None -> "unknown"
+          | Some s -> string_of_int s))
+      r.timeouts
+  end;
+  if r.chaos <> no_chaos then
+    Format.fprintf fmt
+      "  chaos: %d raises, %d delays, %d exhausts injected@,"
+      r.chaos.raises r.chaos.delays r.chaos.exhausts;
+  if not r.complete then
+    Format.fprintf fmt "  (stopped early; later runs were not executed)@,";
   match r.counterexample with
   | None -> Format.fprintf fmt "  no counterexample found@,"
   | Some cex ->

@@ -172,6 +172,10 @@ let to_network c =
 let equivalent_exact ?limit c source =
   Logic.Equiv.networks_per_output ?limit source (to_network c)
 
+let equivalent_checked ?limit ?vectors ?seed c source =
+  Logic.Equiv.networks_per_output_or_sample ?limit ?vectors ?seed source
+    (to_network c)
+
 let pp fmt c =
   Format.fprintf fmt "@[<v>domino circuit %s: %d gates@," c.source (Array.length c.gates);
   Array.iter (fun g -> Format.fprintf fmt "  %a@," Domino_gate.pp g) c.gates;

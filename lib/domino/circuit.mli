@@ -60,5 +60,18 @@ val equivalent_exact : ?limit:int -> t -> Logic.Network.t -> Logic.Equiv.verdict
 (** [equivalent_exact c source] formally compares the mapped circuit
     against the network it was mapped from, via {!to_network} and BDDs. *)
 
+val equivalent_checked :
+  ?limit:int ->
+  ?vectors:int ->
+  ?seed:int ->
+  t ->
+  Logic.Network.t ->
+  Logic.Equiv.checked
+(** {!equivalent_exact} with the degradation ladder: output cones whose
+    BDDs blow the [limit] node cap fall back to seeded bit-parallel
+    sampling, and the result records whether the verdict is exact and
+    how many vectors the fallback drew
+    ({!Logic.Equiv.networks_per_output_or_sample}). *)
+
 val pp : Format.formatter -> t -> unit
 (** Multi-line listing of every gate and output binding. *)

@@ -1,9 +1,12 @@
 type t = int
 
+exception Node_limit of int
+
 (* Node storage: three growable parallel arrays.  Handles 0 and 1 are the
    constants and must never be dereferenced. *)
 type manager = {
   nvars : int;
+  max_nodes : int;  (* hard cap; [mk] raises [Node_limit] past it *)
   mutable var_of : int array;
   mutable low_of : int array;
   mutable high_of : int array;
@@ -14,12 +17,14 @@ type manager = {
 
 let terminal_var = max_int
 
-let manager ?(size_hint = 1024) ~nvars () =
+let manager ?(size_hint = 1024) ?(max_nodes = max_int) ~nvars () =
   if nvars < 0 then invalid_arg "Bdd.manager: negative variable count";
+  if max_nodes < 1 then invalid_arg "Bdd.manager: max_nodes must be positive";
   let cap = max 16 size_hint in
   let m =
     {
       nvars;
+      max_nodes;
       var_of = Array.make cap terminal_var;
       low_of = Array.make cap (-1);
       high_of = Array.make cap (-1);
@@ -55,6 +60,7 @@ let mk m v lo hi =
     match Hashtbl.find_opt m.unique key with
     | Some id -> id
     | None ->
+        if m.next - 2 >= m.max_nodes then raise (Node_limit m.max_nodes);
         if m.next >= Array.length m.var_of then grow m;
         let id = m.next in
         m.next <- id + 1;

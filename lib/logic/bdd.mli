@@ -19,9 +19,20 @@ type manager
 type t = private int
 (** A BDD node handle, valid within its manager. *)
 
-val manager : ?size_hint:int -> nvars:int -> unit -> manager
+exception Node_limit of int
+(** Raised by any constructing operation when the manager's hard
+    [max_nodes] cap is crossed (the cap, not the attempted count, is
+    carried).  Unlike the soft per-network limit of {!of_network} —
+    which is only consulted between network nodes — the hard cap also
+    stops a single runaway [ite] mid-apply, so a budgeted caller is
+    protected from pathological intermediate growth. *)
+
+val manager : ?size_hint:int -> ?max_nodes:int -> nvars:int -> unit -> manager
 (** [manager ~nvars ()] creates a manager over variables [0..nvars-1].
-    @raise Invalid_argument if [nvars < 0]. *)
+    [max_nodes] (default unlimited) is a hard cap on live nodes; see
+    {!Node_limit}.  It is set by the {!Equiv} callers from their
+    budgets.  @raise Invalid_argument if [nvars < 0] or
+    [max_nodes < 1]. *)
 
 val zero : manager -> t
 (** The constant-false function. *)

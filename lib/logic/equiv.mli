@@ -26,9 +26,42 @@ val networks_per_output : ?limit:int -> Network.t -> Network.t -> verdict
     which completes on wide circuits whose combined BDDs blow past the
     node limit.  The first non-equivalent verdict is returned. *)
 
+(** {1 Degradable checking}
+
+    The budgeted rung of the verification ladder: try the exact BDD
+    comparison under a node cap; when the cap trips (a typed
+    {!Bdd.Node_limit}, caught even mid-apply), fall back to seeded
+    bit-parallel sampling instead of giving up with [Unknown].  The
+    result says honestly what was established: [exact = true] is a
+    proof, [exact = false] is [sampled_vectors] random vectors of
+    evidence under [sample_seed]. *)
+
+type checked = {
+  verdict : verdict;
+  exact : bool;  (** [true]: BDD proof; [false]: sampled evidence only *)
+  sampled_vectors : int;  (** vectors drawn by the fallback (0 if exact) *)
+  sample_seed : int;  (** seed of the sampling rng, for reproduction *)
+}
+
+val networks_or_sample :
+  ?limit:int -> ?vectors:int -> ?seed:int -> Network.t -> Network.t -> checked
+(** {!networks}, degrading to [vectors] (default 4096) sampled vectors
+    when the BDDs blow past [limit] nodes.  Interface mismatches still
+    return an exact [Unknown] — sampling cannot help there. *)
+
+val networks_per_output_or_sample :
+  ?limit:int -> ?vectors:int -> ?seed:int -> Network.t -> Network.t -> checked
+(** {!networks_per_output}, degrading per cone: only the cones whose
+    BDDs blow the cap are sampled, and [sampled_vectors] totals their
+    budgets.  [exact] is [true] only if every cone was proven. *)
+
 val check : ?limit:int -> Network.t -> Network.t -> bool
 (** [check a b] is [true] exactly for [Equivalent].  [Unknown] is treated
     as failure. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
 (** Human-readable rendering of a verdict. *)
+
+val pp_checked : Format.formatter -> checked -> unit
+(** Like {!pp_verdict}, annotating sampled (non-proof) results with
+    their vector count and seed. *)

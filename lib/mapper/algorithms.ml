@@ -21,16 +21,16 @@ let prepare ?(extract = false) net =
   let net = Unate.Decompose.to_aoi net in
   Unate.Unetwork.of_network net
 
-let run ?(cost = Cost.area) ?(w_max = 5) ?(h_max = 8) ?(both_orders = true)
-    ?(grounded_at_foot = true) ?(pareto_width = 1) ?(extract = false) flow net =
-  let u = prepare ~extract net in
+let options_of ~cost ~w_max ~h_max ~both_orders ~grounded_at_foot ~pareto_width
+    flow =
   let style =
     match flow with Domino_map | Rs_map -> Engine.Bulk | Soi_domino_map -> Engine.Soi
   in
-  let options =
-    { Engine.w_max; h_max; style; cost; both_orders; grounded_at_foot; pareto_width }
-  in
-  let circuit, stats = Engine.map options u in
+  { Engine.w_max; h_max; style; cost; both_orders; grounded_at_foot; pareto_width }
+
+(* The flow-specific postprocess is linear in the circuit, so it runs on
+   degraded mappings unbudgeted, exactly as on full ones. *)
+let finish flow u circuit stats =
   let circuit =
     match flow with
     | Domino_map -> Postprocess.insert_discharges circuit
@@ -44,6 +44,28 @@ let run ?(cost = Cost.area) ?(w_max = 5) ?(h_max = 8) ?(both_orders = true)
         Postprocess.rearrange_stacks circuit
   in
   { circuit; counts = Domino.Circuit.counts circuit; unate = u; stats }
+
+let run ?(cost = Cost.area) ?(w_max = 5) ?(h_max = 8) ?(both_orders = true)
+    ?(grounded_at_foot = true) ?(pareto_width = 1) ?(extract = false) flow net =
+  let u = prepare ~extract net in
+  let options =
+    options_of ~cost ~w_max ~h_max ~both_orders ~grounded_at_foot ~pareto_width
+      flow
+  in
+  let circuit, stats = Engine.map options u in
+  finish flow u circuit stats
+
+let run_outcome ?(budget = Resilience.Budget.unlimited) ?(on_exhaust = `Degrade)
+    ?(cost = Cost.area) ?(w_max = 5) ?(h_max = 8) ?(both_orders = true)
+    ?(grounded_at_foot = true) ?(pareto_width = 1) ?(extract = false) flow net =
+  let u = prepare ~extract net in
+  let options =
+    options_of ~cost ~w_max ~h_max ~both_orders ~grounded_at_foot ~pareto_width
+      flow
+  in
+  Resilience.Outcome.map
+    (fun (circuit, stats) -> finish flow u circuit stats)
+    (Engine.map_outcome ~budget ~on_exhaust options u)
 
 let domino_map ?cost ?w_max ?h_max net = run ?cost ?w_max ?h_max Domino_map net
 let rs_map ?cost ?w_max ?h_max net = run ?cost ?w_max ?h_max Rs_map net

@@ -40,6 +40,25 @@ val run :
 (** [run flow net] executes the complete flow with the paper's defaults
     ([w_max] 5, [h_max] 8, area cost). *)
 
+val run_outcome :
+  ?budget:Resilience.Budget.t ->
+  ?on_exhaust:[ `Fail | `Degrade ] ->
+  ?cost:Cost.model ->
+  ?w_max:int ->
+  ?h_max:int ->
+  ?both_orders:bool ->
+  ?grounded_at_foot:bool ->
+  ?pareto_width:int ->
+  ?extract:bool ->
+  flow ->
+  Logic.Network.t ->
+  result Resilience.Outcome.t
+(** {!run} under a resource budget.  When the DP sweep exhausts the
+    budget, [`Degrade] (default) reruns it as {!Engine.map_greedy} —
+    the result is flagged [Degraded] but is still a complete, verified
+    mapping with the flow's postprocess applied — while [`Fail] returns
+    [Failed].  Never raises {!Resilience.Budget.Exhausted}. *)
+
 val domino_map : ?cost:Cost.model -> ?w_max:int -> ?h_max:int -> Logic.Network.t -> result
 val rs_map : ?cost:Cost.model -> ?w_max:int -> ?h_max:int -> Logic.Network.t -> result
 val soi_domino_map :

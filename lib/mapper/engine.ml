@@ -45,7 +45,12 @@ type entry = {
   mutable gate : gate_info option;
 }
 
-let map options u =
+(* [greedy = true] is the degradation rung: every node offers its
+   consumers only the formed gate tuple, exactly as if it had multiple
+   fanouts.  Each node then tries O(pareto_width^2) combinations instead
+   of a product of full tuple tables, so the sweep is linear in the
+   network and cannot blow the budget it is rescuing. *)
+let map_impl ~greedy ~budget options u =
   if options.w_max < 2 || options.h_max < 2 then
     invalid_arg "Engine.map: w_max and h_max must be at least 2";
   if options.pareto_width < 1 then
@@ -156,7 +161,7 @@ let map options u =
     | Unetwork.F_lit { input; positive } -> [ Soi_rules.leaf_pi model ~input ~positive ]
     | Unetwork.F_node m ->
         let gi = gate_of m in
-        let shared = fanouts.(m) > 1 in
+        let shared = fanouts.(m) > 1 || greedy in
         let carried = if shared then Cost.zero else gi.gi_value in
         let carried_disch = if shared then 0 else gi.gi_disch in
         let gate_sol =
@@ -169,8 +174,12 @@ let map options u =
             [ gate_sol ] entries.(m).table
   in
 
-  (* Main DP sweep in topological order. *)
+  (* Main DP sweep in topological order.  Budget checkpoints: every
+     combination charges the tuple allowance, and the wall clock is
+     consulted once per node plus every 2048 combinations, so a tripped
+     budget surfaces within a bounded amount of further work. *)
   for id = 0 to n - 1 do
+    Resilience.Budget.check_deadline budget;
     let nd = Unetwork.node u id in
     let entry = entries.(id) in
     let opts0 = options_of_fin nd.Unetwork.fanin0 in
@@ -180,6 +189,9 @@ let map options u =
         List.iter
           (fun s1 ->
             incr combinations;
+            Resilience.Budget.charge_tuples budget 1;
+            if !combinations land 2047 = 0 then
+              Resilience.Budget.check_deadline budget;
             match nd.Unetwork.kind with
             | Unetwork.U_or -> consider entry (Soi_rules.combine_or model s0 s1)
             | Unetwork.U_and -> (
@@ -293,3 +305,25 @@ let map options u =
       combinations_tried = !combinations;
       gates_formed = Array.length circuit.Circuit.gates;
     } )
+
+let map ?(budget = Resilience.Budget.unlimited) options u =
+  map_impl ~greedy:false ~budget options u
+
+(* The fallback runs unbudgeted on purpose: it is linear in the network,
+   so re-imposing the deadline that the full DP just blew would only
+   turn a guaranteed-cheap rescue into a second failure. *)
+let map_greedy options u =
+  map_impl ~greedy:true ~budget:Resilience.Budget.unlimited options u
+
+let map_outcome ?(budget = Resilience.Budget.unlimited)
+    ?(on_exhaust = `Degrade) options u =
+  match map_impl ~greedy:false ~budget options u with
+  | result -> Resilience.Outcome.Ok result
+  | exception Resilience.Budget.Exhausted reason -> (
+      match on_exhaust with
+      | `Fail -> Resilience.Outcome.Failed reason
+      | `Degrade ->
+          Resilience.Outcome.Degraded
+            ( map_greedy options u,
+              [ { Resilience.Outcome.stage = "mapper"; reason;
+                  fallback = "greedy" } ] ))

@@ -58,7 +58,11 @@ type stats = {
   gates_formed : int;  (** gates materialised into the final circuit *)
 }
 
-val map : options -> Unate.Unetwork.t -> Domino.Circuit.t * stats
+val map :
+  ?budget:Resilience.Budget.t ->
+  options ->
+  Unate.Unetwork.t ->
+  Domino.Circuit.t * stats
 (** [map options u] maps the unate network to a domino circuit.  The
     result is functionally equivalent to [u] (checked by the test-suite)
     and, for [Soi], already carries its p-discharge transistors.  For
@@ -68,4 +72,29 @@ val map : options -> Unate.Unetwork.t -> Domino.Circuit.t * stats
     constant nets that fold through to an output) are tied to the rail:
     they appear as [Pdn.S_const] output bindings with no gate behind
     them.
+    [budget] (default unlimited) bounds the DP sweep: every fanin-tuple
+    combination charges the tuple allowance and the wall clock is
+    checked cooperatively (per node and every 2048 combinations).
+    @raise Resilience.Budget.Exhausted when the budget trips — use
+    {!map_outcome} for the degrade-instead-of-raise policy.
     @raise Invalid_argument if [w_max < 2] or [h_max < 2]. *)
+
+val map_greedy : options -> Unate.Unetwork.t -> Domino.Circuit.t * stats
+(** The degradation rung under {!map}: every node offers its consumers
+    only its formed gate tuple (as if multi-fanout), so the sweep tries
+    O(pareto_width²) combinations per node and is linear in the
+    network.  The result is still functionally equivalent — it simply
+    loses the cross-gate cost propagation, i.e. quality, not
+    correctness. *)
+
+val map_outcome :
+  ?budget:Resilience.Budget.t ->
+  ?on_exhaust:[ `Fail | `Degrade ] ->
+  options ->
+  Unate.Unetwork.t ->
+  (Domino.Circuit.t * stats) Resilience.Outcome.t
+(** [map_outcome ~budget ~on_exhaust options u] is {!map} with the
+    exhaustion policy made explicit: [`Degrade] (default) falls back to
+    {!map_greedy} and flags the result [Degraded]; [`Fail] returns
+    [Failed] with the tripped budget's reason.  Never raises
+    [Exhausted]. *)

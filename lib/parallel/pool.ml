@@ -16,11 +16,30 @@
    and fork-join nesting cannot deadlock. *)
 
 type batch = {
-  run : int -> unit;  (* execute task [i]; must not raise *)
+  run : int -> unit;  (* execute task [i]; may raise *)
   size : int;
   next : int Atomic.t;  (* next index to claim *)
-  mutable finished : int;  (* completed tasks; guarded by the pool mutex *)
+  cancelled : bool Atomic.t;  (* set on first failure; rest of the batch
+                                 is claimed but skipped *)
+  failure : (int * exn * Printexc.raw_backtrace) option Atomic.t;
+      (* first recorded failure, kept at the lowest index observed *)
+  mutable finished : int;  (* settled tasks (run, failed, or skipped);
+                              guarded by the pool mutex *)
 }
+
+(* Record a task failure, keeping the lowest-index one, and cancel the
+   rest of the batch.  With cancellation in play "lowest" is best-effort
+   (only tasks claimed before the cancel landed can compete), but the
+   error that propagates is always a real task failure. *)
+let record_failure b i e bt =
+  let rec loop () =
+    let prev = Atomic.get b.failure in
+    let keep = match prev with None -> true | Some (j, _, _) -> i < j in
+    if keep && not (Atomic.compare_and_set b.failure prev (Some (i, e, bt)))
+    then loop ()
+  in
+  loop ();
+  Atomic.set b.cancelled true
 
 type t = {
   n_jobs : int;
@@ -34,15 +53,22 @@ type t = {
 
 let jobs p = p.n_jobs
 
-(* Steal and run every remaining index of [b]; returns the number
-   executed so the caller can batch the [finished] update. *)
+(* Steal and settle every remaining index of [b]; returns the number
+   settled so the caller can batch the [finished] update.  A raising
+   task records its failure and cancels the batch — the remaining
+   indices are still claimed (so waiters are credited and the join
+   terminates) but their tasks are skipped.  No exception escapes, so a
+   raising task can never kill a worker domain or wedge the pool. *)
 let drain b =
   let executed = ref 0 in
   let claiming = ref true in
   while !claiming do
     let i = Atomic.fetch_and_add b.next 1 in
     if i < b.size then begin
-      b.run i;
+      if not (Atomic.get b.cancelled) then begin
+        try b.run i
+        with e -> record_failure b i e (Printexc.get_raw_backtrace ())
+      end;
       incr executed
     end
     else claiming := false
@@ -103,25 +129,17 @@ let map p f arr =
   else if p.n_jobs = 1 || n = 1 then Array.map f arr
   else begin
     let results = Array.make n None in
-    (* First failing index, kept smallest so error reporting is
-       deterministic across pool sizes. *)
-    let failure = Atomic.make None in
-    let run i =
-      match f arr.(i) with
-      | v -> results.(i) <- Some v
-      | exception e ->
-          let bt = Printexc.get_raw_backtrace () in
-          let rec record () =
-            let prev = Atomic.get failure in
-            let keep =
-              match prev with None -> true | Some (j, _, _) -> i < j
-            in
-            if keep && not (Atomic.compare_and_set failure prev (Some (i, e, bt)))
-            then record ()
-          in
-          record ()
+    let run i = results.(i) <- Some (f arr.(i)) in
+    let b =
+      {
+        run;
+        size = n;
+        next = Atomic.make 0;
+        cancelled = Atomic.make false;
+        failure = Atomic.make None;
+        finished = 0;
+      }
     in
-    let b = { run; size = n; next = Atomic.make 0; finished = 0 } in
     Mutex.lock p.mutex;
     p.queue <- b :: p.queue;
     Condition.broadcast p.work;
@@ -133,7 +151,7 @@ let map p f arr =
       Condition.wait p.done_ p.mutex
     done;
     Mutex.unlock p.mutex;
-    match Atomic.get failure with
+    match Atomic.get b.failure with
     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> Array.map (function Some v -> v | None -> assert false) results
   end

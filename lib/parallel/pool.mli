@@ -22,9 +22,15 @@
     runs while each run's per-cone BDD equivalence check parallelises
     over output cones on the same pool.
 
-    Exceptions raised by tasks are caught, the batch still runs to
-    completion, and the first exception (lowest input index) is
-    re-raised in the submitter with its backtrace. *)
+    Exceptions raised by tasks are caught by the pool core, never by a
+    worker's top loop, so a raising task cannot kill a worker domain,
+    poison the pool, or leave sibling waiters blocked.  The first
+    failure cancels the batch: indices not yet started are claimed but
+    skipped (the fork-join accounting still settles every index, so
+    waiters always wake), and the recorded exception — the lowest index
+    among the tasks that actually ran, which is best-effort lowest
+    overall once cancellation is racing — is re-raised in the submitter
+    with its backtrace.  The pool stays fully usable afterwards. *)
 
 type t
 

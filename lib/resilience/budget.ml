@@ -1,0 +1,77 @@
+(* Resource budgets for the worst-case-exponential pipeline stages.
+
+   A budget is checked cooperatively: the DP mapper, the BDD package and
+   the oracle stages call [charge_tuples]/[check_deadline] at their own
+   checkpoints, and a tripped budget surfaces as the typed [Exhausted]
+   exception.  Callers decide the policy — fail, or degrade to a cheaper
+   algorithm ({!Outcome} carries the result of that decision).
+
+   Budgets are cheap when unlimited (a field test, no clock read) and a
+   single budget value is meant to be used by one task at a time; the
+   shared [unlimited] value is safe everywhere because it never mutates. *)
+
+type reason =
+  | Deadline of float  (* the wall-clock allowance, in seconds *)
+  | Tuple_limit of int  (* the tuple-formation allowance *)
+  | Bdd_node_limit of int  (* the BDD node allowance *)
+  | Injected of string  (* chaos-injected exhaustion; the site name *)
+
+exception Exhausted of reason
+
+let reason_to_string = function
+  | Deadline s -> Printf.sprintf "deadline(%gs)" s
+  | Tuple_limit n -> Printf.sprintf "tuple-limit(%d)" n
+  | Bdd_node_limit n -> Printf.sprintf "bdd-node-limit(%d)" n
+  | Injected site -> Printf.sprintf "injected(%s)" site
+
+let pp_reason fmt r = Format.pp_print_string fmt (reason_to_string r)
+
+type t = {
+  timeout : float option;  (* relative allowance, for error reporting *)
+  deadline : float option;  (* absolute Unix.gettimeofday cutoff *)
+  max_tuples : int option;
+  mutable tuples : int;  (* charged so far; only when max_tuples is set *)
+  max_bdd_nodes : int option;
+}
+
+let unlimited =
+  { timeout = None; deadline = None; max_tuples = None; tuples = 0;
+    max_bdd_nodes = None }
+
+let make ?timeout ?max_tuples ?max_bdd_nodes () =
+  (match timeout with
+  | Some s when s < 0.0 -> invalid_arg "Budget.make: negative timeout"
+  | _ -> ());
+  (match max_tuples with
+  | Some n when n < 1 -> invalid_arg "Budget.make: max_tuples must be positive"
+  | _ -> ());
+  (match max_bdd_nodes with
+  | Some n when n < 1 ->
+      invalid_arg "Budget.make: max_bdd_nodes must be positive"
+  | _ -> ());
+  {
+    timeout;
+    deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout;
+    max_tuples;
+    tuples = 0;
+    max_bdd_nodes;
+  }
+
+let is_unlimited b =
+  b.deadline = None && b.max_tuples = None && b.max_bdd_nodes = None
+
+let max_bdd_nodes b = b.max_bdd_nodes
+
+let check_deadline b =
+  match b.deadline with
+  | None -> ()
+  | Some cutoff ->
+      if Unix.gettimeofday () > cutoff then
+        raise (Exhausted (Deadline (Option.value b.timeout ~default:0.0)))
+
+let charge_tuples b n =
+  match b.max_tuples with
+  | None -> ()
+  | Some cap ->
+      b.tuples <- b.tuples + n;
+      if b.tuples > cap then raise (Exhausted (Tuple_limit cap))

@@ -1,0 +1,48 @@
+(** Resource budgets for the worst-case-exponential pipeline stages.
+
+    The DP mapper's tuple tables and the per-cone equivalence BDDs can
+    blow up on adversarial nets.  A budget bounds that work with
+    cooperative checkpoints: the heavy loops call {!charge_tuples} and
+    {!check_deadline} at their own cadence, and a tripped budget
+    surfaces as the typed {!Exhausted} exception, which callers turn
+    into an {!Outcome.t} (fail hard, or degrade to a cheaper
+    algorithm).
+
+    A budget value is meant to be used by one task at a time (each fuzz
+    run builds its own); the shared {!unlimited} value never mutates and
+    is safe to share across domains. *)
+
+type reason =
+  | Deadline of float  (** the wall-clock allowance that expired, seconds *)
+  | Tuple_limit of int  (** the tuple-formation allowance that ran out *)
+  | Bdd_node_limit of int  (** the BDD node allowance that ran out *)
+  | Injected of string  (** chaos-injected exhaustion; names the site *)
+
+exception Exhausted of reason
+(** Raised at a cooperative checkpoint when the budget is spent. *)
+
+type t
+
+val unlimited : t
+(** The no-op budget: every check is a cheap field test. *)
+
+val make : ?timeout:float -> ?max_tuples:int -> ?max_bdd_nodes:int -> unit -> t
+(** [make ()] builds a budget; each limit is independent and optional.
+    [timeout] is a relative wall-clock allowance in seconds, anchored at
+    the call.  @raise Invalid_argument on a negative timeout or a
+    non-positive cap. *)
+
+val is_unlimited : t -> bool
+
+val max_bdd_nodes : t -> int option
+(** The BDD node cap, for handing to {!Logic.Bdd.manager}. *)
+
+val check_deadline : t -> unit
+(** Checkpoint: raises [Exhausted (Deadline _)] past the cutoff. *)
+
+val charge_tuples : t -> int -> unit
+(** [charge_tuples b n] spends [n] units of the tuple allowance; raises
+    [Exhausted (Tuple_limit _)] once the cap is crossed. *)
+
+val reason_to_string : reason -> string
+val pp_reason : Format.formatter -> reason -> unit

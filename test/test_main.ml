@@ -45,6 +45,7 @@ let () =
       ("vcd", Test_vcd.suite);
       ("equiv", Test_equiv.suite);
       ("parallel", Test_parallel.suite);
+      ("resilience", Test_resilience.suite);
       ("constants", Test_constants.suite);
       ("differential", Test_differential.suite);
       ("properties", Test_props.suite);

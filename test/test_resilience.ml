@@ -1,0 +1,241 @@
+(* The budget/degradation layer: typed exhaustion, the mapper's greedy
+   fallback, the BDD hard node cap, sampled equivalence, fuzz run
+   deadlines, and chaos-injection accounting. *)
+
+open Resilience
+
+let reason = Alcotest.testable Budget.pp_reason ( = )
+
+(* ---------------- budgets ---------------- *)
+
+let test_budget_trips () =
+  Alcotest.check_raises "tuple budget trips at the cap"
+    (Budget.Exhausted (Budget.Tuple_limit 5))
+    (fun () ->
+      let b = Budget.make ~max_tuples:5 () in
+      Budget.charge_tuples b 3;
+      Budget.charge_tuples b 3);
+  let b = Budget.make ~max_tuples:5 () in
+  Budget.charge_tuples b 5;
+  (* exactly at the cap is still within budget *)
+  let expired = Budget.make ~timeout:0.0 () in
+  Unix.sleepf 0.002;
+  Alcotest.check_raises "deadline trips"
+    (Budget.Exhausted (Budget.Deadline 0.0))
+    (fun () -> Budget.check_deadline expired);
+  Budget.check_deadline Budget.unlimited;
+  Budget.charge_tuples Budget.unlimited 1_000_000;
+  Alcotest.(check bool) "unlimited is unlimited" true
+    (Budget.is_unlimited Budget.unlimited);
+  Alcotest.(check bool) "a made budget is not" false
+    (Budget.is_unlimited (Budget.make ~max_tuples:1 ()))
+
+let test_outcome_rendering () =
+  let d =
+    { Outcome.stage = "mapper"; reason = Budget.Tuple_limit 5000;
+      fallback = "greedy" }
+  in
+  Alcotest.(check string) "describe degraded"
+    "degraded(mapper: tuple-limit(5000) -> greedy)"
+    (Outcome.describe (Outcome.Degraded (42, [ d ])));
+  Alcotest.(check string) "labels" "ok,degraded,failed"
+    (String.concat ","
+       (List.map Outcome.label
+          [ Outcome.Ok 1; Outcome.Degraded (1, [ d ]);
+            Outcome.Failed (Budget.Deadline 1.0) ]));
+  Alcotest.(check (option int)) "failed carries no value" None
+    (Outcome.value (Outcome.Failed (Budget.Deadline 1.0)))
+
+(* ---------------- mapper degradation ---------------- *)
+
+let test_map_outcome_degrades () =
+  let net = Gen.Suite.build_exn "c880" in
+  let budget () = Budget.make ~max_tuples:200 () in
+  (match
+     Mapper.Algorithms.run_outcome ~budget:(budget ()) ~on_exhaust:`Fail
+       Mapper.Algorithms.Soi_domino_map net
+   with
+  | Outcome.Failed (Budget.Tuple_limit 200) -> ()
+  | o -> Alcotest.fail ("expected Failed(tuple-limit), got " ^ Outcome.describe o));
+  match
+    Mapper.Algorithms.run_outcome ~budget:(budget ()) ~on_exhaust:`Degrade
+      Mapper.Algorithms.Soi_domino_map net
+  with
+  | Outcome.Degraded (r, [ d ]) ->
+      Alcotest.(check string) "degraded stage" "mapper" d.Outcome.stage;
+      Alcotest.(check string) "fallback name" "greedy" d.Outcome.fallback;
+      Alcotest.check reason "tripped budget" (Budget.Tuple_limit 200)
+        d.Outcome.reason;
+      Alcotest.(check bool) "greedy fallback is still equivalent" true
+        (Domino.Circuit.equivalent_to r.Mapper.Algorithms.circuit
+           r.Mapper.Algorithms.unate);
+      Alcotest.(check bool) "and still PBE-free" true
+        (Sim.Domino_sim.pbe_free r.Mapper.Algorithms.circuit)
+  | o -> Alcotest.fail ("expected Degraded, got " ^ Outcome.describe o)
+
+let test_map_outcome_ok_when_unbudgeted () =
+  let net = Gen.Suite.build_exn "cm150" in
+  match
+    Mapper.Algorithms.run_outcome Mapper.Algorithms.Soi_domino_map net
+  with
+  | Outcome.Ok r ->
+      let full = Mapper.Algorithms.soi_domino_map net in
+      Alcotest.(check int) "identical cost to the unbudgeted run"
+        full.Mapper.Algorithms.counts.Domino.Circuit.t_total
+        r.Mapper.Algorithms.counts.Domino.Circuit.t_total
+  | o -> Alcotest.fail ("expected Ok, got " ^ Outcome.describe o)
+
+(* The acceptance drill: every suite circuit under a tiny tuple budget
+   must map (possibly degraded, never failed) to an equivalent circuit. *)
+let test_degradation_sweep () =
+  let rows = Check.Chaos.degradation_sweep ~max_tuples:500 ~vectors:512 () in
+  Alcotest.(check bool) "sweep covers the suite" true (List.length rows > 10);
+  List.iter
+    (fun r ->
+      if r.Check.Chaos.outcome = "failed" then
+        Alcotest.fail (r.Check.Chaos.bench ^ ": mapping failed under budget");
+      if not r.Check.Chaos.equivalent then
+        Alcotest.fail (r.Check.Chaos.bench ^ ": degraded mapping not equivalent"))
+    rows;
+  Alcotest.(check bool) "the budget actually bit somewhere" true
+    (List.exists (fun r -> r.Check.Chaos.outcome = "degraded") rows)
+
+(* ---------------- BDD node cap and sampled equivalence ---------------- *)
+
+let test_bdd_node_limit () =
+  let open Logic in
+  let xor_chain m =
+    ignore
+      (List.fold_left
+         (fun acc i -> Bdd.xor_ m acc (Bdd.var m i))
+         (Bdd.var m 0)
+         [ 1; 2; 3; 4; 5; 6; 7 ])
+  in
+  let m = Bdd.manager ~max_nodes:8 ~nvars:16 () in
+  Alcotest.check_raises "hard cap raises mid-construction" (Bdd.Node_limit 8)
+    (fun () -> xor_chain m);
+  (* an uncapped manager builds the same function without complaint *)
+  xor_chain (Bdd.manager ~nvars:16 ())
+
+let two_output_net g =
+  let n = Logic.Network.create () in
+  let x = Logic.Network.add_input ~name:"x" n in
+  let y = Logic.Network.add_input ~name:"y" n in
+  let z = Logic.Network.add_input ~name:"z" n in
+  Logic.Network.set_output n "a"
+    (Logic.Network.add_gate n Logic.Gate.And [| x; y |]);
+  Logic.Network.set_output n "b" (Logic.Network.add_gate n g [| y; z |]);
+  n
+
+let test_sampled_equivalence () =
+  let a = two_output_net Logic.Gate.Or and b = two_output_net Logic.Gate.Or in
+  (* limit 1: any BDD construction blows the cap, forcing the sampled
+     fallback even on this tiny pair *)
+  let c = Logic.Equiv.networks_or_sample ~limit:1 ~vectors:256 a b in
+  Alcotest.(check bool) "equivalent under sampling" true
+    (c.Logic.Equiv.verdict = Logic.Equiv.Equivalent);
+  Alcotest.(check bool) "flagged non-exact" false c.Logic.Equiv.exact;
+  Alcotest.(check bool) "vector count reported" true
+    (c.Logic.Equiv.sampled_vectors >= 256);
+  let exact = Logic.Equiv.networks_or_sample a b in
+  Alcotest.(check bool) "exact when unconstrained" true
+    (exact.Logic.Equiv.exact && exact.Logic.Equiv.sampled_vectors = 0);
+  let c' =
+    Logic.Equiv.networks_or_sample ~limit:1 ~vectors:256 a
+      (two_output_net Logic.Gate.Xor)
+  in
+  match c'.Logic.Equiv.verdict with
+  | Logic.Equiv.Counterexample { output; _ } ->
+      Alcotest.(check string) "sampling finds the differing output" "b" output
+  | v ->
+      Alcotest.fail
+        (Format.asprintf "expected counterexample, got %a" Logic.Equiv.pp_verdict
+           v)
+
+let test_sampled_per_output () =
+  let a = two_output_net Logic.Gate.Or and b = two_output_net Logic.Gate.Or in
+  let c = Logic.Equiv.networks_per_output_or_sample ~limit:1 ~vectors:128 a b in
+  Alcotest.(check bool) "per-output sampling agrees" true
+    (c.Logic.Equiv.verdict = Logic.Equiv.Equivalent && not c.Logic.Equiv.exact);
+  Alcotest.(check bool) "per-cone vectors accumulated" true
+    (c.Logic.Equiv.sampled_vectors >= 256)
+
+(* ---------------- fuzz deadlines and chaos ---------------- *)
+
+let test_fuzz_run_timeout () =
+  (* A pre-expired deadline makes every run a timeout, deterministically:
+     the report must keep going, record each with its network seed, and
+     stay complete. *)
+  let params =
+    {
+      Check.Fuzz.default_params with
+      Check.Fuzz.seed = 5;
+      budget = 6;
+      run_timeout = Some 0.0;
+    }
+  in
+  let r = Check.Fuzz.run params in
+  Alcotest.(check int) "every run timed out" 6
+    (List.length r.Check.Report.timeouts);
+  Alcotest.(check bool) "report complete" true r.Check.Report.complete;
+  Alcotest.(check bool) "no counterexample" true
+    (r.Check.Report.counterexample = None);
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "run %d names its network seed" t.Check.Report.t_run)
+        true
+        (t.Check.Report.t_net_seed <> None);
+      Alcotest.(check string) "reason" "deadline(0s)" t.Check.Report.t_reason)
+    r.Check.Report.timeouts
+
+let test_chaos_decisions_deterministic () =
+  let c1 = Chaos.make ~seed:42 () and c2 = Chaos.make ~seed:42 () in
+  for salt = 0 to 199 do
+    if
+      Chaos.decide c1 ~site:"oracle.map" ~salt
+      <> Chaos.decide c2 ~site:"oracle.map" ~salt
+    then Alcotest.fail "same seed, same site, same salt, different decision"
+  done;
+  let differs = ref false in
+  for salt = 0 to 199 do
+    if
+      Chaos.decide c1 ~site:"oracle.map" ~salt
+      <> Chaos.decide c1 ~site:"oracle.pbe" ~salt
+    then differs := true
+  done;
+  Alcotest.(check bool) "sites decide independently" true !differs;
+  Alcotest.(check int) "decide alone never counts faults" 0
+    (Chaos.total_injected c1)
+
+let test_chaos_fuzz_accounting () =
+  let report, chaos = Check.Chaos.fuzz_storm ~seed:42 ~budget:12 () in
+  Alcotest.(check bool) "chaos run is complete" true
+    report.Check.Report.complete;
+  Alcotest.(check bool) "no counterexample from injected faults" true
+    (report.Check.Report.counterexample = None);
+  Alcotest.(check bool) "faults were injected" true
+    (Chaos.total_injected chaos > 0);
+  match Check.Chaos.verify_accounting chaos report with
+  | Ok n -> Alcotest.(check int) "ledger matches" (Chaos.total_injected chaos) n
+  | Error msg -> Alcotest.fail msg
+
+let suite =
+  [
+    Alcotest.test_case "budget trips" `Quick test_budget_trips;
+    Alcotest.test_case "outcome rendering" `Quick test_outcome_rendering;
+    Alcotest.test_case "map_outcome degrades to greedy" `Quick
+      test_map_outcome_degrades;
+    Alcotest.test_case "map_outcome ok when unbudgeted" `Quick
+      test_map_outcome_ok_when_unbudgeted;
+    Alcotest.test_case "degradation sweep over the suite" `Slow
+      test_degradation_sweep;
+    Alcotest.test_case "bdd hard node cap" `Quick test_bdd_node_limit;
+    Alcotest.test_case "sampled equivalence" `Quick test_sampled_equivalence;
+    Alcotest.test_case "sampled per-output equivalence" `Quick
+      test_sampled_per_output;
+    Alcotest.test_case "fuzz run timeout" `Quick test_fuzz_run_timeout;
+    Alcotest.test_case "chaos decisions deterministic" `Quick
+      test_chaos_decisions_deterministic;
+    Alcotest.test_case "chaos fuzz accounting" `Slow test_chaos_fuzz_accounting;
+  ]
