@@ -255,7 +255,27 @@ let write_json path ~jobs rows =
            (json_escape name) serial_ns pool_ns speedup
            (if i = List.length sp - 1 then "" else ",")))
     sp;
-  Buffer.add_string buf "  ]\n}\n";
+  (* GC totals for the whole harness run and the metrics registry
+     snapshot (collection is enabled in --json mode only, so the
+     measured closures pay the instrumented-path cost only when the
+     telemetry that justifies it is being written). *)
+  Buffer.add_string buf "  ],\n  \"gc\": {\n";
+  let gc = Obs.Gcstats.pairs () in
+  List.iteri
+    (fun i (name, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": %.0f%s\n" (json_escape name) v
+           (if i = List.length gc - 1 then "" else ",")))
+    gc;
+  Buffer.add_string buf "  },\n  \"metrics\": {\n";
+  let ms = Obs.Metrics.snapshot () in
+  List.iteri
+    (fun i (name, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": %d%s\n" (json_escape name) v
+           (if i = List.length ms - 1 then "" else ",")))
+    ms;
+  Buffer.add_string buf "  }\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc
@@ -282,6 +302,9 @@ let () =
   let jobs =
     if !jobs <= 0 then Domain.recommended_domain_count () else !jobs
   in
+  (* Metrics collection rides along only when telemetry is written, so
+     plain bench runs measure the disabled (single-branch) path. *)
+  if !json_file <> None then Obs.Metrics.set_enabled true;
   let par = parallel_benches jobs in
   let tests =
     match !filter with

@@ -17,19 +17,31 @@
 open Cmdliner
 
 let run jobs seed budget max_nodes eval_vectors sim_pairs json verbose
-    run_timeout chaos_seed =
+    run_timeout chaos_seed trace no_timing =
   if jobs < 0 then begin
     prerr_endline "--jobs must be non-negative (0 = number of cores)";
     exit 2
   end;
   Parallel.Pool.set_jobs jobs;
+  let trace =
+    match trace with Some _ -> trace | None -> Sys.getenv_opt "SOIMAP_TRACE"
+  in
+  if trace <> None then begin
+    Obs.Trace.set_enabled true;
+    Obs.Metrics.set_enabled true
+  end;
   let chaos =
     match chaos_seed with
     | None -> Resilience.Chaos.disabled
     | Some seed -> Resilience.Chaos.make ~seed ()
   in
   let print_report r =
-    if json then print_endline (Check.Report.to_json r)
+    let r = if no_timing then Check.Report.strip_timing r else r in
+    if json then
+      print_endline
+        (if Obs.Metrics.enabled () then
+           Check.Report.to_json_with_metrics (Obs.Metrics.snapshot ()) r
+         else Check.Report.to_json r)
     else Format.printf "@[<v>%a@]@." Check.Report.pp_human r
   in
   (* The fuzz loop publishes a snapshot after every merged chunk; ^C
@@ -63,6 +75,12 @@ let run jobs seed budget max_nodes eval_vectors sim_pairs json verbose
   in
   let report = Check.Fuzz.run params in
   print_report report;
+  (match trace with
+  | Some path ->
+      Obs.Trace.write_file path;
+      Printf.eprintf "fuzz: wrote trace (%d events) to %s\n"
+        (Obs.Trace.event_count ()) path
+  | None -> ());
   match report.Check.Report.counterexample with
   | Some _ -> 1
   | None -> (
@@ -134,12 +152,28 @@ let chaos_seed =
               status checks that every injected fault is accounted for in \
               the report.")
 
+let trace =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record spans of the fuzz session (per-run, shrink, pool \
+              drains) and write Chrome trace-event JSON; also folds a \
+              metrics snapshot into the --json report.  Defaults to the \
+              SOIMAP_TRACE environment variable when set.")
+
+let no_timing =
+  Arg.(
+    value & flag
+    & info [ "no-timing" ]
+        ~doc:"Omit the wall-clock timing block from the report, leaving \
+              only fields that are bit-identical at any --jobs value.")
+
 let cmd =
   let doc = "differential fuzzing of the SOI domino mapper" in
   Cmd.v
     (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ jobs $ seed $ budget $ max_nodes $ eval_vectors $ sim_pairs
-      $ json $ verbose $ run_timeout $ chaos_seed)
+      $ json $ verbose $ run_timeout $ chaos_seed $ trace $ no_timing)
 
 let () = exit (Cmd.eval' cmd)

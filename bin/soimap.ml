@@ -59,6 +59,75 @@ let cost_of = function
 let exit_verify_failed = 1
 let exit_exhausted = 3
 
+(* ---------------- observability output ---------------- *)
+
+(* The stable/scheduling split mirrors the registry's [stable] flag:
+   stable totals are work-derived and comparable across -j, the
+   scheduling section (pool counters, latency buckets) is not. *)
+let stats_sections () =
+  let stable = Obs.Metrics.snapshot ~stable_only:true () in
+  let all = Obs.Metrics.snapshot () in
+  let sched =
+    List.filter (fun (n, _) -> not (List.mem_assoc n stable)) all
+  in
+  (stable, sched)
+
+let print_stats_text () =
+  let stable, sched = stats_sections () in
+  let section title rows render =
+    if rows <> [] then begin
+      print_endline title;
+      List.iter render rows
+    end
+  in
+  section "metrics:" stable (fun (n, v) -> Printf.printf "  %-28s %d\n" n v);
+  section "scheduling:" sched (fun (n, v) -> Printf.printf "  %-28s %d\n" n v);
+  section "gc:" (Obs.Gcstats.pairs ()) (fun (n, v) ->
+      Printf.printf "  %-28s %.0f\n" n v);
+  let spans = Obs.Trace.summary_text () in
+  if spans <> "" then begin
+    print_endline "spans:";
+    String.split_on_char '\n' spans
+    |> List.iter (fun l -> if l <> "" then Printf.printf "  %s\n" l)
+  end
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c when Char.code c < 0x20 -> Printf.sprintf "\\u%04x" (Char.code c)
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let print_stats_json () =
+  let stable, sched = stats_sections () in
+  let obj rows render =
+    "{"
+    ^ String.concat ", "
+        (List.map (fun (n, v) -> Printf.sprintf "\"%s\": %s" (json_escape n) (render v)) rows)
+    ^ "}"
+  in
+  let spans =
+    "["
+    ^ String.concat ", "
+        (List.map
+           (fun (name, count, total_ns, max_ns) ->
+             Printf.sprintf
+               "{\"name\": \"%s\", \"count\": %d, \"total_ns\": %Ld, \
+                \"max_ns\": %Ld}"
+               (json_escape name) count total_ns max_ns)
+           (Obs.Trace.summary ()))
+    ^ "]"
+  in
+  Printf.printf
+    "{\"metrics\": %s, \"scheduling\": %s, \"gc\": %s, \"spans\": %s}\n"
+    (obj stable string_of_int)
+    (obj sched string_of_int)
+    (obj (Obs.Gcstats.pairs ()) (Printf.sprintf "%.0f"))
+    spans
+
 let report name flow_name (r : Mapper.Algorithms.result) degradations verify
     exact max_bdd_nodes print_gates timing spice verilog vcd net =
   let c = r.Mapper.Algorithms.counts in
@@ -103,11 +172,13 @@ let report name flow_name (r : Mapper.Algorithms.result) degradations verify
      status, so a failing first flow cannot hide the others. *)
   let ok = ref true in
   if verify then begin
-    let equiv =
-      Domino.Circuit.equivalent_to r.Mapper.Algorithms.circuit r.Mapper.Algorithms.unate
+    let equiv, free, hyst =
+      Obs.Trace.with_span ~cat:"cli" "cli.verify" (fun () ->
+          ( Domino.Circuit.equivalent_to r.Mapper.Algorithms.circuit
+              r.Mapper.Algorithms.unate,
+            Sim.Domino_sim.pbe_free r.Mapper.Algorithms.circuit,
+            Domino.Hysteresis.of_circuit r.Mapper.Algorithms.circuit ))
     in
-    let free = Sim.Domino_sim.pbe_free r.Mapper.Algorithms.circuit in
-    let hyst = Domino.Hysteresis.of_circuit r.Mapper.Algorithms.circuit in
     Printf.printf "  functional-equivalence=%b pbe-free=%b hysteresis-exposed=%d/%d\n"
       equiv free hyst.Domino.Hysteresis.exposed hyst.Domino.Hysteresis.total;
     if not (equiv && free) then ok := false
@@ -116,8 +187,9 @@ let report name flow_name (r : Mapper.Algorithms.result) degradations verify
     (* Under --max-bdd-nodes a blown cone degrades to seeded sampling
        instead of an unconditional 'unknown'; the rendering says which. *)
     let checked =
-      Domino.Circuit.equivalent_checked ?limit:max_bdd_nodes
-        r.Mapper.Algorithms.circuit net
+      Obs.Trace.with_span ~cat:"cli" "cli.exact" (fun () ->
+          Domino.Circuit.equivalent_checked ?limit:max_bdd_nodes
+            r.Mapper.Algorithms.circuit net)
     in
     Format.printf "  formal-equivalence: %a@." Logic.Equiv.pp_checked checked;
     match checked.Logic.Equiv.verdict with
@@ -128,11 +200,44 @@ let report name flow_name (r : Mapper.Algorithms.result) degradations verify
 
 let main jobs blif bench_file pla bench flow cost w_max h_max verify exact
     print_gates timing multi spice verilog vcd timeout max_tuples max_bdd_nodes
-    on_exhaust =
+    on_exhaust trace stats =
   if jobs < 0 then begin
     prerr_endline "--jobs must be non-negative (0 = number of cores)";
     exit 2
   end;
+  let trace =
+    match trace with Some _ -> trace | None -> Sys.getenv_opt "SOIMAP_TRACE"
+  in
+  let stats_fmt =
+    match stats with
+    | None -> None
+    | Some "text" -> Some `Text
+    | Some "json" -> Some `Json
+    | Some s ->
+        prerr_endline ("unknown --stats format: " ^ s ^ " (text|json)");
+        exit 2
+  in
+  if trace <> None then Obs.Trace.set_enabled true;
+  if stats_fmt <> None then begin
+    (* --stats wants the span summary section too, so both switches go
+       on; events are only buffered, nothing is written without --trace. *)
+    Obs.Metrics.set_enabled true;
+    Obs.Trace.set_enabled true
+  end;
+  (* Flushed before every post-work exit path so a verification failure
+     still produces its trace and stats. *)
+  let finish_obs () =
+    (match trace with
+    | Some path ->
+        Obs.Trace.write_file path;
+        Printf.eprintf "soimap: wrote trace (%d events) to %s\n"
+          (Obs.Trace.event_count ()) path
+    | None -> ());
+    match stats_fmt with
+    | Some `Text -> print_stats_text ()
+    | Some `Json -> print_stats_json ()
+    | None -> ()
+  in
   (* Flush whatever has been reported so far before dying on ^C: with
      --flow all the completed flows' lines are already on stdout. *)
   Sys.set_signal Sys.sigint
@@ -142,9 +247,13 @@ let main jobs blif bench_file pla bench flow cost w_max h_max verify exact
          prerr_endline "soimap: interrupted";
          exit 130));
   Parallel.Pool.set_jobs jobs;
-  let net = load blif bench_file pla bench in
+  let net =
+    Obs.Trace.with_span ~cat:"cli" "cli.load" (fun () ->
+        load blif bench_file pla bench)
+  in
   if multi then begin
     print_string (Mapper.Multi.render (Mapper.Multi.sweep ~w_max ~h_max net));
+    finish_obs ();
     exit 0
   end;
   let name = Logic.Network.name net in
@@ -179,8 +288,11 @@ let main jobs blif bench_file pla bench flow cost w_max h_max verify exact
   List.iter
     (fun f ->
       match
-        Mapper.Algorithms.run_outcome ~budget:(budget ()) ~on_exhaust ~cost
-          ~w_max ~h_max f net
+        Obs.Trace.with_span ~cat:"cli" "cli.flow"
+          ~args:(fun () -> [ ("flow", Mapper.Algorithms.flow_name f) ])
+          (fun () ->
+            Mapper.Algorithms.run_outcome ~budget:(budget ()) ~on_exhaust ~cost
+              ~w_max ~h_max f net)
       with
       | Resilience.Outcome.Failed reason ->
           (* --on-exhaust fail: report the flow and keep going, as with
@@ -197,6 +309,7 @@ let main jobs blif bench_file pla bench flow cost w_max h_max verify exact
                  print_gates timing spice verilog vcd net)
           then all_ok := false)
     flows;
+  finish_obs ();
   if !exhausted then exit exit_exhausted;
   if not !all_ok then exit exit_verify_failed
 
@@ -296,12 +409,26 @@ let cmd =
                  mapper and flags the result DEGRADED (exit 0 if it \
                  verifies); 'fail' stops that flow and exits 3.")
   in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record hierarchical spans of the whole pipeline and write \
+                 them as Chrome trace-event JSON (open in Perfetto or \
+                 chrome://tracing).  Defaults to the SOIMAP_TRACE \
+                 environment variable when set.")
+  in
+  let stats =
+    Arg.(value & opt ~vopt:(Some "text") (some string) None
+         & info [ "stats" ] ~docv:"FMT"
+             ~doc:"Print the metrics registry, pool scheduling counters, GC \
+                   statistics and span summary after the run; $(docv) is \
+                   'text' (default) or 'json'.")
+  in
   let doc = "technology mapping for SOI domino logic (Karandikar & Sapatnekar, DAC 2001)" in
   Cmd.v
     (Cmd.info "soimap" ~doc)
     Term.(
       const main $ jobs $ blif $ bench_file $ pla $ bench $ flow $ cost $ w_max
       $ h_max $ verify $ exact $ print_gates $ timing $ multi $ spice $ verilog
-      $ vcd $ timeout $ max_tuples $ max_bdd_nodes $ on_exhaust)
+      $ vcd $ timeout $ max_tuples $ max_bdd_nodes $ on_exhaust $ trace $ stats)
 
 let () = exit (Cmd.eval cmd)

@@ -31,6 +31,8 @@ type params = {
   sim_pairs : int;    (* per-run hold/strike pairs for the PBE oracle *)
   shrink_checks : int;
   run_timeout : float option;  (* per-run wall-clock deadline, seconds *)
+  slow_run_s : float; (* runs at or above this duration are listed
+                         individually in the report's timing block *)
   chaos : Resilience.Chaos.t;  (* seeded fault injection (default off) *)
   log : string -> unit;
   on_progress : Report.t -> unit;
@@ -47,10 +49,22 @@ let default_params =
     sim_pairs = 16;
     shrink_checks = 2_000;
     run_timeout = None;
+    slow_run_s = 1.0;
     chaos = Resilience.Chaos.disabled;
     log = ignore;
     on_progress = ignore;
   }
+
+(* Fuzzer observability.  The per-run latency histogram is wall-clock
+   and chunk-dependent (discarded-past-stop runs still execute and
+   observe), so it is registered unstable; the shrink-check counter is
+   driven by the serial, deterministic shrink phase and stays stable. *)
+let h_run_ms =
+  Obs.Metrics.histogram ~stable:false
+    ~buckets:[| 1; 2; 5; 10; 20; 50; 100; 200; 500; 1000; 2000; 5000 |]
+    "fuzz.run_ms"
+
+let m_shrink_checks = Obs.Metrics.counter "fuzz.shrink_checks"
 
 type net_shape = {
   ns_seed : int;
@@ -127,6 +141,7 @@ type outcome =
    delays included — without any order-dependent global counter. *)
 type run_result = {
   faults : (string * Resilience.Chaos.fault) list;  (* (site, fault) *)
+  seconds : float;  (* wall-clock duration of this run *)
   outcome : outcome;
 }
 
@@ -134,6 +149,7 @@ type run_result = {
    wall clock when [run_timeout] is set, and the sleep of an injected
    delay. *)
 let exec_run params i =
+  let t0 = Obs.Clock.now_ns () in
   let faults = ref [] in
   let note site f = faults := (site, f) :: !faults in
   let inject = Resilience.Chaos.point_for params.chaos ~note ~salt:i () in
@@ -143,6 +159,9 @@ let exec_run params i =
     | Some s -> Resilience.Budget.make ~timeout:s ()
   in
   let outcome =
+    Obs.Trace.with_span ~cat:"fuzz" "fuzz.run"
+      ~args:(fun () -> [ ("run", string_of_int (i + 1)) ])
+    @@ fun () ->
     try
       inject ~site:"fuzz.run";
       let rng = Logic.Rng.stream (params.seed lxor 0xF022) i in
@@ -175,7 +194,9 @@ let exec_run params i =
             reason = Resilience.Budget.reason_to_string reason }
     | Resilience.Chaos.Injected (site, _) -> O_aborted { site }
   in
-  { faults = List.rev !faults; outcome }
+  let seconds = Obs.Clock.ns_to_s (Int64.sub (Obs.Clock.now_ns ()) t0) in
+  Obs.Metrics.observe h_run_ms (int_of_float (seconds *. 1000.));
+  { faults = List.rev !faults; seconds; outcome }
 
 let run params =
   let pool = Parallel.Pool.default () in
@@ -184,6 +205,8 @@ let run params =
   let bdd_exact_runs = ref 0 and bdd_sampled_vectors = ref 0 in
   let stripped_probes = ref 0 and stripped_event_probes = ref 0 in
   let timeouts = ref [] in
+  let total_s = ref 0. and max_s = ref 0. and runs_timed = ref 0 in
+  let slow = ref [] in
   let chaos_raises = ref 0 and chaos_delays = ref 0 and chaos_exhausts = ref 0 in
   let first_failure = ref None in
   let stopped = ref false in
@@ -200,6 +223,14 @@ let run params =
       stripped_probes = !stripped_probes;
       stripped_event_probes = !stripped_event_probes;
       timeouts = List.rev !timeouts;
+      timing =
+        Some
+          {
+            Report.runs_timed = !runs_timed;
+            total_s = !total_s;
+            max_s = !max_s;
+            slow = List.rev !slow;
+          };
       chaos =
         {
           Report.raises = !chaos_raises;
@@ -222,8 +253,17 @@ let run params =
         (Array.init n (fun k -> !base + k))
     in
     Array.iteri
-      (fun k { faults; outcome } ->
+      (fun k { faults; seconds; outcome } ->
         if not !stopped then begin
+          (* Timing follows the merge semantics: discarded-past-stop
+             outcomes are not accounted, so the counts the timing block
+             covers match the rest of the report. *)
+          total_s := !total_s +. seconds;
+          if seconds > !max_s then max_s := seconds;
+          incr runs_timed;
+          if seconds >= params.slow_run_s then
+            slow :=
+              { Report.s_run = !base + k + 1; s_seconds = seconds } :: !slow;
           List.iter
             (fun (_site, fault) ->
               match fault with
@@ -302,8 +342,10 @@ let run params =
           | Oracle.Pass _ -> false
         in
         let shrunk =
-          Shrink.minimize ~max_checks:params.shrink_checks ~fails u cfg
+          Obs.Trace.with_span ~cat:"fuzz" "fuzz.shrink" (fun () ->
+              Shrink.minimize ~max_checks:params.shrink_checks ~fails u cfg)
         in
+        Obs.Metrics.add m_shrink_checks shrunk.Shrink.checks;
         (* Re-run the shrunk pair to report its (possibly sharper)
            failure detail. *)
         let detail, cex_input, cex_output =

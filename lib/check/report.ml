@@ -28,6 +28,22 @@ type timeout_run = {
   t_reason : string;        (* which budget tripped, e.g. deadline(0.5s) *)
 }
 
+type slow_run = {
+  s_run : int;        (* 1-based absolute run index *)
+  s_seconds : float;
+}
+
+(* Per-run wall-clock accounting.  Machine- and load-dependent by
+   nature, so it lives in an optional field of its own: deterministic
+   report comparisons strip it ({!strip_timing}, the fuzz CLI's
+   [--no-timing]). *)
+type timing = {
+  runs_timed : int;   (* merged runs the totals cover *)
+  total_s : float;    (* summed per-run wall clock *)
+  max_s : float;      (* slowest single run *)
+  slow : slow_run list;  (* runs at or above the slow-run threshold *)
+}
+
 type chaos_counts = {
   raises : int;    (* injected exceptions (the run is aborted, counted) *)
   delays : int;    (* injected sleeps (the run completes normally) *)
@@ -49,12 +65,16 @@ type t = {
   stripped_probes : int;    (* negative-oracle probes attempted *)
   stripped_event_probes : int;  (* probes where stripping produced PBE events *)
   timeouts : timeout_run list;  (* runs stopped by the per-run deadline *)
+  timing : timing option;   (* wall-clock per-run durations; None when
+                               stripped for deterministic comparison *)
   chaos : chaos_counts;     (* injected faults observed, by kind *)
   complete : bool;          (* false when the loop stopped early (failure or
                                generator exhaustion) and later outcomes were
                                discarded — accounting checks must skip *)
   counterexample : counterexample option;
 }
+
+let strip_timing r = { r with timing = None }
 
 (* ---------------- textual network dump ---------------- *)
 
@@ -141,6 +161,15 @@ let json_of_timeout t =
     (match t.t_net_seed with None -> "null" | Some s -> string_of_int s)
     (json_str t.t_reason)
 
+let json_of_slow s =
+  Printf.sprintf "{\"run\": %d, \"seconds\": %.6f}" s.s_run s.s_seconds
+
+let json_of_timing t =
+  Printf.sprintf
+    "{\"runs_timed\": %d, \"total_s\": %.6f, \"max_s\": %.6f, \"slow\": [%s]}"
+    t.runs_timed t.total_s t.max_s
+    (String.concat ", " (List.map json_of_slow t.slow))
+
 let to_json r =
   Printf.sprintf
     "{\"seed\": %d, \"budget\": %d, \"runs\": %d, \"skipped\": %d, \
@@ -148,6 +177,7 @@ let to_json r =
      \"bdd_sampled_vectors\": %d, \
      \"stripped_probes\": %d, \"stripped_event_probes\": %d, \
      \"timeouts\": [%s], \
+     \"timing\": %s, \
      \"chaos\": {\"raises\": %d, \"delays\": %d, \"exhausts\": %d}, \
      \"complete\": %b, \
      \"counterexample\": %s}"
@@ -155,10 +185,21 @@ let to_json r =
     r.bdd_exact_runs r.bdd_sampled_vectors r.stripped_probes
     r.stripped_event_probes
     (String.concat ", " (List.map json_of_timeout r.timeouts))
+    (match r.timing with None -> "null" | Some t -> json_of_timing t)
     r.chaos.raises r.chaos.delays r.chaos.exhausts r.complete
     (match r.counterexample with
     | None -> "null"
     | Some cex -> json_of_counterexample cex)
+
+(* The report with an {!Obs.Metrics} snapshot spliced into the top
+   level; the fuzz CLI uses it when collection is enabled. *)
+let to_json_with_metrics metrics r =
+  let base = to_json r in
+  let items =
+    List.map (fun (n, v) -> Printf.sprintf "%s: %d" (json_str n) v) metrics
+  in
+  String.sub base 0 (String.length base - 1)
+  ^ Printf.sprintf ", \"metrics\": {%s}}" (String.concat ", " items)
 
 let pp_human fmt r =
   Format.fprintf fmt
@@ -181,6 +222,15 @@ let pp_human fmt r =
           | Some s -> string_of_int s))
       r.timeouts
   end;
+  (match r.timing with
+  | Some t when t.runs_timed > 0 ->
+      Format.fprintf fmt "  timing: %.2fs total, %.3fs max over %d run(s)@,"
+        t.total_s t.max_s t.runs_timed;
+      List.iter
+        (fun s ->
+          Format.fprintf fmt "    slow run %d: %.3fs@," s.s_run s.s_seconds)
+        t.slow
+  | _ -> ());
   if r.chaos <> no_chaos then
     Format.fprintf fmt
       "  chaos: %d raises, %d delays, %d exhausts injected@,"

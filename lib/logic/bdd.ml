@@ -13,7 +13,15 @@ type manager = {
   mutable next : int;
   unique : (int * int * int, int) Hashtbl.t;
   cache : (int * int * int, int) Hashtbl.t;  (* ite memoisation *)
+  (* Local observation counters: plain fields, not {!Obs.Metrics} cells,
+     so the hot path pays a field increment instead of an atomic and the
+     per-manager numbers stay deterministic.  Callers fold them into the
+     global registry when a manager retires (see {!Equiv}). *)
+  mutable ite_hits : int;
+  mutable ite_misses : int;
 }
+
+type stats = { nodes : int; ite_hits : int; ite_misses : int }
 
 let terminal_var = max_int
 
@@ -31,6 +39,8 @@ let manager ?(size_hint = 1024) ?(max_nodes = max_int) ~nvars () =
       next = 2;
       unique = Hashtbl.create cap;
       cache = Hashtbl.create cap;
+      ite_hits = 0;
+      ite_misses = 0;
     }
   in
   (* slots 0 and 1 are the constants *)
@@ -92,8 +102,11 @@ let rec ite m f g h =
   else begin
     let key = (f, g, h) in
     match Hashtbl.find_opt m.cache key with
-    | Some r -> r
+    | Some r ->
+        m.ite_hits <- m.ite_hits + 1;
+        r
     | None ->
+        m.ite_misses <- m.ite_misses + 1;
         let v = min (top m f) (min (top m g) (top m h)) in
         let f0, f1 = cofactors m f v in
         let g0, g1 = cofactors m g v in
@@ -138,6 +151,9 @@ let size m f =
   Hashtbl.length seen
 
 let node_count m = m.next - 2
+
+let stats m =
+  { nodes = node_count m; ite_hits = m.ite_hits; ite_misses = m.ite_misses }
 
 let any_sat m f =
   if f = 0 then None

@@ -69,6 +69,18 @@ val size : manager -> t -> int
 val node_count : manager -> int
 (** [node_count m] is the number of live nodes in the manager. *)
 
+type stats = {
+  nodes : int;  (** live nodes, i.e. {!node_count} *)
+  ite_hits : int;  (** [ite] computed-table hits *)
+  ite_misses : int;  (** [ite] computed-table misses (recursive builds) *)
+}
+
+val stats : manager -> stats
+(** Per-manager observation counters.  Kept as plain manager fields so
+    the hot path never touches shared state and the numbers are
+    deterministic for a given construction; callers aggregate them into
+    {!Obs.Metrics} when the manager retires. *)
+
 val any_sat : manager -> t -> bool array option
 (** [any_sat m f] is a satisfying assignment of [f], or [None] when [f]
     is constant false.  Unconstrained variables default to [false]. *)

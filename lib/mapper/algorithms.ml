@@ -16,10 +16,21 @@ type result = {
 }
 
 let prepare ?(extract = false) net =
-  let net = Logic.Strash.run net in
-  let net = if extract then Logic.Extract.run net else net in
-  let net = Unate.Decompose.to_aoi net in
-  Unate.Unetwork.of_network net
+  Obs.Trace.with_span ~cat:"mapper" "mapper.prepare"
+    ~args:(fun () -> [ ("source", Logic.Network.name net) ])
+    (fun () ->
+      let net =
+        Obs.Trace.with_span ~cat:"mapper" "prepare.strash" (fun () ->
+            Logic.Strash.run net)
+      in
+      let net =
+        if extract then
+          Obs.Trace.with_span ~cat:"mapper" "prepare.extract" (fun () ->
+              Logic.Extract.run net)
+        else net
+      in
+      Obs.Trace.with_span ~cat:"mapper" "prepare.decompose" (fun () ->
+          Unate.Unetwork.of_network (Unate.Decompose.to_aoi net)))
 
 let options_of ~cost ~w_max ~h_max ~both_orders ~grounded_at_foot ~pareto_width
     flow =
@@ -32,16 +43,19 @@ let options_of ~cost ~w_max ~h_max ~both_orders ~grounded_at_foot ~pareto_width
    degraded mappings unbudgeted, exactly as on full ones. *)
 let finish flow u circuit stats =
   let circuit =
-    match flow with
-    | Domino_map -> Postprocess.insert_discharges circuit
-    | Rs_map -> Postprocess.rearrange_stacks circuit
-    | Soi_domino_map ->
-        (* Stack reordering is one of the paper's transformations; the DP
-           makes its ordering choices pairwise per AND node, so a final
-           flatten-and-reorder pass can still sink a parallel branch that
-           was committed early.  Discharge points are recomputed for the
-           reordered structures. *)
-        Postprocess.rearrange_stacks circuit
+    Obs.Trace.with_span ~cat:"mapper" "mapper.postprocess"
+      ~args:(fun () -> [ ("flow", flow_name flow) ])
+      (fun () ->
+        match flow with
+        | Domino_map -> Postprocess.insert_discharges circuit
+        | Rs_map -> Postprocess.rearrange_stacks circuit
+        | Soi_domino_map ->
+            (* Stack reordering is one of the paper's transformations; the DP
+               makes its ordering choices pairwise per AND node, so a final
+               flatten-and-reorder pass can still sink a parallel branch that
+               was committed early.  Discharge points are recomputed for the
+               reordered structures. *)
+            Postprocess.rearrange_stacks circuit)
   in
   { circuit; counts = Domino.Circuit.counts circuit; unate = u; stats }
 

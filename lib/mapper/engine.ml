@@ -45,12 +45,35 @@ type entry = {
   mutable gate : gate_info option;
 }
 
+(* Mapper observability (see docs/observability.md).  Counts are
+   accumulated in plain local refs during the sweep and flushed to the
+   registry once per [map] call, so the DP hot loop never touches shared
+   state; everything here is work-derived and schedule-independent. *)
+let m_nodes = Obs.Metrics.counter "mapper.nodes"
+let m_combinations = Obs.Metrics.counter "mapper.combinations"
+let m_tuples_kept = Obs.Metrics.counter "mapper.tuples_kept"
+let m_tuples_pruned = Obs.Metrics.counter "mapper.tuples_pruned"
+let m_gates = Obs.Metrics.counter "mapper.gates"
+let m_discharges = Obs.Metrics.counter "mapper.discharges"
+let m_greedy_fallback = Obs.Metrics.counter "mapper.greedy_fallback"
+
+let h_frontier =
+  Obs.Metrics.histogram ~buckets:[| 1; 2; 4; 8; 16; 32; 64 |]
+    "mapper.frontier_size"
+
+let h_p_dis =
+  Obs.Metrics.histogram ~buckets:[| 0; 1; 2; 4; 8; 16 |] "mapper.p_dis"
+
+(* [par_b] is a boolean shape flag, so the histogram is a two-bucket
+   true/false tally. *)
+let h_par_b = Obs.Metrics.histogram ~buckets:[| 0; 1 |] "mapper.par_b"
+
 (* [greedy = true] is the degradation rung: every node offers its
    consumers only the formed gate tuple, exactly as if it had multiple
    fanouts.  Each node then tries O(pareto_width^2) combinations instead
    of a product of full tuple tables, so the sweep is linear in the
    network and cannot blow the budget it is rescuing. *)
-let map_impl ~greedy ~budget options u =
+let map_body ~greedy ~budget options u =
   if options.w_max < 2 || options.h_max < 2 then
     invalid_arg "Engine.map: w_max and h_max must be at least 2";
   if options.pareto_width < 1 then
@@ -63,6 +86,12 @@ let map_impl ~greedy ~budget options u =
         { table = Array.make (options.w_max * options.h_max) []; gate = None })
   in
   let combinations = ref 0 in
+  (* Tuples rejected on arrival, evicted by a dominating newcomer, or
+     truncated off the frontier cap.  The accounting is hoisted behind
+     [counting] so the disabled hot path runs the same instructions as
+     an uninstrumented build. *)
+  let pruned = ref 0 in
+  let counting = Obs.Metrics.enabled () in
 
   let slot w h = ((w - 1) * options.h_max) + (h - 1) in
 
@@ -82,14 +111,23 @@ let map_impl ~greedy ~budget options u =
     if s.Soi_rules.w <= options.w_max && s.Soi_rules.h <= options.h_max then begin
       let i = slot s.Soi_rules.w s.Soi_rules.h in
       let kept = entry.table.(i) in
-      if not (List.exists (fun old -> dominates old s) kept) then begin
-        let kept = List.filter (fun old -> not (dominates s old)) kept in
-        let kept = List.sort (Soi_rules.compare_sols model) (s :: kept) in
+      if List.exists (fun old -> dominates old s) kept then begin
+        if counting then incr pruned
+      end
+      else begin
+        let survivors = List.filter (fun old -> not (dominates s old)) kept in
+        if counting then
+          pruned := !pruned + (List.length kept - List.length survivors);
+        let sorted = List.sort (Soi_rules.compare_sols model) (s :: survivors) in
         (* Cap the frontier; the sort keeps the cheapest tuples. *)
-        let kept = take options.pareto_width kept in
-        entry.table.(i) <- kept
+        (if counting then
+           let len = List.length sorted in
+           if len > options.pareto_width then
+             pruned := !pruned + (len - options.pareto_width));
+        entry.table.(i) <- take options.pareto_width sorted
       end
     end
+    else if counting then incr pruned
   in
 
   (* The gate a node forms, computed after its table is complete. *)
@@ -298,6 +336,34 @@ let map_impl ~greedy ~budget options u =
         Array.fold_left (fun acc cands -> acc + List.length cands) acc e.table)
       0 entries
   in
+  (* One registry flush per map call; the whole block is skipped when
+     collection is off, so the disabled cost is this single branch. *)
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.add m_nodes n;
+    Obs.Metrics.add m_combinations !combinations;
+    Obs.Metrics.add m_tuples_kept tuples_kept;
+    Obs.Metrics.add m_tuples_pruned !pruned;
+    Obs.Metrics.add m_gates (Array.length circuit.Circuit.gates);
+    Array.iter
+      (fun g ->
+        Obs.Metrics.add m_discharges
+          (List.length g.Domino_gate.discharge_points))
+      circuit.Circuit.gates;
+    Array.iter
+      (fun e ->
+        let frontier =
+          Array.fold_left
+            (fun acc cands -> acc + List.length cands)
+            0 e.table
+        in
+        Obs.Metrics.observe h_frontier frontier;
+        Array.iter
+          (List.iter (fun (s : Soi_rules.sol) ->
+               Obs.Metrics.observe h_p_dis s.Soi_rules.p_dis;
+               Obs.Metrics.observe h_par_b (if s.Soi_rules.par_b then 1 else 0)))
+          e.table)
+      entries
+  end;
   ( circuit,
     {
       nodes_processed = n;
@@ -305,6 +371,16 @@ let map_impl ~greedy ~budget options u =
       combinations_tried = !combinations;
       gates_formed = Array.length circuit.Circuit.gates;
     } )
+
+let map_impl ~greedy ~budget options u =
+  Obs.Trace.with_span ~cat:"mapper" "engine.map"
+    ~args:(fun () ->
+      [
+        ("source", Unetwork.source_name u);
+        ("nodes", string_of_int (Unetwork.node_count u));
+        ("greedy", string_of_bool greedy);
+      ])
+    (fun () -> map_body ~greedy ~budget options u)
 
 let map ?(budget = Resilience.Budget.unlimited) options u =
   map_impl ~greedy:false ~budget options u
@@ -323,6 +399,7 @@ let map_outcome ?(budget = Resilience.Budget.unlimited)
       match on_exhaust with
       | `Fail -> Resilience.Outcome.Failed reason
       | `Degrade ->
+          Obs.Metrics.incr m_greedy_fallback;
           Resilience.Outcome.Degraded
             ( map_greedy options u,
               [ { Resilience.Outcome.stage = "mapper"; reason;

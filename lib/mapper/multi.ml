@@ -31,6 +31,9 @@ let sweep ?(portfolio = default_portfolio) ?(w_max = 5) ?(h_max = 8) net =
   let raw =
     Parallel.Pool.map_list_default
       (fun (label, cost) ->
+        Obs.Trace.with_span ~cat:"mapper" "multi.point"
+          ~args:(fun () -> [ ("objective", label) ])
+        @@ fun () ->
         let r = Algorithms.run ~cost ~w_max ~h_max Algorithms.Soi_domino_map net in
         {
           label;

@@ -1,0 +1,3 @@
+let now_ns () = Monotonic_clock.now ()
+let ns_to_ms ns = Int64.to_float ns /. 1e6
+let ns_to_s ns = Int64.to_float ns /. 1e9

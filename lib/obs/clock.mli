@@ -1,0 +1,17 @@
+(** The observability clock: monotonic nanoseconds.
+
+    Span timestamps and durations must never run backwards when the
+    wall clock is stepped, so everything in {!Trace} and the latency
+    accounting reads this clock, not [Unix.gettimeofday].  The source
+    is the same CLOCK_MONOTONIC stub the benchmark harness measures
+    with, so trace spans and bench numbers share a timebase. *)
+
+val now_ns : unit -> int64
+(** Monotonic time in nanoseconds from an arbitrary origin.  Only
+    differences are meaningful. *)
+
+val ns_to_ms : int64 -> float
+(** Convenience: nanoseconds to (fractional) milliseconds. *)
+
+val ns_to_s : int64 -> float
+(** Convenience: nanoseconds to (fractional) seconds. *)

@@ -1,0 +1,12 @@
+let pairs () =
+  let s = Gc.quick_stat () in
+  [
+    ("gc.minor_words", s.Gc.minor_words);
+    ("gc.promoted_words", s.Gc.promoted_words);
+    ("gc.major_words", s.Gc.major_words);
+    ("gc.minor_collections", float_of_int s.Gc.minor_collections);
+    ("gc.major_collections", float_of_int s.Gc.major_collections);
+    ("gc.heap_words", float_of_int s.Gc.heap_words);
+    ("gc.top_heap_words", float_of_int s.Gc.top_heap_words);
+    ("gc.compactions", float_of_int s.Gc.compactions);
+  ]

@@ -1,0 +1,13 @@
+(** GC statistics as metric rows.
+
+    A thin wrapper over [Gc.quick_stat] shaping the collector's
+    counters into [(name, value)] pairs so the CLIs and the bench
+    telemetry emit them uniformly next to the {!Metrics} snapshot.
+    Under OCaml 5 the minor-heap numbers are those of the calling
+    domain; the major-heap numbers are process-wide — call it from the
+    main domain after the parallel work has quiesced. *)
+
+val pairs : unit -> (string * float) list
+(** [gc.minor_words], [gc.promoted_words], [gc.major_words],
+    [gc.minor_collections], [gc.major_collections], [gc.heap_words],
+    [gc.top_heap_words], [gc.compactions] — in that order. *)

@@ -1,0 +1,139 @@
+(* Sharded cells: every metric owns [n_shards] atomics and an increment
+   lands in the shard of the executing domain, so parallel instrumented
+   code never contends (domain ids are small and monotonically
+   allocated; collisions after [n_shards] domains only cost contention,
+   not correctness).  Aggregation happens at snapshot time. *)
+
+let n_shards = 64
+
+let shard () = (Domain.self () :> int) land (n_shards - 1)
+
+let on = ref false
+
+let set_enabled b = on := b
+let enabled () = !on
+
+type cells = int Atomic.t array
+
+let make_cells () = Array.init n_shards (fun _ -> Atomic.make 0)
+
+let cell_add cells n = ignore (Atomic.fetch_and_add cells.(shard ()) n)
+
+let cell_max cells v =
+  let c = cells.(shard ()) in
+  let rec go () =
+    let prev = Atomic.get c in
+    if v > prev && not (Atomic.compare_and_set c prev v) then go ()
+  in
+  go ()
+
+type kind =
+  | K_counter of cells
+  | K_gauge of cells
+  | K_hist of { bounds : int array; buckets : cells array }
+
+type metric = { name : string; stable : bool; kind : kind }
+
+type counter = cells
+type gauge = cells
+type histogram = { h_bounds : int array; h_buckets : cells array }
+
+(* The registry: name -> metric, guarded for registration from library
+   initialisers on any domain.  Lookups on the hot path never touch it —
+   handles hold their cells directly. *)
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let register name stable kind_of =
+  Mutex.lock registry_mutex;
+  let m =
+    match Hashtbl.find_opt registry name with
+    | Some m -> m
+    | None ->
+        let m = { name; stable; kind = kind_of () } in
+        Hashtbl.replace registry name m;
+        m
+  in
+  Mutex.unlock registry_mutex;
+  m
+
+let counter ?(stable = true) name =
+  match (register name stable (fun () -> K_counter (make_cells ()))).kind with
+  | K_counter c -> c
+  | _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter")
+
+let add c n = if !on then cell_add c n
+let incr c = add c 1
+
+let gauge_max ?(stable = true) name =
+  match (register name stable (fun () -> K_gauge (make_cells ()))).kind with
+  | K_gauge c -> c
+  | _ -> invalid_arg ("Metrics.gauge_max: " ^ name ^ " is not a gauge")
+
+let observe_max g v = if !on then cell_max g v
+
+let histogram ?(stable = true) ~buckets name =
+  if Array.length buckets = 0 then
+    invalid_arg "Metrics.histogram: empty bucket bounds";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && buckets.(i - 1) >= b then
+        invalid_arg "Metrics.histogram: bounds must be strictly increasing")
+    buckets;
+  let kind_of () =
+    K_hist
+      {
+        bounds = Array.copy buckets;
+        buckets = Array.init (Array.length buckets + 1) (fun _ -> make_cells ());
+      }
+  in
+  match (register name stable kind_of).kind with
+  | K_hist h -> { h_bounds = h.bounds; h_buckets = h.buckets }
+  | _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram")
+
+let observe h v =
+  if !on then begin
+    (* Linear scan: bucket counts are small (single digits) and bounds
+       are in cache; binary search would not pay for itself. *)
+    let n = Array.length h.h_bounds in
+    let rec bucket i = if i >= n || v <= h.h_bounds.(i) then i else bucket (i + 1) in
+    cell_add h.h_buckets.(bucket 0) 1
+  end
+
+let sum cells = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 cells
+let maxv cells = Array.fold_left (fun acc c -> max acc (Atomic.get c)) 0 cells
+
+let snapshot ?(stable_only = false) () =
+  Mutex.lock registry_mutex;
+  let metrics = Hashtbl.fold (fun _ m acc -> m :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  let rows =
+    List.concat_map
+      (fun m ->
+        if stable_only && not m.stable then []
+        else
+          match m.kind with
+          | K_counter c -> [ (m.name, sum c) ]
+          | K_gauge c -> [ (m.name, maxv c) ]
+          | K_hist { bounds; buckets } ->
+              List.init (Array.length buckets) (fun i ->
+                  let label =
+                    if i < Array.length bounds then
+                      Printf.sprintf "%s{le=%d}" m.name bounds.(i)
+                    else m.name ^ "{le=inf}"
+                  in
+                  (label, sum buckets.(i))))
+      metrics
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) rows
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Hashtbl.iter
+    (fun _ m ->
+      let zero cells = Array.iter (fun c -> Atomic.set c 0) cells in
+      match m.kind with
+      | K_counter c | K_gauge c -> zero c
+      | K_hist { buckets; _ } -> Array.iter zero buckets)
+    registry;
+  Mutex.unlock registry_mutex

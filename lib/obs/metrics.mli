@@ -1,0 +1,70 @@
+(** The metrics registry: counters, gauges, and histograms.
+
+    Cells are sharded per domain (the shard index is the executing
+    domain's id), so concurrent increments from a work-stealing pool
+    never contend on one cache line and never race; a {!snapshot}
+    aggregates the shards.  Because counter aggregation is a sum of
+    per-increment deltas, the total is independent of how the schedule
+    interleaved the increments — a [-j 4] run that performs the same
+    work as a [-j 1] run reports the same totals.
+
+    Metrics whose {e values} depend on the schedule anyway (a pool's
+    steal count, queue depths, wall-clock latency buckets) are
+    registered with [~stable:false]; deterministic comparisons filter
+    on that flag.
+
+    Collection is off by default.  When disabled, an increment costs
+    one branch on a plain [bool ref] — the null sink the hot paths are
+    instrumented against.  Registration is cheap and idempotent per
+    name, and meant to happen once at module initialisation. *)
+
+val set_enabled : bool -> unit
+(** Turn collection on or off (process-global).  Not synchronised:
+    flip it before the instrumented work starts. *)
+
+val enabled : unit -> bool
+
+type counter
+
+val counter : ?stable:bool -> string -> counter
+(** [counter name] registers (or finds) a monotone counter.  [stable]
+    (default [true]) declares the aggregate schedule-independent.
+    @raise Invalid_argument if [name] is already registered as a
+    different metric kind. *)
+
+val add : counter -> int -> unit
+(** [add c n] adds [n] (a no-op when collection is disabled). *)
+
+val incr : counter -> unit
+(** [incr c] is [add c 1]. *)
+
+type gauge
+
+val gauge_max : ?stable:bool -> string -> gauge
+(** A high-watermark gauge: aggregates by maximum over shards and
+    observations. *)
+
+val observe_max : gauge -> int -> unit
+
+type histogram
+
+val histogram : ?stable:bool -> buckets:int array -> string -> histogram
+(** [histogram ~buckets name] registers a histogram with cumulative
+    upper bounds [buckets] (must be strictly increasing); an implicit
+    overflow bucket catches everything above the last bound.  The
+    snapshot renders one entry per bucket as [name{le=N}] plus
+    [name{le=inf}].
+    @raise Invalid_argument on empty or non-increasing bounds. *)
+
+val observe : histogram -> int -> unit
+(** Count one observation of value [v] into its bucket. *)
+
+val snapshot : ?stable_only:bool -> unit -> (string * int) list
+(** Aggregate every registered metric, sorted by name.  Counters sum
+    their shards, gauges take the maximum, histograms contribute one
+    row per bucket.  [stable_only] (default [false]) drops metrics
+    registered with [~stable:false]. *)
+
+val reset : unit -> unit
+(** Zero every cell (the registry itself is kept).  For tests and for
+    delta-based reporting. *)

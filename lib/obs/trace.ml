@@ -1,0 +1,210 @@
+type event = {
+  name : string;
+  cat : string;
+  ph : char;  (* 'X' complete span, 'i' instant *)
+  ts : int64;  (* monotonic ns *)
+  dur : int64;  (* ns; 0 for instants *)
+  tid : int;  (* domain id *)
+  args : (string * string) list;
+}
+
+(* One buffer per domain, created lazily through domain-local storage
+   and registered in a global list so [export] can reach buffers of
+   domains that have since terminated.  Only the owning domain pushes;
+   readers run when no instrumented work is in flight. *)
+type buffer = { b_tid : int; mutable events : event list }
+
+let buffers : buffer list ref = ref []
+let buffers_mutex = Mutex.create ()
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      let b = { b_tid = (Domain.self () :> int); events = [] } in
+      Mutex.lock buffers_mutex;
+      buffers := b :: !buffers;
+      Mutex.unlock buffers_mutex;
+      b)
+
+let on = ref false
+
+let set_enabled b = on := b
+let enabled () = !on
+
+let record ev =
+  let b = Domain.DLS.get dls_key in
+  b.events <- ev :: b.events
+
+let with_span ?(cat = "app") ?args name f =
+  if not !on then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Clock.now_ns () in
+        let args = match args with None -> [] | Some g -> g () in
+        record
+          {
+            name;
+            cat;
+            ph = 'X';
+            ts = t0;
+            dur = Int64.max 0L (Int64.sub t1 t0);
+            tid = (Domain.self () :> int);
+            args;
+          })
+      f
+  end
+
+let instant ?(cat = "app") name =
+  if !on then
+    record
+      {
+        name;
+        cat;
+        ph = 'i';
+        ts = Clock.now_ns ();
+        dur = 0L;
+        tid = (Domain.self () :> int);
+        args = [];
+      }
+
+let all_events () =
+  Mutex.lock buffers_mutex;
+  let bufs = !buffers in
+  Mutex.unlock buffers_mutex;
+  let evs = List.concat_map (fun b -> b.events) bufs in
+  List.sort
+    (fun a b ->
+      match Int64.compare a.ts b.ts with 0 -> compare a.tid b.tid | c -> c)
+    evs
+
+let event_count () =
+  Mutex.lock buffers_mutex;
+  let bufs = !buffers in
+  Mutex.unlock buffers_mutex;
+  List.fold_left (fun acc b -> acc + List.length b.events) 0 bufs
+
+let clear () =
+  Mutex.lock buffers_mutex;
+  List.iter (fun b -> b.events <- []) !buffers;
+  Mutex.unlock buffers_mutex
+
+(* ---------------- Chrome trace-event JSON ---------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Timestamps are rebased to the first event and emitted in
+   microseconds, the unit the trace-event format specifies. *)
+let us_of_ns base ns = Int64.to_float (Int64.sub ns base) /. 1e3
+
+let add_args buf args =
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Printf.sprintf "\"%s\": \"%s\"" (escape k) (escape v)))
+    args;
+  Buffer.add_string buf "}"
+
+let export ?(process_name = "soi_domino") buf =
+  let evs = all_events () in
+  let base = match evs with [] -> 0L | e :: _ -> e.ts in
+  Buffer.add_string buf "{\"traceEvents\": [\n";
+  (* Metadata: a process name, and one thread name per domain track. *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, \
+        \"args\": {\"name\": \"%s\"}}"
+       (escape process_name));
+  let tids =
+    List.sort_uniq compare (List.map (fun e -> e.tid) evs)
+  in
+  List.iter
+    (fun tid ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \
+            \"tid\": %d, \"args\": {\"name\": \"domain %d\"}}"
+           tid tid))
+    tids;
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",\n  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%c\", \
+            \"ts\": %.3f, " (escape e.name) (escape e.cat) e.ph
+           (us_of_ns base e.ts));
+      if e.ph = 'X' then
+        Buffer.add_string buf
+          (Printf.sprintf "\"dur\": %.3f, " (Int64.to_float e.dur /. 1e3))
+      else Buffer.add_string buf "\"s\": \"t\", ";
+      Buffer.add_string buf (Printf.sprintf "\"pid\": 0, \"tid\": %d" e.tid);
+      if e.args <> [] then begin
+        Buffer.add_string buf ", \"args\": ";
+        add_args buf e.args
+      end;
+      Buffer.add_string buf "}")
+    evs;
+  Buffer.add_string buf "\n]}\n"
+
+let write_file ?process_name path =
+  let buf = Buffer.create 4096 in
+  export ?process_name buf;
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
+(* ---------------- flat summary ---------------- *)
+
+let summary () =
+  let tbl : (string, int ref * int64 ref * int64 ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  List.iter
+    (fun e ->
+      if e.ph = 'X' then begin
+        let count, total, maxd =
+          match Hashtbl.find_opt tbl e.name with
+          | Some cell -> cell
+          | None ->
+              let cell = (ref 0, ref 0L, ref 0L) in
+              Hashtbl.replace tbl e.name cell;
+              cell
+        in
+        Stdlib.incr count;
+        total := Int64.add !total e.dur;
+        if Int64.compare e.dur !maxd > 0 then maxd := e.dur
+      end)
+    (all_events ());
+  Hashtbl.fold (fun name (c, t, m) acc -> (name, !c, !t, !m) :: acc) tbl []
+  |> List.sort (fun (na, _, ta, _) (nb, _, tb, _) ->
+         match Int64.compare tb ta with 0 -> compare na nb | c -> c)
+
+let summary_text () =
+  match summary () with
+  | [] -> ""
+  | rows ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf
+        (Printf.sprintf "%-36s %8s %12s %12s\n" "span" "count" "total ms"
+           "max ms");
+      List.iter
+        (fun (name, count, total, maxd) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-36s %8d %12.3f %12.3f\n" name count
+               (Clock.ns_to_ms total) (Clock.ns_to_ms maxd)))
+        rows;
+      Buffer.contents buf

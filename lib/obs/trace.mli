@@ -1,0 +1,61 @@
+(** Hierarchical span tracing with Chrome trace-event export.
+
+    Spans are complete ("X") trace events: a name, a category, a
+    monotonic start timestamp and a duration, recorded on the domain
+    that executed the work.  Each domain appends to its own buffer
+    (domain-local storage, registered globally on first use), so
+    recording is lock-free and safe under the work-stealing pool;
+    {!export} merges and time-sorts all buffers.
+
+    The exported JSON is the Chrome trace-event format: load it in
+    Perfetto ({{:https://ui.perfetto.dev}ui.perfetto.dev}) or
+    [chrome://tracing] to see the pipeline's timeline, one track per
+    domain.  {!summary} aggregates the same spans into a flat text
+    table for terminals.
+
+    Tracing is off by default; a disabled {!with_span} costs one branch
+    and calls the thunk directly.  Nesting needs no bookkeeping — the
+    viewer reconstructs the hierarchy from containment. *)
+
+val set_enabled : bool -> unit
+(** Turn recording on or off (process-global).  Flip it before the
+    instrumented work starts; events recorded while enabled are kept
+    until {!clear}. *)
+
+val enabled : unit -> bool
+
+val with_span :
+  ?cat:string -> ?args:(unit -> (string * string) list) -> string ->
+  (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()] inside a span.  The span is recorded
+    even when [f] raises (the exception propagates).  [args] is only
+    evaluated when tracing is enabled, at span end — keep it cheap and
+    pure.  [cat] (default ["app"]) groups spans in the viewer. *)
+
+val instant : ?cat:string -> string -> unit
+(** Record a zero-duration instant event (a vertical marker in the
+    viewer). *)
+
+val export : ?process_name:string -> Buffer.t -> unit
+(** Append the full trace as Chrome trace-event JSON:
+    [{"traceEvents": [...]}], events sorted by timestamp and rebased to
+    the earliest one.  Safe to call only when no instrumented work is
+    running concurrently. *)
+
+val write_file : ?process_name:string -> string -> unit
+(** {!export} to a file. *)
+
+val summary : unit -> (string * int * int64 * int64) list
+(** Per span name: [(name, count, total_ns, max_ns)], sorted by
+    descending total. *)
+
+val summary_text : unit -> string
+(** The {!summary} as an aligned text table; [""] when no spans were
+    recorded. *)
+
+val event_count : unit -> int
+(** Number of buffered events (tests use this to pin the disabled path
+    to zero). *)
+
+val clear : unit -> unit
+(** Drop all buffered events. *)

@@ -18,6 +18,8 @@
 type batch = {
   run : int -> unit;  (* execute task [i]; may raise *)
   size : int;
+  submitter : int;  (* domain id of the submitting domain, for steal
+                       accounting *)
   next : int Atomic.t;  (* next index to claim *)
   cancelled : bool Atomic.t;  (* set on first failure; rest of the batch
                                  is claimed but skipped *)
@@ -41,6 +43,20 @@ let record_failure b i e bt =
   loop ();
   Atomic.set b.cancelled true
 
+(* Scheduling observability.  The per-pool counters are always on —
+   they are a handful of atomic adds per batch participation, not per
+   task — while the cross-pool {!Obs.Metrics} mirrors are gated behind
+   the metrics switch.  All of these describe the *schedule*, so their
+   values legitimately differ between pool sizes and runs; only
+   [tasks_run]/[batches] are work-derived. *)
+type stats = {
+  tasks_run : int;  (* task indices executed (skipped-on-cancel excluded) *)
+  steals : int;  (* tasks executed by a domain other than the submitter *)
+  batches : int;  (* map/map_list calls, serial fast path included *)
+  peak_queue_depth : int;  (* max batches simultaneously on the run queue *)
+  busy_ns : int64;  (* summed wall-clock the domains spent inside batches *)
+}
+
 type t = {
   n_jobs : int;
   mutex : Mutex.t;
@@ -49,9 +65,38 @@ type t = {
   mutable queue : batch list;  (* batches with unclaimed indices *)
   mutable stop : bool;
   mutable workers : unit Domain.t list;
+  st_tasks : int Atomic.t;
+  st_steals : int Atomic.t;
+  st_batches : int Atomic.t;
+  st_peak_queue : int Atomic.t;
+  st_busy_ns : int Atomic.t;  (* ns fit in 63 bits for ~292 years *)
 }
 
 let jobs p = p.n_jobs
+
+let stats p =
+  {
+    tasks_run = Atomic.get p.st_tasks;
+    steals = Atomic.get p.st_steals;
+    batches = Atomic.get p.st_batches;
+    peak_queue_depth = Atomic.get p.st_peak_queue;
+    busy_ns = Int64.of_int (Atomic.get p.st_busy_ns);
+  }
+
+(* Process-wide mirrors, aggregated across every pool; scheduling
+   metrics, so registered unstable. *)
+let m_tasks = Obs.Metrics.counter ~stable:false "pool.tasks"
+let m_steals = Obs.Metrics.counter ~stable:false "pool.steals"
+let m_batches = Obs.Metrics.counter ~stable:false "pool.batches"
+let m_queue_peak = Obs.Metrics.gauge_max ~stable:false "pool.queue_peak"
+let m_busy = Obs.Metrics.counter ~stable:false "pool.busy_ns"
+
+let atomic_max a v =
+  let rec go () =
+    let prev = Atomic.get a in
+    if v > prev && not (Atomic.compare_and_set a prev v) then go ()
+  in
+  go ()
 
 (* Steal and settle every remaining index of [b]; returns the number
    settled so the caller can batch the [finished] update.  A raising
@@ -61,19 +106,47 @@ let jobs p = p.n_jobs
    raising task can never kill a worker domain or wedge the pool. *)
 let drain b =
   let executed = ref 0 in
+  let ran = ref 0 in
   let claiming = ref true in
   while !claiming do
     let i = Atomic.fetch_and_add b.next 1 in
     if i < b.size then begin
       if not (Atomic.get b.cancelled) then begin
-        try b.run i
-        with e -> record_failure b i e (Printexc.get_raw_backtrace ())
+        (try b.run i
+         with e -> record_failure b i e (Printexc.get_raw_backtrace ()));
+        incr ran
       end;
       incr executed
     end
     else claiming := false
   done;
-  !executed
+  (!executed, !ran)
+
+(* Drain with the scheduling bookkeeping: wall-clock busy time, task and
+   steal counts (a steal is a task executed by a domain other than the
+   batch's submitter), and — when tracing is on — a [pool.drain] span on
+   this domain's track.  The cost when observability is off is two
+   monotonic clock reads and up to three atomic adds per batch
+   participation, not per task. *)
+let drain_timed p b =
+  let t0 = Obs.Clock.now_ns () in
+  let executed, ran =
+    Obs.Trace.with_span ~cat:"pool" "pool.drain" (fun () -> drain b)
+  in
+  if executed > 0 then begin
+    let dt = max 0 (Int64.to_int (Int64.sub (Obs.Clock.now_ns ()) t0)) in
+    ignore (Atomic.fetch_and_add p.st_busy_ns dt);
+    Obs.Metrics.add m_busy dt;
+    if ran > 0 then begin
+      ignore (Atomic.fetch_and_add p.st_tasks ran);
+      Obs.Metrics.add m_tasks ran;
+      if (Domain.self () :> int) <> b.submitter then begin
+        ignore (Atomic.fetch_and_add p.st_steals ran);
+        Obs.Metrics.add m_steals ran
+      end
+    end
+  end;
+  executed
 
 let credit p b executed =
   if executed > 0 then begin
@@ -91,7 +164,7 @@ let worker_loop p =
     match p.queue with
     | b :: _ ->
         Mutex.unlock p.mutex;
-        let executed = drain b in
+        let executed = drain_timed p b in
         credit p b executed;
         Mutex.lock p.mutex
     | [] -> Condition.wait p.work p.mutex
@@ -109,6 +182,11 @@ let create ~jobs:n =
       queue = [];
       stop = false;
       workers = [];
+      st_tasks = Atomic.make 0;
+      st_steals = Atomic.make 0;
+      st_batches = Atomic.make 0;
+      st_peak_queue = Atomic.make 0;
+      st_busy_ns = Atomic.make 0;
     }
   in
   p.workers <- List.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop p));
@@ -126,7 +204,18 @@ let shutdown p =
 let map p f arr =
   let n = Array.length arr in
   if n = 0 then [||]
-  else if p.n_jobs = 1 || n = 1 then Array.map f arr
+  else if p.n_jobs = 1 || n = 1 then begin
+    ignore (Atomic.fetch_and_add p.st_batches 1);
+    Obs.Metrics.incr m_batches;
+    let t0 = Obs.Clock.now_ns () in
+    let r = Array.map f arr in
+    let dt = max 0 (Int64.to_int (Int64.sub (Obs.Clock.now_ns ()) t0)) in
+    ignore (Atomic.fetch_and_add p.st_tasks n);
+    ignore (Atomic.fetch_and_add p.st_busy_ns dt);
+    Obs.Metrics.add m_tasks n;
+    Obs.Metrics.add m_busy dt;
+    r
+  end
   else begin
     let results = Array.make n None in
     let run i = results.(i) <- Some (f arr.(i)) in
@@ -134,17 +223,23 @@ let map p f arr =
       {
         run;
         size = n;
+        submitter = (Domain.self () :> int);
         next = Atomic.make 0;
         cancelled = Atomic.make false;
         failure = Atomic.make None;
         finished = 0;
       }
     in
+    ignore (Atomic.fetch_and_add p.st_batches 1);
+    Obs.Metrics.incr m_batches;
     Mutex.lock p.mutex;
     p.queue <- b :: p.queue;
+    let depth = List.length p.queue in
     Condition.broadcast p.work;
     Mutex.unlock p.mutex;
-    let executed = drain b in
+    atomic_max p.st_peak_queue depth;
+    Obs.Metrics.observe_max m_queue_peak depth;
+    let executed = drain_timed p b in
     credit p b executed;
     Mutex.lock p.mutex;
     while b.finished < b.size do

@@ -42,6 +42,38 @@ val create : jobs:int -> t
 val jobs : t -> int
 (** Number of domains that execute a batch, submitter included. *)
 
+(** {1 Scheduling statistics}
+
+    Always-on, cumulative over the pool's lifetime; the cost is a few
+    atomic adds per batch participation, never per task.  All of these
+    describe the {e schedule}: apart from [tasks_run] and [batches]
+    (which are work-derived), their values legitimately vary with the
+    pool size, machine load, and interleaving — deterministic
+    comparisons must not include them.  With {!Obs.Metrics} collection
+    enabled, the same quantities are also mirrored into the process
+    metrics registry under [pool.*] (registered unstable), and with
+    {!Obs.Trace} enabled each batch participation appears as a
+    [pool.drain] span on its domain's track. *)
+
+type stats = {
+  tasks_run : int;
+      (** tasks actually executed (indices claimed-but-skipped by a
+          cancelled batch are not counted) *)
+  steals : int;
+      (** tasks executed by a domain other than the batch's submitter *)
+  batches : int;  (** [map]/[map_list] calls, serial fast path included *)
+  peak_queue_depth : int;
+      (** maximum number of batches simultaneously on the run queue *)
+  busy_ns : int64;
+      (** summed wall-clock nanoseconds domains spent inside batches
+          (can exceed elapsed time: domains run concurrently) *)
+}
+
+val stats : t -> stats
+(** A consistent-enough snapshot of the counters above: each field is
+    read atomically, the record is not (exact totals require the pool
+    to be quiescent). *)
+
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map pool f arr] is [Array.map f arr] with the applications spread
     across the pool.  Result order is input order. *)

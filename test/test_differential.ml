@@ -203,8 +203,10 @@ let test_with_structure_renormalises () =
 
 let test_report_deterministic () =
   let params = { Fuzz.default_params with Fuzz.seed = 5; budget = 10 } in
-  let a = Report.to_json (Fuzz.run params) in
-  let b = Report.to_json (Fuzz.run params) in
+  (* Timing is wall clock — the one legitimately non-deterministic report
+     field — so it is stripped before the byte comparison. *)
+  let a = Report.to_json (Report.strip_timing (Fuzz.run params)) in
+  let b = Report.to_json (Report.strip_timing (Fuzz.run params)) in
   Alcotest.(check string) "same seed, same report" a b
 
 let test_report_json_fields () =
@@ -219,7 +221,10 @@ let test_report_json_fields () =
            && (String.sub json i (String.length re) = re || find (i + 1))
          in
          find 0))
-    [ "seed"; "budget"; "runs"; "eval_vectors"; "sim_cycles"; "counterexample" ]
+    [
+      "seed"; "budget"; "runs"; "eval_vectors"; "sim_cycles"; "timing";
+      "counterexample";
+    ]
 
 let test_json_escaping () =
   Alcotest.(check string) "quotes and newlines escaped"

@@ -44,6 +44,7 @@ let () =
       ("alternatives", Test_alternatives.suite);
       ("vcd", Test_vcd.suite);
       ("equiv", Test_equiv.suite);
+      ("obs", Test_obs.suite);
       ("parallel", Test_parallel.suite);
       ("resilience", Test_resilience.suite);
       ("constants", Test_constants.suite);

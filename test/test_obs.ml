@@ -1,0 +1,312 @@
+(* The observability layer: the JSON reader, the sharded metrics
+   registry, the span tracer and its Chrome export, and the CLI surface
+   that carries them (soimap --stats/--trace).
+
+   Metrics and tracing are process-global switches, so every test that
+   flips them restores the disabled state under Fun.protect — the rest
+   of the suite must keep measuring the null sink. *)
+
+let with_metrics f =
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+    f
+
+let with_trace f =
+  Obs.Trace.clear ();
+  Obs.Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_enabled false;
+      Obs.Trace.clear ())
+    f
+
+let snapshot_value name =
+  match List.assoc_opt name (Obs.Metrics.snapshot ()) with
+  | Some v -> v
+  | None -> Alcotest.fail ("metric not in snapshot: " ^ name)
+
+(* ---------------- Obs.Json ---------------- *)
+
+let test_json_values () =
+  let open Obs.Json in
+  Alcotest.(check bool) "null" true (parse_exn " null " = Null);
+  Alcotest.(check bool) "bools" true
+    (parse_exn "true" = Bool true && parse_exn "false" = Bool false);
+  Alcotest.(check bool) "numbers" true
+    (parse_exn "42" = Num 42.0
+    && parse_exn "-12.5e1" = Num (-125.0)
+    && parse_exn "0.25" = Num 0.25);
+  Alcotest.(check bool) "string escapes" true
+    (parse_exn "\"a\\n\\t\\\\\\\"\\u0041\"" = Str "a\n\t\\\"A");
+  Alcotest.(check bool) "array" true
+    (parse_exn "[1, \"x\", null]" = Arr [ Num 1.0; Str "x"; Null ]);
+  let doc = parse_exn "{\"a\": {\"b\": [1, 2]}, \"c\": true}" in
+  Alcotest.(check (option bool)) "member chain" (Some true)
+    (Option.bind (member "c" doc) to_bool);
+  let nested =
+    Option.bind (member "a" doc) (member "b")
+    |> Fun.flip Option.bind to_list
+    |> Fun.flip Option.bind (fun l -> List.nth_opt l 1)
+    |> Fun.flip Option.bind to_int
+  in
+  Alcotest.(check (option int)) "nested member" (Some 2) nested
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      match Obs.Json.parse s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" s)
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "tru"; "\"open"; "{\"a\" 1}"; "1 2"; "{,}"; "[1 2]" ]
+
+let test_json_roundtrip_report () =
+  (* The reader must accept what the repo's own emitters produce. *)
+  let r =
+    Check.Fuzz.run
+      { Check.Fuzz.default_params with Check.Fuzz.seed = 2; budget = 2;
+        eval_vectors = 32; sim_pairs = 2 }
+  in
+  match Obs.Json.parse (Check.Report.to_json r) with
+  | Error e -> Alcotest.fail ("fuzz report JSON rejected: " ^ e)
+  | Ok doc ->
+      Alcotest.(check (option int)) "runs field" (Some r.Check.Report.runs)
+        (Option.bind (Obs.Json.member "runs" doc) Obs.Json.to_int)
+
+(* ---------------- Obs.Metrics ---------------- *)
+
+let c_test = Obs.Metrics.counter "test.counter"
+let g_test = Obs.Metrics.gauge_max ~stable:false "test.gauge"
+let h_test = Obs.Metrics.histogram ~buckets:[| 10; 100 |] "test.hist"
+
+let test_metrics_disabled_free () =
+  Obs.Metrics.reset ();
+  Alcotest.(check bool) "collection off" false (Obs.Metrics.enabled ());
+  Obs.Metrics.add c_test 5;
+  Obs.Metrics.observe_max g_test 7;
+  Obs.Metrics.observe h_test 3;
+  Alcotest.(check int) "disabled add ignored" 0 (snapshot_value "test.counter");
+  Alcotest.(check int) "disabled observe ignored" 0
+    (snapshot_value "test.hist{le=10}")
+
+let test_metrics_aggregation () =
+  with_metrics @@ fun () ->
+  Obs.Metrics.add c_test 5;
+  Obs.Metrics.incr c_test;
+  Obs.Metrics.observe_max g_test 9;
+  Obs.Metrics.observe_max g_test 4;
+  List.iter (Obs.Metrics.observe h_test) [ 1; 10; 11; 100; 101; 9999 ];
+  Alcotest.(check int) "counter sums" 6 (snapshot_value "test.counter");
+  Alcotest.(check int) "gauge keeps the max" 9 (snapshot_value "test.gauge");
+  Alcotest.(check int) "le=10 bucket" 2 (snapshot_value "test.hist{le=10}");
+  Alcotest.(check int) "le=100 bucket" 2 (snapshot_value "test.hist{le=100}");
+  Alcotest.(check int) "overflow bucket" 2 (snapshot_value "test.hist{le=inf}");
+  Alcotest.(check bool) "unstable gauge dropped from stable snapshot" true
+    (List.assoc_opt "test.gauge" (Obs.Metrics.snapshot ~stable_only:true ())
+    = None)
+
+let test_metrics_sharded_sum () =
+  (* Concurrent increments from pool domains must aggregate exactly:
+     4 domains x 25 tasks x 40 increments. *)
+  with_metrics @@ fun () ->
+  let pool = Parallel.Pool.create ~jobs:4 in
+  Fun.protect ~finally:(fun () -> Parallel.Pool.shutdown pool) @@ fun () ->
+  ignore
+    (Parallel.Pool.map pool
+       (fun _ ->
+         for _ = 1 to 40 do
+           Obs.Metrics.incr c_test
+         done)
+       (Array.make 100 ()));
+  Alcotest.(check int) "no lost increments" 4000 (snapshot_value "test.counter")
+
+let test_metrics_jobs_invariant () =
+  (* The tentpole determinism contract: the stable snapshot after the
+     same mapping work is byte-identical at -j 1 and -j 4. *)
+  let net = Gen.Suite.build_exn "cm150" in
+  let snap jobs =
+    with_metrics @@ fun () ->
+    Parallel.Pool.set_jobs jobs;
+    Fun.protect ~finally:(fun () -> Parallel.Pool.set_jobs 1) @@ fun () ->
+    ignore (Mapper.Multi.sweep net);
+    Obs.Metrics.snapshot ~stable_only:true ()
+  in
+  let s1 = snap 1 and s4 = snap 4 in
+  Alcotest.(check (list (pair string int)))
+    "stable metric totals identical at -j1 and -j4" s1 s4;
+  Alcotest.(check bool) "the sweep actually counted mapper work" true
+    (List.assoc "mapper.nodes" s1 > 0)
+
+(* ---------------- Obs.Trace ---------------- *)
+
+let test_trace_disabled_free () =
+  Obs.Trace.clear ();
+  Alcotest.(check bool) "tracing off" false (Obs.Trace.enabled ());
+  Obs.Trace.with_span "quiet" (fun () -> ());
+  Obs.Trace.instant "quiet-instant";
+  Alcotest.(check int) "no events buffered" 0 (Obs.Trace.event_count ());
+  let buf = Buffer.create 64 in
+  Obs.Trace.export buf;
+  let doc = Obs.Json.parse_exn (Buffer.contents buf) in
+  Alcotest.(check (option int)) "export is an empty traceEvents array"
+    (Some 0)
+    (Option.bind
+       (Option.bind (Obs.Json.member "traceEvents" doc) Obs.Json.to_list)
+       (fun l ->
+         Some
+           (List.length
+              (List.filter
+                 (fun e ->
+                   Option.bind (Obs.Json.member "ph" e) Obs.Json.to_string
+                   = Some "X")
+                 l))))
+
+let test_trace_well_formed () =
+  with_trace @@ fun () ->
+  let r =
+    Obs.Trace.with_span ~cat:"t" "outer"
+      ~args:(fun () -> [ ("k", "v") ])
+      (fun () ->
+        Obs.Trace.with_span ~cat:"t" "inner" (fun () -> ());
+        Obs.Trace.instant "mark";
+        17)
+  in
+  Alcotest.(check int) "with_span returns the thunk's value" 17 r;
+  (try Obs.Trace.with_span "raising" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "span recorded despite the raise" true
+    (List.exists (fun (n, _, _, _) -> n = "raising") (Obs.Trace.summary ()));
+  let buf = Buffer.create 256 in
+  Obs.Trace.export buf;
+  let doc = Obs.Json.parse_exn (Buffer.contents buf) in
+  let events =
+    match Option.bind (Obs.Json.member "traceEvents" doc) Obs.Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  let field name e = Option.bind (Obs.Json.member name e) in
+  let xs =
+    List.filter
+      (fun e -> field "ph" e Obs.Json.to_string = Some "X")
+      events
+  in
+  Alcotest.(check int) "three complete spans" 3 (List.length xs);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "X event has non-negative ts and dur" true
+        (match (field "ts" e Obs.Json.to_float, field "dur" e Obs.Json.to_float)
+         with
+        | Some ts, Some dur -> ts >= 0.0 && dur >= 0.0
+        | _ -> false))
+    xs;
+  (* Events are exported sorted: timestamps never run backwards. *)
+  let stamps =
+    List.filter_map
+      (fun e ->
+        if field "ph" e Obs.Json.to_string = Some "M" then None
+        else field "ts" e Obs.Json.to_float)
+      events
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps sorted" true (monotone stamps);
+  Alcotest.(check bool) "instant event present" true
+    (List.exists
+       (fun e ->
+         field "ph" e Obs.Json.to_string = Some "i"
+         && field "name" e Obs.Json.to_string = Some "mark")
+       events);
+  Alcotest.(check bool) "span args exported" true
+    (List.exists
+       (fun e ->
+         field "name" e Obs.Json.to_string = Some "outer"
+         && Option.bind (Obs.Json.member "args" e) (Obs.Json.member "k")
+            |> Fun.flip Option.bind Obs.Json.to_string
+            = Some "v")
+       xs)
+
+(* ---------------- CLI surface ---------------- *)
+
+let run_lines cmd =
+  let ic = Unix.open_process_in cmd in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = go [] in
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> lines
+  | _ -> Alcotest.fail ("command failed: " ^ cmd)
+
+let test_cli_stats_json () =
+  let lines = run_lines "../bin/soimap.exe --bench cm150 --stats=json 2>/dev/null" in
+  let json_line =
+    match List.filter (fun l -> String.length l > 0 && l.[0] = '{') lines with
+    | [ l ] -> l
+    | _ -> Alcotest.fail "expected exactly one JSON stats line"
+  in
+  let doc = Obs.Json.parse_exn json_line in
+  let int_member path =
+    Option.bind (Obs.Json.member "metrics" doc) (Obs.Json.member path)
+    |> Fun.flip Option.bind Obs.Json.to_int
+  in
+  Alcotest.(check bool) "mapper.gates counted" true
+    (match int_member "mapper.gates" with Some n -> n > 0 | None -> false);
+  Alcotest.(check bool) "gc section present" true
+    (Option.bind (Obs.Json.member "gc" doc)
+       (Obs.Json.member "gc.minor_words")
+    <> None);
+  Alcotest.(check bool) "span summary present" true
+    (match Option.bind (Obs.Json.member "spans" doc) Obs.Json.to_list with
+    | Some (_ :: _) -> true
+    | _ -> false)
+
+let test_cli_trace_file () =
+  let path = Filename.temp_file "soimap" "-trace.json" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  ignore
+    (run_lines
+       (Printf.sprintf
+          "../bin/soimap.exe --bench cm150 --verify --trace %s 2>/dev/null"
+          (Filename.quote path)));
+  let doc =
+    match Obs.Json.of_file path with
+    | Ok d -> d
+    | Error e -> Alcotest.fail ("trace file rejected: " ^ e)
+  in
+  let events =
+    match Option.bind (Obs.Json.member "traceEvents" doc) Obs.Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  let named n =
+    List.exists
+      (fun e ->
+        Option.bind (Obs.Json.member "name" e) Obs.Json.to_string = Some n)
+      events
+  in
+  Alcotest.(check bool) "prepare span present" true (named "mapper.prepare");
+  Alcotest.(check bool) "map span present" true (named "engine.map");
+  Alcotest.(check bool) "verify span present" true (named "cli.verify")
+
+let suite =
+  [
+    Alcotest.test_case "json values" `Quick test_json_values;
+    Alcotest.test_case "json errors" `Quick test_json_errors;
+    Alcotest.test_case "json reads fuzz report" `Quick test_json_roundtrip_report;
+    Alcotest.test_case "metrics disabled path" `Quick test_metrics_disabled_free;
+    Alcotest.test_case "metrics aggregation" `Quick test_metrics_aggregation;
+    Alcotest.test_case "metrics sharded sum" `Quick test_metrics_sharded_sum;
+    Alcotest.test_case "metrics -j invariance" `Slow test_metrics_jobs_invariant;
+    Alcotest.test_case "trace disabled path" `Quick test_trace_disabled_free;
+    Alcotest.test_case "trace well-formed" `Quick test_trace_well_formed;
+    Alcotest.test_case "cli stats json" `Slow test_cli_stats_json;
+    Alcotest.test_case "cli trace file" `Slow test_cli_trace_file;
+  ]

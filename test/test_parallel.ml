@@ -89,6 +89,41 @@ let test_nested_maps () =
     (Array.init 5 (fun i -> (80 * i) + 28))
     out
 
+let test_pool_stats () =
+  (* Counter semantics on a quiesced pool.  The steal test forces work
+     onto a non-submitting domain: task 0 spins until some other task
+     has run, and with jobs >= 2 the only way that happens is a worker
+     stealing from the queue while the submitter is stuck in task 0. *)
+  with_pool 2 @@ fun pool ->
+  let s0 = Parallel.Pool.stats pool in
+  Alcotest.(check int) "fresh pool ran nothing" 0 s0.Parallel.Pool.tasks_run;
+  let others_ran = Atomic.make 0 in
+  let n = 16 in
+  ignore
+    (Parallel.Pool.map pool
+       (fun i ->
+         if i = 0 then
+           while Atomic.get others_ran = 0 do Domain.cpu_relax () done
+         else Atomic.incr others_ran)
+       (Array.init n Fun.id));
+  let s = Parallel.Pool.stats pool in
+  Alcotest.(check int) "tasks_run counts the batch" n s.Parallel.Pool.tasks_run;
+  Alcotest.(check int) "one batch" 1 s.Parallel.Pool.batches;
+  Alcotest.(check bool) "at least one steal" true (s.Parallel.Pool.steals >= 1);
+  Alcotest.(check bool) "steals never exceed tasks" true
+    (s.Parallel.Pool.steals <= s.Parallel.Pool.tasks_run);
+  Alcotest.(check bool) "queue was observed" true
+    (s.Parallel.Pool.peak_queue_depth >= 1);
+  Alcotest.(check bool) "busy time accumulated" true
+    (s.Parallel.Pool.busy_ns > 0L);
+  (* Serial fast path still accounts tasks and batches. *)
+  with_pool 1 @@ fun serial ->
+  ignore (Parallel.Pool.map serial succ (Array.init 5 Fun.id));
+  let s1 = Parallel.Pool.stats serial in
+  Alcotest.(check int) "serial tasks" 5 s1.Parallel.Pool.tasks_run;
+  Alcotest.(check int) "serial batches" 1 s1.Parallel.Pool.batches;
+  Alcotest.(check int) "serial never steals" 0 s1.Parallel.Pool.steals
+
 let test_default_pool () =
   Alcotest.(check int) "serial by default" 1 (Parallel.Pool.get_jobs ());
   with_jobs 3 (fun () ->
@@ -115,10 +150,31 @@ let test_fuzz_deterministic () =
     }
   in
   let report jobs =
-    with_jobs jobs (fun () -> Check.Report.to_json (Check.Fuzz.run params))
+    (* Per-run wall-clock timing is the one report block that is
+       legitimately schedule-dependent; the determinism contract is over
+       the stripped report. *)
+    with_jobs jobs (fun () ->
+        Check.Report.to_json (Check.Report.strip_timing (Check.Fuzz.run params)))
   in
   Alcotest.(check string) "fuzz report identical at -j1 and -j4" (report 1)
     (report 4)
+
+let test_fuzz_timing_present () =
+  let params =
+    { Check.Fuzz.default_params with Check.Fuzz.seed = 5; budget = 3;
+      eval_vectors = 64; sim_pairs = 2 }
+  in
+  let r = Check.Fuzz.run params in
+  match r.Check.Report.timing with
+  | None -> Alcotest.fail "expected a timing block on an unstripped report"
+  | Some t ->
+      Alcotest.(check int) "every merged run is timed" r.Check.Report.runs
+        t.Check.Report.runs_timed;
+      Alcotest.(check bool) "total covers max" true
+        (t.Check.Report.total_s >= t.Check.Report.max_s
+        && t.Check.Report.max_s >= 0.);
+      Alcotest.(check bool) "stripping removes it" true
+        ((Check.Report.strip_timing r).Check.Report.timing = None)
 
 let test_sweep_deterministic () =
   let net = Gen.Suite.build_exn "cm150" in
@@ -174,7 +230,7 @@ let test_fuzz_cli_deterministic () =
     let cmd =
       Printf.sprintf
         "../bin/fuzz.exe --seed 3 --budget 6 --eval-vectors 64 --sim-pairs 2 \
-         --json -j %d > %s 2>/dev/null"
+         --json --no-timing -j %d > %s 2>/dev/null"
         jobs (Filename.quote path)
     in
     let status = Sys.command cmd in
@@ -197,8 +253,10 @@ let suite =
     Alcotest.test_case "raising-task storm" `Quick test_raising_task_storm;
     Alcotest.test_case "chaos pool storm" `Quick test_chaos_pool_storm;
     Alcotest.test_case "nested maps" `Quick test_nested_maps;
+    Alcotest.test_case "pool stats" `Quick test_pool_stats;
     Alcotest.test_case "default pool" `Quick test_default_pool;
     Alcotest.test_case "fuzz determinism" `Slow test_fuzz_deterministic;
+    Alcotest.test_case "fuzz timing block" `Quick test_fuzz_timing_present;
     Alcotest.test_case "sweep determinism" `Slow test_sweep_deterministic;
     Alcotest.test_case "equiv determinism" `Slow test_equiv_deterministic;
     Alcotest.test_case "equiv counterexample determinism" `Quick
