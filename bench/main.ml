@@ -174,6 +174,34 @@ let parallel_benches jobs =
       (stage (fun () -> run_rows pooln));
   ]
 
+(* Paired cold/warm benches for the structural memo cache: cold runs
+   the portfolio sweep with a fresh table every iteration (its hits are
+   only intra-run structural repetition), warm reuses one shared table
+   that a priming sweep filled before measurement began, so every
+   subtree lookup hits and the DP combination loops are skipped.  The
+   _cold/_warm naming convention is what the JSON writer uses to pair
+   them, exactly like _serial/_pool. *)
+let memo_benches =
+  let des = Gen.Suite.build_exn "des" in
+  let warm = Mapper.Memo.create () in
+  ignore (Mapper.Multi.sweep ~memo:warm des);
+  let k2_opts = Mapper.Engine.default_options in
+  let warm_k2 = Mapper.Memo.create () in
+  ignore (Mapper.Engine.map ~memo:warm_k2 k2_opts k2_unate);
+  [
+    Test.make ~name:"memo/multi_cold(des)"
+      (stage (fun () ->
+           ignore (Mapper.Multi.sweep ~memo:(Mapper.Memo.create ()) des)));
+    Test.make ~name:"memo/multi_warm(des)"
+      (stage (fun () -> ignore (Mapper.Multi.sweep ~memo:warm des)));
+    Test.make ~name:"memo/dp_cold(k2)"
+      (stage (fun () ->
+           ignore
+             (Mapper.Engine.map ~memo:(Mapper.Memo.create ()) k2_opts k2_unate)));
+    Test.make ~name:"memo/dp_warm(k2)"
+      (stage (fun () -> ignore (Mapper.Engine.map ~memo:warm_k2 k2_opts k2_unate)));
+  ]
+
 let benchmark tests =
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
@@ -202,10 +230,13 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-(* Pair every ..._serial... bench with its ..._pool... twin. *)
+(* Pair every ..._serial... bench with its ..._pool... twin, and every
+   ..._cold... bench with its ..._warm... twin (the memo benches).  In
+   a pair's JSON row, "serial_ns" is the baseline (serial / cold) and
+   "pool_ns" the accelerated side (pool / warm) — the field names
+   predate the memo pairs and are kept for telemetry readers. *)
 let speedups rows =
-  let swap name =
-    let sub = "serial" in
+  let swap sub by name =
     let n = String.length name and m = String.length sub in
     let rec find i =
       if i + m > n then None
@@ -213,13 +244,17 @@ let speedups rows =
       else find (i + 1)
     in
     Option.map
-      (fun i ->
-        String.sub name 0 i ^ "pool" ^ String.sub name (i + m) (n - i - m))
+      (fun i -> String.sub name 0 i ^ by ^ String.sub name (i + m) (n - i - m))
       (find 0)
+  in
+  let twin_of name =
+    match swap "serial" "pool" name with
+    | Some _ as t -> t
+    | None -> swap "cold" "warm" name
   in
   List.filter_map
     (fun (name, serial_ns) ->
-      match swap name with
+      match twin_of name with
       | None -> None
       | Some twin -> (
           match List.assoc_opt twin rows with
@@ -312,7 +347,8 @@ let () =
     | Some "stage" -> stage_benches
     | Some "ablation" -> ablation_benches
     | Some "parallel" -> par
-    | _ -> table_benches @ stage_benches @ ablation_benches @ par
+    | Some "memo" -> memo_benches
+    | _ -> table_benches @ stage_benches @ ablation_benches @ par @ memo_benches
   in
   let results = benchmark tests in
   Printf.printf "%-50s %15s\n" "benchmark" "time/run";

@@ -1,0 +1,89 @@
+(* Golden-corpus maintenance tool.
+
+     golden list                 show every corpus entry
+     golden update DIR           (re)write DIR/<name>.txt for all entries
+     golden update DIR NAME...   regenerate only the named entries
+     golden check DIR            diff all entries against DIR, exit 1 on drift
+
+   The corpus itself lives in Check.Golden; the regression test
+   (test/test_golden.ml) performs the same diff as [check] and points at
+   [update] when it fails. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc data)
+
+let entries_named = function
+  | [] -> Check.Golden.corpus
+  | names ->
+      List.map
+        (fun n ->
+          match Check.Golden.find n with
+          | Some e -> e
+          | None ->
+              Printf.eprintf "golden: unknown entry %s\n" n;
+              exit 2)
+        names
+
+let list_entries () =
+  List.iter
+    (fun (e : Check.Golden.entry) ->
+      Printf.printf "%-20s %s\n" e.Check.Golden.name e.Check.Golden.what)
+    Check.Golden.corpus
+
+let update dir names =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "golden: %s is not a directory\n" dir;
+    exit 2
+  end;
+  List.iter
+    (fun (e : Check.Golden.entry) ->
+      let path = Filename.concat dir (Check.Golden.filename e) in
+      let data = e.Check.Golden.render () in
+      let changed =
+        (not (Sys.file_exists path)) || read_file path <> data
+      in
+      write_file path data;
+      Printf.printf "%s %s\n" (if changed then "wrote " else "same  ") path)
+    (entries_named names)
+
+let check dir =
+  let drift = ref 0 in
+  List.iter
+    (fun (e : Check.Golden.entry) ->
+      let path = Filename.concat dir (Check.Golden.filename e) in
+      let fresh = e.Check.Golden.render () in
+      if not (Sys.file_exists path) then begin
+        incr drift;
+        Printf.printf "MISSING %s\n" path
+      end
+      else if read_file path <> fresh then begin
+        incr drift;
+        Printf.printf "DRIFT   %s\n" path
+      end
+      else Printf.printf "ok      %s\n" path)
+    Check.Golden.corpus;
+  if !drift > 0 then begin
+    Printf.printf "%d entr%s drifted; run: %s\n" !drift
+      (if !drift = 1 then "y" else "ies")
+      Check.Golden.update_command;
+    exit 1
+  end
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "list" :: _ | [ _ ] -> list_entries ()
+  | _ :: "update" :: dir :: names -> update dir names
+  | [ _; "check"; dir ] -> check dir
+  | _ ->
+      prerr_endline
+        "usage: golden [list | update DIR [NAME...] | check DIR]";
+      exit 2

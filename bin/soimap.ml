@@ -198,9 +198,53 @@ let report name flow_name (r : Mapper.Algorithms.result) degradations verify
   end;
   !ok
 
+(* --cache plumbing.  All cache chatter goes to stderr so that a warm
+   run's stdout is byte-identical to a cold run's (the CI determinism
+   leg diffs them).  An unusable cache file is a one-line warning and a
+   cold start — never a failure exit. *)
+let open_cache cache =
+  match cache with
+  | None -> (None, fun () -> ())
+  | Some file ->
+      let tbl = Mapper.Memo.create () in
+      let warn_reasons ds =
+        List.iter
+          (fun d ->
+            Printf.eprintf "soimap: cache %s: %s; starting cold\n" file
+              (Resilience.Budget.reason_to_string d.Resilience.Outcome.reason))
+          ds
+      in
+      (match Mapper.Memo.load tbl file with
+      | Resilience.Outcome.Ok 0 -> ()
+      | Resilience.Outcome.Ok n ->
+          Printf.eprintf "soimap: cache %s: loaded %d entries\n" file n
+      | Resilience.Outcome.Degraded (_, ds) -> warn_reasons ds
+      | Resilience.Outcome.Failed reason ->
+          Printf.eprintf "soimap: cache %s: %s; starting cold\n" file
+            (Resilience.Budget.reason_to_string reason));
+      let save () =
+        match Mapper.Memo.save tbl file with
+        | Resilience.Outcome.Ok bytes ->
+            Printf.eprintf "soimap: cache %s: saved %d entries (%d bytes)\n"
+              file
+              (Mapper.Memo.entry_count tbl)
+              bytes
+        | Resilience.Outcome.Degraded (_, ds) ->
+            List.iter
+              (fun d ->
+                Printf.eprintf "soimap: cache %s: %s; not saved\n" file
+                  (Resilience.Budget.reason_to_string
+                     d.Resilience.Outcome.reason))
+              ds
+        | Resilience.Outcome.Failed reason ->
+            Printf.eprintf "soimap: cache %s: %s; not saved\n" file
+              (Resilience.Budget.reason_to_string reason)
+      in
+      (Some tbl, save)
+
 let main jobs blif bench_file pla bench flow cost w_max h_max verify exact
     print_gates timing multi spice verilog vcd timeout max_tuples max_bdd_nodes
-    on_exhaust trace stats =
+    on_exhaust trace stats cache =
   if jobs < 0 then begin
     prerr_endline "--jobs must be non-negative (0 = number of cores)";
     exit 2
@@ -247,12 +291,15 @@ let main jobs blif bench_file pla bench flow cost w_max h_max verify exact
          prerr_endline "soimap: interrupted";
          exit 130));
   Parallel.Pool.set_jobs jobs;
+  let memo, save_cache = open_cache cache in
   let net =
     Obs.Trace.with_span ~cat:"cli" "cli.load" (fun () ->
         load blif bench_file pla bench)
   in
   if multi then begin
-    print_string (Mapper.Multi.render (Mapper.Multi.sweep ~w_max ~h_max net));
+    print_string
+      (Mapper.Multi.render (Mapper.Multi.sweep ?memo ~w_max ~h_max net));
+    save_cache ();
     finish_obs ();
     exit 0
   end;
@@ -291,8 +338,8 @@ let main jobs blif bench_file pla bench flow cost w_max h_max verify exact
         Obs.Trace.with_span ~cat:"cli" "cli.flow"
           ~args:(fun () -> [ ("flow", Mapper.Algorithms.flow_name f) ])
           (fun () ->
-            Mapper.Algorithms.run_outcome ~budget:(budget ()) ~on_exhaust ~cost
-              ~w_max ~h_max f net)
+            Mapper.Algorithms.run_outcome ~budget:(budget ()) ?memo ~on_exhaust
+              ~cost ~w_max ~h_max f net)
       with
       | Resilience.Outcome.Failed reason ->
           (* --on-exhaust fail: report the flow and keep going, as with
@@ -309,6 +356,7 @@ let main jobs blif bench_file pla bench flow cost w_max h_max verify exact
                  print_gates timing spice verilog vcd net)
           then all_ok := false)
     flows;
+  save_cache ();
   finish_obs ();
   if !exhausted then exit exit_exhausted;
   if not !all_ok then exit exit_verify_failed
@@ -423,12 +471,22 @@ let cmd =
                    statistics and span summary after the run; $(docv) is \
                    'text' (default) or 'json'.")
   in
+  let cache =
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE"
+           ~doc:"Persistent structural memo cache for the DP mapper: load \
+                 $(docv) before mapping (a missing file is a cold start) and \
+                 save it back, atomically, afterwards.  Corrupt, truncated \
+                 or wrong-version files print one warning and start cold.  \
+                 Caching is exactly transparent — the mapped circuits are \
+                 identical with or without it (see docs/mapping-cache.md).")
+  in
   let doc = "technology mapping for SOI domino logic (Karandikar & Sapatnekar, DAC 2001)" in
   Cmd.v
     (Cmd.info "soimap" ~doc)
     Term.(
       const main $ jobs $ blif $ bench_file $ pla $ bench $ flow $ cost $ w_max
       $ h_max $ verify $ exact $ print_gates $ timing $ multi $ spice $ verilog
-      $ vcd $ timeout $ max_tuples $ max_bdd_nodes $ on_exhaust $ trace $ stats)
+      $ vcd $ timeout $ max_tuples $ max_bdd_nodes $ on_exhaust $ trace $ stats
+      $ cache)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,89 @@
+open Mapper
+
+type entry = {
+  name : string;
+  what : string;
+  render : unit -> string;
+}
+
+(* The paper's Figure 3 network: f = (a*b) + (c*d), mapped with
+   W_max = H_max = 4 exactly as in examples/paper_example.ml. *)
+let fig3_net () =
+  let b = Logic.Builder.create ~name:"fig3" () in
+  let a = Logic.Builder.input b "a" and b' = Logic.Builder.input b "b" in
+  let c = Logic.Builder.input b "c" and d = Logic.Builder.input b "d" in
+  Logic.Builder.output b "f"
+    (Logic.Builder.or2 b
+       (Logic.Builder.and2 b a b')
+       (Logic.Builder.and2 b c d));
+  Logic.Builder.network b
+
+let run_flow ?w_max ?h_max flow net =
+  let r = Algorithms.run ?w_max ?h_max flow net in
+  Domino.Circuit.dump r.Algorithms.circuit
+
+let flow_entry flow tag =
+  {
+    name = Printf.sprintf "flow_%s_cm150" tag;
+    what =
+      Printf.sprintf "%s on cm150 (16:1 mux), paper defaults"
+        (Algorithms.flow_name flow);
+    render = (fun () -> run_flow flow (Gen.Suite.build_exn "cm150"));
+  }
+
+let suite_entry name =
+  {
+    name;
+    what = Printf.sprintf "SOI_Domino_Map on suite benchmark %s" name;
+    render =
+      (fun () -> run_flow Algorithms.Soi_domino_map (Gen.Suite.build_exn name));
+  }
+
+(* Suite benchmarks are looked up in [Suite.all] and [Suite.extras]. *)
+let build_any name =
+  match Gen.Suite.find name with
+  | Some e -> e.Gen.Suite.build ()
+  | None -> (
+      match List.find_opt (fun e -> e.Gen.Suite.name = name) Gen.Suite.extras with
+      | Some e -> e.Gen.Suite.build ()
+      | None -> raise Not_found)
+
+let extra_entry name =
+  {
+    name;
+    what = Printf.sprintf "SOI_Domino_Map on generated circuit %s" name;
+    render = (fun () -> run_flow Algorithms.Soi_domino_map (build_any name));
+  }
+
+let corpus =
+  [
+    {
+      name = "fig3";
+      what = "paper Figure 3: (a*b)+(c*d) under W_max=H_max=4";
+      render =
+        (fun () ->
+          run_flow ~w_max:4 ~h_max:4 Algorithms.Soi_domino_map (fig3_net ()));
+    };
+    flow_entry Algorithms.Domino_map "domino";
+    flow_entry Algorithms.Rs_map "rs";
+    flow_entry Algorithms.Soi_domino_map "soi";
+    suite_entry "z4ml";
+    suite_entry "cordic";
+    suite_entry "f51m";
+    suite_entry "count";
+    suite_entry "9symml";
+    suite_entry "c432";
+    suite_entry "c880";
+    suite_entry "c1908";
+    suite_entry "frg1";
+    extra_entry "cla16";
+    extra_entry "gray8";
+    extra_entry "lfsr16";
+    extra_entry "dec5";
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) corpus
+
+let filename e = e.name ^ ".txt"
+
+let update_command = "dune exec bin/golden.exe -- update test/golden"

@@ -1,0 +1,27 @@
+(** The golden regression corpus: named, deterministic mapper runs whose
+    {!Domino.Circuit.dump} output is checked into [test/golden/].
+
+    Each entry maps a fixed circuit under fixed options (no memo table —
+    the corpus pins the {e mapper}, and the cache's transparency is
+    proven separately in [test_memo]).  [test_golden] diffs every entry
+    against its checked-in file; [bin/golden.exe] regenerates the files
+    after a deliberate mapper change. *)
+
+type entry = {
+  name : string;  (** basename of the golden file, [name ^ ".txt"] *)
+  what : string;  (** one-line description for listings *)
+  render : unit -> string;  (** the canonical dump, built fresh each call *)
+}
+
+val corpus : entry list
+(** Every golden entry: the paper's Figure 3 example, the three mapping
+    flows on a common circuit, and a spread of suite / generated
+    benchmarks under the default SOI flow. *)
+
+val find : string -> entry option
+
+val filename : entry -> string
+(** [filename e] is [e.name ^ ".txt"]. *)
+
+val update_command : string
+(** The command a failing diff should tell the user to run. *)

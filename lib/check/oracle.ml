@@ -49,8 +49,8 @@ let fail kind fmt =
 (* Map [u] under [cfg], applying the flow postprocess the paper pairs with
    each style: bulk circuits get their discharge transistors from the
    standalone analysis pass, SOI circuits carry the engine's own. *)
-let build ?budget u (cfg : Gen_config.t) =
-  let circuit, _stats = Engine.map ?budget cfg.Gen_config.opts u in
+let build ?budget ?memo u (cfg : Gen_config.t) =
+  let circuit, _stats = Engine.map ?budget ?memo cfg.Gen_config.opts u in
   let circuit =
     match cfg.Gen_config.opts.Engine.style with
     | Engine.Bulk -> Postprocess.insert_discharges circuit
@@ -172,10 +172,10 @@ let check_pbe ~pairs ~rng circuit =
    fault instead of a mapper crash. *)
 let check ?(eval_vectors = 2048) ?(sim_pairs = 24) ?(seed = 0)
     ?(budget = Resilience.Budget.unlimited)
-    ?(inject = Resilience.Chaos.no_point) u cfg =
+    ?(inject = Resilience.Chaos.no_point) ?memo u cfg =
   Resilience.Budget.check_deadline budget;
   inject ~site:"oracle.map";
-  match build ~budget u cfg with
+  match build ~budget ?memo u cfg with
   | exception (Resilience.Budget.Exhausted _ as e) -> raise e
   | exception e -> fail Crash "mapper raised: %s" (Printexc.to_string e)
   | circuit -> (

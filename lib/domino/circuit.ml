@@ -176,6 +176,50 @@ let equivalent_checked ?limit ?vectors ?seed c source =
   Logic.Equiv.networks_per_output_or_sample ?limit ?vectors ?seed source
     (to_network c)
 
+(* The canonical text export behind the golden regression corpus.  The
+   format is versioned so that a deliberate change to the dump itself is
+   distinguishable from a mapper result shift: bump the version and
+   regenerate the corpus when the format changes, never when chasing a
+   diff.  Every field is rendered from the circuit alone (counts are
+   recomputed), so the dump is independent of how the circuit was
+   produced — memoized and cold mappings print identically. *)
+let dump_version = 1
+
+let dump c =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let signal_str = function
+    | Pdn.S_pi { input; positive } ->
+        Printf.sprintf "%sx%d" (if positive then "" else "~") input
+    | Pdn.S_gate g -> Printf.sprintf "g%d" g
+    | Pdn.S_const b -> if b then "const1" else "const0"
+  in
+  let path_str p = String.concat "." (List.map string_of_int p) in
+  add "soi-domino-dump %d\n" dump_version;
+  add "source %s\n" c.source;
+  add "inputs %d\n" (Array.length c.input_names);
+  Array.iteri (fun i nm -> add "  x%d %s\n" i nm) c.input_names;
+  add "gates %d\n" (Array.length c.gates);
+  Array.iter
+    (fun g ->
+      add "  g%d level=%d foot=%d pdn=%s disch=[%s]\n" g.Domino_gate.id
+        g.Domino_gate.level
+        (if g.Domino_gate.footed then 1 else 0)
+        (Pdn.to_string g.Domino_gate.pdn)
+        (String.concat ","
+           (List.map (fun p -> "<" ^ path_str p ^ ">")
+              g.Domino_gate.discharge_points)))
+    c.gates;
+  add "outputs %d\n" (Array.length c.outputs);
+  Array.iter (fun (nm, s) -> add "  %s = %s\n" nm (signal_str s)) c.outputs;
+  let k = counts c in
+  add
+    "counts t_logic=%d t_disch=%d t_total=%d t_clock=%d gates=%d levels=%d \
+     pi_inverters=%d\n"
+    k.t_logic k.t_disch k.t_total k.t_clock k.gate_count k.levels
+    k.pi_inverters;
+  Buffer.contents buf
+
 let pp fmt c =
   Format.fprintf fmt "@[<v>domino circuit %s: %d gates@," c.source (Array.length c.gates);
   Array.iter (fun g -> Format.fprintf fmt "  %a@," Domino_gate.pp g) c.gates;

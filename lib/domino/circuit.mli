@@ -75,3 +75,15 @@ val equivalent_checked :
 
 val pp : Format.formatter -> t -> unit
 (** Multi-line listing of every gate and output binding. *)
+
+val dump_version : int
+(** Version stamped into the first line of {!dump} output. *)
+
+val dump : t -> string
+(** [dump c] is a canonical, versioned, deterministic text export of the
+    whole circuit — inputs, every gate's PDN / foot / level / discharge
+    paths, output bindings, and the recomputed transistor accounting.
+    Two structurally equal circuits always dump to the same bytes, so the
+    golden regression corpus ([test/golden/]) diffs against this format.
+    The leading [soi-domino-dump N] line is the format version: bump it
+    (and regenerate the corpus) when the {e format} changes. *)

@@ -59,19 +59,21 @@ let finish flow u circuit stats =
   in
   { circuit; counts = Domino.Circuit.counts circuit; unate = u; stats }
 
-let run ?(cost = Cost.area) ?(w_max = 5) ?(h_max = 8) ?(both_orders = true)
-    ?(grounded_at_foot = true) ?(pareto_width = 1) ?(extract = false) flow net =
+let run ?memo ?(cost = Cost.area) ?(w_max = 5) ?(h_max = 8)
+    ?(both_orders = true) ?(grounded_at_foot = true) ?(pareto_width = 1)
+    ?(extract = false) flow net =
   let u = prepare ~extract net in
   let options =
     options_of ~cost ~w_max ~h_max ~both_orders ~grounded_at_foot ~pareto_width
       flow
   in
-  let circuit, stats = Engine.map options u in
+  let circuit, stats = Engine.map ?memo options u in
   finish flow u circuit stats
 
-let run_outcome ?(budget = Resilience.Budget.unlimited) ?(on_exhaust = `Degrade)
-    ?(cost = Cost.area) ?(w_max = 5) ?(h_max = 8) ?(both_orders = true)
-    ?(grounded_at_foot = true) ?(pareto_width = 1) ?(extract = false) flow net =
+let run_outcome ?(budget = Resilience.Budget.unlimited) ?memo
+    ?(on_exhaust = `Degrade) ?(cost = Cost.area) ?(w_max = 5) ?(h_max = 8)
+    ?(both_orders = true) ?(grounded_at_foot = true) ?(pareto_width = 1)
+    ?(extract = false) flow net =
   let u = prepare ~extract net in
   let options =
     options_of ~cost ~w_max ~h_max ~both_orders ~grounded_at_foot ~pareto_width
@@ -79,7 +81,7 @@ let run_outcome ?(budget = Resilience.Budget.unlimited) ?(on_exhaust = `Degrade)
   in
   Resilience.Outcome.map
     (fun (circuit, stats) -> finish flow u circuit stats)
-    (Engine.map_outcome ~budget ~on_exhaust options u)
+    (Engine.map_outcome ~budget ?memo ~on_exhaust options u)
 
 let domino_map ?cost ?w_max ?h_max net = run ?cost ?w_max ?h_max Domino_map net
 let rs_map ?cost ?w_max ?h_max net = run ?cost ?w_max ?h_max Rs_map net

@@ -27,6 +27,7 @@ type result = {
 }
 
 val run :
+  ?memo:Memo.t ->
   ?cost:Cost.model ->
   ?w_max:int ->
   ?h_max:int ->
@@ -38,10 +39,13 @@ val run :
   Logic.Network.t ->
   result
 (** [run flow net] executes the complete flow with the paper's defaults
-    ([w_max] 5, [h_max] 8, area cost). *)
+    ([w_max] 5, [h_max] 8, area cost).  [memo] threads a structural
+    cache into {!Engine.map} (see {!Memo} for the transparency
+    guarantee). *)
 
 val run_outcome :
   ?budget:Resilience.Budget.t ->
+  ?memo:Memo.t ->
   ?on_exhaust:[ `Fail | `Degrade ] ->
   ?cost:Cost.model ->
   ?w_max:int ->

@@ -72,8 +72,17 @@ let h_par_b = Obs.Metrics.histogram ~buckets:[| 0; 1 |] "mapper.par_b"
    consumers only the formed gate tuple, exactly as if it had multiple
    fanouts.  Each node then tries O(pareto_width^2) combinations instead
    of a product of full tuple tables, so the sweep is linear in the
-   network and cannot blow the budget it is rescuing. *)
-let map_body ~greedy ~budget options u =
+   network and cannot blow the budget it is rescuing.
+
+   [memo] is the structural cache ({!Memo}): before expanding a node's
+   combination loop the sweep looks its canonical subtree up, and a hit
+   installs the reconstructed slot array verbatim.  Memoization is
+   exactly transparent — same circuit, same stats — except that
+   [combinations_tried] (and the tuple-budget charge) counts only
+   combinations actually executed, so hits lower it.  The greedy rung
+   never consults the cache: it changes the mapping-boundary rule, so
+   its tables live in a different world. *)
+let map_body ~greedy ~budget ~memo options u =
   if options.w_max < 2 || options.h_max < 2 then
     invalid_arg "Engine.map: w_max and h_max must be at least 2";
   if options.pareto_width < 1 then
@@ -212,42 +221,78 @@ let map_body ~greedy ~budget options u =
             [ gate_sol ] entries.(m).table
   in
 
+  (* The memo session, opened only for full (non-greedy) sweeps with a
+     table supplied.  [boundary_level] forms the boundary gate on demand,
+     exactly as [options_of_fin] would moments later. *)
+  let mrun =
+    match memo with
+    | Some tbl when not greedy ->
+        Some
+          (Memo.start tbl ~u ~fanouts ~model ~w_max:options.w_max
+             ~h_max:options.h_max
+             ~soi:(options.style = Soi)
+             ~both_orders:options.both_orders
+             ~grounded:options.grounded_at_foot ~pareto:options.pareto_width
+             ~boundary_level:(fun m -> (gate_of m).gi_level))
+    | _ -> None
+  in
+
   (* Main DP sweep in topological order.  Budget checkpoints: every
      combination charges the tuple allowance, and the wall clock is
      consulted once per node plus every 2048 combinations, so a tripped
-     budget surfaces within a bounded amount of further work. *)
+     budget surfaces within a bounded amount of further work.  Memo hits
+     skip a node's combination loop (and its budget charge) entirely. *)
   for id = 0 to n - 1 do
     Resilience.Budget.check_deadline budget;
-    let nd = Unetwork.node u id in
     let entry = entries.(id) in
-    let opts0 = options_of_fin nd.Unetwork.fanin0 in
-    let opts1 = options_of_fin nd.Unetwork.fanin1 in
-    List.iter
-      (fun s0 ->
+    match (match mrun with Some r -> Memo.find r id | None -> None) with
+    | Some table -> Array.blit table 0 entry.table 0 (Array.length table)
+    | None ->
+        let nd = Unetwork.node u id in
+        let opts0 = options_of_fin nd.Unetwork.fanin0 in
+        let opts1 = options_of_fin nd.Unetwork.fanin1 in
         List.iter
-          (fun s1 ->
-            incr combinations;
-            Resilience.Budget.charge_tuples budget 1;
-            if !combinations land 2047 = 0 then
-              Resilience.Budget.check_deadline budget;
-            match nd.Unetwork.kind with
-            | Unetwork.U_or -> consider entry (Soi_rules.combine_or model s0 s1)
-            | Unetwork.U_and -> (
-                match options.style with
-                | Bulk ->
-                    consider entry (Soi_rules.combine_and_bulk model ~top:s0 ~bottom:s1)
-                | Soi ->
-                    if options.both_orders then begin
-                      consider entry (Soi_rules.combine_and_soi model ~top:s0 ~bottom:s1);
-                      consider entry (Soi_rules.combine_and_soi model ~top:s1 ~bottom:s0)
-                    end
-                    else begin
-                      let top, bottom = Soi_rules.heuristic_and_order s0 s1 in
-                      consider entry (Soi_rules.combine_and_soi model ~top ~bottom)
-                    end))
-          opts1)
-      opts0
+          (fun s0 ->
+            List.iter
+              (fun s1 ->
+                incr combinations;
+                Resilience.Budget.charge_tuples budget 1;
+                if !combinations land 2047 = 0 then
+                  Resilience.Budget.check_deadline budget;
+                match nd.Unetwork.kind with
+                | Unetwork.U_or -> consider entry (Soi_rules.combine_or model s0 s1)
+                | Unetwork.U_and -> (
+                    match options.style with
+                    | Bulk ->
+                        consider entry (Soi_rules.combine_and_bulk model ~top:s0 ~bottom:s1)
+                    | Soi ->
+                        if options.both_orders then begin
+                          consider entry (Soi_rules.combine_and_soi model ~top:s0 ~bottom:s1);
+                          consider entry (Soi_rules.combine_and_soi model ~top:s1 ~bottom:s0)
+                        end
+                        else begin
+                          let top, bottom = Soi_rules.heuristic_and_order s0 s1 in
+                          consider entry (Soi_rules.combine_and_soi model ~top ~bottom)
+                        end))
+              opts1)
+          opts0;
+        (match mrun with Some r -> Memo.store r id entry.table | None -> ())
   done;
+
+  (* Close the memo session: fold its counts into the table and the
+     cache.* metrics, and leave a zero-duration span carrying them. *)
+  (match mrun with
+  | None -> ()
+  | Some r ->
+      let hits, misses, collisions = Memo.finish r in
+      Obs.Trace.with_span ~cat:"mapper" "engine.memo"
+        ~args:(fun () ->
+          [
+            ("hits", string_of_int hits);
+            ("misses", string_of_int misses);
+            ("collisions", string_of_int collisions);
+          ])
+        (fun () -> ()));
 
   (* Materialise the gates reachable from the primary outputs. *)
   let circuit_gates = Logic.Vec.create () in
@@ -372,7 +417,7 @@ let map_body ~greedy ~budget options u =
       gates_formed = Array.length circuit.Circuit.gates;
     } )
 
-let map_impl ~greedy ~budget options u =
+let map_impl ~greedy ~budget ~memo options u =
   Obs.Trace.with_span ~cat:"mapper" "engine.map"
     ~args:(fun () ->
       [
@@ -380,20 +425,21 @@ let map_impl ~greedy ~budget options u =
         ("nodes", string_of_int (Unetwork.node_count u));
         ("greedy", string_of_bool greedy);
       ])
-    (fun () -> map_body ~greedy ~budget options u)
+    (fun () -> map_body ~greedy ~budget ~memo options u)
 
-let map ?(budget = Resilience.Budget.unlimited) options u =
-  map_impl ~greedy:false ~budget options u
+let map ?(budget = Resilience.Budget.unlimited) ?memo options u =
+  map_impl ~greedy:false ~budget ~memo options u
 
 (* The fallback runs unbudgeted on purpose: it is linear in the network,
    so re-imposing the deadline that the full DP just blew would only
-   turn a guaranteed-cheap rescue into a second failure. *)
+   turn a guaranteed-cheap rescue into a second failure.  It also runs
+   memo-free: greedy tables obey a different boundary rule. *)
 let map_greedy options u =
-  map_impl ~greedy:true ~budget:Resilience.Budget.unlimited options u
+  map_impl ~greedy:true ~budget:Resilience.Budget.unlimited ~memo:None options u
 
-let map_outcome ?(budget = Resilience.Budget.unlimited)
+let map_outcome ?(budget = Resilience.Budget.unlimited) ?memo
     ?(on_exhaust = `Degrade) options u =
-  match map_impl ~greedy:false ~budget options u with
+  match map_impl ~greedy:false ~budget ~memo options u with
   | result -> Resilience.Outcome.Ok result
   | exception Resilience.Budget.Exhausted reason -> (
       match on_exhaust with

@@ -60,6 +60,7 @@ type stats = {
 
 val map :
   ?budget:Resilience.Budget.t ->
+  ?memo:Memo.t ->
   options ->
   Unate.Unetwork.t ->
   Domino.Circuit.t * stats
@@ -75,6 +76,13 @@ val map :
     [budget] (default unlimited) bounds the DP sweep: every fanin-tuple
     combination charges the tuple allowance and the wall clock is
     checked cooperatively (per node and every 2048 combinations).
+    [memo] supplies a structural cache ({!Memo}): canonical subtrees
+    already solved under the same cost-model and options fingerprints
+    skip their combination loops.  Memoization is exactly transparent —
+    same circuit, same stats — except [combinations_tried], which counts
+    only combinations actually executed (hits also skip the
+    tuple-budget charge); [tuples_kept], [nodes_processed] and
+    [gates_formed] are recomputed from the final tables and identical.
     @raise Resilience.Budget.Exhausted when the budget trips — use
     {!map_outcome} for the degrade-instead-of-raise policy.
     @raise Invalid_argument if [w_max < 2] or [h_max < 2]. *)
@@ -85,10 +93,12 @@ val map_greedy : options -> Unate.Unetwork.t -> Domino.Circuit.t * stats
     O(pareto_width²) combinations per node and is linear in the
     network.  The result is still functionally equivalent — it simply
     loses the cross-gate cost propagation, i.e. quality, not
-    correctness. *)
+    correctness.  Greedy sweeps bypass any {!Memo} table: the altered
+    boundary rule makes their tables incomparable with full ones. *)
 
 val map_outcome :
   ?budget:Resilience.Budget.t ->
+  ?memo:Memo.t ->
   ?on_exhaust:[ `Fail | `Degrade ] ->
   options ->
   Unate.Unetwork.t ->

@@ -1,0 +1,574 @@
+open Unate
+
+(* Structural memoization for the DP mapper (see memo.mli and
+   docs/mapping-cache.md for the design and the transparency argument).
+
+   The cache stores, per canonical subtree, the complete slot array of
+   Pareto frontiers with identity-erased leaves.  A node's subtree spans
+   its single-fanout fanin cone: multi-fanout fanins are mapping
+   boundaries and appear as gate leaves carrying only their level (the
+   one scalar a boundary contributes to its consumer's tuples).  A hit
+   substitutes the instance's actual leaf signals back into the
+   canonical structures; the scalars are copied verbatim.
+
+   Canonical ids are assigned to the *distinct* signals of a subtree in
+   first-occurrence DFS order (node before fanin0 before fanin1), so the
+   duplicate-leaf pattern is part of the canonical shape: [a*a] and
+   [a*b] have equal identity-erased signatures but different shapes, and
+   never share an entry.  Internal single-fanout nodes get ids too,
+   because the engine's cumulative-cost rule lets their formed gates
+   appear as leaves inside their consumer's structures. *)
+
+(* ---------- 128-bit structural signatures ---------- *)
+
+type signature = { hi : int64; lo : int64 }
+
+(* splitmix64 finalizer: a cheap, well-mixed avalanche. *)
+let mix64 z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Leaf hashes are identity-erased: every primary-input literal shares
+   one constant, and a boundary gate hashes only its level. *)
+let sig_pi =
+  { hi = mix64 0x517cc1b727220a95L; lo = mix64 0x2545f4914f6cdd1dL }
+
+let sig_gate level =
+  let l = Int64.of_int level in
+  {
+    hi = mix64 (Int64.add 0x9e3779b97f4a7c15L l);
+    lo = mix64 (Int64.add 0xd6e8feb86659fd93L (Int64.mul l 0x2127599bf4325c37L));
+  }
+
+(* Symmetric in (a, b): sums and products only, so commutative
+   mirror-images collide on purpose and are separated by the ordered
+   shape comparison below. *)
+let sig_node op_and a b =
+  let ks = if op_and then 0x8cb92ba72f3d8dd7L else 0x61c8864680b583ebL in
+  {
+    hi = mix64 (Int64.add ks (Int64.add a.hi b.hi));
+    lo =
+      mix64
+        (Int64.add (mix64 ks)
+           (Int64.logxor (Int64.mul a.lo b.lo) (Int64.add a.lo b.lo)));
+  }
+
+(* ---------- canonical shapes and tables ---------- *)
+
+(* The ordered collision-check value: operator kinds, fanin order,
+   boundary levels, and the first-occurrence canonical-id pattern. *)
+type shape =
+  | Sh_node of { op_and : bool; cid : int; s0 : shape; s1 : shape }
+  | Sh_pi of int
+  | Sh_gate of { cid : int; level : int }
+
+type ctree = C_leaf of int | C_ser of ctree * ctree | C_par of ctree * ctree
+
+(* Soi_rules.sol with the structure canonicalized and the cost value
+   flattened; plain data, safe to marshal. *)
+type csol = {
+  c_w : int;
+  c_h : int;
+  c_weighted : int;
+  c_depth : int;
+  c_raw : int;
+  c_p_dis : int;
+  c_par_b : bool;
+  c_disch : int;
+  c_structure : ctree;
+}
+
+type key = {
+  k_hi : int64;
+  k_lo : int64;
+  (* cost-model fingerprint: the four weight scalars (the name is
+     deliberately excluded — equal weights mean equal tables) *)
+  k_regular : int;
+  k_clocked : int;
+  k_discharge : int;
+  k_depth_factor : int;
+  (* options fingerprint *)
+  k_w_max : int;
+  k_h_max : int;
+  k_soi : bool;
+  k_both : bool;
+  k_grounded : bool;
+  k_pareto : int;
+}
+
+type entry = { e_shape : shape; e_table : csol list array }
+
+type shard = { lock : Mutex.t; tbl : (key, entry list) Hashtbl.t }
+
+type t = {
+  shards : shard array;  (* length is a power of two *)
+  mask : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  collisions : int Atomic.t;
+  entries : int Atomic.t;
+}
+
+type stats = { hits : int; misses : int; collisions : int; entries : int }
+
+let m_hit = Obs.Metrics.counter "cache.hit"
+let m_miss = Obs.Metrics.counter "cache.miss"
+let m_collision = Obs.Metrics.counter "cache.collision"
+let m_bytes = Obs.Metrics.counter "cache.bytes"
+
+let create ?(shards = 16) () =
+  if shards < 1 then invalid_arg "Memo.create: shards must be positive";
+  let n = ref 1 in
+  while !n < shards do
+    n := !n * 2
+  done;
+  {
+    shards =
+      Array.init !n (fun _ -> { lock = Mutex.create (); tbl = Hashtbl.create 64 });
+    mask = !n - 1;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    collisions = Atomic.make 0;
+    entries = Atomic.make 0;
+  }
+
+let stats (t : t) =
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    collisions = Atomic.get t.collisions;
+    entries = Atomic.get t.entries;
+  }
+
+let entry_count (t : t) = Atomic.get t.entries
+
+(* The signature spreads well, so it is also the shard selector. *)
+let shard_of t key = t.shards.(Int64.to_int key.k_lo land t.mask)
+
+let bucket_of t key =
+  let shard = shard_of t key in
+  Mutex.lock shard.lock;
+  let bucket = Option.value (Hashtbl.find_opt shard.tbl key) ~default:[] in
+  Mutex.unlock shard.lock;
+  bucket
+
+(* Insert unless an equal-shape entry raced in first; entries are
+   immutable once published, so readers outside the lock are safe. *)
+let insert t key entry =
+  let shard = shard_of t key in
+  Mutex.lock shard.lock;
+  let bucket = Option.value (Hashtbl.find_opt shard.tbl key) ~default:[] in
+  let added =
+    if List.exists (fun e -> e.e_shape = entry.e_shape) bucket then false
+    else begin
+      Hashtbl.replace shard.tbl key (entry :: bucket);
+      true
+    end
+  in
+  Mutex.unlock shard.lock;
+  if added then Atomic.incr t.entries;
+  added
+
+(* ---------- per-mapping-run sessions ---------- *)
+
+(* Subtrees above this many nodes + leaves are not memoized: the shape
+   walk is linear in the subtree, and without a cap a single-fanout
+   chain would make the per-node bookkeeping quadratic. *)
+let max_shape = 512
+
+type node_info = Unmem | Mem of { s : signature; weight : int }
+
+(* Store-side context carried from a missed [find] to its [store]. *)
+type pending = {
+  p_id : int;
+  p_key : key;
+  p_shape : shape;
+  p_sig2cid : (Domino.Pdn.signal, int) Hashtbl.t;
+}
+
+type run = {
+  table : t;
+  u : Unetwork.t;
+  fanouts : int array;
+  boundary_level : int -> int;
+  base_key : key;
+  info : node_info array;
+  mutable pending : pending option;
+  mutable r_hits : int;
+  mutable r_misses : int;
+  mutable r_collisions : int;
+}
+
+let start t ~u ~fanouts ~(model : Cost.model) ~w_max ~h_max ~soi ~both_orders
+    ~grounded ~pareto ~boundary_level =
+  {
+    table = t;
+    u;
+    fanouts;
+    boundary_level;
+    base_key =
+      {
+        k_hi = 0L;
+        k_lo = 0L;
+        k_regular = model.Cost.regular;
+        k_clocked = model.Cost.clocked;
+        k_discharge = model.Cost.discharge;
+        k_depth_factor = model.Cost.depth_factor;
+        k_w_max = w_max;
+        k_h_max = h_max;
+        k_soi = soi;
+        k_both = both_orders;
+        k_grounded = grounded;
+        k_pareto = pareto;
+      };
+    info = Array.make (Unetwork.node_count u) Unmem;
+    pending = None;
+    r_hits = 0;
+    r_misses = 0;
+    r_collisions = 0;
+  }
+
+exception Unmemoizable
+
+(* Canonical shape of [id]'s subtree plus the two substitution maps:
+   signal -> cid for canonicalizing on store, cid -> signal for
+   reconstructing on a hit.  Ids are assigned to distinct signals in
+   first-occurrence DFS order, a node's own id before its fanins'. *)
+let build_shape r id =
+  let sig2cid : (Domino.Pdn.signal, int) Hashtbl.t = Hashtbl.create 32 in
+  let subst = ref [] in
+  let next = ref 0 in
+  let cid_of s =
+    match Hashtbl.find_opt sig2cid s with
+    | Some c -> c
+    | None ->
+        let c = !next in
+        incr next;
+        Hashtbl.add sig2cid s c;
+        subst := s :: !subst;
+        c
+  in
+  let rec walk fin =
+    match fin with
+    | Unetwork.F_const _ -> raise Unmemoizable
+    | Unetwork.F_lit { input; positive } ->
+        Sh_pi (cid_of (Domino.Pdn.S_pi { input; positive }))
+    | Unetwork.F_node m ->
+        if r.fanouts.(m) > 1 then
+          Sh_gate
+            { cid = cid_of (Domino.Pdn.S_gate m); level = r.boundary_level m }
+        else begin
+          let nd = Unetwork.node r.u m in
+          let cid = cid_of (Domino.Pdn.S_gate m) in
+          let s0 = walk nd.Unetwork.fanin0 in
+          let s1 = walk nd.Unetwork.fanin1 in
+          Sh_node
+            { op_and = nd.Unetwork.kind = Unetwork.U_and; cid; s0; s1 }
+        end
+  in
+  let nd = Unetwork.node r.u id in
+  let cid = cid_of (Domino.Pdn.S_gate id) in
+  let s0 = walk nd.Unetwork.fanin0 in
+  let s1 = walk nd.Unetwork.fanin1 in
+  let shape =
+    Sh_node { op_and = nd.Unetwork.kind = Unetwork.U_and; cid; s0; s1 }
+  in
+  (shape, sig2cid, Array.of_list (List.rev !subst))
+
+let rec tree_of subst = function
+  | C_leaf cid -> Domino.Pdn.Leaf subst.(cid)
+  | C_ser (a, b) -> Domino.Pdn.Series (tree_of subst a, tree_of subst b)
+  | C_par (a, b) -> Domino.Pdn.Parallel (tree_of subst a, tree_of subst b)
+
+let reconstruct entry subst =
+  Array.map
+    (List.map (fun c ->
+         {
+           Soi_rules.w = c.c_w;
+           h = c.c_h;
+           value =
+             { Cost.weighted = c.c_weighted; depth = c.c_depth; raw = c.c_raw };
+           p_dis = c.c_p_dis;
+           par_b = c.c_par_b;
+           disch = c.c_disch;
+           structure = tree_of subst c.c_structure;
+         }))
+    entry.e_table
+
+let rec ctree_of sig2cid = function
+  | Domino.Pdn.Leaf s -> C_leaf (Hashtbl.find sig2cid s)
+  | Domino.Pdn.Series (a, b) ->
+      C_ser (ctree_of sig2cid a, ctree_of sig2cid b)
+  | Domino.Pdn.Parallel (a, b) ->
+      C_par (ctree_of sig2cid a, ctree_of sig2cid b)
+
+(* Resolve node [id]'s signature and subtree weight from its fanins'
+   (already resolved — the engine sweeps in topological order). *)
+let resolve r id =
+  let fin_info fin =
+    match fin with
+    | Unetwork.F_lit _ -> Some (sig_pi, 1)
+    | Unetwork.F_const _ -> None
+    | Unetwork.F_node m ->
+        if r.fanouts.(m) > 1 then Some (sig_gate (r.boundary_level m), 1)
+        else (
+          match r.info.(m) with
+          | Unmem -> None
+          | Mem { s; weight } -> Some (s, weight))
+  in
+  let nd = Unetwork.node r.u id in
+  match (fin_info nd.Unetwork.fanin0, fin_info nd.Unetwork.fanin1) with
+  | Some (s0, w0), Some (s1, w1) when 1 + w0 + w1 <= max_shape ->
+      let s = sig_node (nd.Unetwork.kind = Unetwork.U_and) s0 s1 in
+      let i = Mem { s; weight = 1 + w0 + w1 } in
+      r.info.(id) <- i;
+      i
+  | _ ->
+      r.info.(id) <- Unmem;
+      Unmem
+
+let find r id =
+  r.pending <- None;
+  match resolve r id with
+  | Unmem -> None
+  | Mem { s; _ } -> (
+      match build_shape r id with
+      | exception Unmemoizable ->
+          r.info.(id) <- Unmem;
+          None
+      | shape, sig2cid, subst -> (
+          let key = { r.base_key with k_hi = s.hi; k_lo = s.lo } in
+          let rec scan = function
+            | [] -> None
+            | e :: rest ->
+                if e.e_shape = shape then Some e
+                else begin
+                  r.r_collisions <- r.r_collisions + 1;
+                  scan rest
+                end
+          in
+          match scan (bucket_of r.table key) with
+          | Some e ->
+              r.r_hits <- r.r_hits + 1;
+              Some (reconstruct e subst)
+          | None ->
+              r.r_misses <- r.r_misses + 1;
+              r.pending <-
+                Some { p_id = id; p_key = key; p_shape = shape; p_sig2cid = sig2cid };
+              None))
+
+let store r id table =
+  match r.pending with
+  | Some p when p.p_id = id -> (
+      r.pending <- None;
+      match
+        Array.map
+          (List.map (fun (s : Soi_rules.sol) ->
+               {
+                 c_w = s.Soi_rules.w;
+                 c_h = s.Soi_rules.h;
+                 c_weighted = s.Soi_rules.value.Cost.weighted;
+                 c_depth = s.Soi_rules.value.Cost.depth;
+                 c_raw = s.Soi_rules.value.Cost.raw;
+                 c_p_dis = s.Soi_rules.p_dis;
+                 c_par_b = s.Soi_rules.par_b;
+                 c_disch = s.Soi_rules.disch;
+                 c_structure = ctree_of p.p_sig2cid s.Soi_rules.structure;
+               }))
+          table
+      with
+      | ctable ->
+          ignore (insert r.table p.p_key { e_shape = p.p_shape; e_table = ctable })
+      | exception Not_found ->
+          (* A structure leaf outside the subtree's signal set would be an
+             engine invariant violation; abandon the store rather than
+             cache something unreconstructible. *)
+          ())
+  | _ -> ()
+
+let finish r =
+  ignore (Atomic.fetch_and_add r.table.hits r.r_hits);
+  ignore (Atomic.fetch_and_add r.table.misses r.r_misses);
+  ignore (Atomic.fetch_and_add r.table.collisions r.r_collisions);
+  Obs.Metrics.add m_hit r.r_hits;
+  Obs.Metrics.add m_miss r.r_misses;
+  Obs.Metrics.add m_collision r.r_collisions;
+  (r.r_hits, r.r_misses, r.r_collisions)
+
+(* ---------- introspection ---------- *)
+
+let signature_hex r id =
+  if id < 0 || id >= Array.length r.info then None
+  else
+    match r.info.(id) with
+    | Unmem -> None
+    | Mem { s; _ } -> Some (Printf.sprintf "%016Lx%016Lx" s.hi s.lo)
+
+let shape_string r id =
+  if id < 0 || id >= Array.length r.info then None
+  else
+    match r.info.(id) with
+    | Unmem -> None
+    | Mem _ -> (
+        match build_shape r id with
+        | exception Unmemoizable -> None
+        | shape, _, _ ->
+            let buf = Buffer.create 64 in
+            let rec render = function
+              | Sh_pi cid -> Buffer.add_string buf (Printf.sprintf "p%d" cid)
+              | Sh_gate { cid; level } ->
+                  Buffer.add_string buf (Printf.sprintf "g%d@%d" cid level)
+              | Sh_node { op_and; cid; s0; s1 } ->
+                  Buffer.add_string buf
+                    (Printf.sprintf "(n%d%c " cid (if op_and then '*' else '+'));
+                  render s0;
+                  Buffer.add_char buf ' ';
+                  render s1;
+                  Buffer.add_char buf ')'
+            in
+            render shape;
+            Some (Buffer.contents buf))
+
+let self_check t =
+  let total = ref 0 in
+  let error = ref None in
+  Array.iter
+    (fun shard ->
+      Mutex.lock shard.lock;
+      Hashtbl.iter
+        (fun key bucket ->
+          let expected = key.k_w_max * key.k_h_max in
+          let rec pairwise = function
+            | [] -> ()
+            | e :: rest ->
+                incr total;
+                if Array.length e.e_table <> expected then
+                  error :=
+                    Some
+                      (Printf.sprintf
+                         "entry has %d slots where its key demands %d"
+                         (Array.length e.e_table) expected);
+                if List.exists (fun e' -> e'.e_shape = e.e_shape) rest then
+                  error := Some "duplicate canonical shape under one key";
+                pairwise rest
+          in
+          pairwise bucket)
+        shard.tbl;
+      Mutex.unlock shard.lock)
+    t.shards;
+  match !error with Some msg -> Error msg | None -> Ok !total
+
+(* ---------- persistence ---------- *)
+
+(* Layout: 8-byte magic, 4-byte version, 4-byte payload length, 16-byte
+   MD5 digest of the payload, payload (Marshal of the sorted entry
+   dump).  The digest is verified *before* unmarshalling, so a garbage
+   or truncated file can never reach Marshal (which is not safe on
+   arbitrary bytes). *)
+let magic = "SOIDMEMO"
+let format_version = 1
+
+let degrade stage msg =
+  Resilience.Outcome.Degraded
+    ( 0,
+      [
+        {
+          Resilience.Outcome.stage;
+          reason = Resilience.Budget.Cache_invalid msg;
+          fallback = "cold-start";
+        };
+      ] )
+
+let dump t =
+  let all = ref [] in
+  Array.iter
+    (fun shard ->
+      Mutex.lock shard.lock;
+      Hashtbl.iter (fun key bucket -> all := (key, bucket) :: !all) shard.tbl;
+      Mutex.unlock shard.lock)
+    t.shards;
+  (* Sort by key so serial runs rewrite the file reproducibly. *)
+  List.sort (fun (a, _) (b, _) -> compare a b) !all
+
+let save t file =
+  let data : (key * entry list) list = dump t in
+  let payload = Marshal.to_string data [] in
+  let digest = Digest.string payload in
+  match
+    let dir = Filename.dirname file in
+    let tmp = Filename.temp_file ~temp_dir:dir "soimap-cache" ".tmp" in
+    let oc = open_out_bin tmp in
+    (try
+       output_string oc magic;
+       output_binary_int oc format_version;
+       output_binary_int oc (String.length payload);
+       output_string oc digest;
+       output_string oc payload;
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    Sys.rename tmp file
+  with
+  | () ->
+      Obs.Metrics.add m_bytes (String.length payload);
+      Resilience.Outcome.Ok (String.length payload)
+  | exception Sys_error msg -> degrade "memo.save" msg
+  | exception e -> degrade "memo.save" (Printexc.to_string e)
+
+let read_cache_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let m =
+        try really_input_string ic (String.length magic)
+        with End_of_file -> failwith "truncated header"
+      in
+      if m <> magic then failwith "bad magic (not a soimap cache)";
+      let v = try input_binary_int ic with End_of_file -> failwith "truncated header" in
+      if v <> format_version then
+        failwith
+          (Printf.sprintf "format version %d (this build reads %d)" v
+             format_version);
+      let len =
+        try input_binary_int ic with End_of_file -> failwith "truncated header"
+      in
+      if len < 0 then failwith "corrupt payload length";
+      let digest =
+        try really_input_string ic 16 with End_of_file -> failwith "truncated digest"
+      in
+      let payload =
+        try really_input_string ic len
+        with End_of_file -> failwith "truncated payload"
+      in
+      if Digest.string payload <> digest then failwith "payload digest mismatch";
+      ((Marshal.from_string payload 0 : (key * entry list) list), len))
+
+let load t file =
+  if not (Sys.file_exists file) then Resilience.Outcome.Ok 0
+  else
+    match read_cache_file file with
+    | data, bytes ->
+        let added = ref 0 in
+        List.iter
+          (fun (key, bucket) ->
+            List.iter
+              (fun entry -> if insert t key entry then incr added)
+              (List.rev bucket))
+          data;
+        Obs.Metrics.add m_bytes bytes;
+        Resilience.Outcome.Ok !added
+    | exception Failure msg -> degrade "memo.load" msg
+    | exception Sys_error msg -> degrade "memo.load" msg
+    | exception e -> degrade "memo.load" (Printexc.to_string e)

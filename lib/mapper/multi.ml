@@ -23,18 +23,27 @@ let dominates a b =
      || ca.Domino.Circuit.levels < cb.Domino.Circuit.levels
      || ca.Domino.Circuit.t_clock < cb.Domino.Circuit.t_clock)
 
-let sweep ?(portfolio = default_portfolio) ?(w_max = 5) ?(h_max = 8) net =
+let sweep ?memo ?(portfolio = default_portfolio) ?(w_max = 5) ?(h_max = 8) net =
   (* Portfolio jobs are independent full mapping runs over the same
      (read-only) source network; fan them out on the default pool.
      Result order is portfolio order, so the Pareto marking below and
-     the rendered table are identical at any worker count. *)
+     the rendered table are identical at any worker count.
+
+     The whole portfolio shares one memo table (fresh unless the caller
+     passes a warm one): jobs with distinct cost models never share
+     entries — the model scalars are part of the key — so the intra-job
+     structural repetition and any caller-supplied warmth are the wins,
+     and the hit pattern stays schedule-independent. *)
+  let memo = match memo with Some m -> m | None -> Memo.create () in
   let raw =
     Parallel.Pool.map_list_default
       (fun (label, cost) ->
         Obs.Trace.with_span ~cat:"mapper" "multi.point"
           ~args:(fun () -> [ ("objective", label) ])
         @@ fun () ->
-        let r = Algorithms.run ~cost ~w_max ~h_max Algorithms.Soi_domino_map net in
+        let r =
+          Algorithms.run ~memo ~cost ~w_max ~h_max Algorithms.Soi_domino_map net
+        in
         {
           label;
           cost;

@@ -18,13 +18,16 @@ val default_portfolio : (string * Cost.model) list
 (** Area, clock-weighted k=2 and k=4, depth+discharge. *)
 
 val sweep :
+  ?memo:Memo.t ->
   ?portfolio:(string * Cost.model) list ->
   ?w_max:int ->
   ?h_max:int ->
   Logic.Network.t ->
   point list
 (** [sweep net] maps [net] with {!Algorithms.Soi_domino_map} under every
-    objective in the portfolio and marks Pareto efficiency. *)
+    objective in the portfolio and marks Pareto efficiency.  The
+    portfolio shares one structural memo table — a fresh one per sweep
+    unless [memo] supplies a warm one (e.g. [soimap --cache]). *)
 
 val render : point list -> string
 (** Plain-text table of the sweep. *)

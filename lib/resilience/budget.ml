@@ -15,6 +15,7 @@ type reason =
   | Tuple_limit of int  (* the tuple-formation allowance *)
   | Bdd_node_limit of int  (* the BDD node allowance *)
   | Injected of string  (* chaos-injected exhaustion; the site name *)
+  | Cache_invalid of string  (* unusable persistent cache file *)
 
 exception Exhausted of reason
 
@@ -23,6 +24,7 @@ let reason_to_string = function
   | Tuple_limit n -> Printf.sprintf "tuple-limit(%d)" n
   | Bdd_node_limit n -> Printf.sprintf "bdd-node-limit(%d)" n
   | Injected site -> Printf.sprintf "injected(%s)" site
+  | Cache_invalid msg -> Printf.sprintf "cache-invalid(%s)" msg
 
 let pp_reason fmt r = Format.pp_print_string fmt (reason_to_string r)
 

@@ -17,6 +17,9 @@ type reason =
   | Tuple_limit of int  (** the tuple-formation allowance that ran out *)
   | Bdd_node_limit of int  (** the BDD node allowance that ran out *)
   | Injected of string  (** chaos-injected exhaustion; names the site *)
+  | Cache_invalid of string
+      (** a persistent cache file could not be used (corrupt, truncated,
+          wrong version); the pipeline degrades to a cold start *)
 
 exception Exhausted of reason
 (** Raised at a cooperative checkpoint when the budget is spent. *)

@@ -1,0 +1,84 @@
+(* Golden regression corpus: the mapper's output on every corpus entry
+   must match the checked-in dump byte for byte.  A failure here means a
+   change shifted mapping results — if the shift is deliberate, rerun
+   the updater the failure message names and review the diff. *)
+
+let golden_dir = "golden"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* First line where the two dumps disagree, for a readable failure. *)
+let first_diff want got =
+  let wl = String.split_on_char '\n' want
+  and gl = String.split_on_char '\n' got in
+  let rec go n = function
+    | w :: ws, g :: gs ->
+        if String.equal w g then go (n + 1) (ws, gs)
+        else Printf.sprintf "line %d:\n  golden:  %s\n  current: %s" n w g
+    | w :: _, [] -> Printf.sprintf "line %d missing from current:\n  golden:  %s" n w
+    | [], g :: _ -> Printf.sprintf "line %d extra in current:\n  current: %s" n g
+    | [], [] -> "(identical?)"
+  in
+  go 1 (wl, gl)
+
+let check (e : Check.Golden.entry) () =
+  let path = Filename.concat golden_dir (Check.Golden.filename e) in
+  if not (Sys.file_exists path) then
+    Alcotest.failf "golden file %s is missing; generate it with: %s" path
+      Check.Golden.update_command;
+  let want = read_file path in
+  let got = e.Check.Golden.render () in
+  if not (String.equal want got) then
+    Alcotest.failf
+      "%s drifted from its golden dump (%s).\n%s\nIf the change is \
+       deliberate, regenerate with: %s"
+      e.Check.Golden.name path (first_diff want got)
+      Check.Golden.update_command
+
+(* The corpus itself must stay well-formed: unique names, headers carrying
+   the current dump version, and rendering must be deterministic (two
+   fresh renders agree) — otherwise the diffs above prove nothing. *)
+let test_corpus_sane () =
+  let names = List.map (fun e -> e.Check.Golden.name) Check.Golden.corpus in
+  Alcotest.(check bool)
+    "unique names" true
+    (List.length (List.sort_uniq compare names) = List.length names);
+  Alcotest.(check bool) "enough entries" true (List.length names >= 15)
+
+let test_deterministic () =
+  let e = List.hd Check.Golden.corpus in
+  Alcotest.(check string)
+    "same bytes twice"
+    (e.Check.Golden.render ())
+    (e.Check.Golden.render ())
+
+let test_version_header () =
+  List.iter
+    (fun (e : Check.Golden.entry) ->
+      let path = Filename.concat golden_dir (Check.Golden.filename e) in
+      if Sys.file_exists path then begin
+        let data = read_file path in
+        let header =
+          match String.index_opt data '\n' with
+          | Some i -> String.sub data 0 i
+          | None -> data
+        in
+        Alcotest.(check string)
+          (e.Check.Golden.name ^ " header")
+          (Printf.sprintf "soi-domino-dump %d" Domino.Circuit.dump_version)
+          header
+      end)
+    Check.Golden.corpus
+
+let suite =
+  Alcotest.test_case "corpus-sane" `Quick test_corpus_sane
+  :: Alcotest.test_case "render-deterministic" `Quick test_deterministic
+  :: Alcotest.test_case "version-header" `Quick test_version_header
+  :: List.map
+       (fun (e : Check.Golden.entry) ->
+         Alcotest.test_case e.Check.Golden.name `Quick (check e))
+       Check.Golden.corpus

@@ -49,6 +49,8 @@ let () =
       ("resilience", Test_resilience.suite);
       ("constants", Test_constants.suite);
       ("differential", Test_differential.suite);
+      ("memo", Test_memo.suite);
+      ("golden", Test_golden.suite);
       ("properties", Test_props.suite);
       ("properties-2", Test_props2.suite);
       ("misc", Test_misc.suite);

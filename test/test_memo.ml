@@ -1,0 +1,363 @@
+(* The memo cache's transparency contract: mapping with a memo table —
+   cold, warm, or loaded from disk — produces exactly the circuit a
+   memo-free run produces, across sampled nets and configurations; and
+   the persistent cache degrades to a cold start on any damaged file. *)
+
+open Mapper
+
+let equiv_verdict = function Logic.Equiv.Equivalent -> true | _ -> false
+
+let stats_sans_combos (s : Engine.stats) =
+  (s.Engine.nodes_processed, s.Engine.tuples_kept, s.Engine.gates_formed)
+
+let gen_unet rng =
+  let open Logic in
+  let seed = Rng.int rng 1_000_000 in
+  let net =
+    Gen.Random_logic.generate
+      (Gen.Random_logic.default
+         ~name:(Printf.sprintf "memo%d" seed)
+         ~inputs:(Rng.int_in rng 4 9)
+         ~gates:(Rng.int_in rng 6 32)
+         ~outputs:(Rng.int_in rng 1 4)
+         ~seed)
+  in
+  Algorithms.prepare net
+
+(* ------------------------------------------------------------------ *)
+(* Memo on/off equivalence across >= 200 sampled nets x configs.       *)
+(* ------------------------------------------------------------------ *)
+
+let test_equiv_sampled () =
+  let rng = Logic.Rng.create 0x3E30 in
+  for i = 0 to 209 do
+    let u = gen_unet rng in
+    let cfg = Check.Gen_config.sample rng in
+    let opts = cfg.Check.Gen_config.opts in
+    let plain_c, plain_s = Engine.map opts u in
+    let memo = Memo.create () in
+    let memo_c, memo_s = Engine.map ~memo opts u in
+    let ctx = Printf.sprintf "net %d (%s)" i (Check.Gen_config.describe cfg) in
+    if plain_c <> memo_c then
+      Alcotest.failf "%s: memoized circuit differs from plain" ctx;
+    if stats_sans_combos plain_s <> stats_sans_combos memo_s then
+      Alcotest.failf "%s: stats differ beyond combinations_tried" ctx;
+    if memo_s.Engine.combinations_tried > plain_s.Engine.combinations_tried
+    then
+      Alcotest.failf "%s: memo executed more combinations than plain" ctx;
+    (* A warm rerun on the same table must reproduce the circuit too. *)
+    let warm_c, _ = Engine.map ~memo opts u in
+    if warm_c <> plain_c then
+      Alcotest.failf "%s: warm rerun differs from plain" ctx;
+    (* Cross-check a slice formally against the source network. *)
+    if i mod 21 = 0 then begin
+      let v =
+        Domino.Circuit.equivalent_exact memo_c (Unate.Unetwork.to_network u)
+      in
+      if not (equiv_verdict v) then
+        Alcotest.failf "%s: memoized circuit not equivalent to source" ctx
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Warm reuse and identity erasure.                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_warm_hits () =
+  let u = Algorithms.prepare (Gen.Suite.build_exn "cordic") in
+  let memo = Memo.create () in
+  let cold, _ = Engine.map ~memo Engine.default_options u in
+  let after_cold = Memo.stats memo in
+  let warm, _ = Engine.map ~memo Engine.default_options u in
+  let after_warm = Memo.stats memo in
+  Alcotest.(check bool) "circuits equal" true (cold = warm);
+  Alcotest.(check bool) "entries cached" true (after_cold.Memo.entries > 0);
+  Alcotest.(check int) "warm run misses nothing" 0
+    (after_warm.Memo.misses - after_cold.Memo.misses);
+  Alcotest.(check bool) "warm run hits" true
+    (after_warm.Memo.hits > after_cold.Memo.hits)
+
+(* Signatures erase leaf identity: the same structure over different
+   input names reuses the cached tables wholesale. *)
+let build_pair_net names =
+  let b = Logic.Builder.create ~name:"pair" () in
+  let w = Array.map (fun nm -> Logic.Builder.input b nm) names in
+  Logic.Builder.output b "f"
+    (Logic.Builder.or2 b
+       (Logic.Builder.and2 b w.(0) w.(1))
+       (Logic.Builder.and2 b w.(2) w.(3)));
+  Logic.Builder.network b
+
+let test_identity_erasure () =
+  let memo = Memo.create () in
+  let map names =
+    Engine.map ~memo Engine.default_options
+      (Algorithms.prepare (build_pair_net names))
+  in
+  ignore (map [| "a"; "b"; "c"; "d" |]);
+  let s1 = Memo.stats memo in
+  let c2, _ = map [| "p"; "q"; "r"; "s" |] in
+  let s2 = Memo.stats memo in
+  Alcotest.(check int) "renamed instance misses nothing" 0
+    (s2.Memo.misses - s1.Memo.misses);
+  Alcotest.(check bool) "renamed instance hits" true
+    (s2.Memo.hits > s1.Memo.hits);
+  (* ... and the reconstructed circuit drives the *new* inputs. *)
+  let v =
+    Domino.Circuit.equivalent_exact c2
+      (Unate.Unetwork.to_network
+         (Algorithms.prepare (build_pair_net [| "p"; "q"; "r"; "s" |])))
+  in
+  Alcotest.(check bool) "reconstruction equivalent" true (equiv_verdict v)
+
+(* ------------------------------------------------------------------ *)
+(* Signature soundness and structural invariants.                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_self_check_after_sweep () =
+  let memo = Memo.create () in
+  ignore (Multi.sweep ~memo (Gen.Suite.build_exn "cm150"));
+  match Memo.self_check memo with
+  | Ok n ->
+      Alcotest.(check int) "checked = entries" (Memo.entry_count memo) n;
+      Alcotest.(check bool) "entries cached" true (n > 0)
+  | Error e -> Alcotest.failf "self-check failed: %s" e
+
+(* Structurally identical sibling subtrees resolve to the same signature
+   *and* the same canonical shape; the distinct parent does not. *)
+let test_introspection () =
+  let u = Algorithms.prepare (build_pair_net [| "a"; "b"; "c"; "d" |]) in
+  let n = Unate.Unetwork.node_count u in
+  Alcotest.(check int) "fig3 decomposes to three nodes" 3 n;
+  let memo = Memo.create () in
+  let r =
+    Memo.start memo ~u
+      ~fanouts:(Unate.Unetwork.fanout_counts u)
+      ~model:Cost.area ~w_max:4 ~h_max:4 ~soi:true ~both_orders:true
+      ~grounded:true ~pareto:1
+      ~boundary_level:(fun _ -> 1)
+  in
+  for id = 0 to n - 1 do
+    ignore (Memo.find r id)
+  done;
+  let sigs =
+    List.init n (fun id ->
+        match (Memo.signature_hex r id, Memo.shape_string r id) with
+        | Some s, Some sh ->
+            Alcotest.(check int) "32 hex digits" 32 (String.length s);
+            (s, sh)
+        | _ -> Alcotest.failf "node %d not resolved" id)
+  in
+  let equal_pairs =
+    List.concat_map
+      (fun (i, a) ->
+        List.filter_map
+          (fun (j, b) -> if i < j && a = b then Some (i, j) else None)
+          (List.mapi (fun j s -> (j, s)) sigs))
+      (List.mapi (fun i s -> (i, s)) sigs)
+  in
+  (* exactly the two AND siblings coincide, in signature and in shape *)
+  Alcotest.(check int) "one coincident pair" 1 (List.length equal_pairs)
+
+(* ------------------------------------------------------------------ *)
+(* Persistence.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let temp_path suffix =
+  let f = Filename.temp_file "memo_test" suffix in
+  f
+
+let test_persistent_roundtrip () =
+  let u = Algorithms.prepare (Gen.Suite.build_exn "cordic") in
+  let m1 = Memo.create () in
+  let cold, _ = Engine.map ~memo:m1 Engine.default_options u in
+  let file = temp_path ".cache" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      (match Memo.save m1 file with
+      | Resilience.Outcome.Ok bytes ->
+          Alcotest.(check bool) "payload non-empty" true (bytes > 0)
+      | o -> Alcotest.failf "save: %s" (Resilience.Outcome.label o));
+      let m2 = Memo.create () in
+      (match Memo.load m2 file with
+      | Resilience.Outcome.Ok n ->
+          Alcotest.(check int) "all entries loaded" (Memo.entry_count m1) n
+      | o -> Alcotest.failf "load: %s" (Resilience.Outcome.label o));
+      let warm, _ = Engine.map ~memo:m2 Engine.default_options u in
+      Alcotest.(check bool) "warm-from-disk equals cold" true (cold = warm);
+      let s = Memo.stats m2 in
+      Alcotest.(check int) "no misses from a full cache" 0 s.Memo.misses;
+      Alcotest.(check bool) "hits from a full cache" true (s.Memo.hits > 0);
+      (* reloading the same file is idempotent *)
+      match Memo.load m2 file with
+      | Resilience.Outcome.Ok 0 -> ()
+      | o -> Alcotest.failf "reload not idempotent: %s" (Resilience.Outcome.describe o))
+
+let check_degraded name outcome =
+  match outcome with
+  | Resilience.Outcome.Degraded (0, [ d ]) ->
+      (match d.Resilience.Outcome.reason with
+      | Resilience.Budget.Cache_invalid _ -> ()
+      | r ->
+          Alcotest.failf "%s: wrong reason %s" name
+            (Resilience.Budget.reason_to_string r));
+      Alcotest.(check string) (name ^ " fallback") "cold-start"
+        d.Resilience.Outcome.fallback
+  | o -> Alcotest.failf "%s: expected Degraded, got %s" name (Resilience.Outcome.describe o)
+
+let write_bytes path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let read_bytes path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_corrupt_caches () =
+  (* a real cache to mutilate *)
+  let u = Algorithms.prepare (Gen.Suite.build_exn "z4ml") in
+  let m = Memo.create () in
+  ignore (Engine.map ~memo:m Engine.default_options u);
+  let good = temp_path ".cache" in
+  let bad = temp_path ".cache" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun f -> try Sys.remove f with Sys_error _ -> ())
+        [ good; bad ])
+    (fun () ->
+      (match Memo.save m good with
+      | Resilience.Outcome.Ok _ -> ()
+      | o -> Alcotest.failf "save: %s" (Resilience.Outcome.label o));
+      let blob = read_bytes good in
+      let fresh () = Memo.create () in
+      (* missing file: a normal cold start, not a degradation *)
+      (match Memo.load (fresh ()) "/nonexistent/no.cache" with
+      | Resilience.Outcome.Ok 0 -> ()
+      | o -> Alcotest.failf "missing file: %s" (Resilience.Outcome.describe o));
+      (* garbage *)
+      write_bytes bad "this is not a cache file at all";
+      let t = fresh () in
+      check_degraded "garbage" (Memo.load t bad);
+      Alcotest.(check int) "garbage leaves table empty" 0 (Memo.entry_count t);
+      (* truncated: half of a valid file *)
+      write_bytes bad (String.sub blob 0 (String.length blob / 2));
+      check_degraded "truncated" (Memo.load (fresh ()) bad);
+      (* version bump: byte 11 is the low byte of the big-endian version *)
+      let bumped = Bytes.of_string blob in
+      Bytes.set bumped 11 (Char.chr (Char.code (Bytes.get bumped 11) + 1));
+      write_bytes bad (Bytes.to_string bumped);
+      check_degraded "wrong version" (Memo.load (fresh ()) bad);
+      (* flipped payload byte: digest catches it before Marshal runs *)
+      let flipped = Bytes.of_string blob in
+      let last = Bytes.length flipped - 1 in
+      Bytes.set flipped last
+        (Char.chr (Char.code (Bytes.get flipped last) lxor 0xFF));
+      write_bytes bad (Bytes.to_string flipped);
+      check_degraded "flipped payload" (Memo.load (fresh ()) bad);
+      (* unwritable target: save degrades instead of raising *)
+      match Memo.save m "/nonexistent/dir/no.cache" with
+      | Resilience.Outcome.Degraded (0, _) -> ()
+      | o -> Alcotest.failf "unwritable save: %s" (Resilience.Outcome.describe o))
+
+(* The CLI contract: a damaged --cache file costs one warning line on
+   stderr and a cold start, never the exit code. *)
+let soimap args =
+  Sys.command
+    (Printf.sprintf "../bin/soimap.exe %s >/dev/null 2>/dev/null" args)
+
+let test_cli_corrupt_cache () =
+  let bad = temp_path ".cache" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove bad with Sys_error _ -> ())
+    (fun () ->
+      write_bytes bad "garbage garbage garbage";
+      Alcotest.(check int) "garbage cache exits 0" 0
+        (soimap (Printf.sprintf "--bench mux --cache %s" (Filename.quote bad)));
+      (* the run rewrote it as a valid cache; a warm rerun also exits 0 *)
+      Alcotest.(check int) "warm rerun exits 0" 0
+        (soimap (Printf.sprintf "--bench mux --cache %s" (Filename.quote bad))))
+
+(* ------------------------------------------------------------------ *)
+(* Coverage gaps: constants, trivial networks, budget exhaustion.      *)
+(* ------------------------------------------------------------------ *)
+
+let test_const_outputs () =
+  (* f = x & ~x folds to a rail tie; memo on/off must agree on it. *)
+  let n = Logic.Network.create ~name:"const" () in
+  let x = Logic.Network.add_input ~name:"x" n in
+  let nx = Logic.Network.add_gate n Logic.Gate.Not [| x |] in
+  Logic.Network.set_output n "f"
+    (Logic.Network.add_gate n Logic.Gate.And [| x; nx |]);
+  let u = Algorithms.prepare n in
+  let plain, _ = Engine.map Engine.default_options u in
+  let memo = Memo.create () in
+  let cached, _ = Engine.map ~memo Engine.default_options u in
+  let warm, _ = Engine.map ~memo Engine.default_options u in
+  Alcotest.(check bool) "memo-off = memo-on" true (plain = cached);
+  Alcotest.(check bool) "warm agrees" true (plain = warm);
+  Alcotest.(check bool) "output tied low" true
+    (Array.exists
+       (fun (nm, s) -> nm = "f" && s = Domino.Pdn.S_const false)
+       cached.Domino.Circuit.outputs)
+
+let test_single_node_network () =
+  let b = Logic.Builder.create ~name:"tiny" () in
+  let a = Logic.Builder.input b "a" and c = Logic.Builder.input b "c" in
+  Logic.Builder.output b "f" (Logic.Builder.and2 b a c);
+  let u = Algorithms.prepare (Logic.Builder.network b) in
+  let plain, _ = Engine.map Engine.default_options u in
+  let memo = Memo.create () in
+  let cached, _ = Engine.map ~memo Engine.default_options u in
+  let s1 = Memo.stats memo in
+  let warm, _ = Engine.map ~memo Engine.default_options u in
+  let s2 = Memo.stats memo in
+  Alcotest.(check bool) "memo-off = memo-on" true (plain = cached);
+  Alcotest.(check bool) "warm agrees" true (plain = warm);
+  Alcotest.(check bool) "single node cached and reused" true
+    (s2.Memo.hits > s1.Memo.hits)
+
+let test_budget_exhaustion_bypasses_cache () =
+  let u = Algorithms.prepare (Gen.Suite.build_exn "cordic") in
+  let tiny () = Resilience.Budget.make ~max_tuples:1 () in
+  let plain =
+    Engine.map_outcome ~budget:(tiny ()) Engine.default_options u
+  in
+  let memo = Memo.create () in
+  let cached =
+    Engine.map_outcome ~budget:(tiny ()) ~memo Engine.default_options u
+  in
+  match (plain, cached) with
+  | ( Resilience.Outcome.Degraded ((pc, ps), pd),
+      Resilience.Outcome.Degraded ((cc, cs), cd) ) ->
+      Alcotest.(check bool) "degraded circuits equal" true (pc = cc);
+      Alcotest.(check bool) "degraded stats equal" true (ps = cs);
+      Alcotest.(check bool) "same degradations" true (pd = cd);
+      List.iter
+        (fun d ->
+          Alcotest.(check string) "fallback is greedy" "greedy"
+            d.Resilience.Outcome.fallback)
+        cd
+  | _ ->
+      Alcotest.failf "expected both Degraded, got %s / %s"
+        (Resilience.Outcome.label plain)
+        (Resilience.Outcome.label cached)
+
+let suite =
+  [
+    Alcotest.test_case "equiv-210-sampled-nets" `Slow test_equiv_sampled;
+    Alcotest.test_case "warm-hits" `Quick test_warm_hits;
+    Alcotest.test_case "identity-erasure" `Quick test_identity_erasure;
+    Alcotest.test_case "self-check-after-sweep" `Quick test_self_check_after_sweep;
+    Alcotest.test_case "introspection" `Quick test_introspection;
+    Alcotest.test_case "persistent-roundtrip" `Quick test_persistent_roundtrip;
+    Alcotest.test_case "corrupt-caches" `Quick test_corrupt_caches;
+    Alcotest.test_case "cli-corrupt-cache" `Quick test_cli_corrupt_cache;
+    Alcotest.test_case "const-outputs" `Quick test_const_outputs;
+    Alcotest.test_case "single-node" `Quick test_single_node_network;
+    Alcotest.test_case "budget-bypass" `Quick test_budget_exhaustion_bypasses_cache;
+  ]
