@@ -4,10 +4,13 @@
    configurations and cross-checked against three independent oracles
    (BDD equivalence, bit-parallel evaluation, the switch-level PBE
    simulator).  The first failure is shrunk to a minimal counterexample.
+   --exact-oracle adds a fourth: every mapped cone is re-solved to
+   proven optimality and DP/exact gaps are recorded as findings.
 
    Examples:
      fuzz --seed 1 --budget 200
      fuzz --seed 7 -n 500 --max-nodes 200 --json > report.json
+     fuzz --seed 7 -n 200 --exact-oracle # certify DP optimality per cone
      fuzz --chaos 42 -n 20 -j 2          # fault-injection smoke
      fuzz --run-timeout 0.5 -n 100       # slow runs become report timeouts
 
@@ -17,7 +20,8 @@
 open Cmdliner
 
 let run jobs seed budget max_nodes eval_vectors sim_pairs json verbose
-    run_timeout chaos_seed trace no_timing =
+    run_timeout chaos_seed trace no_timing exact_oracle exact_max_cone
+    exact_expansions =
   if jobs < 0 then begin
     prerr_endline "--jobs must be non-negative (0 = number of cores)";
     exit 2
@@ -67,6 +71,14 @@ let run jobs seed budget max_nodes eval_vectors sim_pairs json verbose
       max_nodes;
       eval_vectors;
       sim_pairs;
+      exact =
+        (if exact_oracle then
+           Some
+             {
+               Check.Fuzz.ex_max_size = exact_max_cone;
+               ex_max_expansions = exact_expansions;
+             }
+         else None);
       run_timeout;
       chaos;
       on_progress = (fun r -> partial := Some r);
@@ -168,12 +180,40 @@ let no_timing =
         ~doc:"Omit the wall-clock timing block from the report, leaving \
               only fields that are bit-identical at any --jobs value.")
 
+let exact_oracle =
+  Arg.(
+    value & flag
+    & info [ "exact-oracle" ]
+        ~doc:"Enable the fourth oracle: on every passing run, solve each \
+              mapped cone to proven optimality (branch-and-bound over the \
+              DP's tuple space) and record proved/gap/bounded/skipped \
+              verdicts in the report's optimality block.  A proven gap is \
+              a finding, not a failure: the session continues and the \
+              exit status is unchanged.  Budgeted in deterministic \
+              expansion counts, so the block is bit-identical at any \
+              --jobs value.")
+
+let exact_max_cone =
+  Arg.(
+    value & opt int Opt.Certify.default_max_size
+    & info [ "exact-max-cone" ] ~docv:"N"
+        ~doc:"Exact-oracle cone size cap: cones with more than $(docv) \
+              interior nodes are counted as skipped.")
+
+let exact_expansions =
+  Arg.(
+    value & opt int Opt.Certify.default_max_expansions
+    & info [ "exact-expansions" ] ~docv:"N"
+        ~doc:"Exact-oracle per-cone search budget; an exhausted cone \
+              degrades to an honest bounded verdict.")
+
 let cmd =
   let doc = "differential fuzzing of the SOI domino mapper" in
   Cmd.v
     (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ jobs $ seed $ budget $ max_nodes $ eval_vectors $ sim_pairs
-      $ json $ verbose $ run_timeout $ chaos_seed $ trace $ no_timing)
+      $ json $ verbose $ run_timeout $ chaos_seed $ trace $ no_timing
+      $ exact_oracle $ exact_max_cone $ exact_expansions)
 
 let () = exit (Cmd.eval' cmd)

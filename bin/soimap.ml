@@ -29,12 +29,20 @@ let load blif bench_file pla bench =
   | None, None, Some path, None ->
       parse path (fun p -> Pla.to_network (Pla.parse_file p))
   | None, None, None, Some name -> (
-      match Gen.Suite.find name with
-      | Some e -> e.Gen.Suite.build ()
-      | None ->
+      (* The main suite first, then the extras (fig3, cla16, ...), so
+         every circuit the golden corpus can build is addressable here. *)
+      let in_extras () =
+        List.find_opt (fun e -> e.Gen.Suite.name = name) Gen.Suite.extras
+      in
+      match (Gen.Suite.find name, in_extras ()) with
+      | Some e, _ | None, Some e -> e.Gen.Suite.build ()
+      | None, None ->
           prerr_endline
             ("unknown benchmark: " ^ name ^ " (known: "
-            ^ String.concat ", " (List.map (fun e -> e.Gen.Suite.name) Gen.Suite.all)
+            ^ String.concat ", "
+                (List.map
+                   (fun e -> e.Gen.Suite.name)
+                   (Gen.Suite.all @ Gen.Suite.extras))
             ^ ")");
           exit 2)
   | _ ->
@@ -55,9 +63,11 @@ let cost_of = function
 
 (* Exit codes: 0 success (including Degraded under --on-exhaust degrade),
    1 verification failure, 2 usage error, 3 budget exhausted under
-   --on-exhaust fail, 130 interrupted. *)
+   --on-exhaust fail, 4 --certify proved a DP suboptimality, 130
+   interrupted. *)
 let exit_verify_failed = 1
 let exit_exhausted = 3
+let exit_suboptimal = 4
 
 (* ---------------- observability output ---------------- *)
 
@@ -243,6 +253,7 @@ let open_cache cache =
       (Some tbl, save)
 
 let main jobs blif bench_file pla bench flow cost w_max h_max verify exact
+    certify certify_max_cone certify_expansions prune exhaustive_limit
     print_gates timing multi spice verilog vcd timeout max_tuples max_bdd_nodes
     on_exhaust trace stats cache =
   if jobs < 0 then begin
@@ -332,6 +343,7 @@ let main jobs blif bench_file pla bench flow cost w_max h_max verify exact
   in
   let all_ok = ref true in
   let exhausted = ref false in
+  let suboptimal = ref false in
   List.iter
     (fun f ->
       match
@@ -354,12 +366,45 @@ let main jobs blif bench_file pla bench flow cost w_max h_max verify exact
               (report name (Mapper.Algorithms.flow_name f) r
                  (Resilience.Outcome.degradations o) verify exact max_bdd_nodes
                  print_gates timing spice verilog vcd net)
-          then all_ok := false)
+          then all_ok := false;
+          if certify then begin
+            (* Per-output optimality certificates: rerun the DP (a pure
+               memo hit when --cache is live) and solve every cone that
+               fits the budget to proven optimality.  A proven gap flips
+               the exit status to 4; bounded/skipped cones are counted,
+               never silent. *)
+            let options =
+              Mapper.Algorithms.options_of ~cost ~w_max ~h_max
+                ~both_orders:true ~grounded_at_foot:true ~pareto_width:1 f
+            in
+            let s =
+              Obs.Trace.with_span ~cat:"cli" "cli.certify" (fun () ->
+                  Opt.Certify.certify ~max_size:certify_max_cone
+                    ~max_expansions:certify_expansions ?memo ~options
+                    r.Mapper.Algorithms.unate)
+            in
+            print_string (Opt.Certify.render s);
+            if s.Opt.Certify.gaps > 0 then suboptimal := true
+          end;
+          if prune then begin
+            let p =
+              Obs.Trace.with_span ~cat:"cli" "cli.prune" (fun () ->
+                  Mapper.Prune.run ~exhaustive_limit
+                    r.Mapper.Algorithms.circuit)
+            in
+            let pc = Domino.Circuit.counts p.Mapper.Prune.circuit in
+            Printf.printf
+              "  prune: removed=%d kept=%d exhaustive=%b Ttotal=%d\n"
+              p.Mapper.Prune.removed p.Mapper.Prune.kept
+              p.Mapper.Prune.validated_exhaustively
+              pc.Domino.Circuit.t_total
+          end)
     flows;
   save_cache ();
   finish_obs ();
   if !exhausted then exit exit_exhausted;
-  if not !all_ok then exit exit_verify_failed
+  if not !all_ok then exit exit_verify_failed;
+  if !suboptimal then exit exit_suboptimal
 
 let cmd =
   let jobs =
@@ -408,6 +453,40 @@ let cmd =
     Arg.(value & flag & info [ "exact" ]
            ~doc:"Prove functional equivalence with BDDs (falls back to a \
                  clear 'unknown' on very large circuits).")
+  in
+  let certify =
+    Arg.(value & flag & info [ "certify" ]
+           ~doc:"Certify the DP's optimality claim cone by cone: solve each \
+                 mapped cone to proven optimality with a branch-and-bound \
+                 search over the DP's own tuple space and print a \
+                 per-cone certificate (PROVED / GAP / BOUNDED / SKIPPED).  \
+                 A proven gap exits 4; a blown search budget degrades to \
+                 an honest bound, never a wrong verdict.")
+  in
+  let certify_max_cone =
+    Arg.(value & opt int Opt.Certify.default_max_size
+         & info [ "certify-max-cone" ] ~docv:"N"
+             ~doc:"Cone size cap for --certify: cones with more than \
+                   $(docv) interior nodes are reported SKIPPED.")
+  in
+  let certify_expansions =
+    Arg.(value & opt int Opt.Certify.default_max_expansions
+         & info [ "certify-expansions" ] ~docv:"N"
+             ~doc:"Per-cone search budget for --certify, in deterministic \
+                   tuple expansions (not wall-clock, so certificates are \
+                   machine-independent).")
+  in
+  let prune =
+    Arg.(value & flag & info [ "prune" ]
+           ~doc:"Run the sequence-aware discharge pruning pass after \
+                 mapping and report how many discharge transistors it \
+                 removed (see docs; the paper's future-work item).")
+  in
+  let exhaustive_limit =
+    Arg.(value & opt int 8 & info [ "exhaustive-limit" ] ~docv:"N"
+           ~doc:"Input-count bound for exhaustive two-pattern validation \
+                 during --prune; circuits with more than $(docv) inputs \
+                 fall back to seeded random stimuli.")
   in
   let print_gates =
     Arg.(value & flag & info [ "print-gates" ] ~doc:"Print every mapped gate.")
@@ -485,8 +564,9 @@ let cmd =
     (Cmd.info "soimap" ~doc)
     Term.(
       const main $ jobs $ blif $ bench_file $ pla $ bench $ flow $ cost $ w_max
-      $ h_max $ verify $ exact $ print_gates $ timing $ multi $ spice $ verilog
-      $ vcd $ timeout $ max_tuples $ max_bdd_nodes $ on_exhaust $ trace $ stats
-      $ cache)
+      $ h_max $ verify $ exact $ certify $ certify_max_cone
+      $ certify_expansions $ prune $ exhaustive_limit $ print_gates $ timing
+      $ multi $ spice $ verilog $ vcd $ timeout $ max_tuples $ max_bdd_nodes
+      $ on_exhaust $ trace $ stats $ cache)
 
 let () = exit (Cmd.eval cmd)

@@ -23,6 +23,20 @@ open Unate
    stage boundaries; decisions are a pure hash of (chaos seed, site, run
    index), so injected faults are the same at any [-j]. *)
 
+(* Fourth-oracle (exact-optimality) settings.  Both caps are counted in
+   deterministic units — cone interior nodes and search expansions —
+   never wall-clock, so the optimality block is [-j]-invariant. *)
+type exact_params = {
+  ex_max_size : int;        (* certify cones up to this interior size *)
+  ex_max_expansions : int;  (* per-cone exact-search budget *)
+}
+
+let default_exact =
+  {
+    ex_max_size = Opt.Certify.default_max_size;
+    ex_max_expansions = Opt.Certify.default_max_expansions;
+  }
+
 type params = {
   seed : int;
   budget : int;       (* number of (network, configuration) runs *)
@@ -30,6 +44,7 @@ type params = {
   eval_vectors : int; (* per-run budget of the bit-parallel oracle *)
   sim_pairs : int;    (* per-run hold/strike pairs for the PBE oracle *)
   shrink_checks : int;
+  exact : exact_params option;  (* exact-optimality oracle (default off) *)
   run_timeout : float option;  (* per-run wall-clock deadline, seconds *)
   slow_run_s : float; (* runs at or above this duration are listed
                          individually in the report's timing block *)
@@ -48,6 +63,7 @@ let default_params =
     eval_vectors = 1024;
     sim_pairs = 16;
     shrink_checks = 2_000;
+    exact = None;
     run_timeout = None;
     slow_run_s = 1.0;
     chaos = Resilience.Chaos.disabled;
@@ -120,6 +136,10 @@ type outcome =
          is independent of the worker count *)
       circuit : Domino.Circuit.t;
       oracle_seed : int;
+      shape : net_shape;
+      config : Gen_config.t;
+      (* fourth-oracle verdicts for this run's cones, when enabled *)
+      optimality : Opt.Certify.summary option;
     }
   | O_fail of {
       burned : int;
@@ -181,8 +201,26 @@ let exec_run params i =
               ~memo u cfg
           with
           | Oracle.Pass stats ->
+              let optimality =
+                match params.exact with
+                | None -> None
+                | Some ex ->
+                    inject ~site:"fuzz.exact";
+                    Some
+                      (Opt.Certify.certify ~max_size:ex.ex_max_size
+                         ~max_expansions:ex.ex_max_expansions ~memo
+                         ~options:cfg.Gen_config.opts u)
+              in
               O_pass
-                { burned; stats; circuit = Oracle.build ~memo u cfg; oracle_seed }
+                {
+                  burned;
+                  stats;
+                  circuit = Oracle.build ~memo u cfg;
+                  oracle_seed;
+                  shape;
+                  config = cfg;
+                  optimality;
+                }
           | Oracle.Fail failure ->
               O_fail { burned; shape; u; cfg; oracle_seed; failure }
           | exception Resilience.Budget.Exhausted reason ->
@@ -213,6 +251,44 @@ let run params =
   let total_s = ref 0. and max_s = ref 0. and runs_timed = ref 0 in
   let slow = ref [] in
   let chaos_raises = ref 0 and chaos_delays = ref 0 and chaos_exhausts = ref 0 in
+  (* Fourth-oracle ledger.  Counts are exhaustive (every cone lands in
+     exactly one bucket); the gap list is capped for report size, with
+     [o_gaps] still carrying the full count. *)
+  let max_gap_findings = 100 in
+  let opt_cones = ref 0 and opt_proved = ref 0 and opt_gaps = ref 0 in
+  let opt_bounded = ref 0 and opt_skipped = ref 0 and opt_trivial = ref 0 in
+  let opt_expansions = ref 0 in
+  let opt_gap_list = ref [] (* reversed; merged in run order *) in
+  let merge_optimality ~run ~net_seed ~config (s : Opt.Certify.summary) =
+    opt_cones := !opt_cones + s.Opt.Certify.cones;
+    opt_proved := !opt_proved + s.Opt.Certify.proved;
+    opt_gaps := !opt_gaps + s.Opt.Certify.gaps;
+    opt_bounded := !opt_bounded + s.Opt.Certify.bounded;
+    opt_skipped := !opt_skipped + s.Opt.Certify.skipped;
+    opt_trivial := !opt_trivial + s.Opt.Certify.trivial_outputs;
+    opt_expansions := !opt_expansions + s.Opt.Certify.expansions;
+    List.iter
+      (fun (c : Opt.Certify.cert) ->
+        match c.Opt.Certify.status with
+        | Opt.Certify.Gap { dp; exact }
+          when List.length !opt_gap_list < max_gap_findings ->
+            opt_gap_list :=
+              {
+                Report.g_run = run;
+                g_net_seed = net_seed;
+                g_root = c.Opt.Certify.root;
+                g_output =
+                  (match c.Opt.Certify.outputs with
+                  | [] -> None
+                  | o :: _ -> Some o);
+                g_dp = dp;
+                g_exact = exact;
+                g_config = config;
+              }
+              :: !opt_gap_list
+        | _ -> ())
+      s.Opt.Certify.certs
+  in
   let first_failure = ref None in
   let stopped = ref false in
   let snapshot ~complete counterexample =
@@ -242,6 +318,21 @@ let run params =
           delays = !chaos_delays;
           exhausts = !chaos_exhausts;
         };
+      optimality =
+        (match params.exact with
+        | None -> None
+        | Some _ ->
+            Some
+              {
+                Report.o_cones = !opt_cones;
+                o_proved = !opt_proved;
+                o_gaps = !opt_gaps;
+                o_bounded = !opt_bounded;
+                o_skipped = !opt_skipped;
+                o_trivial = !opt_trivial;
+                o_expansions = !opt_expansions;
+                o_gap_list = List.rev !opt_gap_list;
+              });
       complete;
       counterexample;
     }
@@ -281,9 +372,15 @@ let run params =
               (* generator gave up; report honest counts *)
               skipped := !skipped + burned;
               stopped := true
-          | O_pass { burned; stats; circuit; oracle_seed } ->
+          | O_pass { burned; stats; circuit; oracle_seed; shape; config;
+                     optimality } ->
               skipped := !skipped + burned;
               incr runs;
+              (match optimality with
+              | None -> ()
+              | Some s ->
+                  merge_optimality ~run:!runs ~net_seed:shape.ns_seed ~config
+                    s);
               eval_vectors := !eval_vectors + stats.Oracle.eval_vectors;
               sim_cycles := !sim_cycles + stats.Oracle.sim_cycles;
               if stats.Oracle.bdd_exact then incr bdd_exact_runs

@@ -6,18 +6,6 @@ type entry = {
   render : unit -> string;
 }
 
-(* The paper's Figure 3 network: f = (a*b) + (c*d), mapped with
-   W_max = H_max = 4 exactly as in examples/paper_example.ml. *)
-let fig3_net () =
-  let b = Logic.Builder.create ~name:"fig3" () in
-  let a = Logic.Builder.input b "a" and b' = Logic.Builder.input b "b" in
-  let c = Logic.Builder.input b "c" and d = Logic.Builder.input b "d" in
-  Logic.Builder.output b "f"
-    (Logic.Builder.or2 b
-       (Logic.Builder.and2 b a b')
-       (Logic.Builder.and2 b c d));
-  Logic.Builder.network b
-
 let run_flow ?w_max ?h_max flow net =
   let r = Algorithms.run ?w_max ?h_max flow net in
   Domino.Circuit.dump r.Algorithms.circuit
@@ -55,6 +43,26 @@ let extra_entry name =
     render = (fun () -> run_flow Algorithms.Soi_domino_map (build_any name));
   }
 
+(* Exact-optimality certification pins.  The render is [Opt.Certify]'s
+   status-per-cone text (no expansion counts), so the pin captures the
+   proved/gap/bounded/skipped verdicts under default budgets — any DP or
+   backend change that moves a verdict shows up as a golden diff. *)
+let certify_entry ?(w_max = 5) ?(h_max = 8) ~bench flow tag =
+  {
+    name = Printf.sprintf "certify_%s" tag;
+    what =
+      Printf.sprintf "exact-optimality certificates: %s on %s (W=%d H=%d)"
+        (Algorithms.flow_name flow) bench w_max h_max;
+    render =
+      (fun () ->
+        let r = Algorithms.run ~w_max ~h_max flow (build_any bench) in
+        let options =
+          Algorithms.options_of ~cost:Mapper.Cost.area ~w_max ~h_max
+            ~both_orders:true ~grounded_at_foot:true ~pareto_width:1 flow
+        in
+        Opt.Certify.render (Opt.Certify.certify ~options r.Algorithms.unate));
+  }
+
 let corpus =
   [
     {
@@ -62,8 +70,13 @@ let corpus =
       what = "paper Figure 3: (a*b)+(c*d) under W_max=H_max=4";
       render =
         (fun () ->
-          run_flow ~w_max:4 ~h_max:4 Algorithms.Soi_domino_map (fig3_net ()));
+          run_flow ~w_max:4 ~h_max:4 Algorithms.Soi_domino_map
+            (build_any "fig3"));
     };
+    certify_entry ~w_max:4 ~h_max:4 ~bench:"fig3" Algorithms.Soi_domino_map
+      "fig3";
+    certify_entry ~bench:"z4ml" Algorithms.Soi_domino_map "z4ml_soi";
+    certify_entry ~bench:"cordic" Algorithms.Domino_map "cordic_bulk";
     flow_entry Algorithms.Domino_map "domino";
     flow_entry Algorithms.Rs_map "rs";
     flow_entry Algorithms.Soi_domino_map "soi";

@@ -44,6 +44,45 @@ type timing = {
   slow : slow_run list;  (* runs at or above the slow-run threshold *)
 }
 
+(* One proven DP suboptimality from the exact oracle: the cone, the two
+   costs, and everything needed to rebuild the run that exposed it. *)
+type opt_gap = {
+  g_run : int;          (* 1-based run index *)
+  g_net_seed : int;     (* Random_logic seed that rebuilds the network *)
+  g_root : int;         (* unate node id of the cone's boundary *)
+  g_output : string option;  (* a primary output it drives, if any *)
+  g_dp : int;           (* the DP's cost key for the cone *)
+  g_exact : int;        (* the proven optimum (g_exact < g_dp) *)
+  g_config : Gen_config.t;
+}
+
+(* Aggregated fourth-oracle (exact-optimality) verdicts.  Every sampled
+   cone lands in exactly one counter — proved, gap, bounded (budget
+   exhausted with an honest interval) or skipped (size cap) — and
+   trivial outputs are tallied too, so nothing is dropped silently. *)
+type optimality = {
+  o_cones : int;
+  o_proved : int;
+  o_gaps : int;
+  o_bounded : int;
+  o_skipped : int;
+  o_trivial : int;       (* literal/constant outputs: nothing to map *)
+  o_expansions : int;    (* total exact-search work, deterministic *)
+  o_gap_list : opt_gap list;  (* first gaps in run order (capped) *)
+}
+
+let no_optimality =
+  {
+    o_cones = 0;
+    o_proved = 0;
+    o_gaps = 0;
+    o_bounded = 0;
+    o_skipped = 0;
+    o_trivial = 0;
+    o_expansions = 0;
+    o_gap_list = [];
+  }
+
 type chaos_counts = {
   raises : int;    (* injected exceptions (the run is aborted, counted) *)
   delays : int;    (* injected sleeps (the run completes normally) *)
@@ -68,6 +107,8 @@ type t = {
   timing : timing option;   (* wall-clock per-run durations; None when
                                stripped for deterministic comparison *)
   chaos : chaos_counts;     (* injected faults observed, by kind *)
+  optimality : optimality option;  (* fourth-oracle verdicts; None when
+                                      the exact oracle was not enabled *)
   complete : bool;          (* false when the loop stopped early (failure or
                                generator exhaustion) and later outcomes were
                                discarded — accounting checks must skip *)
@@ -156,6 +197,24 @@ let json_of_counterexample cex =
     (json_of_config cex.shrunk_config)
     cex.shrink_checks (json_str cex.shrunk_dump)
 
+let json_of_opt_gap g =
+  Printf.sprintf
+    "{\"run\": %d, \"net_seed\": %d, \"cone\": %s, \"output\": %s, \
+     \"dp_cost\": %d, \"exact_cost\": %d, \"config\": %s}"
+    g.g_run g.g_net_seed
+    (json_str (Printf.sprintf "n%d" g.g_root))
+    (json_opt g.g_output) g.g_dp g.g_exact
+    (json_of_config g.g_config)
+
+let json_of_optimality o =
+  Printf.sprintf
+    "{\"cones\": %d, \"proved\": %d, \"gaps\": %d, \"bounded\": %d, \
+     \"skipped\": %d, \"trivial_outputs\": %d, \"expansions\": %d, \
+     \"gap_findings\": [%s]}"
+    o.o_cones o.o_proved o.o_gaps o.o_bounded o.o_skipped o.o_trivial
+    o.o_expansions
+    (String.concat ", " (List.map json_of_opt_gap o.o_gap_list))
+
 let json_of_timeout t =
   Printf.sprintf "{\"run\": %d, \"net_seed\": %s, \"reason\": %s}" t.t_run
     (match t.t_net_seed with None -> "null" | Some s -> string_of_int s)
@@ -179,6 +238,7 @@ let to_json r =
      \"timeouts\": [%s], \
      \"timing\": %s, \
      \"chaos\": {\"raises\": %d, \"delays\": %d, \"exhausts\": %d}, \
+     \"optimality\": %s, \
      \"complete\": %b, \
      \"counterexample\": %s}"
     r.seed r.budget r.runs r.skipped r.eval_vectors r.sim_cycles
@@ -186,7 +246,11 @@ let to_json r =
     r.stripped_event_probes
     (String.concat ", " (List.map json_of_timeout r.timeouts))
     (match r.timing with None -> "null" | Some t -> json_of_timing t)
-    r.chaos.raises r.chaos.delays r.chaos.exhausts r.complete
+    r.chaos.raises r.chaos.delays r.chaos.exhausts
+    (match r.optimality with
+    | None -> "null"
+    | Some o -> json_of_optimality o)
+    r.complete
     (match r.counterexample with
     | None -> "null"
     | Some cex -> json_of_counterexample cex)
@@ -235,6 +299,23 @@ let pp_human fmt r =
     Format.fprintf fmt
       "  chaos: %d raises, %d delays, %d exhausts injected@,"
       r.chaos.raises r.chaos.delays r.chaos.exhausts;
+  (match r.optimality with
+  | None -> ()
+  | Some o ->
+      Format.fprintf fmt
+        "  exact oracle: %d cones — %d proved, %d gaps, %d bounded, %d \
+         skipped (%d trivial outputs, %d expansions)@,"
+        o.o_cones o.o_proved o.o_gaps o.o_bounded o.o_skipped o.o_trivial
+        o.o_expansions;
+      List.iter
+        (fun g ->
+          Format.fprintf fmt
+            "    GAP run %d net_seed=%d cone=n%d%s: dp=%d exact=%d under %s@,"
+            g.g_run g.g_net_seed g.g_root
+            (match g.g_output with None -> "" | Some o -> " (" ^ o ^ ")")
+            g.g_dp g.g_exact
+            (Gen_config.describe g.g_config))
+        o.o_gap_list);
   if not r.complete then
     Format.fprintf fmt "  (stopped early; later runs were not executed)@,";
   match r.counterexample with

@@ -139,6 +139,24 @@ let table4_names =
 let extras =
   [
     {
+      name = "fig3";
+      description =
+        "the paper's Figure 3 network, f = (a*b) + (c*d); the worked \
+         mapping example and the certification smoke target";
+      build =
+        (fun () ->
+          let b = Logic.Builder.create ~name:"fig3" () in
+          let a = Logic.Builder.input b "a"
+          and b' = Logic.Builder.input b "b" in
+          let c = Logic.Builder.input b "c"
+          and d = Logic.Builder.input b "d" in
+          Logic.Builder.output b "f"
+            (Logic.Builder.or2 b
+               (Logic.Builder.and2 b a b')
+               (Logic.Builder.and2 b c d));
+          Logic.Builder.network b);
+    };
+    {
       name = "cla16";
       description = "16-bit carry-lookahead adder (Kogge-Stone prefix)";
       build = (fun () -> Circuits.cla_adder 16);

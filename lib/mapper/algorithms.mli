@@ -68,6 +68,20 @@ val rs_map : ?cost:Cost.model -> ?w_max:int -> ?h_max:int -> Logic.Network.t -> 
 val soi_domino_map :
   ?cost:Cost.model -> ?w_max:int -> ?h_max:int -> Logic.Network.t -> result
 
+val options_of :
+  cost:Cost.model ->
+  w_max:int ->
+  h_max:int ->
+  both_orders:bool ->
+  grounded_at_foot:bool ->
+  pareto_width:int ->
+  flow ->
+  Engine.options
+(** The engine options a flow runs under ([Bulk] style for the two
+    baselines, [Soi] for the paper's flow).  Exposed so out-of-band
+    passes over the same mapping — the exact-optimality certifier, the
+    prune CLI — can reconstruct exactly what {!run} handed the engine. *)
+
 val prepare : ?extract:bool -> Logic.Network.t -> Unate.Unetwork.t
 (** [prepare net] is the shared front end: strash, optional shared-divisor
     extraction ({!Logic.Extract}), decompose to 2-input AND/OR,

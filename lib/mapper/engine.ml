@@ -415,7 +415,14 @@ let map_body ~greedy ~budget ~memo options u =
       tuples_kept;
       combinations_tried = !combinations;
       gates_formed = Array.length circuit.Circuit.gates;
-    } )
+    },
+    (* Formed-gate lookup over the completed sweep, for the exact
+       certifier: every mapping boundary has its gate by now (consumers
+       and output materialisation force them), so a [None] only answers
+       queries about interior nodes no consumer turned into a gate. *)
+    fun id ->
+      if id < 0 || id >= n then None
+      else Option.map (fun g -> g.gi_value) entries.(id).gate )
 
 let map_impl ~greedy ~budget ~memo options u =
   Obs.Trace.with_span ~cat:"mapper" "engine.map"
@@ -427,19 +434,29 @@ let map_impl ~greedy ~budget ~memo options u =
       ])
     (fun () -> map_body ~greedy ~budget ~memo options u)
 
-let map ?(budget = Resilience.Budget.unlimited) ?memo options u =
+let map_with_gates ?(budget = Resilience.Budget.unlimited) ?memo options u =
   map_impl ~greedy:false ~budget ~memo options u
+
+let map ?(budget = Resilience.Budget.unlimited) ?memo options u =
+  let circuit, stats, _gates =
+    map_impl ~greedy:false ~budget ~memo options u
+  in
+  (circuit, stats)
 
 (* The fallback runs unbudgeted on purpose: it is linear in the network,
    so re-imposing the deadline that the full DP just blew would only
    turn a guaranteed-cheap rescue into a second failure.  It also runs
    memo-free: greedy tables obey a different boundary rule. *)
 let map_greedy options u =
-  map_impl ~greedy:true ~budget:Resilience.Budget.unlimited ~memo:None options u
+  let circuit, stats, _gates =
+    map_impl ~greedy:true ~budget:Resilience.Budget.unlimited ~memo:None
+      options u
+  in
+  (circuit, stats)
 
 let map_outcome ?(budget = Resilience.Budget.unlimited) ?memo
     ?(on_exhaust = `Degrade) options u =
-  match map_impl ~greedy:false ~budget ~memo options u with
+  match map ~budget ?memo options u with
   | result -> Resilience.Outcome.Ok result
   | exception Resilience.Budget.Exhausted reason -> (
       match on_exhaust with

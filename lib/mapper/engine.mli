@@ -87,6 +87,22 @@ val map :
     {!map_outcome} for the degrade-instead-of-raise policy.
     @raise Invalid_argument if [w_max < 2] or [h_max < 2]. *)
 
+val map_with_gates :
+  ?budget:Resilience.Budget.t ->
+  ?memo:Memo.t ->
+  options ->
+  Unate.Unetwork.t ->
+  Domino.Circuit.t * stats * (int -> Cost.value option)
+(** {!map}, additionally returning a lookup over the formed gates of the
+    completed sweep: for unate node [id], the gate's formation cost
+    value (PDN tuple plus overhead and committed discharges, one level
+    up — the [value] whose {!Cost.key} the engine minimised, and whose
+    [depth] is the gate's domino level).  Defined for every mapping
+    boundary (multi-fanout or output-driving node) of a completed
+    sweep; [None] for interior nodes whose gate no consumer forced.
+    This is the exact-optimality certifier's view of the DP answer
+    ({!Opt.Certify}): per-cone, pre-postprocess. *)
+
 val map_greedy : options -> Unate.Unetwork.t -> Domino.Circuit.t * stats
 (** The degradation rung under {!map}: every node offers its consumers
     only its formed gate tuple (as if multi-fanout), so the sweep tries

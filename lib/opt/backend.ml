@@ -1,0 +1,149 @@
+open Mapper
+
+(* Scalar mirror of the engine's tuple algebra (Soi_rules) — the exact
+   backends search over these, so every rule here must stay in lockstep
+   with its Soi_rules counterpart (test_opt cross-checks them). *)
+
+type tuple = {
+  w : int;
+  h : int;
+  weighted : int;
+  depth : int;
+  p_dis : int;
+  par_b : bool;
+  has_pi : bool;
+}
+
+let t_leaf_pi (model : Cost.model) =
+  {
+    w = 1;
+    h = 1;
+    weighted = model.Cost.regular;
+    depth = 0;
+    p_dis = 0;
+    par_b = false;
+    has_pi = true;
+  }
+
+let t_leaf_gate (model : Cost.model) ~level =
+  {
+    w = 1;
+    h = 1;
+    weighted = model.Cost.regular;
+    depth = level;
+    p_dis = 0;
+    par_b = false;
+    has_pi = false;
+  }
+
+let t_or a b =
+  {
+    w = a.w + b.w;
+    h = max a.h b.h;
+    weighted = a.weighted + b.weighted;
+    depth = max a.depth b.depth;
+    p_dis = a.p_dis + b.p_dis;
+    par_b = true;
+    has_pi = a.has_pi || b.has_pi;
+  }
+
+let t_and_soi (model : Cost.model) ~top ~bottom =
+  let committed = if top.par_b then top.p_dis + 1 else 0 in
+  {
+    w = max top.w bottom.w;
+    h = top.h + bottom.h;
+    weighted = top.weighted + bottom.weighted + (committed * model.Cost.discharge);
+    depth = max top.depth bottom.depth;
+    p_dis = (if top.par_b then bottom.p_dis else top.p_dis + 1 + bottom.p_dis);
+    par_b = bottom.par_b;
+    has_pi = top.has_pi || bottom.has_pi;
+  }
+
+let t_and_bulk top bottom =
+  {
+    w = max top.w bottom.w;
+    h = top.h + bottom.h;
+    weighted = top.weighted + bottom.weighted;
+    depth = max top.depth bottom.depth;
+    p_dis = 0;
+    par_b = false;
+    has_pi = top.has_pi || bottom.has_pi;
+  }
+
+let t_heuristic_order s1 s2 =
+  match (s1.par_b, s2.par_b) with
+  | true, false -> (s2, s1)
+  | false, true -> (s1, s2)
+  | true, true -> if s1.p_dis >= s2.p_dis then (s2, s1) else (s1, s2)
+  | false, false -> (s1, s2)
+
+(* Gate formation mirrored from Engine.form_gate + Soi_rules.leaf_gate:
+   overhead (foot when a PI literal is present), uncommitted potential
+   discharges realised when the foot is not grounded, one level up, then
+   the interface transistor of the 1x1 leaf the gate becomes. *)
+let formed_cost (model : Cost.model) ~grounded_at_foot t =
+  let clocked = if t.has_pi then 2 else 1 in
+  let extra = if grounded_at_foot then 0 else t.p_dis in
+  ( t.weighted
+    + (clocked * model.Cost.clocked)
+    + (3 * model.Cost.regular)
+    + (extra * model.Cost.discharge),
+    t.depth + 1 )
+
+let t_form_gate (model : Cost.model) ~grounded_at_foot t =
+  let weighted, depth = formed_cost model ~grounded_at_foot t in
+  {
+    w = 1;
+    h = 1;
+    weighted = weighted + model.Cost.regular;
+    depth;
+    p_dis = 0;
+    par_b = false;
+    has_pi = false;
+  }
+
+let t_key (model : Cost.model) t =
+  (model.Cost.depth_factor * t.depth) + t.weighted
+
+let formed_key (model : Cost.model) ~grounded_at_foot t =
+  let weighted, depth = formed_cost model ~grounded_at_foot t in
+  (model.Cost.depth_factor * depth) + weighted
+
+let of_sol (_model : Cost.model) (s : Soi_rules.sol) =
+  {
+    w = s.Soi_rules.w;
+    h = s.Soi_rules.h;
+    weighted = s.Soi_rules.value.Cost.weighted;
+    depth = s.Soi_rules.value.Cost.depth;
+    p_dis = s.Soi_rules.p_dis;
+    par_b = s.Soi_rules.par_b;
+    has_pi = Domino.Pdn.has_pi_leaf s.Soi_rules.structure;
+  }
+
+(* Exact dominance: with equal footprint and bottom shape, being no
+   worse on every cost-bearing coordinate is preserved by every
+   combinator above (all model weights are non-negative, [max] and [+]
+   are monotone, and footedness only ever adds clocked cost), so a
+   dominated tuple can be dropped without losing any optimum.  The
+   order-heuristic case is argued in bb.ml. *)
+let dominates a b =
+  a.w = b.w && a.h = b.h && a.par_b = b.par_b
+  && ((not a.has_pi) || b.has_pi)
+  && a.weighted <= b.weighted && a.depth <= b.depth && a.p_dis <= b.p_dis
+
+type solution = {
+  best : int option;
+  lower : int;
+  proved : bool;
+  expansions : int;
+}
+
+type t = {
+  name : string;
+  solve :
+    budget:Resilience.Budget.t ->
+    options:Mapper.Engine.options ->
+    ub:int option ->
+    Instance.t ->
+    solution;
+}

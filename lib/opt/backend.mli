@@ -1,0 +1,91 @@
+(** The common exact-optimality backend interface, and the scalar tuple
+    algebra both backends search over.
+
+    A backend solves one cone instance to proven optimality — the
+    minimum cost key of a gate formed over the cone, within the engine's
+    own decision space (boundary placement and stack orders under the
+    configured combination rules) — or, when its budget trips first, to
+    a bounded verdict that never claims more than it proved.
+
+    {2 Tuples}
+
+    {!tuple} is {!Mapper.Soi_rules.sol} stripped to the fields that
+    determine cost: footprint, weighted cost, depth, PBE bookkeeping and
+    whether a primary-input literal appears (footedness on formation).
+    The [t_*] combinators mirror the engine's combination rules exactly;
+    {!of_sol} converts an engine tuple for cross-checking. *)
+
+type tuple = {
+  w : int;
+  h : int;
+  weighted : int;  (** accumulated weighted cost (committed discharges in) *)
+  depth : int;  (** domino levels beneath this partial solution *)
+  p_dis : int;
+  par_b : bool;
+  has_pi : bool;  (** a primary-input literal is in the structure *)
+}
+
+val t_leaf_pi : Mapper.Cost.model -> tuple
+val t_leaf_gate : Mapper.Cost.model -> level:int -> tuple
+(** A boundary-gate leaf: one interface transistor at domino [level]
+    (shared driver, formation cost accounted globally — the engine's
+    [carried = zero] case). *)
+
+val t_or : tuple -> tuple -> tuple
+val t_and_soi : Mapper.Cost.model -> top:tuple -> bottom:tuple -> tuple
+val t_and_bulk : tuple -> tuple -> tuple
+val t_heuristic_order : tuple -> tuple -> tuple * tuple
+(** The paper's series-ordering heuristic ({!Mapper.Soi_rules.heuristic_and_order})
+    on scalar tuples. *)
+
+val t_form_gate :
+  Mapper.Cost.model -> grounded_at_foot:bool -> tuple -> tuple
+(** Form a domino gate over an inline tuple and re-enter the search as a
+    1x1 leaf carrying the formation cost (the engine's single-fanout
+    cumulative-cost case: overhead, uncommitted discharges when the foot
+    is not grounded, one level up, plus the interface transistor). *)
+
+val t_key : Mapper.Cost.model -> tuple -> int
+(** The scalar the mapper minimises: [depth_factor * depth + weighted]. *)
+
+val formed_key : Mapper.Cost.model -> grounded_at_foot:bool -> tuple -> int
+(** Cost key of the gate formed over an inline tuple (no interface
+    transistor — this is the root-formation objective the DP's
+    [form_gate] minimises). *)
+
+val of_sol : Mapper.Cost.model -> Mapper.Soi_rules.sol -> tuple
+(** Project an engine tuple ([model] is unused but keeps call sites
+    honest about which model the scalar fields were accumulated under). *)
+
+val dominates : tuple -> tuple -> bool
+(** [dominates a b]: [a] can replace [b] in any context at no higher
+    final cost — same footprint and [par_b], no worse on weighted cost,
+    depth, potential discharges and footedness.  The safety argument is
+    in bb.ml; {!Bb} prunes with it, {!Enum} must not. *)
+
+(** {2 Backends} *)
+
+type solution = {
+  best : int option;
+      (** least formed-gate key found; an upper bound on the optimum,
+          and the optimum itself when [proved] *)
+  lower : int;  (** certified lower bound on the optimum *)
+  proved : bool;  (** the search completed: [best = Some lower] *)
+  expansions : int;  (** combinations charged against the budget *)
+}
+
+type t = {
+  name : string;
+  solve :
+    budget:Resilience.Budget.t ->
+    options:Mapper.Engine.options ->
+    ub:int option ->
+    Instance.t ->
+    solution;
+      (** [solve ~budget ~options ~ub inst] searches the cone.  [ub] is
+          a known upper bound (the DP's answer) a backend may prune
+          against; pruning keeps at least one optimal solution whenever
+          the optimum is <= [ub].  A tripped budget is caught inside and
+          degrades to [{proved = false; lower = static_lb; ...}] — solve
+          never raises {!Resilience.Budget.Exhausted} and never hangs. *)
+}

@@ -1,0 +1,123 @@
+open Mapper
+
+(* Branch-and-bound over the DP's tuple space.
+
+   Soundness of the two prunings:
+
+   - Dominance (Backend.dominates).  Every combinator is monotone,
+     coordinate-wise, in (weighted, depth, p_dis, has_pi) for fixed
+     (w, h, par_b): model weights are non-negative, series/parallel
+     composition uses [+] and [max], committed-discharge counts grow
+     with p_dis, and a footless structure never pays more overhead than
+     a footed one.  Under the heuristic order the composition applied to
+     a pair is itself a function of (par_b, p_dis); replacing a tuple by
+     a dominator with smaller p_dis can flip the chosen order, but the
+     flipped composition commits [a.p_dis + 1 <= partner.p_dis + 1]
+     discharges and yields a result that again dominates the original's
+     coordinate-wise (case analysis over the four par_b combinations),
+     so the frontier stays exact in every rule mode.
+
+   - Upper-bound completion pruning.  For a partial tuple [t] of a
+     subtree with [outside] cone leaves not under it, any completed
+     root gate costs at least
+       key(t) + outside * regular + footless-overhead + depth_factor:
+     every remaining leaf contributes one regular transistor or more,
+     root formation pays at least the footless overhead, and the formed
+     gate sits one level above a structure at least as deep as [t].
+     Discarding tuples whose bound strictly exceeds [ub] (a known
+     achievable cost) keeps every solution that could still match or
+     beat [ub] — in particular one optimal solution, since optimum <= ub
+     by construction (the DP's answer lives in this space). *)
+
+let solve ~budget ~(options : Engine.options) ~ub (inst : Instance.t) =
+  let model = options.Engine.cost in
+  let ub = match ub with Some u -> u | None -> max_int / 2 in
+  let footless_overhead =
+    model.Cost.clocked + (3 * model.Cost.regular)
+  in
+  let completion_tail outside =
+    (outside * model.Cost.regular) + footless_overhead + model.Cost.depth_factor
+  in
+  let count = ref 0 in
+  let charge () =
+    incr count;
+    Resilience.Budget.charge_tuples budget 1;
+    if !count land 2047 = 0 then Resilience.Budget.check_deadline budget
+  in
+  let keep outside (t : Backend.tuple) =
+    t.Backend.w <= options.Engine.w_max
+    && t.Backend.h <= options.Engine.h_max
+    && Backend.t_key model t + completion_tail outside <= ub
+  in
+  (* Insert into a dominance frontier. *)
+  let insert front t =
+    if List.exists (fun o -> Backend.dominates o t) front then front
+    else t :: List.filter (fun o -> not (Backend.dominates t o)) front
+  in
+  let fold_pairs l0 l1 f acc =
+    List.fold_left
+      (fun acc a -> List.fold_left (fun acc b -> f acc a b) acc l1)
+      acc l0
+  in
+  (* Frontier of a subtree with [outside] cone leaves elsewhere. *)
+  let rec frontier outside tree =
+    match tree with
+    | Instance.T_leaf Instance.L_pi -> [ Backend.t_leaf_pi model ]
+    | Instance.T_leaf (Instance.L_gate { level; _ }) ->
+        [ Backend.t_leaf_gate model ~level ]
+    | Instance.T_node { kind; sub0; sub1; _ } ->
+        let l0 = frontier (outside + Instance.leaves sub1) sub0 in
+        let l1 = frontier (outside + Instance.leaves sub0) sub1 in
+        let inline =
+          fold_pairs l0 l1
+            (fun acc a b ->
+              charge ();
+              List.fold_left
+                (fun acc t -> if keep outside t then insert acc t else acc)
+                acc
+                (Enum.combine_pair options a b kind))
+            []
+        in
+        (* Re-enter each inline survivor as a formed gate; the interface
+           leaf is 1x1, so the caps cannot reject it, but the completion
+           bound can. *)
+        List.fold_left
+          (fun acc t ->
+            let g =
+              Backend.t_form_gate model
+                ~grounded_at_foot:options.Engine.grounded_at_foot t
+            in
+            if keep outside g then insert acc g else acc)
+          inline inline
+  in
+  match frontier 0 inst.Instance.tree with
+  | roots ->
+      let best =
+        List.fold_left
+          (fun acc t ->
+            min acc
+              (Backend.formed_key model
+                 ~grounded_at_foot:options.Engine.grounded_at_foot t))
+          max_int roots
+      in
+      if best = max_int then
+        (* Every alternative was pruned against [ub]: the search proves
+           optimum > ub.  With ub the DP's own (achievable) key this is
+           unreachable — the DP solution survives every prune — so it
+           only reports a caller-supplied ub below the optimum. *)
+        { Backend.best = None; lower = ub + 1; proved = false;
+          expansions = !count }
+      else
+        (* When ub is achievable the optimum's own root tuple survives
+           pruning, so [best] is the exact optimum. *)
+        { Backend.best = Some best; lower = best; proved = true;
+          expansions = !count }
+  | exception Resilience.Budget.Exhausted _ ->
+      {
+        Backend.best = None;
+        lower = Instance.static_lb model inst;
+        proved = false;
+        expansions = !count;
+      }
+
+let backend = { Backend.name = "bb"; solve }

@@ -1,0 +1,25 @@
+(** The branch-and-bound exact mapper.
+
+    Searches the same decision space as {!Enum} — gate-boundary
+    placement and stack orders inside one cone, under the engine's
+    combination rules — but keeps, per subtree, only a dominance
+    frontier ({!Backend.dominates}) and discards every partial tuple
+    whose admissible completion bound already exceeds the known upper
+    bound (the DP's own answer, seeded through [ub]).  Both prunings
+    are exact: at least one optimal solution always survives, so a
+    completed search is a proof.  Handles general DAG cones (shared
+    fanout appears as boundary-gate leaves, exactly as the DP sees it).
+
+    A tripped budget degrades to an honest bounded verdict
+    ([proved = false], [lower = Instance.static_lb]) — never a wrong
+    "optimal" claim, never a hang. *)
+
+val backend : Backend.t
+(** [backend.name = "bb"]. *)
+
+val solve :
+  budget:Resilience.Budget.t ->
+  options:Mapper.Engine.options ->
+  ub:int option ->
+  Instance.t ->
+  Backend.solution

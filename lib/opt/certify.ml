@@ -1,0 +1,221 @@
+open Mapper
+
+type status =
+  | Proved of { cost : int }
+  | Gap of { dp : int; exact : int }
+  | Bounded of { dp : int; lower : int }
+  | Skipped of { reason : string }
+
+type cert = {
+  root : int;
+  outputs : string list;
+  size : int;
+  n_leaves : int;
+  status : status;
+  backend : string;
+  expansions : int;
+}
+
+type summary = {
+  source : string;
+  backend_name : string;
+  certs : cert list;
+  cones : int;
+  proved : int;
+  gaps : int;
+  bounded : int;
+  skipped : int;
+  trivial_outputs : int;
+  expansions : int;
+}
+
+let default_max_size = 24
+let default_max_expansions = 200_000
+
+(* Certifier observability; everything is work-derived and stable. *)
+let m_cones = Obs.Metrics.counter "opt.cones"
+let m_proved = Obs.Metrics.counter "opt.proved"
+let m_gaps = Obs.Metrics.counter "opt.gaps"
+let m_bounded = Obs.Metrics.counter "opt.bounded"
+let m_skipped = Obs.Metrics.counter "opt.skipped"
+let m_expansions = Obs.Metrics.counter "opt.expansions"
+let m_shape_hits = Obs.Metrics.counter "opt.shape_hits"
+
+let status_of_solution ~dp (s : Backend.solution) =
+  if s.Backend.proved then begin
+    match s.Backend.best with
+    | Some exact when exact = dp -> Proved { cost = dp }
+    | Some exact when exact < dp -> Gap { dp; exact }
+    | Some exact ->
+        (* The DP's own choices are inside the exact search space, so a
+           completed search can never land above the DP.  Soundness bug. *)
+        failwith
+          (Printf.sprintf
+             "Opt.Certify: exact cost %d above the DP's %d — backend \
+              soundness bug"
+             exact dp)
+    | None ->
+        failwith
+          "Opt.Certify: backend claims a completed search with no solution"
+  end
+  else if s.Backend.lower > dp then
+    failwith
+      (Printf.sprintf
+         "Opt.Certify: certified lower bound %d above the achievable DP \
+          cost %d — backend soundness bug"
+         s.Backend.lower dp)
+  else Bounded { dp; lower = s.Backend.lower }
+
+let certify ?(backend = Bb.backend) ?(max_size = default_max_size)
+    ?(max_expansions = default_max_expansions) ?memo
+    ~(options : Engine.options) u =
+  Obs.Trace.with_span ~cat:"opt" "opt.certify"
+    ~args:(fun () ->
+      [
+        ("source", Unate.Unetwork.source_name u);
+        ("backend", backend.Backend.name);
+      ])
+  @@ fun () ->
+  let model = options.Engine.cost in
+  let _, _, gate_value = Engine.map_with_gates ?memo options u in
+  let level_of m =
+    match gate_value m with
+    | Some v -> v.Cost.depth
+    | None ->
+        (* Unreachable: every boundary's gate is formed by the sweep. *)
+        failwith
+          (Printf.sprintf "Opt.Certify: boundary n%d formed no gate" m)
+  in
+  let instances = Instance.extract u ~boundary_level:level_of in
+  (* Canonical-shape dedup: two cones with the same Memo shape (same
+     ordered structure, leaf kinds, boundary levels, duplicate-leaf
+     pattern) have identical DP tables and identical exact optima, so
+     the second is a lookup, not a search.  The scratch table is local:
+     only the session's shape resolution is wanted, not cached tuples. *)
+  let shapes =
+    let tbl = Memo.create ~shards:1 () in
+    let fanouts = Unate.Unetwork.fanout_counts u in
+    let r =
+      Memo.start tbl ~u ~fanouts ~model ~w_max:options.Engine.w_max
+        ~h_max:options.Engine.h_max
+        ~soi:(options.Engine.style = Engine.Soi)
+        ~both_orders:options.Engine.both_orders
+        ~grounded:options.Engine.grounded_at_foot
+        ~pareto:options.Engine.pareto_width ~boundary_level:level_of
+    in
+    let n = Unate.Unetwork.node_count u in
+    let shape = Array.make (max n 1) None in
+    for id = 0 to n - 1 do
+      ignore (Memo.find r id);
+      shape.(id) <- Memo.shape_string r id
+    done;
+    ignore (Memo.finish r);
+    fun id -> if id < Array.length shape then shape.(id) else None
+  in
+  let solved : (string, status * int) Hashtbl.t = Hashtbl.create 64 in
+  let certs =
+    List.map
+      (fun (inst : Instance.t) ->
+        let root = inst.Instance.root in
+        let dp =
+          match gate_value root with
+          | Some v -> Cost.key model v
+          | None -> failwith "Opt.Certify: cone root formed no gate"
+        in
+        let status, expansions =
+          if inst.Instance.size > max_size then
+            (Skipped { reason = Printf.sprintf "size>%d" max_size }, 0)
+          else begin
+            let solve () =
+              let budget =
+                Resilience.Budget.make ~max_tuples:max_expansions ()
+              in
+              let s =
+                backend.Backend.solve ~budget ~options ~ub:(Some dp) inst
+              in
+              (status_of_solution ~dp s, s.Backend.expansions)
+            in
+            match shapes root with
+            | None -> solve ()
+            | Some shape -> (
+                match Hashtbl.find_opt solved shape with
+                | Some hit ->
+                    Obs.Metrics.incr m_shape_hits;
+                    hit
+                | None ->
+                    let r = solve () in
+                    Hashtbl.replace solved shape r;
+                    r)
+          end
+        in
+        {
+          root;
+          outputs = Instance.outputs_of u root;
+          size = inst.Instance.size;
+          n_leaves = inst.Instance.n_leaves;
+          status;
+          backend = backend.Backend.name;
+          expansions;
+        })
+      instances
+  in
+  let trivial_outputs =
+    Array.fold_left
+      (fun acc (_, fin) ->
+        match fin with
+        | Unate.Unetwork.F_node _ -> acc
+        | Unate.Unetwork.F_lit _ | Unate.Unetwork.F_const _ -> acc + 1)
+      0 (Unate.Unetwork.outputs u)
+  in
+  let count p = List.length (List.filter p certs) in
+  let summary =
+    {
+      source = Unate.Unetwork.source_name u;
+      backend_name = backend.Backend.name;
+      certs;
+      cones = List.length certs;
+      proved = count (fun c -> match c.status with Proved _ -> true | _ -> false);
+      gaps = count (fun c -> match c.status with Gap _ -> true | _ -> false);
+      bounded =
+        count (fun c -> match c.status with Bounded _ -> true | _ -> false);
+      skipped =
+        count (fun c -> match c.status with Skipped _ -> true | _ -> false);
+      trivial_outputs;
+      expansions =
+        List.fold_left (fun acc (c : cert) -> acc + c.expansions) 0 certs;
+    }
+  in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.add m_cones summary.cones;
+    Obs.Metrics.add m_proved summary.proved;
+    Obs.Metrics.add m_gaps summary.gaps;
+    Obs.Metrics.add m_bounded summary.bounded;
+    Obs.Metrics.add m_skipped summary.skipped;
+    Obs.Metrics.add m_expansions summary.expansions
+  end;
+  summary
+
+let status_line = function
+  | Proved { cost } -> Printf.sprintf "PROVED cost=%d" cost
+  | Gap { dp; exact } -> Printf.sprintf "GAP dp=%d exact=%d" dp exact
+  | Bounded { dp; lower } -> Printf.sprintf "BOUNDED %d<=opt<=%d" lower dp
+  | Skipped { reason } -> Printf.sprintf "SKIPPED %s" reason
+
+let render s =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "certify %s (%s): cones=%d proved=%d gaps=%d bounded=%d skipped=%d \
+        trivial-outputs=%d\n"
+       s.source s.backend_name s.cones s.proved s.gaps s.bounded s.skipped
+       s.trivial_outputs);
+  List.iter
+    (fun c ->
+      Buffer.add_string b
+        (Printf.sprintf "  n%d%s size=%d leaves=%d: %s\n" c.root
+           (match c.outputs with
+           | [] -> ""
+           | os -> " -> " ^ String.concat "," os)
+           c.size c.n_leaves (status_line c.status)))
+    s.certs;
+  Buffer.contents b

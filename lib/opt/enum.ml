@@ -1,0 +1,99 @@
+open Mapper
+
+(* Exhaustive enumeration over the DP's decision space.  The recursion
+   mirrors Engine.map_body's combination loop on scalar tuples: inline
+   alternatives per subtree, plus each alternative re-entered as a
+   formed gate (the engine's single-fanout cumulative-cost case). *)
+
+let combine_pair (options : Engine.options) a b kind =
+  let model = options.Engine.cost in
+  match kind with
+  | Unate.Unetwork.U_or -> [ Backend.t_or a b ]
+  | Unate.Unetwork.U_and -> (
+      match options.Engine.style with
+      | Engine.Bulk -> [ Backend.t_and_bulk a b ]
+      | Engine.Soi ->
+          if options.Engine.both_orders then
+            [
+              Backend.t_and_soi model ~top:a ~bottom:b;
+              Backend.t_and_soi model ~top:b ~bottom:a;
+            ]
+          else begin
+            let top, bottom = Backend.t_heuristic_order a b in
+            [ Backend.t_and_soi model ~top ~bottom ]
+          end)
+
+let solve ~budget ~(options : Engine.options) ~ub:_ (inst : Instance.t) =
+  let model = options.Engine.cost in
+  let feasible (t : Backend.tuple) =
+    t.Backend.w <= options.Engine.w_max && t.Backend.h <= options.Engine.h_max
+  in
+  let count = ref 0 in
+  let charge () =
+    incr count;
+    Resilience.Budget.charge_tuples budget 1;
+    if !count land 2047 = 0 then Resilience.Budget.check_deadline budget
+  in
+  (* Inline alternatives of a subtree (within the W/H caps). *)
+  let rec inline_opts tree =
+    match tree with
+    | Instance.T_leaf Instance.L_pi -> [ Backend.t_leaf_pi model ]
+    | Instance.T_leaf (Instance.L_gate { level; _ }) ->
+        [ Backend.t_leaf_gate model ~level ]
+    | Instance.T_node { kind; sub0; sub1; _ } ->
+        let l0 = all_opts sub0 and l1 = all_opts sub1 in
+        List.concat_map
+          (fun a ->
+            List.concat_map
+              (fun b ->
+                charge ();
+                List.filter feasible (combine_pair options a b kind))
+              l1)
+          l0
+  (* Inline plus "form a gate here"; exact duplicates are merged (a pure
+     function of the tuple, so this loses nothing). *)
+  and all_opts tree =
+    match tree with
+    | Instance.T_leaf _ -> inline_opts tree
+    | Instance.T_node _ ->
+        let inline = inline_opts tree in
+        let as_gate =
+          List.map
+            (Backend.t_form_gate model
+               ~grounded_at_foot:options.Engine.grounded_at_foot)
+            inline
+        in
+        List.sort_uniq compare (inline @ as_gate)
+  in
+  match inline_opts inst.Instance.tree with
+  | roots ->
+      let best =
+        List.fold_left
+          (fun acc t ->
+            min acc
+              (Backend.formed_key model
+                 ~grounded_at_foot:options.Engine.grounded_at_foot t))
+          max_int roots
+      in
+      if best = max_int then
+        (* No feasible tuple fits the caps: unreachable for caps >= 2
+           (the engine proves a gate for every node), but keep the
+           verdict honest instead of dying. *)
+        {
+          Backend.best = None;
+          lower = Instance.static_lb model inst;
+          proved = false;
+          expansions = !count;
+        }
+      else
+        { Backend.best = Some best; lower = best; proved = true;
+          expansions = !count }
+  | exception Resilience.Budget.Exhausted _ ->
+      {
+        Backend.best = None;
+        lower = Instance.static_lb model inst;
+        proved = false;
+        expansions = !count;
+      }
+
+let backend = { Backend.name = "enum"; solve }

@@ -1,0 +1,33 @@
+(** The exhaustive cone enumerator — the optimality oracle originally
+    embedded in test/test_optimality.ml, promoted and generalised.
+
+    Enumerates {e every} alternative in the DP's decision space: each
+    interior node either melts into its consumer's pull-down network or
+    forms a gate boundary, with series stacks ordered per the configured
+    rule (fixed for Bulk, both orders or the paper's heuristic for Soi),
+    and keeps the whole option list — no dominance, no bound pruning
+    beyond the W/H feasibility the DP itself enforces.  Exponential;
+    its role is to cross-check {!Bb} on small cones, exactly as the
+    original test cross-checked the engine. *)
+
+val backend : Backend.t
+(** [backend.name = "enum"]. *)
+
+val combine_pair :
+  Mapper.Engine.options ->
+  Backend.tuple ->
+  Backend.tuple ->
+  Unate.Unetwork.kind ->
+  Backend.tuple list
+(** The compositions the configured rule set admits for one fanin-tuple
+    pair: parallel for OR; for AND the fixed Bulk order, both Soi
+    orders, or the paper's heuristic order, per [options].  Shared with
+    {!Bb} so both backends search the identical space. *)
+
+val solve :
+  budget:Resilience.Budget.t ->
+  options:Mapper.Engine.options ->
+  ub:int option ->
+  Instance.t ->
+  Backend.solution
+(** [ub] is ignored: the enumerator never prunes. *)

@@ -1,0 +1,101 @@
+open Unate
+
+(* Cone extraction: the fanout-free region below each mapping boundary,
+   mirrored from the engine's decomposition rule (Engine.options_of_fin:
+   a fanin with fanout count > 1 offers only its formed gate; a
+   single-fanout fanin flows its full table through the parent). *)
+
+type leaf = L_pi | L_gate of { node : int; level : int }
+
+type tree =
+  | T_leaf of leaf
+  | T_node of {
+      kind : Unetwork.kind;
+      sub0 : tree;
+      sub1 : tree;
+      leaves : int;
+    }
+
+type t = {
+  root : int;
+  tree : tree;
+  size : int;
+  n_leaves : int;
+  max_leaf_level : int;
+  source : string;
+}
+
+let leaves = function T_leaf _ -> 1 | T_node { leaves; _ } -> leaves
+
+let extract u ~boundary_level =
+  let fanouts = Unetwork.fanout_counts u in
+  let po = Unetwork.po_refs u in
+  let n = Unetwork.node_count u in
+  let size = ref 0 in
+  let max_level = ref 0 in
+  let rec tree_of fin =
+    match fin with
+    | Unetwork.F_const _ ->
+        (* [Unetwork.mk] folds constant fanins away; only outputs can be
+           constant, and those never reach [tree_of]. *)
+        invalid_arg "Opt.Instance.extract: constant fanin inside a cone"
+    | Unetwork.F_lit _ -> T_leaf L_pi
+    | Unetwork.F_node m ->
+        if fanouts.(m) > 1 then begin
+          let level = boundary_level m in
+          if level > !max_level then max_level := level;
+          T_leaf (L_gate { node = m; level })
+        end
+        else begin
+          incr size;
+          let nd = Unetwork.node u m in
+          let sub0 = tree_of nd.Unetwork.fanin0 in
+          let sub1 = tree_of nd.Unetwork.fanin1 in
+          T_node
+            { kind = nd.Unetwork.kind; sub0; sub1;
+              leaves = leaves sub0 + leaves sub1 }
+        end
+  in
+  let cones = ref [] in
+  for root = n - 1 downto 0 do
+    if fanouts.(root) > 1 || po.(root) > 0 then begin
+      size := 1;
+      max_level := 0;
+      let nd = Unetwork.node u root in
+      let sub0 = tree_of nd.Unetwork.fanin0 in
+      let sub1 = tree_of nd.Unetwork.fanin1 in
+      let tree =
+        T_node
+          { kind = nd.Unetwork.kind; sub0; sub1;
+            leaves = leaves sub0 + leaves sub1 }
+      in
+      cones :=
+        {
+          root;
+          tree;
+          size = !size;
+          n_leaves = leaves tree;
+          max_leaf_level = !max_level;
+          source = Unetwork.source_name u;
+        }
+        :: !cones
+    end
+  done;
+  !cones
+
+let outputs_of u root =
+  Array.fold_right
+    (fun (nm, fin) acc ->
+      match fin with
+      | Unetwork.F_node m when m = root -> nm :: acc
+      | _ -> acc)
+    (Unetwork.outputs u) []
+
+let static_lb (model : Mapper.Cost.model) inst =
+  (inst.n_leaves * model.Mapper.Cost.regular)
+  + model.Mapper.Cost.clocked
+  + (3 * model.Mapper.Cost.regular)
+  + (model.Mapper.Cost.depth_factor * (1 + inst.max_leaf_level))
+
+let describe inst =
+  Printf.sprintf "n%d size=%d leaves=%d" inst.root inst.size inst.n_leaves

@@ -1,0 +1,64 @@
+(** Cone-mapping instances for the exact-optimality backends.
+
+    The DP mapper decomposes a unate network at its mapping boundaries:
+    every node with more than one fanout (or driving a primary output)
+    forms a domino gate, and the fanout-free region hanging below it —
+    its {e cone} — is mapped as one tree whose leaves are primary-input
+    literals or the formed gates of lower boundaries.  An {!t} is one
+    such cone, extracted verbatim from the network so an exact backend
+    ({!Enum}, {!Bb}) can search the same decision space the DP searched:
+    gate-boundary placement inside the cone and series stack orders,
+    under the same width/height limits and combination rules.
+
+    Boundary leaves carry the {e level} (domino depth) of the gate the
+    DP formed for them — cone certification is per-boundary, exactly
+    like the DP's own cost accounting. *)
+
+type leaf =
+  | L_pi  (** a primary-input literal (identity is cost-irrelevant) *)
+  | L_gate of { node : int; level : int }
+      (** the formed gate of boundary node [node], at domino [level] *)
+
+type tree =
+  | T_leaf of leaf
+  | T_node of {
+      kind : Unate.Unetwork.kind;
+      sub0 : tree;
+      sub1 : tree;
+      leaves : int;  (** leaf count of this subtree (bound computation) *)
+    }
+
+type t = {
+  root : int;  (** unate node id of the boundary the cone feeds *)
+  tree : tree;
+  size : int;  (** interior AND/OR nodes in the cone (>= 1) *)
+  n_leaves : int;
+  max_leaf_level : int;  (** deepest boundary-gate leaf; 0 if none *)
+  source : string;  (** network name, for reporting *)
+}
+
+val leaves : tree -> int
+(** Leaf count of a subtree (1 for a leaf). *)
+
+val extract :
+  Unate.Unetwork.t -> boundary_level:(int -> int) -> t list
+(** [extract u ~boundary_level] lists every cone of [u], in ascending
+    root id.  Roots are the mapping boundaries: nodes with fanout count
+    > 1 or referenced by a primary output.  [boundary_level m] must
+    return the formed-gate level the DP assigned to boundary node [m];
+    it is consulted only for boundaries strictly below a root.  Outputs
+    bound to literals or constants have no cone and are not listed. *)
+
+val outputs_of : Unate.Unetwork.t -> int -> string list
+(** Names of the primary outputs driven directly by node [root] (empty
+    for an internal multi-fanout boundary). *)
+
+val static_lb : Mapper.Cost.model -> t -> int
+(** An admissible lower bound on the cost key of {e any} gate formed
+    over the cone: every leaf costs at least one regular transistor, the
+    root formation pays at least the footless gate overhead, and the
+    formed gate sits at least one level above its deepest boundary
+    leaf.  Never exceeds the true optimum. *)
+
+val describe : t -> string
+(** One-line rendering, e.g. ["n17 size=5 leaves=6"]. *)

@@ -77,3 +77,5 @@ let charge_tuples b n =
   | Some cap ->
       b.tuples <- b.tuples + n;
       if b.tuples > cap then raise (Exhausted (Tuple_limit cap))
+
+let tuples_spent b = b.tuples

@@ -47,5 +47,10 @@ val charge_tuples : t -> int -> unit
 (** [charge_tuples b n] spends [n] units of the tuple allowance; raises
     [Exhausted (Tuple_limit _)] once the cap is crossed. *)
 
+val tuples_spent : t -> int
+(** Units charged so far through {!charge_tuples} (0 when the budget
+    carries no tuple cap — the no-cap path never counts).  Exact-search
+    backends report it as their deterministic work measure. *)
+
 val reason_to_string : reason -> string
 val pp_reason : Format.formatter -> reason -> unit

@@ -31,6 +31,7 @@ let () =
       ("soi-rules", Test_soi_rules.suite);
       ("engine", Test_engine.suite);
       ("optimality", Test_optimality.suite);
+      ("opt", Test_opt.suite);
       ("algorithms", Test_algorithms.suite);
       ("prune", Test_prune.suite);
       ("body", Test_body.suite);

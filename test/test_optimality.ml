@@ -1,74 +1,33 @@
-(* Brute-force optimality oracle for the DP mapper.
+(* Optimality cross-checks for the DP mapper.
 
-   The paper argues its dynamic program is cost-optimal for monotone cost
-   functions.  For small *tree-shaped* unate networks we can check that
-   claim exactly: enumerate every possible partition of the tree into
-   domino gates (every AND/OR node either merges into its parent's
-   pull-down network or forms a gate boundary), compute the exact area
-   cost of each alternative, and compare the minimum with the engine's
-   answer. *)
+   The brute-force enumerator that used to live here has been promoted
+   to lib/opt (Opt.Enum); this suite now cross-checks the two exact
+   backends against each other and against the engine, on random trees
+   AND random DAGs, across the engine's configuration space:
 
-open Unate
+   - Opt.Enum (no pruning) and Opt.Bb (dominance + bound pruning) must
+     return the same optimum on every instance — any divergence means a
+     pruning rule discarded the optimum;
+   - for Bulk mapping under the pure area objective with a grounded
+     foot, the DP itself is exact on trees, so every cone must certify
+     PROVED (the original brute-force assertion, now with proofs);
+   - under the other configurations the certifier's internal soundness
+     guards already fail the test if the "exact" answer ever lands
+     above the DP's — running it is the assertion.
 
-(* Enumerate implementations of the subtree rooted at [fin].  Returns a
-   list of (w, h, transistors_including_descendant_gates, has_pi_leaf)
-   alternatives for using that subtree *inline*; forming a gate on top is
-   handled by the caller.  A gate whose pull-down network is fed entirely
-   by other domino gates is footless (overhead 4), one touching primary
-   inputs needs the n-clock foot (overhead 5).  Exponential — small trees
-   only. *)
-let rec inline_options u ~w_max ~h_max fin =
-  match fin with
-  | Unetwork.F_const _ -> []
-  | Unetwork.F_lit _ -> [ (1, 1, 1, true) ]
-  | Unetwork.F_node id ->
-      let nd = Unetwork.node u id in
-      let opts0 = all_options u ~w_max ~h_max nd.Unetwork.fanin0 in
-      let opts1 = all_options u ~w_max ~h_max nd.Unetwork.fanin1 in
-      List.concat_map
-        (fun (w0, h0, t0, pi0) ->
-          List.filter_map
-            (fun (w1, h1, t1, pi1) ->
-              let w, h =
-                match nd.Unetwork.kind with
-                | Unetwork.U_or -> (w0 + w1, max h0 h1)
-                | Unetwork.U_and -> (max w0 w1, h0 + h1)
-              in
-              if w <= w_max && h <= h_max then Some (w, h, t0 + t1, pi0 || pi1)
-              else None)
-            opts1)
-        opts0
+   All randomness is drawn from seeded Logic.Rng streams; nothing here
+   depends on the worker-pool size. *)
 
-(* Inline options plus the "form a gate here" option (1x1 leaf transistor
-   in the parent, gate overhead counted). *)
-and all_options u ~w_max ~h_max fin =
-  match fin with
-  | Unetwork.F_const _ -> []
-  | Unetwork.F_lit _ -> [ (1, 1, 1, true) ]
-  | Unetwork.F_node _ ->
-      let inline = inline_options u ~w_max ~h_max fin in
-      let as_gate =
-        List.map
-          (fun (_, _, t, pi) ->
-            let overhead = if pi then 5 else 4 in
-            (* interface leaf in the parent is driven by a gate output *)
-            (1, 1, t + overhead + 1, false))
-          inline
-      in
-      inline @ as_gate
+let area_bulk ~w_max ~h_max =
+  {
+    Mapper.Engine.default_options with
+    Mapper.Engine.w_max;
+    h_max;
+    style = Mapper.Engine.Bulk;
+  }
 
-let brute_force_best u ~w_max ~h_max =
-  match Unetwork.outputs u with
-  | [| (_, (Unetwork.F_node _ as root)) |] ->
-      let opts = inline_options u ~w_max ~h_max root in
-      List.fold_left
-        (fun acc (_, _, t, pi) -> min acc (t + if pi then 5 else 4))
-        max_int
-        opts
-  | _ -> invalid_arg "brute_force_best: expected one internal-node output"
-
-(* Random unate tree generator: strictly tree-shaped (every node has one
-   parent), leaves are distinct positive literals. *)
+(* Random unate tree: strictly tree-shaped, leaves are distinct
+   positive literals (one cone, no boundary-gate leaves). *)
 let random_tree ~seed ~leaves =
   let rng = Logic.Rng.create seed in
   let b = Logic.Builder.create ~name:"tree" () in
@@ -84,61 +43,202 @@ let random_tree ~seed ~leaves =
       let left = 1 + Logic.Rng.int rng (k - 1) in
       let l = build left in
       let r = build (k - left) in
-      if Logic.Rng.bool rng then Logic.Builder.and2 b l r else Logic.Builder.or2 b l r
+      if Logic.Rng.bool rng then Logic.Builder.and2 b l r
+      else Logic.Builder.or2 b l r
     end
   in
   Logic.Builder.output b "f" (build leaves);
   Logic.Builder.network b
 
-let check_one ~seed ~leaves ~w_max ~h_max =
-  let net = random_tree ~seed ~leaves in
-  let u = Mapper.Algorithms.prepare net in
-  match Unetwork.outputs u with
-  | [| (_, Unetwork.F_node _) |] ->
-      let optimal = brute_force_best u ~w_max ~h_max in
-      (* Bulk style: the pure area objective the oracle enumerates (the SOI
-         style additionally weighs discharge transistors, which the oracle
-         deliberately does not model). *)
-      let circuit, _ =
-        Mapper.Engine.map
-          {
-            Mapper.Engine.default_options with
-            Mapper.Engine.w_max;
-            h_max;
-            style = Mapper.Engine.Bulk;
-          }
-          u
-      in
-      let got = (Domino.Circuit.counts circuit).Domino.Circuit.t_total in
-      Alcotest.(check int)
-        (Printf.sprintf "seed %d leaves %d w%d h%d" seed leaves w_max h_max)
-        optimal got
-  | _ -> ()  (* degenerate tree (single literal output): nothing to check *)
+(* Random unate DAG: new AND/OR nodes over uniformly chosen existing
+   wires (inputs or earlier nodes), so shared fanout — and with it
+   boundary-gate leaves inside cones — arises naturally.  Two outputs
+   make at least two cones likely. *)
+let random_dag ~seed ~inputs ~nodes =
+  let rng = Logic.Rng.create seed in
+  let b = Logic.Builder.create ~name:"dag" () in
+  let ins = Logic.Builder.inputs b "x" inputs in
+  let wires = ref (Array.to_list ins) in
+  let n_wires = ref (Array.length ins) in
+  let pick () = List.nth !wires (Logic.Rng.int rng !n_wires) in
+  let last = ref (List.hd !wires) in
+  for _ = 1 to nodes do
+    let l = pick () and r = pick () in
+    let w =
+      if Logic.Rng.bool rng then Logic.Builder.and2 b l r
+      else Logic.Builder.or2 b l r
+    in
+    wires := w :: !wires;
+    incr n_wires;
+    last := w
+  done;
+  Logic.Builder.output b "f" !last;
+  Logic.Builder.output b "g" (pick ());
+  Logic.Builder.network b
 
-let test_dp_matches_brute_force () =
+(* The engine configurations the cross-check sweeps.  Small W/H caps
+   force boundary decisions; ungrounded feet and depth costs exercise
+   the p_dis-at-formation and depth_factor arms of the tuple algebra. *)
+let configs =
+  [
+    ("bulk area", area_bulk ~w_max:3 ~h_max:4);
+    ( "bulk area ungrounded",
+      {
+        (area_bulk ~w_max:3 ~h_max:4) with
+        Mapper.Engine.grounded_at_foot = false;
+        pareto_width = 4;
+      } );
+    ( "soi area heuristic",
+      {
+        Mapper.Engine.default_options with
+        Mapper.Engine.w_max = 3;
+        h_max = 4;
+        style = Mapper.Engine.Soi;
+        both_orders = false;
+      } );
+    ( "soi area both-orders wide",
+      {
+        Mapper.Engine.default_options with
+        Mapper.Engine.w_max = 4;
+        h_max = 4;
+        style = Mapper.Engine.Soi;
+        both_orders = true;
+        pareto_width = 4;
+      } );
+    ( "soi depth ungrounded",
+      {
+        Mapper.Engine.default_options with
+        Mapper.Engine.w_max = 3;
+        h_max = 3;
+        style = Mapper.Engine.Soi;
+        cost = Mapper.Cost.depth_soi;
+        grounded_at_foot = false;
+      } );
+  ]
+
+(* Certify [net] under [options] with both backends and cross-check.
+   Budgets are generous enough that nothing here goes Bounded: every
+   cone must end Proved or Gap, identically under both backends. *)
+let cross_check ~what ~options net =
+  let u = Mapper.Algorithms.prepare net in
+  let summaries =
+    List.map
+      (fun backend ->
+        Opt.Certify.certify ~backend ~max_size:24 ~max_expansions:2_000_000
+          ~options u)
+      [ Opt.Bb.backend; Opt.Enum.backend ]
+  in
+  match summaries with
+  | [ bb; enum ] ->
+      Alcotest.(check int)
+        (what ^ ": same cone count") enum.Opt.Certify.cones
+        bb.Opt.Certify.cones;
+      List.iter2
+        (fun (cb : Opt.Certify.cert) (ce : Opt.Certify.cert) ->
+          let show (c : Opt.Certify.cert) =
+            match c.Opt.Certify.status with
+            | Opt.Certify.Proved { cost } -> Printf.sprintf "proved %d" cost
+            | Opt.Certify.Gap { dp; exact } ->
+                Printf.sprintf "gap dp=%d exact=%d" dp exact
+            | Opt.Certify.Bounded { dp; lower } ->
+                Printf.sprintf "bounded %d<=opt<=%d" lower dp
+            | Opt.Certify.Skipped { reason } -> "skipped " ^ reason
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s: n%d backends agree" what cb.Opt.Certify.root)
+            (show ce) (show cb);
+          match cb.Opt.Certify.status with
+          | Opt.Certify.Bounded _ ->
+              Alcotest.failf "%s: n%d went Bounded under a test-sized budget"
+                what cb.Opt.Certify.root
+          | _ -> ())
+        bb.Opt.Certify.certs enum.Opt.Certify.certs;
+      bb
+  | _ -> assert false
+
+let test_fig3_certified () =
+  (* The paper's Figure 3 cone: the known optimum is 9 transistors under
+     W_max = H_max = 4 (the old brute-force pin, now a proof). *)
+  let net =
+    (List.find (fun e -> e.Gen.Suite.name = "fig3") Gen.Suite.extras)
+      .Gen.Suite.build ()
+  in
+  let options =
+    {
+      Mapper.Engine.default_options with
+      Mapper.Engine.w_max = 4;
+      h_max = 4;
+      style = Mapper.Engine.Soi;
+    }
+  in
+  let s = cross_check ~what:"fig3" ~options net in
+  match s.Opt.Certify.certs with
+  | [ c ] ->
+      Alcotest.(check string) "fig3 proved at 9" "PROVED cost=9"
+        (match c.Opt.Certify.status with
+        | Opt.Certify.Proved { cost } -> Printf.sprintf "PROVED cost=%d" cost
+        | _ -> "not proved")
+  | certs ->
+      Alcotest.failf "fig3 should be a single cone, got %d" (List.length certs)
+
+let test_dp_exact_on_trees () =
+  (* Bulk + area + grounded foot on trees: the DP is provably exact, so
+     the certifier must prove every cone (no gaps, no bounds). *)
   List.iter
     (fun seed ->
       List.iter
         (fun leaves ->
           List.iter
-            (fun (w_max, h_max) -> check_one ~seed ~leaves ~w_max ~h_max)
+            (fun (w_max, h_max) ->
+              let s =
+                cross_check
+                  ~what:(Printf.sprintf "tree s%d l%d w%d h%d" seed leaves w_max
+                           h_max)
+                  ~options:(area_bulk ~w_max ~h_max)
+                  (random_tree ~seed ~leaves)
+              in
+              Alcotest.(check (pair int int))
+                (Printf.sprintf "tree s%d l%d w%d h%d all proved" seed leaves
+                   w_max h_max)
+                (s.Opt.Certify.cones, 0)
+                (s.Opt.Certify.proved, s.Opt.Certify.gaps))
             [ (2, 2); (3, 4); (5, 8) ])
         [ 3; 5; 7; 9 ])
     [ 1; 2; 3; 4; 5; 6; 7; 8 ]
 
-let test_known_tree () =
-  (* The paper's Figure 3 shape under tight limits: forcing gates. *)
-  let b = Logic.Builder.create () in
-  let a = Logic.Builder.input b "a" and b' = Logic.Builder.input b "b" in
-  let c = Logic.Builder.input b "c" and d = Logic.Builder.input b "d" in
-  Logic.Builder.output b "f"
-    (Logic.Builder.or2 b (Logic.Builder.and2 b a b') (Logic.Builder.and2 b c d));
-  let u = Mapper.Algorithms.prepare (Logic.Builder.network b) in
-  Alcotest.(check int) "fig3 optimum is 9" 9 (brute_force_best u ~w_max:4 ~h_max:4)
+let test_backends_agree_on_trees () =
+  List.iter
+    (fun (what, options) ->
+      List.iter
+        (fun seed ->
+          ignore
+            (cross_check
+               ~what:(Printf.sprintf "%s tree s%d" what seed)
+               ~options
+               (random_tree ~seed:(1000 + seed) ~leaves:7)))
+        [ 1; 2; 3; 4; 5; 6 ])
+    configs
+
+let test_backends_agree_on_dags () =
+  List.iter
+    (fun (what, options) ->
+      List.iter
+        (fun seed ->
+          ignore
+            (cross_check
+               ~what:(Printf.sprintf "%s dag s%d" what seed)
+               ~options
+               (random_dag ~seed:(2000 + seed) ~inputs:5 ~nodes:10)))
+        [ 1; 2; 3; 4; 5; 6 ])
+    configs
 
 let suite =
   [
-    Alcotest.test_case "fig3 brute force" `Quick test_known_tree;
-    Alcotest.test_case "dp matches brute force on random trees" `Slow
-      test_dp_matches_brute_force;
+    Alcotest.test_case "fig3 certified optimal" `Quick test_fig3_certified;
+    Alcotest.test_case "dp exact on trees (bulk area)" `Slow
+      test_dp_exact_on_trees;
+    Alcotest.test_case "backends agree on random trees" `Slow
+      test_backends_agree_on_trees;
+    Alcotest.test_case "backends agree on random dags" `Slow
+      test_backends_agree_on_dags;
   ]

@@ -74,6 +74,53 @@ let test_mapped_circuit_pruning () =
   Alcotest.(check bool) "function untouched" true
     (Domino.Circuit.equivalent_to r.Mapper.Prune.circuit r0.Mapper.Algorithms.unate)
 
+(* A mapped circuit with exactly [inputs] primary inputs (a balanced
+   AND/OR tree over distinct literals). *)
+let mapped_with_inputs inputs =
+  let b = Logic.Builder.create ~name:"boundary" () in
+  let ins = Logic.Builder.inputs b "x" inputs in
+  let rec reduce level = function
+    | [] -> assert false
+    | [ w ] -> w
+    | ws ->
+        let rec pair = function
+          | a :: b' :: tl ->
+              (if level mod 2 = 0 then Logic.Builder.and2 b a b'
+               else Logic.Builder.or2 b a b')
+              :: pair tl
+          | tl -> tl
+        in
+        reduce (level + 1) (pair ws)
+  in
+  Logic.Builder.output b "f" (reduce 0 (Array.to_list ins));
+  let r = Mapper.Algorithms.soi_domino_map (Logic.Builder.network b) in
+  r.Mapper.Algorithms.circuit
+
+let test_exhaustive_limit_boundary () =
+  (* n_inputs = limit: still exhaustive.  n_inputs = limit + 1: random
+     fallback, and the flag says so.  This is the boundary soimap's
+     --exhaustive-limit flag moves. *)
+  let limit = 5 in
+  let at = Mapper.Prune.run ~exhaustive_limit:limit (mapped_with_inputs limit) in
+  Alcotest.(check bool) "n = limit is exhaustive" true
+    at.Mapper.Prune.validated_exhaustively;
+  let over =
+    Mapper.Prune.run ~exhaustive_limit:limit ~random_cycles:32
+      (mapped_with_inputs (limit + 1))
+  in
+  Alcotest.(check bool) "n = limit + 1 falls back" false
+    over.Mapper.Prune.validated_exhaustively;
+  Alcotest.(check bool) "fallback still validates" true
+    (Sim.Domino_sim.pbe_free over.Mapper.Prune.circuit);
+  (* Raising the limit by one flips the same circuit back to
+     exhaustive validation. *)
+  let raised =
+    Mapper.Prune.run ~exhaustive_limit:(limit + 1)
+      (mapped_with_inputs (limit + 1))
+  in
+  Alcotest.(check bool) "raised limit is exhaustive again" true
+    raised.Mapper.Prune.validated_exhaustively
+
 let test_random_fallback () =
   (* cm150 has 20 inputs: the pass must fall back to random validation
      and say so. *)
@@ -89,5 +136,7 @@ let suite =
     Alcotest.test_case "superfluous discharge removed" `Quick
       test_superfluous_discharge_removed;
     Alcotest.test_case "mapped circuit pruning" `Slow test_mapped_circuit_pruning;
+    Alcotest.test_case "exhaustive-limit boundary" `Quick
+      test_exhaustive_limit_boundary;
     Alcotest.test_case "random fallback" `Quick test_random_fallback;
   ]
