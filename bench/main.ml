@@ -9,7 +9,7 @@
               dune exec bench/main.exe -- table   (only table benches)
 
    Options (hand-parsed; bechamel has no CLI of its own):
-     FILTER        table | stage | ablation | parallel
+     FILTER        table | stage | ablation | parallel | memo | rewrite
      --jobs N      pool size for the parallel/* benches (default: cores)
      --json FILE   also write the results as JSON telemetry.  The schema
                    is documented in docs/verification.md; the revision
@@ -202,6 +202,27 @@ let memo_benches =
       (stage (fun () -> ignore (Mapper.Engine.map ~memo:warm_k2 k2_opts k2_unate)));
   ]
 
+(* The rewriting front end: variant enumeration alone, then the full
+   portfolio (original + 8 variants through the shared memo table)
+   against the plain single-structure mapping it competes with. *)
+let rewrite_benches =
+  let post = Mapper.Postprocess.rearrange_stacks in
+  let opts =
+    { Mapper.Engine.default_options with Mapper.Engine.style = Mapper.Engine.Soi }
+  in
+  [
+    Test.make ~name:"rewrite/enumerate(c880)"
+      (stage (fun () ->
+           ignore (Rewrite.Choices.enumerate ~limit:8 c880_unate)));
+    Test.make ~name:"rewrite/portfolio(c880)"
+      (stage (fun () ->
+           ignore
+             (Mapper.Restructure.map_best ~limit:8 ~postprocess:post opts
+                c880_unate)));
+    Test.make ~name:"rewrite/plain_baseline(c880)"
+      (stage (fun () -> ignore (post (fst (Mapper.Engine.map opts c880_unate)))));
+  ]
+
 let benchmark tests =
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
@@ -348,7 +369,10 @@ let () =
     | Some "ablation" -> ablation_benches
     | Some "parallel" -> par
     | Some "memo" -> memo_benches
-    | _ -> table_benches @ stage_benches @ ablation_benches @ par @ memo_benches
+    | Some "rewrite" -> rewrite_benches
+    | _ ->
+        table_benches @ stage_benches @ ablation_benches @ par @ memo_benches
+        @ rewrite_benches
   in
   let results = benchmark tests in
   Printf.printf "%-50s %15s\n" "benchmark" "time/run";

@@ -19,13 +19,21 @@
 
 open Cmdliner
 
-let run jobs seed budget max_nodes eval_vectors sim_pairs json verbose
-    run_timeout chaos_seed trace no_timing exact_oracle exact_max_cone
+let run jobs seed budget max_nodes eval_vectors sim_pairs rewrite json
+    verbose run_timeout chaos_seed trace no_timing exact_oracle exact_max_cone
     exact_expansions =
   if jobs < 0 then begin
     prerr_endline "--jobs must be non-negative (0 = number of cores)";
     exit 2
   end;
+  let rewrite =
+    match rewrite with
+    | None -> 0
+    | Some n when n >= 1 -> n
+    | Some _ ->
+        prerr_endline "--rewrite needs a positive variant count";
+        exit 2
+  in
   Parallel.Pool.set_jobs jobs;
   let trace =
     match trace with Some _ -> trace | None -> Sys.getenv_opt "SOIMAP_TRACE"
@@ -71,6 +79,7 @@ let run jobs seed budget max_nodes eval_vectors sim_pairs json verbose
       max_nodes;
       eval_vectors;
       sim_pairs;
+      rewrite;
       exact =
         (if exact_oracle then
            Some
@@ -138,6 +147,18 @@ let sim_pairs =
     value & opt int 16
     & info [ "sim-pairs" ] ~docv:"N"
         ~doc:"Hold/strike stimulus pairs per run for the PBE oracle.")
+
+let rewrite =
+  Arg.(
+    value
+    & opt ~vopt:(Some 8) (some int) None
+    & info [ "rewrite" ] ~docv:"N"
+        ~doc:"Route every run through the choice-aware rewriting front \
+              end with up to $(docv) variants (default 8 when given \
+              bare).  The oracles still compare against the original \
+              network, so a clean session certifies the rewriting layer \
+              end to end; with --exact-oracle the certifier runs on the \
+              portfolio's chosen variant under the matching memo salt.")
 
 let json =
   Arg.(
@@ -213,7 +234,7 @@ let cmd =
     (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ jobs $ seed $ budget $ max_nodes $ eval_vectors $ sim_pairs
-      $ json $ verbose $ run_timeout $ chaos_seed $ trace $ no_timing
-      $ exact_oracle $ exact_max_cone $ exact_expansions)
+      $ rewrite $ json $ verbose $ run_timeout $ chaos_seed $ trace
+      $ no_timing $ exact_oracle $ exact_max_cone $ exact_expansions)
 
 let () = exit (Cmd.eval' cmd)

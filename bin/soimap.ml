@@ -147,6 +147,16 @@ let report name flow_name (r : Mapper.Algorithms.result) degradations verify
     name flow_name c.Domino.Circuit.t_logic c.Domino.Circuit.t_disch
     c.Domino.Circuit.t_total c.Domino.Circuit.t_clock c.Domino.Circuit.gate_count
     c.Domino.Circuit.levels c.Domino.Circuit.pi_inverters;
+  (match r.Mapper.Algorithms.rewrite with
+  | None -> ()
+  | Some i ->
+      Printf.printf "  rewrite: variants=%d tried=%d chosen=%s cost=%d->%d\n"
+        i.Mapper.Restructure.generated i.Mapper.Restructure.tried
+        (match i.Mapper.Restructure.chosen_rule with
+        | None -> "original"
+        | Some rule ->
+            Printf.sprintf "%s@n%d" rule i.Mapper.Restructure.chosen_site)
+        i.Mapper.Restructure.original_cost i.Mapper.Restructure.cost);
   List.iter
     (fun d ->
       Printf.printf "  DEGRADED: %s\n" (Resilience.Outcome.describe_degradation d))
@@ -252,10 +262,18 @@ let open_cache cache =
       in
       (Some tbl, save)
 
-let main jobs blif bench_file pla bench flow cost w_max h_max verify exact
-    certify certify_max_cone certify_expansions prune exhaustive_limit
+let main jobs blif bench_file pla bench flow cost w_max h_max rewrite verify
+    exact certify certify_max_cone certify_expansions prune exhaustive_limit
     print_gates timing multi spice verilog vcd timeout max_tuples max_bdd_nodes
     on_exhaust trace stats cache =
+  let rewrite =
+    match rewrite with
+    | None -> 0
+    | Some n when n >= 1 -> n
+    | Some _ ->
+        prerr_endline "--rewrite needs a positive variant count";
+        exit 2
+  in
   if jobs < 0 then begin
     prerr_endline "--jobs must be non-negative (0 = number of cores)";
     exit 2
@@ -309,7 +327,7 @@ let main jobs blif bench_file pla bench flow cost w_max h_max verify exact
   in
   if multi then begin
     print_string
-      (Mapper.Multi.render (Mapper.Multi.sweep ?memo ~w_max ~h_max net));
+      (Mapper.Multi.render (Mapper.Multi.sweep ?memo ~w_max ~h_max ~rewrite net));
     save_cache ();
     finish_obs ();
     exit 0
@@ -351,7 +369,7 @@ let main jobs blif bench_file pla bench flow cost w_max h_max verify exact
           ~args:(fun () -> [ ("flow", Mapper.Algorithms.flow_name f) ])
           (fun () ->
             Mapper.Algorithms.run_outcome ~budget:(budget ()) ?memo ~on_exhaust
-              ~cost ~w_max ~h_max f net)
+              ~cost ~w_max ~h_max ~rewrite f net)
       with
       | Resilience.Outcome.Failed reason ->
           (* --on-exhaust fail: report the flow and keep going, as with
@@ -377,11 +395,16 @@ let main jobs blif bench_file pla bench flow cost w_max h_max verify exact
               Mapper.Algorithms.options_of ~cost ~w_max ~h_max
                 ~both_orders:true ~grounded_at_foot:true ~pareto_width:1 f
             in
+            let memo_salt =
+              match r.Mapper.Algorithms.rewrite with
+              | Some i -> i.Mapper.Restructure.salt
+              | None -> 0
+            in
             let s =
               Obs.Trace.with_span ~cat:"cli" "cli.certify" (fun () ->
                   Opt.Certify.certify ~max_size:certify_max_cone
-                    ~max_expansions:certify_expansions ?memo ~options
-                    r.Mapper.Algorithms.unate)
+                    ~max_expansions:certify_expansions ?memo ~memo_salt
+                    ~options r.Mapper.Algorithms.mapped)
             in
             print_string (Opt.Certify.render s);
             if s.Opt.Certify.gaps > 0 then suboptimal := true
@@ -443,6 +466,19 @@ let cmd =
   in
   let h_max =
     Arg.(value & opt int 8 & info [ "h-max" ] ~docv:"H" ~doc:"Maximum PDN height.")
+  in
+  let rewrite =
+    Arg.(value & opt ~vopt:(Some 8) (some int) None
+         & info [ "rewrite" ] ~docv:"N"
+             ~doc:"Enable the choice-aware rewriting front end: map the \
+                   original network and up to $(docv) algebraic \
+                   restructurings (re-association, distributive factoring, \
+                   absorption) and keep the cheapest circuit under the \
+                   active cost model; ties keep the original.  $(docv) \
+                   defaults to 8 when the flag is given bare.  All \
+                   portfolio runs share the memo table under a salt \
+                   derived from the rule set, so --cache files stay \
+                   correct across --rewrite and plain runs.")
   in
   let verify =
     Arg.(value & flag & info [ "verify" ]
@@ -564,7 +600,7 @@ let cmd =
     (Cmd.info "soimap" ~doc)
     Term.(
       const main $ jobs $ blif $ bench_file $ pla $ bench $ flow $ cost $ w_max
-      $ h_max $ verify $ exact $ certify $ certify_max_cone
+      $ h_max $ rewrite $ verify $ exact $ certify $ certify_max_cone
       $ certify_expansions $ prune $ exhaustive_limit $ print_gates $ timing
       $ multi $ spice $ verilog $ vcd $ timeout $ max_tuples $ max_bdd_nodes
       $ on_exhaust $ trace $ stats $ cache)

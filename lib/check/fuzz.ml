@@ -45,6 +45,9 @@ type params = {
   sim_pairs : int;    (* per-run hold/strike pairs for the PBE oracle *)
   shrink_checks : int;
   exact : exact_params option;  (* exact-optimality oracle (default off) *)
+  rewrite : int;  (* rewrite-portfolio cap applied to every run's config
+                     (0 = front end off); the exact oracle then
+                     certifies the network the portfolio chose *)
   run_timeout : float option;  (* per-run wall-clock deadline, seconds *)
   slow_run_s : float; (* runs at or above this duration are listed
                          individually in the report's timing block *)
@@ -64,6 +67,7 @@ let default_params =
     sim_pairs = 16;
     shrink_checks = 2_000;
     exact = None;
+    rewrite = 0;
     run_timeout = None;
     slow_run_s = 1.0;
     chaos = Resilience.Chaos.disabled;
@@ -189,7 +193,9 @@ let exec_run params i =
       match candidate with
       | None -> O_exhausted burned
       | Some (u, shape) -> (
-          let cfg = Gen_config.sample rng in
+          let cfg =
+            { (Gen_config.sample rng) with Gen_config.rewrite = params.rewrite }
+          in
           let oracle_seed = Logic.Rng.int rng 0x3FFFFFFF in
           (* Per-run memo table: the run stays a pure function of
              [(params, i)], so reports are [-j]-invariant; the rebuild
@@ -206,10 +212,21 @@ let exec_run params i =
                 | None -> None
                 | Some ex ->
                     inject ~site:"fuzz.exact";
+                    (* Certify the network the DP actually mapped: the
+                       portfolio's winner under --rewrite, [u] itself
+                       otherwise.  The salt keys the rerun into the
+                       same memo entries the winner was priced with. *)
+                    let target = Oracle.chosen_network ~budget ~memo u cfg in
+                    let memo_salt =
+                      if cfg.Gen_config.rewrite > 0 then
+                        Mapper.Restructure.salt_of
+                          ~limit:cfg.Gen_config.rewrite
+                      else 0
+                    in
                     Some
                       (Opt.Certify.certify ~max_size:ex.ex_max_size
-                         ~max_expansions:ex.ex_max_expansions ~memo
-                         ~options:cfg.Gen_config.opts u)
+                         ~max_expansions:ex.ex_max_expansions ~memo ~memo_salt
+                         ~options:cfg.Gen_config.opts target)
               in
               O_pass
                 {

@@ -7,9 +7,10 @@ open Mapper
 type t = {
   opts : Engine.options;
   rearrange : bool;
+  rewrite : int;  (* rewrite-portfolio variant cap; 0 = front end off *)
 }
 
-let default = { opts = Engine.default_options; rearrange = false }
+let default = { opts = Engine.default_options; rearrange = false; rewrite = 0 }
 
 let cost_models =
   [| Cost.area; Cost.clock_weighted 2; Cost.clock_weighted 4; Cost.depth_soi;
@@ -35,6 +36,10 @@ let sample rng =
         pareto_width = Rng.int_in rng 1 4;
       };
     rearrange = Rng.bool rng;
+    (* The rewrite front end is CLI-opted (fuzz --rewrite), not sampled:
+       its soundness is what the opted-in leg tests, and the plain leg's
+       seeds must keep reproducing historical runs. *)
+    rewrite = 0;
   }
 
 (* Deterministic sweep used by the suite-agreement tests: every style ×
@@ -63,6 +68,7 @@ let grid () =
                             pareto_width;
                           };
                         rearrange = false;
+                        rewrite = 0;
                       })
                     [ (2, 2); (3, 4); (5, 8) ])
                 [ 1; 3 ])
@@ -80,6 +86,7 @@ let describe c =
     (if c.opts.Engine.grounded_at_foot then "grounded" else "floating")
     c.opts.Engine.pareto_width
     (if c.rearrange then " +rearrange" else "")
+    ^ (if c.rewrite > 0 then Printf.sprintf " +rewrite=%d" c.rewrite else "")
 
 (* How far a configuration sits from the simplest one of its style; the
    shrinker only accepts steps that lower this. *)
@@ -88,7 +95,8 @@ let complexity c =
   + (if c.opts.Engine.both_orders then 0 else 1)
   + (if c.opts.Engine.grounded_at_foot then 0 else 1)
   + (if c.opts.Engine.cost.Cost.name = Cost.area.Cost.name then 0 else 1)
-  + if c.rearrange then 1 else 0
+  + (if c.rearrange then 1 else 0)
+  + if c.rewrite > 0 then 1 else 0
 
 (* One-field simplifications toward the defaults.  The style is never
    changed: a counterexample is a property of its style's rule set. *)
@@ -96,6 +104,7 @@ let simpler c =
   let o = c.opts in
   let candidates =
     [
+      { c with rewrite = 0 };
       { c with rearrange = false };
       { c with opts = { o with Engine.cost = Cost.area } };
       { c with opts = { o with Engine.both_orders = true } };

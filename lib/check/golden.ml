@@ -63,6 +63,38 @@ let certify_entry ?(w_max = 5) ?(h_max = 8) ~bench flow tag =
         Opt.Certify.render (Opt.Certify.certify ~options r.Algorithms.unate));
   }
 
+(* Rewrite-portfolio pins: the flow under [--rewrite] on benchmarks
+   where the front end's restructurings beat the original mapping.  The
+   header line pins the portfolio's accounting (which rule won, at which
+   site, and both costs), the dump pins the rewritten circuit itself —
+   a rule-set or pricing change shows up as a golden diff. *)
+let rewrite_entry ~bench tag =
+  {
+    name = Printf.sprintf "rewrite_%s" tag;
+    what =
+      Printf.sprintf "SOI_Domino_Map with --rewrite=8 on %s (portfolio win)"
+        bench;
+    render =
+      (fun () ->
+        let r =
+          Algorithms.run ~rewrite:8 Algorithms.Soi_domino_map (build_any bench)
+        in
+        let header =
+          match r.Algorithms.rewrite with
+          | None -> "rewrite: off\n"
+          | Some i ->
+              Printf.sprintf "rewrite: variants=%d tried=%d chosen=%s \
+                              cost=%d->%d\n"
+                i.Restructure.generated i.Restructure.tried
+                (match i.Restructure.chosen_rule with
+                | None -> "original"
+                | Some rule ->
+                    Printf.sprintf "%s@n%d" rule i.Restructure.chosen_site)
+                i.Restructure.original_cost i.Restructure.cost
+        in
+        header ^ Domino.Circuit.dump r.Algorithms.circuit);
+  }
+
 let corpus =
   [
     {
@@ -89,6 +121,8 @@ let corpus =
     suite_entry "c880";
     suite_entry "c1908";
     suite_entry "frg1";
+    rewrite_entry ~bench:"f51m" "f51m";
+    rewrite_entry ~bench:"count" "count";
     extra_entry "cla16";
     extra_entry "gray8";
     extra_entry "lfsr16";

@@ -48,9 +48,11 @@ let fail kind fmt =
 
 (* Map [u] under [cfg], applying the flow postprocess the paper pairs with
    each style: bulk circuits get their discharge transistors from the
-   standalone analysis pass, SOI circuits carry the engine's own. *)
-let build ?budget ?memo u (cfg : Gen_config.t) =
-  let circuit, _stats = Engine.map ?budget ?memo cfg.Gen_config.opts u in
+   standalone analysis pass, SOI circuits carry the engine's own.  With
+   [cfg.rewrite > 0] the rewrite portfolio picks among restructured
+   variants — the oracles downstream still compare against the original
+   [u], so a pass certifies the rewriting layer end to end. *)
+let postprocess_of (cfg : Gen_config.t) circuit =
   let circuit =
     match cfg.Gen_config.opts.Engine.style with
     | Engine.Bulk -> Postprocess.insert_discharges circuit
@@ -58,6 +60,25 @@ let build ?budget ?memo u (cfg : Gen_config.t) =
   in
   if cfg.Gen_config.rearrange then Postprocess.rearrange_stacks circuit
   else circuit
+
+let map_choice ?budget ?memo u (cfg : Gen_config.t) =
+  Restructure.map_best ?budget ?memo ~limit:cfg.Gen_config.rewrite
+    ~postprocess:(postprocess_of cfg) cfg.Gen_config.opts u
+
+let build ?budget ?memo u (cfg : Gen_config.t) =
+  if cfg.Gen_config.rewrite > 0 then
+    (map_choice ?budget ?memo u cfg).Restructure.circuit
+  else
+    let circuit, _stats = Engine.map ?budget ?memo cfg.Gen_config.opts u in
+    postprocess_of cfg circuit
+
+(* The network the mapping actually implements: the rewrite portfolio's
+   winner, or [u] itself when the front end is off.  The exact-
+   optimality oracle certifies this network — the DP ran on it. *)
+let chosen_network ?budget ?memo u (cfg : Gen_config.t) =
+  if cfg.Gen_config.rewrite > 0 then
+    (map_choice ?budget ?memo u cfg).Restructure.chosen
+  else u
 
 (* BDD equivalence with the degradation ladder built in: per-output-cone
    BDDs under the budget's node cap, each blown cone degrading to seeded

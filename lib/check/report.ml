@@ -174,13 +174,14 @@ let json_of_config (c : Gen_config.t) =
   Printf.sprintf
     "{\"style\": %s, \"w_max\": %d, \"h_max\": %d, \"cost\": %s, \
      \"both_orders\": %b, \"grounded_at_foot\": %b, \"pareto_width\": %d, \
-     \"rearrange\": %b}"
+     \"rearrange\": %b, \"rewrite\": %d}"
     (json_str (Gen_config.style_name c.Gen_config.opts.Engine.style))
     c.Gen_config.opts.Engine.w_max c.Gen_config.opts.Engine.h_max
     (json_str c.Gen_config.opts.Engine.cost.Cost.name)
     c.Gen_config.opts.Engine.both_orders
     c.Gen_config.opts.Engine.grounded_at_foot
     c.Gen_config.opts.Engine.pareto_width c.Gen_config.rearrange
+    c.Gen_config.rewrite
 
 let json_of_counterexample cex =
   Printf.sprintf

@@ -22,8 +22,19 @@ val flow_name : flow -> string
 type result = {
   circuit : Domino.Circuit.t;
   counts : Domino.Circuit.counts;
-  unate : Unate.Unetwork.t;  (** the mapper input, for equivalence checks *)
+  unate : Unate.Unetwork.t;
+      (** the mapper input, for equivalence checks.  Always the
+          {e original} unate network, even under [rewrite]: checking the
+          circuit against it verifies the rewriting layer end to end *)
+  mapped : Unate.Unetwork.t;
+      (** the network the engine mapped: the rewrite portfolio's chosen
+          variant under [rewrite], otherwise [unate] itself.  Per-cone
+          analyses of the DP answer (the optimality certifier) must run
+          on this network *)
   stats : Engine.stats;
+  rewrite : Restructure.info option;
+      (** the rewrite portfolio's accounting when [rewrite > 0]; [None]
+          otherwise *)
 }
 
 val run :
@@ -35,13 +46,18 @@ val run :
   ?grounded_at_foot:bool ->
   ?pareto_width:int ->
   ?extract:bool ->
+  ?rewrite:int ->
   flow ->
   Logic.Network.t ->
   result
 (** [run flow net] executes the complete flow with the paper's defaults
     ([w_max] 5, [h_max] 8, area cost).  [memo] threads a structural
     cache into {!Engine.map} (see {!Memo} for the transparency
-    guarantee). *)
+    guarantee).  [rewrite] (default 0 = off) enables the choice-aware
+    rewriting front end with that many variants: the flow maps the
+    original and up to [rewrite] algebraic restructurings
+    ({!Restructure.map_best}) and keeps the cheapest circuit under the
+    flow's cost model; ties keep the original. *)
 
 val run_outcome :
   ?budget:Resilience.Budget.t ->
@@ -54,6 +70,7 @@ val run_outcome :
   ?grounded_at_foot:bool ->
   ?pareto_width:int ->
   ?extract:bool ->
+  ?rewrite:int ->
   flow ->
   Logic.Network.t ->
   result Resilience.Outcome.t

@@ -82,7 +82,7 @@ let h_par_b = Obs.Metrics.histogram ~buckets:[| 0; 1 |] "mapper.par_b"
    combinations actually executed, so hits lower it.  The greedy rung
    never consults the cache: it changes the mapping-boundary rule, so
    its tables live in a different world. *)
-let map_body ~greedy ~budget ~memo options u =
+let map_body ~greedy ~budget ~memo ~memo_salt options u =
   if options.w_max < 2 || options.h_max < 2 then
     invalid_arg "Engine.map: w_max and h_max must be at least 2";
   if options.pareto_width < 1 then
@@ -109,12 +109,107 @@ let map_body ~greedy ~budget ~memo options u =
   let rec take k xs =
     match xs with x :: rest when k > 0 -> x :: take (k - 1) rest | _ -> []
   in
-  (* [a] dominates [b] when it is at least as good on the cost key and the
-     potential-discharge count with the same bottom shape. *)
+  (* [a] dominates [b] when every completion of [b] is matched or beaten
+     by the same completion of [a].  That needs agreement on the shape
+     flags the combinators read ([par_b]), the footedness coordinate
+     ([has_pi]: a footless tuple completes into a cheaper gate, so it may
+     dominate a footed one but never the reverse), and a componentwise
+     comparison of the cost coordinates: [weighted] composes by addition
+     but [depth] by [max], so comparing the collapsed key would wrongly
+     discard a deeper-but-lighter tuple that wins after a later [max].
+     This mirrors [Opt.Backend.dominates] — the fuzzer's exact oracle
+     proved the old collapsed-key, foot-blind predicate drops optimal
+     tuples (see test_engine's frontier regression). *)
   let dominates a b =
     a.Soi_rules.par_b = b.Soi_rules.par_b
-    && key a <= key b
+    && ((not a.Soi_rules.has_pi) || b.Soi_rules.has_pi)
+    && a.Soi_rules.value.Cost.weighted <= b.Soi_rules.value.Cost.weighted
+    && (model.Cost.depth_factor = 0
+       || a.Soi_rules.value.Cost.depth <= b.Soi_rules.value.Cost.depth)
     && a.Soi_rules.p_dis <= b.Soi_rules.p_dis
+  in
+  (* The frontier cap is cost-aware on both of a tuple's completion
+     roles.  A surviving tuple is either combined further (its bare key
+     is what matters) or formed into a gate right here (the key plus its
+     formation liabilities: the second clocked transistor if its foot is
+     needed, and its potential discharges when feet are left floating).
+     Under weighted models the two orders genuinely disagree — a footed
+     tuple can be the cheapest to extend while a slightly costlier
+     footless one forms the cheaper gate — so truncating by either order
+     alone drops a winner (the exact oracle proved both directions on
+     real inputs).  The cap therefore keeps the top [pareto_width]
+     tuples under {e each} order; a slot holds at most twice the
+     configured width, and only when the two orders disagree. *)
+  let formed_key s =
+    key s
+    + (if s.Soi_rules.has_pi then model.Cost.clocked else 0)
+    + (if options.grounded_at_foot then 0
+       else model.Cost.discharge * s.Soi_rules.p_dis)
+  in
+  let compare_inline a b =
+    match compare (key a) (key b) with
+    | 0 -> (
+        match compare a.Soi_rules.p_dis b.Soi_rules.p_dis with
+        | 0 -> (
+            match compare a.Soi_rules.value.Cost.raw b.Soi_rules.value.Cost.raw with
+            (* Footless last: at an equal inline key the footed tuple is
+               the one only this order can save (dominance already
+               prefers footless on exact ties of every coordinate). *)
+            | 0 -> compare b.Soi_rules.has_pi a.Soi_rules.has_pi
+            | c -> c)
+        | c -> c)
+    | c -> c
+  in
+  let compare_formed a b =
+    match compare (formed_key a) (formed_key b) with
+    | 0 -> (
+        match compare a.Soi_rules.p_dis b.Soi_rules.p_dis with
+        | 0 -> (
+            match compare a.Soi_rules.value.Cost.raw b.Soi_rules.value.Cost.raw with
+            | 0 -> compare a.Soi_rules.has_pi b.Soi_rules.has_pi
+            | c -> c)
+        | c -> c)
+    | c -> c
+  in
+  (* Under a depth objective the collapsed key also hides a second
+     genuine tradeoff: [weighted] composes by [+] but [depth] by [max],
+     so a deeper-but-lighter tuple beats a shallower-but-heavier one
+     exactly when a later combination pairs it with a deep sibling.
+     Keeping the lightest tuples as a third set preserves that end of
+     the frontier; when [depth_factor = 0] the weighted order coincides
+     with the key order and the set is redundant. *)
+  let compare_light a b =
+    match compare a.Soi_rules.value.Cost.weighted b.Soi_rules.value.Cost.weighted with
+    | 0 -> (
+        match compare a.Soi_rules.value.Cost.depth b.Soi_rules.value.Cost.depth with
+        | 0 -> (
+            match compare a.Soi_rules.p_dis b.Soi_rules.p_dis with
+            | 0 -> (
+                match
+                  compare a.Soi_rules.value.Cost.raw b.Soi_rules.value.Cost.raw
+                with
+                | 0 -> compare b.Soi_rules.has_pi a.Soi_rules.has_pi
+                | c -> c)
+            | c -> c)
+        | c -> c)
+    | c -> c
+  in
+  let cap_frontier sorted =
+    if List.length sorted <= options.pareto_width then sorted
+    else
+      let keep_inline = take options.pareto_width sorted in
+      let keep_formed =
+        take options.pareto_width (List.sort compare_formed sorted)
+      in
+      let keep_light =
+        if model.Cost.depth_factor = 0 then []
+        else take options.pareto_width (List.sort compare_light sorted)
+      in
+      List.filter
+        (fun s ->
+          List.memq s keep_inline || List.memq s keep_formed
+          || List.memq s keep_light)
+        sorted
   in
   let consider entry (s : Soi_rules.sol) =
     if s.Soi_rules.w <= options.w_max && s.Soi_rules.h <= options.h_max then begin
@@ -127,16 +222,37 @@ let map_body ~greedy ~budget ~memo options u =
         let survivors = List.filter (fun old -> not (dominates s old)) kept in
         if counting then
           pruned := !pruned + (List.length kept - List.length survivors);
-        let sorted = List.sort (Soi_rules.compare_sols model) (s :: survivors) in
-        (* Cap the frontier; the sort keeps the cheapest tuples. *)
+        let sorted = List.sort compare_inline (s :: survivors) in
+        let capped = cap_frontier sorted in
         (if counting then
-           let len = List.length sorted in
-           if len > options.pareto_width then
-             pruned := !pruned + (len - options.pareto_width));
-        entry.table.(i) <- take options.pareto_width sorted
+           pruned := !pruned + (List.length sorted - List.length capped));
+        entry.table.(i) <- capped
       end
     end
     else if counting then incr pruned
+  in
+
+  (* The gate formed over one inline tuple: overhead for the foot,
+     uncommitted discharges when feet are left floating, one level up. *)
+  let form_info (s : Soi_rules.sol) =
+    let footed = s.Soi_rules.has_pi in
+    let extra_disch =
+      if options.grounded_at_foot then 0 else s.Soi_rules.p_dis
+    in
+    let value =
+      Cost.level_up
+        (Cost.combine s.Soi_rules.value
+           (Cost.combine
+              (Cost.gate_overhead model ~footed)
+              (Cost.discharges model extra_disch)))
+    in
+    {
+      gi_structure = s.Soi_rules.structure;
+      gi_footed = footed;
+      gi_level = value.Cost.depth;
+      gi_value = value;
+      gi_disch = s.Soi_rules.disch + extra_disch;
+    }
   in
 
   (* The gate a node forms, computed after its table is complete. *)
@@ -147,30 +263,11 @@ let map_body ~greedy ~budget ~memo options u =
       (fun cands ->
         List.iter
           (fun (s : Soi_rules.sol) ->
-            let footed = Pdn.has_pi_leaf s.Soi_rules.structure in
-            let extra_disch =
-              if options.grounded_at_foot then 0 else s.Soi_rules.p_dis
-            in
-            let value =
-              Cost.level_up
-                (Cost.combine s.Soi_rules.value
-                   (Cost.combine
-                      (Cost.gate_overhead model ~footed)
-                      (Cost.discharges model extra_disch)))
-            in
-            let info =
-              {
-                gi_structure = s.Soi_rules.structure;
-                gi_footed = footed;
-                gi_level = value.Cost.depth;
-                gi_value = value;
-                gi_disch = s.Soi_rules.disch + extra_disch;
-              }
-            in
+            let info = form_info s in
             let better =
               match !best with
               | None -> true
-              | Some b -> Cost.compare_values model value b.gi_value < 0
+              | Some b -> Cost.compare_values model info.gi_value b.gi_value < 0
             in
             if better then best := Some info)
           cands)
@@ -191,8 +288,30 @@ let map_body ~greedy ~budget ~memo options u =
              id options.w_max options.h_max)
   in
 
+  (* Formed-gate alternatives for single-fanout drivers under a depth
+     objective.  With [depth_factor = 0] the formed key totally orders a
+     node's formed candidates, so committing to the single
+     [Cost.compare_values] winner is exact.  With a depth term the
+     candidates are only partially ordered — [weighted] composes by [+]
+     but [depth] by [max], so a deeper-but-lighter formed gate and a
+     shallower-but-heavier one each win beside different siblings — and
+     the exact oracle proved the single commitment drops the optimum
+     (fuzz seed 1, run 230).  Each alternative is registered here under a
+     synthetic gate id (>= node count) so the winning structure names the
+     exact gate it was costed with and [materialise] emits that one. *)
+  let alt_gates : (int, gate_info) Hashtbl.t = Hashtbl.create 16 in
+  let next_alt = ref n in
+  let register_alt info =
+    let id = !next_alt in
+    incr next_alt;
+    Hashtbl.replace alt_gates id info;
+    id
+  in
+
   let gate_of id =
-    match entries.(id).gate with Some g -> g | None -> form_gate id
+    if id >= n then Hashtbl.find alt_gates id
+    else
+      match entries.(id).gate with Some g -> g | None -> form_gate id
   in
 
   (* Candidate tuples a fanin offers to its consumer. *)
@@ -207,32 +326,78 @@ let map_body ~greedy ~budget ~memo options u =
            from Unetwork.of_network/with_structure fold constants away"
     | Unetwork.F_lit { input; positive } -> [ Soi_rules.leaf_pi model ~input ~positive ]
     | Unetwork.F_node m ->
-        let gi = gate_of m in
         let shared = fanouts.(m) > 1 || greedy in
-        let carried = if shared then Cost.zero else gi.gi_value in
-        let carried_disch = if shared then 0 else gi.gi_disch in
-        let gate_sol =
-          Soi_rules.leaf_gate model ~node:m ~level:gi.gi_level ~carried ~carried_disch
-        in
-        if shared then [ gate_sol ]
-        else
+        if shared then begin
+          let gi = gate_of m in
+          [
+            Soi_rules.leaf_gate model ~node:m ~level:gi.gi_level
+              ~carried:Cost.zero ~carried_disch:0;
+          ]
+        end
+        else if model.Cost.depth_factor = 0 then begin
+          (* Single commitment is exact here: the formed key totally
+             orders the candidates (depth does not enter the key). *)
+          let gi = gate_of m in
+          let gate_sol =
+            Soi_rules.leaf_gate model ~node:m ~level:gi.gi_level
+              ~carried:gi.gi_value ~carried_disch:gi.gi_disch
+          in
           Array.fold_left
             (fun acc cands -> List.rev_append cands acc)
             [ gate_sol ] entries.(m).table
+        end
+        else begin
+          (* Depth objective: offer one formed alternative per distinct
+             formation cost vector, each under its own synthetic id (see
+             [register_alt]).  Deduplication keeps the first structure
+             per vector — alternatives equal on every cost coordinate
+             are interchangeable downstream. *)
+          let seen = Hashtbl.create 8 in
+          let alts =
+            Array.fold_left
+              (fun acc cands ->
+                List.fold_left
+                  (fun acc s ->
+                    let info = form_info s in
+                    let k =
+                      ( info.gi_value,
+                        info.gi_footed,
+                        info.gi_disch,
+                        info.gi_level )
+                    in
+                    if Hashtbl.mem seen k then acc
+                    else begin
+                      Hashtbl.replace seen k ();
+                      let fid = register_alt info in
+                      Soi_rules.leaf_gate model ~node:fid ~level:info.gi_level
+                        ~carried:info.gi_value ~carried_disch:info.gi_disch
+                      :: acc
+                    end)
+                  acc cands)
+              [] entries.(m).table
+          in
+          Array.fold_left
+            (fun acc cands -> List.rev_append cands acc)
+            alts entries.(m).table
+        end
   in
 
   (* The memo session, opened only for full (non-greedy) sweeps with a
      table supplied.  [boundary_level] forms the boundary gate on demand,
-     exactly as [options_of_fin] would moments later. *)
+     exactly as [options_of_fin] would moments later.  Depth objectives
+     bypass the cache: their tables reference the run-local synthetic
+     gate ids of formed-gate alternatives, which are meaningless in any
+     other run (see [register_alt]). *)
   let mrun =
     match memo with
-    | Some tbl when not greedy ->
+    | Some tbl when (not greedy) && model.Cost.depth_factor = 0 ->
         Some
           (Memo.start tbl ~u ~fanouts ~model ~w_max:options.w_max
              ~h_max:options.h_max
              ~soi:(options.style = Soi)
              ~both_orders:options.both_orders
              ~grounded:options.grounded_at_foot ~pareto:options.pareto_width
+             ~salt:memo_salt
              ~boundary_level:(fun m -> (gate_of m).gi_level))
     | _ -> None
   in
@@ -424,7 +589,7 @@ let map_body ~greedy ~budget ~memo options u =
       if id < 0 || id >= n then None
       else Option.map (fun g -> g.gi_value) entries.(id).gate )
 
-let map_impl ~greedy ~budget ~memo options u =
+let map_impl ~greedy ~budget ~memo ~memo_salt options u =
   Obs.Trace.with_span ~cat:"mapper" "engine.map"
     ~args:(fun () ->
       [
@@ -432,14 +597,16 @@ let map_impl ~greedy ~budget ~memo options u =
         ("nodes", string_of_int (Unetwork.node_count u));
         ("greedy", string_of_bool greedy);
       ])
-    (fun () -> map_body ~greedy ~budget ~memo options u)
+    (fun () -> map_body ~greedy ~budget ~memo ~memo_salt options u)
 
-let map_with_gates ?(budget = Resilience.Budget.unlimited) ?memo options u =
-  map_impl ~greedy:false ~budget ~memo options u
+let map_with_gates ?(budget = Resilience.Budget.unlimited) ?memo
+    ?(memo_salt = 0) options u =
+  map_impl ~greedy:false ~budget ~memo ~memo_salt options u
 
-let map ?(budget = Resilience.Budget.unlimited) ?memo options u =
+let map ?(budget = Resilience.Budget.unlimited) ?memo ?(memo_salt = 0) options
+    u =
   let circuit, stats, _gates =
-    map_impl ~greedy:false ~budget ~memo options u
+    map_impl ~greedy:false ~budget ~memo ~memo_salt options u
   in
   (circuit, stats)
 
@@ -450,13 +617,13 @@ let map ?(budget = Resilience.Budget.unlimited) ?memo options u =
 let map_greedy options u =
   let circuit, stats, _gates =
     map_impl ~greedy:true ~budget:Resilience.Budget.unlimited ~memo:None
-      options u
+      ~memo_salt:0 options u
   in
   (circuit, stats)
 
-let map_outcome ?(budget = Resilience.Budget.unlimited) ?memo
+let map_outcome ?(budget = Resilience.Budget.unlimited) ?memo ?(memo_salt = 0)
     ?(on_exhaust = `Degrade) options u =
-  match map ~budget ?memo options u with
+  match map ~budget ?memo ~memo_salt options u with
   | result -> Resilience.Outcome.Ok result
   | exception Resilience.Budget.Exhausted reason -> (
       match on_exhaust with

@@ -61,6 +61,7 @@ type stats = {
 val map :
   ?budget:Resilience.Budget.t ->
   ?memo:Memo.t ->
+  ?memo_salt:int ->
   options ->
   Unate.Unetwork.t ->
   Domino.Circuit.t * stats
@@ -78,7 +79,12 @@ val map :
     checked cooperatively (per node and every 2048 combinations).
     [memo] supplies a structural cache ({!Memo}): canonical subtrees
     already solved under the same cost-model and options fingerprints
-    skip their combination loops.  Memoization is exactly transparent —
+    skip their combination loops.  [memo_salt] (default 0) is folded
+    into the memo key fingerprint; callers that map a {e transformed}
+    view of the input — the rewriting front end ({!Restructure}) — pass
+    a salt derived from the transformation so their entries never serve
+    (or are served by) untransformed runs.  Memoization is exactly
+    transparent —
     same circuit, same stats — except [combinations_tried], which counts
     only combinations actually executed (hits also skip the
     tuple-budget charge); [tuples_kept], [nodes_processed] and
@@ -90,6 +96,7 @@ val map :
 val map_with_gates :
   ?budget:Resilience.Budget.t ->
   ?memo:Memo.t ->
+  ?memo_salt:int ->
   options ->
   Unate.Unetwork.t ->
   Domino.Circuit.t * stats * (int -> Cost.value option)
@@ -115,6 +122,7 @@ val map_greedy : options -> Unate.Unetwork.t -> Domino.Circuit.t * stats
 val map_outcome :
   ?budget:Resilience.Budget.t ->
   ?memo:Memo.t ->
+  ?memo_salt:int ->
   ?on_exhaust:[ `Fail | `Degrade ] ->
   options ->
   Unate.Unetwork.t ->

@@ -83,6 +83,7 @@ type csol = {
   c_raw : int;
   c_p_dis : int;
   c_par_b : bool;
+  c_has_pi : bool;
   c_disch : int;
   c_structure : ctree;
 }
@@ -103,6 +104,11 @@ type key = {
   k_both : bool;
   k_grounded : bool;
   k_pareto : int;
+  (* caller-supplied salt (0 = plain mapping); the rewriting front end
+     folds its pattern-set fingerprint and variant budget in here so a
+     warm cache from a non-rewrite run is never served under rewriting
+     (and vice versa) *)
+  k_salt : int;
 }
 
 type entry = { e_shape : shape; e_table : csol list array }
@@ -209,7 +215,7 @@ type run = {
 }
 
 let start t ~u ~fanouts ~(model : Cost.model) ~w_max ~h_max ~soi ~both_orders
-    ~grounded ~pareto ~boundary_level =
+    ~grounded ~pareto ~salt ~boundary_level =
   {
     table = t;
     u;
@@ -229,6 +235,7 @@ let start t ~u ~fanouts ~(model : Cost.model) ~w_max ~h_max ~soi ~both_orders
         k_both = both_orders;
         k_grounded = grounded;
         k_pareto = pareto;
+        k_salt = salt;
       };
     info = Array.make (Unetwork.node_count u) Unmem;
     pending = None;
@@ -299,6 +306,7 @@ let reconstruct entry subst =
              { Cost.weighted = c.c_weighted; depth = c.c_depth; raw = c.c_raw };
            p_dis = c.c_p_dis;
            par_b = c.c_par_b;
+           has_pi = c.c_has_pi;
            disch = c.c_disch;
            structure = tree_of subst c.c_structure;
          }))
@@ -381,6 +389,7 @@ let store r id table =
                  c_raw = s.Soi_rules.value.Cost.raw;
                  c_p_dis = s.Soi_rules.p_dis;
                  c_par_b = s.Soi_rules.par_b;
+                 c_has_pi = s.Soi_rules.has_pi;
                  c_disch = s.Soi_rules.disch;
                  c_structure = ctree_of p.p_sig2cid s.Soi_rules.structure;
                }))
@@ -475,7 +484,11 @@ let self_check t =
    or truncated file can never reach Marshal (which is not safe on
    arbitrary bytes). *)
 let magic = "SOIDMEMO"
-let format_version = 1
+
+(* Version history: 1 = PR 5's original layout; 2 = tuples carry the
+   footedness flag ([c_has_pi]) and keys carry the caller salt
+   ([k_salt]).  Old files degrade to a cold start, never misread. *)
+let format_version = 2
 
 let degrade stage msg =
   Resilience.Outcome.Degraded

@@ -25,8 +25,8 @@
     [tuples_kept], [nodes_processed] and [gates_formed] are recomputed
     from the final tables and are identical.  The argument: every engine
     decision ({!Soi_rules.compare_sols}, domination, the stable frontier
-    sort, {!Soi_rules.heuristic_and_order}, {!Pdn.has_pi_leaf}) reads
-    scalars and leaf {e kinds} only, and the enumeration order over fanin
+    sort, {!Soi_rules.heuristic_and_order}, the tuples' [has_pi] flag)
+    reads scalars and leaf {e kinds} only, and the enumeration order over fanin
     options is determined by the subtree shape — so equal canonical
     shapes under equal key fingerprints yield byte-identical canonical
     tables, and substitution is a bijection on the leaf signals.
@@ -102,13 +102,18 @@ val start :
   both_orders:bool ->
   grounded:bool ->
   pareto:int ->
+  salt:int ->
   boundary_level:(int -> int) ->
   run
 (** [start t ~u ~fanouts ... ~boundary_level] opens a session for one
     mapping of [u].  [fanouts] must be [Unetwork.fanout_counts u] (the
     engine's own array); [boundary_level m] must return the formed-gate
     level of multi-fanout node [m] — it is only called for nodes below
-    the one being looked up, whose tables are already complete. *)
+    the one being looked up, whose tables are already complete.
+    [salt] (0 for plain mapping) extends the options fingerprint: sessions with
+    different salts never share entries — the rewriting front end salts
+    with its pattern-set fingerprint and variant budget so rewritten and
+    plain runs keep disjoint cache worlds. *)
 
 val find : run -> int -> Soi_rules.sol list array option
 (** [find r id] resolves node [id]'s structural signature and looks its

@@ -23,7 +23,8 @@ let dominates a b =
      || ca.Domino.Circuit.levels < cb.Domino.Circuit.levels
      || ca.Domino.Circuit.t_clock < cb.Domino.Circuit.t_clock)
 
-let sweep ?memo ?(portfolio = default_portfolio) ?(w_max = 5) ?(h_max = 8) net =
+let sweep ?memo ?(portfolio = default_portfolio) ?(w_max = 5) ?(h_max = 8)
+    ?(rewrite = 0) net =
   (* Portfolio jobs are independent full mapping runs over the same
      (read-only) source network; fan them out on the default pool.
      Result order is portfolio order, so the Pareto marking below and
@@ -42,7 +43,8 @@ let sweep ?memo ?(portfolio = default_portfolio) ?(w_max = 5) ?(h_max = 8) net =
           ~args:(fun () -> [ ("objective", label) ])
         @@ fun () ->
         let r =
-          Algorithms.run ~memo ~cost ~w_max ~h_max Algorithms.Soi_domino_map net
+          Algorithms.run ~memo ~cost ~w_max ~h_max ~rewrite
+            Algorithms.Soi_domino_map net
         in
         {
           label;

@@ -22,12 +22,17 @@ val sweep :
   ?portfolio:(string * Cost.model) list ->
   ?w_max:int ->
   ?h_max:int ->
+  ?rewrite:int ->
   Logic.Network.t ->
   point list
 (** [sweep net] maps [net] with {!Algorithms.Soi_domino_map} under every
     objective in the portfolio and marks Pareto efficiency.  The
     portfolio shares one structural memo table — a fresh one per sweep
-    unless [memo] supplies a warm one (e.g. [soimap --cache]). *)
+    unless [memo] supplies a warm one (e.g. [soimap --cache]).
+    [rewrite] (default 0) turns on the rewriting front end per
+    objective, exactly as {!Algorithms.run}; every objective prices the
+    same choice set under its own model, so different objectives may
+    legitimately pick different restructurings. *)
 
 val render : point list -> string
 (** Plain-text table of the sweep. *)

@@ -1,0 +1,150 @@
+type info = {
+  generated : int;
+  tried : int;
+  chosen_site : int;
+  chosen_rule : string option;
+  original_cost : int;
+  cost : int;
+  salt : int;
+}
+
+type outcome = {
+  circuit : Domino.Circuit.t;
+  stats : Engine.stats;
+  chosen : Unate.Unetwork.t;
+  info : info;
+}
+
+let m_tried = Obs.Metrics.counter "rewrite.tried"
+let m_improved = Obs.Metrics.counter "rewrite.improved"
+let m_saved = Obs.Metrics.counter "rewrite.saved"
+
+(* The model's weights applied to a finished circuit.  [t_clock]
+   includes the discharge transistors, so the plain clocked count
+   (precharge + foot) is [t_clock - t_disch]; everything else in
+   [t_logic] is a regular transistor. *)
+let circuit_cost (m : Cost.model) (c : Domino.Circuit.counts) =
+  let clocked = c.Domino.Circuit.t_clock - c.Domino.Circuit.t_disch in
+  (m.Cost.regular * (c.Domino.Circuit.t_logic - clocked))
+  + (m.Cost.clocked * clocked)
+  + (m.Cost.discharge * c.Domino.Circuit.t_disch)
+  + (m.Cost.depth_factor * c.Domino.Circuit.levels)
+
+(* Mix the rule-set fingerprint with the variant cap: a cache written
+   under one rewrite configuration is never consulted by another (or by
+   a plain run, whose salt is 0). *)
+let salt_of ~limit =
+  (Rewrite.Rules.fingerprint lxor (limit * 0x9E3779B9)) land max_int
+
+let default_limit = 8
+
+(* Price one candidate: map, postprocess, weigh. *)
+let price ?budget ?memo ~salt ~postprocess options net =
+  let circuit, stats = Engine.map ?budget ?memo ~memo_salt:salt options net in
+  let circuit = postprocess circuit in
+  ( circuit,
+    stats,
+    circuit_cost options.Engine.cost (Domino.Circuit.counts circuit) )
+
+(* Fold the variant list over an already-mapped original.  A budget
+   trip here abandons the remaining variants: the original is in hand,
+   so losing choices is a quality degradation, not an error. *)
+let try_variants ?budget ?memo ~salt ~postprocess options variants base =
+  let best = ref base in
+  (try
+     List.iter
+       (fun (v : Rewrite.Choices.variant) ->
+         let circuit, stats, cost =
+           price ?budget ?memo ~salt ~postprocess options
+             v.Rewrite.Choices.v_net
+         in
+         let b = !best in
+         best :=
+           if cost < b.info.cost then
+             {
+               circuit;
+               stats;
+               chosen = v.Rewrite.Choices.v_net;
+               info =
+                 {
+                   b.info with
+                   tried = b.info.tried + 1;
+                   chosen_site = v.Rewrite.Choices.v_site;
+                   chosen_rule = Some v.Rewrite.Choices.v_rule;
+                   cost;
+                 };
+             }
+           else { b with info = { b.info with tried = b.info.tried + 1 } })
+       variants
+   with Resilience.Budget.Exhausted _ -> ());
+  let r = !best in
+  Obs.Metrics.add m_tried r.info.tried;
+  if r.info.chosen_rule <> None then begin
+    Obs.Metrics.incr m_improved;
+    Obs.Metrics.add m_saved (r.info.original_cost - r.info.cost)
+  end;
+  r
+
+let base_outcome ~salt ~generated u (circuit, stats, cost) =
+  {
+    circuit;
+    stats;
+    chosen = u;
+    info =
+      {
+        generated;
+        tried = 1;
+        chosen_site = -1;
+        chosen_rule = None;
+        original_cost = cost;
+        cost;
+        salt;
+      };
+  }
+
+let span ~limit u body =
+  Obs.Trace.with_span ~cat:"rewrite" "rewrite"
+    ~args:(fun () ->
+      [
+        ("source", Unate.Unetwork.source_name u);
+        ("limit", string_of_int limit);
+      ])
+    body
+
+let map_best ?budget ?memo ?(limit = default_limit) ~postprocess options u =
+  span ~limit u @@ fun () ->
+  let salt = salt_of ~limit in
+  let variants = Rewrite.Choices.enumerate ?budget ~limit u in
+  let base =
+    base_outcome ~salt ~generated:(List.length variants) u
+      (price ?budget ?memo ~salt ~postprocess options u)
+  in
+  try_variants ?budget ?memo ~salt ~postprocess options variants base
+
+let map_best_outcome ?budget ?memo ?(on_exhaust = `Degrade)
+    ?(limit = default_limit) ~postprocess options u =
+  span ~limit u @@ fun () ->
+  let salt = salt_of ~limit in
+  let variants = Rewrite.Choices.enumerate ?budget ~limit u in
+  let priced (circuit, stats) =
+    let circuit = postprocess circuit in
+    ( circuit,
+      stats,
+      circuit_cost options.Engine.cost (Domino.Circuit.counts circuit) )
+  in
+  match
+    Engine.map_outcome ?budget ?memo ~memo_salt:salt ~on_exhaust options u
+  with
+  | Resilience.Outcome.Failed reason -> Resilience.Outcome.Failed reason
+  | Resilience.Outcome.Degraded (r, ds) ->
+      (* The budget is spent; no variant could be mapped under the full
+         algorithm, so the portfolio collapses to the degraded
+         original. *)
+      Resilience.Outcome.Degraded
+        (base_outcome ~salt ~generated:(List.length variants) u (priced r), ds)
+  | Resilience.Outcome.Ok r ->
+      let base =
+        base_outcome ~salt ~generated:(List.length variants) u (priced r)
+      in
+      Resilience.Outcome.Ok
+        (try_variants ?budget ?memo ~salt ~postprocess options variants base)

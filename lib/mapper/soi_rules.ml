@@ -6,6 +6,7 @@ type sol = {
   value : Cost.value;
   p_dis : int;
   par_b : bool;
+  has_pi : bool;
   disch : int;
   structure : Domino.Pdn.t;
 }
@@ -17,6 +18,7 @@ let leaf_pi model ~input ~positive =
     value = Cost.regular_transistors model 1;
     p_dis = 0;
     par_b = false;
+    has_pi = true;
     disch = 0;
     structure = Domino.Pdn.Leaf (Domino.Pdn.S_pi { input; positive });
   }
@@ -30,6 +32,7 @@ let leaf_gate model ~node ~level ~carried ~carried_disch =
     value = { value with Cost.depth = max value.Cost.depth level };
     p_dis = 0;
     par_b = false;
+    has_pi = false;
     disch = carried_disch;
     structure = Domino.Pdn.Leaf (Domino.Pdn.S_gate node);
   }
@@ -41,6 +44,7 @@ let combine_or _model s1 s2 =
     value = Cost.combine s1.value s2.value;
     p_dis = s1.p_dis + s2.p_dis;
     par_b = true;
+    has_pi = s1.has_pi || s2.has_pi;
     disch = s1.disch + s2.disch;
     structure = Domino.Pdn.Parallel (s1.structure, s2.structure);
   }
@@ -59,6 +63,7 @@ let combine_and_soi model ~top ~bottom =
         (Cost.discharges model committed);
     p_dis;
     par_b = bottom.par_b;
+    has_pi = top.has_pi || bottom.has_pi;
     disch = top.disch + bottom.disch + committed;
     structure = Domino.Pdn.Series (top.structure, bottom.structure);
   }
@@ -70,6 +75,7 @@ let combine_and_bulk _model ~top ~bottom =
     value = Cost.combine top.value bottom.value;
     p_dis = 0;
     par_b = false;
+    has_pi = top.has_pi || bottom.has_pi;
     disch = top.disch + bottom.disch;
     structure = Domino.Pdn.Series (top.structure, bottom.structure);
   }

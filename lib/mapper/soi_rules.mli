@@ -16,6 +16,11 @@ type sol = {
   value : Cost.value;  (** accumulated cost, committed discharges included *)
   p_dis : int;  (** potential discharge points (paper's p_dis) *)
   par_b : bool;  (** parallel branch at the bottom (paper's par_b) *)
+  has_pi : bool;
+      (** a primary-input literal appears among the leaves, so the gate
+          this structure completes into needs a clocked foot.  Kept
+          incrementally (OR of the sub-structures) because both frontier
+          dominance and gate formation read it on the hot path. *)
   disch : int;  (** committed (actual) discharge transistors so far *)
   structure : Domino.Pdn.t;
       (** series/parallel tree; [S_gate] refs are unate ids *)

@@ -117,7 +117,7 @@ let of_sol (_model : Cost.model) (s : Soi_rules.sol) =
     depth = s.Soi_rules.value.Cost.depth;
     p_dis = s.Soi_rules.p_dis;
     par_b = s.Soi_rules.par_b;
-    has_pi = Domino.Pdn.has_pi_leaf s.Soi_rules.structure;
+    has_pi = s.Soi_rules.has_pi;
   }
 
 (* Exact dominance: with equal footprint and bottom shape, being no

@@ -21,6 +21,11 @@ type summary = {
   backend_name : string;
   certs : cert list;
   cones : int;
+  certified : int;
+      (* cones that actually went through a backend: proved + gaps +
+         bounded.  [cones] additionally counts the skipped ones, so a
+         summary must never read "all `cones` proved" — compare against
+         [certified]. *)
   proved : int;
   gaps : int;
   bounded : int;
@@ -67,7 +72,7 @@ let status_of_solution ~dp (s : Backend.solution) =
   else Bounded { dp; lower = s.Backend.lower }
 
 let certify ?(backend = Bb.backend) ?(max_size = default_max_size)
-    ?(max_expansions = default_max_expansions) ?memo
+    ?(max_expansions = default_max_expansions) ?memo ?(memo_salt = 0)
     ~(options : Engine.options) u =
   Obs.Trace.with_span ~cat:"opt" "opt.certify"
     ~args:(fun () ->
@@ -77,7 +82,7 @@ let certify ?(backend = Bb.backend) ?(max_size = default_max_size)
       ])
   @@ fun () ->
   let model = options.Engine.cost in
-  let _, _, gate_value = Engine.map_with_gates ?memo options u in
+  let _, _, gate_value = Engine.map_with_gates ?memo ~memo_salt options u in
   let level_of m =
     match gate_value m with
     | Some v -> v.Cost.depth
@@ -101,7 +106,7 @@ let certify ?(backend = Bb.backend) ?(max_size = default_max_size)
         ~soi:(options.Engine.style = Engine.Soi)
         ~both_orders:options.Engine.both_orders
         ~grounded:options.Engine.grounded_at_foot
-        ~pareto:options.Engine.pareto_width ~boundary_level:level_of
+        ~pareto:options.Engine.pareto_width ~salt:0 ~boundary_level:level_of
     in
     let n = Unate.Unetwork.node_count u in
     let shape = Array.make (max n 1) None in
@@ -112,7 +117,7 @@ let certify ?(backend = Bb.backend) ?(max_size = default_max_size)
     ignore (Memo.finish r);
     fun id -> if id < Array.length shape then shape.(id) else None
   in
-  let solved : (string, status * int) Hashtbl.t = Hashtbl.create 64 in
+  let solved : (string, status) Hashtbl.t = Hashtbl.create 64 in
   let certs =
     List.map
       (fun (inst : Instance.t) ->
@@ -139,12 +144,15 @@ let certify ?(backend = Bb.backend) ?(max_size = default_max_size)
             | None -> solve ()
             | Some shape -> (
                 match Hashtbl.find_opt solved shape with
-                | Some hit ->
+                | Some status ->
                     Obs.Metrics.incr m_shape_hits;
-                    hit
+                    (* A lookup, not a search: charging the original
+                       solve's expansions again would double-count the
+                       summary's work total. *)
+                    (status, 0)
                 | None ->
-                    let r = solve () in
-                    Hashtbl.replace solved shape r;
+                    let ((status, _) as r) = solve () in
+                    Hashtbl.replace solved shape status;
                     r)
           end
         in
@@ -168,18 +176,27 @@ let certify ?(backend = Bb.backend) ?(max_size = default_max_size)
       0 (Unate.Unetwork.outputs u)
   in
   let count p = List.length (List.filter p certs) in
+  let proved =
+    count (fun c -> match c.status with Proved _ -> true | _ -> false)
+  in
+  let gaps = count (fun c -> match c.status with Gap _ -> true | _ -> false) in
+  let bounded =
+    count (fun c -> match c.status with Bounded _ -> true | _ -> false)
+  in
+  let skipped =
+    count (fun c -> match c.status with Skipped _ -> true | _ -> false)
+  in
   let summary =
     {
       source = Unate.Unetwork.source_name u;
       backend_name = backend.Backend.name;
       certs;
       cones = List.length certs;
-      proved = count (fun c -> match c.status with Proved _ -> true | _ -> false);
-      gaps = count (fun c -> match c.status with Gap _ -> true | _ -> false);
-      bounded =
-        count (fun c -> match c.status with Bounded _ -> true | _ -> false);
-      skipped =
-        count (fun c -> match c.status with Skipped _ -> true | _ -> false);
+      certified = proved + gaps + bounded;
+      proved;
+      gaps;
+      bounded;
+      skipped;
       trivial_outputs;
       expansions =
         List.fold_left (fun acc (c : cert) -> acc + c.expansions) 0 certs;
@@ -205,10 +222,10 @@ let render s =
   let b = Buffer.create 256 in
   Buffer.add_string b
     (Printf.sprintf
-       "certify %s (%s): cones=%d proved=%d gaps=%d bounded=%d skipped=%d \
-        trivial-outputs=%d\n"
-       s.source s.backend_name s.cones s.proved s.gaps s.bounded s.skipped
-       s.trivial_outputs);
+       "certify %s (%s): cones=%d certified=%d proved=%d gaps=%d bounded=%d \
+        skipped=%d trivial-outputs=%d\n"
+       s.source s.backend_name s.cones s.certified s.proved s.gaps s.bounded
+       s.skipped s.trivial_outputs);
   List.iter
     (fun c ->
       Buffer.add_string b

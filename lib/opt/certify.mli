@@ -41,7 +41,12 @@ type summary = {
   source : string;
   backend_name : string;
   certs : cert list;  (** ascending root id *)
-  cones : int;
+  cones : int;  (** every cone, including the skipped ones *)
+  certified : int;
+      (** cones a backend actually examined: [proved + gaps + bounded].
+          Strictly less than [cones] whenever the size cap skipped a
+          cone, so "all cones proved" claims must compare [proved]
+          against [certified], never against [cones]. *)
   proved : int;
   gaps : int;
   bounded : int;
@@ -49,7 +54,9 @@ type summary = {
   trivial_outputs : int;
       (** primary outputs bound to literals/constants — no cone, nothing
           to certify, counted for the no-silent-skips ledger *)
-  expansions : int;  (** summed over solved cones (dedup hits re-count) *)
+  expansions : int;
+      (** summed search work; a shape-dedup hit is a lookup and charges
+          zero (its cert records [expansions = 0]) *)
 }
 
 val default_max_size : int
@@ -63,17 +70,25 @@ val certify :
   ?max_size:int ->
   ?max_expansions:int ->
   ?memo:Mapper.Memo.t ->
+  ?memo_salt:int ->
   options:Mapper.Engine.options ->
   Unate.Unetwork.t ->
   summary
 (** Certify every cone of [u] under [options].  [backend] defaults to
     {!Bb.backend}; [memo] is threaded into the internal DP rerun (a
     fuzz run's per-run table makes that rerun a pure cache hit).
+    [memo_salt] (default 0) must match the salt the cached entries were
+    written under — {!Mapper.Restructure.salt_of} when certifying the
+    network a rewrite portfolio chose.
 
     @raise Failure if a backend returns a verdict that contradicts the
     DP (exact cost above the DP's, or a certified lower bound above an
     achievable DP answer) — that is an internal soundness bug, never a
     mapping property. *)
+
+val status_line : status -> string
+(** One-line rendering of a single certificate status
+    (["PROVED cost=9"], ["GAP dp=8 exact=7"], ...). *)
 
 val render : summary -> string
 (** Deterministic multi-line rendering (the [soimap --certify] output

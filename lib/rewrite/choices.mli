@@ -1,0 +1,41 @@
+(** Choice enumeration: the rewriting front end's output.
+
+    [enumerate] scans every internal node of a unate network with the
+    compiled rule set and produces one {e variant network} per
+    successful, novel rewrite — the original with a single site
+    restructured, renormalised by {!Unate.Unetwork.with_structure}
+    (hash-consing folds any sharing the rewrite created; the sweep
+    drops structure only the old shape referenced).  The original plus
+    the variant list is the choice set the mapper's portfolio
+    ({!Mapper.Restructure}) prices per cost model; structurally
+    identical cones across variants deduplicate in the shared
+    {!Mapper.Memo} table.
+
+    Enumeration is deterministic: sites ascend, matches follow the
+    compiled (rule, ordering) priority, and duplicates — rewrites whose
+    renormalised result equals the original or an earlier variant — are
+    dropped by canonical signature.  It never fails: a tripped
+    {!Resilience.Budget} stops enumeration and returns the variants
+    already built (choice explosion degrades; the budget's spent state
+    is visible to the caller for the mapping runs that follow). *)
+
+type variant = {
+  v_rule : string;  (** rule that produced it *)
+  v_site : int;  (** node id (in the input network) it rewrote *)
+  v_net : Unate.Unetwork.t;
+}
+
+val enumerate :
+  ?budget:Resilience.Budget.t ->
+  ?rules:Pattern.rule list ->
+  limit:int ->
+  Unate.Unetwork.t ->
+  variant list
+(** [enumerate ~limit u] is at most [limit] distinct variants of [u].
+    [rules] defaults to {!Rules.all} (custom lists are compiled per
+    call; the default set's compilation is shared). *)
+
+val signature : Unate.Unetwork.t -> string
+(** Canonical structural encoding (nodes, then outputs) used for
+    variant deduplication: two renormalised networks over the same
+    inputs are structurally identical iff their signatures are equal. *)

@@ -1,0 +1,276 @@
+open Unate
+
+type pat = P_var of int | P_op of Unetwork.kind * pat * pat
+type tmpl = T_var of int | T_op of Unetwork.kind * tmpl * tmpl
+type rule = { name : string; lhs : pat; rhs : tmpl }
+
+(* The match window is the depth-2 neighbourhood of a site, addressed by
+   seven fixed positions in heap order: 0 is the root, children of [p]
+   sit at [2p+1] and [2p+2].  Position 3..6 (the grandchildren) exist
+   only when the corresponding child is an internal node. *)
+let n_positions = 7
+
+(* One compiled ordering: a straight-line program over the window.
+   [I_kind] checks that a position holds a node of the kind; [I_bind]
+   captures the fanin at a position into a variable slot; [I_eq] is the
+   nonlinear-variable test against an already-bound slot.  Instructions
+   are emitted in preorder, so a parent's kind check always precedes its
+   children's instructions. *)
+type instr =
+  | I_kind of int * Unetwork.kind
+  | I_bind of int * int
+  | I_eq of int * int
+
+type alt = { a_rule : int; a_instrs : instr array }
+
+(* Child classes for the table index: leaves (literals, constants) are
+   one class, internal nodes one per kind. *)
+let class_and = 0
+let class_or = 1
+let class_leaf = 2
+let n_classes = 3
+
+let kind_class = function Unetwork.U_and -> class_and | Unetwork.U_or -> class_or
+
+let fin_class u = function
+  | Unetwork.F_node m -> kind_class (Unetwork.node u m).Unetwork.kind
+  | Unetwork.F_lit _ | Unetwork.F_const _ -> class_leaf
+
+type compiled = {
+  rules : rule array;
+  (* root kind (2) x child0 class (3) x child1 class (3) -> the compiled
+     orderings that can match a window of that shape, in (rule,
+     ordering) order *)
+  table : alt array array;
+  n_alts : int;
+  max_var : int;
+}
+
+let rec pat_vars acc = function
+  | P_var v ->
+      if v < 0 then invalid_arg "Rewrite.Pattern: negative variable index";
+      if List.mem v acc then acc else v :: acc
+  | P_op (_, a, b) -> pat_vars (pat_vars acc a) b
+
+let rec tmpl_vars acc = function
+  | T_var v -> if List.mem v acc then acc else v :: acc
+  | T_op (_, a, b) -> tmpl_vars (tmpl_vars acc a) b
+
+(* Commutative expansion: every [P_op] matches its children in either
+   order, so each rule compiles to up to [2^ops] orderings.  Symmetric
+   subpatterns collapse in the dedup below. *)
+let rec orderings = function
+  | P_var _ as p -> [ p ]
+  | P_op (k, a, b) ->
+      let aa = orderings a and bb = orderings b in
+      List.concat_map
+        (fun x ->
+          List.concat_map (fun y -> [ P_op (k, x, y); P_op (k, y, x) ]) bb)
+        aa
+
+let compile_ordering ~rule_index pat =
+  let seen = Hashtbl.create 8 in
+  let rec walk pos = function
+    | P_var v ->
+        if Hashtbl.mem seen v then [ I_eq (pos, v) ]
+        else begin
+          Hashtbl.add seen v ();
+          [ I_bind (pos, v) ]
+        end
+    | P_op (k, a, b) ->
+        if pos >= 3 then
+          invalid_arg
+            "Rewrite.Pattern: lhs ops nest deeper than the depth-2 window";
+        (* Evaluation order matters: the left walk must claim first
+           occurrences before the right walk sees the same variables
+           (OCaml evaluates [@]'s operands right to left). *)
+        let left = walk ((2 * pos) + 1) a in
+        let right = walk ((2 * pos) + 2) b in
+        I_kind (pos, k) :: (left @ right)
+  in
+  { a_rule = rule_index; a_instrs = Array.of_list (walk 0 pat) }
+
+(* The shapes an ordering is compatible with, from its kind checks: the
+   root kind is always constrained; a child without its own kind check
+   matches all three classes. *)
+let alt_slots alt =
+  let root = ref None and c0 = ref None and c1 = ref None in
+  Array.iter
+    (fun i ->
+      match i with
+      | I_kind (0, k) -> root := Some k
+      | I_kind (1, k) -> c0 := Some (kind_class k)
+      | I_kind (2, k) -> c1 := Some (kind_class k)
+      | _ -> ())
+    alt.a_instrs;
+  let root_k =
+    match !root with
+    | Some k -> kind_class k
+    | None -> invalid_arg "Rewrite.Pattern: lhs root must be an op"
+  in
+  let classes = function
+    | Some c -> [ c ]
+    | None -> [ class_and; class_or; class_leaf ]
+  in
+  List.concat_map
+    (fun a ->
+      List.map (fun b -> (root_k * n_classes * n_classes) + (a * n_classes) + b)
+        (classes !c1))
+    (classes !c0)
+
+let compile rule_list =
+  let rules = Array.of_list rule_list in
+  let max_var = ref (-1) in
+  let alts =
+    List.concat
+      (List.mapi
+         (fun ri r ->
+           (match r.lhs with
+           | P_var _ -> invalid_arg "Rewrite.Pattern: lhs root must be an op"
+           | P_op _ -> ());
+           let lv = pat_vars [] r.lhs in
+           List.iter
+             (fun v ->
+               if not (List.mem v lv) then
+                 invalid_arg
+                   (Printf.sprintf
+                      "Rewrite.Pattern: rule %s rhs uses unbound variable %d"
+                      r.name v))
+             (tmpl_vars [] r.rhs);
+           List.iter (fun v -> if v > !max_var then max_var := v) lv;
+           (* Dedup symmetric orderings: identical instruction sequences
+              match identically and would only duplicate work. *)
+           let seen = Hashtbl.create 8 in
+           List.filter_map
+             (fun p ->
+               let alt = compile_ordering ~rule_index:ri p in
+               if Hashtbl.mem seen alt.a_instrs then None
+               else begin
+                 Hashtbl.add seen alt.a_instrs ();
+                 Some alt
+               end)
+             (orderings r.lhs))
+         rule_list)
+  in
+  let table = Array.make (2 * n_classes * n_classes) [] in
+  List.iter
+    (fun alt ->
+      List.iter (fun s -> table.(s) <- alt :: table.(s)) (alt_slots alt))
+    alts;
+  {
+    rules;
+    table = Array.map (fun l -> Array.of_list (List.rev l)) table;
+    n_alts = List.length alts;
+    max_var = !max_var;
+  }
+
+let n_alternatives c = c.n_alts
+
+type match_ = {
+  m_rule : rule;
+  m_rule_index : int;
+  m_bindings : Unetwork.fin array;
+}
+
+(* Fanins denote equal functions exactly when they are equal values:
+   node ids are hash-consed, literals and constants are plain records. *)
+let fin_equal (a : Unetwork.fin) (b : Unetwork.fin) = a = b
+
+let matches_at c u id =
+  let nd = Unetwork.node u id in
+  let fins = Array.make n_positions (Unetwork.F_const false) in
+  let present = Array.make n_positions false in
+  let put p f =
+    fins.(p) <- f;
+    present.(p) <- true;
+    match f with
+    | Unetwork.F_node m when p < 3 ->
+        let nm = Unetwork.node u m in
+        fins.((2 * p) + 1) <- nm.Unetwork.fanin0;
+        present.((2 * p) + 1) <- true;
+        fins.((2 * p) + 2) <- nm.Unetwork.fanin1;
+        present.((2 * p) + 2) <- true
+    | _ -> ()
+  in
+  put 0 (Unetwork.F_node id);
+  put 1 nd.Unetwork.fanin0;
+  put 2 nd.Unetwork.fanin1;
+  let kind_at p =
+    match fins.(p) with
+    | Unetwork.F_node m when present.(p) ->
+        Some (Unetwork.node u m).Unetwork.kind
+    | _ -> None
+  in
+  let slot =
+    (kind_class nd.Unetwork.kind * n_classes * n_classes)
+    + (fin_class u nd.Unetwork.fanin0 * n_classes)
+    + fin_class u nd.Unetwork.fanin1
+  in
+  let env = Array.make (c.max_var + 1) (Unetwork.F_const false) in
+  let run alt =
+    let ok = ref true in
+    let n = Array.length alt.a_instrs in
+    let i = ref 0 in
+    while !ok && !i < n do
+      (match alt.a_instrs.(!i) with
+      | I_kind (p, k) -> ok := kind_at p = Some k
+      | I_bind (p, v) ->
+          if present.(p) then env.(v) <- fins.(p) else ok := false
+      | I_eq (p, v) -> ok := present.(p) && fin_equal fins.(p) env.(v));
+      incr i
+    done;
+    if !ok then
+      Some
+        {
+          m_rule = c.rules.(alt.a_rule);
+          m_rule_index = alt.a_rule;
+          m_bindings = Array.copy env;
+        }
+    else None
+  in
+  List.filter_map run (Array.to_list c.table.(slot))
+
+(* FNV-1a (offset truncated to OCaml's 63-bit int) over a canonical
+   textual encoding: deterministic across runs and OCaml versions,
+   unlike [Hashtbl.hash]. *)
+let fingerprint rule_list =
+  let h = ref 0x4bf29ce484222325 in
+  let fold_string s =
+    String.iter
+      (fun ch ->
+        h := (!h lxor Char.code ch) * 0x100000001b3)
+      s
+  in
+  let kind_char = function Unetwork.U_and -> '&' | Unetwork.U_or -> '|' in
+  let rec enc_pat b = function
+    | P_var v -> Buffer.add_string b (Printf.sprintf "v%d" v)
+    | P_op (k, x, y) ->
+        Buffer.add_char b '(';
+        Buffer.add_char b (kind_char k);
+        enc_pat b x;
+        Buffer.add_char b ',';
+        enc_pat b y;
+        Buffer.add_char b ')'
+  in
+  let rec enc_tmpl b = function
+    | T_var v -> Buffer.add_string b (Printf.sprintf "v%d" v)
+    | T_op (k, x, y) ->
+        Buffer.add_char b '(';
+        Buffer.add_char b (kind_char k);
+        enc_tmpl b x;
+        Buffer.add_char b ',';
+        enc_tmpl b y;
+        Buffer.add_char b ')'
+  in
+  List.iter
+    (fun r ->
+      let b = Buffer.create 64 in
+      Buffer.add_string b r.name;
+      Buffer.add_char b ':';
+      enc_pat b r.lhs;
+      Buffer.add_string b "=>";
+      enc_tmpl b r.rhs;
+      Buffer.add_char b ';';
+      fold_string (Buffer.contents b))
+    rule_list;
+  !h land max_int

@@ -1,0 +1,68 @@
+(** Compiled structural pattern matching over unate networks.
+
+    The rewriting front end describes its algebraic identities as
+    declarative patterns over 2-input AND/OR trees.  Patterns are not
+    matched by interpreting the tree at every site: {!compile} expands
+    each rule's commutative orderings once, flattens every ordering into
+    a straight-line instruction sequence over the seven fixed positions
+    of a depth-2 window (root, its two children, their four
+    grandchildren), and indexes the sequences by the window's shape —
+    root kind and the two child classes (AND node, OR node, leaf).
+    {!matches_at} then reads one table slot and runs only the
+    instruction sequences that can possibly match there.
+
+    Subterm equality — the nonlinear-variable test behind factoring
+    patterns like [(a*b)+(a*c)] — is constant-time: unate networks are
+    hash-consed ({!Unate.Unetwork.with_structure}), so two fanins denote
+    the same function exactly when they are the same literal, the same
+    constant, or the same node id. *)
+
+type pat =
+  | P_var of int
+      (** match any fanin (node, literal or constant) and bind it; a
+          repeated variable requires equal subterms *)
+  | P_op of Unate.Unetwork.kind * pat * pat
+      (** match an internal node of the kind; children match in either
+          order (commutativity is expanded at compile time) *)
+
+type tmpl =
+  | T_var of int  (** a fanin bound by the left-hand side *)
+  | T_op of Unate.Unetwork.kind * tmpl * tmpl  (** build a fresh node *)
+
+type rule = {
+  name : string;
+  lhs : pat;  (** root must be a {!P_op}; ops at most two levels deep *)
+  rhs : tmpl;  (** may only use variables bound by [lhs] *)
+}
+
+type compiled
+
+val compile : rule list -> compiled
+(** [compile rules] expands commutative orderings and builds the match
+    tables.  @raise Invalid_argument if a rule's [lhs] root is a
+    variable, nests ops deeper than the two-level window, or its [rhs]
+    uses a variable the [lhs] does not bind. *)
+
+val n_alternatives : compiled -> int
+(** Distinct compiled orderings across all rules (after deduplicating
+    symmetric ones) — an observability count, not a semantic one. *)
+
+type match_ = {
+  m_rule : rule;
+  m_rule_index : int;  (** index into the compiled rule list *)
+  m_bindings : Unate.Unetwork.fin array;
+      (** by variable index; positions above the rule's highest variable
+          are unspecified *)
+}
+
+val matches_at : compiled -> Unate.Unetwork.t -> int -> match_ list
+(** [matches_at c u id] is every match rooted at node [id], in
+    deterministic (rule, ordering) order.  Distinct orderings of one
+    rule can both match and yield different bindings; callers that
+    build rewrites from the bindings deduplicate on the result. *)
+
+val fingerprint : rule list -> int
+(** A stable hash of the rule set's full structure (names, patterns,
+    templates).  Folded into the mapper's memo salt so cached frontiers
+    computed under one rule set are never served to another
+    ({!Mapper.Memo} format compatibility). *)

@@ -167,6 +167,7 @@ let test_shrink_simplifies_config () =
               cost = Mapper.Cost.clock_weighted 2;
             };
           rearrange = true;
+          rewrite = 0;
         }
       in
       let r = Shrink.minimize ~fails u cfg0 in

@@ -67,15 +67,24 @@ let test_version_header () =
           | Some i -> String.sub data 0 i
           | None -> data
         in
-        (* Certification pins carry Opt.Certify.render's own header;
-           everything else is a versioned circuit dump. *)
-        if String.length e.Check.Golden.name >= 8
-           && String.sub e.Check.Golden.name 0 8 = "certify_"
-        then
+        (* Certification pins carry Opt.Certify.render's own header,
+           rewrite-portfolio pins lead with the portfolio's accounting
+           line; everything else is a versioned circuit dump. *)
+        let prefixed p =
+          String.length e.Check.Golden.name >= String.length p
+          && String.sub e.Check.Golden.name 0 (String.length p) = p
+        in
+        if prefixed "certify_" then
           Alcotest.(check bool)
             (e.Check.Golden.name ^ " header")
             true
             (String.length header >= 8 && String.sub header 0 8 = "certify ")
+        else if prefixed "rewrite_" then
+          Alcotest.(check bool)
+            (e.Check.Golden.name ^ " header")
+            true
+            (String.length header >= 9
+            && String.sub header 0 9 = "rewrite: ")
         else
           Alcotest.(check string)
             (e.Check.Golden.name ^ " header")

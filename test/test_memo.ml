@@ -134,7 +134,7 @@ let test_introspection () =
     Memo.start memo ~u
       ~fanouts:(Unate.Unetwork.fanout_counts u)
       ~model:Cost.area ~w_max:4 ~h_max:4 ~soi:true ~both_orders:true
-      ~grounded:true ~pareto:1
+      ~grounded:true ~pareto:1 ~salt:0
       ~boundary_level:(fun _ -> 1)
   in
   for id = 0 to n - 1 do

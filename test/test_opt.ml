@@ -272,6 +272,80 @@ let test_shared_fanout_cone () =
   Alcotest.(check int) "two cones lean on the shared gate" 2
     (List.length (List.filter has_gate_leaf insts))
 
+let test_skipped_accounting () =
+  (* One small cone, one cone over the size cap.  The skipped cone must
+     show up in [skipped] and [cones] but never in [certified] — the
+     header can then never read "everything proved" while work was
+     skipped (the bug: skipped cones silently padded the certified
+     total). *)
+  let b = Logic.Builder.create ~name:"skip" () in
+  let x = Logic.Builder.inputs b "x" 12 in
+  let small = Logic.Builder.and2 b x.(0) x.(1) in
+  Logic.Builder.output b "f" small;
+  let big = ref x.(2) in
+  for i = 3 to 11 do
+    big :=
+      if i mod 2 = 0 then Logic.Builder.and2 b !big x.(i)
+      else Logic.Builder.or2 b !big x.(i)
+  done;
+  Logic.Builder.output b "g" !big;
+  let u = Algorithms.prepare (Logic.Builder.network b) in
+  let s =
+    Opt.Certify.certify ~max_size:4
+      ~options:(soi_options ~w_max:3 ~h_max:4)
+      u
+  in
+  Alcotest.(check bool) "something was skipped" true (s.Opt.Certify.skipped > 0);
+  Alcotest.(check int) "certified = proved + gaps + bounded"
+    (s.Opt.Certify.proved + s.Opt.Certify.gaps + s.Opt.Certify.bounded)
+    s.Opt.Certify.certified;
+  Alcotest.(check int) "cones = certified + skipped"
+    (s.Opt.Certify.certified + s.Opt.Certify.skipped)
+    s.Opt.Certify.cones;
+  Alcotest.(check bool) "proved < cones when cones were skipped" true
+    (s.Opt.Certify.proved < s.Opt.Certify.cones);
+  (* The skipped cone charges no search work, and its cert says so. *)
+  List.iter
+    (fun (c : Opt.Certify.cert) ->
+      match c.Opt.Certify.status with
+      | Opt.Certify.Skipped _ ->
+          Alcotest.(check int) "skipped cone expansions" 0
+            c.Opt.Certify.expansions
+      | _ -> ())
+    s.Opt.Certify.certs
+
+let test_shape_dedup_expansions () =
+  (* Two structurally identical cones: the second is a shape-dedup hit,
+     shares the verdict, and must charge zero expansions instead of
+     double-counting the original solve's. *)
+  let b = Logic.Builder.create ~name:"twin" () in
+  let x = Logic.Builder.inputs b "x" 6 in
+  let cone i j k =
+    Logic.Builder.and2 b (Logic.Builder.or2 b x.(i) x.(j)) x.(k)
+  in
+  Logic.Builder.output b "f" (cone 0 1 2);
+  Logic.Builder.output b "g" (cone 3 4 5);
+  let u = Algorithms.prepare (Logic.Builder.network b) in
+  let s = Opt.Certify.certify ~options:(soi_options ~w_max:3 ~h_max:4) u in
+  Alcotest.(check int) "two cones" 2 s.Opt.Certify.cones;
+  Alcotest.(check int) "both certified" 2 s.Opt.Certify.certified;
+  Alcotest.(check int) "both proved" 2 s.Opt.Certify.proved;
+  (match s.Opt.Certify.certs with
+  | [ a; b ] ->
+      Alcotest.(check bool) "first solve did real work" true
+        (a.Opt.Certify.expansions > 0);
+      Alcotest.(check int) "dedup hit charges zero" 0
+        b.Opt.Certify.expansions;
+      Alcotest.(check string) "verdicts shared"
+        (Opt.Certify.status_line a.Opt.Certify.status)
+        (Opt.Certify.status_line b.Opt.Certify.status)
+  | certs -> Alcotest.failf "expected 2 certs, got %d" (List.length certs));
+  Alcotest.(check int) "summary expansions count the solve once"
+    (match s.Opt.Certify.certs with
+    | a :: _ -> a.Opt.Certify.expansions
+    | [] -> -1)
+    s.Opt.Certify.expansions
+
 (* ---------------- determinism across worker pools ---------------- *)
 
 let test_certify_jobs_deterministic () =
@@ -302,6 +376,10 @@ let suite =
     Alcotest.test_case "trivial outputs counted" `Quick test_trivial_outputs;
     Alcotest.test_case "constant output" `Quick test_constant_output;
     Alcotest.test_case "shared-fanout cones" `Quick test_shared_fanout_cone;
+    Alcotest.test_case "skipped cones never pad the certified total" `Quick
+      test_skipped_accounting;
+    Alcotest.test_case "shape-dedup hits charge zero expansions" `Quick
+      test_shape_dedup_expansions;
     Alcotest.test_case "certificates deterministic across jobs" `Quick
       test_certify_jobs_deterministic;
   ]

@@ -181,6 +181,95 @@ let test_fig3_certified () =
   | certs ->
       Alcotest.failf "fig3 should be a single cone, got %d" (List.length certs)
 
+(* Shrunk fuzz findings, pinned.  Each of these nets, under its exact
+   configuration, made the capped DP land above the exact optimum before
+   the frontier fixes: the first lost a footless tuple to a foot-blind,
+   collapsed-key dominance predicate (fuzz seed 3, run 74, shrunk from
+   ~40 nodes); the second lost the optimum to the single formed-gate
+   commitment at a single-fanout driver under a depth objective (fuzz
+   seed 1, run 230).  Both must certify with zero gaps forever. *)
+
+let frontier_cap_net () =
+  (* n5 = (n0 * x2) + (n2 * n3): slot (2,2) of the root holds two
+     weighted-25 tuples — one footed, one footless — and the footed one
+     used to evict the footless one that forms the cheaper gate. *)
+  let b = Logic.Builder.create ~name:"frontier_cap" () in
+  let x = Logic.Builder.inputs b "x" 9 in
+  let n = Logic.Builder.not_ b in
+  let n0 = Logic.Builder.or2 b (n x.(6)) x.(8) in
+  let n1 = Logic.Builder.and2 b n0 x.(2) in
+  let n2 = Logic.Builder.and2 b x.(3) x.(6) in
+  let n3 = Logic.Builder.and2 b (n x.(1)) (n x.(5)) in
+  let n4 = Logic.Builder.and2 b n2 n3 in
+  let n5 = Logic.Builder.or2 b n1 n4 in
+  Logic.Builder.output b "z0" n5;
+  Logic.Builder.network b
+
+let depth_alternatives_net () =
+  (* Cone n11: the optimal mapping forms a deeper-but-lighter gate at a
+     single-fanout driver; committing to the scalar-best formed gate
+     cost one extra discharge under depth+discharge. *)
+  let b = Logic.Builder.create ~name:"depth_alts" () in
+  let x = Logic.Builder.inputs b "x" 8 in
+  let n = Logic.Builder.not_ b in
+  let n0 = Logic.Builder.and2 b (n x.(0)) x.(4) in
+  let n1 = Logic.Builder.or2 b n0 x.(3) in
+  let n2 = Logic.Builder.or2 b n0 n1 in
+  let n3 = Logic.Builder.and2 b x.(3) x.(6) in
+  let n4 = Logic.Builder.and2 b n3 (n x.(7)) in
+  let n5 = Logic.Builder.or2 b n2 n4 in
+  let n6 = Logic.Builder.or2 b (n x.(3)) (n x.(6)) in
+  let n7 = Logic.Builder.or2 b n6 x.(7) in
+  let n8 = Logic.Builder.or2 b n7 (n x.(4)) in
+  let n9 = Logic.Builder.or2 b n4 x.(4) in
+  let n10 = Logic.Builder.and2 b n8 n9 in
+  let n11 = Logic.Builder.and2 b n5 n10 in
+  Logic.Builder.output b "z0" n5;
+  Logic.Builder.output b "z1" n11;
+  Logic.Builder.network b
+
+let assert_all_proved ~what (s : Opt.Certify.summary) =
+  Alcotest.(check (pair int int))
+    (what ^ ": every cone proved, no gaps")
+    (s.Opt.Certify.cones, 0)
+    (s.Opt.Certify.proved, s.Opt.Certify.gaps)
+
+let test_shrunk_frontier_cap () =
+  let options =
+    {
+      (area_bulk ~w_max:2 ~h_max:2) with
+      Mapper.Engine.both_orders = true;
+      pareto_width = 1;
+    }
+  in
+  let s = cross_check ~what:"frontier-cap" ~options (frontier_cap_net ()) in
+  assert_all_proved ~what:"frontier-cap" s;
+  match s.Opt.Certify.certs with
+  | [ c ] ->
+      Alcotest.(check string)
+        "frontier-cap cone proved at 29" "PROVED cost=29"
+        (Opt.Certify.status_line c.Opt.Certify.status)
+  | certs ->
+      Alcotest.failf "frontier-cap should be a single cone, got %d"
+        (List.length certs)
+
+let test_shrunk_depth_alternatives () =
+  let options =
+    {
+      Mapper.Engine.default_options with
+      Mapper.Engine.w_max = 2;
+      h_max = 2;
+      style = Mapper.Engine.Soi;
+      cost = Mapper.Cost.depth_soi;
+      both_orders = true;
+      pareto_width = 1;
+    }
+  in
+  let s =
+    cross_check ~what:"depth-alts" ~options (depth_alternatives_net ())
+  in
+  assert_all_proved ~what:"depth-alts" s
+
 let test_dp_exact_on_trees () =
   (* Bulk + area + grounded foot on trees: the DP is provably exact, so
      the certifier must prove every cone (no gaps, no bounds). *)
@@ -235,6 +324,10 @@ let test_backends_agree_on_dags () =
 let suite =
   [
     Alcotest.test_case "fig3 certified optimal" `Quick test_fig3_certified;
+    Alcotest.test_case "shrunk frontier-cap finding stays proved" `Quick
+      test_shrunk_frontier_cap;
+    Alcotest.test_case "shrunk depth-alternatives finding stays proved" `Quick
+      test_shrunk_depth_alternatives;
     Alcotest.test_case "dp exact on trees (bulk area)" `Slow
       test_dp_exact_on_trees;
     Alcotest.test_case "backends agree on random trees" `Slow
