@@ -61,13 +61,16 @@ let cost_of = function
           prerr_endline ("unknown cost model: " ^ s ^ " (area|depth|depth-bulk|<k>)");
           exit 2)
 
-(* Exit codes: 0 success (including Degraded under --on-exhaust degrade),
-   1 verification failure, 2 usage error, 3 budget exhausted under
-   --on-exhaust fail, 4 --certify proved a DP suboptimality, 130
+(* Exit codes: 0 success (including Degraded under --on-exhaust degrade,
+   and a clean --serve drain on SIGTERM/SIGINT), 1 verification failure,
+   2 usage error, 3 budget exhausted under --on-exhaust fail, 4
+   --certify proved a DP suboptimality, 5 --serve could not start
+   (address in use by a live daemon, permission denied), 130
    interrupted. *)
 let exit_verify_failed = 1
 let exit_exhausted = 3
 let exit_suboptimal = 4
+let exit_serve_failed = 5
 
 (* ---------------- observability output ---------------- *)
 
@@ -262,10 +265,86 @@ let open_cache cache =
       in
       (Some tbl, save)
 
+(* ---------------- daemon mode ---------------- *)
+
+(* `soimap --serve unix:/tmp/soimapd.sock`: the one-shot flags keep
+   their meaning but become server policy — --timeout is the default
+   per-request budget, --max-timeout the clamp on client wishes,
+   --max-tuples/--max-bdd-nodes the policy caps, --cache the shared warm
+   table persisted by the janitor and at drain.  SIGTERM/SIGINT request
+   a graceful drain and the process exits 0 once drained. *)
+let serve_main addr_str queue_depth max_conns dispatchers io_timeout
+    drain_timeout max_timeout timeout max_tuples max_bdd_nodes cache
+    finish_obs =
+  let addr =
+    match Service.Protocol.addr_of_string addr_str with
+    | Ok a -> a
+    | Error msg ->
+        prerr_endline ("soimap: " ^ msg);
+        exit 2
+  in
+  List.iter
+    (fun (flag, v) ->
+      if v < 1 then begin
+        Printf.eprintf "soimap: %s must be at least 1\n" flag;
+        exit 2
+      end)
+    [
+      ("--queue-depth", queue_depth);
+      ("--max-conns", max_conns);
+      ("--dispatchers", dispatchers);
+    ];
+  if io_timeout <= 0.0 || drain_timeout < 0.0 || max_timeout <= 0.0 then begin
+    prerr_endline "soimap: server timeouts must be positive";
+    exit 2
+  end;
+  let base = Service.Server.default_config ~addr in
+  let cfg =
+    {
+      base with
+      Service.Server.queue_depth;
+      max_connections = max_conns;
+      dispatchers;
+      io_timeout;
+      drain_timeout;
+      max_timeout;
+      default_timeout =
+        Float.min (Option.value timeout ~default:base.Service.Server.default_timeout)
+          max_timeout;
+      max_tuples_cap = max_tuples;
+      max_bdd_nodes_cap = max_bdd_nodes;
+      cache_file = cache;
+    }
+  in
+  let memo, _ = open_cache cache in
+  let srv = Service.Server.create ?memo cfg in
+  let stop _ = Service.Server.request_stop srv in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Printf.eprintf "soimapd: listening on %s (queue %d, %d dispatchers)\n%!"
+    (Service.Protocol.addr_to_string addr)
+    queue_depth dispatchers;
+  match Service.Server.run srv with
+  | Error msg ->
+      Printf.eprintf "soimapd: %s\n" msg;
+      finish_obs ();
+      exit exit_serve_failed
+  | Ok () ->
+      let t = Service.Server.totals srv in
+      let get k = try List.assoc k t with Not_found -> 0 in
+      Printf.eprintf
+        "soimapd: drained: requests=%d ok=%d degraded=%d failed=%d \
+         rejected=%d errors=%d\n%!"
+        (get "requests") (get "ok") (get "degraded") (get "failed")
+        (get "rejected") (get "errors");
+      finish_obs ();
+      exit 0
+
 let main jobs blif bench_file pla bench flow cost w_max h_max rewrite verify
     exact certify certify_max_cone certify_expansions prune exhaustive_limit
     print_gates timing multi spice verilog vcd timeout max_tuples max_bdd_nodes
-    on_exhaust trace stats cache =
+    on_exhaust trace stats cache serve queue_depth max_conns dispatchers
+    io_timeout drain_timeout max_timeout =
   let rewrite =
     match rewrite with
     | None -> 0
@@ -278,6 +357,15 @@ let main jobs blif bench_file pla bench flow cost w_max h_max rewrite verify
     prerr_endline "--jobs must be non-negative (0 = number of cores)";
     exit 2
   end;
+  (* Fail fast on nonsensical budget limits (--timeout 0, negative
+     --max-tuples): a budget that can never admit any work is a usage
+     error, not a mapping attempt that instantly degrades.  The server
+     applies the same rules to request fields. *)
+  (match Resilience.Budget.validate ?timeout ?max_tuples ?max_bdd_nodes () with
+  | Ok () -> ()
+  | Error msg ->
+      prerr_endline ("soimap: " ^ msg);
+      exit 2);
   let trace =
     match trace with Some _ -> trace | None -> Sys.getenv_opt "SOIMAP_TRACE"
   in
@@ -311,6 +399,15 @@ let main jobs blif bench_file pla bench flow cost w_max h_max rewrite verify
     | Some `Json -> print_stats_json ()
     | None -> ()
   in
+  (* Daemon mode branches off here: it installs its own signal handlers
+     (drain, not die) and never loads a one-shot input. *)
+  (match serve with
+  | Some addr_str ->
+      Parallel.Pool.set_jobs jobs;
+      serve_main addr_str queue_depth max_conns dispatchers io_timeout
+        drain_timeout max_timeout timeout max_tuples max_bdd_nodes cache
+        finish_obs
+  | None -> ());
   (* Flush whatever has been reported so far before dying on ^C: with
      --flow all the completed flows' lines are already on stdout. *)
   Sys.set_signal Sys.sigint
@@ -595,6 +692,44 @@ let cmd =
                  Caching is exactly transparent — the mapped circuits are \
                  identical with or without it (see docs/mapping-cache.md).")
   in
+  let serve =
+    Arg.(value & opt (some string) None & info [ "serve" ] ~docv:"ADDR"
+           ~doc:"Run as a mapping daemon on $(docv) (unix:PATH or \
+                 tcp:HOST:PORT) instead of mapping one input.  Requests \
+                 are newline-delimited JSON (see docs/service.md); \
+                 --timeout/--max-tuples/--max-bdd-nodes become the \
+                 per-request budget policy and --cache the shared warm \
+                 table.  SIGTERM/SIGINT drain gracefully and exit 0.")
+  in
+  let queue_depth =
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N"
+           ~doc:"(--serve) Admission-queue bound; requests beyond it are \
+                 rejected immediately with an overloaded response.")
+  in
+  let max_conns =
+    Arg.(value & opt int 64 & info [ "max-conns" ] ~docv:"N"
+           ~doc:"(--serve) Maximum concurrent client connections.")
+  in
+  let dispatchers =
+    Arg.(value & opt int 2 & info [ "dispatchers" ] ~docv:"N"
+           ~doc:"(--serve) Threads batching admitted requests onto the \
+                 shared worker pool.")
+  in
+  let io_timeout =
+    Arg.(value & opt float 10.0 & info [ "io-timeout" ] ~docv:"SEC"
+           ~doc:"(--serve) Per-connection socket read/write timeout.")
+  in
+  let drain_timeout =
+    Arg.(value & opt float 10.0 & info [ "drain-timeout" ] ~docv:"SEC"
+           ~doc:"(--serve) Grace period for queued work after \
+                 SIGTERM/SIGINT; later queued jobs are failed with a \
+                 'draining' response, never dropped silently.")
+  in
+  let max_timeout =
+    Arg.(value & opt float 60.0 & info [ "max-timeout" ] ~docv:"SEC"
+           ~doc:"(--serve) Clamp on client-requested per-request budget \
+                 timeouts (and on the --timeout default).")
+  in
   let doc = "technology mapping for SOI domino logic (Karandikar & Sapatnekar, DAC 2001)" in
   Cmd.v
     (Cmd.info "soimap" ~doc)
@@ -603,6 +738,7 @@ let cmd =
       $ h_max $ rewrite $ verify $ exact $ certify $ certify_max_cone
       $ certify_expansions $ prune $ exhaustive_limit $ print_gates $ timing
       $ multi $ spice $ verilog $ vcd $ timeout $ max_tuples $ max_bdd_nodes
-      $ on_exhaust $ trace $ stats $ cache)
+      $ on_exhaust $ trace $ stats $ cache $ serve $ queue_depth $ max_conns
+      $ dispatchers $ io_timeout $ drain_timeout $ max_timeout)
 
 let () = exit (Cmd.eval cmd)

@@ -115,3 +115,248 @@ let degradation_sweep ?(max_tuples = 500) ?(vectors = 2048) () =
       in
       { bench = e.Gen.Suite.name; outcome = Outcome.label outcome; equivalent })
     Gen.Suite.all
+
+(* ------------------------------------------------------------------ *)
+(* Daemon storm: hostile clients against a live soimapd.               *)
+(* ------------------------------------------------------------------ *)
+
+type daemon_storm_result = {
+  frames : int;  (* hostile/legit frames sent that expect a response *)
+  aborted : int;  (* mid-frame disconnects (no response expected) *)
+  d_ok : int;
+  d_degraded : int;
+  d_failed : int;
+  d_rejected : int;
+  d_errors : int;
+  ledger : (string * int) list;  (* the daemon's closing service ledger *)
+  ledger_ok : bool;  (* requests = ok + degraded + failed + rejected *)
+  alive : bool;  (* the daemon still answers ping after the storm *)
+}
+
+let sockaddr_of = function
+  | Service.Protocol.Unix_sock path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+  | Service.Protocol.Tcp (host, port) ->
+      let inet =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found | Invalid_argument _ ->
+          Unix.inet_addr_of_string "127.0.0.1"
+      in
+      (Unix.ADDR_INET (inet, port), Unix.PF_INET)
+
+(* Half a frame, then vanish: the server must count a disconnect and
+   carry on; nothing here can fail the drill. *)
+let abort_mid_frame addr =
+  let sa, dom = sockaddr_of addr in
+  match Unix.socket dom Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd -> (
+      match
+        Unix.connect fd sa;
+        let junk = {|{"id":"gone","op":"map","format":"suite","pay|} in
+        ignore (Unix.write_substring fd junk 0 (String.length junk))
+      with
+      | () | (exception Unix.Unix_error _) -> (
+          try Unix.close fd with Unix.Unix_error _ -> ()))
+
+type tally = {
+  mutable t_frames : int;
+  mutable t_aborted : int;
+  mutable t_ok : int;
+  mutable t_degraded : int;
+  mutable t_failed : int;
+  mutable t_rejected : int;
+  mutable t_errors : int;
+  mutable t_transport : int;  (* lost responses: must stay 0 *)
+}
+
+let new_tally () =
+  {
+    t_frames = 0;
+    t_aborted = 0;
+    t_ok = 0;
+    t_degraded = 0;
+    t_failed = 0;
+    t_rejected = 0;
+    t_errors = 0;
+    t_transport = 0;
+  }
+
+let record tally = function
+  | Result.Error _ -> tally.t_transport <- tally.t_transport + 1
+  | Result.Ok j -> (
+      match Service.Protocol.response_status j with
+      | Ok "ok" -> tally.t_ok <- tally.t_ok + 1
+      | Ok "degraded" -> tally.t_degraded <- tally.t_degraded + 1
+      | Ok "failed" -> tally.t_failed <- tally.t_failed + 1
+      | Ok "rejected" -> tally.t_rejected <- tally.t_rejected + 1
+      | Ok "error" -> tally.t_errors <- tally.t_errors + 1
+      | Ok _ | Error _ -> tally.t_transport <- tally.t_transport + 1)
+
+(* One hostile client: a seeded mix of malformed frames, oversized
+   payloads, mid-frame disconnects, budget-tripping and unparsable
+   cones, and legitimate maps.  One connection per action, so the
+   accept/close path is stormed too. *)
+let storm_worker ~addr ~oversize ~rounds ~seed tally =
+  let rng = Logic.Rng.create seed in
+  let with_conn f =
+    match Service.Client.connect ~timeout:30.0 addr with
+    | Error _ -> tally.t_transport <- tally.t_transport + 1
+    | Ok c -> Fun.protect ~finally:(fun () -> Service.Client.close c) (fun () -> f c)
+  in
+  let expect c line =
+    tally.t_frames <- tally.t_frames + 1;
+    record tally (Service.Client.request c line)
+  in
+  for _ = 1 to rounds do
+    match Logic.Rng.int rng 8 with
+    | 0 ->
+        (* malformed json *)
+        with_conn (fun c -> expect c "]]]{{{ not json")
+    | 1 ->
+        (* valid json, invalid request: the CLI's --timeout 0 rule *)
+        with_conn (fun c ->
+            expect c
+              {|{"id":"z","op":"map","format":"suite","payload":"z4ml","timeout":0}|})
+    | 2 ->
+        (* oversized frame: must get an error line back, then the
+           server closes the connection *)
+        with_conn (fun c ->
+            tally.t_frames <- tally.t_frames + 1;
+            let big = String.make (oversize + 4096) 'x' in
+            match Service.Client.send_line c big with
+            | Error _ ->
+                (* the server may slam the door before reading it all *)
+                tally.t_errors <- tally.t_errors + 1
+            | Ok () -> record tally (Service.Client.request c "\"tail\""))
+    | 3 ->
+        tally.t_aborted <- tally.t_aborted + 1;
+        abort_mid_frame addr
+    | 4 ->
+        (* budget-tripping cone under fail: an honest failed response *)
+        with_conn (fun c ->
+            expect c
+              {|{"id":"trip","op":"map","format":"suite","payload":"c880","max_tuples":1,"on_exhaust":"fail"}|})
+    | 5 ->
+        (* unparsable payload: failed, isolated to this request *)
+        with_conn (fun c ->
+            expect c
+              {|{"id":"junk","op":"map","format":"blif","payload":".model x\n.inputs a\n.outputs z\n.names a a a z\nBOGUS\n.end"}|})
+    | 6 ->
+        (* budget-tripping cone under degrade: still a mapped answer *)
+        with_conn (fun c ->
+            expect c
+              {|{"id":"deg","op":"map","format":"suite","payload":"c880","max_tuples":1}|})
+    | _ ->
+        with_conn (fun c ->
+            expect c
+              (Printf.sprintf
+                 {|{"id":"m%d","op":"map","format":"suite","payload":"z4ml","delay_ms":%d}|}
+                 (Logic.Rng.int rng 1000)
+                 (Logic.Rng.int rng 20)))
+  done
+
+let storm_addr ~addr ~oversize ~workers ~rounds ~seed () =
+  let tallies = Array.init workers (fun _ -> new_tally ()) in
+  let threads =
+    Array.mapi
+      (fun w tally ->
+        Thread.create
+          (fun () ->
+            storm_worker ~addr ~oversize ~rounds ~seed:(seed + (w * 7919))
+              tally)
+          ())
+      tallies
+  in
+  Array.iter Thread.join threads;
+  let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
+  (* Post-storm: the daemon must still answer, and its ledger must
+     balance.  Both come over the wire, so this also works against an
+     external daemon (the CI soak leg). *)
+  let alive, ledger =
+    match Service.Client.connect ~timeout:30.0 addr with
+    | Error _ -> (false, [])
+    | Ok c ->
+        Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+        let alive =
+          match Service.Client.request c {|{"id":"alive","op":"ping"}|} with
+          | Ok j -> Service.Protocol.response_status j = Ok "ok"
+          | Error _ -> false
+        in
+        let ledger =
+          match Service.Client.request c {|{"id":"l","op":"stats"}|} with
+          | Error _ -> []
+          | Ok j -> (
+              match Obs.Json.member "service" j with
+              | Some (Obs.Json.Obj fields) ->
+                  List.filter_map
+                    (fun (k, v) ->
+                      Option.map (fun n -> (k, n)) (Obs.Json.to_int v))
+                    fields
+              | _ -> [])
+        in
+        (alive, ledger)
+  in
+  let lv k = try List.assoc k ledger with Not_found -> 0 in
+  let ledger_ok =
+    ledger <> []
+    && lv "requests"
+       = lv "ok" + lv "degraded" + lv "failed" + lv "rejected"
+  in
+  {
+    frames = sum (fun t -> t.t_frames);
+    aborted = sum (fun t -> t.t_aborted);
+    d_ok = sum (fun t -> t.t_ok);
+    d_degraded = sum (fun t -> t.t_degraded);
+    d_failed = sum (fun t -> t.t_failed);
+    d_rejected = sum (fun t -> t.t_rejected);
+    d_errors = sum (fun t -> t.t_errors);
+    ledger;
+    ledger_ok;
+    alive;
+  }
+
+let daemon_storm ?addr ?(workers = 4) ?(rounds = 12) ~seed () =
+  match addr with
+  | Some addr ->
+      (* External daemon (CI soak): storm it over the wire only. *)
+      storm_addr ~addr ~oversize:(1 lsl 20) ~workers ~rounds ~seed ()
+  | None ->
+      (* Self-hosted: spin a daemon up in-process with a deliberately
+         tight config (small queue, small frames, short budgets) so the
+         hostile paths actually fire, then drain it and require a clean
+         exit. *)
+      let path =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "soimapd-storm-%d-%d.sock" (Unix.getpid ()) seed)
+      in
+      let addr = Service.Protocol.Unix_sock path in
+      let oversize = 1 lsl 16 in
+      let cfg =
+        {
+          (Service.Server.default_config ~addr) with
+          Service.Server.queue_depth = 8;
+          max_connections = 32;
+          dispatchers = 2;
+          max_request_bytes = oversize;
+          io_timeout = 5.0;
+          drain_timeout = 10.0;
+          default_timeout = 10.0;
+          max_timeout = 10.0;
+          max_delay_ms = 50;
+        }
+      in
+      let srv = Service.Server.create cfg in
+      let runner = Thread.create (fun () -> Service.Server.run srv) () in
+      let deadline = Int64.add (Obs.Clock.now_ns ()) 5_000_000_000L in
+      while
+        (not (Service.Server.listening srv))
+        && Int64.compare (Obs.Clock.now_ns ()) deadline < 0
+      do
+        Thread.yield ()
+      done;
+      let result = storm_addr ~addr ~oversize ~workers ~rounds ~seed () in
+      Service.Server.request_stop srv;
+      Thread.join runner;
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      result

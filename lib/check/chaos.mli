@@ -65,3 +65,42 @@ val degradation_sweep : ?max_tuples:int -> ?vectors:int -> unit -> sweep_row lis
     budget (default 500) with the [`Degrade] policy and
     simulation-verifies each resulting circuit against its source.  The
     acceptance bar: no row is ["failed"], every row is [equivalent]. *)
+
+(** {1 Daemon storm} *)
+
+type daemon_storm_result = {
+  frames : int;  (** frames sent that expect a response (hostile + legit) *)
+  aborted : int;  (** mid-frame disconnects (no response expected) *)
+  d_ok : int;  (** responses per status, as observed by the clients *)
+  d_degraded : int;
+  d_failed : int;
+  d_rejected : int;
+  d_errors : int;
+  ledger : (string * int) list;  (** the daemon's closing [stats] ledger *)
+  ledger_ok : bool;
+      (** [requests = ok + degraded + failed + rejected] in the ledger *)
+  alive : bool;  (** the daemon still answers [ping] after the storm *)
+}
+
+val daemon_storm :
+  ?addr:Service.Protocol.addr ->
+  ?workers:int ->
+  ?rounds:int ->
+  seed:int ->
+  unit ->
+  daemon_storm_result
+(** [daemon_storm ~seed ()] storms a soimapd daemon with [workers]
+    (default 4) concurrent hostile clients, each performing [rounds]
+    (default 12) seeded actions: malformed frames, requests with invalid
+    budget limits, oversized payloads, mid-frame disconnects,
+    budget-tripping cones under both exhaustion policies, unparsable
+    payloads and legitimate maps — one connection per action, so the
+    accept path is churned too.
+
+    Without [addr], a daemon is started in-process on a private Unix
+    socket with a deliberately tight config (queue 8, 64 KiB frames)
+    and drained at the end; with [addr] (the CI soak leg), an external
+    daemon is stormed over the wire only.  The acceptance bar: every
+    expected response arrived and carried a known status
+    ([frames = d_ok + d_degraded + d_failed + d_rejected + d_errors]),
+    [ledger_ok], and [alive]. *)

@@ -512,14 +512,38 @@ let dump t =
   (* Sort by key so serial runs rewrite the file reproducibly. *)
   List.sort (fun (a, _) (b, _) -> compare a b) !all
 
+(* Concurrent-writer safety.  Two processes saving the same --cache FILE
+   (the daemon's periodic flush racing a CLI run, say) must never leave a
+   torn file: each writer streams into its *own* temp file in the target
+   directory and publishes it with an atomic [rename], so a reader
+   always sees either the old payload or a new complete one.  The temp
+   name embeds the pid and a process-local sequence number and is opened
+   with O_EXCL, so two writers can never share a temp file either — a
+   leftover name from a crashed twin (same recycled pid) just bumps the
+   sequence and retries. *)
+let temp_seq = Atomic.make 0
+
+let open_excl_temp file =
+  let rec go attempts =
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" file (Unix.getpid ())
+        (Atomic.fetch_and_add temp_seq 1)
+    in
+    match
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644
+    with
+    | fd -> (tmp, Unix.out_channel_of_descr fd)
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) when attempts < 64 ->
+        go (attempts + 1)
+  in
+  go 0
+
 let save t file =
   let data : (key * entry list) list = dump t in
   let payload = Marshal.to_string data [] in
   let digest = Digest.string payload in
   match
-    let dir = Filename.dirname file in
-    let tmp = Filename.temp_file ~temp_dir:dir "soimap-cache" ".tmp" in
-    let oc = open_out_bin tmp in
+    let tmp, oc = open_excl_temp file in
     (try
        output_string oc magic;
        output_binary_int oc format_version;

@@ -154,9 +154,13 @@ val self_check : t -> (int, string) result
 (** {2 Persistence} *)
 
 val save : t -> string -> int Resilience.Outcome.t
-(** [save t file] atomically writes every entry to [file] (temp file +
-    rename) in the versioned binary format and returns the payload size
-    in bytes.  I/O failures return [Degraded (0, _)] with a
+(** [save t file] atomically writes every entry to [file] (private
+    O_EXCL temp file + rename) in the versioned binary format and
+    returns the payload size in bytes.  Safe against concurrent writers:
+    two processes saving the same [file] (daemon flush racing a CLI run)
+    each stream into their own pid+sequence-named temp file, so a reader
+    always observes either the old complete payload or a new one, never
+    a torn mix.  I/O failures return [Degraded (0, _)] with a
     [Cache_invalid] reason — never an exception. *)
 
 val load : t -> string -> int Resilience.Outcome.t

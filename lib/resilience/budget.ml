@@ -6,6 +6,12 @@
    exception.  Callers decide the policy — fail, or degrade to a cheaper
    algorithm ({!Outcome} carries the result of that decision).
 
+   Deadlines are anchored on the monotonic clock ({!Obs.Clock}), not
+   [Unix.gettimeofday]: a wall-clock step (NTP adjustment, manual date
+   change) must neither spuriously expire a request budget nor extend
+   it.  Only the monotonic *difference* since [make] is compared against
+   the allowance.
+
    Budgets are cheap when unlimited (a field test, no clock read) and a
    single budget value is meant to be used by one task at a time; the
    shared [unlimited] value is safe everywhere because it never mutates. *)
@@ -30,19 +36,36 @@ let pp_reason fmt r = Format.pp_print_string fmt (reason_to_string r)
 
 type t = {
   timeout : float option;  (* relative allowance, for error reporting *)
-  deadline : float option;  (* absolute Unix.gettimeofday cutoff *)
+  deadline_ns : int64 option;  (* absolute monotonic-clock cutoff *)
   max_tuples : int option;
   mutable tuples : int;  (* charged so far; only when max_tuples is set *)
   max_bdd_nodes : int option;
 }
 
 let unlimited =
-  { timeout = None; deadline = None; max_tuples = None; tuples = 0;
+  { timeout = None; deadline_ns = None; max_tuples = None; tuples = 0;
     max_bdd_nodes = None }
+
+(* Flag-level validation, shared by the CLI and the daemon's request
+   parser: a zero or non-finite timeout and non-positive caps are user
+   errors that would otherwise build an always-exhausted (or silently
+   unlimited) budget.  [make] itself still accepts [timeout:0.0] — the
+   fuzzer uses a pre-expired deadline to exercise the timeout path
+   deterministically. *)
+let validate ?timeout ?max_tuples ?max_bdd_nodes () =
+  match (timeout, max_tuples, max_bdd_nodes) with
+  | Some s, _, _ when not (Float.is_finite s) ->
+      Error "timeout must be a finite number of seconds"
+  | Some s, _, _ when s <= 0.0 ->
+      Error "timeout must be positive (seconds)"
+  | _, Some n, _ when n < 1 -> Error "max-tuples must be at least 1"
+  | _, _, Some n when n < 1 -> Error "max-bdd-nodes must be at least 1"
+  | _ -> Ok ()
 
 let make ?timeout ?max_tuples ?max_bdd_nodes () =
   (match timeout with
-  | Some s when s < 0.0 -> invalid_arg "Budget.make: negative timeout"
+  | Some s when s < 0.0 || not (Float.is_finite s) ->
+      invalid_arg "Budget.make: negative timeout"
   | _ -> ());
   (match max_tuples with
   | Some n when n < 1 -> invalid_arg "Budget.make: max_tuples must be positive"
@@ -53,23 +76,32 @@ let make ?timeout ?max_tuples ?max_bdd_nodes () =
   | _ -> ());
   {
     timeout;
-    deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout;
+    deadline_ns =
+      Option.map
+        (fun s -> Int64.add (Obs.Clock.now_ns ()) (Int64.of_float (s *. 1e9)))
+        timeout;
     max_tuples;
     tuples = 0;
     max_bdd_nodes;
   }
 
 let is_unlimited b =
-  b.deadline = None && b.max_tuples = None && b.max_bdd_nodes = None
+  b.deadline_ns = None && b.max_tuples = None && b.max_bdd_nodes = None
 
 let max_bdd_nodes b = b.max_bdd_nodes
 
 let check_deadline b =
-  match b.deadline with
+  match b.deadline_ns with
   | None -> ()
   | Some cutoff ->
-      if Unix.gettimeofday () > cutoff then
+      if Int64.compare (Obs.Clock.now_ns ()) cutoff > 0 then
         raise (Exhausted (Deadline (Option.value b.timeout ~default:0.0)))
+
+let remaining_s b =
+  match b.deadline_ns with
+  | None -> None
+  | Some cutoff ->
+      Some (Obs.Clock.ns_to_s (Int64.sub cutoff (Obs.Clock.now_ns ())))
 
 let charge_tuples b n =
   match b.max_tuples with

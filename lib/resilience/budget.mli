@@ -8,6 +8,11 @@
     into an {!Outcome.t} (fail hard, or degrade to a cheaper
     algorithm).
 
+    Deadlines are anchored on the monotonic clock ({!Obs.Clock}):
+    stepping the wall clock (NTP, a manual date change) never expires or
+    extends a budget — only monotonic time elapsed since {!make} counts
+    against the allowance.
+
     A budget value is meant to be used by one task at a time (each fuzz
     run builds its own); the shared {!unlimited} value never mutates and
     is safe to share across domains. *)
@@ -31,9 +36,24 @@ val unlimited : t
 
 val make : ?timeout:float -> ?max_tuples:int -> ?max_bdd_nodes:int -> unit -> t
 (** [make ()] builds a budget; each limit is independent and optional.
-    [timeout] is a relative wall-clock allowance in seconds, anchored at
-    the call.  @raise Invalid_argument on a negative timeout or a
+    [timeout] is a relative allowance in seconds, anchored on the
+    monotonic clock at the call.  [timeout:0.0] is legal and builds a
+    pre-expired budget (the fuzzer's deterministic timeout path).
+    @raise Invalid_argument on a negative or non-finite timeout or a
     non-positive cap. *)
+
+val validate :
+  ?timeout:float ->
+  ?max_tuples:int ->
+  ?max_bdd_nodes:int ->
+  unit ->
+  (unit, string) result
+(** Flag-level validation shared by the CLI and the daemon's request
+    parser: rejects a zero, negative or non-finite [timeout] and
+    non-positive caps with a one-line message, so nonsensical limits
+    fail fast instead of silently building an always-exhausted or
+    unlimited budget.  Stricter than {!make} on purpose ([make] still
+    accepts the deliberate [timeout:0.0]). *)
 
 val is_unlimited : t -> bool
 
@@ -42,6 +62,10 @@ val max_bdd_nodes : t -> int option
 
 val check_deadline : t -> unit
 (** Checkpoint: raises [Exhausted (Deadline _)] past the cutoff. *)
+
+val remaining_s : t -> float option
+(** Monotonic seconds left before the deadline trips ([None] when the
+    budget carries no timeout; negative once expired). *)
 
 val charge_tuples : t -> int -> unit
 (** [charge_tuples b n] spends [n] units of the tuple allowance; raises

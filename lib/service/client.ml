@@ -1,0 +1,100 @@
+(* A small blocking client for the soimapd wire protocol.
+
+   Shared by `soiload` (the load generator), `Check.Chaos.daemon_storm`
+   (which also abuses raw sockets on purpose) and the service tests.
+   One connection, line-buffered reads, optional I/O timeout.  Every
+   failure is an [Error msg] — a daemon vanishing mid-reply is data to a
+   load generator, not a crash. *)
+
+type t = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  chunk : Bytes.t;
+}
+
+let connect ?(timeout = 30.0) addr =
+  let sa, dom =
+    match addr with
+    | Protocol.Unix_sock path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+    | Protocol.Tcp (host, port) ->
+        let inet =
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found | Invalid_argument _ ->
+            Unix.inet_addr_of_string "127.0.0.1"
+        in
+        (Unix.ADDR_INET (inet, port), Unix.PF_INET)
+  in
+  let fd = Unix.socket dom Unix.SOCK_STREAM 0 in
+  match Unix.connect fd sa with
+  | () ->
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout
+       with Unix.Unix_error _ -> ());
+      (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+       with Unix.Unix_error _ -> ());
+      Ok { fd; buf = Buffer.create 512; chunk = Bytes.create 4096 }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "connect %s: %s"
+           (Protocol.addr_to_string addr)
+           (Unix.error_message e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_line t line =
+  let data = line ^ "\n" in
+  let len = String.length data in
+  match
+    let off = ref 0 in
+    while !off < len do
+      off := !off + Unix.write_substring t.fd data !off (len - !off)
+    done
+  with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("send: " ^ Unix.error_message e)
+
+let recv_line t =
+  let find_line () =
+    match String.index_opt (Buffer.contents t.buf) '\n' with
+    | None -> None
+    | Some i ->
+        let all = Buffer.contents t.buf in
+        let line = String.sub all 0 i in
+        Buffer.clear t.buf;
+        Buffer.add_substring t.buf all (i + 1) (String.length all - i - 1);
+        Some line
+  in
+  let rec go () =
+    match find_line () with
+    | Some l -> Ok l
+    | None -> (
+        match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+        | 0 -> Error "recv: connection closed"
+        | n ->
+            Buffer.add_subbytes t.buf t.chunk 0 n;
+            go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            Error "recv: timeout"
+        | exception Unix.Unix_error (e, _, _) ->
+            Error ("recv: " ^ Unix.error_message e))
+  in
+  go ()
+
+let ( let* ) = Result.bind
+
+let request t line =
+  let* () = send_line t line in
+  let* reply = recv_line t in
+  match Obs.Json.parse reply with
+  | Ok j -> Ok j
+  | Error msg -> Error ("bad response json: " ^ msg)
+
+(* Retry-connect until a freshly exec'd daemon is accepting. *)
+let rec connect_retry ?(timeout = 30.0) ?(attempts = 50) ?(delay = 0.1) addr =
+  match connect ~timeout addr with
+  | Ok c -> Ok c
+  | Error _ when attempts > 1 ->
+      Unix.sleepf delay;
+      connect_retry ~timeout ~attempts:(attempts - 1) ~delay addr
+  | Error _ as e -> e

@@ -1,0 +1,30 @@
+(** A blocking soimapd client: one connection, line-delimited JSON.
+
+    Used by the [soiload] load generator, the daemon chaos drill and the
+    service tests.  All operations return [result] — a vanished or
+    stalling daemon is an observation, never an exception. *)
+
+type t
+
+val connect : ?timeout:float -> Protocol.addr -> (t, string) result
+(** Connect with [timeout] (default 30 s) as both SO_RCVTIMEO and
+    SO_SNDTIMEO. *)
+
+val connect_retry :
+  ?timeout:float ->
+  ?attempts:int ->
+  ?delay:float ->
+  Protocol.addr ->
+  (t, string) result
+(** Retry {!connect} every [delay] seconds (default 0.1, 50 attempts) —
+    for racing a daemon that is still starting up. *)
+
+val send_line : t -> string -> (unit, string) result
+val recv_line : t -> (string, string) result
+
+val request : t -> string -> (Obs.Json.t, string) result
+(** [send_line] then [recv_line] then JSON-decode.  Pipelining is fine:
+    responses to admitted requests arrive in completion order, each
+    carrying its request [id]. *)
+
+val close : t -> unit

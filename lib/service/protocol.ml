@@ -1,0 +1,301 @@
+(* The soimapd wire protocol: newline-delimited JSON frames.
+
+   One request per line, one response per line, in order, over a Unix or
+   TCP stream socket.  The format is deliberately boring — it reuses the
+   repo's dependency-free {!Obs.Json} reader on both sides, frames are
+   resynchronisable after a malformed line (the next newline starts the
+   next frame), and every response carries the request's [id] so
+   pipelined clients can match them up.
+
+   Parsing and validation are total: a bad frame is an [Error msg], never
+   an exception, and the budget-limit validation is the same
+   {!Resilience.Budget.validate} the CLI runs, so a request that would be
+   rejected as `soimap --timeout 0` is rejected identically here. *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+let addr_of_string s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "bad address %S (unix:PATH or tcp:HOST:PORT)" s)
+  | Some i -> (
+      let scheme = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match scheme with
+      | "unix" when rest <> "" -> Ok (Unix_sock rest)
+      | "tcp" -> (
+          match String.rindex_opt rest ':' with
+          | None -> Error ("tcp address needs HOST:PORT: " ^ s)
+          | Some j -> (
+              let host = String.sub rest 0 j in
+              let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+              match int_of_string_opt port with
+              | Some p when p > 0 && p < 65536 ->
+                  Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+              | _ -> Error ("bad tcp port: " ^ port)))
+      | _ ->
+          Error (Printf.sprintf "bad address %S (unix:PATH or tcp:HOST:PORT)" s))
+
+let addr_to_string = function
+  | Unix_sock p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+(* ---------------- requests ---------------- *)
+
+type format = Blif | Bench_fmt | Pla | Suite
+
+let format_of_string = function
+  | "blif" -> Ok Blif
+  | "bench" -> Ok Bench_fmt
+  | "pla" -> Ok Pla
+  | "suite" -> Ok Suite
+  | s -> Error ("unknown format: " ^ s ^ " (blif|bench|pla|suite)")
+
+type map_params = {
+  format : format;
+  payload : string;
+  flow : Mapper.Algorithms.flow;
+  cost : Mapper.Cost.model;
+  w_max : int;
+  h_max : int;
+  rewrite : int;
+  timeout : float option;
+  max_tuples : int option;
+  max_bdd_nodes : int option;
+  on_exhaust : [ `Degrade | `Fail ];
+  dump : bool;
+  delay_ms : int;
+}
+
+type body = Ping | Stats | Map of map_params
+
+type request = { id : string; body : body }
+
+let cost_of_string s =
+  match s with
+  | "area" -> Ok Mapper.Cost.area
+  | "depth" -> Ok Mapper.Cost.depth_soi
+  | "depth-bulk" -> Ok Mapper.Cost.depth_bulk
+  | _ -> (
+      match int_of_string_opt s with
+      | Some k when k >= 1 -> Ok (Mapper.Cost.clock_weighted k)
+      | _ -> Error ("unknown cost model: " ^ s ^ " (area|depth|depth-bulk|<k>)"))
+
+let flow_of_string = function
+  | "bulk" -> Ok Mapper.Algorithms.Domino_map
+  | "rs" -> Ok Mapper.Algorithms.Rs_map
+  | "soi" -> Ok Mapper.Algorithms.Soi_domino_map
+  | s -> Error ("unknown flow: " ^ s ^ " (bulk|rs|soi)")
+
+(* Accessor helpers over Obs.Json with per-field type errors. *)
+let field_str j name default =
+  match Obs.Json.member name j with
+  | None -> Ok default
+  | Some v -> (
+      match Obs.Json.to_string v with
+      | Some s -> Ok s
+      | None -> Error (name ^ " must be a string"))
+
+let field_int j name default =
+  match Obs.Json.member name j with
+  | None -> Ok default
+  | Some v -> (
+      match Obs.Json.to_int v with
+      | Some n -> Ok n
+      | None -> Error (name ^ " must be an integer"))
+
+let field_bool j name default =
+  match Obs.Json.member name j with
+  | None -> Ok default
+  | Some v -> (
+      match Obs.Json.to_bool v with
+      | Some b -> Ok b
+      | None -> Error (name ^ " must be a boolean"))
+
+let field_float_opt j name =
+  match Obs.Json.member name j with
+  | None -> Ok None
+  | Some v -> (
+      match Obs.Json.to_float v with
+      | Some f -> Ok (Some f)
+      | None -> Error (name ^ " must be a number"))
+
+let field_int_opt j name =
+  match Obs.Json.member name j with
+  | None -> Ok None
+  | Some v -> (
+      match Obs.Json.to_int v with
+      | Some n -> Ok (Some n)
+      | None -> Error (name ^ " must be an integer"))
+
+let ( let* ) = Result.bind
+
+let parse_map j =
+  let* fmt_s =
+    match Obs.Json.member "format" j with
+    | None -> Error "map request needs a \"format\" (blif|bench|pla|suite)"
+    | Some v -> (
+        match Obs.Json.to_string v with
+        | Some s -> Ok s
+        | None -> Error "format must be a string")
+  in
+  let* format = format_of_string fmt_s in
+  let* payload =
+    match Obs.Json.member "payload" j with
+    | None -> Error "map request needs a \"payload\""
+    | Some v -> (
+        match Obs.Json.to_string v with
+        | Some s -> Ok s
+        | None -> Error "payload must be a string")
+  in
+  let* flow_s = field_str j "flow" "soi" in
+  let* flow = flow_of_string flow_s in
+  let* cost_s = field_str j "cost" "area" in
+  let* cost = cost_of_string cost_s in
+  let* w_max = field_int j "w_max" 5 in
+  let* h_max = field_int j "h_max" 8 in
+  let* rewrite = field_int j "rewrite" 0 in
+  let* timeout = field_float_opt j "timeout" in
+  let* max_tuples = field_int_opt j "max_tuples" in
+  let* max_bdd_nodes = field_int_opt j "max_bdd_nodes" in
+  let* on_exhaust_s = field_str j "on_exhaust" "degrade" in
+  let* on_exhaust =
+    match on_exhaust_s with
+    | "degrade" -> Ok `Degrade
+    | "fail" -> Ok `Fail
+    | s -> Error ("unknown on_exhaust policy: " ^ s ^ " (degrade|fail)")
+  in
+  let* dump = field_bool j "dump" false in
+  let* delay_ms = field_int j "delay_ms" 0 in
+  (* The same fail-fast validation as the soimap flags: a zero timeout
+     or a non-positive cap is a client error, not a mapping attempt. *)
+  let* () = Resilience.Budget.validate ?timeout ?max_tuples ?max_bdd_nodes () in
+  let* () =
+    if w_max < 1 || h_max < 1 then Error "w_max and h_max must be at least 1"
+    else if rewrite < 0 then Error "rewrite must be non-negative"
+    else if delay_ms < 0 then Error "delay_ms must be non-negative"
+    else Ok ()
+  in
+  Ok
+    (Map
+       {
+         format;
+         payload;
+         flow;
+         cost;
+         w_max;
+         h_max;
+         rewrite;
+         timeout;
+         max_tuples;
+         max_bdd_nodes;
+         on_exhaust;
+         dump;
+         delay_ms;
+       })
+
+let parse_request line =
+  match Obs.Json.parse line with
+  | Error msg -> Error ("bad json: " ^ msg)
+  | Ok (Obs.Json.Obj _ as j) -> (
+      let* id = field_str j "id" "" in
+      let* op = field_str j "op" "map" in
+      let* body =
+        match op with
+        | "ping" -> Ok Ping
+        | "stats" -> Ok Stats
+        | "map" -> parse_map j
+        | s -> Error ("unknown op: " ^ s ^ " (map|ping|stats)")
+      in
+      Ok { id; body })
+  | Ok _ -> Error "request must be a json object"
+
+(* ---------------- responses ---------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = "\"" ^ json_escape s ^ "\""
+
+let obj fields =
+  "{"
+  ^ String.concat ", " (List.map (fun (k, v) -> str k ^ ": " ^ v) fields)
+  ^ "}"
+
+let render_error ~id msg =
+  obj [ ("id", str id); ("status", str "error"); ("reason", str msg) ]
+
+let render_rejected ~id ~reason ~queue_depth ~retry_after_ms =
+  obj
+    [
+      ("id", str id);
+      ("status", str "rejected");
+      ("reason", str reason);
+      ("queue_depth", string_of_int queue_depth);
+      ("retry_after_ms", string_of_int retry_after_ms);
+    ]
+
+let render_failed ~id ~elapsed_ms reason =
+  obj
+    [
+      ("id", str id);
+      ("status", str "failed");
+      ("reason", str reason);
+      ("elapsed_ms", Printf.sprintf "%.3f" elapsed_ms);
+    ]
+
+let render_mapped ~id ~status ~(counts : Domino.Circuit.counts) ~degradations
+    ~elapsed_ms ~dump =
+  let base =
+    [
+      ("id", str id);
+      ("status", str status);
+      ( "counts",
+        obj
+          [
+            ("t_logic", string_of_int counts.Domino.Circuit.t_logic);
+            ("t_disch", string_of_int counts.Domino.Circuit.t_disch);
+            ("t_total", string_of_int counts.Domino.Circuit.t_total);
+            ("t_clock", string_of_int counts.Domino.Circuit.t_clock);
+            ("gates", string_of_int counts.Domino.Circuit.gate_count);
+            ("levels", string_of_int counts.Domino.Circuit.levels);
+            ("pi_inverters", string_of_int counts.Domino.Circuit.pi_inverters);
+          ] );
+      ( "degradations",
+        "[" ^ String.concat ", " (List.map str degradations) ^ "]" );
+      ("elapsed_ms", Printf.sprintf "%.3f" elapsed_ms);
+    ]
+  in
+  obj (match dump with None -> base | Some d -> base @ [ ("dump", str d) ])
+
+let render_pong ~id =
+  obj [ ("id", str id); ("status", str "ok"); ("op", str "ping") ]
+
+let render_stats ~id totals =
+  obj
+    [
+      ("id", str id);
+      ("status", str "ok");
+      ("op", str "stats");
+      ("service", obj (List.map (fun (k, v) -> (k, string_of_int v)) totals));
+    ]
+
+(* Client-side decode: the one field every response carries. *)
+let response_status j =
+  match Obs.Json.member "status" j with
+  | Some v -> (
+      match Obs.Json.to_string v with
+      | Some s -> Ok s
+      | None -> Error "status is not a string")
+  | None -> Error "response carries no status"

@@ -1,0 +1,92 @@
+(** The soimapd wire protocol: newline-delimited JSON frames.
+
+    One request per line, one response per line, over a Unix-domain or
+    TCP stream socket.  Both sides reuse the dependency-free {!Obs.Json}
+    reader; a malformed line yields an [error] response and the stream
+    resynchronises at the next newline.  Every response echoes the
+    request's [id].
+
+    Request shape (all fields except [format]/[payload] optional):
+    {v
+    {"id":"r1", "op":"map", "format":"blif|bench|pla|suite",
+     "payload":"...", "flow":"bulk|rs|soi", "cost":"area|depth|depth-bulk|<k>",
+     "w_max":5, "h_max":8, "rewrite":0,
+     "timeout":2.5, "max_tuples":100000, "max_bdd_nodes":100000,
+     "on_exhaust":"degrade|fail", "dump":false, "delay_ms":0}
+    v}
+    [op] is ["map"] (default), ["ping"], or ["stats"].  [delay_ms] is a
+    chaos-drill aid: the server sleeps that long (clamped by policy)
+    before mapping, simulating a slow downstream stage.
+
+    Response statuses: [ok], [degraded] (budget tripped, greedy fallback
+    mapped), [failed] (budget tripped under [on_exhaust:"fail"], or the
+    payload did not parse), [rejected] (admission control; carries
+    [retry_after_ms]), [error] (malformed or invalid frame).  See
+    docs/service.md for the full catalogue. *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+val addr_of_string : string -> (addr, string) result
+(** Parses ["unix:PATH"] or ["tcp:HOST:PORT"] (empty host means
+    127.0.0.1). *)
+
+val addr_to_string : addr -> string
+
+(** {1 Requests} *)
+
+type format = Blif | Bench_fmt | Pla | Suite
+
+type map_params = {
+  format : format;
+  payload : string;  (** circuit text, or the suite benchmark name *)
+  flow : Mapper.Algorithms.flow;
+  cost : Mapper.Cost.model;
+  w_max : int;
+  h_max : int;
+  rewrite : int;
+  timeout : float option;  (** client-requested; clamped by server policy *)
+  max_tuples : int option;
+  max_bdd_nodes : int option;
+  on_exhaust : [ `Degrade | `Fail ];
+  dump : bool;  (** include the canonical circuit dump in the response *)
+  delay_ms : int;  (** drill aid: pre-mapping sleep, clamped by policy *)
+}
+
+type body = Ping | Stats | Map of map_params
+
+type request = { id : string; body : body }
+
+val parse_request : string -> (request, string) result
+(** Total: malformed JSON, unknown fields values, and nonsensical budget
+    limits (the same {!Resilience.Budget.validate} rules as the CLI
+    flags) come back as [Error msg], never an exception. *)
+
+val format_of_string : string -> (format, string) result
+val flow_of_string : string -> (Mapper.Algorithms.flow, string) result
+val cost_of_string : string -> (Mapper.Cost.model, string) result
+
+(** {1 Responses} *)
+
+val render_error : id:string -> string -> string
+val render_rejected :
+  id:string -> reason:string -> queue_depth:int -> retry_after_ms:int -> string
+
+val render_failed : id:string -> elapsed_ms:float -> string -> string
+
+val render_mapped :
+  id:string ->
+  status:string ->
+  counts:Domino.Circuit.counts ->
+  degradations:string list ->
+  elapsed_ms:float ->
+  dump:string option ->
+  string
+
+val render_pong : id:string -> string
+val render_stats : id:string -> (string * int) list -> string
+
+val response_status : Obs.Json.t -> (string, string) result
+(** The [status] member of a decoded response. *)
+
+val json_escape : string -> string
+(** JSON string-body escaping (shared with the CLI's stats printer). *)

@@ -1,0 +1,764 @@
+(* soimapd: the mapping-as-a-service daemon core.
+
+   Composition, not invention: requests ride the shared work-stealing
+   {!Parallel.Pool}, per-request limits become {!Resilience.Budget}
+   allowances (clamped by server policy so a client can never buy an
+   unbounded mapping), all clients share one warm {!Mapper.Memo} table,
+   and the ledger/latency surface mirrors into {!Obs.Metrics}.
+
+   Robustness is the architecture:
+
+   - {b Admission control.}  A bounded queue between connection readers
+     and the dispatchers; once full, a map request is answered
+     [rejected/overloaded] immediately (with a retry hint) instead of
+     queueing without bound.  [ping]/[stats] bypass admission so the
+     daemon stays observable under overload.
+   - {b Bounded I/O.}  Every connection has read/write timeouts and a
+     max-request-size: a slow, silent or fire-hosing client costs one
+     reader thread for at most one timeout, never a worker.
+   - {b Request isolation.}  A job that trips its budget or raises
+     returns a [failed] response to its own client; the worker, the
+     batch it rode in, and every other request proceed.  No exception
+     crosses a job boundary (a raising pool task would cancel its
+     batch siblings).
+   - {b Graceful drain.}  SIGTERM/SIGINT (via {!request_stop}) stops
+     accepting, lets in-flight and queued work finish until the drain
+     deadline (queued jobs past it are failed, never dropped silently),
+     flushes the cache and metrics, and {!run} returns [Ok ()] — exit 0.
+
+   Ledger invariant: [requests = ok + degraded + failed + rejected],
+   exactly, at every instant — a response's outcome counter and the
+   request counter are bumped together under the server mutex.  Frames
+   that never became an admitted request (malformed, oversized, invalid
+   limits) are counted in [errors] instead.  The chaos drill
+   ({!Check.Chaos.daemon_storm}) storms a live daemon and asserts this
+   balance through the [stats] op. *)
+
+type config = {
+  addr : Protocol.addr;
+  max_connections : int;
+  queue_depth : int;
+  dispatchers : int;
+  batch_max : int;
+  max_request_bytes : int;
+  io_timeout : float;
+  drain_timeout : float;
+  default_timeout : float;
+  max_timeout : float;
+  max_tuples_cap : int option;
+  max_bdd_nodes_cap : int option;
+  max_delay_ms : int;
+  cache_file : string option;
+  cache_interval : float;
+}
+
+let default_config ~addr =
+  {
+    addr;
+    max_connections = 64;
+    queue_depth = 64;
+    dispatchers = 2;
+    batch_max = 8;
+    max_request_bytes = 1 lsl 20;
+    io_timeout = 10.0;
+    drain_timeout = 10.0;
+    default_timeout = 30.0;
+    max_timeout = 60.0;
+    max_tuples_cap = None;
+    max_bdd_nodes_cap = None;
+    max_delay_ms = 1000;
+    cache_file = None;
+    cache_interval = 60.0;
+  }
+
+(* ---------------- metrics mirrors ---------------- *)
+
+(* Traffic-shaped, so all unstable.  The internal totals below are the
+   authoritative ledger (always on, mutex-consistent); these mirrors
+   exist so `soimap --serve --stats` exposes the same numbers through
+   the standard observability surface. *)
+let m_requests = Obs.Metrics.counter ~stable:false "service.requests"
+let m_ok = Obs.Metrics.counter ~stable:false "service.ok"
+let m_degraded = Obs.Metrics.counter ~stable:false "service.degraded"
+let m_failed = Obs.Metrics.counter ~stable:false "service.failed"
+let m_rejected = Obs.Metrics.counter ~stable:false "service.rejected"
+let m_errors = Obs.Metrics.counter ~stable:false "service.errors"
+let m_disconnects = Obs.Metrics.counter ~stable:false "service.disconnects"
+let m_connections = Obs.Metrics.counter ~stable:false "service.connections"
+let m_conn_rejected = Obs.Metrics.counter ~stable:false "service.conn_rejected"
+let m_queue_peak = Obs.Metrics.gauge_max ~stable:false "service.queue_peak"
+let m_bytes_in = Obs.Metrics.counter ~stable:false "service.bytes_in"
+let m_bytes_out = Obs.Metrics.counter ~stable:false "service.bytes_out"
+
+let m_latency =
+  Obs.Metrics.histogram ~stable:false
+    ~buckets:[| 1; 5; 10; 25; 50; 100; 250; 500; 1000; 2500; 5000; 10000 |]
+    "service.latency_ms"
+
+(* ---------------- connections ---------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  wmutex : Mutex.t;  (* serialises response lines on this socket *)
+  mutable pending : int;  (* queued/in-flight jobs that will write here *)
+  mutable closing : bool;  (* reader done; close once pending drains *)
+  mutable dead : bool;  (* a write failed; don't try again *)
+  mutable closed : bool;
+}
+
+type job = {
+  req_id : string;
+  params : Protocol.map_params;
+  jconn : conn;
+  t_enq : int64;
+}
+
+type t = {
+  cfg : config;
+  memo : Mapper.Memo.t;
+  stop : bool Atomic.t;
+  listening : bool Atomic.t;
+  m : Mutex.t;
+  jobs_cond : Condition.t;
+  queue : job Queue.t;
+  mutable stopping : bool;  (* mutex-held mirror of [stop], wakes waiters *)
+  mutable drain_deadline : int64;
+  mutable conns : conn list;
+  mutable next_cid : int;
+  (* the ledger (guarded by [m]) *)
+  mutable c_requests : int;
+  mutable c_ok : int;
+  mutable c_degraded : int;
+  mutable c_failed : int;
+  mutable c_rejected : int;
+  mutable c_errors : int;
+  mutable c_disconnects : int;
+  mutable c_connections : int;
+  mutable c_conn_rejected : int;
+  mutable c_queue_peak : int;
+  mutable c_latency_max_ms : int;
+}
+
+let create ?memo cfg =
+  {
+    cfg;
+    memo = (match memo with Some m -> m | None -> Mapper.Memo.create ());
+    stop = Atomic.make false;
+    listening = Atomic.make false;
+    m = Mutex.create ();
+    jobs_cond = Condition.create ();
+    queue = Queue.create ();
+    stopping = false;
+    drain_deadline = 0L;
+    conns = [];
+    next_cid = 0;
+    c_requests = 0;
+    c_ok = 0;
+    c_degraded = 0;
+    c_failed = 0;
+    c_rejected = 0;
+    c_errors = 0;
+    c_disconnects = 0;
+    c_connections = 0;
+    c_conn_rejected = 0;
+    c_queue_peak = 0;
+    c_latency_max_ms = 0;
+  }
+
+let memo t = t.memo
+let request_stop t = Atomic.set t.stop true
+let listening t = Atomic.get t.listening
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let totals t =
+  locked t (fun () ->
+      [
+        ("requests", t.c_requests);
+        ("ok", t.c_ok);
+        ("degraded", t.c_degraded);
+        ("failed", t.c_failed);
+        ("rejected", t.c_rejected);
+        ("errors", t.c_errors);
+        ("disconnects", t.c_disconnects);
+        ("connections", t.c_connections);
+        ("conn_rejected", t.c_conn_rejected);
+        ("queue_depth", Queue.length t.queue);
+        ("queue_peak", t.c_queue_peak);
+        ("latency_max_ms", t.c_latency_max_ms);
+      ])
+
+(* ---------------- socket helpers ---------------- *)
+
+(* Writes go through one code path: serialised per connection, bounded
+   by SO_SNDTIMEO, and a failure (EPIPE from a mid-request disconnect,
+   a timeout against a stuffed socket) marks the connection dead and is
+   counted — it never raises into a pool task or reader. *)
+let write_line t conn line =
+  Mutex.lock conn.wmutex;
+  let newly_dead = ref false in
+  let ok =
+    if conn.dead || conn.closed then false
+    else begin
+      let data = line ^ "\n" in
+      let len = String.length data in
+      match
+        let off = ref 0 in
+        while !off < len do
+          off :=
+            !off + Unix.write_substring conn.fd data !off (len - !off)
+        done
+      with
+      | () ->
+          Obs.Metrics.add m_bytes_out len;
+          true
+      | exception Unix.Unix_error _ ->
+          conn.dead <- true;
+          newly_dead := true;
+          false
+    end
+  in
+  Mutex.unlock conn.wmutex;
+  if !newly_dead then begin
+    locked t (fun () -> t.c_disconnects <- t.c_disconnects + 1);
+    Obs.Metrics.incr m_disconnects
+  end;
+  ok
+
+let close_fd fd =
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Close the socket once nothing will write to it anymore.  Readers call
+   this with [conn.closing] set; jobs call it as they release their
+   reference. *)
+let conn_maybe_close conn =
+  Mutex.lock conn.wmutex;
+  let do_close = conn.closing && conn.pending = 0 && not conn.closed in
+  if do_close then conn.closed <- true;
+  Mutex.unlock conn.wmutex;
+  if do_close then close_fd conn.fd
+
+let conn_release conn =
+  Mutex.lock conn.wmutex;
+  conn.pending <- conn.pending - 1;
+  Mutex.unlock conn.wmutex;
+  conn_maybe_close conn
+
+(* ---------------- request execution ---------------- *)
+
+exception Payload_error of string
+
+let network_of_payload (p : Protocol.map_params) =
+  match p.format with
+  | Protocol.Blif -> (
+      try Blif.parse_string p.payload
+      with Blif.Parse_error (line, msg) ->
+        raise (Payload_error (Printf.sprintf "blif:%d: %s" line msg)))
+  | Protocol.Bench_fmt -> (
+      try Bench_format.parse_string p.payload
+      with Bench_format.Parse_error (line, msg) ->
+        raise (Payload_error (Printf.sprintf "bench:%d: %s" line msg)))
+  | Protocol.Pla -> (
+      try Pla.to_network (Pla.parse_string p.payload)
+      with Pla.Parse_error (line, msg) ->
+        raise (Payload_error (Printf.sprintf "pla:%d: %s" line msg)))
+  | Protocol.Suite -> (
+      let in_extras () =
+        List.find_opt
+          (fun e -> e.Gen.Suite.name = p.payload)
+          Gen.Suite.extras
+      in
+      match (Gen.Suite.find p.payload, in_extras ()) with
+      | Some e, _ | None, Some e -> e.Gen.Suite.build ()
+      | None, None ->
+          raise (Payload_error ("unknown suite benchmark: " ^ p.payload)))
+
+(* Client-supplied limits clamped by server policy: the effective
+   timeout is always finite (policy default when the client sent none,
+   policy max otherwise), so no request can hold a worker forever; the
+   tuple/BDD caps take the tighter of client wish and policy cap. *)
+let effective_budget cfg (p : Protocol.map_params) =
+  let timeout =
+    Float.min (Option.value p.timeout ~default:cfg.default_timeout)
+      cfg.max_timeout
+  in
+  let tighter client cap =
+    match (client, cap) with
+    | Some a, Some b -> Some (min a b)
+    | Some a, None -> Some a
+    | None, c -> c
+  in
+  Resilience.Budget.make ~timeout
+    ?max_tuples:(tighter p.max_tuples cfg.max_tuples_cap)
+    ?max_bdd_nodes:(tighter p.max_bdd_nodes cfg.max_bdd_nodes_cap)
+    ()
+
+type job_outcome = Ok_ | Degraded_ | Failed_
+
+(* One admitted request, start to finish, on a pool domain.  Total: any
+   escape (payload parse error, a raising mapper bug, a chaos site)
+   becomes a [failed] response — an exception here would cancel the
+   sibling requests sharing the batch. *)
+let run_job t job =
+  let cfg = t.cfg in
+  let p = job.params in
+  let elapsed () = Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) job.t_enq) in
+  let outcome, line =
+    match
+      Obs.Trace.with_span ~cat:"service" "service.request" (fun () ->
+          if p.Protocol.delay_ms > 0 then
+            Unix.sleepf
+              (float_of_int (min p.Protocol.delay_ms cfg.max_delay_ms) /. 1000.);
+          let net = network_of_payload p in
+          let budget = effective_budget cfg p in
+          Mapper.Algorithms.run_outcome ~budget ~memo:t.memo
+            ~on_exhaust:p.Protocol.on_exhaust ~cost:p.Protocol.cost
+            ~w_max:p.Protocol.w_max ~h_max:p.Protocol.h_max
+            ~rewrite:p.Protocol.rewrite p.Protocol.flow net)
+    with
+    | Resilience.Outcome.Ok r ->
+        ( Ok_,
+          Protocol.render_mapped ~id:job.req_id ~status:"ok"
+            ~counts:r.Mapper.Algorithms.counts ~degradations:[]
+            ~elapsed_ms:(elapsed ())
+            ~dump:
+              (if p.Protocol.dump then
+                 Some (Domino.Circuit.dump r.Mapper.Algorithms.circuit)
+               else None) )
+    | Resilience.Outcome.Degraded (r, ds) ->
+        ( Degraded_,
+          Protocol.render_mapped ~id:job.req_id ~status:"degraded"
+            ~counts:r.Mapper.Algorithms.counts
+            ~degradations:
+              (List.map Resilience.Outcome.describe_degradation ds)
+            ~elapsed_ms:(elapsed ())
+            ~dump:
+              (if p.Protocol.dump then
+                 Some (Domino.Circuit.dump r.Mapper.Algorithms.circuit)
+               else None) )
+    | Resilience.Outcome.Failed reason ->
+        ( Failed_,
+          Protocol.render_failed ~id:job.req_id ~elapsed_ms:(elapsed ())
+            (Resilience.Budget.reason_to_string reason) )
+    | exception Payload_error msg ->
+        ( Failed_,
+          Protocol.render_failed ~id:job.req_id ~elapsed_ms:(elapsed ())
+            ("parse: " ^ msg) )
+    | exception Resilience.Budget.Exhausted reason ->
+        ( Failed_,
+          Protocol.render_failed ~id:job.req_id ~elapsed_ms:(elapsed ())
+            (Resilience.Budget.reason_to_string reason) )
+    | exception e ->
+        ( Failed_,
+          Protocol.render_failed ~id:job.req_id ~elapsed_ms:(elapsed ())
+            ("internal: " ^ Printexc.to_string e) )
+  in
+  (* Ledger before writing: once a client holds a response, the ledger
+     already reflects it, so an immediately following `stats` (or the
+     storm drill's over-the-wire balance check) can never observe the
+     gap between a delivered outcome and its counters. *)
+  let ms = int_of_float (elapsed ()) in
+  locked t (fun () ->
+      t.c_requests <- t.c_requests + 1;
+      (match outcome with
+      | Ok_ -> t.c_ok <- t.c_ok + 1
+      | Degraded_ -> t.c_degraded <- t.c_degraded + 1
+      | Failed_ -> t.c_failed <- t.c_failed + 1);
+      if ms > t.c_latency_max_ms then t.c_latency_max_ms <- ms);
+  Obs.Metrics.incr m_requests;
+  (match outcome with
+  | Ok_ -> Obs.Metrics.incr m_ok
+  | Degraded_ -> Obs.Metrics.incr m_degraded
+  | Failed_ -> Obs.Metrics.incr m_failed);
+  Obs.Metrics.observe m_latency ms;
+  ignore (write_line t job.jconn line);
+  conn_release job.jconn
+
+(* Fail a job without mapping it (drain deadline passed). *)
+let fail_job t job reason =
+  let elapsed = Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) job.t_enq) in
+  locked t (fun () ->
+      t.c_requests <- t.c_requests + 1;
+      t.c_failed <- t.c_failed + 1);
+  Obs.Metrics.incr m_requests;
+  Obs.Metrics.incr m_failed;
+  ignore
+    (write_line t job.jconn
+       (Protocol.render_failed ~id:job.req_id ~elapsed_ms:elapsed reason));
+  conn_release job.jconn
+
+(* ---------------- dispatchers ---------------- *)
+
+(* A dispatcher collects whatever is queued (up to [batch_max]) and maps
+   the batch on the shared pool: concurrent requests become one
+   fork-join batch, several dispatchers keep batches overlapping.  The
+   pool's first-failure cancellation is irrelevant here because
+   [run_job] never raises. *)
+let dispatcher_loop t =
+  let rec loop () =
+    Mutex.lock t.m;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.jobs_cond t.m
+    done;
+    let past_drain =
+      t.stopping && t.drain_deadline <> 0L
+      && Int64.compare (Obs.Clock.now_ns ()) t.drain_deadline > 0
+    in
+    let batch = ref [] in
+    let n = ref 0 in
+    while (not (Queue.is_empty t.queue)) && !n < t.cfg.batch_max do
+      batch := Queue.pop t.queue :: !batch;
+      incr n
+    done;
+    let finished = Queue.is_empty t.queue && t.stopping in
+    Mutex.unlock t.m;
+    let batch = Array.of_list (List.rev !batch) in
+    if past_drain then
+      Array.iter (fun j -> fail_job t j "draining: server shutting down") batch
+    else if Array.length batch > 0 then
+      ignore (Parallel.Pool.map_default (fun j -> run_job t j) batch);
+    if not (finished && Array.length batch = 0) then
+      if finished then (
+        (* drained this batch; check whether more arrived *)
+        Mutex.lock t.m;
+        let really_done = Queue.is_empty t.queue && t.stopping in
+        Mutex.unlock t.m;
+        if not really_done then loop ())
+      else loop ()
+  in
+  loop ()
+
+(* ---------------- connection readers ---------------- *)
+
+type read_event = Line of string | Eof | Timeout | Oversized
+
+(* Buffered line reader bounded in space ([max_request_bytes]) and time
+   (SO_RCVTIMEO set at accept). *)
+let read_next t conn buf =
+  let chunk = Bytes.create 4096 in
+  let find_line () =
+    match String.index_opt (Buffer.contents buf) '\n' with
+    | Some i ->
+        let all = Buffer.contents buf in
+        let line = String.sub all 0 i in
+        Buffer.clear buf;
+        Buffer.add_substring buf all (i + 1) (String.length all - i - 1);
+        Some line
+    | None -> None
+  in
+  let rec go () =
+    match find_line () with
+    | Some l -> Line l
+    | None ->
+        if Buffer.length buf > t.cfg.max_request_bytes then Oversized
+        else begin
+          match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+          | 0 -> Eof
+          | n ->
+              Obs.Metrics.add m_bytes_in n;
+              Buffer.add_subbytes buf chunk 0 n;
+              go ()
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+              Timeout
+          | exception Unix.Unix_error _ -> Eof
+        end
+  in
+  go ()
+
+let count_error t =
+  locked t (fun () -> t.c_errors <- t.c_errors + 1);
+  Obs.Metrics.incr m_errors
+
+let count_disconnect t =
+  locked t (fun () -> t.c_disconnects <- t.c_disconnects + 1);
+  Obs.Metrics.incr m_disconnects
+
+(* Admission decision for a parsed map request: bounded queue, explicit
+   rejection once full (or once the server is draining). *)
+let admit t conn req_id params =
+  Mutex.lock t.m;
+  let depth = Queue.length t.queue in
+  let decision =
+    if t.stopping then `Reject ("draining", depth)
+    else if depth >= t.cfg.queue_depth then `Reject ("overloaded", depth)
+    else begin
+      Mutex.lock conn.wmutex;
+      conn.pending <- conn.pending + 1;
+      Mutex.unlock conn.wmutex;
+      Queue.push
+        { req_id; params; jconn = conn; t_enq = Obs.Clock.now_ns () }
+        t.queue;
+      let d = Queue.length t.queue in
+      if d > t.c_queue_peak then t.c_queue_peak <- d;
+      Condition.signal t.jobs_cond;
+      `Admitted d
+    end
+  in
+  (match decision with
+  | `Reject _ ->
+      t.c_requests <- t.c_requests + 1;
+      t.c_rejected <- t.c_rejected + 1
+  | `Admitted _ -> ());
+  Mutex.unlock t.m;
+  match decision with
+  | `Admitted d -> Obs.Metrics.observe_max m_queue_peak d
+  | `Reject (reason, depth) ->
+      Obs.Metrics.incr m_requests;
+      Obs.Metrics.incr m_rejected;
+      ignore
+        (write_line t conn
+           (Protocol.render_rejected ~id:req_id ~reason ~queue_depth:depth
+              ~retry_after_ms:50))
+
+let handle_line t conn line =
+  match Protocol.parse_request line with
+  | Error msg ->
+      count_error t;
+      ignore (write_line t conn (Protocol.render_error ~id:"" msg))
+  | Ok { Protocol.id; body = Protocol.Ping } ->
+      ignore (write_line t conn (Protocol.render_pong ~id))
+  | Ok { Protocol.id; body = Protocol.Stats } ->
+      ignore (write_line t conn (Protocol.render_stats ~id (totals t)))
+  | Ok { Protocol.id; body = Protocol.Map p } -> admit t conn id p
+
+let reader_loop t conn =
+  let buf = Buffer.create 512 in
+  let rec loop () =
+    if Atomic.get t.stop && Buffer.length buf = 0 then ()
+    else
+      match read_next t conn buf with
+      | Line l ->
+          if String.trim l <> "" then handle_line t conn l;
+          loop ()
+      | Eof -> if Buffer.length buf > 0 then count_disconnect t
+      | Timeout ->
+          (* Idle or stalled past SO_RCVTIMEO: a stalled mid-frame client
+             is a disconnect-class event; an idle one just gets closed. *)
+          if Buffer.length buf > 0 then count_disconnect t
+      | Oversized ->
+          count_error t;
+          ignore
+            (write_line t conn
+               (Protocol.render_error ~id:""
+                  (Printf.sprintf "request exceeds %d bytes"
+                     t.cfg.max_request_bytes)))
+  in
+  loop ();
+  Mutex.lock conn.wmutex;
+  conn.closing <- true;
+  Mutex.unlock conn.wmutex;
+  conn_maybe_close conn;
+  locked t (fun () ->
+      t.conns <- List.filter (fun c -> c.cid <> conn.cid) t.conns)
+
+(* ---------------- cache janitor ---------------- *)
+
+let save_cache t =
+  match t.cfg.cache_file with
+  | None -> ()
+  | Some file -> (
+      match Mapper.Memo.save t.memo file with
+      | Resilience.Outcome.Ok _ -> ()
+      | Resilience.Outcome.Degraded (_, ds) ->
+          List.iter
+            (fun d ->
+              Printf.eprintf "soimapd: cache %s: %s; not saved\n%!" file
+                (Resilience.Budget.reason_to_string d.Resilience.Outcome.reason))
+            ds
+      | Resilience.Outcome.Failed reason ->
+          Printf.eprintf "soimapd: cache %s: %s; not saved\n%!" file
+            (Resilience.Budget.reason_to_string reason))
+
+let janitor_loop t =
+  let rec loop since =
+    if Atomic.get t.stop then ()
+    else begin
+      Unix.sleepf 0.2;
+      let since = since +. 0.2 in
+      if since >= t.cfg.cache_interval then begin
+        save_cache t;
+        loop 0.0
+      end
+      else loop since
+    end
+  in
+  loop 0.0
+
+(* ---------------- listener ---------------- *)
+
+let bind_listener cfg =
+  match cfg.addr with
+  | Protocol.Tcp (host, port) -> (
+      let inet =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found | Invalid_argument _ ->
+          Unix.inet_addr_of_string "127.0.0.1"
+      in
+      let sa = Unix.ADDR_INET (inet, port) in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      match
+        Unix.bind fd sa;
+        Unix.listen fd 128
+      with
+      | () -> Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+          Unix.close fd;
+          Error
+            (Printf.sprintf "cannot listen on %s: %s"
+               (Protocol.addr_to_string cfg.addr)
+               (Unix.error_message e)))
+  | Protocol.Unix_sock path -> (
+      let sa = Unix.ADDR_UNIX path in
+      let try_bind () =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        match
+          Unix.bind fd sa;
+          Unix.listen fd 128
+        with
+        | () -> Ok fd
+        | exception Unix.Unix_error (e, _, _) ->
+            Unix.close fd;
+            Error e
+      in
+      match try_bind () with
+      | Ok fd -> Ok fd
+      | Error Unix.EADDRINUSE -> (
+          (* A leftover socket file from a crashed daemon, or a live
+             twin?  Probe it: connection refused means stale. *)
+          let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          let stale =
+            match Unix.connect probe sa with
+            | () -> false
+            | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> true
+            | exception Unix.Unix_error _ -> true
+          in
+          Unix.close probe;
+          if not stale then
+            Error ("another daemon is live on " ^ path)
+          else begin
+            (try Unix.unlink path with Unix.Unix_error _ -> ());
+            match try_bind () with
+            | Ok fd -> Ok fd
+            | Error e ->
+                Error
+                  (Printf.sprintf "cannot listen on %s: %s" path
+                     (Unix.error_message e))
+          end)
+      | Error e ->
+          Error
+            (Printf.sprintf "cannot listen on %s: %s" path
+               (Unix.error_message e)))
+
+let accept_conn t lfd =
+  match Unix.accept lfd with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      None
+  | exception Unix.Unix_error _ -> None
+  | fd, _peer ->
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.io_timeout
+       with Unix.Unix_error _ -> ());
+      (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.io_timeout
+       with Unix.Unix_error _ -> ());
+      let n = locked t (fun () -> List.length t.conns) in
+      if n >= t.cfg.max_connections then begin
+        locked t (fun () ->
+            t.c_conn_rejected <- t.c_conn_rejected + 1);
+        Obs.Metrics.incr m_conn_rejected;
+        let line =
+          Protocol.render_rejected ~id:"" ~reason:"too-many-connections"
+            ~queue_depth:0 ~retry_after_ms:200
+          ^ "\n"
+        in
+        (try ignore (Unix.write_substring fd line 0 (String.length line))
+         with Unix.Unix_error _ -> ());
+        close_fd fd;
+        None
+      end
+      else begin
+        let conn =
+          locked t (fun () ->
+              let cid = t.next_cid in
+              t.next_cid <- cid + 1;
+              t.c_connections <- t.c_connections + 1;
+              let c =
+                {
+                  fd;
+                  cid;
+                  wmutex = Mutex.create ();
+                  pending = 0;
+                  closing = false;
+                  dead = false;
+                  closed = false;
+                }
+              in
+              t.conns <- c :: t.conns;
+              c)
+        in
+        Obs.Metrics.incr m_connections;
+        Some conn
+      end
+
+(* ---------------- run ---------------- *)
+
+let run t =
+  (* A client vanishing mid-response must surface as EPIPE on the write,
+     not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  match bind_listener t.cfg with
+  | Error msg -> Error msg
+  | Ok lfd ->
+      Unix.set_nonblock lfd;
+      Atomic.set t.listening true;
+      let dispatchers =
+        List.init (max 1 t.cfg.dispatchers) (fun _ ->
+            Thread.create dispatcher_loop t)
+      in
+      let janitor =
+        if t.cfg.cache_file <> None then Some (Thread.create janitor_loop t)
+        else None
+      in
+      let readers = ref [] in
+      while not (Atomic.get t.stop) do
+        match Unix.select [ lfd ] [] [] 0.2 with
+        | [], _, _ -> ()
+        | _ -> (
+            match accept_conn t lfd with
+            | None -> ()
+            | Some conn ->
+                readers := Thread.create (fun () -> reader_loop t conn) () :: !readers)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      (* ---- drain ---- *)
+      Atomic.set t.listening false;
+      close_fd lfd;
+      (match t.cfg.addr with
+      | Protocol.Unix_sock path -> (
+          try Unix.unlink path with Unix.Unix_error _ -> ())
+      | Protocol.Tcp _ -> ());
+      Mutex.lock t.m;
+      t.stopping <- true;
+      t.drain_deadline <-
+        Int64.add (Obs.Clock.now_ns ())
+          (Int64.of_float (t.cfg.drain_timeout *. 1e9));
+      Condition.broadcast t.jobs_cond;
+      Mutex.unlock t.m;
+      List.iter Thread.join dispatchers;
+      (* Wake readers blocked in [read]: shutdown the receive side.  They
+         observe EOF, release their connections and exit. *)
+      let conns = locked t (fun () -> t.conns) in
+      List.iter
+        (fun c ->
+          try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE
+          with Unix.Unix_error _ -> ())
+        conns;
+      List.iter (fun th -> Thread.join th) !readers;
+      (match janitor with Some th -> Thread.join th | None -> ());
+      save_cache t;
+      Ok ()

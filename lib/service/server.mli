@@ -1,0 +1,92 @@
+(** The soimapd daemon core: admission control, shared-pool execution,
+    warm shared cache, graceful drain.
+
+    One {!t} is one daemon: a listener (Unix or TCP, {!Protocol.addr}),
+    a reader thread per connection (bounded by [max_connections], with
+    read/write timeouts and a max-request-size), a bounded admission
+    queue, and [dispatchers] threads that batch queued requests onto the
+    shared {!Parallel.Pool}.  All requests share one warm {!Mapper.Memo}
+    table; with [cache_file] set, a janitor thread persists it
+    atomically every [cache_interval] seconds and again at drain.
+
+    {b Isolation.}  A request that trips its budget, fails to parse, or
+    hits a raising cone produces a [failed] response on its own
+    connection; nothing else is affected — no exception ever crosses a
+    job boundary onto the pool.
+
+    {b Ledger.}  [requests = ok + degraded + failed + rejected] holds at
+    every instant: a request is counted together with its outcome, under
+    one lock, at response time.  Frames that never became an admitted
+    request (malformed JSON, invalid limits, oversized) count as
+    [errors].  {!Check.Chaos.daemon_storm} asserts the balance against a
+    live daemon.
+
+    {b Drain.}  {!request_stop} is async-signal-safe (a single atomic
+    store) — call it from SIGTERM/SIGINT handlers.  {!run} then stops
+    accepting, closes the listener (and unlinks a Unix socket path),
+    lets queued and in-flight work finish until [drain_timeout] (later
+    queued jobs are failed with ["draining"], never silently dropped),
+    wakes and joins every thread, saves the cache, and returns
+    [Ok ()]. *)
+
+type config = {
+  addr : Protocol.addr;
+  max_connections : int;  (** readers; excess connects get one [rejected] line *)
+  queue_depth : int;  (** admission bound; beyond it: [rejected]/overloaded *)
+  dispatchers : int;  (** threads batching jobs onto the shared pool *)
+  batch_max : int;  (** max jobs dispatched as one pool batch *)
+  max_request_bytes : int;  (** a longer frame is an error; connection closes *)
+  io_timeout : float;  (** per-connection SO_RCVTIMEO / SO_SNDTIMEO, seconds *)
+  drain_timeout : float;  (** grace for queued work after {!request_stop} *)
+  default_timeout : float;  (** budget timeout when the client sends none *)
+  max_timeout : float;  (** client timeouts are clamped to this *)
+  max_tuples_cap : int option;  (** policy cap; min'd with the client's *)
+  max_bdd_nodes_cap : int option;
+  max_delay_ms : int;  (** clamp on the drill-aid [delay_ms] field *)
+  cache_file : string option;
+  cache_interval : float;  (** seconds between janitor cache saves *)
+}
+
+val default_config : addr:Protocol.addr -> config
+(** 64 connections, queue 64, 2 dispatchers, batches of 8, 1 MiB frames,
+    10 s I/O timeouts, 10 s drain, budgets default 30 s / max 60 s,
+    no tuple/BDD caps, 1 s delay clamp, no cache, 60 s cache interval. *)
+
+type t
+
+val create : ?memo:Mapper.Memo.t -> config -> t
+(** [create cfg] builds a daemon (not yet listening).  Pass [memo] to
+    share a pre-warmed table (e.g. loaded from [--cache]); otherwise a
+    fresh one is created. *)
+
+val run : t -> (unit, string) result
+(** Binds, listens and serves until {!request_stop}; then drains and
+    returns [Ok ()].  [Error msg] means startup failed (address in use
+    by a live daemon, permission denied, bad host) — nothing was
+    served.  A stale Unix socket file (bind succeeds nowhere but
+    connecting to it is refused) is unlinked and rebound.  Installs
+    [Signal_ignore] for SIGPIPE. *)
+
+val request_stop : t -> unit
+(** Begin graceful drain.  Async-signal-safe: one [Atomic.set], no
+    locks, no allocation beyond the closure — safe inside
+    [Sys.set_signal] handlers. *)
+
+val listening : t -> bool
+(** True once {!run} has bound and listens; false again at drain.  Lets
+    tests and the CLI wait for readiness. *)
+
+val memo : t -> Mapper.Memo.t
+(** The shared memo table (for saving or inspection after {!run}). *)
+
+val totals : t -> (string * int) list
+(** A consistent snapshot of the service ledger, in render order:
+    [requests], [ok], [degraded], [failed], [rejected], [errors],
+    [disconnects], [connections], [conn_rejected], [queue_depth],
+    [queue_peak], [latency_max_ms].  Taken under the ledger lock, so
+    [requests = ok + degraded + failed + rejected] in every snapshot.
+    Outcomes are ledgered {e before} their response is written, so any
+    response a client has already received is reflected in the next
+    snapshot it takes.
+    The same numbers are mirrored into {!Obs.Metrics} as [service.*]
+    counters (unstable). *)

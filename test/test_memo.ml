@@ -194,6 +194,67 @@ let test_persistent_roundtrip () =
       | Resilience.Outcome.Ok 0 -> ()
       | o -> Alcotest.failf "reload not idempotent: %s" (Resilience.Outcome.describe o))
 
+(* Concurrent writers on one --cache FILE (daemon flush racing a CLI
+   save) must never leave a torn file: two domains hammer [save] with
+   *different* table contents while a third loads in a loop.  Every load
+   must see a complete, digest-valid payload — either writer's — and
+   every entry set it observes must be one of the two written ones. *)
+let test_concurrent_savers () =
+  let table_for bench =
+    let u = Algorithms.prepare (Gen.Suite.build_exn bench) in
+    let m = Memo.create () in
+    ignore (Engine.map ~memo:m Engine.default_options u);
+    m
+  in
+  let m1 = table_for "z4ml" and m2 = table_for "cordic" in
+  let n1 = Memo.entry_count m1 and n2 = Memo.entry_count m2 in
+  Alcotest.(check bool) "distinguishable payloads" true (n1 <> n2);
+  let file = temp_path ".cache" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      (match Memo.save m1 file with
+      | Resilience.Outcome.Ok _ -> ()
+      | o -> Alcotest.failf "seed save: %s" (Resilience.Outcome.label o));
+      let rounds = 60 in
+      let writer m =
+        Domain.spawn (fun () ->
+            let failed = ref 0 in
+            for _ = 1 to rounds do
+              match Memo.save m file with
+              | Resilience.Outcome.Ok _ -> ()
+              | _ -> incr failed
+            done;
+            !failed)
+      in
+      let w1 = writer m1 and w2 = writer m2 in
+      let torn = ref 0 and seen = ref [] in
+      for _ = 1 to rounds * 2 do
+        let t = Memo.create () in
+        match Memo.load t file with
+        | Resilience.Outcome.Ok n ->
+            if not (List.mem n !seen) then seen := n :: !seen
+        | _ -> incr torn
+      done;
+      let f1 = Domain.join w1 and f2 = Domain.join w2 in
+      Alcotest.(check int) "no save failed" 0 (f1 + f2);
+      Alcotest.(check int) "no load ever saw a torn file" 0 !torn;
+      List.iter
+        (fun n ->
+          if n <> n1 && n <> n2 then
+            Alcotest.failf "reader saw a mixed payload: %d entries (writers: %d/%d)"
+              n n1 n2)
+        !seen;
+      (* no leaked temp files: every writer's temp was renamed away *)
+      let dir = Filename.dirname file and base = Filename.basename file in
+      let leftovers =
+        Array.to_list (Sys.readdir dir)
+        |> List.filter (fun f ->
+               String.length f > String.length base
+               && String.sub f 0 (String.length base) = base)
+      in
+      Alcotest.(check (list string)) "no temp files leak" [] leftovers)
+
 let check_degraded name outcome =
   match outcome with
   | Resilience.Outcome.Degraded (0, [ d ]) ->
@@ -355,6 +416,7 @@ let suite =
     Alcotest.test_case "self-check-after-sweep" `Quick test_self_check_after_sweep;
     Alcotest.test_case "introspection" `Quick test_introspection;
     Alcotest.test_case "persistent-roundtrip" `Quick test_persistent_roundtrip;
+    Alcotest.test_case "concurrent-savers" `Quick test_concurrent_savers;
     Alcotest.test_case "corrupt-caches" `Quick test_corrupt_caches;
     Alcotest.test_case "cli-corrupt-cache" `Quick test_cli_corrupt_cache;
     Alcotest.test_case "const-outputs" `Quick test_const_outputs;

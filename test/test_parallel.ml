@@ -66,6 +66,53 @@ let test_raising_task_storm () =
       (Parallel.Pool.map pool (fun i -> i + round) (Array.init 64 Fun.id))
   done
 
+let test_cancellation_churn () =
+  (* Sustained cancellation churn: several submitter threads hammer one
+     shared pool with batches whose first failure cancels the rest,
+     back to back, with no recovery pause — interleaved with clean
+     batches that must still come out exact.  This is the daemon's
+     steady state under storm (every request batch can carry a failing
+     cone), so the pool must neither deadlock, nor leak the cancel into
+     a sibling submitter's batch, nor mis-slot a result. *)
+  with_pool 4 @@ fun pool ->
+  let submitters = 4 and rounds = 25 in
+  let failures = Array.make submitters 0 in
+  let wrong = Array.make submitters 0 in
+  let threads =
+    Array.init submitters (fun s ->
+        Thread.create
+          (fun () ->
+            let rng = Logic.Rng.create (0xC0FFEE + s) in
+            for r = 1 to rounds do
+              let fail_at = Logic.Rng.int rng 32 in
+              (match
+                 Parallel.Pool.map pool
+                   (fun i ->
+                     if i = fail_at then failwith "churn";
+                     if Logic.Rng.int rng 4 = 0 then Thread.yield ();
+                     i * i)
+                   (Array.init 32 Fun.id)
+               with
+              | _ -> ()
+              | exception Failure _ -> failures.(s) <- failures.(s) + 1);
+              let clean =
+                Parallel.Pool.map pool
+                  (fun i -> (i * i) + r)
+                  (Array.init 48 Fun.id)
+              in
+              if clean <> Array.init 48 (fun i -> (i * i) + r) then
+                wrong.(s) <- wrong.(s) + 1
+            done)
+          ())
+  in
+  Array.iter Thread.join threads;
+  Alcotest.(check int) "every raising batch cancelled and re-raised"
+    (submitters * rounds)
+    (Array.fold_left ( + ) 0 failures);
+  Alcotest.(check int) "no clean batch was corrupted by a neighbour's cancel"
+    0
+    (Array.fold_left ( + ) 0 wrong)
+
 let test_chaos_pool_storm () =
   (* Same contract under seeded mixed faults (raise / delay / budget
      exhaustion) via the chaos harness. *)
@@ -251,6 +298,7 @@ let suite =
     Alcotest.test_case "map edge cases" `Quick test_map_edges;
     Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
     Alcotest.test_case "raising-task storm" `Quick test_raising_task_storm;
+    Alcotest.test_case "cancellation churn" `Quick test_cancellation_churn;
     Alcotest.test_case "chaos pool storm" `Quick test_chaos_pool_storm;
     Alcotest.test_case "nested maps" `Quick test_nested_maps;
     Alcotest.test_case "pool stats" `Quick test_pool_stats;

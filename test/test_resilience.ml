@@ -30,6 +30,49 @@ let test_budget_trips () =
   Alcotest.(check bool) "a made budget is not" false
     (Budget.is_unlimited (Budget.make ~max_tuples:1 ()))
 
+(* Deadline arithmetic is monotonic-clock based: the allowance is
+   measured from [make], a generous budget never trips under elapsed
+   time far below its allowance, an expired one always trips, and
+   [remaining_s] decreases monotonically between checks. *)
+let test_deadline_arithmetic () =
+  let b = Budget.make ~timeout:3600.0 () in
+  Budget.check_deadline b;
+  (match Budget.remaining_s b with
+  | None -> Alcotest.fail "timeout budget must carry a deadline"
+  | Some r ->
+      Alcotest.(check bool) "remaining below the allowance" true (r <= 3600.0);
+      Alcotest.(check bool) "remaining not visibly spent" true (r > 3590.0));
+  let r0 = Option.get (Budget.remaining_s b) in
+  Unix.sleepf 0.005;
+  let r1 = Option.get (Budget.remaining_s b) in
+  Alcotest.(check bool) "remaining decreases with elapsed time" true (r1 < r0);
+  Budget.check_deadline b;
+  let tiny = Budget.make ~timeout:0.002 () in
+  Unix.sleepf 0.01;
+  Alcotest.check_raises "expired allowance trips with its own value"
+    (Budget.Exhausted (Budget.Deadline 0.002))
+    (fun () -> Budget.check_deadline tiny);
+  Alcotest.(check bool) "expired remaining goes negative" true
+    (Option.get (Budget.remaining_s tiny) < 0.0);
+  Alcotest.(check (option (float 0.))) "unlimited has no deadline" None
+    (Budget.remaining_s Budget.unlimited)
+
+let test_budget_validate () =
+  let err = function Error _ -> true | Ok () -> false in
+  Alcotest.(check bool) "zero timeout rejected" true
+    (err (Budget.validate ~timeout:0.0 ()));
+  Alcotest.(check bool) "negative timeout rejected" true
+    (err (Budget.validate ~timeout:(-1.0) ()));
+  Alcotest.(check bool) "nan timeout rejected" true
+    (err (Budget.validate ~timeout:Float.nan ()));
+  Alcotest.(check bool) "non-positive tuple cap rejected" true
+    (err (Budget.validate ~max_tuples:0 ()));
+  Alcotest.(check bool) "negative bdd cap rejected" true
+    (err (Budget.validate ~max_bdd_nodes:(-5) ()));
+  Alcotest.(check bool) "sane limits accepted" true
+    (Budget.validate ~timeout:1.5 ~max_tuples:10 ~max_bdd_nodes:100 () = Ok ());
+  Alcotest.(check bool) "no limits accepted" true (Budget.validate () = Ok ())
+
 let test_outcome_rendering () =
   let d =
     { Outcome.stage = "mapper"; reason = Budget.Tuple_limit 5000;
@@ -223,6 +266,9 @@ let test_chaos_fuzz_accounting () =
 let suite =
   [
     Alcotest.test_case "budget trips" `Quick test_budget_trips;
+    Alcotest.test_case "deadline arithmetic (monotonic)" `Quick
+      test_deadline_arithmetic;
+    Alcotest.test_case "budget flag validation" `Quick test_budget_validate;
     Alcotest.test_case "outcome rendering" `Quick test_outcome_rendering;
     Alcotest.test_case "map_outcome degrades to greedy" `Quick
       test_map_outcome_degrades;

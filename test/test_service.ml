@@ -1,0 +1,326 @@
+(* The mapping daemon: protocol totality, end-to-end requests against an
+   in-process server, admission control, request isolation, warm-cache
+   transparency over the wire, graceful drain, and the chaos drill. *)
+
+let check = Alcotest.check
+let cb = Alcotest.(check bool)
+let ci = Alcotest.(check int)
+let cs = Alcotest.(check string)
+
+(* ---------------- protocol ---------------- *)
+
+let test_addr () =
+  (match Service.Protocol.addr_of_string "unix:/tmp/x.sock" with
+  | Ok (Service.Protocol.Unix_sock p) -> cs "unix path" "/tmp/x.sock" p
+  | _ -> Alcotest.fail "unix addr did not parse");
+  (match Service.Protocol.addr_of_string "tcp::7431" with
+  | Ok (Service.Protocol.Tcp (h, p)) ->
+      cs "default host" "127.0.0.1" h;
+      ci "port" 7431 p
+  | _ -> Alcotest.fail "tcp addr did not parse");
+  List.iter
+    (fun bad ->
+      cb (Printf.sprintf "%S rejected" bad) true
+        (Result.is_error (Service.Protocol.addr_of_string bad)))
+    [ "bogus"; "tcp:nope"; "tcp:host:0"; "tcp:host:99999"; "unix:"; "" ]
+
+let test_request_parsing () =
+  (match
+     Service.Protocol.parse_request
+       {|{"id":"r1","op":"map","format":"suite","payload":"z4ml","timeout":2.5,"w_max":4}|}
+   with
+  | Ok { Service.Protocol.id; body = Service.Protocol.Map p } ->
+      cs "id" "r1" id;
+      cs "payload" "z4ml" p.Service.Protocol.payload;
+      ci "w_max" 4 p.Service.Protocol.w_max;
+      cb "timeout" true (p.Service.Protocol.timeout = Some 2.5)
+  | Ok _ -> Alcotest.fail "parsed to the wrong body"
+  | Error e -> Alcotest.fail ("map request rejected: " ^ e));
+  (match Service.Protocol.parse_request {|{"op":"ping"}|} with
+  | Ok { Service.Protocol.body = Service.Protocol.Ping; _ } -> ()
+  | _ -> Alcotest.fail "ping did not parse");
+  (* Totality: each of these must come back Error, never raise — and
+     the budget rules are the CLI's --timeout 0 rules. *)
+  List.iter
+    (fun bad ->
+      match Service.Protocol.parse_request bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted: " ^ bad))
+    [
+      "not json";
+      "[1,2,3]";
+      {|{"op":"map","payload":"z4ml"}|};
+      {|{"op":"map","format":"suite"}|};
+      {|{"op":"map","format":"xml","payload":"x"}|};
+      {|{"op":"teapot"}|};
+      {|{"op":"map","format":"suite","payload":"z4ml","timeout":0}|};
+      {|{"op":"map","format":"suite","payload":"z4ml","timeout":-1}|};
+      {|{"op":"map","format":"suite","payload":"z4ml","max_tuples":0}|};
+      {|{"op":"map","format":"suite","payload":"z4ml","max_bdd_nodes":-5}|};
+      {|{"op":"map","format":"suite","payload":"z4ml","w_max":0}|};
+      {|{"op":"map","format":"suite","payload":"z4ml","delay_ms":-1}|};
+      {|{"op":"map","format":"suite","payload":"z4ml","on_exhaust":"panic"}|};
+    ]
+
+(* ---------------- in-process daemon harness ---------------- *)
+
+let fresh_sock_path =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "soimapd-test-%d-%d.sock" (Unix.getpid ()) !counter)
+
+let with_server ?(tweak = fun c -> c) f =
+  let path = fresh_sock_path () in
+  let addr = Service.Protocol.Unix_sock path in
+  let cfg = tweak (Service.Server.default_config ~addr) in
+  let srv = Service.Server.create cfg in
+  let run_result = ref (Error "server never ran") in
+  let runner = Thread.create (fun () -> run_result := Service.Server.run srv) () in
+  let deadline = Int64.add (Obs.Clock.now_ns ()) 5_000_000_000L in
+  while
+    (not (Service.Server.listening srv))
+    && Int64.compare (Obs.Clock.now_ns ()) deadline < 0
+  do
+    Thread.yield ()
+  done;
+  cb "server came up" true (Service.Server.listening srv);
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Server.request_stop srv;
+      Thread.join runner;
+      cb "run returned a clean drain" true (!run_result = Ok ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () -> f addr srv)
+
+let connect addr =
+  match Service.Client.connect_retry addr with
+  | Ok c -> c
+  | Error msg -> Alcotest.fail ("client connect: " ^ msg)
+
+let request c line =
+  match Service.Client.request c line with
+  | Ok j -> j
+  | Error msg -> Alcotest.fail ("request failed: " ^ msg)
+
+let status j =
+  match Service.Protocol.response_status j with
+  | Ok s -> s
+  | Error msg -> Alcotest.fail msg
+
+let ledger_of srv =
+  let t = Service.Server.totals srv in
+  fun k -> try List.assoc k t with Not_found -> Alcotest.fail ("no total " ^ k)
+
+(* ---------------- end-to-end ---------------- *)
+
+let test_end_to_end () =
+  with_server @@ fun addr srv ->
+  let c = connect addr in
+  Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+  cs "ping" "ok" (status (request c {|{"id":"p","op":"ping"}|}));
+  let j =
+    request c {|{"id":"m1","op":"map","format":"suite","payload":"z4ml"}|}
+  in
+  cs "map status" "ok" (status j);
+  (match Obs.Json.member "id" j with
+  | Some (Obs.Json.Str "m1") -> ()
+  | _ -> Alcotest.fail "response did not echo the request id");
+  let counts = Option.get (Obs.Json.member "counts" j) in
+  let n k = Option.get (Obs.Json.to_int (Option.get (Obs.Json.member k counts))) in
+  (* Same circuit the library maps directly: the daemon adds transport,
+     not mapping behaviour. *)
+  let r = Mapper.Algorithms.soi_domino_map (Gen.Suite.build_exn "z4ml") in
+  ci "t_total over the wire" r.Mapper.Algorithms.counts.Domino.Circuit.t_total
+    (n "t_total");
+  ci "gates over the wire" r.Mapper.Algorithms.counts.Domino.Circuit.gate_count
+    (n "gates");
+  (* A malformed frame is an error response, and the connection then
+     still serves real requests (resync at the next newline). *)
+  cs "malformed frame" "error" (status (request c "{{{"));
+  cs "still serving after the error" "ok"
+    (status (request c {|{"id":"m2","op":"map","format":"suite","payload":"z4ml"}|}));
+  let get = ledger_of srv in
+  ci "ledger balances" (get "requests")
+    (get "ok" + get "degraded" + get "failed" + get "rejected");
+  ci "errors counted" 1 (get "errors")
+
+let test_warm_cache_identity () =
+  (* The acceptance bar for the shared warm cache: the dump a warm
+     daemon returns is byte-identical to a cold one-shot mapping. *)
+  with_server @@ fun addr _srv ->
+  let c = connect addr in
+  Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+  let dump_of j =
+    match Obs.Json.member "dump" j with
+    | Some (Obs.Json.Str d) -> d
+    | _ -> Alcotest.fail "response carried no dump"
+  in
+  let line =
+    {|{"id":"d","op":"map","format":"suite","payload":"cordic","dump":true}|}
+  in
+  let cold = request c line in
+  let warm = request c line in
+  cs "cold status" "ok" (status cold);
+  cs "warm status" "ok" (status warm);
+  let reference =
+    Domino.Circuit.dump
+      (Mapper.Algorithms.soi_domino_map (Gen.Suite.build_exn "cordic"))
+        .Mapper.Algorithms.circuit
+  in
+  cs "cold dump = one-shot dump" reference (dump_of cold);
+  cs "warm dump = cold dump" (dump_of cold) (dump_of warm)
+
+let test_request_isolation () =
+  with_server @@ fun addr srv ->
+  let c = connect addr in
+  Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+  (* An unparsable cone fails its own request only. *)
+  let j =
+    request c
+      {|{"id":"bad","op":"map","format":"blif","payload":".model x\n.inputs a\nBOGUS"}|}
+  in
+  cs "unparsable payload fails" "failed" (status j);
+  (* A budget-tripping cone under `fail` fails its own request only. *)
+  let j =
+    request c
+      {|{"id":"trip","op":"map","format":"suite","payload":"c880","max_tuples":1,"on_exhaust":"fail"}|}
+  in
+  cs "tripped budget fails" "failed" (status j);
+  (* Under `degrade` the same cone still comes back mapped. *)
+  let j =
+    request c
+      {|{"id":"deg","op":"map","format":"suite","payload":"c880","max_tuples":1}|}
+  in
+  cs "tripped budget degrades" "degraded" (status j);
+  (* And the connection keeps serving. *)
+  cs "healthy request after the failures" "ok"
+    (status (request c {|{"id":"after","op":"map","format":"suite","payload":"z4ml"}|}));
+  let get = ledger_of srv in
+  ci "ledger balances" (get "requests")
+    (get "ok" + get "degraded" + get "failed" + get "rejected");
+  ci "failures ledgered" 2 (get "failed");
+  ci "degradations ledgered" 1 (get "degraded")
+
+let test_admission_backpressure () =
+  (* queue 1, one dispatcher draining one job at a time, slow jobs: a
+     burst must overflow into explicit rejections, and a later retry
+     must succeed.  Responses arrive in completion order, so rejections
+     (immediate) overtake the admitted jobs (delayed). *)
+  with_server
+    ~tweak:(fun c ->
+      {
+        c with
+        Service.Server.queue_depth = 1;
+        dispatchers = 1;
+        batch_max = 1;
+        max_delay_ms = 500;
+      })
+  @@ fun addr srv ->
+  let c = connect addr in
+  Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+  let line i =
+    Printf.sprintf
+      {|{"id":"b%d","op":"map","format":"suite","payload":"z4ml","delay_ms":250}|}
+      i
+  in
+  for i = 1 to 5 do
+    match Service.Client.send_line c (line i) with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail ("send: " ^ msg)
+  done;
+  let statuses =
+    List.init 5 (fun _ ->
+        match Service.Client.recv_line c with
+        | Error msg -> Alcotest.fail ("recv: " ^ msg)
+        | Ok l -> status (Obs.Json.parse_exn l))
+  in
+  let count s = List.length (List.filter (String.equal s) statuses) in
+  cb "burst overflowed into rejections" true (count "rejected" >= 1);
+  cb "admitted jobs still served" true (count "ok" >= 1);
+  ci "every request answered" 5 (List.length statuses);
+  (* the retry after backoff gets through *)
+  Unix.sleepf 0.05;
+  cs "retry after backoff" "ok" (status (request c (line 99)));
+  let get = ledger_of srv in
+  ci "ledger balances under overload" (get "requests")
+    (get "ok" + get "degraded" + get "failed" + get "rejected");
+  cb "rejections ledgered" true (get "rejected" >= 1)
+
+let test_drain_with_inflight () =
+  (* Stop while a slow request is in flight: the client still gets its
+     response, and run returns a clean drain (checked by with_server). *)
+  with_server ~tweak:(fun c -> { c with Service.Server.max_delay_ms = 500 })
+  @@ fun addr srv ->
+  let c = connect addr in
+  Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+  (match
+     Service.Client.send_line c
+       {|{"id":"slow","op":"map","format":"suite","payload":"z4ml","delay_ms":300}|}
+   with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("send: " ^ msg));
+  Unix.sleepf 0.05;
+  Service.Server.request_stop srv;
+  (match Service.Client.recv_line c with
+  | Error msg -> Alcotest.fail ("no response through the drain: " ^ msg)
+  | Ok l -> cs "in-flight request served through drain" "ok"
+      (status (Obs.Json.parse_exn l)));
+  (* new work is refused while draining *)
+  match
+    Service.Client.request c {|{"id":"late","op":"map","format":"suite","payload":"z4ml"}|}
+  with
+  | Ok j -> cb "late request rejected or refused" true (status j = "rejected")
+  | Error _ -> ()  (* the listener may already be gone: equally fine *)
+
+let test_stale_socket_recovery () =
+  (* A leftover socket-path file from a crashed daemon must not wedge
+     startup: the server probes it, finds nobody home, and rebinds. *)
+  let path = fresh_sock_path () in
+  let oc = open_out path in
+  output_string oc "stale";
+  close_out oc;
+  let addr = Service.Protocol.Unix_sock path in
+  let srv = Service.Server.create (Service.Server.default_config ~addr) in
+  let run_result = ref (Error "never ran") in
+  let runner = Thread.create (fun () -> run_result := Service.Server.run srv) () in
+  let deadline = Int64.add (Obs.Clock.now_ns ()) 5_000_000_000L in
+  while
+    (not (Service.Server.listening srv))
+    && Int64.compare (Obs.Clock.now_ns ()) deadline < 0
+  do
+    Thread.yield ()
+  done;
+  cb "recovered the stale socket" true (Service.Server.listening srv);
+  Service.Server.request_stop srv;
+  Thread.join runner;
+  cb "clean drain" true (!run_result = Ok ());
+  (try Unix.unlink path with Unix.Unix_error _ -> ())
+
+let test_daemon_storm () =
+  let r = Check.Chaos.daemon_storm ~seed:1337 () in
+  cb "daemon survived the storm" true r.Check.Chaos.alive;
+  cb "storm exercised hostile paths" true (r.Check.Chaos.frames > 0);
+  ci "every expected response arrived with a known status"
+    r.Check.Chaos.frames
+    (r.Check.Chaos.d_ok + r.Check.Chaos.d_degraded + r.Check.Chaos.d_failed
+   + r.Check.Chaos.d_rejected + r.Check.Chaos.d_errors);
+  cb "mid-frame disconnects were thrown" true (r.Check.Chaos.aborted > 0);
+  cb "ledger balances after the storm" true r.Check.Chaos.ledger_ok
+
+let suite =
+  [
+    Alcotest.test_case "protocol addresses" `Quick test_addr;
+    Alcotest.test_case "protocol parsing is total" `Quick test_request_parsing;
+    Alcotest.test_case "end-to-end" `Quick test_end_to_end;
+    Alcotest.test_case "warm-cache identity" `Quick test_warm_cache_identity;
+    Alcotest.test_case "request isolation" `Quick test_request_isolation;
+    Alcotest.test_case "admission backpressure" `Quick test_admission_backpressure;
+    Alcotest.test_case "drain with in-flight work" `Quick test_drain_with_inflight;
+    Alcotest.test_case "stale socket recovery" `Quick test_stale_socket_recovery;
+    Alcotest.test_case "daemon storm" `Slow test_daemon_storm;
+  ]
+
+let _ = check
