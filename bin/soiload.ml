@@ -22,48 +22,90 @@ type result_row = {
   status : string;  (* ok | degraded | failed | giveup *)
   latency_ms : float;  (* first send to terminal response, incl. retries *)
   retries : int;
+  trace_id : string;  (* the id we sent — and the daemon echoed *)
 }
 
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else sorted.(min (n - 1) (int_of_float (float_of_int n *. p)))
+(* Per-stage latency quantiles via the shared bucket-interpolation
+   estimator: observations land in the same 1-2-5 log-ns ladder the
+   daemon's service.latency_ns histograms use, so a soiload p95 and a
+   `soimap scrape` p95 are the same estimate of the same quantity. *)
+let lat_bounds = Obs.Metrics.log_buckets ~lo:1_000 ~hi:10_000_000_000
+
+let lat_counts rows =
+  let nb = Array.length lat_bounds in
+  let counts = Array.make (nb + 1) 0 in
+  List.iter
+    (fun r ->
+      let ns = int_of_float (r.latency_ms *. 1e6) in
+      let rec bucket i =
+        if i >= nb || ns <= lat_bounds.(i) then i else bucket (i + 1)
+      in
+      let b = bucket 0 in
+      counts.(b) <- counts.(b) + 1)
+    rows;
+  counts
 
 let run_worker ~addr ~bench ~timeout ~delay_ms ~requests ~retries ~rng_seed out
     =
   let rng = Logic.Rng.create rng_seed in
-  let payload =
-    Printf.sprintf
-      "{\"id\":\"w%d-%%d\",\"op\":\"map\",\"format\":\"suite\",\
-       \"payload\":\"%s\",\"timeout\":%g,\"delay_ms\":%d}"
-      rng_seed bench timeout delay_ms
-  in
   match Service.Client.connect_retry ~timeout:30.0 addr with
-  | Error msg -> out := List.init requests (fun _ -> { status = "giveup: " ^ msg; latency_ms = 0.0; retries = 0 })
+  | Error msg ->
+      out :=
+        List.init requests (fun i ->
+            { status = "giveup: " ^ msg; latency_ms = 0.0; retries = 0;
+              trace_id = Printf.sprintf "w%d-%d" rng_seed i })
   | Ok conn ->
       let rows = ref [] in
       for i = 0 to requests - 1 do
-        let line = Printf.sprintf (Scanf.format_from_string payload "%d") i in
+        (* One token serves as both request id and trace id: the daemon
+           echoes it, and when the daemon traces, its span tree for this
+           request is tagged with it — grep the trace for w7-3 and you
+           see exactly where request 3 of worker 7 spent its time. *)
+        let tid = Printf.sprintf "w%d-%d" rng_seed i in
+        let line =
+          Printf.sprintf
+            "{\"id\":\"%s\",\"trace_id\":\"%s\",\"op\":\"map\",\
+             \"format\":\"suite\",\"payload\":\"%s\",\"timeout\":%g,\
+             \"delay_ms\":%d}"
+            tid tid bench timeout delay_ms
+        in
         let t0 = Obs.Clock.now_ns () in
         let rec attempt n =
           match Service.Client.request conn line with
-          | Error msg -> { status = "giveup: " ^ msg; latency_ms = 0.0; retries = n }
+          | Error msg ->
+              { status = "giveup: " ^ msg; latency_ms = 0.0; retries = n;
+                trace_id = tid }
           | Ok j -> (
               let elapsed () =
                 Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) t0)
               in
-              match Service.Protocol.response_status j with
-              | Error msg ->
-                  { status = "giveup: " ^ msg; latency_ms = elapsed (); retries = n }
-              | Ok "rejected" when n < retries ->
-                  (* Exponential backoff with full jitter: sleep a
-                     uniform draw from [0, base * 2^n], base 25 ms. *)
-                  let cap = 0.025 *. Float.of_int (1 lsl min n 6) in
-                  Unix.sleepf (Logic.Rng.float rng cap);
-                  attempt (n + 1)
-              | Ok "rejected" ->
-                  { status = "giveup: rejected"; latency_ms = elapsed (); retries = n }
-              | Ok s -> { status = s; latency_ms = elapsed (); retries = n })
+              (* The echo is part of the contract: a daemon that answers
+                 with someone else's trace id is mixing up responses. *)
+              let echoed =
+                match Service.Protocol.response_trace_id j with
+                | Some e -> e
+                | None -> tid
+              in
+              if echoed <> tid then
+                { status = "giveup: trace-id mismatch";
+                  latency_ms = elapsed (); retries = n; trace_id = tid }
+              else
+                match Service.Protocol.response_status j with
+                | Error msg ->
+                    { status = "giveup: " ^ msg; latency_ms = elapsed ();
+                      retries = n; trace_id = tid }
+                | Ok "rejected" when n < retries ->
+                    (* Exponential backoff with full jitter: sleep a
+                       uniform draw from [0, base * 2^n], base 25 ms. *)
+                    let cap = 0.025 *. Float.of_int (1 lsl min n 6) in
+                    Unix.sleepf (Logic.Rng.float rng cap);
+                    attempt (n + 1)
+                | Ok "rejected" ->
+                    { status = "giveup: rejected"; latency_ms = elapsed ();
+                      retries = n; trace_id = tid }
+                | Ok s ->
+                    { status = s; latency_ms = elapsed (); retries = n;
+                      trace_id = tid })
         in
         rows := attempt 0 :: !rows
       done;
@@ -99,19 +141,35 @@ let summarize label rows =
   let retried_ok =
     count (fun r -> r.retries > 0 && (r.status = "ok" || r.status = "degraded"))
   in
-  let lat =
-    rows
-    |> List.filter (fun r -> r.status <> "giveup")
-    |> List.map (fun r -> r.latency_ms)
-    |> Array.of_list
+  let answered =
+    List.filter
+      (fun r ->
+        not (String.length r.status >= 6 && String.sub r.status 0 6 = "giveup"))
+      rows
   in
-  Array.sort compare lat;
+  let counts = lat_counts answered in
+  let q p =
+    Obs.Metrics.quantile ~bounds:lat_bounds ~counts p /. 1e6 (* ns -> ms *)
+  in
+  (* The slowest request, by exact latency, with its trace id: the
+     token to grep for in the daemon's trace file. *)
+  let slowest =
+    List.fold_left
+      (fun acc r ->
+        match acc with
+        | Some best when best.latency_ms >= r.latency_ms -> acc
+        | _ -> Some r)
+      None answered
+  in
   Printf.printf
     "%s: n=%d ok=%d degraded=%d failed=%d giveup=%d retried=%d retried_ok=%d \
-     p50=%.1fms p95=%.1fms max=%.1fms\n%!"
+     p50=%.1fms p95=%.1fms max=%.1fms%s\n%!"
     label (List.length rows) ok degraded failed giveup retried retried_ok
-    (percentile lat 0.5) (percentile lat 0.95)
-    (percentile lat 1.0);
+    (q 0.5) (q 0.95)
+    (match slowest with Some r -> r.latency_ms | None -> 0.0)
+    (match slowest with
+    | Some r -> Printf.sprintf " slowest=%s" r.trace_id
+    | None -> "");
   giveup
 
 (* `soiload --storm SEED` runs the Check.Chaos.daemon_storm drill over

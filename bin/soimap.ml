@@ -275,14 +275,16 @@ let open_cache cache =
    a graceful drain and the process exits 0 once drained. *)
 let serve_main addr_str queue_depth max_conns dispatchers io_timeout
     drain_timeout max_timeout timeout max_tuples max_bdd_nodes cache
-    finish_obs =
-  let addr =
-    match Service.Protocol.addr_of_string addr_str with
+    stats_addr_str flight trace_file finish_stats =
+  let parse_addr s =
+    match Service.Protocol.addr_of_string s with
     | Ok a -> a
     | Error msg ->
         prerr_endline ("soimap: " ^ msg);
         exit 2
   in
+  let addr = parse_addr addr_str in
+  let stats_addr = Option.map parse_addr stats_addr_str in
   List.iter
     (fun (flag, v) ->
       if v < 1 then begin
@@ -314,20 +316,63 @@ let serve_main addr_str queue_depth max_conns dispatchers io_timeout
       max_tuples_cap = max_tuples;
       max_bdd_nodes_cap = max_bdd_nodes;
       cache_file = cache;
+      stats_addr;
+      flight_file = flight;
     }
+  in
+  (* A daemon always collects metrics: the stats op, the OpenMetrics
+     listener and the drained summary all read the registry, and the
+     sharded cells cost nothing measurable against a mapping. *)
+  Obs.Metrics.set_enabled true;
+  if flight <> None then Obs.Flight.set_enabled true;
+  (* Tracing a daemon streams: the buffers are bounded and drained to
+     the file every maintenance tick, so a week-long run traces in
+     constant memory, and a crash still leaves a loadable file. *)
+  let streaming =
+    match trace_file with
+    | None -> false
+    | Some path -> (
+        Obs.Trace.set_capacity 65_536;
+        match Obs.Trace.stream_open path with
+        | Ok () -> true
+        | Error msg ->
+            Printf.eprintf "soimapd: trace %s: %s\n%!" path msg;
+            exit 2)
   in
   let memo, _ = open_cache cache in
   let srv = Service.Server.create ?memo cfg in
   let stop _ = Service.Server.request_stop srv in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
   Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  (* SIGQUIT: dump the flight recorder without dying — the classic
+     "what is it doing right now?" signal. *)
+  (try
+     Sys.set_signal Sys.sigquit
+       (Sys.Signal_handle (fun _ -> Service.Server.request_flight_dump srv))
+   with Invalid_argument _ -> ());
   Printf.eprintf "soimapd: listening on %s (queue %d, %d dispatchers)\n%!"
     (Service.Protocol.addr_to_string addr)
     queue_depth dispatchers;
+  (match stats_addr with
+  | Some a ->
+      Printf.eprintf "soimapd: OpenMetrics on %s\n%!"
+        (Service.Protocol.addr_to_string a)
+  | None -> ());
+  let finish () =
+    if streaming then begin
+      Obs.Trace.stream_close ();
+      match trace_file with
+      | Some path ->
+          Printf.eprintf "soimapd: closed trace stream %s (%d events dropped)\n%!"
+            path (Obs.Trace.dropped_events ())
+      | None -> ()
+    end;
+    finish_stats ()
+  in
   match Service.Server.run srv with
   | Error msg ->
       Printf.eprintf "soimapd: %s\n" msg;
-      finish_obs ();
+      finish ();
       exit exit_serve_failed
   | Ok () ->
       let t = Service.Server.totals srv in
@@ -337,14 +382,14 @@ let serve_main addr_str queue_depth max_conns dispatchers io_timeout
          rejected=%d errors=%d\n%!"
         (get "requests") (get "ok") (get "degraded") (get "failed")
         (get "rejected") (get "errors");
-      finish_obs ();
+      finish ();
       exit 0
 
 let main jobs blif bench_file pla bench flow cost w_max h_max rewrite verify
     exact certify certify_max_cone certify_expansions prune exhaustive_limit
     print_gates timing multi spice verilog vcd timeout max_tuples max_bdd_nodes
     on_exhaust trace stats cache serve queue_depth max_conns dispatchers
-    io_timeout drain_timeout max_timeout =
+    io_timeout drain_timeout max_timeout stats_addr flight =
   let rewrite =
     match rewrite with
     | None -> 0
@@ -387,6 +432,12 @@ let main jobs blif bench_file pla bench flow cost w_max h_max rewrite verify
   end;
   (* Flushed before every post-work exit path so a verification failure
      still produces its trace and stats. *)
+  let finish_stats () =
+    match stats_fmt with
+    | Some `Text -> print_stats_text ()
+    | Some `Json -> print_stats_json ()
+    | None -> ()
+  in
   let finish_obs () =
     (match trace with
     | Some path ->
@@ -394,20 +445,22 @@ let main jobs blif bench_file pla bench flow cost w_max h_max rewrite verify
         Printf.eprintf "soimap: wrote trace (%d events) to %s\n"
           (Obs.Trace.event_count ()) path
     | None -> ());
-    match stats_fmt with
-    | Some `Text -> print_stats_text ()
-    | Some `Json -> print_stats_json ()
-    | None -> ()
+    finish_stats ()
   in
   (* Daemon mode branches off here: it installs its own signal handlers
-     (drain, not die) and never loads a one-shot input. *)
+     (drain, not die), never loads a one-shot input, and streams its
+     trace instead of buffering it. *)
   (match serve with
   | Some addr_str ->
       Parallel.Pool.set_jobs jobs;
       serve_main addr_str queue_depth max_conns dispatchers io_timeout
         drain_timeout max_timeout timeout max_tuples max_bdd_nodes cache
-        finish_obs
+        stats_addr flight trace finish_stats
   | None -> ());
+  if stats_addr <> None || flight <> None then begin
+    prerr_endline "soimap: --stats-addr/--flight need --serve";
+    exit 2
+  end;
   (* Flush whatever has been reported so far before dying on ^C: with
      --flow all the completed flows' lines are already on stdout. *)
   Sys.set_signal Sys.sigint
@@ -525,6 +578,117 @@ let main jobs blif bench_file pla bench flow cost w_max h_max rewrite verify
   if !exhausted then exit exit_exhausted;
   if not !all_ok then exit exit_verify_failed;
   if !suboptimal then exit exit_suboptimal
+
+(* ---------------- scrape mode ---------------- *)
+
+(* `soimap scrape ADDR`: one OpenMetrics scrape from a daemon's
+   --stats-addr listener, pretty-printed with quantiles interpolated
+   from the histogram buckets — curl | sort for humans. *)
+let scrape_main addr_str =
+  let addr =
+    match Service.Protocol.addr_of_string addr_str with
+    | Ok a -> a
+    | Error msg ->
+        prerr_endline ("soimap: " ^ msg);
+        exit 2
+  in
+  (* The one-shot responder may answer and close the moment it has read
+     the request line; a racing write must surface as EPIPE, not kill
+     the scrape. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fetch () =
+    match Service.Client.connect ~timeout:5.0 addr with
+    | Error msg -> Error msg
+    | Ok c ->
+        let result =
+          (* The whole HTTP/1.0 request in one write (send_line appends
+             the final newline): the responder answers after its first
+             read, so a second write could race its close. *)
+          match Service.Client.send_line c "GET /metrics HTTP/1.0\r\n\r" with
+          | Error _ as e -> e
+          | Ok () ->
+              (* Read lines to EOF; connection-closed is the HTTP/1.0
+                 end-of-body marker, not an error. *)
+              let rec go acc =
+                match Service.Client.recv_line c with
+                | Ok l -> go (l :: acc)
+                | Error _ -> List.rev acc
+              in
+              let lines = go [] in
+              (* The body starts after the first blank line; drop the
+                 status line and headers (a colon is a legal OpenMetrics
+                 name character, so [Content-Length: 9526] would
+                 otherwise parse as a sample). *)
+              let rec body = function
+                | [] -> lines (* no header separator: take it all *)
+                | l :: rest when String.trim l = "" -> rest
+                | _ :: rest -> body rest
+              in
+              Ok (String.concat "\n" (body lines))
+        in
+        Service.Client.close c;
+        result
+  in
+  match fetch () with
+  | Error msg ->
+      prerr_endline ("soimap: scrape: " ^ msg);
+      exit 1
+  | Ok text ->
+      (* Strip the HTTP status line and headers: samples start after the
+         first blank line; Expose.parse skips anything malformed. *)
+      let samples = Obs.Expose.parse text in
+      if samples = [] then begin
+        prerr_endline "soimap: scrape: no samples in response";
+        exit 1
+      end;
+      let hist_names =
+        List.filter_map
+          (fun s ->
+            if s.Obs.Expose.s_le <> None then
+              let n = s.Obs.Expose.s_name in
+              let suffix = "_bucket" in
+              if String.length n > String.length suffix then
+                Some (String.sub n 0 (String.length n - String.length suffix))
+              else None
+            else None)
+          samples
+        |> List.sort_uniq compare
+      in
+      let hist_aux = List.concat_map (fun n -> [ n ^ "_sum"; n ^ "_count" ]) hist_names in
+      List.iter
+        (fun s ->
+          if
+            s.Obs.Expose.s_le = None
+            && not (List.mem s.Obs.Expose.s_name hist_aux)
+          then
+            Printf.printf "%-44s %.0f\n" s.Obs.Expose.s_name s.Obs.Expose.s_value)
+        samples;
+      let fmt_value name v =
+        (* Nanosecond-valued families read better in milliseconds. *)
+        let has_ns =
+          let pat = "_ns_" in
+          let pl = String.length pat in
+          let nl = String.length name in
+          let rec scan i =
+            i + pl <= nl && (String.sub name i pl = pat || scan (i + 1))
+          in
+          scan 0
+        in
+        if has_ns then Printf.sprintf "%.3fms" (v /. 1e6)
+        else Printf.sprintf "%.0f" v
+      in
+      List.iter
+        (fun n ->
+          match Obs.Expose.histogram_of samples n with
+          | None -> ()
+          | Some (bounds, counts) ->
+              let total = Array.fold_left ( + ) 0 counts in
+              let q p = Obs.Metrics.quantile ~bounds ~counts p in
+              Printf.printf "%-44s count=%d p50=%s p95=%s p99=%s\n" n total
+                (fmt_value n (q 0.5))
+                (fmt_value n (q 0.95))
+                (fmt_value n (q 0.99)))
+        hist_names
 
 let cmd =
   let jobs =
@@ -730,15 +894,46 @@ let cmd =
            ~doc:"(--serve) Clamp on client-requested per-request budget \
                  timeouts (and on the --timeout default).")
   in
+  let stats_addr =
+    Arg.(value & opt (some string) None & info [ "stats-addr" ] ~docv:"ADDR"
+           ~doc:"(--serve) Serve the metrics registry as OpenMetrics text \
+                 over HTTP/1.0 on a second listener at $(docv) (unix:PATH \
+                 or tcp:HOST:PORT) — scrape it with Prometheus, curl, or \
+                 $(b,soimap scrape).  Kept off the service socket so a \
+                 scraping outage and a mapping outage cannot cause each \
+                 other.")
+  in
+  let flight =
+    Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE"
+           ~doc:"(--serve) Enable the flight recorder (a bounded ring of \
+                 recent admission/degradation/budget/frame events) and \
+                 dump it to $(docv) as JSON at drain, on the first failed \
+                 request, and on SIGQUIT.")
+  in
   let doc = "technology mapping for SOI domino logic (Karandikar & Sapatnekar, DAC 2001)" in
-  Cmd.v
-    (Cmd.info "soimap" ~doc)
+  let default =
     Term.(
       const main $ jobs $ blif $ bench_file $ pla $ bench $ flow $ cost $ w_max
       $ h_max $ rewrite $ verify $ exact $ certify $ certify_max_cone
       $ certify_expansions $ prune $ exhaustive_limit $ print_gates $ timing
       $ multi $ spice $ verilog $ vcd $ timeout $ max_tuples $ max_bdd_nodes
       $ on_exhaust $ trace $ stats $ cache $ serve $ queue_depth $ max_conns
-      $ dispatchers $ io_timeout $ drain_timeout $ max_timeout)
+      $ dispatchers $ io_timeout $ drain_timeout $ max_timeout $ stats_addr
+      $ flight)
+  in
+  let scrape =
+    let addr =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"ADDR"
+             ~doc:"The daemon's --stats-addr listener (unix:PATH or \
+                   tcp:HOST:PORT).")
+    in
+    Cmd.v
+      (Cmd.info "scrape"
+         ~doc:"Scrape a running daemon's OpenMetrics listener and \
+               pretty-print counters, gauges, and interpolated histogram \
+               quantiles (p50/p95/p99).")
+      Term.(const scrape_main $ addr)
+  in
+  Cmd.group ~default (Cmd.info "soimap" ~doc) [ scrape ]
 
 let () = exit (Cmd.eval cmd)

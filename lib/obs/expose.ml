@@ -1,0 +1,147 @@
+(* OpenMetrics text exposition over the {!Metrics} registry.
+
+   The daemon serves this from a side listener so any Prometheus-style
+   scraper — or the repo's own [soimap scrape] — can read the counters
+   without speaking the service protocol.  Rendering walks the typed
+   {!Metrics.families} view, so histograms keep their buckets and sums
+   instead of the flat snapshot's lossy rows. *)
+
+(* Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; the registry uses
+   dotted names, so dots (and anything else illegal) become
+   underscores. *)
+let sanitize name =
+  String.mapi
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | ':' | '_' -> c
+      | '0' .. '9' when i > 0 -> c
+      | _ -> '_')
+    name
+
+let add_family buf (f : Metrics.family) =
+  let name = sanitize f.f_name in
+  match f.f_value with
+  | Metrics.Counter v ->
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+      Buffer.add_string buf (Printf.sprintf "%s_total %d\n" name v)
+  | Metrics.Gauge v ->
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" name v)
+  | Metrics.Histogram { bounds; counts; vsum } ->
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+      let cum = ref 0 in
+      Array.iteri
+        (fun i b ->
+          cum := !cum + counts.(i);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" name b !cum))
+        bounds;
+      cum := !cum + counts.(Array.length bounds);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name !cum);
+      Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" name vsum);
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name !cum)
+
+let render ?(extra_gauges = []) ?(gc = true) ?(stable_only = false) () =
+  let buf = Buffer.create 2048 in
+  List.iter (add_family buf) (Metrics.families ~stable_only ());
+  List.iter
+    (fun (name, v) ->
+      let name = sanitize name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" name v))
+    extra_gauges;
+  if gc then
+    List.iter
+      (fun (name, v) ->
+        let name = sanitize name in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
+        Buffer.add_string buf (Printf.sprintf "%s %.0f\n" name v))
+      (Gcstats.pairs ());
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+(* ---------------- scrape-side parsing ---------------- *)
+
+(* Enough of the exposition format for [soimap scrape] and the tests:
+   comment lines are skipped, each sample line is a name, an optional
+   single {le="..."} label, and a numeric value. *)
+
+type sample = { s_name : string; s_le : string option; s_value : float }
+
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else
+    match String.index_opt line ' ' with
+    | None -> None
+    | Some sp -> (
+        let lhs = String.sub line 0 sp in
+        let rhs = String.trim (String.sub line sp (String.length line - sp)) in
+        match float_of_string_opt rhs with
+        | None -> None
+        | Some v -> (
+            match String.index_opt lhs '{' with
+            | None -> Some { s_name = lhs; s_le = None; s_value = v }
+            | Some br ->
+                let name = String.sub lhs 0 br in
+                let label = String.sub lhs br (String.length lhs - br) in
+                let le =
+                  (* {le="X"} *)
+                  let prefix = "{le=\"" in
+                  let plen = String.length prefix in
+                  if
+                    String.length label > plen + 2
+                    && String.sub label 0 plen = prefix
+                    && String.sub label (String.length label - 2) 2 = "\"}"
+                  then
+                    Some (String.sub label plen (String.length label - plen - 2))
+                  else None
+                in
+                Some { s_name = name; s_le = le; s_value = v }))
+
+let parse text =
+  String.split_on_char '\n' text |> List.filter_map parse_line
+
+let value samples name =
+  List.find_map
+    (fun s -> if s.s_name = name && s.s_le = None then Some s.s_value else None)
+    samples
+
+(* Reassemble a histogram from its cumulative bucket samples into the
+   (bounds, per-bucket counts) shape [Metrics.quantile] wants. *)
+let histogram_of samples name =
+  let bucket_name = name ^ "_bucket" in
+  let finite, inf =
+    List.fold_left
+      (fun (finite, inf) s ->
+        if s.s_name <> bucket_name then (finite, inf)
+        else
+          match s.s_le with
+          | Some "+Inf" -> (finite, Some s.s_value)
+          | Some le -> (
+              match float_of_string_opt le with
+              | Some b -> ((b, s.s_value) :: finite, inf)
+              | None -> (finite, inf))
+          | None -> (finite, inf))
+      ([], None) samples
+  in
+  match (finite, inf) with
+  | [], _ -> None
+  | finite, inf ->
+      let finite =
+        List.sort (fun (a, _) (b, _) -> Float.compare a b) finite
+      in
+      let bounds = Array.of_list (List.map (fun (b, _) -> int_of_float b) finite) in
+      let n = Array.length bounds in
+      let counts = Array.make (n + 1) 0 in
+      let prev = ref 0.0 in
+      List.iteri
+        (fun i (_, cum) ->
+          counts.(i) <- int_of_float (Float.max 0.0 (cum -. !prev));
+          prev := cum)
+        finite;
+      (match inf with
+      | Some total -> counts.(n) <- int_of_float (Float.max 0.0 (total -. !prev))
+      | None -> ());
+      Some (bounds, counts)

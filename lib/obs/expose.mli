@@ -1,0 +1,44 @@
+(** OpenMetrics text exposition for the {!Metrics} registry.
+
+    {!render} walks the typed {!Metrics.families} view and produces the
+    Prometheus / OpenMetrics text format: counters as [name_total],
+    gauges bare, histograms as cumulative [name_bucket{le="..."}] rows
+    plus [name_sum] and [name_count], terminated by [# EOF].  Dotted
+    registry names are sanitized to underscores
+    ([service.requests] → [service_requests]).
+
+    The parsing half reads the same format back — enough for
+    [soimap scrape] and the tests to assert on a scrape without an
+    external client library. *)
+
+val render :
+  ?extra_gauges:(string * int) list ->
+  ?gc:bool ->
+  ?stable_only:bool ->
+  unit ->
+  string
+(** Render the registry.  [extra_gauges] appends live point-in-time
+    gauges the registry doesn't hold (queue depth, in-flight count);
+    [gc] (default [true]) appends the {!Gcstats.pairs} of the calling
+    domain as gauges. *)
+
+(** {1 Scrape-side parsing} *)
+
+type sample = {
+  s_name : string;
+  s_le : string option;  (** the [le] label on histogram bucket rows *)
+  s_value : float;
+}
+
+val parse : string -> sample list
+(** Parse exposition text into samples (comments and blank lines
+    skipped; malformed lines dropped). *)
+
+val value : sample list -> string -> float option
+(** First unlabelled sample named exactly [name]. *)
+
+val histogram_of : sample list -> string -> (int array * int array) option
+(** [histogram_of samples name] reassembles [name]'s cumulative bucket
+    rows into [(bounds, per_bucket_counts)] — the shape
+    {!Metrics.quantile} consumes ([counts] has one entry per bound plus
+    the [+Inf] overflow).  [None] when no bucket rows exist. *)

@@ -1,0 +1,52 @@
+(** The flight recorder: a bounded ring of recent structured events.
+
+    Metrics say {e how many}; traces say {e how long}; the flight
+    recorder says {e what just happened} — the last N notable events
+    (admission rejections, degradations, budget exhaustions, frame
+    errors, drain steps) with monotonic timestamps, kept in a
+    fixed-size ring so it can stay on in production forever.  Slots are
+    preallocated and mutated in place: recording allocates nothing
+    beyond the strings the caller passes.  When the ring wraps, the
+    oldest events fall off — a dump is always the most recent window
+    before the incident.
+
+    Recording is off by default and costs one branch when disabled.
+    All operations are thread-safe (one short mutex section). *)
+
+type event = {
+  ts : int64;  (** monotonic ns, as from [Clock.now_ns] *)
+  kind : string;  (** e.g. ["reject"], ["degrade"], ["budget"] *)
+  id : string;  (** request / trace id; [""] when not request-scoped *)
+  detail : string;
+  v : int;  (** free numeric payload (queue depth, bytes, ...) *)
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val set_capacity : int -> unit
+(** Resize the ring to [max 1 n] slots.  Discards current contents. *)
+
+val record : ?id:string -> ?detail:string -> ?v:int -> string -> unit
+(** [record kind] appends an event (no-op when disabled), overwriting
+    the oldest when the ring is full. *)
+
+val recorded : unit -> int
+(** Total events ever recorded (including those that fell off). *)
+
+val events : unit -> event list
+(** The current window, oldest first. *)
+
+val dump : Buffer.t -> unit
+(** Append the window as JSON:
+    [{"capacity": C, "recorded": R, "dropped": D, "events": [...]}]
+    where each event is
+    [{"ts_ns": .., "kind": "..", "id": "..", "detail": "..", "v": ..}].
+    [dropped = recorded - length events] counts what the ring already
+    forgot. *)
+
+val write_file : string -> (unit, string) result
+(** {!dump} to a file. *)
+
+val clear : unit -> unit
+(** Forget everything (capacity is kept). *)

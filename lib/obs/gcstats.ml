@@ -10,3 +10,46 @@ let pairs () =
     ("gc.top_heap_words", float_of_int s.Gc.top_heap_words);
     ("gc.compactions", float_of_int s.Gc.compactions);
   ]
+
+(* Per-request attribution: a snapshot taken on the domain that is about
+   to execute a request, subtracted after it finishes.  Under OCaml 5
+   [minor_words]/[promoted_words] are per-domain, so as long as both
+   snapshots happen on the executing domain the delta is that request's
+   own allocation, not the process's. *)
+
+type snap = {
+  s_minor : float;
+  s_promoted : float;
+  s_major : float;
+  s_minor_collections : int;
+  s_major_collections : int;
+}
+
+let snap () =
+  let s = Gc.quick_stat () in
+  {
+    s_minor = s.Gc.minor_words;
+    s_promoted = s.Gc.promoted_words;
+    s_major = s.Gc.major_words;
+    s_minor_collections = s.Gc.minor_collections;
+    s_major_collections = s.Gc.major_collections;
+  }
+
+type delta = {
+  minor_words : int;
+  promoted_words : int;
+  major_words : int;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let delta before =
+  let now = snap () in
+  let words f = int_of_float (Float.max 0.0 f) in
+  {
+    minor_words = words (now.s_minor -. before.s_minor);
+    promoted_words = words (now.s_promoted -. before.s_promoted);
+    major_words = words (now.s_major -. before.s_major);
+    minor_collections = max 0 (now.s_minor_collections - before.s_minor_collections);
+    major_collections = max 0 (now.s_major_collections - before.s_major_collections);
+  }

@@ -11,3 +11,30 @@ val pairs : unit -> (string * float) list
 (** [gc.minor_words], [gc.promoted_words], [gc.major_words],
     [gc.minor_collections], [gc.major_collections], [gc.heap_words],
     [gc.top_heap_words], [gc.compactions] — in that order. *)
+
+(** {1 Per-request deltas}
+
+    For a long-running process, whole-process totals attribute nothing:
+    the daemon wants to know what {e one request} allocated.  Take a
+    {!snap} on the domain about to execute the request and a {!delta}
+    on the same domain when it finishes — under OCaml 5 the minor-heap
+    counters are per-domain, so the difference is that request's own
+    allocation even while other domains churn. *)
+
+type snap
+
+val snap : unit -> snap
+(** Snapshot the calling domain's collector counters. *)
+
+type delta = {
+  minor_words : int;
+  promoted_words : int;
+  major_words : int;
+  minor_collections : int;
+  major_collections : int;
+}
+
+val delta : snap -> delta
+(** [delta s] is the calling domain's allocation since [s] (clamped at
+    zero — a domain-crossing misuse shows as 0, never as a negative
+    total corrupting a counter). *)

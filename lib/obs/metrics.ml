@@ -30,13 +30,13 @@ let cell_max cells v =
 type kind =
   | K_counter of cells
   | K_gauge of cells
-  | K_hist of { bounds : int array; buckets : cells array }
+  | K_hist of { bounds : int array; buckets : cells array; hsum : cells }
 
 type metric = { name : string; stable : bool; kind : kind }
 
 type counter = cells
 type gauge = cells
-type histogram = { h_bounds : int array; h_buckets : cells array }
+type histogram = { h_bounds : int array; h_buckets : cells array; h_sum : cells }
 
 (* The registry: name -> metric, guarded for registration from library
    initialisers on any domain.  Lookups on the hot path never touch it —
@@ -85,10 +85,11 @@ let histogram ?(stable = true) ~buckets name =
       {
         bounds = Array.copy buckets;
         buckets = Array.init (Array.length buckets + 1) (fun _ -> make_cells ());
+        hsum = make_cells ();
       }
   in
   match (register name stable kind_of).kind with
-  | K_hist h -> { h_bounds = h.bounds; h_buckets = h.buckets }
+  | K_hist h -> { h_bounds = h.bounds; h_buckets = h.buckets; h_sum = h.hsum }
   | _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram")
 
 let observe h v =
@@ -97,8 +98,31 @@ let observe h v =
        are in cache; binary search would not pay for itself. *)
     let n = Array.length h.h_bounds in
     let rec bucket i = if i >= n || v <= h.h_bounds.(i) then i else bucket (i + 1) in
-    cell_add h.h_buckets.(bucket 0) 1
+    cell_add h.h_buckets.(bucket 0) 1;
+    cell_add h.h_sum v
   end
+
+(* 1-2-5 grid per decade: the standard log-bucketed latency ladder.
+   [lo] is the first bound, decades multiply from there up to and
+   including [hi] when it lands on the grid. *)
+let log_buckets ~lo ~hi =
+  if lo < 1 || hi < lo then
+    invalid_arg "Metrics.log_buckets: need 1 <= lo <= hi";
+  let acc = ref [] in
+  let decade = ref lo in
+  (try
+     while true do
+       List.iter
+         (fun m ->
+           let v = !decade * m in
+           if v > hi || v <= 0 (* overflow *) then raise Exit;
+           acc := v :: !acc)
+         [ 1; 2; 5 ];
+       if !decade > max_int / 10 then raise Exit;
+       decade := !decade * 10
+     done
+   with Exit -> ());
+  Array.of_list (List.rev !acc)
 
 let sum cells = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 cells
 let maxv cells = Array.fold_left (fun acc c -> max acc (Atomic.get c)) 0 cells
@@ -115,7 +139,7 @@ let snapshot ?(stable_only = false) () =
           match m.kind with
           | K_counter c -> [ (m.name, sum c) ]
           | K_gauge c -> [ (m.name, maxv c) ]
-          | K_hist { bounds; buckets } ->
+          | K_hist { bounds; buckets; _ } ->
               List.init (Array.length buckets) (fun i ->
                   let label =
                     if i < Array.length bounds then
@@ -127,6 +151,71 @@ let snapshot ?(stable_only = false) () =
   in
   List.sort (fun (a, _) (b, _) -> compare a b) rows
 
+(* ---------------- typed export ---------------- *)
+
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of { bounds : int array; counts : int array; vsum : int }
+
+type family = { f_name : string; f_stable : bool; f_value : value }
+
+let families ?(stable_only = false) () =
+  Mutex.lock registry_mutex;
+  let metrics = Hashtbl.fold (fun _ m acc -> m :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  metrics
+  |> List.filter_map (fun m ->
+         if stable_only && not m.stable then None
+         else
+           let f_value =
+             match m.kind with
+             | K_counter c -> Counter (sum c)
+             | K_gauge c -> Gauge (maxv c)
+             | K_hist { bounds; buckets; hsum } ->
+                 Histogram
+                   {
+                     bounds = Array.copy bounds;
+                     counts = Array.map sum buckets;
+                     vsum = sum hsum;
+                   }
+           in
+           Some { f_name = m.name; f_stable = m.stable; f_value })
+  |> List.sort (fun a b -> compare a.f_name b.f_name)
+
+(* Bucket-interpolated quantile, the standard Prometheus estimate:
+   [counts] are per-bucket (non-cumulative) observation counts, one per
+   bound plus the overflow bucket.  Inside a finite bucket the
+   observations are assumed uniform between the previous bound (or 0)
+   and the bucket's bound; a rank landing in the overflow bucket clamps
+   to the last finite bound — the honest answer when the tail is
+   unbounded. *)
+let quantile ~bounds ~counts q =
+  let nb = Array.length bounds in
+  if nb = 0 then invalid_arg "Metrics.quantile: empty bounds";
+  if Array.length counts <> nb + 1 then
+    invalid_arg "Metrics.quantile: counts must have one entry per bound + 1";
+  let q = Float.max 0.0 (Float.min 1.0 q) in
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.0
+  else begin
+    let rank = q *. float_of_int total in
+    let rec go i cum =
+      if i > nb then float_of_int bounds.(nb - 1)
+      else
+        let cum' = cum + counts.(i) in
+        if float_of_int cum' >= rank && counts.(i) > 0 then
+          if i = nb then float_of_int bounds.(nb - 1)
+          else
+            let lower = if i = 0 then 0.0 else float_of_int bounds.(i - 1) in
+            let upper = float_of_int bounds.(i) in
+            let within = (rank -. float_of_int cum) /. float_of_int counts.(i) in
+            lower +. ((upper -. lower) *. within)
+        else go (i + 1) cum'
+    in
+    go 0 0
+  end
+
 let reset () =
   Mutex.lock registry_mutex;
   Hashtbl.iter
@@ -134,6 +223,8 @@ let reset () =
       let zero cells = Array.iter (fun c -> Atomic.set c 0) cells in
       match m.kind with
       | K_counter c | K_gauge c -> zero c
-      | K_hist { buckets; _ } -> Array.iter zero buckets)
+      | K_hist { buckets; hsum; _ } ->
+          Array.iter zero buckets;
+          zero hsum)
     registry;
   Mutex.unlock registry_mutex

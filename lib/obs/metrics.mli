@@ -57,13 +57,53 @@ val histogram : ?stable:bool -> buckets:int array -> string -> histogram
     @raise Invalid_argument on empty or non-increasing bounds. *)
 
 val observe : histogram -> int -> unit
-(** Count one observation of value [v] into its bucket. *)
+(** Count one observation of value [v] into its bucket (and into the
+    histogram's running sum). *)
+
+val log_buckets : lo:int -> hi:int -> int array
+(** [log_buckets ~lo ~hi] is the 1-2-5-per-decade bucket ladder from
+    [lo] up to [hi] — e.g. [~lo:1_000 ~hi:10_000_000_000] covers 1 µs
+    to 10 s in nanoseconds.  Strictly increasing, ready for
+    {!histogram}.
+    @raise Invalid_argument unless [1 <= lo <= hi]. *)
 
 val snapshot : ?stable_only:bool -> unit -> (string * int) list
 (** Aggregate every registered metric, sorted by name.  Counters sum
     their shards, gauges take the maximum, histograms contribute one
     row per bucket.  [stable_only] (default [false]) drops metrics
     registered with [~stable:false]. *)
+
+(** {1 Typed export}
+
+    The flattened {!snapshot} is lossy for histograms (cumulative rows
+    only, no sum).  {!families} is the faithful view: one entry per
+    registered instrument, histograms with their bounds, per-bucket
+    counts and value sum intact — what {!Expose} renders as OpenMetrics
+    and the service's [stats] op ships over the wire. *)
+
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of { bounds : int array; counts : int array; vsum : int }
+      (** [counts] has one entry per bound plus the overflow bucket
+          (non-cumulative); [vsum] is the sum of observed values. *)
+
+type family = { f_name : string; f_stable : bool; f_value : value }
+
+val families : ?stable_only:bool -> unit -> family list
+(** Aggregate every registered metric into its typed form, sorted by
+    name.  [stable_only] as in {!snapshot}. *)
+
+val quantile : bounds:int array -> counts:int array -> float -> float
+(** [quantile ~bounds ~counts q] estimates the [q]-quantile
+    ([0.0..1.0], clamped) of a histogram from its per-bucket counts
+    (the {!Histogram} shape: one count per bound plus overflow) by
+    linear interpolation inside the hit bucket — the standard
+    Prometheus [histogram_quantile] estimate.  A rank landing in the
+    overflow bucket clamps to the last finite bound; an empty histogram
+    is 0.
+    @raise Invalid_argument on empty bounds or a counts/bounds length
+    mismatch. *)
 
 val reset : unit -> unit
 (** Zero every cell (the registry itself is kept).  For tests and for

@@ -9,17 +9,31 @@ type event = {
 }
 
 (* One buffer per domain, created lazily through domain-local storage
-   and registered in a global list so [export] can reach buffers of
-   domains that have since terminated.  Only the owning domain pushes;
-   readers run when no instrumented work is in flight. *)
-type buffer = { b_tid : int; mutable events : event list }
+   and registered in a global list.  The owning domain pushes; the
+   streaming drain (a server maintenance thread) swaps the list out
+   from another thread, so both sides take the buffer's own mutex — an
+   uncontended lock on the *enabled* path only; the disabled path is
+   still one branch. *)
+type buffer = {
+  b_tid : int;
+  b_mutex : Mutex.t;
+  mutable events : event list;
+  mutable count : int;
+}
 
 let buffers : buffer list ref = ref []
 let buffers_mutex = Mutex.create ()
 
 let dls_key =
   Domain.DLS.new_key (fun () ->
-      let b = { b_tid = (Domain.self () :> int); events = [] } in
+      let b =
+        {
+          b_tid = (Domain.self () :> int);
+          b_mutex = Mutex.create ();
+          events = [];
+          count = 0;
+        }
+      in
       Mutex.lock buffers_mutex;
       buffers := b :: !buffers;
       Mutex.unlock buffers_mutex;
@@ -30,9 +44,28 @@ let on = ref false
 let set_enabled b = on := b
 let enabled () = !on
 
+(* Bounded buffering: beyond [capacity] events per domain buffer the
+   newest are dropped (and counted) rather than growing without bound —
+   a daemon tracing under sustained load must never let the trace eat
+   the heap between stream flushes. *)
+let capacity = ref max_int
+let drop_count = Atomic.make 0
+
+let set_capacity n = capacity := if n < 1 then max_int else n
+let dropped_events () = Atomic.get drop_count
+
 let record ev =
   let b = Domain.DLS.get dls_key in
-  b.events <- ev :: b.events
+  Mutex.lock b.b_mutex;
+  if b.count >= !capacity then begin
+    Mutex.unlock b.b_mutex;
+    ignore (Atomic.fetch_and_add drop_count 1)
+  end
+  else begin
+    b.events <- ev :: b.events;
+    b.count <- b.count + 1;
+    Mutex.unlock b.b_mutex
+  end
 
 let with_span ?(cat = "app") ?args name f =
   if not !on then f ()
@@ -55,6 +88,23 @@ let with_span ?(cat = "app") ?args name f =
       f
   end
 
+(* A span with explicit endpoints: the server synthesizes a request's
+   admission/queue/map/respond tree from timestamps captured on
+   different threads, emitting every piece on the finishing domain so
+   the viewer nests them on one track. *)
+let span_at ?(cat = "app") ?(args = []) ~ts ~dur name =
+  if !on then
+    record
+      {
+        name;
+        cat;
+        ph = 'X';
+        ts;
+        dur = Int64.max 0L dur;
+        tid = (Domain.self () :> int);
+        args;
+      }
+
 let instant ?(cat = "app") name =
   if !on then
     record
@@ -72,7 +122,15 @@ let all_events () =
   Mutex.lock buffers_mutex;
   let bufs = !buffers in
   Mutex.unlock buffers_mutex;
-  let evs = List.concat_map (fun b -> b.events) bufs in
+  let evs =
+    List.concat_map
+      (fun b ->
+        Mutex.lock b.b_mutex;
+        let evs = b.events in
+        Mutex.unlock b.b_mutex;
+        evs)
+      bufs
+  in
   List.sort
     (fun a b ->
       match Int64.compare a.ts b.ts with 0 -> compare a.tid b.tid | c -> c)
@@ -82,12 +140,47 @@ let event_count () =
   Mutex.lock buffers_mutex;
   let bufs = !buffers in
   Mutex.unlock buffers_mutex;
-  List.fold_left (fun acc b -> acc + List.length b.events) 0 bufs
+  List.fold_left
+    (fun acc b ->
+      Mutex.lock b.b_mutex;
+      let n = b.count in
+      Mutex.unlock b.b_mutex;
+      acc + n)
+    0 bufs
 
 let clear () =
   Mutex.lock buffers_mutex;
-  List.iter (fun b -> b.events <- []) !buffers;
-  Mutex.unlock buffers_mutex
+  List.iter
+    (fun b ->
+      Mutex.lock b.b_mutex;
+      b.events <- [];
+      b.count <- 0;
+      Mutex.unlock b.b_mutex)
+    !buffers;
+  Mutex.unlock buffers_mutex;
+  Atomic.set drop_count 0
+
+(* Swap every buffer empty and return the drained events in timestamp
+   order — the streaming sink's unit of work. *)
+let drain () =
+  Mutex.lock buffers_mutex;
+  let bufs = !buffers in
+  Mutex.unlock buffers_mutex;
+  let evs =
+    List.concat_map
+      (fun b ->
+        Mutex.lock b.b_mutex;
+        let evs = b.events in
+        b.events <- [];
+        b.count <- 0;
+        Mutex.unlock b.b_mutex;
+        evs)
+      bufs
+  in
+  List.sort
+    (fun a b ->
+      match Int64.compare a.ts b.ts with 0 -> compare a.tid b.tid | c -> c)
+    evs
 
 (* ---------------- Chrome trace-event JSON ---------------- *)
 
@@ -118,44 +211,52 @@ let add_args buf args =
     args;
   Buffer.add_string buf "}"
 
+let add_process_meta buf process_name =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, \
+        \"args\": {\"name\": \"%s\"}}"
+       (escape process_name))
+
+let add_thread_meta buf tid =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \
+        \"tid\": %d, \"args\": {\"name\": \"domain %d\"}}"
+       tid tid)
+
+let add_event buf base e =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%c\", \"ts\": %.3f, "
+       (escape e.name) (escape e.cat) e.ph (us_of_ns base e.ts));
+  if e.ph = 'X' then
+    Buffer.add_string buf
+      (Printf.sprintf "\"dur\": %.3f, " (Int64.to_float e.dur /. 1e3))
+  else Buffer.add_string buf "\"s\": \"t\", ";
+  Buffer.add_string buf (Printf.sprintf "\"pid\": 0, \"tid\": %d" e.tid);
+  if e.args <> [] then begin
+    Buffer.add_string buf ", \"args\": ";
+    add_args buf e.args
+  end;
+  Buffer.add_string buf "}"
+
 let export ?(process_name = "soi_domino") buf =
   let evs = all_events () in
   let base = match evs with [] -> 0L | e :: _ -> e.ts in
-  Buffer.add_string buf "{\"traceEvents\": [\n";
+  Buffer.add_string buf "{\"traceEvents\": [\n  ";
   (* Metadata: a process name, and one thread name per domain track. *)
-  Buffer.add_string buf
-    (Printf.sprintf
-       "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, \
-        \"args\": {\"name\": \"%s\"}}"
-       (escape process_name));
-  let tids =
-    List.sort_uniq compare (List.map (fun e -> e.tid) evs)
-  in
+  add_process_meta buf process_name;
+  let tids = List.sort_uniq compare (List.map (fun e -> e.tid) evs) in
   List.iter
     (fun tid ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \
-            \"tid\": %d, \"args\": {\"name\": \"domain %d\"}}"
-           tid tid))
+      Buffer.add_string buf ",\n  ";
+      add_thread_meta buf tid)
     tids;
   List.iter
     (fun e ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           ",\n  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%c\", \
-            \"ts\": %.3f, " (escape e.name) (escape e.cat) e.ph
-           (us_of_ns base e.ts));
-      if e.ph = 'X' then
-        Buffer.add_string buf
-          (Printf.sprintf "\"dur\": %.3f, " (Int64.to_float e.dur /. 1e3))
-      else Buffer.add_string buf "\"s\": \"t\", ";
-      Buffer.add_string buf (Printf.sprintf "\"pid\": 0, \"tid\": %d" e.tid);
-      if e.args <> [] then begin
-        Buffer.add_string buf ", \"args\": ";
-        add_args buf e.args
-      end;
-      Buffer.add_string buf "}")
+      Buffer.add_string buf ",\n  ";
+      add_event buf base e)
     evs;
   Buffer.add_string buf "\n]}\n"
 
@@ -166,6 +267,80 @@ let write_file ?process_name path =
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> Buffer.output_buffer oc buf)
+
+(* ---------------- streaming sink ---------------- *)
+
+(* A long-running daemon cannot hold its whole trace in memory; instead
+   it opens a stream and periodically drains completed events into it.
+   The file is the JSON-*array* flavour of the trace-event format: the
+   viewers accept a bare array, and explicitly tolerate a missing
+   closing bracket — so a trace cut short by a crash still loads, and a
+   clean {!stream_close} terminates it properly. *)
+type stream = {
+  s_oc : out_channel;
+  s_base : int64;
+  mutable s_tids : int list;  (* thread-name metadata already emitted *)
+}
+
+let stream_state : stream option ref = ref None
+let stream_mutex = Mutex.create ()
+
+let stream_write st evs =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      if not (List.mem e.tid st.s_tids) then begin
+        st.s_tids <- e.tid :: st.s_tids;
+        Buffer.add_string buf ",\n";
+        add_thread_meta buf e.tid
+      end;
+      Buffer.add_string buf ",\n";
+      add_event buf st.s_base e)
+    evs;
+  Buffer.output_buffer st.s_oc buf;
+  flush st.s_oc
+
+let stream_open ?(process_name = "soimapd") path =
+  Mutex.lock stream_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock stream_mutex) @@ fun () ->
+  match !stream_state with
+  | Some _ -> Error "trace stream already open"
+  | None -> (
+      match open_out path with
+      | oc ->
+          let buf = Buffer.create 256 in
+          Buffer.add_string buf "[\n";
+          add_process_meta buf process_name;
+          Buffer.output_buffer oc buf;
+          flush oc;
+          stream_state :=
+            Some { s_oc = oc; s_base = Clock.now_ns (); s_tids = [] };
+          Ok ()
+      | exception Sys_error msg -> Error msg)
+
+let stream_flush () =
+  Mutex.lock stream_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock stream_mutex) @@ fun () ->
+  match !stream_state with
+  | None -> ()
+  | Some st -> ( match drain () with [] -> () | evs -> stream_write st evs)
+
+let stream_close () =
+  Mutex.lock stream_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock stream_mutex) @@ fun () ->
+  match !stream_state with
+  | None -> ()
+  | Some st ->
+      (match drain () with [] -> () | evs -> stream_write st evs);
+      output_string st.s_oc "\n]\n";
+      close_out_noerr st.s_oc;
+      stream_state := None
+
+let streaming () =
+  Mutex.lock stream_mutex;
+  let s = !stream_state <> None in
+  Mutex.unlock stream_mutex;
+  s
 
 (* ---------------- flat summary ---------------- *)
 

@@ -3,9 +3,11 @@
     Spans are complete ("X") trace events: a name, a category, a
     monotonic start timestamp and a duration, recorded on the domain
     that executed the work.  Each domain appends to its own buffer
-    (domain-local storage, registered globally on first use), so
-    recording is lock-free and safe under the work-stealing pool;
-    {!export} merges and time-sorts all buffers.
+    (domain-local storage, registered globally on first use) under the
+    buffer's own uncontended mutex, so recording stays cheap under the
+    work-stealing pool while a concurrent drainer (the daemon's
+    streaming sink) can swap buffers out safely; {!export} merges and
+    time-sorts all buffers.
 
     The exported JSON is the Chrome trace-event format: load it in
     Perfetto ({{:https://ui.perfetto.dev}ui.perfetto.dev}) or
@@ -20,9 +22,19 @@
 val set_enabled : bool -> unit
 (** Turn recording on or off (process-global).  Flip it before the
     instrumented work starts; events recorded while enabled are kept
-    until {!clear}. *)
+    until {!clear} (or drained by the stream). *)
 
 val enabled : unit -> bool
+
+val set_capacity : int -> unit
+(** Bound each domain's buffer to [n] events; beyond it the newest
+    events are dropped and counted ({!dropped_events}).  [n < 1]
+    removes the bound (the default).  A long-running daemon sets a
+    bound so a stalled stream flush can never let the trace grow the
+    heap without limit. *)
+
+val dropped_events : unit -> int
+(** Events dropped by the capacity bound since the last {!clear}. *)
 
 val with_span :
   ?cat:string -> ?args:(unit -> (string * string) list) -> string ->
@@ -32,6 +44,16 @@ val with_span :
     evaluated when tracing is enabled, at span end — keep it cheap and
     pure.  [cat] (default ["app"]) groups spans in the viewer. *)
 
+val span_at :
+  ?cat:string -> ?args:(string * string) list ->
+  ts:int64 -> dur:int64 -> string -> unit
+(** Record a complete span with explicit endpoints: start [ts]
+    (monotonic ns, as from [Clock.now_ns]) and duration [dur] ns,
+    attributed to the calling domain's track.  This is how the service
+    synthesizes a request's span tree from timestamps captured on
+    different threads — emit parent and children together on the
+    finishing domain and the viewer nests them by containment. *)
+
 val instant : ?cat:string -> string -> unit
 (** Record a zero-duration instant event (a vertical marker in the
     viewer). *)
@@ -40,10 +62,37 @@ val export : ?process_name:string -> Buffer.t -> unit
 (** Append the full trace as Chrome trace-event JSON:
     [{"traceEvents": [...]}], events sorted by timestamp and rebased to
     the earliest one.  Safe to call only when no instrumented work is
-    running concurrently. *)
+    running concurrently.  Events already drained into an open stream
+    are not seen here. *)
 
 val write_file : ?process_name:string -> string -> unit
 (** {!export} to a file. *)
+
+(** {1 Streaming sink}
+
+    A long-running daemon cannot hold its whole trace in memory:
+    {!stream_open} starts an incremental trace file and each
+    {!stream_flush} drains every domain buffer into it (timestamps
+    rebased to the open time).  The file is the JSON-{e array} flavour
+    of the trace-event format, which the viewers accept {e without} the
+    closing bracket — a daemon killed mid-run still leaves a loadable
+    trace; a clean {!stream_close} terminates the array properly. *)
+
+val stream_open : ?process_name:string -> string -> (unit, string) result
+(** Open [path] for streaming and write the header metadata.
+    [Error msg] if a stream is already open or the file cannot be
+    created. *)
+
+val stream_flush : unit -> unit
+(** Drain all completed events into the open stream (no-op when no
+    stream is open).  Call periodically from a maintenance thread. *)
+
+val stream_close : unit -> unit
+(** Final flush, terminate the JSON array, close the file.  No-op when
+    no stream is open. *)
+
+val streaming : unit -> bool
+(** Whether a stream is currently open. *)
 
 val summary : unit -> (string * int * int64 * int64) list
 (** Per span name: [(name, count, total_ns, max_ns)], sorted by
@@ -58,4 +107,4 @@ val event_count : unit -> int
     to zero). *)
 
 val clear : unit -> unit
-(** Drop all buffered events. *)
+(** Drop all buffered events and zero the dropped-event counter. *)

@@ -85,6 +85,15 @@ let make ?timeout ?max_tuples ?max_bdd_nodes () =
     max_bdd_nodes;
   }
 
+(* Every budget exhaustion funnels through [trip] so the flight
+   recorder sees the event (which budget, at which checkpoint) even
+   when the caller catches [Exhausted] and degrades — the recorder is
+   how an operator learns *why* a request was degraded after the
+   fact. *)
+let trip reason =
+  Obs.Flight.record ~detail:(reason_to_string reason) "budget";
+  raise (Exhausted reason)
+
 let is_unlimited b =
   b.deadline_ns = None && b.max_tuples = None && b.max_bdd_nodes = None
 
@@ -95,7 +104,7 @@ let check_deadline b =
   | None -> ()
   | Some cutoff ->
       if Int64.compare (Obs.Clock.now_ns ()) cutoff > 0 then
-        raise (Exhausted (Deadline (Option.value b.timeout ~default:0.0)))
+        trip (Deadline (Option.value b.timeout ~default:0.0))
 
 let remaining_s b =
   match b.deadline_ns with
@@ -108,6 +117,6 @@ let charge_tuples b n =
   | None -> ()
   | Some cap ->
       b.tuples <- b.tuples + n;
-      if b.tuples > cap then raise (Exhausted (Tuple_limit cap))
+      if b.tuples > cap then trip (Tuple_limit cap)
 
 let tuples_spent b = b.tuples

@@ -76,5 +76,11 @@ val tuples_spent : t -> int
     carries no tuple cap — the no-cap path never counts).  Exact-search
     backends report it as their deterministic work measure. *)
 
+val trip : reason -> 'a
+(** Record the exhaustion in the flight recorder ({!Obs.Flight}, kind
+    ["budget"]) and raise [Exhausted].  Every internal checkpoint
+    funnels through it; external fault injectors (chaos) should too, so
+    a post-incident dump explains every degraded outcome. *)
+
 val reason_to_string : reason -> string
 val pp_reason : Format.formatter -> reason -> unit

@@ -79,7 +79,7 @@ let fire c ?note ~site fault =
   match fault with
   | Delay -> if c.delay > 0.0 then Unix.sleepf c.delay
   | Raise -> raise (Injected (site, Raise))
-  | Exhaust -> raise (Budget.Exhausted (Budget.Injected site))
+  | Exhaust -> Budget.trip (Budget.Injected site)
 
 let inject c ?note ~site ~salt () =
   match decide c ~site ~salt with

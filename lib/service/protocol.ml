@@ -66,9 +66,9 @@ type map_params = {
   delay_ms : int;
 }
 
-type body = Ping | Stats | Map of map_params
+type body = Ping | Stats | Expose | Map of map_params
 
-type request = { id : string; body : body }
+type request = { id : string; trace_id : string option; body : body }
 
 let cost_of_string s =
   match s with
@@ -198,15 +198,25 @@ let parse_request line =
   | Error msg -> Error ("bad json: " ^ msg)
   | Ok (Obs.Json.Obj _ as j) -> (
       let* id = field_str j "id" "" in
+      let* trace_id =
+        match Obs.Json.member "trace_id" j with
+        | None -> Ok None
+        | Some v -> (
+            match Obs.Json.to_string v with
+            | Some "" -> Ok None
+            | Some s -> Ok (Some s)
+            | None -> Error "trace_id must be a string")
+      in
       let* op = field_str j "op" "map" in
       let* body =
         match op with
         | "ping" -> Ok Ping
         | "stats" -> Ok Stats
+        | "expose" -> Ok Expose
         | "map" -> parse_map j
-        | s -> Error ("unknown op: " ^ s ^ " (map|ping|stats)")
+        | s -> Error ("unknown op: " ^ s ^ " (map|ping|stats|expose)")
       in
-      Ok { id; body })
+      Ok { id; trace_id; body })
   | Ok _ -> Error "request must be a json object"
 
 (* ---------------- responses ---------------- *)
@@ -233,33 +243,41 @@ let obj fields =
   ^ String.concat ", " (List.map (fun (k, v) -> str k ^ ": " ^ v) fields)
   ^ "}"
 
-let render_error ~id msg =
-  obj [ ("id", str id); ("status", str "error"); ("reason", str msg) ]
+(* Every response echoes the request's trace id (when one is live) right
+   after [id], so a client log line and a server trace span can be
+   joined on it. *)
+let tid_fields trace_id =
+  match trace_id with None -> [] | Some t -> [ ("trace_id", str t) ]
 
-let render_rejected ~id ~reason ~queue_depth ~retry_after_ms =
+let render_error ?trace_id ~id msg =
   obj
-    [
-      ("id", str id);
-      ("status", str "rejected");
-      ("reason", str reason);
-      ("queue_depth", string_of_int queue_depth);
-      ("retry_after_ms", string_of_int retry_after_ms);
-    ]
+    ([ ("id", str id) ] @ tid_fields trace_id
+    @ [ ("status", str "error"); ("reason", str msg) ])
 
-let render_failed ~id ~elapsed_ms reason =
+let render_rejected ?trace_id ~id ~reason ~queue_depth ~retry_after_ms () =
   obj
-    [
-      ("id", str id);
-      ("status", str "failed");
-      ("reason", str reason);
-      ("elapsed_ms", Printf.sprintf "%.3f" elapsed_ms);
-    ]
+    ([ ("id", str id) ] @ tid_fields trace_id
+    @ [
+        ("status", str "rejected");
+        ("reason", str reason);
+        ("queue_depth", string_of_int queue_depth);
+        ("retry_after_ms", string_of_int retry_after_ms);
+      ])
 
-let render_mapped ~id ~status ~(counts : Domino.Circuit.counts) ~degradations
-    ~elapsed_ms ~dump =
+let render_failed ?trace_id ~id ~elapsed_ms reason =
+  obj
+    ([ ("id", str id) ] @ tid_fields trace_id
+    @ [
+        ("status", str "failed");
+        ("reason", str reason);
+        ("elapsed_ms", Printf.sprintf "%.3f" elapsed_ms);
+      ])
+
+let render_mapped ?trace_id ~id ~status ~(counts : Domino.Circuit.counts)
+    ~degradations ~elapsed_ms ~dump () =
   let base =
-    [
-      ("id", str id);
+    [ ("id", str id) ] @ tid_fields trace_id
+    @ [
       ("status", str status);
       ( "counts",
         obj
@@ -279,17 +297,67 @@ let render_mapped ~id ~status ~(counts : Domino.Circuit.counts) ~degradations
   in
   obj (match dump with None -> base | Some d -> base @ [ ("dump", str d) ])
 
-let render_pong ~id =
-  obj [ ("id", str id); ("status", str "ok"); ("op", str "ping") ]
-
-let render_stats ~id totals =
+let render_pong ?trace_id ~id () =
   obj
-    [
-      ("id", str id);
-      ("status", str "ok");
-      ("op", str "stats");
-      ("service", obj (List.map (fun (k, v) -> (k, string_of_int v)) totals));
-    ]
+    ([ ("id", str id) ] @ tid_fields trace_id
+    @ [ ("status", str "ok"); ("op", str "ping") ])
+
+(* A metric family as JSON.  Histograms ship their bounds, per-bucket
+   counts and value sum intact — the flat [(name, int)] view the
+   ["service"] member carries cannot express them without loss. *)
+let render_family (f : Obs.Metrics.family) =
+  let arr xs = "[" ^ String.concat ", " (List.map string_of_int xs) ^ "]" in
+  let base = [ ("name", str f.Obs.Metrics.f_name) ] in
+  let kind =
+    match f.Obs.Metrics.f_value with
+    | Obs.Metrics.Counter v ->
+        [ ("kind", str "counter"); ("value", string_of_int v) ]
+    | Obs.Metrics.Gauge v ->
+        [ ("kind", str "gauge"); ("value", string_of_int v) ]
+    | Obs.Metrics.Histogram { bounds; counts; vsum } ->
+        [
+          ("kind", str "histogram");
+          ("bounds", arr (Array.to_list bounds));
+          ("counts", arr (Array.to_list counts));
+          ("sum", string_of_int vsum);
+        ]
+  in
+  obj (base @ kind @ [ ("stable", if f.Obs.Metrics.f_stable then "true" else "false") ])
+
+let render_stats ?trace_id ?metrics ?gauges ~id totals =
+  let base =
+    [ ("id", str id) ] @ tid_fields trace_id
+    @ [
+        ("status", str "ok");
+        ("op", str "stats");
+        (* Compat view: flat int totals, the shape existing consumers
+           (the chaos drill, older clients) already parse. *)
+        ("service", obj (List.map (fun (k, v) -> (k, string_of_int v)) totals));
+      ]
+  in
+  let gauges =
+    match gauges with
+    | None | Some [] -> []
+    | Some gs ->
+        [ ("gauges", obj (List.map (fun (k, v) -> (k, string_of_int v)) gs)) ]
+  in
+  let metrics =
+    match metrics with
+    | None -> []
+    | Some fams ->
+        [ ("metrics", "[" ^ String.concat ", " (List.map render_family fams) ^ "]") ]
+  in
+  obj (base @ gauges @ metrics)
+
+let render_expose ?trace_id ~id text =
+  obj
+    ([ ("id", str id) ] @ tid_fields trace_id
+    @ [ ("status", str "ok"); ("op", str "expose"); ("body", str text) ])
+
+let response_trace_id j =
+  match Obs.Json.member "trace_id" j with
+  | Some v -> Obs.Json.to_string v
+  | None -> None
 
 (* Client-side decode: the one field every response carries. *)
 let response_status j =

@@ -14,9 +14,16 @@
      "timeout":2.5, "max_tuples":100000, "max_bdd_nodes":100000,
      "on_exhaust":"degrade|fail", "dump":false, "delay_ms":0}
     v}
-    [op] is ["map"] (default), ["ping"], or ["stats"].  [delay_ms] is a
+    [op] is ["map"] (default), ["ping"], ["stats"], or ["expose"]
+    (OpenMetrics text in the response's [body]).  [delay_ms] is a
     chaos-drill aid: the server sleeps that long (clamped by policy)
     before mapping, simulating a slow downstream stage.
+
+    Any request may carry a ["trace_id"]: a client-chosen correlation
+    token echoed verbatim in the response.  When the request omits it
+    and the server is tracing, the server assigns one (and still echoes
+    it), so every span tree in the server's trace file is nameable from
+    either side.
 
     Response statuses: [ok], [degraded] (budget tripped, greedy fallback
     mapped), [failed] (budget tripped under [on_exhaust:"fail"], or the
@@ -52,9 +59,13 @@ type map_params = {
   delay_ms : int;  (** drill aid: pre-mapping sleep, clamped by policy *)
 }
 
-type body = Ping | Stats | Map of map_params
+type body = Ping | Stats | Expose | Map of map_params
 
-type request = { id : string; body : body }
+type request = {
+  id : string;
+  trace_id : string option;  (** client correlation token, echoed back *)
+  body : body;
+}
 
 val parse_request : string -> (request, string) result
 (** Total: malformed JSON, unknown fields values, and nonsensical budget
@@ -65,28 +76,60 @@ val format_of_string : string -> (format, string) result
 val flow_of_string : string -> (Mapper.Algorithms.flow, string) result
 val cost_of_string : string -> (Mapper.Cost.model, string) result
 
-(** {1 Responses} *)
+(** {1 Responses}
 
-val render_error : id:string -> string -> string
+    Every renderer takes an optional [trace_id]; when given, the
+    response carries a ["trace_id"] member right after ["id"]. *)
+
+val render_error : ?trace_id:string -> id:string -> string -> string
+
 val render_rejected :
-  id:string -> reason:string -> queue_depth:int -> retry_after_ms:int -> string
+  ?trace_id:string ->
+  id:string ->
+  reason:string ->
+  queue_depth:int ->
+  retry_after_ms:int ->
+  unit ->
+  string
 
-val render_failed : id:string -> elapsed_ms:float -> string -> string
+val render_failed :
+  ?trace_id:string -> id:string -> elapsed_ms:float -> string -> string
 
 val render_mapped :
+  ?trace_id:string ->
   id:string ->
   status:string ->
   counts:Domino.Circuit.counts ->
   degradations:string list ->
   elapsed_ms:float ->
   dump:string option ->
+  unit ->
   string
 
-val render_pong : id:string -> string
-val render_stats : id:string -> (string * int) list -> string
+val render_pong : ?trace_id:string -> id:string -> unit -> string
+
+val render_stats :
+  ?trace_id:string ->
+  ?metrics:Obs.Metrics.family list ->
+  ?gauges:(string * int) list ->
+  id:string ->
+  (string * int) list ->
+  string
+(** [render_stats ~id totals] keeps the flat ["service"] object of int
+    totals — the compat shape existing consumers parse.  [gauges] adds
+    a ["gauges"] object of live point-in-time values (queue depth,
+    in-flight count); [metrics] adds a ["metrics"] array with the full
+    typed registry: histograms ship [bounds]/[counts]/[sum] intact
+    instead of being flattened lossily. *)
+
+val render_expose : ?trace_id:string -> id:string -> string -> string
+(** The [expose] response: OpenMetrics exposition text in ["body"]. *)
 
 val response_status : Obs.Json.t -> (string, string) result
 (** The [status] member of a decoded response. *)
+
+val response_trace_id : Obs.Json.t -> string option
+(** The echoed ["trace_id"] member, when present. *)
 
 val json_escape : string -> string
 (** JSON string-body escaping (shared with the CLI's stats printer). *)

@@ -50,6 +50,8 @@ type config = {
   max_delay_ms : int;
   cache_file : string option;
   cache_interval : float;
+  stats_addr : Protocol.addr option;
+  flight_file : string option;
 }
 
 let default_config ~addr =
@@ -69,6 +71,8 @@ let default_config ~addr =
     max_delay_ms = 1000;
     cache_file = None;
     cache_interval = 60.0;
+    stats_addr = None;
+    flight_file = None;
   }
 
 (* ---------------- metrics mirrors ---------------- *)
@@ -90,10 +94,31 @@ let m_queue_peak = Obs.Metrics.gauge_max ~stable:false "service.queue_peak"
 let m_bytes_in = Obs.Metrics.counter ~stable:false "service.bytes_in"
 let m_bytes_out = Obs.Metrics.counter ~stable:false "service.bytes_out"
 
-let m_latency =
-  Obs.Metrics.histogram ~stable:false
-    ~buckets:[| 1; 5; 10; 25; 50; 100; 250; 500; 1000; 2500; 5000; 10000 |]
-    "service.latency_ms"
+(* Per-outcome latency histograms, log-bucketed in nanoseconds (1 µs to
+   10 s on the 1-2-5 grid): an operator asking "what does a degraded
+   request cost?" reads one family instead of subtracting mixtures.
+   Quantiles come out via [Metrics.quantile] on the exposed buckets. *)
+let latency_buckets = Obs.Metrics.log_buckets ~lo:1_000 ~hi:10_000_000_000
+
+let m_latency_of_class cls =
+  Obs.Metrics.histogram ~stable:false ~buckets:latency_buckets
+    ("service.latency_ns." ^ cls)
+
+let m_latency_ok = m_latency_of_class "ok"
+let m_latency_degraded = m_latency_of_class "degraded"
+let m_latency_failed = m_latency_of_class "failed"
+let m_latency_rejected = m_latency_of_class "rejected"
+
+(* Per-request GC attribution: [Gcstats.snap]/[delta] on the executing
+   domain, accumulated here — the daemon's answer to "which traffic is
+   allocating?". *)
+let m_gc_minor = Obs.Metrics.counter ~stable:false "service.gc.minor_words"
+let m_gc_promoted = Obs.Metrics.counter ~stable:false "service.gc.promoted_words"
+let m_gc_major = Obs.Metrics.counter ~stable:false "service.gc.major_words"
+let m_gc_minor_coll =
+  Obs.Metrics.counter ~stable:false "service.gc.minor_collections"
+let m_gc_major_coll =
+  Obs.Metrics.counter ~stable:false "service.gc.major_collections"
 
 (* ---------------- connections ---------------- *)
 
@@ -109,6 +134,7 @@ type conn = {
 
 type job = {
   req_id : string;
+  trace_id : string option;
   params : Protocol.map_params;
   jconn : conn;
   t_enq : int64;
@@ -138,6 +164,10 @@ type t = {
   mutable c_conn_rejected : int;
   mutable c_queue_peak : int;
   mutable c_latency_max_ms : int;
+  mutable c_inflight : int;  (* jobs currently executing on the pool *)
+  next_trace : int Atomic.t;  (* server-assigned trace-id counter *)
+  flight_dumped : bool Atomic.t;  (* first-failure auto-dump latch *)
+  flight_wanted : bool Atomic.t;  (* SIGQUIT-style on-demand dump *)
 }
 
 let create ?memo cfg =
@@ -164,11 +194,47 @@ let create ?memo cfg =
     c_conn_rejected = 0;
     c_queue_peak = 0;
     c_latency_max_ms = 0;
+    c_inflight = 0;
+    next_trace = Atomic.make 0;
+    flight_dumped = Atomic.make false;
+    flight_wanted = Atomic.make false;
   }
 
 let memo t = t.memo
 let request_stop t = Atomic.set t.stop true
 let listening t = Atomic.get t.listening
+
+let request_flight_dump t = Atomic.set t.flight_wanted true
+
+(* The daemon's trace ids: a client that sent none still gets a
+   correlation token it can quote back to the operator.  Only minted
+   while tracing, so the tracing-off hot path never allocates one. *)
+let assign_trace_id t req_trace_id =
+  match req_trace_id with
+  | Some _ as tid -> tid
+  | None ->
+      if Obs.Trace.enabled () then
+        Some (Printf.sprintf "s-%d" (Atomic.fetch_and_add t.next_trace 1))
+      else None
+
+let flight_dump_now t ~why =
+  match t.cfg.flight_file with
+  | None -> ()
+  | Some file -> (
+      Obs.Flight.record ~detail:why "dump";
+      match Obs.Flight.write_file file with
+      | Ok () -> ()
+      | Error msg ->
+          Printf.eprintf "soimapd: flight dump %s: %s\n%!" file msg)
+
+(* The first failed request triggers one automatic dump: the ring then
+   still holds the events leading up to it, which is exactly the window
+   an operator wants on file before it scrolls away. *)
+let flight_on_failure t =
+  if
+    t.cfg.flight_file <> None
+    && not (Atomic.exchange t.flight_dumped true)
+  then flight_dump_now t ~why:"first-failure"
 
 let locked t f =
   Mutex.lock t.m;
@@ -189,6 +255,18 @@ let totals t =
         ("queue_depth", Queue.length t.queue);
         ("queue_peak", t.c_queue_peak);
         ("latency_max_ms", t.c_latency_max_ms);
+        ("inflight", t.c_inflight);
+      ])
+
+(* Live point-in-time gauges for the stats op and the OpenMetrics
+   listener: these are *current* values, not aggregates, so they live
+   in the ledger rather than the (max/sum-shaped) metrics registry. *)
+let live_gauges t =
+  locked t (fun () ->
+      [
+        ("service_queue_depth", Queue.length t.queue);
+        ("service_inflight", t.c_inflight);
+        ("service_connections_open", List.length t.conns);
       ])
 
 (* ---------------- socket helpers ---------------- *)
@@ -302,61 +380,88 @@ type job_outcome = Ok_ | Degraded_ | Failed_
 (* One admitted request, start to finish, on a pool domain.  Total: any
    escape (payload parse error, a raising mapper bug, a chaos site)
    becomes a [failed] response — an exception here would cancel the
-   sibling requests sharing the batch. *)
+   sibling requests sharing the batch.
+
+   Observability happens here too: the GC snapshot pair brackets the
+   mapping on the executing domain (so [service.gc.*] attributes
+   allocation to requests, not to the process), and when tracing is on
+   the request's whole span tree — admission-to-respond parent with
+   queue/map/respond children — is synthesized from the timestamps and
+   emitted on this domain's track, tagged with the trace id. *)
 let run_job t job =
   let cfg = t.cfg in
   let p = job.params in
+  let tid = job.trace_id in
+  let t_start = Obs.Clock.now_ns () in
+  locked t (fun () -> t.c_inflight <- t.c_inflight + 1);
+  let gc0 = Obs.Gcstats.snap () in
   let elapsed () = Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) job.t_enq) in
-  let outcome, line =
+  let outcome, detail, line =
     match
-      Obs.Trace.with_span ~cat:"service" "service.request" (fun () ->
-          if p.Protocol.delay_ms > 0 then
-            Unix.sleepf
-              (float_of_int (min p.Protocol.delay_ms cfg.max_delay_ms) /. 1000.);
-          let net = network_of_payload p in
-          let budget = effective_budget cfg p in
-          Mapper.Algorithms.run_outcome ~budget ~memo:t.memo
-            ~on_exhaust:p.Protocol.on_exhaust ~cost:p.Protocol.cost
-            ~w_max:p.Protocol.w_max ~h_max:p.Protocol.h_max
-            ~rewrite:p.Protocol.rewrite p.Protocol.flow net)
+      (if p.Protocol.delay_ms > 0 then
+         Unix.sleepf
+           (float_of_int (min p.Protocol.delay_ms cfg.max_delay_ms) /. 1000.));
+      let net = network_of_payload p in
+      let budget = effective_budget cfg p in
+      Mapper.Algorithms.run_outcome ~budget ~memo:t.memo
+        ~on_exhaust:p.Protocol.on_exhaust ~cost:p.Protocol.cost
+        ~w_max:p.Protocol.w_max ~h_max:p.Protocol.h_max
+        ~rewrite:p.Protocol.rewrite p.Protocol.flow net
     with
     | Resilience.Outcome.Ok r ->
         ( Ok_,
-          Protocol.render_mapped ~id:job.req_id ~status:"ok"
+          "",
+          Protocol.render_mapped ?trace_id:tid ~id:job.req_id ~status:"ok"
             ~counts:r.Mapper.Algorithms.counts ~degradations:[]
             ~elapsed_ms:(elapsed ())
             ~dump:
               (if p.Protocol.dump then
                  Some (Domino.Circuit.dump r.Mapper.Algorithms.circuit)
-               else None) )
+               else None)
+            () )
     | Resilience.Outcome.Degraded (r, ds) ->
+        let ds = List.map Resilience.Outcome.describe_degradation ds in
         ( Degraded_,
-          Protocol.render_mapped ~id:job.req_id ~status:"degraded"
-            ~counts:r.Mapper.Algorithms.counts
-            ~degradations:
-              (List.map Resilience.Outcome.describe_degradation ds)
-            ~elapsed_ms:(elapsed ())
+          String.concat "; " ds,
+          Protocol.render_mapped ?trace_id:tid ~id:job.req_id
+            ~status:"degraded" ~counts:r.Mapper.Algorithms.counts
+            ~degradations:ds ~elapsed_ms:(elapsed ())
             ~dump:
               (if p.Protocol.dump then
                  Some (Domino.Circuit.dump r.Mapper.Algorithms.circuit)
-               else None) )
+               else None)
+            () )
     | Resilience.Outcome.Failed reason ->
+        let msg = Resilience.Budget.reason_to_string reason in
         ( Failed_,
-          Protocol.render_failed ~id:job.req_id ~elapsed_ms:(elapsed ())
-            (Resilience.Budget.reason_to_string reason) )
+          msg,
+          Protocol.render_failed ?trace_id:tid ~id:job.req_id
+            ~elapsed_ms:(elapsed ()) msg )
     | exception Payload_error msg ->
         ( Failed_,
-          Protocol.render_failed ~id:job.req_id ~elapsed_ms:(elapsed ())
-            ("parse: " ^ msg) )
+          "parse: " ^ msg,
+          Protocol.render_failed ?trace_id:tid ~id:job.req_id
+            ~elapsed_ms:(elapsed ()) ("parse: " ^ msg) )
     | exception Resilience.Budget.Exhausted reason ->
+        let msg = Resilience.Budget.reason_to_string reason in
         ( Failed_,
-          Protocol.render_failed ~id:job.req_id ~elapsed_ms:(elapsed ())
-            (Resilience.Budget.reason_to_string reason) )
+          msg,
+          Protocol.render_failed ?trace_id:tid ~id:job.req_id
+            ~elapsed_ms:(elapsed ()) msg )
     | exception e ->
+        let msg = "internal: " ^ Printexc.to_string e in
         ( Failed_,
-          Protocol.render_failed ~id:job.req_id ~elapsed_ms:(elapsed ())
-            ("internal: " ^ Printexc.to_string e) )
+          msg,
+          Protocol.render_failed ?trace_id:tid ~id:job.req_id
+            ~elapsed_ms:(elapsed ()) msg )
   in
+  let gc = Obs.Gcstats.delta gc0 in
+  Obs.Metrics.add m_gc_minor gc.Obs.Gcstats.minor_words;
+  Obs.Metrics.add m_gc_promoted gc.Obs.Gcstats.promoted_words;
+  Obs.Metrics.add m_gc_major gc.Obs.Gcstats.major_words;
+  Obs.Metrics.add m_gc_minor_coll gc.Obs.Gcstats.minor_collections;
+  Obs.Metrics.add m_gc_major_coll gc.Obs.Gcstats.major_collections;
+  let t_done = Obs.Clock.now_ns () in
   (* Ledger before writing: once a client holds a response, the ledger
      already reflects it, so an immediately following `stats` (or the
      storm drill's over-the-wire balance check) can never observe the
@@ -372,10 +477,45 @@ let run_job t job =
   Obs.Metrics.incr m_requests;
   (match outcome with
   | Ok_ -> Obs.Metrics.incr m_ok
-  | Degraded_ -> Obs.Metrics.incr m_degraded
-  | Failed_ -> Obs.Metrics.incr m_failed);
-  Obs.Metrics.observe m_latency ms;
+  | Degraded_ ->
+      Obs.Metrics.incr m_degraded;
+      Obs.Flight.record ?id:tid ~detail "degrade"
+  | Failed_ ->
+      Obs.Metrics.incr m_failed;
+      Obs.Flight.record ?id:tid ~detail "fail");
   ignore (write_line t job.jconn line);
+  let t_wend = Obs.Clock.now_ns () in
+  locked t (fun () -> t.c_inflight <- t.c_inflight - 1);
+  let lat_ns = Int64.to_int (Int64.max 0L (Int64.sub t_wend job.t_enq)) in
+  Obs.Metrics.observe
+    (match outcome with
+    | Ok_ -> m_latency_ok
+    | Degraded_ -> m_latency_degraded
+    | Failed_ -> m_latency_failed)
+    lat_ns;
+  if outcome = Failed_ then flight_on_failure t;
+  if Obs.Trace.enabled () then begin
+    let args =
+      ("id", job.req_id)
+      :: (match tid with None -> [] | Some x -> [ ("trace_id", x) ])
+    in
+    let status =
+      match outcome with
+      | Ok_ -> "ok"
+      | Degraded_ -> "degraded"
+      | Failed_ -> "failed"
+    in
+    let sub a b = Int64.max 0L (Int64.sub a b) in
+    Obs.Trace.span_at ~cat:"service"
+      ~args:(("status", status) :: args)
+      ~ts:job.t_enq ~dur:(sub t_wend job.t_enq) "service.request";
+    Obs.Trace.span_at ~cat:"service" ~args ~ts:job.t_enq
+      ~dur:(sub t_start job.t_enq) "service.queue";
+    Obs.Trace.span_at ~cat:"service" ~args ~ts:t_start
+      ~dur:(sub t_done t_start) "service.map";
+    Obs.Trace.span_at ~cat:"service" ~args ~ts:t_done
+      ~dur:(sub t_wend t_done) "service.respond"
+  end;
   conn_release job.jconn
 
 (* Fail a job without mapping it (drain deadline passed). *)
@@ -386,9 +526,14 @@ let fail_job t job reason =
       t.c_failed <- t.c_failed + 1);
   Obs.Metrics.incr m_requests;
   Obs.Metrics.incr m_failed;
+  Obs.Flight.record ?id:job.trace_id ~detail:reason "drain_fail";
   ignore
     (write_line t job.jconn
-       (Protocol.render_failed ~id:job.req_id ~elapsed_ms:elapsed reason));
+       (Protocol.render_failed ?trace_id:job.trace_id ~id:job.req_id
+          ~elapsed_ms:elapsed reason));
+  Obs.Metrics.observe m_latency_failed
+    (Int64.to_int
+       (Int64.max 0L (Int64.sub (Obs.Clock.now_ns ()) job.t_enq)));
   conn_release job.jconn
 
 (* ---------------- dispatchers ---------------- *)
@@ -480,7 +625,7 @@ let count_disconnect t =
 
 (* Admission decision for a parsed map request: bounded queue, explicit
    rejection once full (or once the server is draining). *)
-let admit t conn req_id params =
+let admit t conn ~trace_id ~t_recv req_id params =
   Mutex.lock t.m;
   let depth = Queue.length t.queue in
   let decision =
@@ -491,7 +636,7 @@ let admit t conn req_id params =
       conn.pending <- conn.pending + 1;
       Mutex.unlock conn.wmutex;
       Queue.push
-        { req_id; params; jconn = conn; t_enq = Obs.Clock.now_ns () }
+        { req_id; trace_id; params; jconn = conn; t_enq = t_recv }
         t.queue;
       let d = Queue.length t.queue in
       if d > t.c_queue_peak then t.c_queue_peak <- d;
@@ -510,21 +655,58 @@ let admit t conn req_id params =
   | `Reject (reason, depth) ->
       Obs.Metrics.incr m_requests;
       Obs.Metrics.incr m_rejected;
+      Obs.Flight.record ?id:trace_id ~detail:reason ~v:depth "reject";
       ignore
         (write_line t conn
-           (Protocol.render_rejected ~id:req_id ~reason ~queue_depth:depth
-              ~retry_after_ms:50))
+           (Protocol.render_rejected ?trace_id ~id:req_id ~reason
+              ~queue_depth:depth ~retry_after_ms:50 ()));
+      let t_wend = Obs.Clock.now_ns () in
+      Obs.Metrics.observe m_latency_rejected
+        (Int64.to_int (Int64.max 0L (Int64.sub t_wend t_recv)));
+      if Obs.Trace.enabled () then
+        Obs.Trace.span_at ~cat:"service"
+          ~args:
+            (("id", req_id) :: ("status", "rejected")
+            :: (match trace_id with None -> [] | Some x -> [ ("trace_id", x) ]))
+          ~ts:t_recv
+          ~dur:(Int64.max 0L (Int64.sub t_wend t_recv))
+          "service.request"
 
 let handle_line t conn line =
+  let t_recv = Obs.Clock.now_ns () in
   match Protocol.parse_request line with
   | Error msg ->
       count_error t;
-      ignore (write_line t conn (Protocol.render_error ~id:"" msg))
-  | Ok { Protocol.id; body = Protocol.Ping } ->
-      ignore (write_line t conn (Protocol.render_pong ~id))
-  | Ok { Protocol.id; body = Protocol.Stats } ->
-      ignore (write_line t conn (Protocol.render_stats ~id (totals t)))
-  | Ok { Protocol.id; body = Protocol.Map p } -> admit t conn id p
+      Obs.Flight.record ~detail:msg "frame_error";
+      (* Salvage the correlation tokens from an invalid-but-JSON frame
+         (unknown op, bad limits): the error response still echoes
+         id/trace_id, so the client can match it to what it sent. *)
+      let id, trace_id =
+        match Obs.Json.parse line with
+        | Ok doc ->
+            let s k = Option.bind (Obs.Json.member k doc) Obs.Json.to_string in
+            ((match s "id" with Some i -> i | None -> ""), s "trace_id")
+        | Error _ -> ("", None)
+      in
+      ignore (write_line t conn (Protocol.render_error ?trace_id ~id msg))
+  | Ok { Protocol.id; trace_id; body = Protocol.Ping } ->
+      let trace_id = assign_trace_id t trace_id in
+      ignore (write_line t conn (Protocol.render_pong ?trace_id ~id ()))
+  | Ok { Protocol.id; trace_id; body = Protocol.Stats } ->
+      let trace_id = assign_trace_id t trace_id in
+      let gauges = live_gauges t in
+      ignore
+        (write_line t conn
+           (Protocol.render_stats ?trace_id
+              ~metrics:(Obs.Metrics.families ())
+              ~gauges ~id (totals t)))
+  | Ok { Protocol.id; trace_id; body = Protocol.Expose } ->
+      let trace_id = assign_trace_id t trace_id in
+      let body = Obs.Expose.render ~extra_gauges:(live_gauges t) () in
+      ignore (write_line t conn (Protocol.render_expose ?trace_id ~id body))
+  | Ok { Protocol.id; trace_id; body = Protocol.Map p } ->
+      let trace_id = assign_trace_id t trace_id in
+      admit t conn ~trace_id ~t_recv id p
 
 let reader_loop t conn =
   let buf = Buffer.create 512 in
@@ -542,6 +724,7 @@ let reader_loop t conn =
           if Buffer.length buf > 0 then count_disconnect t
       | Oversized ->
           count_error t;
+          Obs.Flight.record ~v:t.cfg.max_request_bytes "frame_oversized";
           ignore
             (write_line t conn
                (Protocol.render_error ~id:""
@@ -591,8 +774,8 @@ let janitor_loop t =
 
 (* ---------------- listener ---------------- *)
 
-let bind_listener cfg =
-  match cfg.addr with
+let bind_listener addr =
+  match addr with
   | Protocol.Tcp (host, port) -> (
       let inet =
         try (Unix.gethostbyname host).Unix.h_addr_list.(0)
@@ -611,7 +794,7 @@ let bind_listener cfg =
           Unix.close fd;
           Error
             (Printf.sprintf "cannot listen on %s: %s"
-               (Protocol.addr_to_string cfg.addr)
+               (Protocol.addr_to_string addr)
                (Unix.error_message e)))
   | Protocol.Unix_sock path -> (
       let sa = Unix.ADDR_UNIX path in
@@ -671,9 +854,10 @@ let accept_conn t lfd =
         locked t (fun () ->
             t.c_conn_rejected <- t.c_conn_rejected + 1);
         Obs.Metrics.incr m_conn_rejected;
+        Obs.Flight.record ~detail:"too-many-connections" ~v:n "reject";
         let line =
           Protocol.render_rejected ~id:"" ~reason:"too-many-connections"
-            ~queue_depth:0 ~retry_after_ms:200
+            ~queue_depth:0 ~retry_after_ms:200 ()
           ^ "\n"
         in
         (try ignore (Unix.write_substring fd line 0 (String.length line))
@@ -705,15 +889,73 @@ let accept_conn t lfd =
         Some conn
       end
 
+(* ---------------- OpenMetrics side listener ---------------- *)
+
+(* A deliberately tiny HTTP/1.0 responder on a separate address: every
+   connection gets one OpenMetrics scrape and is closed.  Prometheus,
+   curl and [soimap scrape] all speak this much HTTP; keeping it off
+   the service socket means a scraping outage and a mapping outage
+   cannot cause each other. *)
+let stats_listener_loop t lfd =
+  while not (Atomic.get t.stop) do
+    match Unix.select [ lfd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept lfd with
+        | exception Unix.Unix_error _ -> ()
+        | fd, _peer ->
+            (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0
+             with Unix.Unix_error _ -> ());
+            (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 2.0
+             with Unix.Unix_error _ -> ());
+            (* Read (and ignore) the scraper's request line: the answer
+               is the full exposition either way. *)
+            (let buf = Bytes.create 4096 in
+             try ignore (Unix.read fd buf 0 (Bytes.length buf))
+             with Unix.Unix_error _ -> ());
+            let body = Obs.Expose.render ~extra_gauges:(live_gauges t) () in
+            let resp =
+              Printf.sprintf
+                "HTTP/1.0 200 OK\r\n\
+                 Content-Type: text/plain; version=0.0.4\r\n\
+                 Content-Length: %d\r\n\r\n%s"
+                (String.length body) body
+            in
+            (try ignore (Unix.write_substring fd resp 0 (String.length resp))
+             with Unix.Unix_error _ -> ());
+            close_fd fd)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  close_fd lfd;
+  match t.cfg.stats_addr with
+  | Some (Protocol.Unix_sock path) -> (
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ -> ()
+
 (* ---------------- run ---------------- *)
 
 let run t =
   (* A client vanishing mid-response must surface as EPIPE on the write,
      not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  match bind_listener t.cfg with
+  match bind_listener t.cfg.addr with
   | Error msg -> Error msg
   | Ok lfd ->
+      let stats_thread =
+        match t.cfg.stats_addr with
+        | None -> Ok None
+        | Some addr -> (
+            match bind_listener addr with
+            | Error msg ->
+                close_fd lfd;
+                Error msg
+            | Ok sfd ->
+                Unix.set_nonblock sfd;
+                Ok (Some (Thread.create (fun () -> stats_listener_loop t sfd) ())))
+      in
+      (match stats_thread with
+      | Error msg -> Error msg
+      | Ok stats_thread ->
       Unix.set_nonblock lfd;
       Atomic.set t.listening true;
       let dispatchers =
@@ -726,6 +968,13 @@ let run t =
       in
       let readers = ref [] in
       while not (Atomic.get t.stop) do
+        (* Periodic maintenance rides the accept tick: completed trace
+           events stream out (bounded buffers stay bounded), and an
+           operator's dump request (SIGQUIT via {!request_flight_dump})
+           is honoured between accepts. *)
+        Obs.Trace.stream_flush ();
+        if Atomic.exchange t.flight_wanted false then
+          flight_dump_now t ~why:"requested";
         match Unix.select [ lfd ] [] [] 0.2 with
         | [], _, _ -> ()
         | _ -> (
@@ -737,6 +986,7 @@ let run t =
       done;
       (* ---- drain ---- *)
       Atomic.set t.listening false;
+      Obs.Flight.record "drain_begin";
       close_fd lfd;
       (match t.cfg.addr with
       | Protocol.Unix_sock path -> (
@@ -750,6 +1000,7 @@ let run t =
       Condition.broadcast t.jobs_cond;
       Mutex.unlock t.m;
       List.iter Thread.join dispatchers;
+      Obs.Flight.record ~v:(List.length dispatchers) "drain_dispatchers";
       (* Wake readers blocked in [read]: shutdown the receive side.  They
          observe EOF, release their connections and exit. *)
       let conns = locked t (fun () -> t.conns) in
@@ -759,6 +1010,11 @@ let run t =
           with Unix.Unix_error _ -> ())
         conns;
       List.iter (fun th -> Thread.join th) !readers;
+      Obs.Flight.record ~v:(List.length !readers) "drain_readers";
       (match janitor with Some th -> Thread.join th | None -> ());
+      (match stats_thread with Some th -> Thread.join th | None -> ());
       save_cache t;
-      Ok ()
+      Obs.Flight.record "drain_done";
+      flight_dump_now t ~why:"drain";
+      Obs.Trace.stream_flush ();
+      Ok ())

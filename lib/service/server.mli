@@ -45,12 +45,19 @@ type config = {
   max_delay_ms : int;  (** clamp on the drill-aid [delay_ms] field *)
   cache_file : string option;
   cache_interval : float;  (** seconds between janitor cache saves *)
+  stats_addr : Protocol.addr option;
+      (** side listener serving OpenMetrics over HTTP/1.0 — a scraping
+          outage and a mapping outage can't cause each other *)
+  flight_file : string option;
+      (** where flight-recorder dumps go: written at drain, on the
+          first [failed] outcome, and on {!request_flight_dump} *)
 }
 
 val default_config : addr:Protocol.addr -> config
 (** 64 connections, queue 64, 2 dispatchers, batches of 8, 1 MiB frames,
     10 s I/O timeouts, 10 s drain, budgets default 30 s / max 60 s,
-    no tuple/BDD caps, 1 s delay clamp, no cache, 60 s cache interval. *)
+    no tuple/BDD caps, 1 s delay clamp, no cache, 60 s cache interval,
+    no stats listener, no flight file. *)
 
 type t
 
@@ -72,6 +79,12 @@ val request_stop : t -> unit
     locks, no allocation beyond the closure — safe inside
     [Sys.set_signal] handlers. *)
 
+val request_flight_dump : t -> unit
+(** Ask the running daemon to dump the flight recorder to
+    [flight_file] at its next maintenance tick (≤ 0.2 s).
+    Async-signal-safe like {!request_stop} — the SIGQUIT handler's
+    tool.  A no-op when no [flight_file] is configured. *)
+
 val listening : t -> bool
 (** True once {!run} has bound and listens; false again at drain.  Lets
     tests and the CLI wait for readiness. *)
@@ -83,7 +96,8 @@ val totals : t -> (string * int) list
 (** A consistent snapshot of the service ledger, in render order:
     [requests], [ok], [degraded], [failed], [rejected], [errors],
     [disconnects], [connections], [conn_rejected], [queue_depth],
-    [queue_peak], [latency_max_ms].  Taken under the ledger lock, so
+    [queue_peak], [latency_max_ms], [inflight].  Taken under the ledger
+    lock, so
     [requests = ok + degraded + failed + rejected] in every snapshot.
     Outcomes are ledgered {e before} their response is written, so any
     response a client has already received is reflected in the next

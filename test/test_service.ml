@@ -29,7 +29,7 @@ let test_request_parsing () =
      Service.Protocol.parse_request
        {|{"id":"r1","op":"map","format":"suite","payload":"z4ml","timeout":2.5,"w_max":4}|}
    with
-  | Ok { Service.Protocol.id; body = Service.Protocol.Map p } ->
+  | Ok { Service.Protocol.id; body = Service.Protocol.Map p; _ } ->
       cs "id" "r1" id;
       cs "payload" "z4ml" p.Service.Protocol.payload;
       ci "w_max" 4 p.Service.Protocol.w_max;
@@ -299,6 +299,265 @@ let test_stale_socket_recovery () =
   cb "clean drain" true (!run_result = Ok ());
   (try Unix.unlink path with Unix.Unix_error _ -> ())
 
+(* ---------------- observability over the wire ---------------- *)
+
+(* The registry is a process-global switch (soimap --serve flips it on);
+   these tests restore the disabled state so the rest of the suite keeps
+   measuring the null sink. *)
+let with_metrics f =
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+    f
+
+let trace_id_of j =
+  match Service.Protocol.response_trace_id j with
+  | Some t -> t
+  | None -> Alcotest.fail "response carried no trace_id"
+
+let test_trace_id_roundtrip () =
+  (* A client-chosen trace_id is echoed verbatim on every op — including
+     error responses, where correlation matters most. *)
+  with_server @@ fun addr _srv ->
+  let c = connect addr in
+  Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+  let j = request c {|{"id":"p","trace_id":"tp-1","op":"ping"}|} in
+  cs "ping echo" "tp-1" (trace_id_of j);
+  let j =
+    request c
+      {|{"id":"m","trace_id":"tm-2","op":"map","format":"suite","payload":"z4ml"}|}
+  in
+  cs "map status" "ok" (status j);
+  cs "map echo" "tm-2" (trace_id_of j);
+  let j = request c {|{"id":"s","trace_id":"ts-3","op":"stats"}|} in
+  cs "stats echo" "ts-3" (trace_id_of j);
+  let j = request c {|{"id":"e","trace_id":"te-4","op":"expose"}|} in
+  cs "expose echo" "te-4" (trace_id_of j);
+  let j = request c {|{"id":"x","trace_id":"tx-5","op":"teapot"}|} in
+  cs "unknown op is an error" "error" (status j);
+  cs "error echo" "tx-5" (trace_id_of j);
+  (* Without tracing, a request without a trace_id gets none invented. *)
+  let j = request c {|{"id":"q","op":"ping"}|} in
+  cb "no trace_id invented while not tracing" true
+    (Service.Protocol.response_trace_id j = None)
+
+let test_traced_request_spans () =
+  (* With tracing on: the server assigns s-N ids to unlabelled requests,
+     and every answered request leaves a span tree in the trace —
+     service.request spanning queue/map/respond children, args carrying
+     the id and trace_id. *)
+  Obs.Trace.clear ();
+  Obs.Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_enabled false;
+      Obs.Trace.clear ())
+  @@ fun () ->
+  let assigned = ref "" in
+  with_server (fun addr _srv ->
+      let c = connect addr in
+      Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+      let j =
+        request c {|{"id":"m1","op":"map","format":"suite","payload":"z4ml"}|}
+      in
+      cs "traced map ok" "ok" (status j);
+      assigned := trace_id_of j;
+      cb "server-assigned id is s-prefixed" true
+        (String.length !assigned >= 2 && String.sub !assigned 0 2 = "s-");
+      let j =
+        request c
+          {|{"id":"m2","trace_id":"mine","op":"map","format":"suite","payload":"z4ml"}|}
+      in
+      cs "client id wins over assignment" "mine" (trace_id_of j));
+  let buf = Buffer.create 4096 in
+  Obs.Trace.export buf;
+  let doc = Obs.Json.parse_exn (Buffer.contents buf) in
+  let events =
+    match Option.bind (Obs.Json.member "traceEvents" doc) Obs.Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  let str_member k e =
+    Option.bind (Obs.Json.member k e) Obs.Json.to_string
+  in
+  let arg k e =
+    Option.bind (Obs.Json.member "args" e) (Obs.Json.member k)
+    |> Fun.flip Option.bind Obs.Json.to_string
+  in
+  let request_span tid =
+    match
+      List.find_opt
+        (fun e ->
+          str_member "name" e = Some "service.request"
+          && arg "trace_id" e = Some tid)
+        events
+    with
+    | Some e -> e
+    | None -> Alcotest.fail ("no service.request span for " ^ tid)
+  in
+  let num k e = Option.bind (Obs.Json.member k e) Obs.Json.to_float in
+  let window e =
+    match (num "ts" e, num "dur" e) with
+    | Some ts, Some d -> (ts, ts +. d)
+    | _ -> Alcotest.fail "span without ts/dur"
+  in
+  List.iter
+    (fun (tid, id) ->
+      let parent = request_span tid in
+      cb "request span carries the request id" true (arg "id" parent = Some id);
+      cb "request span is ok" true (arg "status" parent = Some "ok");
+      let plo, phi = window parent in
+      (* The children nest by temporal containment inside the parent. *)
+      List.iter
+        (fun child ->
+          match
+            List.find_opt
+              (fun e ->
+                str_member "name" e = Some child
+                && (let lo, hi = window e in
+                    plo <= lo && hi <= phi +. 1.0))
+              events
+          with
+          | Some _ -> ()
+          | None ->
+              Alcotest.fail
+                (Printf.sprintf "no %s child inside %s's window" child tid))
+        [ "service.queue"; "service.map"; "service.respond" ])
+    [ (!assigned, "m1"); ("mine", "m2") ]
+
+let test_stats_rich () =
+  with_metrics @@ fun () ->
+  with_server @@ fun addr srv ->
+  let c = connect addr in
+  Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+  cs "warm-up map" "ok"
+    (status (request c {|{"id":"w","op":"map","format":"suite","payload":"z4ml"}|}));
+  let j = request c {|{"id":"s","op":"stats"}|} in
+  cs "stats ok" "ok" (status j);
+  (* Compat: the flat int object is still there, and balances. *)
+  let svc = Option.get (Obs.Json.member "service" j) in
+  let n k = Option.get (Obs.Json.to_int (Option.get (Obs.Json.member k svc))) in
+  ci "flat ledger balances" (n "requests")
+    (n "ok" + n "degraded" + n "failed" + n "rejected");
+  ci "inflight totalled" 0 (n "inflight");
+  (* New: live gauges... *)
+  let gauges = Option.get (Obs.Json.member "gauges" j) in
+  List.iter
+    (fun k ->
+      cb ("gauge " ^ k) true
+        (Option.bind (Obs.Json.member k gauges) Obs.Json.to_int <> None))
+    [ "service_queue_depth"; "service_inflight"; "service_connections_open" ];
+  (* ...and the typed metrics array: the ok-latency histogram ships its
+     bounds, per-bucket counts and sum without flattening. *)
+  let metrics =
+    match Option.bind (Obs.Json.member "metrics" j) Obs.Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "stats carried no metrics array"
+  in
+  let hist =
+    match
+      List.find_opt
+        (fun f ->
+          Option.bind (Obs.Json.member "name" f) Obs.Json.to_string
+          = Some "service.latency_ns.ok")
+        metrics
+    with
+    | Some f -> f
+    | None -> Alcotest.fail "service.latency_ns.ok not in metrics"
+  in
+  let ints k =
+    match Option.bind (Obs.Json.member k hist) Obs.Json.to_list with
+    | Some l -> List.filter_map Obs.Json.to_int l
+    | None -> Alcotest.fail ("histogram missing " ^ k)
+  in
+  let bounds = ints "bounds" and counts = ints "counts" in
+  ci "counts = bounds + overflow" (List.length bounds + 1) (List.length counts);
+  ci "one ok request observed" 1 (List.fold_left ( + ) 0 counts);
+  cb "sum is a positive latency" true
+    (match Option.bind (Obs.Json.member "sum" hist) Obs.Json.to_int with
+    | Some s -> s > 0
+    | None -> false);
+  let get = ledger_of srv in
+  ci "totals inflight idle" 0 (get "inflight")
+
+let test_expose_op () =
+  with_metrics @@ fun () ->
+  with_server @@ fun addr _srv ->
+  let c = connect addr in
+  Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+  cs "warm-up map" "ok"
+    (status (request c {|{"id":"w","op":"map","format":"suite","payload":"z4ml"}|}));
+  let j = request c {|{"id":"e","op":"expose"}|} in
+  cs "expose ok" "ok" (status j);
+  let body =
+    match Obs.Json.member "body" j with
+    | Some (Obs.Json.Str b) -> b
+    | _ -> Alcotest.fail "expose carried no body"
+  in
+  let samples = Obs.Expose.parse body in
+  cb "exposition parses to samples" true (samples <> []);
+  cb "ledger counter exposed" true
+    (Obs.Expose.value samples "service_requests_total" = Some 1.0);
+  cb "live gauges exposed" true
+    (Obs.Expose.value samples "service_inflight" <> None);
+  (match Obs.Expose.histogram_of samples "service_latency_ns_ok" with
+  | None -> Alcotest.fail "latency histogram not scrapeable"
+  | Some (bounds, counts) ->
+      ci "the one request is in the ladder" 1 (Array.fold_left ( + ) 0 counts);
+      cb "scraped p99 is a sane latency" true
+        (let p99 = Obs.Metrics.quantile ~bounds ~counts 0.99 in
+         p99 > 0.0 && p99 <= 1e10));
+  cb "body ends with the OpenMetrics terminator" true
+    (List.mem "# EOF" (String.split_on_char '\n' body))
+
+let test_flight_dump_lifecycle () =
+  (* The recorder dumps to flight_file on the first failed outcome and
+     again at drain — the dump then holds the reject/fail window plus
+     the drain milestones. *)
+  let file = Filename.temp_file "soimapd" "-flight.json" in
+  Sys.remove file;
+  Obs.Flight.clear ();
+  Obs.Flight.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Flight.set_enabled false;
+      Obs.Flight.clear ();
+      try Sys.remove file with Sys_error _ -> ())
+  @@ fun () ->
+  with_server
+    ~tweak:(fun c -> { c with Service.Server.flight_file = Some file })
+    (fun addr _srv ->
+      let c = connect addr in
+      Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+      cs "healthy request" "ok"
+        (status
+           (request c {|{"id":"ok","op":"map","format":"suite","payload":"z4ml"}|}));
+      cb "no dump before any failure" true (not (Sys.file_exists file));
+      cs "failing request" "failed"
+        (status
+           (request c
+              {|{"id":"bad","op":"map","format":"blif","payload":".model x\nBOGUS"}|}));
+      cb "first failure dumped the recorder" true (Sys.file_exists file));
+  let kinds =
+    match Obs.Json.of_file file with
+    | Error e -> Alcotest.fail ("flight dump rejected: " ^ e)
+    | Ok doc -> (
+        match Option.bind (Obs.Json.member "events" doc) Obs.Json.to_list with
+        | Some l ->
+            List.filter_map
+              (fun e ->
+                Option.bind (Obs.Json.member "kind" e) Obs.Json.to_string)
+              l
+        | None -> Alcotest.fail "flight dump has no events array")
+  in
+  cb "failure event in the window" true (List.mem "fail" kinds);
+  cb "first-failure dump marker recorded" true (List.mem "dump" kinds);
+  cb "drain milestones recorded (drain dump supersedes)" true
+    (List.mem "drain_begin" kinds && List.mem "drain_done" kinds)
+
 let test_daemon_storm () =
   let r = Check.Chaos.daemon_storm ~seed:1337 () in
   cb "daemon survived the storm" true r.Check.Chaos.alive;
@@ -320,6 +579,11 @@ let suite =
     Alcotest.test_case "admission backpressure" `Quick test_admission_backpressure;
     Alcotest.test_case "drain with in-flight work" `Quick test_drain_with_inflight;
     Alcotest.test_case "stale socket recovery" `Quick test_stale_socket_recovery;
+    Alcotest.test_case "trace-id round-trip" `Quick test_trace_id_roundtrip;
+    Alcotest.test_case "traced request span tree" `Quick test_traced_request_spans;
+    Alcotest.test_case "rich stats response" `Quick test_stats_rich;
+    Alcotest.test_case "expose op" `Quick test_expose_op;
+    Alcotest.test_case "flight dump lifecycle" `Quick test_flight_dump_lifecycle;
     Alcotest.test_case "daemon storm" `Slow test_daemon_storm;
   ]
 
