@@ -9,7 +9,7 @@
               dune exec bench/main.exe -- table   (only table benches)
 
    Options (hand-parsed; bechamel has no CLI of its own):
-     FILTER        table | stage | ablation | parallel | memo | rewrite
+     FILTER        table | stage | ablation | parallel | memo | rewrite | arena
      --jobs N      pool size for the parallel/* benches (default: cores)
      --json FILE   also write the results as JSON telemetry.  The schema
                    is documented in docs/verification.md; the revision
@@ -223,6 +223,88 @@ let rewrite_benches =
       (stage (fun () -> ignore (post (fst (Mapper.Engine.map opts c880_unate)))));
   ]
 
+(* The flat-arena DP core and incremental remapping.  dp_boxed/dp_arena
+   race the two pricing cores over the same network (byte-identical
+   answers — test/test_arena.ml — so any gap is pure engine overhead).
+   The _cold/_warm pair feeds the JSON speedup rows like the memo
+   benches: cold re-prices a locally edited network from a fresh memo
+   every run; warm remaps it through a state primed once before
+   measurement — the steady state of an edit/remap loop, where the
+   whole-network fast path answers from the cached circuit after one
+   structural comparison. *)
+let arena_benches =
+  let opts = Mapper.Engine.default_options in
+  let des_unate = Mapper.Algorithms.prepare (Gen.Suite.build_exn "des") in
+  let edited = Check.Edit.apply ~seed:42 des_unate in
+  let warm_st, _ = Mapper.Engine.remap_init opts des_unate in
+  ignore (Mapper.Engine.remap warm_st edited);
+  [
+    Test.make ~name:"arena/dp_boxed(des)"
+      (stage (fun () -> ignore (Mapper.Engine.map ~core:`Boxed opts des_unate)));
+    Test.make ~name:"arena/dp_arena(des)"
+      (stage (fun () -> ignore (Mapper.Engine.map ~core:`Arena opts des_unate)));
+    Test.make ~name:"arena/remap_cold(des)"
+      (stage (fun () ->
+           ignore (Mapper.Engine.map ~memo:(Mapper.Memo.create ()) opts edited)));
+    Test.make ~name:"arena/remap_warm(des)"
+      (stage (fun () -> ignore (Mapper.Engine.remap warm_st edited)));
+  ]
+
+(* Allocation evidence for docs/arena.md and the BENCH JSON: minor heap
+   words allocated per mapped cone under each pricing core, published
+   through the metrics registry so a --json run carries the numbers
+   next to the timing rows. *)
+let publish_alloc_evidence () =
+  let opts = Mapper.Engine.default_options in
+  let des_unate = Mapper.Algorithms.prepare (Gen.Suite.build_exn "des") in
+  let nodes = Unate.Unetwork.node_count des_unate in
+  let runs = 5 in
+  let measure core =
+    ignore (Mapper.Engine.map ~core opts des_unate);
+    Gc.full_major ();
+    let w0 = Gc.minor_words () in
+    for _ = 1 to runs do
+      ignore (Mapper.Engine.map ~core opts des_unate)
+    done;
+    (Gc.minor_words () -. w0) /. float_of_int (runs * nodes)
+  in
+  let boxed = measure `Boxed in
+  let arena = measure `Arena in
+  (* The remap-path evidence on the same net: cold re-prices the edited
+     des from a fresh memo; warm is the remap steady state (the
+     whole-network fast path), which allocates nothing per cone. *)
+  let edited = Check.Edit.apply ~seed:42 des_unate in
+  let st, _ = Mapper.Engine.remap_init opts des_unate in
+  ignore (Mapper.Engine.remap st edited);
+  let des_nodes = Unate.Unetwork.node_count edited in
+  let measure_des runs f =
+    Gc.full_major ();
+    let w0 = Gc.minor_words () in
+    for _ = 1 to runs do f () done;
+    (Gc.minor_words () -. w0) /. float_of_int (runs * des_nodes)
+  in
+  let cold_des =
+    measure_des 3 (fun () ->
+        ignore (Mapper.Engine.map ~memo:(Mapper.Memo.create ()) opts edited))
+  in
+  let warm_des =
+    measure_des 50 (fun () -> ignore (Mapper.Engine.remap st edited))
+  in
+  let c name v =
+    Obs.Metrics.add (Obs.Metrics.counter name) (int_of_float v)
+  in
+  c "bench.minor_words_per_cone_boxed(des)" boxed;
+  c "bench.minor_words_per_cone_arena(des)" arena;
+  c "bench.minor_words_per_cone_cold(des)" cold_des;
+  c "bench.minor_words_per_cone_warm_remap(des)" warm_des;
+  Printf.printf
+    "alloc: minor words per mapped cone — des boxed %.0f, des arena %.0f \
+     (%.1fx); des cold %.0f, des warm remap %.2f (%.0fx)\n%!"
+    boxed arena
+    (boxed /. Float.max arena 1.0)
+    cold_des warm_des
+    (cold_des /. Float.max warm_des 0.01)
+
 let benchmark tests =
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
@@ -360,7 +442,10 @@ let () =
   in
   (* Metrics collection rides along only when telemetry is written, so
      plain bench runs measure the disabled (single-branch) path. *)
-  if !json_file <> None then Obs.Metrics.set_enabled true;
+  if !json_file <> None then begin
+    Obs.Metrics.set_enabled true;
+    publish_alloc_evidence ()
+  end;
   let par = parallel_benches jobs in
   let tests =
     match !filter with
@@ -370,9 +455,10 @@ let () =
     | Some "parallel" -> par
     | Some "memo" -> memo_benches
     | Some "rewrite" -> rewrite_benches
+    | Some "arena" -> arena_benches
     | _ ->
         table_benches @ stage_benches @ ablation_benches @ par @ memo_benches
-        @ rewrite_benches
+        @ rewrite_benches @ arena_benches
   in
   let results = benchmark tests in
   Printf.printf "%-50s %15s\n" "benchmark" "time/run";

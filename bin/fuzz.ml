@@ -6,20 +6,23 @@
    simulator).  The first failure is shrunk to a minimal counterexample.
    --exact-oracle adds a fourth: every mapped cone is re-solved to
    proven optimality and DP/exact gaps are recorded as findings.
+   --remap adds a fifth leg: every passing run applies a seeded local
+   edit and byte-compares a warm incremental remap against a cold map.
 
    Examples:
      fuzz --seed 1 --budget 200
      fuzz --seed 7 -n 500 --max-nodes 200 --json > report.json
      fuzz --seed 7 -n 200 --exact-oracle # certify DP optimality per cone
+     fuzz --seed 3 -n 100 --remap        # warm-vs-cold remap cross-check
      fuzz --chaos 42 -n 20 -j 2          # fault-injection smoke
      fuzz --run-timeout 0.5 -n 100       # slow runs become report timeouts
 
-   Exit codes: 0 clean, 1 counterexample, 2 usage, 3 chaos-accounting
-   mismatch, 130 interrupted. *)
+   Exit codes: 0 clean, 1 counterexample or remap mismatch, 2 usage,
+   3 chaos-accounting mismatch, 130 interrupted. *)
 
 open Cmdliner
 
-let run jobs seed budget max_nodes eval_vectors sim_pairs rewrite json
+let run jobs seed budget max_nodes eval_vectors sim_pairs rewrite remap json
     verbose run_timeout chaos_seed trace no_timing exact_oracle exact_max_cone
     exact_expansions =
   if jobs < 0 then begin
@@ -80,6 +83,7 @@ let run jobs seed budget max_nodes eval_vectors sim_pairs rewrite json
       eval_vectors;
       sim_pairs;
       rewrite;
+      remap;
       exact =
         (if exact_oracle then
            Some
@@ -102,8 +106,17 @@ let run jobs seed budget max_nodes eval_vectors sim_pairs rewrite json
       Printf.eprintf "fuzz: wrote trace (%d events) to %s\n"
         (Obs.Trace.event_count ()) path
   | None -> ());
+  let remap_mismatches =
+    match report.Check.Report.remap with
+    | Some m -> m.Check.Report.r_mismatches
+    | None -> 0
+  in
   match report.Check.Report.counterexample with
   | Some _ -> 1
+  | None when remap_mismatches > 0 ->
+      Printf.eprintf "fuzz: %d remap mismatch(es) — warm != cold\n"
+        remap_mismatches;
+      1
   | None -> (
       (* Self-check the chaos ledger: a clean complete run must account
          for every injected fault in its report. *)
@@ -159,6 +172,18 @@ let rewrite =
               network, so a clean session certifies the rewriting layer \
               end to end; with --exact-oracle the certifier runs on the \
               portfolio's chosen variant under the matching memo salt.")
+
+let remap =
+  Arg.(
+    value & flag
+    & info [ "remap" ]
+        ~doc:"Enable the incremental-remap leg: every passing run applies \
+              a seeded local edit to its network and byte-compares a warm \
+              $(b,Engine.remap) (dirty-cone fingerprinting over a \
+              retained memo) against a cold full map of the edited \
+              network.  Probe verdicts land in the report's remap block, \
+              which is bit-identical at any --jobs value; any mismatch \
+              makes the exit status 1.")
 
 let json =
   Arg.(
@@ -234,7 +259,7 @@ let cmd =
     (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ jobs $ seed $ budget $ max_nodes $ eval_vectors $ sim_pairs
-      $ rewrite $ json $ verbose $ run_timeout $ chaos_seed $ trace
+      $ rewrite $ remap $ json $ verbose $ run_timeout $ chaos_seed $ trace
       $ no_timing $ exact_oracle $ exact_max_cone $ exact_expansions)
 
 let () = exit (Cmd.eval' cmd)

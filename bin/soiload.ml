@@ -45,8 +45,8 @@ let lat_counts rows =
     rows;
   counts
 
-let run_worker ~addr ~bench ~timeout ~delay_ms ~requests ~retries ~rng_seed out
-    =
+let run_worker ~addr ~bench ~remap ~timeout ~delay_ms ~requests ~retries
+    ~rng_seed out =
   let rng = Logic.Rng.create rng_seed in
   match Service.Client.connect_retry ~timeout:30.0 addr with
   | Error msg ->
@@ -62,12 +62,20 @@ let run_worker ~addr ~bench ~timeout ~delay_ms ~requests ~retries ~rng_seed out
            request is tagged with it — grep the trace for w7-3 and you
            see exactly where request 3 of worker 7 spent its time. *)
         let tid = Printf.sprintf "w%d-%d" rng_seed i in
+        (* --remap turns every frame into an edit/remap pair: the daemon
+           warm-maps BASE against its shared memo and remaps the payload's
+           dirty cones, so the ramp exercises the incremental path. *)
+        let op, extra =
+          match remap with
+          | None -> ("map", "")
+          | Some base -> ("remap", Printf.sprintf ",\"base\":\"%s\"" base)
+        in
         let line =
           Printf.sprintf
-            "{\"id\":\"%s\",\"trace_id\":\"%s\",\"op\":\"map\",\
-             \"format\":\"suite\",\"payload\":\"%s\",\"timeout\":%g,\
+            "{\"id\":\"%s\",\"trace_id\":\"%s\",\"op\":\"%s\",\
+             \"format\":\"suite\",\"payload\":\"%s\"%s,\"timeout\":%g,\
              \"delay_ms\":%d}"
-            tid tid bench timeout delay_ms
+            tid tid op bench extra timeout delay_ms
         in
         let t0 = Obs.Clock.now_ns () in
         let rec attempt n =
@@ -112,15 +120,16 @@ let run_worker ~addr ~bench ~timeout ~delay_ms ~requests ~retries ~rng_seed out
       Service.Client.close conn;
       out := !rows
 
-let run_stage ~addr ~bench ~timeout ~delay_ms ~requests ~retries ~stage_idx
-    concurrency =
+let run_stage ~addr ~bench ~remap ~timeout ~delay_ms ~requests ~retries
+    ~stage_idx concurrency =
   let outs = Array.init concurrency (fun _ -> ref []) in
   let threads =
     Array.mapi
       (fun w out ->
         Thread.create
           (fun () ->
-            run_worker ~addr ~bench ~timeout ~delay_ms ~requests ~retries
+            run_worker ~addr ~bench ~remap ~timeout ~delay_ms ~requests
+              ~retries
               ~rng_seed:((stage_idx * 1000) + w + 1)
               out)
           ())
@@ -207,7 +216,7 @@ let run_storm addr seed =
     exit 1
   end
 
-let main addr_str bench ramp requests timeout delay_ms retries storm =
+let main addr_str bench remap ramp requests timeout delay_ms retries storm =
   let addr =
     match Service.Protocol.addr_of_string addr_str with
     | Ok a -> a
@@ -239,7 +248,7 @@ let main addr_str bench ramp requests timeout delay_ms retries storm =
   List.iteri
     (fun i conc ->
       let rows =
-        run_stage ~addr ~bench ~timeout ~delay_ms ~requests ~retries
+        run_stage ~addr ~bench ~remap ~timeout ~delay_ms ~requests ~retries
           ~stage_idx:i conc
       in
       all := !all @ rows;
@@ -257,6 +266,13 @@ let cmd =
   let bench =
     Arg.(value & opt string "z4ml" & info [ "bench" ] ~docv:"NAME"
            ~doc:"Suite benchmark name sent as every request's payload.")
+  in
+  let remap =
+    Arg.(value & opt (some string) None & info [ "remap" ] ~docv:"BASE"
+           ~doc:"Send op:remap frames instead of op:map: every request \
+                 carries $(docv) as the pre-edit base and --bench as the \
+                 edited payload, so the ramp drives the daemon's \
+                 incremental-remap path against its shared warm memo.")
   in
   let ramp =
     Arg.(value & opt string "1,4,8" & info [ "ramp" ] ~docv:"C1,C2,.."
@@ -294,7 +310,7 @@ let cmd =
   Cmd.v
     (Cmd.info "soiload" ~doc)
     Term.(
-      const main $ addr $ bench $ ramp $ requests $ timeout $ delay_ms
+      const main $ addr $ bench $ remap $ ramp $ requests $ timeout $ delay_ms
       $ retries $ storm)
 
 let () = exit (Cmd.eval cmd)

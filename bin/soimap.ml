@@ -50,6 +50,20 @@ let load blif bench_file pla bench =
         "exactly one of --blif, --bench-file, --pla or --bench is required";
       exit 2
 
+(* --remap BASE names the pre-edit circuit through the same channel as
+   the main input (a BLIF path under --blif, a suite name under --bench,
+   ...), so the two networks always parse the same way. *)
+let load_base blif bench_file pla bench base =
+  match (blif, bench_file, pla, bench) with
+  | Some _, None, None, None -> load (Some base) None None None
+  | None, Some _, None, None -> load None (Some base) None None
+  | None, None, Some _, None -> load None None (Some base) None
+  | None, None, None, Some _ -> load None None None (Some base)
+  | _ ->
+      prerr_endline
+        "exactly one of --blif, --bench-file, --pla or --bench is required";
+      exit 2
+
 let cost_of = function
   | "area" -> Mapper.Cost.area
   | "depth" -> Mapper.Cost.depth_soi
@@ -385,7 +399,41 @@ let serve_main addr_str queue_depth max_conns dispatchers io_timeout
       finish ();
       exit 0
 
-let main jobs blif bench_file pla bench flow cost w_max h_max rewrite verify
+(* --remap BASE: warm-map the base circuit, then remap the (edited) main
+   input against the warm memo.  Memo exact-transparency makes the
+   result byte-identical to a plain map of the main input, so stdout
+   stays diffable against a non-remap run; the dirty/clean accounting
+   joins the rest of the cache chatter on stderr. *)
+let remap_outcome ~budget ?memo ~cost ~w_max ~h_max f ~base net =
+  try
+    let u1 = Mapper.Algorithms.prepare net in
+    let u0 = Mapper.Algorithms.prepare base in
+    let options =
+      Mapper.Algorithms.options_of ~cost ~w_max ~h_max ~both_orders:true
+        ~grounded_at_foot:true ~pareto_width:1 f
+    in
+    let st, _ = Mapper.Engine.remap_init ~budget ?memo options u0 in
+    let circuit, stats, info = Mapper.Engine.remap ~budget st u1 in
+    let circuit = Mapper.Algorithms.postprocess f circuit in
+    Printf.eprintf
+      "soimap: remap [%s]: %d dirty / %d clean cones, %d warm hits, %d misses\n\
+       %!"
+      (Mapper.Algorithms.flow_name f)
+      info.Mapper.Engine.dirty_cones info.Mapper.Engine.clean_cones
+      info.Mapper.Engine.memo_hits info.Mapper.Engine.memo_misses;
+    Resilience.Outcome.Ok
+      {
+        Mapper.Algorithms.circuit;
+        counts = Domino.Circuit.counts circuit;
+        unate = u1;
+        mapped = u1;
+        stats;
+        rewrite = None;
+      }
+  with Resilience.Budget.Exhausted reason -> Resilience.Outcome.Failed reason
+
+let main jobs blif bench_file pla bench flow cost w_max h_max rewrite remap_base
+    verify
     exact certify certify_max_cone certify_expansions prune exhaustive_limit
     print_gates timing multi spice verilog vcd timeout max_tuples max_bdd_nodes
     on_exhaust trace stats cache serve queue_depth max_conns dispatchers
@@ -398,6 +446,18 @@ let main jobs blif bench_file pla bench flow cost w_max h_max rewrite verify
         prerr_endline "--rewrite needs a positive variant count";
         exit 2
   in
+  (* The rewrite portfolio has no warm path (every variant reshapes the
+     network), and --multi sweeps widths with its own driver; neither
+     composes with an incremental remap. *)
+  if remap_base <> None && rewrite > 0 then begin
+    prerr_endline
+      "--remap does not support --rewrite (no warm path through the portfolio)";
+    exit 2
+  end;
+  if remap_base <> None && multi then begin
+    prerr_endline "--remap does not support --multi";
+    exit 2
+  end;
   if jobs < 0 then begin
     prerr_endline "--jobs must be non-negative (0 = number of cores)";
     exit 2
@@ -475,6 +535,14 @@ let main jobs blif bench_file pla bench flow cost w_max h_max rewrite verify
     Obs.Trace.with_span ~cat:"cli" "cli.load" (fun () ->
         load blif bench_file pla bench)
   in
+  let base_net =
+    match remap_base with
+    | None -> None
+    | Some b ->
+        Some
+          (Obs.Trace.with_span ~cat:"cli" "cli.load_base" (fun () ->
+               load_base blif bench_file pla bench b))
+  in
   if multi then begin
     print_string
       (Mapper.Multi.render (Mapper.Multi.sweep ?memo ~w_max ~h_max ~rewrite net));
@@ -518,8 +586,13 @@ let main jobs blif bench_file pla bench flow cost w_max h_max rewrite verify
         Obs.Trace.with_span ~cat:"cli" "cli.flow"
           ~args:(fun () -> [ ("flow", Mapper.Algorithms.flow_name f) ])
           (fun () ->
-            Mapper.Algorithms.run_outcome ~budget:(budget ()) ?memo ~on_exhaust
-              ~cost ~w_max ~h_max ~rewrite f net)
+            match base_net with
+            | None ->
+                Mapper.Algorithms.run_outcome ~budget:(budget ()) ?memo
+                  ~on_exhaust ~cost ~w_max ~h_max ~rewrite f net
+            | Some base ->
+                remap_outcome ~budget:(budget ()) ?memo ~cost ~w_max ~h_max f
+                  ~base net)
       with
       | Resilience.Outcome.Failed reason ->
           (* --on-exhaust fail: report the flow and keep going, as with
@@ -741,6 +814,20 @@ let cmd =
                    derived from the rule set, so --cache files stay \
                    correct across --rewrite and plain runs.")
   in
+  let remap_base =
+    Arg.(value & opt (some string) None
+         & info [ "remap" ] ~docv:"BASE"
+             ~doc:"Incremental remap: warm-map $(docv) — a second input \
+                   named through the same channel as the main input (a \
+                   BLIF path under $(b,--blif), a benchmark name under \
+                   $(b,--bench), ...) — then remap the main input against \
+                   the warm memo, re-pricing only the cones the edit \
+                   dirtied.  Memo transparency keeps stdout byte-identical \
+                   to a plain map of the main input; the dirty/clean \
+                   accounting goes to stderr.  Incompatible with \
+                   $(b,--rewrite) and $(b,--multi); a tripped budget \
+                   fails (there is no degraded remap).")
+  in
   let verify =
     Arg.(value & flag & info [ "verify" ]
            ~doc:"Check functional equivalence and PBE freedom (switch-level \
@@ -914,7 +1001,7 @@ let cmd =
   let default =
     Term.(
       const main $ jobs $ blif $ bench_file $ pla $ bench $ flow $ cost $ w_max
-      $ h_max $ rewrite $ verify $ exact $ certify $ certify_max_cone
+      $ h_max $ rewrite $ remap_base $ verify $ exact $ certify $ certify_max_cone
       $ certify_expansions $ prune $ exhaustive_limit $ print_gates $ timing
       $ multi $ spice $ verilog $ vcd $ timeout $ max_tuples $ max_bdd_nodes
       $ on_exhaust $ trace $ stats $ cache $ serve $ queue_depth $ max_conns

@@ -1,0 +1,74 @@
+(* Seeded local edits for the incremental-remap legs.  See edit.mli. *)
+
+open Unate
+
+type plan =
+  | Flip_kind of int
+  | Rewire of { id : int; fanin0 : bool; fin : Unetwork.fin }
+
+(* Everything derives from a private RNG stream over [(u, seed)], so an
+   edit is reproducible from the report alone. *)
+let plan ~seed u =
+  let n = Unetwork.node_count u in
+  if n = 0 then None
+  else begin
+    let rng = Logic.Rng.create seed in
+    let id = Logic.Rng.int rng n in
+    let inputs = Array.length (Unetwork.inputs u) in
+    let random_fin () =
+      (* Rewire to a lower-indexed node (keeping the topological-order
+         invariant) or to a fresh input literal. *)
+      if id > 0 && Logic.Rng.bool rng then
+        Unetwork.F_node (Logic.Rng.int rng id)
+      else
+        Unetwork.F_lit
+          {
+            input = Logic.Rng.int rng inputs;
+            positive = Logic.Rng.bool rng;
+          }
+    in
+    match Logic.Rng.int rng 3 with
+    | _ when inputs = 0 -> Some (Flip_kind id)
+    | 0 -> Some (Flip_kind id)
+    | 1 -> Some (Rewire { id; fanin0 = true; fin = random_fin () })
+    | _ -> Some (Rewire { id; fanin0 = false; fin = random_fin () })
+  end
+
+let apply ~seed u =
+  match plan ~seed u with
+  | None -> u
+  | Some p ->
+      let n = Unetwork.node_count u in
+      let nodes = Array.init n (Unetwork.node u) in
+      (match p with
+      | Flip_kind id ->
+          let nd = nodes.(id) in
+          nodes.(id) <-
+            {
+              nd with
+              Unetwork.kind =
+                (match nd.Unetwork.kind with
+                | Unetwork.U_and -> Unetwork.U_or
+                | Unetwork.U_or -> Unetwork.U_and);
+            }
+      | Rewire { id; fanin0; fin } ->
+          let nd = nodes.(id) in
+          nodes.(id) <-
+            (if fanin0 then { nd with Unetwork.fanin0 = fin }
+             else { nd with Unetwork.fanin1 = fin }));
+      Unetwork.with_structure u ~nodes ~outputs:(Unetwork.outputs u)
+
+let fin_string = function
+  | Unetwork.F_node m -> Printf.sprintf "node %d" m
+  | Unetwork.F_const b -> Printf.sprintf "const %b" b
+  | Unetwork.F_lit { input; positive } ->
+      Printf.sprintf "%sinput %d" (if positive then "" else "~") input
+
+let describe ~seed u =
+  match plan ~seed u with
+  | None -> "no-op (empty network)"
+  | Some (Flip_kind id) -> Printf.sprintf "flip-kind node %d" id
+  | Some (Rewire { id; fanin0; fin }) ->
+      Printf.sprintf "rewire node %d fanin%d -> %s" id
+        (if fanin0 then 0 else 1)
+        (fin_string fin)

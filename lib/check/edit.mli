@@ -1,0 +1,19 @@
+(** Seeded local edits to unate networks.
+
+    The incremental-remap legs (test/test_remap.ml, [fuzz --remap])
+    need reproducible "a designer touched one node" perturbations: flip
+    a node's kind, or rewire one of its fanins to another signal.  The
+    edit goes through {!Unate.Unetwork.with_structure}, so the result
+    is renormalised (constants folded, hash-consed, swept) exactly like
+    any other mapper input — an edit may therefore ripple (the touched
+    cone and every cone above it change their deep signatures) or even
+    vanish (the renormaliser folds it away), and both are valid remap
+    test cases.  Everything is a pure function of [(u, seed)]. *)
+
+val apply : seed:int -> Unate.Unetwork.t -> Unate.Unetwork.t
+(** [apply ~seed u] applies one random local edit to [u].  Networks
+    with no internal nodes are returned unchanged. *)
+
+val describe : seed:int -> Unate.Unetwork.t -> string
+(** The edit [apply ~seed u] would perform, for failure reports
+    (e.g. ["flip-kind node 17"]). *)

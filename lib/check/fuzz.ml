@@ -48,6 +48,10 @@ type params = {
   rewrite : int;  (* rewrite-portfolio cap applied to every run's config
                      (0 = front end off); the exact oracle then
                      certifies the network the portfolio chose *)
+  remap : bool;   (* incremental-remap oracle: every passing run applies
+                     a seeded local edit and cross-checks a warm
+                     [Engine.remap] against a cold full map, byte for
+                     byte (default off) *)
   run_timeout : float option;  (* per-run wall-clock deadline, seconds *)
   slow_run_s : float; (* runs at or above this duration are listed
                          individually in the report's timing block *)
@@ -68,6 +72,7 @@ let default_params =
     shrink_checks = 2_000;
     exact = None;
     rewrite = 0;
+    remap = false;
     run_timeout = None;
     slow_run_s = 1.0;
     chaos = Resilience.Chaos.disabled;
@@ -144,6 +149,8 @@ type outcome =
       config : Gen_config.t;
       (* fourth-oracle verdicts for this run's cones, when enabled *)
       optimality : Opt.Certify.summary option;
+      (* incremental-remap probe verdict for this run, when enabled *)
+      remap : Report.remap option;
     }
   | O_fail of {
       burned : int;
@@ -228,6 +235,42 @@ let exec_run params i =
                          ~max_expansions:ex.ex_max_expansions ~memo ~memo_salt
                          ~options:cfg.Gen_config.opts target)
               in
+              let remap =
+                if not params.remap then None
+                else begin
+                  inject ~site:"fuzz.remap";
+                  (* Warm-vs-cold cross-check on a seeded local edit.
+                     Everything — the edit, the fingerprint verdicts,
+                     the two circuits — is a pure function of
+                     [(params, i)], so the block stays [-j]-invariant.
+                     The probe gets its own memo: the run's table
+                     already holds this network's cones, which would
+                     make the "cold" side warm. *)
+                  let edit_seed = Logic.Rng.int rng 0x3FFFFFFF in
+                  let u1 = Edit.apply ~seed:edit_seed u in
+                  let opts = cfg.Gen_config.opts in
+                  let probe_memo = Mapper.Memo.create ~shards:1 () in
+                  let st, _ =
+                    Mapper.Engine.remap_init ~budget ~memo:probe_memo opts u
+                  in
+                  let warm_c, _, info = Mapper.Engine.remap ~budget st u1 in
+                  let cold_c, _ = Mapper.Engine.map ~budget opts u1 in
+                  Some
+                    {
+                      Report.r_probes = 1;
+                      r_dirty = info.Mapper.Engine.dirty_cones;
+                      r_clean = info.Mapper.Engine.clean_cones;
+                      r_hits = info.Mapper.Engine.memo_hits;
+                      r_misses = info.Mapper.Engine.memo_misses;
+                      r_mismatches =
+                        (if
+                           Domino.Circuit.dump warm_c
+                           <> Domino.Circuit.dump cold_c
+                         then 1
+                         else 0);
+                    }
+                end
+              in
               O_pass
                 {
                   burned;
@@ -237,6 +280,7 @@ let exec_run params i =
                   shape;
                   config = cfg;
                   optimality;
+                  remap;
                 }
           | Oracle.Fail failure ->
               O_fail { burned; shape; u; cfg; oracle_seed; failure }
@@ -306,6 +350,21 @@ let run params =
         | _ -> ())
       s.Opt.Certify.certs
   in
+  (* Incremental-remap oracle ledger: per-probe verdicts summed in run
+     order. *)
+  let remap_acc = ref Report.no_remap in
+  let merge_remap (m : Report.remap) =
+    let a = !remap_acc in
+    remap_acc :=
+      {
+        Report.r_probes = a.Report.r_probes + m.Report.r_probes;
+        r_dirty = a.Report.r_dirty + m.Report.r_dirty;
+        r_clean = a.Report.r_clean + m.Report.r_clean;
+        r_hits = a.Report.r_hits + m.Report.r_hits;
+        r_misses = a.Report.r_misses + m.Report.r_misses;
+        r_mismatches = a.Report.r_mismatches + m.Report.r_mismatches;
+      }
+  in
   let first_failure = ref None in
   let stopped = ref false in
   let snapshot ~complete counterexample =
@@ -350,6 +409,7 @@ let run params =
                 o_expansions = !opt_expansions;
                 o_gap_list = List.rev !opt_gap_list;
               });
+      remap = (if params.remap then Some !remap_acc else None);
       complete;
       counterexample;
     }
@@ -390,7 +450,7 @@ let run params =
               skipped := !skipped + burned;
               stopped := true
           | O_pass { burned; stats; circuit; oracle_seed; shape; config;
-                     optimality } ->
+                     optimality; remap } ->
               skipped := !skipped + burned;
               incr runs;
               (match optimality with
@@ -398,6 +458,7 @@ let run params =
               | Some s ->
                   merge_optimality ~run:!runs ~net_seed:shape.ns_seed ~config
                     s);
+              (match remap with None -> () | Some m -> merge_remap m);
               eval_vectors := !eval_vectors + stats.Oracle.eval_vectors;
               sim_cycles := !sim_cycles + stats.Oracle.sim_cycles;
               if stats.Oracle.bdd_exact then incr bdd_exact_runs

@@ -83,6 +83,31 @@ let no_optimality =
     o_gap_list = [];
   }
 
+(* Aggregated incremental-remap oracle verdicts.  Every passing run
+   applies a seeded local edit ({!Edit}) and cross-checks a warm
+   {!Mapper.Engine.remap} against a cold full map of the edited network,
+   byte-comparing the circuit dumps.  Probe counts and fingerprint
+   verdicts are pure functions of (params, run index), so the block is
+   bit-identical at any worker count. *)
+type remap = {
+  r_probes : int;      (* passing runs that ran the warm/cold cross-check *)
+  r_dirty : int;       (* cones fingerprinted dirty, summed over probes *)
+  r_clean : int;       (* cones fingerprinted clean, summed over probes *)
+  r_hits : int;        (* warm memo hits during the remaps *)
+  r_misses : int;      (* warm memo misses during the remaps *)
+  r_mismatches : int;  (* probes where warm and cold circuits differed *)
+}
+
+let no_remap =
+  {
+    r_probes = 0;
+    r_dirty = 0;
+    r_clean = 0;
+    r_hits = 0;
+    r_misses = 0;
+    r_mismatches = 0;
+  }
+
 type chaos_counts = {
   raises : int;    (* injected exceptions (the run is aborted, counted) *)
   delays : int;    (* injected sleeps (the run completes normally) *)
@@ -109,6 +134,8 @@ type t = {
   chaos : chaos_counts;     (* injected faults observed, by kind *)
   optimality : optimality option;  (* fourth-oracle verdicts; None when
                                       the exact oracle was not enabled *)
+  remap : remap option;     (* incremental-remap oracle verdicts; None when
+                               the remap leg was not enabled *)
   complete : bool;          (* false when the loop stopped early (failure or
                                generator exhaustion) and later outcomes were
                                discarded — accounting checks must skip *)
@@ -216,6 +243,12 @@ let json_of_optimality o =
     o.o_expansions
     (String.concat ", " (List.map json_of_opt_gap o.o_gap_list))
 
+let json_of_remap m =
+  Printf.sprintf
+    "{\"probes\": %d, \"dirty_cones\": %d, \"clean_cones\": %d, \
+     \"memo_hits\": %d, \"memo_misses\": %d, \"mismatches\": %d}"
+    m.r_probes m.r_dirty m.r_clean m.r_hits m.r_misses m.r_mismatches
+
 let json_of_timeout t =
   Printf.sprintf "{\"run\": %d, \"net_seed\": %s, \"reason\": %s}" t.t_run
     (match t.t_net_seed with None -> "null" | Some s -> string_of_int s)
@@ -240,6 +273,7 @@ let to_json r =
      \"timing\": %s, \
      \"chaos\": {\"raises\": %d, \"delays\": %d, \"exhausts\": %d}, \
      \"optimality\": %s, \
+     \"remap\": %s, \
      \"complete\": %b, \
      \"counterexample\": %s}"
     r.seed r.budget r.runs r.skipped r.eval_vectors r.sim_cycles
@@ -251,6 +285,7 @@ let to_json r =
     (match r.optimality with
     | None -> "null"
     | Some o -> json_of_optimality o)
+    (match r.remap with None -> "null" | Some m -> json_of_remap m)
     r.complete
     (match r.counterexample with
     | None -> "null"
@@ -317,6 +352,13 @@ let pp_human fmt r =
             g.g_dp g.g_exact
             (Gen_config.describe g.g_config))
         o.o_gap_list);
+  (match r.remap with
+  | None -> ()
+  | Some m ->
+      Format.fprintf fmt
+        "  remap oracle: %d probes — %d dirty / %d clean cones, %d warm \
+         hits, %d misses, %d mismatches@,"
+        m.r_probes m.r_dirty m.r_clean m.r_hits m.r_misses m.r_mismatches);
   if not r.complete then
     Format.fprintf fmt "  (stopped early; later runs were not executed)@,";
   match r.counterexample with

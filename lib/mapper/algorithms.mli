@@ -39,6 +39,7 @@ type result = {
 
 val run :
   ?memo:Memo.t ->
+  ?core:Engine.core ->
   ?cost:Cost.model ->
   ?w_max:int ->
   ?h_max:int ->
@@ -53,7 +54,9 @@ val run :
 (** [run flow net] executes the complete flow with the paper's defaults
     ([w_max] 5, [h_max] 8, area cost).  [memo] threads a structural
     cache into {!Engine.map} (see {!Memo} for the transparency
-    guarantee).  [rewrite] (default 0 = off) enables the choice-aware
+    guarantee).  [core] (default [`Auto]) selects the DP pricing core
+    ({!Engine.core}); the rewrite portfolio always maps with [`Auto].
+    [rewrite] (default 0 = off) enables the choice-aware
     rewriting front end with that many variants: the flow maps the
     original and up to [rewrite] algebraic restructurings
     ({!Restructure.map_best}) and keeps the cheapest circuit under the
@@ -62,6 +65,7 @@ val run :
 val run_outcome :
   ?budget:Resilience.Budget.t ->
   ?memo:Memo.t ->
+  ?core:Engine.core ->
   ?on_exhaust:[ `Fail | `Degrade ] ->
   ?cost:Cost.model ->
   ?w_max:int ->
@@ -98,6 +102,13 @@ val options_of :
     baselines, [Soi] for the paper's flow).  Exposed so out-of-band
     passes over the same mapping — the exact-optimality certifier, the
     prune CLI — can reconstruct exactly what {!run} handed the engine. *)
+
+val postprocess : flow -> Domino.Circuit.t -> Domino.Circuit.t
+(** The flow-specific post-mapping pass {!run} applies (discharge
+    insertion for [Domino_map], stack rearrangement for the other two).
+    Exposed so out-of-band mappings of the same engine output — the
+    service's incremental-remap op — can emit exactly the circuit the
+    flow would. *)
 
 val prepare : ?extract:bool -> Logic.Network.t -> Unate.Unetwork.t
 (** [prepare net] is the shared front end: strash, optional shared-divisor

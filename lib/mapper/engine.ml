@@ -31,6 +31,12 @@ type stats = {
   gates_formed : int;
 }
 
+(* Which pricing core runs the combination loop.  The arena filter is a
+   sound pre-filter over the boxed DP (see Arena): results are
+   byte-identical either way, so [`Auto] simply asks for it whenever
+   the bounds fit the packed fields. *)
+type core = [ `Auto | `Arena | `Boxed ]
+
 (* Gate formed for a unate node, before circuit ids are assigned. *)
 type gate_info = {
   gi_structure : Pdn.t;
@@ -57,6 +63,12 @@ let m_gates = Obs.Metrics.counter "mapper.gates"
 let m_discharges = Obs.Metrics.counter "mapper.discharges"
 let m_greedy_fallback = Obs.Metrics.counter "mapper.greedy_fallback"
 
+(* Same handle Arena registers; the engine batches the per-skip counts
+   locally and lands them here once per map call — a sharded atomic
+   fetch-and-add per skipped candidate would cost more than the boxed
+   combine the skip saves. *)
+let m_arena_filtered = Obs.Metrics.counter "arena.filtered"
+
 let h_frontier =
   Obs.Metrics.histogram ~buckets:[| 1; 2; 4; 8; 16; 32; 64 |]
     "mapper.frontier_size"
@@ -82,14 +94,46 @@ let h_par_b = Obs.Metrics.histogram ~buckets:[| 0; 1 |] "mapper.par_b"
    combinations actually executed, so hits lower it.  The greedy rung
    never consults the cache: it changes the mapping-boundary rule, so
    its tables live in a different world. *)
-let map_body ~greedy ~budget ~memo ~memo_salt options u =
+(* Per-node arming threshold for the packed pre-filter: a node pays
+   [begin_node] (mirror reset + one pack per fanin option) before its
+   first candidate, so nodes with fewer fanin-option pairs than this
+   cannot win the reset back in skipped combines and price boxed.
+   Tuned on the paper suite (k2/c880/des): 32 is the knee — below it
+   small-node overhead erodes the filter's win, above it large cones
+   lose skips.  Pure routing: results and counts are identical. *)
+let arena_min_pairs = 32
+
+let map_body ~greedy ~budget ~memo ~memo_salt ~core options u =
   if options.w_max < 2 || options.h_max < 2 then
     invalid_arg "Engine.map: w_max and h_max must be at least 2";
   if options.pareto_width < 1 then
     invalid_arg "Engine.map: pareto_width must be at least 1";
+  (* The packed pre-filter (see Arena): on by default whenever the
+     bounds fit the packed fields.  The greedy rung stays boxed — it is
+     already linear and its tiny tables would never amortise the mirror
+     bookkeeping. *)
+  let filter_on =
+    (not greedy)
+    &&
+    match core with
+    | `Boxed -> false
+    | `Auto -> Arena.eligible ~w_max:options.w_max ~h_max:options.h_max
+    | `Arena ->
+        if not (Arena.eligible ~w_max:options.w_max ~h_max:options.h_max)
+        then
+          invalid_arg
+            (Printf.sprintf
+               "Engine.map: ~core:`Arena requires packable bounds (W<=%d, \
+                H<=%d, W*H<=%d); got W=%d H=%d"
+               Arena.Packed.max_w Arena.Packed.max_h Arena.max_slots
+               options.w_max options.h_max)
+        else true
+  in
+  let actx = Arena.ctx () in
   let model = options.cost in
   let n = Unetwork.node_count u in
   let fanouts = Unetwork.fanout_counts u in
+  let anet = Arena.Net.of_unetwork u in
   let entries =
     Array.init n (fun _ ->
         { table = Array.make (options.w_max * options.h_max) []; gate = None })
@@ -100,6 +144,9 @@ let map_body ~greedy ~budget ~memo ~memo_salt options u =
      [counting] so the disabled hot path runs the same instructions as
      an uninstrumented build. *)
   let pruned = ref 0 in
+  (* Candidates the packed filter skipped (a subset of [pruned]);
+     batched into [arena.filtered] after the sweep. *)
+  let filtered = ref 0 in
   let counting = Obs.Metrics.enabled () in
 
   let slot w h = ((w - 1) * options.h_max) + (h - 1) in
@@ -211,12 +258,16 @@ let map_body ~greedy ~budget ~memo ~memo_salt options u =
           || List.memq s keep_light)
         sorted
   in
+  (* Returns [true] iff the slot's frontier actually changed — the
+     mirror refresh below keys on it, so rejected candidates (bound or
+     dominance) cost no repacking. *)
   let consider entry (s : Soi_rules.sol) =
     if s.Soi_rules.w <= options.w_max && s.Soi_rules.h <= options.h_max then begin
       let i = slot s.Soi_rules.w s.Soi_rules.h in
       let kept = entry.table.(i) in
       if List.exists (fun old -> dominates old s) kept then begin
-        if counting then incr pruned
+        if counting then incr pruned;
+        false
       end
       else begin
         let survivors = List.filter (fun old -> not (dominates s old)) kept in
@@ -226,10 +277,85 @@ let map_body ~greedy ~budget ~memo ~memo_salt options u =
         let capped = cap_frontier sorted in
         (if counting then
            pruned := !pruned + (List.length sorted - List.length capped));
-        entry.table.(i) <- capped
+        entry.table.(i) <- capped;
+        true
       end
     end
-    else if counting then incr pruned
+    else begin
+      if counting then incr pruned;
+      false
+    end
+  in
+  (* Per-node filter gate.  [begin_node] costs a mirror reset plus one
+     pack per fanin option; a node with only a handful of candidate
+     pairs cannot win that back in skipped combines, so the filter only
+     arms on nodes with enough pairs to amortise it (the gate is pure
+     routing — counts and results are byte-identical either way). *)
+  let node_filter = ref false in
+  (* Boxed [consider] plus the mirror refresh the filter depends on: a
+     candidate that changed its slot's frontier makes the mirror stale,
+     so re-pack that slot into the scratch mirror. *)
+  let consider_refresh entry (s : Soi_rules.sol) =
+    if consider entry s && !node_filter then begin
+      let i = slot s.Soi_rules.w s.Soi_rules.h in
+      Arena.refresh_slot actx ~slot:i entry.table.(i)
+    end
+  in
+  (* Insert-verdict fast path: the filter proved the candidate is in
+     bounds and survives dominance against the slot's (clean) mirror,
+     so the boxed dominance re-check is skipped and the scalars come
+     from the exact packed words — the packed combination is the only
+     scalar arithmetic a survivor pays. *)
+  let consider_insert entry ~c0 ~c1 structure =
+    let s = Arena.Packed.unpack_with ~structure ~w0:c0 ~w1:c1 in
+    let i = slot s.Soi_rules.w s.Soi_rules.h in
+    let kept = entry.table.(i) in
+    let survivors = List.filter (fun old -> not (dominates s old)) kept in
+    if counting then
+      pruned := !pruned + (List.length kept - List.length survivors);
+    let sorted = List.sort compare_inline (s :: survivors) in
+    let capped = cap_frontier sorted in
+    (if counting then
+       pruned := !pruned + (List.length sorted - List.length capped));
+    entry.table.(i) <- capped;
+    Arena.refresh_slot actx ~slot:i capped
+  in
+  let boxed_combine op s0 s1 =
+    match op with
+    | `Or -> Soi_rules.combine_or model s0 s1
+    | `And_soi -> Soi_rules.combine_and_soi model ~top:s0 ~bottom:s1
+    | `And_soi_rev -> Soi_rules.combine_and_soi model ~top:s1 ~bottom:s0
+    | `And_bulk -> Soi_rules.combine_and_bulk model ~top:s0 ~bottom:s1
+  in
+  let structure_of op (s0 : Soi_rules.sol) (s1 : Soi_rules.sol) =
+    match op with
+    | `Or ->
+        Domino.Pdn.Parallel (s0.Soi_rules.structure, s1.Soi_rules.structure)
+    | `And_soi | `And_bulk ->
+        Domino.Pdn.Series (s0.Soi_rules.structure, s1.Soi_rules.structure)
+    | `And_soi_rev ->
+        Domino.Pdn.Series (s1.Soi_rules.structure, s0.Soi_rules.structure)
+  in
+  (* One candidate end to end: Skip_pruned only bumps the pruned count;
+     Insert materialises from the packed words; anything unpackable —
+     or every candidate when the filter is off — prices fully boxed. *)
+  let price entry op s0 s1 i0 i1 =
+    if not !node_filter then consider_refresh entry (boxed_combine op s0 s1)
+    else
+      match
+        Arena.candidate actx ~depth_factor:model.Cost.depth_factor
+          ~clocked:model.Cost.clocked ~discharge:model.Cost.discharge
+          ~grounded:options.grounded_at_foot ~pareto:options.pareto_width ~op
+          ~i0 ~i1
+      with
+      | Arena.Skip_pruned ->
+          if counting then begin
+            incr pruned;
+            incr filtered
+          end
+      | Arena.Insert { c0; c1 } ->
+          consider_insert entry ~c0 ~c1 (structure_of op s0 s1)
+      | Arena.Run_boxed -> consider_refresh entry (boxed_combine op s0 s1)
   in
 
   (* The gate formed over one inline tuple: overhead for the foot,
@@ -314,18 +440,24 @@ let map_body ~greedy ~budget ~memo ~memo_salt options u =
       match entries.(id).gate with Some g -> g | None -> form_gate id
   in
 
-  (* Candidate tuples a fanin offers to its consumer. *)
-  let options_of_fin fin =
-    match fin with
-    | Unetwork.F_const _ ->
-        (* Unreachable via the public constructors: [Unetwork.mk] folds
-           constant fanins away at build time, so only hand-assembled
-           node records could trip this. *)
-        invalid_arg
-          "Engine.map: constant fanin reached the DP sweep; unate networks \
-           from Unetwork.of_network/with_structure fold constants away"
-    | Unetwork.F_lit { input; positive } -> [ Soi_rules.leaf_pi model ~input ~positive ]
-    | Unetwork.F_node m ->
+  (* Candidate tuples a fanin offers to its consumer.  The sweep works
+     on the flat [Arena.Net] fanin encoding, so dispatch here is integer
+     tests rather than a boxed [fin] match. *)
+  let options_of_enc enc =
+    if Arena.Net.is_const enc then
+      (* Unreachable via the public constructors: [Unetwork.mk] folds
+         constant fanins away at build time, so only hand-assembled
+         node records could trip this. *)
+      invalid_arg
+        "Engine.map: constant fanin reached the DP sweep; unate networks \
+         from Unetwork.of_network/with_structure fold constants away"
+    else if not (Arena.Net.is_node enc) then
+      [
+        Soi_rules.leaf_pi model ~input:(Arena.Net.lit_input enc)
+          ~positive:(Arena.Net.lit_positive enc);
+      ]
+    else begin
+      let m = enc in
         let shared = fanouts.(m) > 1 || greedy in
         if shared then begin
           let gi = gate_of m in
@@ -380,6 +512,7 @@ let map_body ~greedy ~budget ~memo ~memo_salt options u =
             (fun acc cands -> List.rev_append cands acc)
             alts entries.(m).table
         end
+    end
   in
 
   (* The memo session, opened only for full (non-greedy) sweeps with a
@@ -413,32 +546,43 @@ let map_body ~greedy ~budget ~memo ~memo_salt options u =
     match (match mrun with Some r -> Memo.find r id | None -> None) with
     | Some table -> Array.blit table 0 entry.table 0 (Array.length table)
     | None ->
-        let nd = Unetwork.node u id in
-        let opts0 = options_of_fin nd.Unetwork.fanin0 in
-        let opts1 = options_of_fin nd.Unetwork.fanin1 in
+        let opts0 = options_of_enc (Arena.Net.fin0 anet id) in
+        let opts1 = options_of_enc (Arena.Net.fin1 anet id) in
+        node_filter :=
+          filter_on
+          && List.length opts0 * List.length opts1 >= arena_min_pairs;
+        if !node_filter then
+          Arena.begin_node actx ~w_max:options.w_max ~h_max:options.h_max
+            ~opts0 ~opts1;
+        let is_and = Arena.Net.is_and anet id in
+        let i0 = ref (-1) in
         List.iter
           (fun s0 ->
+            incr i0;
+            let i1 = ref (-1) in
             List.iter
               (fun s1 ->
+                incr i1;
                 incr combinations;
                 Resilience.Budget.charge_tuples budget 1;
                 if !combinations land 2047 = 0 then
                   Resilience.Budget.check_deadline budget;
-                match nd.Unetwork.kind with
-                | Unetwork.U_or -> consider entry (Soi_rules.combine_or model s0 s1)
-                | Unetwork.U_and -> (
-                    match options.style with
-                    | Bulk ->
-                        consider entry (Soi_rules.combine_and_bulk model ~top:s0 ~bottom:s1)
-                    | Soi ->
-                        if options.both_orders then begin
-                          consider entry (Soi_rules.combine_and_soi model ~top:s0 ~bottom:s1);
-                          consider entry (Soi_rules.combine_and_soi model ~top:s1 ~bottom:s0)
-                        end
-                        else begin
-                          let top, bottom = Soi_rules.heuristic_and_order s0 s1 in
-                          consider entry (Soi_rules.combine_and_soi model ~top ~bottom)
-                        end))
+                if not is_and then price entry `Or s0 s1 !i0 !i1
+                else
+                  match options.style with
+                  | Bulk -> price entry `And_bulk s0 s1 !i0 !i1
+                  | Soi ->
+                      if options.both_orders then begin
+                        price entry `And_soi s0 s1 !i0 !i1;
+                        price entry `And_soi_rev s0 s1 !i0 !i1
+                      end
+                      else begin
+                        let top, _ = Soi_rules.heuristic_and_order s0 s1 in
+                        let op =
+                          if top == s0 then `And_soi else `And_soi_rev
+                        in
+                        price entry op s0 s1 !i0 !i1
+                      end)
               opts1)
           opts0;
         (match mrun with Some r -> Memo.store r id entry.table | None -> ())
@@ -553,6 +697,7 @@ let map_body ~greedy ~budget ~memo ~memo_salt options u =
     Obs.Metrics.add m_combinations !combinations;
     Obs.Metrics.add m_tuples_kept tuples_kept;
     Obs.Metrics.add m_tuples_pruned !pruned;
+    Obs.Metrics.add m_arena_filtered !filtered;
     Obs.Metrics.add m_gates (Array.length circuit.Circuit.gates);
     Array.iter
       (fun g ->
@@ -585,11 +730,13 @@ let map_body ~greedy ~budget ~memo ~memo_salt options u =
        certifier: every mapping boundary has its gate by now (consumers
        and output materialisation force them), so a [None] only answers
        queries about interior nodes no consumer turned into a gate. *)
-    fun id ->
+    (fun id ->
       if id < 0 || id >= n then None
-      else Option.map (fun g -> g.gi_value) entries.(id).gate )
+      else Option.map (fun g -> g.gi_value) entries.(id).gate),
+    (* The final per-node slot arrays, for the differential harness. *)
+    Array.map (fun e -> e.table) entries )
 
-let map_impl ~greedy ~budget ~memo ~memo_salt options u =
+let map_impl ~greedy ~budget ~memo ~memo_salt ~core options u =
   Obs.Trace.with_span ~cat:"mapper" "engine.map"
     ~args:(fun () ->
       [
@@ -597,33 +744,43 @@ let map_impl ~greedy ~budget ~memo ~memo_salt options u =
         ("nodes", string_of_int (Unetwork.node_count u));
         ("greedy", string_of_bool greedy);
       ])
-    (fun () -> map_body ~greedy ~budget ~memo ~memo_salt options u)
+    (fun () -> map_body ~greedy ~budget ~memo ~memo_salt ~core options u)
 
 let map_with_gates ?(budget = Resilience.Budget.unlimited) ?memo
-    ?(memo_salt = 0) options u =
-  map_impl ~greedy:false ~budget ~memo ~memo_salt options u
+    ?(memo_salt = 0) ?(core = `Auto) options u =
+  let circuit, stats, gates, _tables =
+    map_impl ~greedy:false ~budget ~memo ~memo_salt ~core options u
+  in
+  (circuit, stats, gates)
 
-let map ?(budget = Resilience.Budget.unlimited) ?memo ?(memo_salt = 0) options
-    u =
-  let circuit, stats, _gates =
-    map_impl ~greedy:false ~budget ~memo ~memo_salt options u
+let map ?(budget = Resilience.Budget.unlimited) ?memo ?(memo_salt = 0)
+    ?(core = `Auto) options u =
+  let circuit, stats, _gates, _tables =
+    map_impl ~greedy:false ~budget ~memo ~memo_salt ~core options u
   in
   (circuit, stats)
+
+let map_tables ?(budget = Resilience.Budget.unlimited) ?memo ?(memo_salt = 0)
+    ?(core = `Auto) options u =
+  let circuit, stats, _gates, tables =
+    map_impl ~greedy:false ~budget ~memo ~memo_salt ~core options u
+  in
+  (circuit, stats, tables)
 
 (* The fallback runs unbudgeted on purpose: it is linear in the network,
    so re-imposing the deadline that the full DP just blew would only
    turn a guaranteed-cheap rescue into a second failure.  It also runs
    memo-free: greedy tables obey a different boundary rule. *)
 let map_greedy options u =
-  let circuit, stats, _gates =
+  let circuit, stats, _gates, _tables =
     map_impl ~greedy:true ~budget:Resilience.Budget.unlimited ~memo:None
-      ~memo_salt:0 options u
+      ~memo_salt:0 ~core:`Boxed options u
   in
   (circuit, stats)
 
 let map_outcome ?(budget = Resilience.Budget.unlimited) ?memo ?(memo_salt = 0)
-    ?(on_exhaust = `Degrade) options u =
-  match map ~budget ?memo ~memo_salt options u with
+    ?(core = `Auto) ?(on_exhaust = `Degrade) options u =
+  match map ~budget ?memo ~memo_salt ~core options u with
   | result -> Resilience.Outcome.Ok result
   | exception Resilience.Budget.Exhausted reason -> (
       match on_exhaust with
@@ -634,3 +791,101 @@ let map_outcome ?(budget = Resilience.Budget.unlimited) ?memo ?(memo_salt = 0)
             ( map_greedy options u,
               [ { Resilience.Outcome.stage = "mapper"; reason;
                   fallback = "greedy" } ] ))
+
+(* ---------- incremental remapping ---------- *)
+
+let m_remap_runs = Obs.Metrics.counter "remap.runs"
+let m_remap_dirty = Obs.Metrics.counter "remap.dirty"
+let m_remap_clean = Obs.Metrics.counter "remap.clean"
+
+type remap_state = {
+  rs_options : options;
+  rs_memo : Memo.t;
+  rs_salt : int;
+  rs_core : core;
+  mutable rs_prev : Memo.fingerprint;
+  mutable rs_u : Unetwork.t;  (* the last network mapped through the state *)
+  mutable rs_result : Domino.Circuit.t * stats;  (* ... and its answer *)
+}
+
+type remap_info = {
+  dirty_cones : int;
+  clean_cones : int;
+  memo_hits : int;
+  memo_misses : int;
+}
+
+let remap_init ?(budget = Resilience.Budget.unlimited) ?memo ?(memo_salt = 0)
+    ?(core = `Auto) options u =
+  let memo = match memo with Some t -> t | None -> Memo.create () in
+  let result = map ~budget ~memo ~memo_salt ~core options u in
+  ( {
+      rs_options = options;
+      rs_memo = memo;
+      rs_salt = memo_salt;
+      rs_core = core;
+      rs_prev = Memo.fingerprint u;
+      rs_u = u;
+      rs_result = result;
+    },
+    result )
+
+(* Whole-network fast path guard: exact structural equality — names,
+   inputs, outputs, the full node array.  Fingerprints alone are not
+   enough here (they cover node structure but not output wiring), and
+   the daemon's steady state re-parses each payload, so physical
+   equality would never fire; structural equality does. *)
+let unetwork_equal a b =
+  Unetwork.source_name a = Unetwork.source_name b
+  && Unetwork.inputs a = Unetwork.inputs b
+  && Unetwork.node_count a = Unetwork.node_count b
+  && Unetwork.outputs a = Unetwork.outputs b
+  &&
+  let n = Unetwork.node_count a in
+  let rec go i =
+    i >= n || (Unetwork.node a i = Unetwork.node b i && go (i + 1))
+  in
+  go 0
+
+let remap ?(budget = Resilience.Budget.unlimited) st u =
+  if unetwork_equal st.rs_u u then begin
+    (* Identical network: the cached answer IS the cold answer (memo
+       transparency), every cone is clean, and no memo traffic happens
+       — the remap costs one O(n) comparison. *)
+    let clean = Unetwork.node_count u in
+    if Obs.Metrics.enabled () then begin
+      Obs.Metrics.incr m_remap_runs;
+      Obs.Metrics.add m_remap_clean clean
+    end;
+    let circuit, stats = st.rs_result in
+    ( circuit,
+      stats,
+      { dirty_cones = 0; clean_cones = clean; memo_hits = 0; memo_misses = 0 }
+    )
+  end
+  else begin
+    let next = Memo.fingerprint u in
+    let dirty, clean = Memo.dirty_counts ~prev:st.rs_prev ~next in
+    let before = Memo.stats st.rs_memo in
+    let circuit, stats =
+      map ~budget ~memo:st.rs_memo ~memo_salt:st.rs_salt ~core:st.rs_core
+        st.rs_options u
+    in
+    let after = Memo.stats st.rs_memo in
+    st.rs_prev <- next;
+    st.rs_u <- u;
+    st.rs_result <- (circuit, stats);
+    if Obs.Metrics.enabled () then begin
+      Obs.Metrics.incr m_remap_runs;
+      Obs.Metrics.add m_remap_dirty dirty;
+      Obs.Metrics.add m_remap_clean clean
+    end;
+    ( circuit,
+      stats,
+      {
+        dirty_cones = dirty;
+        clean_cones = clean;
+        memo_hits = after.Memo.hits - before.Memo.hits;
+        memo_misses = after.Memo.misses - before.Memo.misses;
+      } )
+  end

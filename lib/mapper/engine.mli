@@ -58,10 +58,23 @@ type stats = {
   gates_formed : int;  (** gates materialised into the final circuit *)
 }
 
+type core = [ `Auto | `Boxed | `Arena ]
+(** Which pricing core runs the DP combination loop.  [`Boxed] is the
+    legacy path: every candidate is built as a {!Soi_rules.sol} record
+    and offered to the frontier.  [`Arena] runs the packed pre-filter
+    ({!Arena}): candidates are first priced on bit-packed immediate
+    ints, and only those not provably no-ops reach the boxed
+    constructors — same circuit, same stats, fewer allocations.
+    [`Auto] (the default everywhere) picks [`Arena] whenever
+    {!Arena.eligible} accepts the bounds and [`Boxed] otherwise.
+    Forcing [`Arena] on ineligible bounds raises [Invalid_argument];
+    the greedy rung ({!map_greedy}) always runs boxed. *)
+
 val map :
   ?budget:Resilience.Budget.t ->
   ?memo:Memo.t ->
   ?memo_salt:int ->
+  ?core:core ->
   options ->
   Unate.Unetwork.t ->
   Domino.Circuit.t * stats
@@ -97,6 +110,7 @@ val map_with_gates :
   ?budget:Resilience.Budget.t ->
   ?memo:Memo.t ->
   ?memo_salt:int ->
+  ?core:core ->
   options ->
   Unate.Unetwork.t ->
   Domino.Circuit.t * stats * (int -> Cost.value option)
@@ -123,6 +137,7 @@ val map_outcome :
   ?budget:Resilience.Budget.t ->
   ?memo:Memo.t ->
   ?memo_salt:int ->
+  ?core:core ->
   ?on_exhaust:[ `Fail | `Degrade ] ->
   options ->
   Unate.Unetwork.t ->
@@ -132,3 +147,73 @@ val map_outcome :
     {!map_greedy} and flags the result [Degraded]; [`Fail] returns
     [Failed] with the tripped budget's reason.  Never raises
     [Exhausted]. *)
+
+val map_tables :
+  ?budget:Resilience.Budget.t ->
+  ?memo:Memo.t ->
+  ?memo_salt:int ->
+  ?core:core ->
+  options ->
+  Unate.Unetwork.t ->
+  Domino.Circuit.t * stats * Soi_rules.sol list array array
+(** {!map}, additionally returning the completed per-node DP tables:
+    element [id] is node [id]'s slot array (indexed
+    [(w-1) * h_max + (h-1)], each slot the capped Pareto frontier in
+    the engine's inline order).  This is the differential harness's
+    view: test/test_arena.ml asserts the arrays are
+    frontier-for-frontier identical between [`Arena] and [`Boxed]
+    runs. *)
+
+(** {2 Incremental remapping}
+
+    A {!remap_state} wraps a warm {!Memo} table together with the
+    {!Memo.fingerprint} of the last network mapped through it.  Because
+    memoization is exactly transparent, {!remap} after a local edit is
+    byte-identical to a cold {!map} of the edited network — the warm
+    table merely lets every clean cone splice its cached frontier in
+    and skip its combination loop, so only the dirty cones pay DP cost.
+    The returned {!remap_info} reports the dirty/clean split (from the
+    fingerprints) and the memo hit/miss delta of the run. *)
+
+type remap_state
+
+type remap_info = {
+  dirty_cones : int;
+      (** nodes of the edited network whose deep structural signature
+          does not occur in the previous network (must recompute) *)
+  clean_cones : int;  (** nodes whose entire input cone is unchanged *)
+  memo_hits : int;  (** memoizable nodes spliced from the warm table *)
+  memo_misses : int;  (** memoizable nodes recomputed (and stored) *)
+}
+
+val remap_init :
+  ?budget:Resilience.Budget.t ->
+  ?memo:Memo.t ->
+  ?memo_salt:int ->
+  ?core:core ->
+  options ->
+  Unate.Unetwork.t ->
+  remap_state * (Domino.Circuit.t * stats)
+(** Cold-map [u] (through [memo], freshly created when not supplied)
+    and capture the remap state.  [memo_salt] and [core] are retained
+    for every subsequent {!remap}.
+    @raise Resilience.Budget.Exhausted as {!map}. *)
+
+val remap :
+  ?budget:Resilience.Budget.t ->
+  remap_state ->
+  Unate.Unetwork.t ->
+  Domino.Circuit.t * stats * remap_info
+(** Map an edited network against the warm state.  The result (circuit
+    and stats except [combinations_tried]) is identical to a cold
+    {!map} with the same options; [combinations_tried] drops to the
+    dirty cones' share.  Depth-objective cost models bypass the memo
+    (see {!Memo}), so they remap correctly but without warm splicing.
+    Updates the state's fingerprint to [u].
+
+    A network structurally identical to the previous one (exact: names,
+    outputs, node array — re-parsed payloads qualify, the daemon's
+    steady state) takes a whole-network fast path: the cached circuit
+    is returned after one O(n) comparison, with every cone counted
+    clean and zero memo traffic in the {!remap_info}.
+    @raise Resilience.Budget.Exhausted as {!map}. *)

@@ -413,6 +413,100 @@ let finish r =
   Obs.Metrics.add m_collision r.r_collisions;
   (r.r_hits, r.r_misses, r.r_collisions)
 
+(* ---------- network fingerprints for incremental remapping ---------- *)
+
+(* Deep per-node signatures over the *whole* transitive fanin, ordered
+   and identity-included — a different scheme from the memo keys on
+   purpose.  Memo signatures erase leaf identity and stop at mapping
+   boundaries so structurally equal cones share entries; a fingerprint
+   answers the opposite question — "is this node's entire input cone
+   bit-for-bit the structure it was before the edit?" — so it must
+   distinguish everything the DP can see: fanin order, literal
+   identity and phase, and whether each referenced node is a mapping
+   boundary (fanout > 1) in this network.  Equal deep signatures are
+   therefore a sound clean-marker: the DP solve of a clean node's cone
+   is a pure function of what the signature hashes, so every
+   memoizable lookup below it hits a table populated by the previous
+   mapping.  Dirty cones are exactly the ones the engine recomputes —
+   nothing is rebuilt or flushed globally, which is the
+   dirty-cone-only invalidation path [Engine.remap] rides. *)
+
+type fingerprint = { fp_sigs : signature array }
+
+let fp_lit input positive =
+  let v = Int64.of_int ((input * 2) + if positive then 1 else 0) in
+  {
+    hi = mix64 (Int64.add 0x27d4eb2f165667c5L v);
+    lo = mix64 (Int64.add 0x85ebca77c2b2ae63L (Int64.mul v 0xff51afd7ed558ccdL));
+  }
+
+let fp_const b =
+  let v = if b then 0x165667b19e3779f9L else 0x1f83d9abfb41bd6bL in
+  { hi = mix64 v; lo = mix64 (Int64.mul v 0xc4ceb9fe1a85ec53L) }
+
+let fp_boundary s =
+  {
+    hi = mix64 (Int64.add 0x9216d5d98979fb1bL s.hi);
+    lo = mix64 (Int64.add 0x452821e638d01377L s.lo);
+  }
+
+(* Ordered: distinct multipliers on the two fanins, so mirrored fanin
+   orders never collide (the DP's series composition is asymmetric). *)
+let fp_node op_and a b =
+  let ks = if op_and then 0xbe5466cf34e90c6cL else 0xc0ac29b7c97c50ddL in
+  {
+    hi =
+      mix64
+        (Int64.add ks
+           (Int64.add
+              (Int64.mul a.hi 0x9e3779b97f4a7c15L)
+              (Int64.mul b.hi 0xc2b2ae3d27d4eb4fL)));
+    lo =
+      mix64
+        (Int64.add (mix64 ks)
+           (Int64.add
+              (Int64.mul a.lo 0xd6e8feb86659fd93L)
+              (Int64.mul b.lo 0xa0761d6478bd642fL)));
+  }
+
+let fingerprint u =
+  let n = Unetwork.node_count u in
+  let fanouts = Unetwork.fanout_counts u in
+  let sigs = Array.make n sig_pi in
+  let fin_sig = function
+    | Unetwork.F_const b -> fp_const b
+    | Unetwork.F_lit { input; positive } -> fp_lit input positive
+    | Unetwork.F_node m ->
+        if fanouts.(m) > 1 then fp_boundary sigs.(m) else sigs.(m)
+  in
+  for id = 0 to n - 1 do
+    let nd = Unetwork.node u id in
+    sigs.(id) <-
+      fp_node
+        (nd.Unetwork.kind = Unetwork.U_and)
+        (fin_sig nd.Unetwork.fanin0)
+        (fin_sig nd.Unetwork.fanin1)
+  done;
+  { fp_sigs = sigs }
+
+let dirty_cones ~prev ~next =
+  let seen = Hashtbl.create (max 16 (2 * Array.length prev.fp_sigs)) in
+  Array.iter (fun s -> Hashtbl.replace seen (s.hi, s.lo) ()) prev.fp_sigs;
+  Array.map (fun s -> not (Hashtbl.mem seen (s.hi, s.lo))) next.fp_sigs
+
+let dirty_counts ~prev ~next =
+  Array.fold_left
+    (fun (dirty, clean) b ->
+      if b then (dirty + 1, clean) else (dirty, clean + 1))
+    (0, 0)
+    (dirty_cones ~prev ~next)
+
+let fingerprint_hex fp id =
+  if id < 0 || id >= Array.length fp.fp_sigs then None
+  else
+    let s = fp.fp_sigs.(id) in
+    Some (Printf.sprintf "%016Lx%016Lx" s.hi s.lo)
+
 (* ---------- introspection ---------- *)
 
 let signature_hex r id =

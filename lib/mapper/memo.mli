@@ -134,6 +134,43 @@ val finish : run -> int * int * int
     [(hits, misses, collisions)] for the caller's trace span.  Call at
     most once, after the sweep. *)
 
+(** {2 Network fingerprints (incremental remapping)}
+
+    The table itself is content-addressed, so an edited network never
+    needs a rebuild or a flush: entries for unchanged cones keep
+    serving, and the edited cones simply miss and recompute — the
+    dirty-cone-only invalidation path.  A {!fingerprint} makes that
+    boundary observable {e before} mapping: it assigns every node a
+    deep structural signature over its whole transitive fanin —
+    ordered, literal-identity-included, and boundary-marked (whether
+    each referenced node has fanout > 1), i.e. everything the DP solve
+    of that node's cone is a function of.  A node of the edited
+    network whose signature also appears in the previous network's
+    fingerprint is {e clean}: its cone maps identically and every
+    memoizable lookup below it hits.  {!Engine.remap} uses the
+    dirty/clean partition to report how much of a warm mapping was
+    spliced from cache. *)
+
+type fingerprint
+
+val fingerprint : Unate.Unetwork.t -> fingerprint
+(** Deep per-node signatures of [u]; linear in the network. *)
+
+val dirty_cones : prev:fingerprint -> next:fingerprint -> bool array
+(** Per node of the [next] network: [true] when no node of [prev] has
+    the same deep signature (the cone must be recomputed), [false]
+    when the cone — including every mapping-boundary level below it —
+    is structurally unchanged.  Conservative in the sound direction:
+    a clean verdict guarantees warm-table hits; a dirty verdict merely
+    recomputes (and may still hit through the memo's identity-erased
+    sharing). *)
+
+val dirty_counts : prev:fingerprint -> next:fingerprint -> int * int
+(** [(dirty, clean)] totals of {!dirty_cones}. *)
+
+val fingerprint_hex : fingerprint -> int -> string option
+(** The deep signature of node [id] as 32 hex digits (tests). *)
+
 (** {2 Introspection (tests, debugging)} *)
 
 val signature_hex : run -> int -> string option

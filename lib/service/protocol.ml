@@ -66,7 +66,12 @@ type map_params = {
   delay_ms : int;
 }
 
-type body = Ping | Stats | Expose | Map of map_params
+type body =
+  | Ping
+  | Stats
+  | Expose
+  | Map of map_params
+  | Remap of { base : string; params : map_params }
 
 type request = { id : string; trace_id : string option; body : body }
 
@@ -193,6 +198,28 @@ let parse_map j =
          delay_ms;
        })
 
+(* The remap op: [payload] is the edited circuit, [base] the previously
+   mapped one; everything else is a map request.  The rewrite portfolio
+   re-prices whole variant networks, so it has no warm path — requesting
+   both is a client error, not a silent cold map. *)
+let parse_remap j =
+  let* base =
+    match Obs.Json.member "base" j with
+    | None -> Error "remap request needs a \"base\" (the pre-edit circuit)"
+    | Some v -> (
+        match Obs.Json.to_string v with
+        | Some s -> Ok s
+        | None -> Error "base must be a string")
+  in
+  let* m = parse_map j in
+  match m with
+  | Map params ->
+      if params.rewrite > 0 then
+        Error "remap does not support rewrite (no warm path through the \
+               portfolio)"
+      else Ok (Remap { base; params })
+  | _ -> assert false
+
 let parse_request line =
   match Obs.Json.parse line with
   | Error msg -> Error ("bad json: " ^ msg)
@@ -214,7 +241,8 @@ let parse_request line =
         | "stats" -> Ok Stats
         | "expose" -> Ok Expose
         | "map" -> parse_map j
-        | s -> Error ("unknown op: " ^ s ^ " (map|ping|stats|expose)")
+        | "remap" -> parse_remap j
+        | s -> Error ("unknown op: " ^ s ^ " (map|remap|ping|stats|expose)")
       in
       Ok { id; trace_id; body })
   | Ok _ -> Error "request must be a json object"
@@ -273,8 +301,24 @@ let render_failed ?trace_id ~id ~elapsed_ms reason =
         ("elapsed_ms", Printf.sprintf "%.3f" elapsed_ms);
       ])
 
-let render_mapped ?trace_id ~id ~status ~(counts : Domino.Circuit.counts)
-    ~degradations ~elapsed_ms ~dump () =
+type remap_summary = { rs_nodes : int; rs_dirty : int; rs_clean : int }
+
+let render_mapped ?trace_id ?remap ~id ~status
+    ~(counts : Domino.Circuit.counts) ~degradations ~elapsed_ms ~dump () =
+  let remap_fields =
+    match remap with
+    | None -> []
+    | Some r ->
+        [
+          ( "remap",
+            obj
+              [
+                ("nodes", string_of_int r.rs_nodes);
+                ("dirty", string_of_int r.rs_dirty);
+                ("clean", string_of_int r.rs_clean);
+              ] );
+        ]
+  in
   let base =
     [ ("id", str id) ] @ tid_fields trace_id
     @ [
@@ -294,6 +338,7 @@ let render_mapped ?trace_id ~id ~status ~(counts : Domino.Circuit.counts)
         "[" ^ String.concat ", " (List.map str degradations) ^ "]" );
       ("elapsed_ms", Printf.sprintf "%.3f" elapsed_ms);
     ]
+    @ remap_fields
   in
   obj (match dump with None -> base | Some d -> base @ [ ("dump", str d) ])
 

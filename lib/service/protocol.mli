@@ -14,10 +14,22 @@
      "timeout":2.5, "max_tuples":100000, "max_bdd_nodes":100000,
      "on_exhaust":"degrade|fail", "dump":false, "delay_ms":0}
     v}
-    [op] is ["map"] (default), ["ping"], ["stats"], or ["expose"]
-    (OpenMetrics text in the response's [body]).  [delay_ms] is a
-    chaos-drill aid: the server sleeps that long (clamped by policy)
-    before mapping, simulating a slow downstream stage.
+    [op] is ["map"] (default), ["remap"], ["ping"], ["stats"], or
+    ["expose"] (OpenMetrics text in the response's [body]).  [delay_ms]
+    is a chaos-drill aid: the server sleeps that long (clamped by
+    policy) before mapping, simulating a slow downstream stage.
+
+    A ["remap"] request carries every map field plus ["base"]: the
+    pre-edit circuit in the same [format].  The server keeps one warm
+    baseline state keyed by (base, format, flow, cost, bounds): a miss
+    maps the base through the shared warm memo, and every further remap
+    against the same base fingerprints the payload against the state —
+    re-pricing only the cones dirty relative to the {e previous} remap
+    of the loop (an unchanged payload answers from the whole-network
+    fast path) — then answers with the normal mapped response plus a
+    ["remap"] member [{"nodes":N,"dirty":N,"clean":N}].  Results are
+    byte-identical to a cold map of the payload either way.  [rewrite]
+    is rejected for remap requests (the portfolio has no warm path).
 
     Any request may carry a ["trace_id"]: a client-chosen correlation
     token echoed verbatim in the response.  When the request omits it
@@ -59,7 +71,14 @@ type map_params = {
   delay_ms : int;  (** drill aid: pre-mapping sleep, clamped by policy *)
 }
 
-type body = Ping | Stats | Expose | Map of map_params
+type body =
+  | Ping
+  | Stats
+  | Expose
+  | Map of map_params
+  | Remap of { base : string; params : map_params }
+      (** incremental remap: [base] is the pre-edit circuit text in
+          [params.format]; [params.payload] the edited one *)
 
 type request = {
   id : string;
@@ -95,8 +114,14 @@ val render_rejected :
 val render_failed :
   ?trace_id:string -> id:string -> elapsed_ms:float -> string -> string
 
+type remap_summary = { rs_nodes : int; rs_dirty : int; rs_clean : int }
+(** The fingerprint verdict attached to a remap response: total nodes in
+    the edited network, and how many were dirty (re-priced) vs clean
+    (warm memo splices). *)
+
 val render_mapped :
   ?trace_id:string ->
+  ?remap:remap_summary ->
   id:string ->
   status:string ->
   counts:Domino.Circuit.counts ->

@@ -136,6 +136,7 @@ type job = {
   req_id : string;
   trace_id : string option;
   params : Protocol.map_params;
+  base : string option;  (* remap op: the pre-edit circuit text *)
   jconn : conn;
   t_enq : int64;
 }
@@ -168,6 +169,15 @@ type t = {
   next_trace : int Atomic.t;  (* server-assigned trace-id counter *)
   flight_dumped : bool Atomic.t;  (* first-failure auto-dump latch *)
   flight_wanted : bool Atomic.t;  (* SIGQUIT-style on-demand dump *)
+  (* Warm remap baseline: the state of the last base mapped by a remap
+     request, keyed by everything that determines it (base text, format,
+     flow, cost model, bounds).  A steady stream of remaps against one
+     base — the edit/remap loop the op exists for — skips re-mapping the
+     base entirely and hits [Engine.remap]'s whole-network fast path.
+     The state is mutable, so same-base requests serialise on
+     [remap_lock]; map requests are unaffected. *)
+  remap_lock : Mutex.t;
+  mutable remap_cache : (string * Mapper.Engine.remap_state) option;
 }
 
 let create ?memo cfg =
@@ -198,6 +208,8 @@ let create ?memo cfg =
     next_trace = Atomic.make 0;
     flight_dumped = Atomic.make false;
     flight_wanted = Atomic.make false;
+    remap_lock = Mutex.create ();
+    remap_cache = None;
   }
 
 let memo t = t.memo
@@ -396,6 +408,9 @@ let run_job t job =
   locked t (fun () -> t.c_inflight <- t.c_inflight + 1);
   let gc0 = Obs.Gcstats.snap () in
   let elapsed () = Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) job.t_enq) in
+  (* The remap op's fingerprint verdict, set by the remap branch below
+     and attached to its (always [Ok_]) mapped response. *)
+  let remap_info = ref None in
   let outcome, detail, line =
     match
       (if p.Protocol.delay_ms > 0 then
@@ -403,17 +418,84 @@ let run_job t job =
            (float_of_int (min p.Protocol.delay_ms cfg.max_delay_ms) /. 1000.));
       let net = network_of_payload p in
       let budget = effective_budget cfg p in
-      Mapper.Algorithms.run_outcome ~budget ~memo:t.memo
-        ~on_exhaust:p.Protocol.on_exhaust ~cost:p.Protocol.cost
-        ~w_max:p.Protocol.w_max ~h_max:p.Protocol.h_max
-        ~rewrite:p.Protocol.rewrite p.Protocol.flow net
+      match job.base with
+      | None ->
+          Mapper.Algorithms.run_outcome ~budget ~memo:t.memo
+            ~on_exhaust:p.Protocol.on_exhaust ~cost:p.Protocol.cost
+            ~w_max:p.Protocol.w_max ~h_max:p.Protocol.h_max
+            ~rewrite:p.Protocol.rewrite p.Protocol.flow net
+      | Some base ->
+          (* Incremental remap: fingerprint the payload against a warm
+             baseline state, re-pricing only the dirty cones.  The
+             baseline is cached across requests keyed by everything
+             that determines it, so the steady state — many remaps of
+             edited payloads against one base — never re-maps the base;
+             a cache miss maps it through the shared warm memo.  Budget
+             trips surface as [failed] through the handlers below (no
+             greedy fallback: a degraded remap would not be
+             byte-faithful to a cold map). *)
+          let u1 = Mapper.Algorithms.prepare net in
+          let key =
+            Marshal.to_string
+              ( base,
+                p.Protocol.format,
+                p.Protocol.flow,
+                p.Protocol.cost,
+                p.Protocol.w_max,
+                p.Protocol.h_max )
+              []
+          in
+          let circuit, stats, info =
+            Mutex.lock t.remap_lock;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock t.remap_lock)
+              (fun () ->
+                let st =
+                  match t.remap_cache with
+                  | Some (k, st) when String.equal k key -> st
+                  | _ ->
+                      let base_net =
+                        network_of_payload { p with Protocol.payload = base }
+                      in
+                      let u0 = Mapper.Algorithms.prepare base_net in
+                      let opts =
+                        Mapper.Algorithms.options_of ~cost:p.Protocol.cost
+                          ~w_max:p.Protocol.w_max ~h_max:p.Protocol.h_max
+                          ~both_orders:true ~grounded_at_foot:true
+                          ~pareto_width:1 p.Protocol.flow
+                      in
+                      let st, _ =
+                        Mapper.Engine.remap_init ~budget ~memo:t.memo opts u0
+                      in
+                      t.remap_cache <- Some (key, st);
+                      st
+                in
+                Mapper.Engine.remap ~budget st u1)
+          in
+          let circuit = Mapper.Algorithms.postprocess p.Protocol.flow circuit in
+          remap_info :=
+            Some
+              {
+                Protocol.rs_nodes = Unate.Unetwork.node_count u1;
+                rs_dirty = info.Mapper.Engine.dirty_cones;
+                rs_clean = info.Mapper.Engine.clean_cones;
+              };
+          Resilience.Outcome.Ok
+            {
+              Mapper.Algorithms.circuit;
+              counts = Domino.Circuit.counts circuit;
+              unate = u1;
+              mapped = u1;
+              stats;
+              rewrite = None;
+            }
     with
     | Resilience.Outcome.Ok r ->
         ( Ok_,
           "",
-          Protocol.render_mapped ?trace_id:tid ~id:job.req_id ~status:"ok"
-            ~counts:r.Mapper.Algorithms.counts ~degradations:[]
-            ~elapsed_ms:(elapsed ())
+          Protocol.render_mapped ?trace_id:tid ?remap:!remap_info
+            ~id:job.req_id ~status:"ok" ~counts:r.Mapper.Algorithms.counts
+            ~degradations:[] ~elapsed_ms:(elapsed ())
             ~dump:
               (if p.Protocol.dump then
                  Some (Domino.Circuit.dump r.Mapper.Algorithms.circuit)
@@ -625,7 +707,7 @@ let count_disconnect t =
 
 (* Admission decision for a parsed map request: bounded queue, explicit
    rejection once full (or once the server is draining). *)
-let admit t conn ~trace_id ~t_recv req_id params =
+let admit t conn ~trace_id ~t_recv ?base req_id params =
   Mutex.lock t.m;
   let depth = Queue.length t.queue in
   let decision =
@@ -636,7 +718,7 @@ let admit t conn ~trace_id ~t_recv req_id params =
       conn.pending <- conn.pending + 1;
       Mutex.unlock conn.wmutex;
       Queue.push
-        { req_id; trace_id; params; jconn = conn; t_enq = t_recv }
+        { req_id; trace_id; params; base; jconn = conn; t_enq = t_recv }
         t.queue;
       let d = Queue.length t.queue in
       if d > t.c_queue_peak then t.c_queue_peak <- d;
@@ -707,6 +789,9 @@ let handle_line t conn line =
   | Ok { Protocol.id; trace_id; body = Protocol.Map p } ->
       let trace_id = assign_trace_id t trace_id in
       admit t conn ~trace_id ~t_recv id p
+  | Ok { Protocol.id; trace_id; body = Protocol.Remap { base; params } } ->
+      let trace_id = assign_trace_id t trace_id in
+      admit t conn ~trace_id ~t_recv ~base id params
 
 let reader_loop t conn =
   let buf = Buffer.create 512 in

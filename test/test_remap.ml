@@ -1,0 +1,258 @@
+(* Incremental remapping (Engine.remap) and the dirty-cone-only memo
+   invalidation it rides on (Memo.fingerprint / dirty_cones): a warm
+   remap after a seeded local edit is byte-identical (Circuit.dump) to
+   a cold full map of the edited network, the warm table is never
+   rebuilt or flushed, and only dirty cones pay recomputation. *)
+
+open Mapper
+
+let equiv_verdict = function Logic.Equiv.Equivalent -> true | _ -> false
+
+let stats_sans_combos (s : Engine.stats) =
+  (s.Engine.nodes_processed, s.Engine.tuples_kept, s.Engine.gates_formed)
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints: deep, ordered, identity-included.                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_fingerprint_self () =
+  let u = Algorithms.prepare (Gen.Suite.build_exn "cordic") in
+  let fp = Memo.fingerprint u in
+  let dirty, clean = Memo.dirty_counts ~prev:fp ~next:fp in
+  Alcotest.(check int) "no dirty cones against self" 0 dirty;
+  Alcotest.(check int) "all cones clean" (Unate.Unetwork.node_count u) clean
+
+(* The memo's own signatures erase leaf identity (a & b and p & q share
+   a cached table); fingerprints must NOT — a rewired literal dirties
+   the cone even though its memo shape is unchanged. *)
+let build_and2 i j =
+  let b = Logic.Builder.create ~name:"pair" () in
+  let w = Array.init 3 (fun k -> Logic.Builder.input b (Printf.sprintf "x%d" k)) in
+  Logic.Builder.output b "f" (Logic.Builder.and2 b w.(i) w.(j));
+  Logic.Builder.network b
+
+let test_fingerprint_identity () =
+  let u01 = Algorithms.prepare (build_and2 0 1) in
+  let u02 = Algorithms.prepare (build_and2 0 2) in
+  let dirty, _ =
+    Memo.dirty_counts ~prev:(Memo.fingerprint u01) ~next:(Memo.fingerprint u02)
+  in
+  Alcotest.(check int) "rewired literal dirties the cone" 1 dirty;
+  match (Memo.fingerprint_hex (Memo.fingerprint u01) 0,
+         Memo.fingerprint_hex (Memo.fingerprint u02) 0) with
+  | Some a, Some b ->
+      Alcotest.(check bool) "distinct hex signatures" true (a <> b);
+      Alcotest.(check int) "32 hex digits" 32 (String.length a)
+  | _ -> Alcotest.fail "fingerprint_hex on node 0"
+
+(* ------------------------------------------------------------------ *)
+(* Warm remap == cold map, byte for byte, across seeded edits.         *)
+(* ------------------------------------------------------------------ *)
+
+let check_remap ~ctx ~opts st u_edited =
+  let warm_c, warm_s, info = Engine.remap st u_edited in
+  let cold_c, cold_s = Engine.map opts u_edited in
+  if Domino.Circuit.dump warm_c <> Domino.Circuit.dump cold_c then
+    Alcotest.failf "%s: warm remap not byte-identical to cold map" ctx;
+  if stats_sans_combos warm_s <> stats_sans_combos cold_s then
+    Alcotest.failf "%s: stats differ beyond combinations_tried" ctx;
+  if warm_s.Engine.combinations_tried > cold_s.Engine.combinations_tried then
+    Alcotest.failf "%s: warm remap tried more combinations than cold" ctx;
+  let n = Unate.Unetwork.node_count u_edited in
+  if info.Engine.dirty_cones + info.Engine.clean_cones <> n then
+    Alcotest.failf "%s: dirty (%d) + clean (%d) != nodes (%d)" ctx
+      info.Engine.dirty_cones info.Engine.clean_cones n;
+  (warm_c, info)
+
+let test_seeded_edits_suite () =
+  List.iter
+    (fun bench ->
+      let u0 = Algorithms.prepare (Gen.Suite.build_exn bench) in
+      let opts = Engine.default_options in
+      let st, (c0, _) = Engine.remap_init opts u0 in
+      let cold0, _ = Engine.map opts u0 in
+      if Domino.Circuit.dump c0 <> Domino.Circuit.dump cold0 then
+        Alcotest.failf "%s: remap_init differs from plain map" bench;
+      (* a chain of edits, each remapped warm against the evolving state *)
+      let u = ref u0 in
+      for seed = 1 to 8 do
+        u := Check.Edit.apply ~seed:(seed * 7919) !u;
+        let ctx =
+          Printf.sprintf "%s seed %d (%s)" bench seed
+            (Check.Edit.describe ~seed:(seed * 7919) !u)
+        in
+        let warm_c, _ = check_remap ~ctx ~opts st !u in
+        (* the Equiv oracle on a slice: the remapped circuit implements
+           the edited network *)
+        if seed mod 4 = 0 then begin
+          let v =
+            Domino.Circuit.equivalent_exact warm_c
+              (Unate.Unetwork.to_network !u)
+          in
+          if not (equiv_verdict v) then
+            Alcotest.failf "%s: remapped circuit not equivalent" ctx
+        end
+      done)
+    [ "z4ml"; "mux"; "cordic" ]
+
+(* A remap with no edit at all: everything clean, nothing recomputed. *)
+(* A no-op remap takes the whole-network fast path: the cached circuit
+   comes back after one structural comparison, all cones clean, zero
+   memo traffic.  The network is re-prepared from scratch so the test
+   proves the path fires on structural (not physical) equality — the
+   daemon's steady state, where every payload is re-parsed. *)
+let test_noop_remap () =
+  let u = Algorithms.prepare (Gen.Suite.build_exn "cordic") in
+  let st, (c0, _) = Engine.remap_init Engine.default_options u in
+  let u' = Algorithms.prepare (Gen.Suite.build_exn "cordic") in
+  let c1, _, info = Engine.remap st u' in
+  Alcotest.(check bool) "identical circuit" true
+    (Domino.Circuit.dump c0 = Domino.Circuit.dump c1);
+  Alcotest.(check int) "no dirty cones" 0 info.Engine.dirty_cones;
+  Alcotest.(check int) "no memo misses" 0 info.Engine.memo_misses;
+  Alcotest.(check int) "no memo hits (fast path)" 0 info.Engine.memo_hits;
+  Alcotest.(check int) "all cones clean"
+    (Unate.Unetwork.node_count u') info.Engine.clean_cones
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial: an edit inside a shared-fanout cone.                   *)
+(* ------------------------------------------------------------------ *)
+
+(* g = x0 & x1 feeds two consumers (a mapping boundary); rewiring g's
+   fanin changes the shared cone's signature, so the boundary node AND
+   both consumers above it must go dirty — a fingerprint that stopped
+   at mapping boundaries would wrongly keep the consumers clean. *)
+let build_shared () =
+  let b = Logic.Builder.create ~name:"shared" () in
+  let x = Array.init 4 (fun k -> Logic.Builder.input b (Printf.sprintf "x%d" k)) in
+  let g = Logic.Builder.and2 b x.(0) x.(1) in
+  Logic.Builder.output b "f" (Logic.Builder.or2 b g x.(2));
+  Logic.Builder.output b "h" (Logic.Builder.and2 b g x.(3));
+  Logic.Builder.network b
+
+let test_shared_fanout_edit () =
+  let u0 = Algorithms.prepare (build_shared ()) in
+  let fanouts = Unate.Unetwork.fanout_counts u0 in
+  let shared =
+    let found = ref (-1) in
+    Array.iteri (fun id c -> if c > 1 && !found < 0 then found := id) fanouts;
+    !found
+  in
+  Alcotest.(check bool) "network has a shared node" true (shared >= 0);
+  let opts = Engine.default_options in
+  let st, _ = Engine.remap_init opts u0 in
+  (* rewire the shared node's fanin1 from x1 to x2 *)
+  let n = Unate.Unetwork.node_count u0 in
+  let nodes = Array.init n (Unate.Unetwork.node u0) in
+  nodes.(shared) <-
+    {
+      (nodes.(shared)) with
+      Unate.Unetwork.fanin1 =
+        Unate.Unetwork.F_lit { Unate.Unetwork.input = 2; positive = true };
+    };
+  let u1 =
+    Unate.Unetwork.with_structure u0 ~nodes
+      ~outputs:(Unate.Unetwork.outputs u0)
+  in
+  let _, info = check_remap ~ctx:"shared-fanout edit" ~opts st u1 in
+  (* the edited shared cone and every consumer cone above it are dirty *)
+  Alcotest.(check bool)
+    (Printf.sprintf "shared edit dirties consumers too (%d dirty)" info.Engine.dirty_cones)
+    true
+    (info.Engine.dirty_cones >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Dirty-cone-only invalidation: the warm table survives edits.        *)
+(* ------------------------------------------------------------------ *)
+
+let test_dirty_cone_only_invalidation () =
+  let u0 = Algorithms.prepare (Gen.Suite.build_exn "cordic") in
+  let memo = Memo.create () in
+  let opts = Engine.default_options in
+  let st, _ = Engine.remap_init ~memo opts u0 in
+  let entries_cold = Memo.entry_count memo in
+  Alcotest.(check bool) "cold map populated the table" true (entries_cold > 0);
+  let u1 = Check.Edit.apply ~seed:42 u0 in
+  let _, _, info = Engine.remap st u1 in
+  (* nothing was flushed: the table only ever grows *)
+  Alcotest.(check bool) "no global rebuild (entries kept)" true
+    (Memo.entry_count memo >= entries_cold);
+  (* only dirty cones may miss: every clean cone's lookup hits *)
+  Alcotest.(check bool)
+    (Printf.sprintf "misses (%d) bounded by dirty cones (%d)"
+       info.Engine.memo_misses info.Engine.dirty_cones)
+    true
+    (info.Engine.memo_misses <= info.Engine.dirty_cones);
+  (* warm splicing actually happened (cordic edits are local) *)
+  if info.Engine.clean_cones > 0 then
+    Alcotest.(check bool) "clean cones spliced from cache" true
+      (info.Engine.memo_hits > 0)
+
+(* Depth objectives bypass the memo; remap must still be correct. *)
+let test_depth_model_remap () =
+  let u0 = Algorithms.prepare (Gen.Suite.build_exn "z4ml") in
+  let opts = { Engine.default_options with Engine.cost = Cost.depth_soi } in
+  let st, _ = Engine.remap_init opts u0 in
+  let u1 = Check.Edit.apply ~seed:5 u0 in
+  let _, info = check_remap ~ctx:"depth-model remap" ~opts st u1 in
+  Alcotest.(check int) "no memo traffic under depth models" 0
+    (info.Engine.memo_hits + info.Engine.memo_misses)
+
+(* ------------------------------------------------------------------ *)
+(* The fuzz loop's remap leg: gap-free and [-j]-invariant.             *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_params seed budget =
+  {
+    Check.Fuzz.default_params with
+    Check.Fuzz.seed;
+    budget;
+    remap = true;
+    eval_vectors = 64;
+    sim_pairs = 2;
+  }
+
+let test_fuzz_remap_clean () =
+  for seed = 1 to 5 do
+    let r = Check.Fuzz.run (fuzz_params seed 4) in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: no counterexample" seed)
+      true
+      (r.Check.Report.counterexample = None);
+    match r.Check.Report.remap with
+    | None -> Alcotest.fail "remap block missing from report"
+    | Some m ->
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d: mismatch-free" seed)
+          0 m.Check.Report.r_mismatches;
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: probes ran" seed)
+          true
+          (m.Check.Report.r_probes > 0)
+  done
+
+let test_fuzz_remap_jobs_invariant () =
+  let report jobs =
+    Parallel.Pool.set_jobs jobs;
+    Fun.protect
+      ~finally:(fun () -> Parallel.Pool.set_jobs 1)
+      (fun () ->
+        Check.Report.to_json
+          (Check.Report.strip_timing (Check.Fuzz.run (fuzz_params 2 8))))
+  in
+  Alcotest.(check string) "remap fuzz report identical at -j1 and -j4"
+    (report 1) (report 4)
+
+let suite =
+  [
+    Alcotest.test_case "fingerprint-self" `Quick test_fingerprint_self;
+    Alcotest.test_case "fingerprint-identity" `Quick test_fingerprint_identity;
+    Alcotest.test_case "seeded-edits-suite" `Slow test_seeded_edits_suite;
+    Alcotest.test_case "noop-remap" `Quick test_noop_remap;
+    Alcotest.test_case "shared-fanout-edit" `Quick test_shared_fanout_edit;
+    Alcotest.test_case "dirty-cone-only" `Quick test_dirty_cone_only_invalidation;
+    Alcotest.test_case "depth-model-remap" `Quick test_depth_model_remap;
+    Alcotest.test_case "fuzz-remap-seeds-1-5" `Slow test_fuzz_remap_clean;
+    Alcotest.test_case "fuzz-remap-jobs-invariant" `Slow
+      test_fuzz_remap_jobs_invariant;
+  ]

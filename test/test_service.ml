@@ -60,7 +60,18 @@ let test_request_parsing () =
       {|{"op":"map","format":"suite","payload":"z4ml","w_max":0}|};
       {|{"op":"map","format":"suite","payload":"z4ml","delay_ms":-1}|};
       {|{"op":"map","format":"suite","payload":"z4ml","on_exhaust":"panic"}|};
-    ]
+      {|{"op":"remap","format":"suite","payload":"z4ml"}|};
+      {|{"op":"remap","format":"suite","payload":"z4ml","base":"mux","rewrite":2}|};
+    ];
+  match
+    Service.Protocol.parse_request
+      {|{"id":"r","op":"remap","format":"suite","base":"mux","payload":"z4ml"}|}
+  with
+  | Ok { Service.Protocol.body = Service.Protocol.Remap { base; params }; _ } ->
+      cs "remap base" "mux" base;
+      cs "remap payload" "z4ml" params.Service.Protocol.payload
+  | Ok _ -> Alcotest.fail "remap parsed to the wrong body"
+  | Error e -> Alcotest.fail ("remap request rejected: " ^ e)
 
 (* ---------------- in-process daemon harness ---------------- *)
 
@@ -172,6 +183,51 @@ let test_warm_cache_identity () =
   in
   cs "cold dump = one-shot dump" reference (dump_of cold);
   cs "warm dump = cold dump" (dump_of cold) (dump_of warm)
+
+let test_remap_op () =
+  (* The remap op's acceptance bar: byte-faithful to a cold map of the
+     edited payload, with an honest dirty/clean fingerprint verdict. *)
+  with_server @@ fun addr srv ->
+  let c = connect addr in
+  Fun.protect ~finally:(fun () -> Service.Client.close c) @@ fun () ->
+  let dump_of j =
+    match Obs.Json.member "dump" j with
+    | Some (Obs.Json.Str d) -> d
+    | _ -> Alcotest.fail "response carried no dump"
+  in
+  let remap_field j k =
+    match Obs.Json.member "remap" j with
+    | Some r ->
+        Option.get (Obs.Json.to_int (Option.get (Obs.Json.member k r)))
+    | None -> Alcotest.fail "response carried no remap block"
+  in
+  let reference =
+    Domino.Circuit.dump
+      (Mapper.Algorithms.soi_domino_map (Gen.Suite.build_exn "z4ml"))
+        .Mapper.Algorithms.circuit
+  in
+  (* payload = base: everything fingerprints clean, dump identical *)
+  let j =
+    request c
+      {|{"id":"r0","op":"remap","format":"suite","base":"z4ml","payload":"z4ml","dump":true}|}
+  in
+  cs "noop remap status" "ok" (status j);
+  ci "noop remap: no dirty cones" 0 (remap_field j "dirty");
+  cb "noop remap: clean cones" true (remap_field j "clean" > 0);
+  cs "noop remap dump = one-shot map dump" reference (dump_of j);
+  (* a genuinely different payload: dirty cones, still byte-faithful *)
+  let j =
+    request c
+      {|{"id":"r1","op":"remap","format":"suite","base":"mux","payload":"z4ml","dump":true}|}
+  in
+  cs "edited remap status" "ok" (status j);
+  cb "edited remap: dirty cones" true (remap_field j "dirty" > 0);
+  cs "edited remap dump = one-shot map dump" reference (dump_of j);
+  ci "remap accounting: dirty + clean = nodes" (remap_field j "nodes")
+    (remap_field j "dirty" + remap_field j "clean");
+  let get = ledger_of srv in
+  ci "ledger balances" (get "requests")
+    (get "ok" + get "degraded" + get "failed" + get "rejected")
 
 let test_request_isolation () =
   with_server @@ fun addr srv ->
@@ -575,6 +631,7 @@ let suite =
     Alcotest.test_case "protocol parsing is total" `Quick test_request_parsing;
     Alcotest.test_case "end-to-end" `Quick test_end_to_end;
     Alcotest.test_case "warm-cache identity" `Quick test_warm_cache_identity;
+    Alcotest.test_case "remap op" `Quick test_remap_op;
     Alcotest.test_case "request isolation" `Quick test_request_isolation;
     Alcotest.test_case "admission backpressure" `Quick test_admission_backpressure;
     Alcotest.test_case "drain with in-flight work" `Quick test_drain_with_inflight;
